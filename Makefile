@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test race bench experiments quick-experiments cover
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./... -timeout 1800s
+
+race:
+	go test -race ./internal/experiments/ ./internal/covert/ -timeout 1800s
+
+bench:
+	go test -bench=. -benchmem -timeout 3600s .
+
+# Full-size reproduction of every table and figure (paper parameters).
+experiments:
+	go run ./cmd/experiments -exp all -csv results_csv
+
+quick-experiments:
+	go run ./cmd/experiments -exp all -quick
+
+cover:
+	go test ./internal/... . -cover -timeout 1800s

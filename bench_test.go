@@ -1,0 +1,324 @@
+package coremap_test
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// micro-benchmarks of the load-bearing components. The table/figure
+// benchmarks run the same harness as cmd/experiments at reduced survey and
+// payload sizes and report the headline quantities as custom metrics, so
+// `go test -bench=. -benchmem` regenerates every result in one pass;
+// full-size runs (100 instances, 10 Kbit payloads) are
+// `go run ./cmd/experiments -exp all`.
+
+import (
+	"math/rand"
+	"testing"
+
+	"coremap"
+	"coremap/internal/covert"
+	"coremap/internal/experiments"
+	"coremap/internal/ilp"
+	"coremap/internal/locate"
+	"coremap/internal/machine"
+	"coremap/internal/mesh"
+	"coremap/internal/probe"
+	"coremap/internal/thermal"
+)
+
+func benchConfig(b *testing.B) experiments.Config {
+	b.Helper()
+	return experiments.Config{Quick: true, Seed: 1, Instances: 20, PayloadBits: 300}
+}
+
+// BenchmarkTable1_CHAIDMapping regenerates Table I: the distinct measured
+// OS-core-ID ↔ CHA-ID mappings per CPU model.
+func BenchmarkTable1_CHAIDMapping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			switch r.SKU {
+			case "Xeon Platinum 8124M":
+				b.ReportMetric(float64(len(r.Rows)), "mappings-8124M")
+			case "Xeon Platinum 8175M":
+				b.ReportMetric(float64(len(r.Rows)), "mappings-8175M")
+			case "Xeon Platinum 8259CL":
+				b.ReportMetric(float64(len(r.Rows)), "mappings-8259CL")
+			}
+		}
+	}
+}
+
+// BenchmarkTable2_PatternStats regenerates Table II: location-pattern
+// frequency statistics per CPU model.
+func BenchmarkTable2_PatternStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			switch r.SKU {
+			case "Xeon Platinum 8124M":
+				b.ReportMetric(float64(r.Unique), "patterns-8124M")
+			case "Xeon Platinum 8259CL":
+				b.ReportMetric(float64(r.Unique), "patterns-8259CL")
+			}
+		}
+	}
+}
+
+// BenchmarkFig4_TopPatterns renders the three most frequent 8259CL maps.
+func BenchmarkFig4_TopPatterns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		grids, err := experiments.Fig4(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(grids)), "patterns-rendered")
+	}
+}
+
+// BenchmarkFig5_IceLakeMapping maps ten Ice Lake instances.
+func BenchmarkFig5_IceLakeMapping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Unique), "unique-patterns")
+		b.ReportMetric(res.RelativeScore, "relative-order")
+	}
+}
+
+// BenchmarkFig6_ThermalTrace runs the multi-hop trace experiment.
+func BenchmarkFig6_ThermalTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.HopBER[0], "BER-1hop")
+		if len(res.HopBER) > 1 {
+			b.ReportMetric(res.HopBER[len(res.HopBER)-1], "BER-farthest")
+		}
+	}
+}
+
+// BenchmarkFig7_HopCounts sweeps BER vs rate for horizontal and vertical
+// pairs at 1-3 hops.
+func BenchmarkFig7_HopCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(b)
+		vert, err := experiments.Fig7(cfg, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		horz, err := experiments.Fig7(cfg, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range vert {
+			if c.Hops == 1 && c.BitRate == 4 {
+				b.ReportMetric(c.BER, "BER-vert-1hop-4bps")
+			}
+		}
+		for _, c := range horz {
+			if c.Hops == 1 && c.BitRate == 4 {
+				b.ReportMetric(c.BER, "BER-horz-1hop-4bps")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8a_MultiSender sweeps sender counts.
+func BenchmarkFig8a_MultiSender(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Fig8a(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cells {
+			if c.Senders == 4 && c.BitRate == 4 {
+				b.ReportMetric(c.BER, "BER-x4-4bps")
+			}
+			if c.Senders == 1 && c.BitRate == 4 {
+				b.ReportMetric(c.BER, "BER-x1-4bps")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8b_MultiChannel sweeps parallel-channel configurations and
+// reports the paper's headline: maximum aggregate throughput under 1% BER.
+func BenchmarkFig8b_MultiChannel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, best, err := experiments.Fig8b(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(best, "bps-under-1pct")
+	}
+}
+
+// BenchmarkVerify_AllPairs reruns the Sec. V-D adjacency verification.
+func BenchmarkVerify_AllPairs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Verify(benchConfig(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.AdjacentBest)/float64(res.Receivers), "adjacent-fraction")
+	}
+}
+
+// BenchmarkBaselines compares the pipeline against lstopo guessing,
+// pattern generalization and latency trilateration.
+func BenchmarkBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig(b)
+		cfg.Instances = 6
+		res, err := experiments.Accuracy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.SKU == "Xeon Platinum 8259CL" {
+				b.ReportMetric(r.MeanTileAccuracy, "pipeline-accuracy")
+				b.ReportMetric(r.PatternGenAccuracy, "patterngen-accuracy")
+				b.ReportMetric(r.LstopoAccuracy, "lstopo-accuracy")
+			}
+		}
+	}
+}
+
+// --- micro-benchmarks of the load-bearing components ---
+
+// BenchmarkPipeline_FullMap is one complete probe + ILP run on an 8259CL.
+func BenchmarkPipeline_FullMap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := machine.Generate(machine.SKU8259CL, i%8, machine.Config{Seed: int64(i)})
+		if _, err := coremap.MapMachine(m, coremap.SkylakeXCCDie, coremap.Options{
+			Probe: probe.Options{Seed: int64(i)},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeline_Anchored is the full pipeline with the memory-anchored
+// extension (absolute maps).
+func BenchmarkPipeline_Anchored(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := machine.Generate(machine.SKU8259CL, i%8, machine.Config{Seed: int64(i)})
+		if _, err := coremap.MapMachine(m, coremap.SkylakeXCCDie, coremap.Options{
+			Probe:         probe.Options{Seed: int64(i)},
+			MemoryAnchors: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProbe_Step1 measures the OS↔CHA co-location discovery alone.
+func BenchmarkProbe_Step1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: int64(i)})
+		p, err := probe.New(m, probe.Options{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.MapCoresToCHAs(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkILP_Reconstruct solves the placement ILP from pre-measured
+// observations.
+func BenchmarkILP_Reconstruct(b *testing.B) {
+	m := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 5})
+	p, err := probe.New(m, probe.Options{Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	meas, err := p.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := locate.Reconstruct(locate.Input{
+			NumCHA:       meas.NumCHA,
+			Rows:         m.SKU.Rows,
+			Cols:         m.SKU.Cols,
+			Observations: meas.Observations,
+		}, locate.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkILP_Solver exercises the branch-and-bound core on a packing
+// model.
+func BenchmarkILP_Solver(b *testing.B) {
+	build := func() (*ilp.Model, []ilp.Var) {
+		m := ilp.NewModel()
+		vars := make([]ilp.Var, 12)
+		for i := range vars {
+			vars[i] = m.NewVar("x", 0, 20)
+		}
+		for i := 0; i+1 < len(vars); i++ {
+			m.AddGE("ord", []ilp.Term{ilp.T(1, vars[i+1]), ilp.T(-1, vars[i])}, 1)
+		}
+		obj := make([]ilp.Term, len(vars))
+		for i := range vars {
+			obj[i] = ilp.T(1, vars[i])
+		}
+		m.SetObjective(obj)
+		return m, vars
+	}
+	for i := 0; i < b.N; i++ {
+		m, _ := build()
+		if _, err := ilp.Solve(m, ilp.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMesh_Route measures dimension-order route construction.
+func BenchmarkMesh_Route(b *testing.B) {
+	g := mesh.NewGrid(8, 6)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := mesh.Coord{Row: rng.Intn(8), Col: rng.Intn(6)}
+		dst := mesh.Coord{Row: rng.Intn(8), Col: rng.Intn(6)}
+		g.Inject(src, dst, 1)
+	}
+}
+
+// BenchmarkThermal_Step measures one Euler step of the thermal network.
+func BenchmarkThermal_Step(b *testing.B) {
+	m := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 1})
+	cfg := thermal.DefaultConfig()
+	sim := thermal.New(cfg, m.SKU.Rows, m.SKU.Cols, m.PhysCoreTiles())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Advance(cfg.MaxStep)
+	}
+}
+
+// BenchmarkCovert_Decode measures the offline signature-synchronized
+// decoder.
+func BenchmarkCovert_Decode(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	trace := make([]float64, 12000)
+	for i := range trace {
+		trace[i] = 34 + rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		covert.DecodeSearch(trace, 100, 2, covert.DefaultPreamble, 64, 6)
+	}
+}

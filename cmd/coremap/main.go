@@ -1,0 +1,164 @@
+// Command coremap maps the physical core locations of a (simulated) Xeon
+// CPU instance and prints the recovered tile grid.
+//
+// Usage:
+//
+//	coremap [-sku name] [-pattern n] [-seed n] [-paper-faithful] [-check] [-json]
+//
+// The tool generates one simulated CPU instance (internal/machine stands in
+// for bare-metal hardware; see DESIGN.md), runs the three-step locating
+// pipeline through the hostif.Host abstraction, and prints the OS-core-ID ↔
+// CHA-ID mapping plus the reconstructed map. With -check it also scores the
+// reconstruction against the simulator's ground truth.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"coremap"
+	"coremap/internal/locate"
+	"coremap/internal/machine"
+	"coremap/internal/mesh"
+	"coremap/internal/probe"
+)
+
+func main() {
+	var (
+		skuName       = flag.String("sku", "8259CL", "CPU model: 8124M, 8175M, 8259CL or 6354")
+		pattern       = flag.Int("pattern", 0, "fusing-pattern index of the instance")
+		seed          = flag.Int64("seed", 1, "instance seed (PPIN, slice hash, noise)")
+		paperFaithful = flag.Bool("paper-faithful", false, "use only the paper's core-pair experiments")
+		anchors       = flag.Bool("anchors", false, "add memory-anchored (IMC→core) experiments for an absolute map")
+		check         = flag.Bool("check", false, "score the map against simulator ground truth")
+		asJSON        = flag.Bool("json", false, "emit the result as JSON")
+		registryPath  = flag.String("registry", "", "JSON registry file: reuse a cached map for this PPIN, store new maps")
+	)
+	flag.Parse()
+
+	sku, err := findSKU(*skuName)
+	if err != nil {
+		fatal(err)
+	}
+	m := machine.Generate(sku, *pattern, machine.Config{Seed: *seed})
+	registry := loadRegistry(*registryPath)
+
+	var res *coremap.Result
+	if cached, ok := cachedResult(registry, m); ok {
+		fmt.Fprintln(os.Stderr, "coremap: using map cached in registry for this PPIN")
+		res = cached
+	} else {
+		var err error
+		res, err = coremap.MapMachine(m, coremap.DieInfo{Rows: sku.Rows, Cols: sku.Cols, IMC: sku.IMC}, coremap.Options{
+			Probe:         probe.Options{Seed: *seed},
+			PaperFaithful: *paperFaithful,
+			MemoryAnchors: *anchors,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if registry != nil {
+			registry.Store(res)
+			saveRegistry(*registryPath, registry)
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("%s instance (PPIN %#016x)\n\n", sku.Name, res.PPIN)
+	fmt.Printf("OS core ID → CHA ID: %v\n\n", res.OSToCHA)
+	fmt.Printf("Recovered core map (OS/CHA; dots are tiles with no active CHA):\n%s\n", res.Render())
+	fmt.Printf("ILP: optimal=%v, %d search nodes\n", res.Optimal, res.SolverNodes)
+
+	if *check {
+		tr := make([]mesh.Coord, m.NumCHAs())
+		for cha := range tr {
+			tr[cha] = m.TrueCHACoord(cha)
+		}
+		if res.Anchored {
+			exact, correct := locate.ScoreAbsolute(res.Pos, tr)
+			fmt.Printf("ground truth (absolute): exact=%v, %d/%d tiles\n", exact, correct, len(tr))
+		} else {
+			exact, correct := locate.Score(res.Pos, tr)
+			rel := locate.RelativeScore(res.Pos, tr)
+			fmt.Printf("ground truth: exact=%v, %d/%d tiles, relative order %.3f\n",
+				exact, correct, len(tr), rel)
+		}
+	}
+}
+
+func findSKU(name string) (*machine.SKU, error) {
+	aliases := map[string]*machine.SKU{
+		"8124M":  machine.SKU8124M,
+		"8175M":  machine.SKU8175M,
+		"8259CL": machine.SKU8259CL,
+		"6354":   machine.SKU6354,
+	}
+	if sku, ok := aliases[name]; ok {
+		return sku, nil
+	}
+	return nil, fmt.Errorf("unknown SKU %q (use 8124M, 8175M, 8259CL or 6354)", name)
+}
+
+// loadRegistry opens the registry file; a missing file starts empty and a
+// missing path disables caching.
+func loadRegistry(path string) *coremap.Registry {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return coremap.NewRegistry()
+		}
+		fatal(err)
+	}
+	defer f.Close()
+	reg, err := coremap.LoadRegistry(f)
+	if err != nil {
+		fatal(err)
+	}
+	return reg
+}
+
+// cachedResult looks the machine's PPIN up in the registry, reading the
+// PPIN the same way the probe would.
+func cachedResult(reg *coremap.Registry, m *machine.Machine) (*coremap.Result, bool) {
+	if reg == nil {
+		return nil, false
+	}
+	p, err := probe.New(m, probe.Options{})
+	if err != nil {
+		return nil, false
+	}
+	ppin, err := p.ReadPPIN()
+	if err != nil {
+		return nil, false
+	}
+	return reg.Lookup(ppin)
+}
+
+func saveRegistry(path string, reg *coremap.Registry) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := reg.Save(f); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coremap:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"coremap/internal/experiments"
+)
+
+// csvWriters produce plot-ready CSV files for the figure experiments when
+// -csv <dir> is given.
+
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func writeFig6CSV(dir string, res *experiments.Fig6Result) error {
+	header := []string{"t_seconds", "sender_c"}
+	for h := range res.HopTraces {
+		header = append(header, fmt.Sprintf("hop%d_c", h+1))
+	}
+	var rows [][]string
+	for k := range res.SenderTrace {
+		row := []string{ftoa(float64(k) / 100), ftoa(res.SenderTrace[k])}
+		for _, tr := range res.HopTraces {
+			if k < len(tr) {
+				row = append(row, ftoa(tr[k]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(dir, "fig6_trace.csv", header, rows)
+}
+
+func writeFig7CSV(dir, name string, cells []experiments.Fig7Cell) error {
+	rows := make([][]string, 0, len(cells))
+	for _, c := range cells {
+		rows = append(rows, []string{strconv.Itoa(c.Hops), ftoa(c.BitRate), ftoa(c.BER)})
+	}
+	return writeCSV(dir, name, []string{"hops", "bps", "ber"}, rows)
+}
+
+func writeFig8aCSV(dir string, cells []experiments.Fig8aCell) error {
+	rows := make([][]string, 0, len(cells))
+	for _, c := range cells {
+		rows = append(rows, []string{strconv.Itoa(c.Senders), ftoa(c.BitRate), ftoa(c.BER)})
+	}
+	return writeCSV(dir, "fig8a_multisender.csv", []string{"senders", "bps", "ber"}, rows)
+}
+
+func writeFig8bCSV(dir string, cells []experiments.Fig8bCell) error {
+	rows := make([][]string, 0, len(cells))
+	for _, c := range cells {
+		rows = append(rows, []string{
+			strconv.Itoa(c.Channels), ftoa(c.PerRate), ftoa(c.Aggregate), ftoa(c.BER),
+		})
+	}
+	return writeCSV(dir, "fig8b_multichannel.csv",
+		[]string{"channels", "bps_per_channel", "aggregate_bps", "ber"}, rows)
+}
+
+func writeDefenseCSV(dir string, cells []experiments.DefenseCell) error {
+	rows := make([][]string, 0, len(cells))
+	for _, c := range cells {
+		rows = append(rows, []string{
+			strconv.Itoa(c.ResolutionC), ftoa(c.UpdatePeriod), ftoa(c.BitRate), ftoa(c.BER),
+		})
+	}
+	return writeCSV(dir, "defense.csv",
+		[]string{"resolution_c", "update_period_s", "bps", "ber"}, rows)
+}
+
+func writeRobustnessCSV(dir string, cells []experiments.RobustnessCell) error {
+	rows := make([][]string, 0, len(cells))
+	for _, c := range cells {
+		rows = append(rows, []string{
+			strconv.FormatUint(c.NoiseFlits, 10),
+			ftoa(c.Step1Success), ftoa(c.MapExact), ftoa(c.MeanRelative),
+			strconv.Itoa(c.Failures),
+		})
+	}
+	return writeCSV(dir, "robustness.csv",
+		[]string{"noise_flits", "step1_success", "map_exact", "mean_relative", "failures"}, rows)
+}

@@ -1,0 +1,139 @@
+// Command experiments regenerates the paper's tables and figures against
+// the simulated Xeon population.
+//
+// Usage:
+//
+//	experiments -exp table1|table2|fig4|fig5|fig6|fig7a|fig7b|fig8a|fig8b|
+//	                 verify|accuracy|defense|ecc|modulation|ablations|all
+//	            [-n instances] [-bits payload] [-seed n] [-quick]
+//
+// Full-size runs use the paper's parameters (100 instances per model,
+// 10 Kbit payloads); -quick shrinks both for a fast pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coremap/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run")
+		n      = flag.Int("n", 0, "instances per model (0 = paper's 100)")
+		bits   = flag.Int("bits", 0, "covert payload bits (0 = paper's 10000)")
+		seed   = flag.Int64("seed", 1, "survey seed")
+		quick  = flag.Bool("quick", false, "shrink surveys and payloads")
+		csvDir = flag.String("csv", "", "directory to also write plot-ready CSV files into")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Out:         os.Stdout,
+		Instances:   *n,
+		PayloadBits: *bits,
+		Seed:        *seed,
+		Quick:       *quick,
+	}
+
+	// maybeCSV runs the writer only when -csv was given.
+	maybeCSV := func(write func(dir string) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		return write(*csvDir)
+	}
+
+	runners := map[string]func() error{
+		"table1": func() error { _, err := experiments.Table1(cfg); return err },
+		"table2": func() error { _, err := experiments.Table2(cfg); return err },
+		"fig4":   func() error { _, err := experiments.Fig4(cfg); return err },
+		"fig5":   func() error { _, err := experiments.Fig5(cfg); return err },
+		"fig6": func() error {
+			res, err := experiments.Fig6(cfg)
+			if err != nil {
+				return err
+			}
+			return maybeCSV(func(dir string) error { return writeFig6CSV(dir, res) })
+		},
+		"fig7a": func() error {
+			cells, err := experiments.Fig7(cfg, false)
+			if err != nil {
+				return err
+			}
+			return maybeCSV(func(dir string) error { return writeFig7CSV(dir, "fig7a_horizontal.csv", cells) })
+		},
+		"fig7b": func() error {
+			cells, err := experiments.Fig7(cfg, true)
+			if err != nil {
+				return err
+			}
+			return maybeCSV(func(dir string) error { return writeFig7CSV(dir, "fig7b_vertical.csv", cells) })
+		},
+		"fig8a": func() error {
+			cells, err := experiments.Fig8a(cfg)
+			if err != nil {
+				return err
+			}
+			return maybeCSV(func(dir string) error { return writeFig8aCSV(dir, cells) })
+		},
+		"fig8b": func() error {
+			cells, _, err := experiments.Fig8b(cfg)
+			if err != nil {
+				return err
+			}
+			return maybeCSV(func(dir string) error { return writeFig8bCSV(dir, cells) })
+		},
+		"verify": func() error { _, err := experiments.Verify(cfg); return err },
+		"accuracy": func() error {
+			_, err := experiments.Accuracy(cfg)
+			return err
+		},
+		"defense": func() error {
+			cells, err := experiments.Defense(cfg)
+			if err != nil {
+				return err
+			}
+			return maybeCSV(func(dir string) error { return writeDefenseCSV(dir, cells) })
+		},
+		"ecc":        func() error { _, err := experiments.ECC(cfg); return err },
+		"modulation": func() error { _, err := experiments.Modulation(cfg); return err },
+		"ablations":  func() error { _, err := experiments.Ablations(cfg); return err },
+		"robustness": func() error {
+			cells, err := experiments.Robustness(cfg)
+			if err != nil {
+				return err
+			}
+			return maybeCSV(func(dir string) error { return writeRobustnessCSV(dir, cells) })
+		},
+	}
+	order := []string{
+		"table1", "table2", "fig4", "fig5", "fig6", "fig7a", "fig7b",
+		"fig8a", "fig8b", "verify", "accuracy",
+		"defense", "ecc", "modulation", "ablations", "robustness",
+	}
+
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Printf("\n===== %s =====\n", name)
+			if err := runners[name](); err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	if err := run(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,196 @@
+// Package coremap physically locates the processor cores of mesh-based
+// Intel Xeon CPUs on their die tile grid, reproducing "Know Your Neighbor:
+// Physically Locating Xeon Processor Cores on the Core Tile Grid"
+// (DATE 2022).
+//
+// The pipeline measures a machine through the hostif.Host abstraction —
+// uncore-PMON MSR accesses plus pinned cache-line traffic — in three
+// steps: discover the OS-core-ID ↔ CHA-ID mapping from targeted eviction
+// traffic, observe which CHAs see mesh-ring ingress for every core pair,
+// and reconstruct the only tile placement consistent with those partial
+// observations by solving an integer linear program. The recovered map is
+// stable per chip instance and can be cached under the CPU's PPIN.
+//
+//	res, err := coremap.MapMachine(host, coremap.SkylakeXCCDie, coremap.Options{})
+//	fmt.Println(res.Render())
+//
+// internal/machine provides a full simulated Xeon (mesh, caches, MSRs,
+// fusing diversity) so the pipeline runs without hardware; on real silicon
+// only a /dev/cpu/*/msr-backed Host implementation would change.
+package coremap
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"coremap/internal/covert"
+	"coremap/internal/hostif"
+	"coremap/internal/locate"
+	"coremap/internal/mesh"
+	"coremap/internal/probe"
+	"coremap/internal/stats"
+)
+
+// DieInfo is the (publicly documented) tile-grid geometry of a CPU family.
+type DieInfo struct {
+	Rows, Cols int
+	// IMC lists the memory controllers' die positions, used by the
+	// memory-anchored locating extension (die layouts are public from
+	// vendor disclosures and die shots).
+	IMC []mesh.Coord
+}
+
+// Die geometries of the supported families.
+var (
+	// SkylakeXCCDie is the 28-tile Skylake/Cascade Lake XCC die.
+	SkylakeXCCDie = DieInfo{Rows: 5, Cols: 6, IMC: []mesh.Coord{{Row: 1, Col: 0}, {Row: 1, Col: 5}}}
+	// IceLakeXCCDie is the 40-core-tile Ice Lake XCC die.
+	IceLakeXCCDie = DieInfo{Rows: 8, Cols: 6, IMC: []mesh.Coord{
+		{Row: 2, Col: 0}, {Row: 5, Col: 0}, {Row: 2, Col: 5}, {Row: 5, Col: 5},
+	}}
+)
+
+// Options tunes the pipeline.
+type Options struct {
+	// Probe tunes the measurement stage.
+	Probe probe.Options
+	// Locate tunes the ILP reconstruction.
+	Locate locate.Options
+	// PaperFaithful disables the slice-source measurement extension so
+	// only the paper's core-pair experiments run.
+	PaperFaithful bool
+	// MemoryAnchors adds IMC→core flush+load experiments whose source
+	// positions are publicly known, pinning the map in absolute die
+	// coordinates (resolves the mirror and any vacant-row compaction).
+	// Extension beyond the paper; requires Die.IMC.
+	MemoryAnchors bool
+}
+
+// Result is a recovered physical core map.
+type Result struct {
+	// PPIN identifies the chip instance the map belongs to.
+	PPIN uint64 `json:"ppin"`
+	// Die is the grid the map lives on.
+	Die DieInfo `json:"die"`
+	// OSToCHA maps OS CPU IDs to CHA IDs (step 1).
+	OSToCHA []int `json:"os_to_cha"`
+	// Pos maps CHA IDs to tile coordinates (step 3). Positions are
+	// exact up to a horizontal mirror and, when entire rows or columns
+	// are fused off, a translation (paper Sec. II-D) — unless Anchored.
+	Pos []mesh.Coord `json:"pos"`
+	// Anchored reports that memory-anchored observations pinned the map
+	// in absolute die coordinates.
+	Anchored bool `json:"anchored"`
+	// Optimal reports whether the ILP proved optimality.
+	Optimal bool `json:"optimal"`
+	// SolverNodes is the branch-and-bound effort spent.
+	SolverNodes int `json:"solver_nodes"`
+}
+
+// MapMachine runs the full locating pipeline on a host.
+func MapMachine(h hostif.Host, die DieInfo, opts Options) (*Result, error) {
+	p, err := probe.New(h, opts.Probe)
+	if err != nil {
+		return nil, fmt.Errorf("coremap: %w", err)
+	}
+	ro := probe.RunOptions{SliceSources: !opts.PaperFaithful}
+	if opts.MemoryAnchors {
+		ro.NumIMCs = len(die.IMC)
+	}
+	meas, err := p.RunWith(ro)
+	if err != nil {
+		return nil, fmt.Errorf("coremap: measuring: %w", err)
+	}
+	mp, err := locate.Reconstruct(locate.Input{
+		NumCHA:       meas.NumCHA,
+		Rows:         die.Rows,
+		Cols:         die.Cols,
+		Observations: meas.Observations,
+		IMCPositions: die.IMC,
+	}, opts.Locate)
+	if err != nil {
+		return nil, fmt.Errorf("coremap: reconstructing: %w", err)
+	}
+	return &Result{
+		PPIN:        meas.PPIN,
+		Die:         die,
+		OSToCHA:     meas.OSToCHA,
+		Pos:         mp.Pos,
+		Anchored:    mp.Anchored,
+		Optimal:     mp.Optimal,
+		SolverNodes: mp.Nodes,
+	}, nil
+}
+
+// Render draws the recovered map as a Fig. 4-style grid with "os/cha"
+// labels ("-/cha" for LLC-only tiles).
+func (r *Result) Render() string {
+	return stats.RenderMap(r.Die.Rows, r.Die.Cols, r.Pos, r.OSToCHA)
+}
+
+// PatternKey returns the canonical pattern identity of the map, the unit
+// the paper's Table II statistics count.
+func (r *Result) PatternKey() string { return stats.PatternKey(r.Pos, r.OSToCHA) }
+
+// Planner returns a covert-channel placement planner over the map.
+func (r *Result) Planner() *covert.Planner { return covert.NewPlanner(r.Pos, r.OSToCHA) }
+
+// CPUCoord returns the mapped tile coordinate of an OS CPU.
+func (r *Result) CPUCoord(cpu int) (mesh.Coord, error) {
+	if cpu < 0 || cpu >= len(r.OSToCHA) {
+		return mesh.Coord{}, fmt.Errorf("coremap: cpu %d out of range", cpu)
+	}
+	cha := r.OSToCHA[cpu]
+	if cha < 0 || cha >= len(r.Pos) {
+		return mesh.Coord{}, fmt.Errorf("coremap: cpu %d has no mapped CHA", cpu)
+	}
+	return r.Pos[cha], nil
+}
+
+// Registry caches recovered maps by PPIN. The mapping requires root (MSR
+// access) once per chip; afterwards any user-level process that knows the
+// PPIN can reuse the map — which is why the paper treats the map as a
+// lasting capability.
+type Registry struct {
+	maps map[uint64]*Result
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{maps: make(map[uint64]*Result)} }
+
+// Store records a result, replacing any previous map for the same PPIN.
+func (g *Registry) Store(r *Result) { g.maps[r.PPIN] = r }
+
+// Lookup returns the cached map for a chip.
+func (g *Registry) Lookup(ppin uint64) (*Result, bool) {
+	r, ok := g.maps[ppin]
+	return r, ok
+}
+
+// Len returns the number of cached maps.
+func (g *Registry) Len() int { return len(g.maps) }
+
+// Save serializes the registry as JSON.
+func (g *Registry) Save(w io.Writer) error {
+	all := make([]*Result, 0, len(g.maps))
+	for _, r := range g.maps {
+		all = append(all, r)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(all)
+}
+
+// LoadRegistry reads a registry saved with Save.
+func LoadRegistry(rd io.Reader) (*Registry, error) {
+	var all []*Result
+	if err := json.NewDecoder(rd).Decode(&all); err != nil {
+		return nil, fmt.Errorf("coremap: loading registry: %w", err)
+	}
+	g := NewRegistry()
+	for _, r := range all {
+		g.Store(r)
+	}
+	return g, nil
+}

@@ -1,0 +1,54 @@
+package coremap_test
+
+// Godoc examples for the public facade. They run as tests, so the printed
+// output is verified.
+
+import (
+	"fmt"
+	"log"
+
+	"coremap"
+	"coremap/internal/machine"
+	"coremap/internal/probe"
+)
+
+// ExampleMapMachine maps a simulated Cascade Lake instance and reads one
+// core's physical position off the result.
+func ExampleMapMachine() {
+	host := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 42})
+
+	res, err := coremap.MapMachine(host, coremap.SkylakeXCCDie, coremap.Options{
+		Probe: probe.Options{Seed: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("cpus:", len(res.OSToCHA))
+	fmt.Println("tiles placed:", len(res.Pos))
+	coord, _ := res.CPUCoord(0)
+	fmt.Println("cpu 0 tile:", coord)
+	// Output:
+	// cpus: 24
+	// tiles placed: 26
+	// cpu 0 tile: (2,0)
+}
+
+// ExampleRegistry caches a recovered map under the chip's PPIN, the way a
+// user-level attacker reuses a map produced once with root access.
+func ExampleRegistry() {
+	host := machine.Generate(machine.SKU8124M, 0, machine.Config{Seed: 7})
+	res, err := coremap.MapMachine(host, coremap.SkylakeXCCDie, coremap.Options{
+		Probe: probe.Options{Seed: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reg := coremap.NewRegistry()
+	reg.Store(res)
+	cached, ok := reg.Lookup(res.PPIN)
+	fmt.Println("cached:", ok, "cpus:", len(cached.OSToCHA))
+	// Output:
+	// cached: true cpus: 18
+}

@@ -1,0 +1,46 @@
+// Cloudsurvey reproduces the paper's survey methodology at small scale:
+// rent many instances of the same CPU model, map each one, and count how
+// many distinct physical core layouts the model exhibits (Table I/II).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coremap"
+	"coremap/internal/machine"
+	"coremap/internal/probe"
+	"coremap/internal/stats"
+)
+
+func main() {
+	const instances = 12
+	sku := machine.SKU8259CL
+	pop := machine.NewPopulation(sku, 7, machine.Config{})
+
+	mappings := stats.NewCounter()
+	patterns := stats.NewCounter()
+	registry := coremap.NewRegistry()
+
+	for i := 0; i < instances; i++ {
+		host, _ := pop.Next()
+		res, err := coremap.MapMachine(host, coremap.SkylakeXCCDie, coremap.Options{
+			Probe: probe.Options{Seed: int64(i)},
+		})
+		if err != nil {
+			log.Fatalf("instance %d: %v", i, err)
+		}
+		mappings.Add(stats.MappingKey(res.OSToCHA))
+		patterns.Add(res.PatternKey())
+		registry.Store(res)
+	}
+
+	fmt.Printf("surveyed %d %s instances:\n", instances, sku.Name)
+	fmt.Printf("  distinct OS↔CHA mappings: %d (Table I)\n", mappings.Unique())
+	fmt.Printf("  distinct physical layouts: %d (Table II)\n", patterns.Unique())
+	fmt.Printf("  maps cached by PPIN: %d\n\n", registry.Len())
+	for i, c := range mappings.Top(3) {
+		fmt.Printf("  mapping #%d seen on %d instances\n", i+1, c.N)
+		_ = c
+	}
+}

@@ -1,0 +1,38 @@
+// Quickstart: map one simulated Xeon Platinum 8259CL instance and print
+// its physical core layout.
+//
+// The coremap pipeline only needs a hostif.Host — here the simulated
+// machine; on real hardware a /dev/cpu/*/msr-backed implementation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coremap"
+	"coremap/internal/machine"
+)
+
+func main() {
+	// A cloud instance as the attacker would rent it: unknown fusing
+	// pattern, unknown ID mappings.
+	host := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 42})
+
+	res, err := coremap.MapMachine(host, coremap.SkylakeXCCDie, coremap.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("chip PPIN: %#016x\n\n", res.PPIN)
+	fmt.Printf("step 1 — OS core ID → CHA ID: %v\n\n", res.OSToCHA)
+	fmt.Printf("step 2+3 — recovered core tile grid (OS/CHA):\n%s\n", res.Render())
+
+	// The map is permanent for this chip: cache it under the PPIN so
+	// user-level code can reuse it without re-running the probe.
+	reg := coremap.NewRegistry()
+	reg.Store(res)
+	if cached, ok := reg.Lookup(res.PPIN); ok {
+		where, _ := cached.CPUCoord(0)
+		fmt.Printf("cpu 0 sits at tile %v\n", where)
+	}
+}

@@ -1,0 +1,3 @@
+module coremap
+
+go 1.22

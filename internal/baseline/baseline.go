@@ -1,0 +1,169 @@
+// Package baseline implements the comparison approaches the paper argues
+// against, so the evaluation can quantify what the mesh-measurement + ILP
+// method adds:
+//
+//   - lstopo-style neighbour guessing (Bartolini et al.): assume cores
+//     with consecutive OS IDs are physically adjacent;
+//   - pattern generalization (McCalpin): assume every instance of a model
+//     uses the model's most common location pattern;
+//   - memory-latency trilateration (Horro et al.): estimate each core's
+//     position from its distance to the two integrated memory
+//     controllers — under-determined on dies with only two IMCs.
+package baseline
+
+import (
+	"coremap/internal/cache"
+	"coremap/internal/machine"
+	"coremap/internal/mesh"
+)
+
+// cacheIMCOf aliases the public channel-interleave rule.
+func cacheIMCOf(addr uint64, n int) int { return cache.IMCOf(addr, n) }
+
+// adjacent reports physical 4-neighbourhood.
+func adjacent(a, b mesh.Coord) bool { return mesh.Distance(a, b) == 1 }
+
+// LstopoNeighborAccuracy evaluates the lstopo assumption on a machine:
+// the fraction of consecutive-OS-ID core pairs that really are physically
+// adjacent tiles. Large mesh parts make this fraction small, which is the
+// paper's motivation for physical mapping.
+func LstopoNeighborAccuracy(m *machine.Machine) float64 {
+	n := m.NumCPUs()
+	if n < 2 {
+		return 0
+	}
+	hits := 0
+	for cpu := 0; cpu+1 < n; cpu++ {
+		if adjacent(m.TrueCoreCoord(cpu), m.TrueCoreCoord(cpu+1)) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n-1)
+}
+
+// PatternGeneralization is the McCalpin-style baseline: it memorizes one
+// reference instance's OS-core-ID → position table for a CPU model and
+// applies it verbatim to other instances of the same model.
+type PatternGeneralization struct {
+	ref map[int]mesh.Coord
+}
+
+// NewPatternGeneralization learns the reference table from one instance
+// (in a survey, the most common pattern).
+func NewPatternGeneralization(ref *machine.Machine) *PatternGeneralization {
+	table := make(map[int]mesh.Coord, ref.NumCPUs())
+	for cpu := 0; cpu < ref.NumCPUs(); cpu++ {
+		table[cpu] = ref.TrueCoreCoord(cpu)
+	}
+	return &PatternGeneralization{ref: table}
+}
+
+// Accuracy returns the fraction of target's cores whose true position
+// matches the generalized table.
+func (pg *PatternGeneralization) Accuracy(target *machine.Machine) float64 {
+	if target.NumCPUs() == 0 {
+		return 0
+	}
+	hits := 0
+	for cpu := 0; cpu < target.NumCPUs(); cpu++ {
+		if pg.ref[cpu] == target.TrueCoreCoord(cpu) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(target.NumCPUs())
+}
+
+// LatencyLocator is the Horro-style baseline: it measures, per core, the
+// flush+load (DRAM) latency against each integrated memory controller,
+// converts the latency gradient into estimated mesh hop distances, and
+// returns every grid position consistent with those distances. With only
+// two IMC anchors and ±1-hop latency resolution, the answer is usually a
+// set, not a point.
+type LatencyLocator struct {
+	m *machine.Machine
+}
+
+// NewLatencyLocator builds the locator for a machine.
+func NewLatencyLocator(m *machine.Machine) *LatencyLocator {
+	return &LatencyLocator{m: m}
+}
+
+// samplesPerIMC is how many flush+load probes are averaged per estimate.
+const samplesPerIMC = 8
+
+// measure estimates the core's hop distances to the IMCs from measured
+// DRAM access latencies: distance ≈ (latency − base) / per-hop cost, both
+// calibrated constants. Jitter leaves roughly ±1 hop of resolution.
+func (ll *LatencyLocator) measure(cpu int) []int {
+	numIMC := len(ll.m.SKU.IMC)
+	out := make([]int, numIMC)
+	for i := 0; i < numIMC; i++ {
+		var total uint64
+		n := 0
+		// Fresh lines interleave-mapped to controller i.
+		base := uint64(0x400000000) + uint64(cpu)*1<<20
+		for k := 0; n < samplesPerIMC; k++ {
+			addr := base + uint64(k)*64
+			if cacheIMCOf(addr, numIMC) != i {
+				continue
+			}
+			// Flush first so the load always reaches DRAM.
+			if err := ll.m.Flush(cpu, addr); err != nil {
+				return out
+			}
+			cycles, err := ll.m.TimedLoad(cpu, addr)
+			if err != nil {
+				return out
+			}
+			total += cycles
+			n++
+		}
+		mean := float64(total) / float64(n)
+		est := (mean - machine.LatMemory) / machine.LatPerHop
+		if est < 0 {
+			est = 0
+		}
+		out[i] = int(est + 0.5)
+	}
+	return out
+}
+
+// distanceTolerance is the hop resolution of latency estimation.
+const distanceTolerance = 1
+
+// Candidates returns every tile position consistent with the measured
+// IMC distances of the given core, within the latency method's hop
+// resolution.
+func (ll *LatencyLocator) Candidates(cpu int) []mesh.Coord {
+	d := ll.measure(cpu)
+	var out []mesh.Coord
+	for r := 0; r < ll.m.SKU.Rows; r++ {
+	cell:
+		for c := 0; c < ll.m.SKU.Cols; c++ {
+			pos := mesh.Coord{Row: r, Col: c}
+			for i, imc := range ll.m.SKU.IMC {
+				diff := mesh.Distance(pos, imc) - d[i]
+				if diff < -distanceTolerance || diff > distanceTolerance {
+					continue cell
+				}
+			}
+			out = append(out, pos)
+		}
+	}
+	return out
+}
+
+// MeanAmbiguity returns the average candidate-set size across all cores —
+// 1.0 would mean latency alone pins every core; larger values quantify
+// how under-determined the two-IMC trilateration is.
+func (ll *LatencyLocator) MeanAmbiguity() float64 {
+	n := ll.m.NumCPUs()
+	if n == 0 {
+		return 0
+	}
+	total := 0
+	for cpu := 0; cpu < n; cpu++ {
+		total += len(ll.Candidates(cpu))
+	}
+	return float64(total) / float64(n)
+}

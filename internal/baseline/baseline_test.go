@@ -1,0 +1,65 @@
+package baseline
+
+import (
+	"testing"
+
+	"coremap/internal/machine"
+)
+
+func TestLstopoAccuracyLowOnMeshParts(t *testing.T) {
+	m := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 1})
+	acc := LstopoNeighborAccuracy(m)
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v out of range", acc)
+	}
+	// The paper's motivation: consecutive OS IDs are rarely neighbours
+	// on a large mesh part.
+	if acc > 0.5 {
+		t.Errorf("lstopo heuristic accuracy %.2f suspiciously high; the enumeration should scatter IDs", acc)
+	}
+}
+
+func TestPatternGeneralizationSelf(t *testing.T) {
+	ref := machine.Generate(machine.SKU8175M, 0, machine.Config{Seed: 2})
+	gen := NewPatternGeneralization(ref)
+	// Applying a pattern to an identical instance is perfect...
+	same := machine.Generate(machine.SKU8175M, 0, machine.Config{Seed: 99})
+	if acc := gen.Accuracy(same); acc != 1.0 {
+		t.Errorf("self accuracy = %v, want 1.0", acc)
+	}
+	// ...but degrades on a different fusing pattern (McCalpin's limit).
+	other := machine.Generate(machine.SKU8175M, 3, machine.Config{Seed: 3})
+	if acc := gen.Accuracy(other); acc >= 1.0 {
+		t.Errorf("cross-pattern accuracy = %v, expected < 1", acc)
+	}
+}
+
+func TestLatencyLocatorCandidatesContainTruth(t *testing.T) {
+	m := machine.Generate(machine.SKU8124M, 0, machine.Config{Seed: 4})
+	ll := NewLatencyLocator(m)
+	for cpu := 0; cpu < m.NumCPUs(); cpu++ {
+		cands := ll.Candidates(cpu)
+		if len(cands) == 0 {
+			t.Fatalf("cpu %d: no candidates", cpu)
+		}
+		truth := m.TrueCoreCoord(cpu)
+		found := false
+		for _, c := range cands {
+			if c == truth {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("cpu %d: true position %v not among %d candidates", cpu, truth, len(cands))
+		}
+	}
+}
+
+func TestLatencyLocatorUnderDetermined(t *testing.T) {
+	// The paper's point about Horro et al.: with two IMCs and realistic
+	// latency resolution, positions stay ambiguous on average.
+	m := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 5})
+	if amb := NewLatencyLocator(m).MeanAmbiguity(); amb < 2 {
+		t.Errorf("mean ambiguity %.2f; two-IMC trilateration should leave multiple candidates", amb)
+	}
+}

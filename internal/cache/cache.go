@@ -1,0 +1,384 @@
+// Package cache models the cache hierarchy of a mesh-based Xeon closely
+// enough for the core-locating technique to work against it:
+//
+//   - each core has a private, set-associative L2;
+//   - the last-level cache is distributed into per-tile slices, and the
+//     slice a physical line address maps to is selected by an undisclosed
+//     hash (per-instance), exactly the property that forces the probe to
+//     discover line homes empirically via LLC-lookup counters;
+//   - coherence data movements (fills, forwards, write-backs) inject
+//     packets into the mesh and charge LLC-lookup events at the home CHA.
+//
+// The protocol is a deliberately small MSI-with-forwarding model. The only
+// flows that matter to the paper are: an L2 miss charges a lookup at the
+// line's home slice; cache-line data rides the BL mesh rings between the
+// tiles involved; and a core that re-writes a line it already shares
+// upgrades in place without data traffic — which is what makes the paper's
+// source-write/sink-read loop produce sustained source→sink data movement.
+package cache
+
+import (
+	"fmt"
+
+	"coremap/internal/mesh"
+)
+
+// LineSize is the cache-line size in bytes.
+const LineSize = 64
+
+// Addr is a physical byte address. All cache operations act on the
+// containing naturally-aligned 64-byte line.
+type Addr = uint64
+
+// lineOf returns the line-aligned address containing a.
+func lineOf(a Addr) Addr { return a &^ (LineSize - 1) }
+
+// SliceHash maps a line address to an LLC slice index. Real hardware uses
+// an undisclosed hash of the physical address; the probe must never invert
+// it analytically, only observe its effect through PMON counters.
+type SliceHash func(line Addr) int
+
+// FNVHash returns a per-instance secret slice hash over n slices, seeded so
+// that different CPU instances use different mappings.
+func FNVHash(seed uint64, n int) SliceHash {
+	if n <= 0 {
+		panic("cache: slice count must be positive")
+	}
+	return func(line Addr) int {
+		const (
+			offset = 14695981039346656037
+			prime  = 1099511628211
+		)
+		h := uint64(offset) ^ seed
+		x := lineOf(line)
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xFF
+			h *= prime
+			x >>= 8
+		}
+		return int(h % uint64(n))
+	}
+}
+
+// Config sizes the hierarchy. The defaults are scaled down from real
+// hardware (1024×16 L2) to keep simulated probing cheap; the locating
+// method only depends on L2Ways being the eviction-set threshold.
+type Config struct {
+	L2Sets int
+	L2Ways int
+}
+
+// DefaultConfig is the configuration used by the simulated SKUs.
+var DefaultConfig = Config{L2Sets: 64, L2Ways: 8}
+
+// IMCOf returns which integrated memory controller serves a line under
+// the documented channel interleaving (consecutive lines alternate across
+// controllers). Unlike the LLC slice hash this rule is public, which is
+// what makes memory-anchored locating possible.
+func IMCOf(line Addr, numIMC int) int {
+	if numIMC <= 0 {
+		return 0
+	}
+	return int(lineOf(line) / LineSize % uint64(numIMC))
+}
+
+// lineState tracks the global coherence state of one line.
+type lineState struct {
+	sharers map[int]bool // cores with a valid L2 copy
+	owner   int          // core holding the line modified, or -1
+	// cached reports whether the LLC currently holds the line; a miss
+	// on an uncached line fetches from memory through its IMC.
+	cached bool
+}
+
+// l2set is one associative set, most recently used last.
+type l2set struct {
+	lines []Addr
+}
+
+// Hierarchy is the cache system of one simulated socket.
+type Hierarchy struct {
+	cfg       Config
+	grid      *mesh.Grid
+	coreTile  []mesh.Coord // physical core index → tile
+	sliceTile []mesh.Coord // LLC slice index → tile
+	imcTile   []mesh.Coord // IMC index → tile
+	hash      SliceHash
+	l2        [][]l2set // [core][set]
+	lines     map[Addr]*lineState
+}
+
+// New builds a hierarchy over grid. coreTile maps each physical core index
+// to its tile; sliceTile maps each LLC slice index to its tile (core tiles
+// and LLC-only tiles both carry slices); imcTile maps each memory
+// controller to its tile (may be empty, in which case memory fetches
+// produce no mesh traffic). hash is the secret slice hash and must cover
+// len(sliceTile) slices.
+func New(cfg Config, grid *mesh.Grid, coreTile, sliceTile, imcTile []mesh.Coord, hash SliceHash) *Hierarchy {
+	if cfg.L2Sets <= 0 || cfg.L2Ways <= 0 {
+		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
+	}
+	h := &Hierarchy{
+		cfg:       cfg,
+		grid:      grid,
+		coreTile:  coreTile,
+		sliceTile: sliceTile,
+		imcTile:   imcTile,
+		hash:      hash,
+		l2:        make([][]l2set, len(coreTile)),
+		lines:     make(map[Addr]*lineState),
+	}
+	for c := range h.l2 {
+		h.l2[c] = make([]l2set, cfg.L2Sets)
+	}
+	return h
+}
+
+// fetchFromMemory moves a line from its memory controller to the
+// requesting core's tile (the direct-to-core data return of the mesh
+// uncore), marks it LLC-resident and returns the hop distance.
+func (h *Hierarchy) fetchFromMemory(st *lineState, line Addr, dst mesh.Coord) int {
+	st.cached = true
+	if len(h.imcTile) == 0 {
+		return 0
+	}
+	return h.transfer(h.imcTile[IMCOf(line, len(h.imcTile))], dst)
+}
+
+// NumSlices returns the number of LLC slices.
+func (h *Hierarchy) NumSlices() int { return len(sliceTiles(h)) }
+
+func sliceTiles(h *Hierarchy) []mesh.Coord { return h.sliceTile }
+
+// Config returns the hierarchy sizing.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// SliceOf returns the LLC slice index a line maps to. This is ground truth
+// used by tests and the machine layer; the probing code must not call it.
+func (h *Hierarchy) SliceOf(a Addr) int { return h.hash(lineOf(a)) }
+
+// L2SetOf returns the L2 set index of a line.
+func (h *Hierarchy) L2SetOf(a Addr) int {
+	return int(lineOf(a) / LineSize % uint64(h.cfg.L2Sets))
+}
+
+func (h *Hierarchy) state(line Addr) *lineState {
+	st, ok := h.lines[line]
+	if !ok {
+		st = &lineState{sharers: make(map[int]bool), owner: -1}
+		h.lines[line] = st
+	}
+	return st
+}
+
+func (h *Hierarchy) homeTile(line Addr) mesh.Coord { return h.sliceTile[h.hash(line)] }
+
+// transfer moves one cache line of data across the mesh BL rings and
+// returns the hop distance it traveled (the latency-relevant quantity).
+func (h *Hierarchy) transfer(from, to mesh.Coord) int {
+	// One cache line occupies the data ring for a handful of cycles; the
+	// exact flit count only scales counters uniformly.
+	const flitsPerLine = 4
+	h.grid.Inject(from, to, flitsPerLine)
+	return mesh.Distance(from, to)
+}
+
+// message sends one protocol flit (request, snoop, invalidation or ack)
+// on the given ring; protocol traffic never rides the monitored BL ring.
+func (h *Hierarchy) message(ring mesh.Ring, from, to mesh.Coord) {
+	h.grid.InjectOn(ring, from, to, 1)
+}
+
+// Access latency levels, reported as (level, hops) by the timed accessors.
+// The machine layer converts them to core cycles.
+type Level int
+
+const (
+	// LevelL2 is a private-cache hit.
+	LevelL2 Level = iota
+	// LevelLLC is a fill from an LLC slice or a forward from another
+	// core's cache.
+	LevelLLC
+	// LevelMemory is a DRAM access through an IMC.
+	LevelMemory
+)
+
+func (h *Hierarchy) inL2(core int, line Addr) bool {
+	set := &h.l2[core][h.L2SetOf(line)]
+	for _, l := range set.lines {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+// touchL2 marks line most-recently-used in core's L2, inserting it if
+// absent and returning the evicted victim line, if any.
+func (h *Hierarchy) touchL2(core int, line Addr) (victim Addr, evicted bool) {
+	set := &h.l2[core][h.L2SetOf(line)]
+	for i, l := range set.lines {
+		if l == line {
+			set.lines = append(append(set.lines[:i:i], set.lines[i+1:]...), line)
+			return 0, false
+		}
+	}
+	set.lines = append(set.lines, line)
+	if len(set.lines) > h.cfg.L2Ways {
+		victim = set.lines[0]
+		set.lines = set.lines[1:]
+		return victim, true
+	}
+	return 0, false
+}
+
+func (h *Hierarchy) dropL2(core int, line Addr) {
+	set := &h.l2[core][h.L2SetOf(line)]
+	for i, l := range set.lines {
+		if l == line {
+			set.lines = append(set.lines[:i:i], set.lines[i+1:]...)
+			return
+		}
+	}
+}
+
+func (h *Hierarchy) checkCore(core int) {
+	if core < 0 || core >= len(h.coreTile) {
+		panic(fmt.Sprintf("cache: core %d out of range [0,%d)", core, len(h.coreTile)))
+	}
+}
+
+// evict removes a victim line from core's L2, writing dirty data back to
+// its home slice.
+func (h *Hierarchy) evict(core int, victim Addr) {
+	st := h.state(victim)
+	delete(st.sharers, core)
+	home := h.homeTile(victim)
+	h.grid.LookupLLC(home, 1)
+	if st.owner == core {
+		st.owner = -1
+		h.message(mesh.RingAD, h.coreTile[core], home) // write-back request
+		h.transfer(h.coreTile[core], home)
+		h.message(mesh.RingAK, home, h.coreTile[core]) // completion ack
+	}
+}
+
+// invalidate drops a sharer's copy: an invalidation rides the IV ring to
+// the sharer, whose acknowledgement returns on the AK ring.
+func (h *Hierarchy) invalidate(home mesh.Coord, core int, line Addr) {
+	h.dropL2(core, line)
+	tile := h.coreTile[core]
+	h.message(mesh.RingIV, home, tile)
+	h.message(mesh.RingAK, tile, home)
+}
+
+// Load performs a read of a by physical core. Misses charge an LLC lookup
+// at the home slice and move the line's data across the mesh. The returned
+// level and hop count describe the critical-path data source, from which
+// the machine layer derives an access latency.
+func (h *Hierarchy) Load(core int, a Addr) (Level, int) {
+	h.checkCore(core)
+	line := lineOf(a)
+	st := h.state(line)
+	if st.sharers[core] && h.inL2(core, line) {
+		h.touchL2(core, line)
+		return LevelL2, 0
+	}
+	home := h.homeTile(line)
+	h.grid.LookupLLC(home, 1)
+	dst := h.coreTile[core]
+	h.message(mesh.RingAD, dst, home) // read request
+	level, hops := LevelLLC, 0
+	if st.owner >= 0 && st.owner != core {
+		// Forward from the modified owner: the home snoops the owner,
+		// the owner downgrades to shared, and the dirty data is also
+		// written back home.
+		src := h.coreTile[st.owner]
+		h.message(mesh.RingAD, home, src) // snoop
+		hops = h.transfer(src, dst)
+		h.transfer(src, home)
+		st.owner = -1
+	} else if st.cached {
+		hops = h.transfer(home, dst)
+	} else {
+		level, hops = LevelMemory, h.fetchFromMemory(st, line, dst)
+	}
+	st.sharers[core] = true
+	if victim, ok := h.touchL2(core, line); ok {
+		h.evict(core, victim)
+	}
+	return level, hops
+}
+
+// Store performs a write of a by physical core. A write by a core that
+// already holds the line exclusively is a pure hit; a write by a sharer
+// upgrades in place (directory lookup, no data traffic); everything else
+// pulls the line like a load and then claims ownership. Like Load it
+// reports the critical-path data source.
+func (h *Hierarchy) Store(core int, a Addr) (Level, int) {
+	h.checkCore(core)
+	line := lineOf(a)
+	st := h.state(line)
+	if st.owner == core && h.inL2(core, line) {
+		h.touchL2(core, line)
+		return LevelL2, 0
+	}
+	home := h.homeTile(line)
+	if st.sharers[core] && h.inL2(core, line) {
+		// Upgrade: invalidate the other sharers via the directory.
+		h.grid.LookupLLC(home, 1)
+		mine := h.coreTile[core]
+		h.message(mesh.RingAD, mine, home) // upgrade request
+		for other := range st.sharers {
+			if other != core {
+				h.invalidate(home, other, line)
+				delete(st.sharers, other)
+			}
+		}
+		st.owner = core
+		h.touchL2(core, line)
+		return LevelL2, 0
+	}
+	// Read-for-ownership.
+	h.grid.LookupLLC(home, 1)
+	dst := h.coreTile[core]
+	h.message(mesh.RingAD, dst, home) // RFO request
+	level, hops := LevelLLC, 0
+	if st.owner >= 0 && st.owner != core {
+		h.message(mesh.RingAD, home, h.coreTile[st.owner]) // snoop
+		hops = h.transfer(h.coreTile[st.owner], dst)
+		h.dropL2(st.owner, line)
+		delete(st.sharers, st.owner)
+	} else if st.cached {
+		hops = h.transfer(home, dst)
+	} else {
+		level, hops = LevelMemory, h.fetchFromMemory(st, line, dst)
+	}
+	for other := range st.sharers {
+		if other != core {
+			h.invalidate(home, other, line)
+			delete(st.sharers, other)
+		}
+	}
+	st.sharers[core] = true
+	st.owner = core
+	if victim, ok := h.touchL2(core, line); ok {
+		h.evict(core, victim)
+	}
+	return level, hops
+}
+
+// Flush evicts the line containing a from the whole hierarchy as clflush
+// does: dirty data is written back through the home slice, and the line
+// leaves the LLC, so the next access fetches it from memory again. This is
+// the knob the memory-anchored locating extension leans on.
+func (h *Hierarchy) Flush(core int, a Addr) {
+	h.checkCore(core)
+	line := lineOf(a)
+	st := h.state(line)
+	if st.sharers[core] {
+		h.dropL2(core, line)
+		h.evict(core, line)
+	}
+	st.cached = false
+}

@@ -1,0 +1,421 @@
+// Package covert implements the paper's inter-core thermal covert channel
+// (Sections IV-V): a sender core modulates its load with Manchester
+// encoding, heat propagates to physically neighbouring tiles, and a
+// receiver core decodes the bitstream offline from its own 1 °C-granular
+// temperature sensor, synchronizing on a designated signature sequence.
+//
+// The package supports the paper's three strengthening schemes: picking
+// sender/receiver placements from the recovered physical core map
+// (Planner), synchronized multi-sender amplification (Fig. 8a), and
+// multiple parallel channels for aggregate throughput (Fig. 8b).
+package covert
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Platform is everything the (user-level) attacker can do: place load on
+// cores it owns, read the temperature sensor of the core its thread runs
+// on, and let wall-clock time pass. internal/covert never touches
+// simulator internals through it.
+type Platform interface {
+	// ReadTemp returns the current temperature of cpu's core in °C, as
+	// exposed by IA32_THERM_STATUS (1 °C granularity).
+	ReadTemp(cpu int) (float64, error)
+	// SetLoad starts or stops a saturating compute loop on cpu.
+	SetLoad(cpu int, active bool) error
+	// Advance lets the platform evolve for the given seconds.
+	Advance(seconds float64)
+}
+
+// DefaultPreamble is the synchronization signature prepended to every
+// frame. Its alternation pattern has low autocorrelation at non-zero
+// shifts, which is what lets the decoder lock phase.
+var DefaultPreamble = []bool{
+	true, false, true, false, true, true, false, false,
+	true, false, true, true, false, true, false, false,
+}
+
+// ManchesterLoad returns the sender load level for a bit at the given
+// intra-bit phase ∈ [0,1): a 1 heats in the first half-period, a 0 in the
+// second — the zero-DC property that avoids cumulative thermal bias.
+func ManchesterLoad(bit bool, phase float64) bool {
+	if bit {
+		return phase < 0.5
+	}
+	return phase >= 0.5
+}
+
+// Modulation selects the line coding of a transfer.
+type Modulation int
+
+const (
+	// ModManchester is the paper's coding (heat position within the bit
+	// encodes the value; DC-free).
+	ModManchester Modulation = iota
+	// ModOOK is naive on-off keying (1 = heat the whole bit period). It
+	// exists as an ablation: monotonic bit patterns accumulate thermal
+	// bias and break the decoder's threshold, which is exactly why the
+	// paper (after Bartolini et al.) uses Manchester.
+	ModOOK
+)
+
+// loadLevel returns the sender load for a bit under the chosen modulation.
+func loadLevel(mod Modulation, bit bool, phase float64) bool {
+	if mod == ModOOK {
+		return bit
+	}
+	return ManchesterLoad(bit, phase)
+}
+
+// ChannelSpec describes one covert channel in a transfer.
+type ChannelSpec struct {
+	// Senders drive the identical Manchester waveform (synchronized
+	// multi-sender amplification when len > 1).
+	Senders []int
+	// Receiver samples its own core's sensor.
+	Receiver int
+	// Payload is the data to transmit (the preamble is added
+	// automatically).
+	Payload []bool
+}
+
+// Config tunes a transfer.
+type Config struct {
+	// BitRate is the signalling rate in bits/second.
+	BitRate float64
+	// SampleHz is the receiver's sensor polling rate (default 100).
+	SampleHz float64
+	// Preamble overrides DefaultPreamble.
+	Preamble []bool
+	// WarmupBits is the number of alternating carrier bits sent before
+	// the preamble so the Manchester 50%-duty baseline settles before
+	// synchronization (default 4; -1 disables).
+	WarmupBits int
+	// Modulation selects the line coding (default Manchester).
+	Modulation Modulation
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleHz == 0 {
+		c.SampleHz = 100
+	}
+	if c.Preamble == nil {
+		c.Preamble = DefaultPreamble
+	}
+	if c.WarmupBits == 0 {
+		c.WarmupBits = 4
+	}
+	if c.WarmupBits < 0 {
+		c.WarmupBits = 0
+	}
+	return c
+}
+
+// warmup returns n alternating carrier bits.
+func warmup(n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = i%2 == 0
+	}
+	return out
+}
+
+// Result is the outcome of one channel's transfer.
+type Result struct {
+	// Sent and Decoded are the payload bits.
+	Sent, Decoded []bool
+	// BitErrors counts positions where Decoded differs from Sent.
+	BitErrors int
+	// BER is BitErrors / len(Sent).
+	BER float64
+	// Synced reports whether the decoder matched the preamble exactly.
+	Synced bool
+	// PreambleMatches is the best preamble correlation found.
+	PreambleMatches int
+	// Trace is the receiver's raw sample series (temperature in °C at
+	// Config.SampleHz), kept for rendering Fig. 6-style plots.
+	Trace []float64
+}
+
+// Run performs a transfer over all channels simultaneously; parallel
+// channels interfere through the shared die exactly as in Fig. 8b. All
+// payloads must have equal length.
+func Run(p Platform, specs []ChannelSpec, cfg Config) ([]Result, error) {
+	res, _, err := RunObserved(p, specs, cfg, nil)
+	return res, err
+}
+
+// RunObserved is Run with additional passive observers: the temperature of
+// each observer CPU is sampled on the same timeline and returned as one
+// trace per observer. Observers may overlap with channel roles (e.g. to
+// record the sender's own temperature for a Fig. 6-style plot).
+func RunObserved(p Platform, specs []ChannelSpec, cfg Config, observers []int) ([]Result, [][]float64, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BitRate <= 0 {
+		return nil, nil, errors.New("covert: bit rate must be positive")
+	}
+	if len(specs) == 0 {
+		return nil, nil, errors.New("covert: no channels")
+	}
+	n := len(specs[0].Payload)
+	used := make(map[int]bool)
+	for i, s := range specs {
+		if len(s.Payload) != n {
+			return nil, nil, fmt.Errorf("covert: channel %d payload length %d != %d", i, len(s.Payload), n)
+		}
+		if len(s.Senders) == 0 {
+			return nil, nil, fmt.Errorf("covert: channel %d has no senders", i)
+		}
+		for _, cpu := range append(append([]int{}, s.Senders...), s.Receiver) {
+			if used[cpu] {
+				return nil, nil, fmt.Errorf("covert: cpu %d used by more than one role", cpu)
+			}
+			used[cpu] = true
+		}
+	}
+
+	frames := make([][]bool, len(specs))
+	for i, s := range specs {
+		frame := append(warmup(cfg.WarmupBits), cfg.Preamble...)
+		frames[i] = append(frame, s.Payload...)
+	}
+	frameBits := len(frames[0])
+	bitPeriod := 1 / cfg.BitRate
+	sampleDt := 1 / cfg.SampleHz
+	// Trailing idle periods: the decoder's sync offset can sit up to
+	// warmup+2 bits into the trace, so the tail must keep every shifted
+	// payload window inside the sample array.
+	totalSamples := int(math.Ceil(float64(frameBits+cfg.WarmupBits+3) * bitPeriod * cfg.SampleHz))
+
+	traces := make([][]float64, len(specs))
+	obsTraces := make([][]float64, len(observers))
+	loadState := make(map[int]bool)
+	for k := 0; k < totalSamples; k++ {
+		t := float64(k) * sampleDt
+		bitIdx := int(t / bitPeriod)
+		phase := t/bitPeriod - float64(bitIdx)
+		for i, s := range specs {
+			level := false
+			if bitIdx < frameBits {
+				level = loadLevel(cfg.Modulation, frames[i][bitIdx], phase)
+			}
+			for _, cpu := range s.Senders {
+				if loadState[cpu] != level {
+					if err := p.SetLoad(cpu, level); err != nil {
+						return nil, nil, err
+					}
+					loadState[cpu] = level
+				}
+			}
+		}
+		p.Advance(sampleDt)
+		for i, s := range specs {
+			temp, err := p.ReadTemp(s.Receiver)
+			if err != nil {
+				return nil, nil, err
+			}
+			traces[i] = append(traces[i], temp)
+		}
+		for i, cpu := range observers {
+			temp, err := p.ReadTemp(cpu)
+			if err != nil {
+				return nil, nil, err
+			}
+			obsTraces[i] = append(obsTraces[i], temp)
+		}
+	}
+	for cpu, on := range loadState {
+		if on {
+			if err := p.SetLoad(cpu, false); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	results := make([]Result, len(specs))
+	for i, s := range specs {
+		var dec DecodeResult
+		if cfg.Modulation == ModOOK {
+			dec = DecodeOOKSearch(traces[i], cfg.SampleHz, cfg.BitRate, cfg.Preamble, n, cfg.WarmupBits+2)
+		} else {
+			dec = DecodeSearch(traces[i], cfg.SampleHz, cfg.BitRate, cfg.Preamble, n, cfg.WarmupBits+2)
+		}
+		res := Result{
+			Sent:            s.Payload,
+			Decoded:         dec.Payload,
+			Synced:          dec.Synced,
+			PreambleMatches: dec.PreambleMatches,
+			Trace:           traces[i],
+		}
+		for b := range s.Payload {
+			if b >= len(dec.Payload) || dec.Payload[b] != s.Payload[b] {
+				res.BitErrors++
+			}
+		}
+		if n > 0 {
+			res.BER = float64(res.BitErrors) / float64(n)
+		}
+		results[i] = res
+	}
+	return results, obsTraces, nil
+}
+
+// DecodeResult is the output of the offline decoder.
+type DecodeResult struct {
+	Payload         []bool
+	Synced          bool
+	PreambleMatches int
+	Offset          int // sample offset the decoder locked to
+}
+
+// Decode recovers a frame from a temperature trace: it searches all sample
+// offsets within one bit period for the one that best decodes the known
+// preamble, then decodes payloadBits bits from there (the paper's offline,
+// signature-synchronized decoder).
+func Decode(trace []float64, sampleHz, bitRate float64, preamble []bool, payloadBits int) DecodeResult {
+	return DecodeSearch(trace, sampleHz, bitRate, preamble, payloadBits, 1)
+}
+
+// DecodeSearch is Decode with a wider synchronization window: the offset
+// search spans searchBits bit periods, enough to also skip any carrier
+// warmup bits preceding the preamble.
+func DecodeSearch(trace []float64, sampleHz, bitRate float64, preamble []bool, payloadBits, searchBits int) DecodeResult {
+	spb := sampleHz / bitRate // samples per bit
+	if searchBits < 1 {
+		searchBits = 1
+	}
+	// Lock to the offset with the strongest signed correlation against
+	// the known preamble — many offsets may decode the preamble
+	// correctly, but the correlation peaks at the true bit phase.
+	bestOffset := 0
+	bestCorr := math.Inf(-1)
+	for off := 0; off < int(spb*float64(searchBits)); off++ {
+		var corr float64
+		for b, want := range preamble {
+			s := bitScore(trace, off, b, spb)
+			if !want {
+				s = -s
+			}
+			corr += s
+		}
+		if corr > bestCorr {
+			bestOffset, bestCorr = off, corr
+		}
+	}
+	matches := 0
+	for b, want := range preamble {
+		if decodeBit(trace, bestOffset, b, spb) == want {
+			matches++
+		}
+	}
+	out := DecodeResult{
+		Synced:          matches == len(preamble),
+		PreambleMatches: matches,
+		Offset:          bestOffset,
+	}
+	for b := 0; b < payloadBits; b++ {
+		out.Payload = append(out.Payload, decodeBit(trace, bestOffset, len(preamble)+b, spb))
+	}
+	return out
+}
+
+// DecodeOOKSearch decodes an on-off-keyed frame: a bit is 1 when its
+// window's mean temperature exceeds the whole-trace mean. The global
+// threshold is the scheme's weakness — biased payloads shift the baseline
+// under it, which the Manchester coding exists to avoid.
+func DecodeOOKSearch(trace []float64, sampleHz, bitRate float64, preamble []bool, payloadBits, searchBits int) DecodeResult {
+	spb := sampleHz / bitRate
+	if searchBits < 1 {
+		searchBits = 1
+	}
+	var mean float64
+	for _, v := range trace {
+		mean += v
+	}
+	if len(trace) > 0 {
+		mean /= float64(len(trace))
+	}
+	score := func(offset, bit int) float64 {
+		start := offset + int(float64(bit)*spb)
+		end := offset + int(float64(bit+1)*spb)
+		if end > len(trace) {
+			end = len(trace)
+		}
+		if end-start < 2 {
+			return 0
+		}
+		var s float64
+		for k := start; k < end; k++ {
+			s += trace[k] - mean
+		}
+		return s / float64(end-start)
+	}
+	bestOffset := 0
+	bestCorr := math.Inf(-1)
+	for off := 0; off < int(spb*float64(searchBits)); off++ {
+		var corr float64
+		for b, want := range preamble {
+			s := score(off, b)
+			if !want {
+				s = -s
+			}
+			corr += s
+		}
+		if corr > bestCorr {
+			bestOffset, bestCorr = off, corr
+		}
+	}
+	out := DecodeResult{Offset: bestOffset}
+	for b, want := range preamble {
+		if (score(bestOffset, b) > 0) == want {
+			out.PreambleMatches++
+		}
+	}
+	out.Synced = out.PreambleMatches == len(preamble)
+	for b := 0; b < payloadBits; b++ {
+		out.Payload = append(out.Payload, score(bestOffset, len(preamble)+b) > 0)
+	}
+	return out
+}
+
+// decodeBit classifies one Manchester bit: a 1 heats first and peaks mid-
+// bit, so its center samples run hotter than its edges; a 0 is the
+// opposite.
+func decodeBit(trace []float64, offset, bit int, spb float64) bool {
+	return bitScore(trace, offset, bit, spb) > 0
+}
+
+// bitScore is the matched-filter output for one bit window: the mean of
+// the center half minus the mean of the edge quarters. Using means (not
+// sums) keeps the discriminator unbiased when the sample counts of the two
+// regions differ.
+func bitScore(trace []float64, offset, bit int, spb float64) float64 {
+	start := offset + int(float64(bit)*spb)
+	end := offset + int(float64(bit+1)*spb)
+	if end > len(trace) {
+		end = len(trace)
+	}
+	if end-start < 4 {
+		return 0
+	}
+	var cSum, eSum float64
+	var cN, eN int
+	n := end - start
+	for k := start; k < end; k++ {
+		phase := float64(k-start) / float64(n)
+		if phase >= 0.25 && phase < 0.75 {
+			cSum += trace[k]
+			cN++
+		} else {
+			eSum += trace[k]
+			eN++
+		}
+	}
+	if cN == 0 || eN == 0 {
+		return 0
+	}
+	return cSum/float64(cN) - eSum/float64(eN)
+}

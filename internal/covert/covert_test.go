@@ -1,0 +1,155 @@
+package covert
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestManchesterLoad(t *testing.T) {
+	// A 1 heats the first half-period; a 0 the second.
+	if !ManchesterLoad(true, 0.1) || ManchesterLoad(true, 0.6) {
+		t.Error("bit 1 must heat first half only")
+	}
+	if ManchesterLoad(false, 0.4) || !ManchesterLoad(false, 0.9) {
+		t.Error("bit 0 must heat second half only")
+	}
+}
+
+// Property: Manchester is DC-free — every bit heats for exactly half its
+// period regardless of value.
+func TestManchesterDCFree(t *testing.T) {
+	f := func(bit bool, steps uint8) bool {
+		n := 10 + int(steps)%90
+		hot := 0
+		for k := 0; k < n; k++ {
+			if ManchesterLoad(bit, float64(k)/float64(n)) {
+				hot++
+			}
+		}
+		return math.Abs(float64(hot)/float64(n)-0.5) < 0.06
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(40))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWarmupAlternates(t *testing.T) {
+	w := warmup(4)
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("warmup = %v", w)
+		}
+	}
+	if len(warmup(0)) != 0 {
+		t.Error("warmup(0) not empty")
+	}
+}
+
+// synthTrace produces an ideal first-order thermal response to a
+// Manchester frame: exponential tracking toward base or base+gain,
+// quantized to 1°C with optional Gaussian noise — the decoder's reference
+// conditions.
+func synthTrace(frame []bool, spb int, tauSamples, gain, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	temp, base := 34.0, 34.0
+	out := make([]float64, 0, (len(frame)+8)*spb)
+	for k := 0; k < (len(frame)+8)*spb; k++ {
+		bitIdx := k / spb
+		phase := float64(k%spb) / float64(spb)
+		target := base
+		if bitIdx < len(frame) && ManchesterLoad(frame[bitIdx], phase) {
+			target = base + gain
+		}
+		temp += (target - temp) / tauSamples
+		out = append(out, math.Round(temp+rng.NormFloat64()*noise))
+	}
+	return out
+}
+
+func randomPayload(n int, seed int64) []bool {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Intn(2) == 1
+	}
+	return out
+}
+
+func TestDecodeSyntheticClean(t *testing.T) {
+	payload := randomPayload(64, 1)
+	frame := append(append(warmup(4), DefaultPreamble...), payload...)
+	for _, spb := range []int{25, 50, 100} {
+		for _, noise := range []float64{0, 0.25} {
+			tr := synthTrace(frame, spb, 8, 2.8, noise, 2)
+			dec := DecodeSearch(tr, 100, 100/float64(spb), DefaultPreamble, len(payload), 6)
+			if !dec.Synced {
+				t.Errorf("spb=%d noise=%v: decoder failed to sync (%d/16)", spb, noise, dec.PreambleMatches)
+				continue
+			}
+			errs := 0
+			for i := range payload {
+				if dec.Payload[i] != payload[i] {
+					errs++
+				}
+			}
+			if errs != 0 {
+				t.Errorf("spb=%d noise=%v: %d bit errors on clean synthetic trace", spb, noise, errs)
+			}
+		}
+	}
+}
+
+func TestDecodeLocksThroughLag(t *testing.T) {
+	// A large constant sensor lag must be absorbed by the offset search.
+	payload := randomPayload(32, 3)
+	frame := append(append(warmup(4), DefaultPreamble...), payload...)
+	tr := synthTrace(frame, 50, 20, 3, 0, 4) // sluggish sensor
+	dec := DecodeSearch(tr, 100, 2, DefaultPreamble, len(payload), 6)
+	if !dec.Synced {
+		t.Fatalf("decoder lost sync under lag: %d/16", dec.PreambleMatches)
+	}
+	for i := range payload {
+		if dec.Payload[i] != payload[i] {
+			t.Fatalf("bit %d wrong under lag", i)
+		}
+	}
+}
+
+func TestDecodeGarbageDoesNotSync(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := make([]float64, 4000)
+	for i := range tr {
+		tr[i] = 34 + rng.NormFloat64()*2
+	}
+	dec := DecodeSearch(tr, 100, 2, DefaultPreamble, 16, 6)
+	if dec.Synced {
+		t.Error("decoder claimed sync on pure noise")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	p := newQuietPlatform(t)
+	payload := randomPayload(4, 6)
+	cases := []struct {
+		name  string
+		specs []ChannelSpec
+		cfg   Config
+	}{
+		{"no channels", nil, Config{BitRate: 1}},
+		{"zero rate", []ChannelSpec{{Senders: []int{0}, Receiver: 1, Payload: payload}}, Config{}},
+		{"no senders", []ChannelSpec{{Receiver: 1, Payload: payload}}, Config{BitRate: 1}},
+		{"duplicate cpu", []ChannelSpec{{Senders: []int{0}, Receiver: 0, Payload: payload}}, Config{BitRate: 1}},
+		{"length mismatch", []ChannelSpec{
+			{Senders: []int{0}, Receiver: 1, Payload: payload},
+			{Senders: []int{2}, Receiver: 3, Payload: payload[:2]},
+		}, Config{BitRate: 1}},
+	}
+	for _, tc := range cases {
+		if _, err := Run(p, tc.specs, tc.cfg); err == nil {
+			t.Errorf("%s: Run accepted invalid input", tc.name)
+		}
+	}
+}

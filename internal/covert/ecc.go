@@ -1,0 +1,114 @@
+package covert
+
+// Error-correction codings for the covert channel. The paper reports raw
+// error rates "without any additional error correction scheme"; these
+// codings are the natural next step it leaves open — they trade bit rate
+// for reliability so a channel can operate past its raw sub-1% point.
+
+// EncodeRepetition repeats every bit k times.
+func EncodeRepetition(bits []bool, k int) []bool {
+	if k < 1 {
+		k = 1
+	}
+	out := make([]bool, 0, len(bits)*k)
+	for _, b := range bits {
+		for i := 0; i < k; i++ {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// DecodeRepetition majority-votes k-bit groups. Trailing partial groups
+// are voted over the bits present.
+func DecodeRepetition(bits []bool, k int) []bool {
+	if k < 1 {
+		k = 1
+	}
+	var out []bool
+	for i := 0; i < len(bits); i += k {
+		end := i + k
+		if end > len(bits) {
+			end = len(bits)
+		}
+		ones := 0
+		for _, b := range bits[i:end] {
+			if b {
+				ones++
+			}
+		}
+		out = append(out, ones*2 > end-i)
+	}
+	return out
+}
+
+// Hamming(7,4): four data bits are protected by three parity bits; any
+// single bit error per codeword is corrected.
+
+// hammingEncode4 packs data bits d0..d3 into the codeword layout
+// [p1 p2 d0 p3 d1 d2 d3] (positions 1..7, parity at powers of two).
+func hammingEncode4(d [4]bool) [7]bool {
+	var c [7]bool
+	c[2], c[4], c[5], c[6] = d[0], d[1], d[2], d[3]
+	c[0] = xor(c[2], c[4], c[6]) // covers positions 1,3,5,7
+	c[1] = xor(c[2], c[5], c[6]) // covers positions 2,3,6,7
+	c[3] = xor(c[4], c[5], c[6]) // covers positions 4,5,6,7
+	return c
+}
+
+func xor(bs ...bool) bool {
+	v := false
+	for _, b := range bs {
+		v = v != b
+	}
+	return v
+}
+
+// hammingDecode7 corrects up to one flipped bit and returns the data bits.
+func hammingDecode7(c [7]bool) [4]bool {
+	s1 := xor(c[0], c[2], c[4], c[6])
+	s2 := xor(c[1], c[2], c[5], c[6])
+	s3 := xor(c[3], c[4], c[5], c[6])
+	syndrome := 0
+	if s1 {
+		syndrome |= 1
+	}
+	if s2 {
+		syndrome |= 2
+	}
+	if s3 {
+		syndrome |= 4
+	}
+	if syndrome != 0 {
+		c[syndrome-1] = !c[syndrome-1]
+	}
+	return [4]bool{c[2], c[4], c[5], c[6]}
+}
+
+// EncodeHamming74 encodes bits in Hamming(7,4); the input is zero-padded
+// to a multiple of four.
+func EncodeHamming74(bits []bool) []bool {
+	out := make([]bool, 0, (len(bits)+3)/4*7)
+	for i := 0; i < len(bits); i += 4 {
+		var d [4]bool
+		for j := 0; j < 4 && i+j < len(bits); j++ {
+			d[j] = bits[i+j]
+		}
+		c := hammingEncode4(d)
+		out = append(out, c[:]...)
+	}
+	return out
+}
+
+// DecodeHamming74 decodes and single-error-corrects Hamming(7,4) words;
+// trailing partial words are dropped.
+func DecodeHamming74(bits []bool) []bool {
+	var out []bool
+	for i := 0; i+7 <= len(bits); i += 7 {
+		var c [7]bool
+		copy(c[:], bits[i:i+7])
+		d := hammingDecode7(c)
+		out = append(out, d[:]...)
+	}
+	return out
+}

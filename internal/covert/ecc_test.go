@@ -1,0 +1,152 @@
+package covert
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRepetitionRoundTrip(t *testing.T) {
+	bits := []bool{true, false, false, true, true}
+	enc := EncodeRepetition(bits, 3)
+	if len(enc) != 15 {
+		t.Fatalf("encoded length %d, want 15", len(enc))
+	}
+	dec := DecodeRepetition(enc, 3)
+	for i := range bits {
+		if dec[i] != bits[i] {
+			t.Fatalf("bit %d corrupted in clean round trip", i)
+		}
+	}
+}
+
+func TestRepetitionCorrectsSingleFlips(t *testing.T) {
+	bits := []bool{true, false, true, true}
+	enc := EncodeRepetition(bits, 3)
+	// Flip one bit in each group.
+	for g := 0; g < len(bits); g++ {
+		enc[g*3+g%3] = !enc[g*3+g%3]
+	}
+	dec := DecodeRepetition(enc, 3)
+	for i := range bits {
+		if dec[i] != bits[i] {
+			t.Fatalf("bit %d not corrected", i)
+		}
+	}
+}
+
+func TestRepetitionDegenerateK(t *testing.T) {
+	bits := []bool{true, false}
+	if got := DecodeRepetition(EncodeRepetition(bits, 0), 0); len(got) != 2 || got[0] != true {
+		t.Errorf("k=0 treated as identity failed: %v", got)
+	}
+}
+
+func TestHammingRoundTrip(t *testing.T) {
+	bits := []bool{true, false, true, true, false, false, false, true}
+	enc := EncodeHamming74(bits)
+	if len(enc) != 14 {
+		t.Fatalf("encoded length %d, want 14", len(enc))
+	}
+	dec := DecodeHamming74(enc)
+	for i := range bits {
+		if dec[i] != bits[i] {
+			t.Fatalf("bit %d corrupted in clean round trip", i)
+		}
+	}
+}
+
+// Property: Hamming(7,4) corrects any single bit flip per codeword.
+func TestHammingCorrectsAnySingleError(t *testing.T) {
+	f := func(data uint8, pos uint8) bool {
+		var d [4]bool
+		for i := 0; i < 4; i++ {
+			d[i] = data>>i&1 == 1
+		}
+		c := hammingEncode4(d)
+		c[pos%7] = !c[pos%7]
+		return hammingDecode7(c) == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(60))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: repetition round trip survives up to ⌊(k-1)/2⌋ flips/group.
+func TestRepetitionMajorityProperty(t *testing.T) {
+	f := func(data uint16, flipSel uint8) bool {
+		bits := make([]bool, 8)
+		for i := range bits {
+			bits[i] = data>>i&1 == 1
+		}
+		enc := EncodeRepetition(bits, 5)
+		// Flip at most 2 of every 5.
+		for g := 0; g < len(bits); g++ {
+			enc[g*5+int(flipSel)%5] = !enc[g*5+int(flipSel)%5]
+			enc[g*5+int(flipSel+2)%5] = !enc[g*5+int(flipSel+2)%5]
+		}
+		dec := DecodeRepetition(enc, 5)
+		for i := range bits {
+			if dec[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(61))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHammingPadding(t *testing.T) {
+	bits := []bool{true, true, false} // not a multiple of 4
+	dec := DecodeHamming74(EncodeHamming74(bits))
+	if len(dec) != 4 {
+		t.Fatalf("decoded length %d, want 4 (one padded word)", len(dec))
+	}
+	for i := range bits {
+		if dec[i] != bits[i] {
+			t.Errorf("bit %d corrupted through padding", i)
+		}
+	}
+}
+
+func TestOOKLoadLevel(t *testing.T) {
+	if !loadLevel(ModOOK, true, 0.9) || loadLevel(ModOOK, false, 0.1) {
+		t.Error("OOK must heat the whole period for 1 and never for 0")
+	}
+	if loadLevel(ModManchester, true, 0.9) {
+		t.Error("Manchester 1 must not heat the second half")
+	}
+}
+
+func TestDecodeOOKSyntheticClean(t *testing.T) {
+	payload := randomPayload(48, 70)
+	frame := append(append(warmup(4), DefaultPreamble...), payload...)
+	// Build an OOK trace: level tracks the bit for the whole period.
+	spb := 50
+	temp, base := 34.0, 34.0
+	var trace []float64
+	for k := 0; k < (len(frame)+8)*spb; k++ {
+		bitIdx := k / spb
+		target := base
+		if bitIdx < len(frame) && frame[bitIdx] {
+			target = base + 3
+		}
+		temp += (target - temp) / 8
+		trace = append(trace, float64(int(temp+0.5)))
+	}
+	dec := DecodeOOKSearch(trace, 100, 2, DefaultPreamble, len(payload), 6)
+	if !dec.Synced {
+		t.Fatalf("OOK decoder failed to sync: %d/16", dec.PreambleMatches)
+	}
+	errs := 0
+	for i := range payload {
+		if dec.Payload[i] != payload[i] {
+			errs++
+		}
+	}
+	if errs > 2 {
+		t.Errorf("%d OOK errors on a clean balanced trace", errs)
+	}
+}

@@ -1,0 +1,207 @@
+package covert
+
+import (
+	"fmt"
+	"sort"
+
+	"coremap/internal/mesh"
+)
+
+// Planner selects sender/receiver placements from a recovered physical
+// core map — the capability the paper's attack gains over lstopo-style
+// logical topology guessing.
+type Planner struct {
+	// Pos maps CHA ID → reconstructed tile coordinate.
+	Pos []mesh.Coord
+	// OSToCHA maps OS CPU → CHA ID (step-1 output).
+	OSToCHA []int
+
+	byCoord map[mesh.Coord]int // coordinate → OS CPU
+}
+
+// NewPlanner indexes a recovered map for placement queries.
+func NewPlanner(pos []mesh.Coord, osToCHA []int) *Planner {
+	pl := &Planner{Pos: pos, OSToCHA: osToCHA, byCoord: make(map[mesh.Coord]int)}
+	for cpu, cha := range osToCHA {
+		if cha >= 0 && cha < len(pos) {
+			pl.byCoord[pos[cha]] = cpu
+		}
+	}
+	return pl
+}
+
+// CPUAt returns the OS CPU whose core sits at the given map coordinate.
+func (pl *Planner) CPUAt(c mesh.Coord) (int, bool) {
+	cpu, ok := pl.byCoord[c]
+	return cpu, ok
+}
+
+// CoordOf returns the mapped coordinate of an OS CPU.
+func (pl *Planner) CoordOf(cpu int) mesh.Coord { return pl.Pos[pl.OSToCHA[cpu]] }
+
+// PairsAtOffset lists all (sender, receiver) OS-CPU pairs whose tiles are
+// separated by exactly (dr, dc) on the map: (1,0) gives vertical 1-hop
+// neighbours, (0,2) horizontal 2-hop, and so on. Pairs are ordered by
+// sender coordinate for determinism.
+func (pl *Planner) PairsAtOffset(dr, dc int) [][2]int {
+	var pairs [][2]int
+	for cpu, cha := range pl.OSToCHA {
+		if cha < 0 {
+			continue
+		}
+		c := pl.Pos[cha]
+		if other, ok := pl.CPUAt(mesh.Coord{Row: c.Row + dr, Col: c.Col + dc}); ok {
+			pairs = append(pairs, [2]int{cpu, other})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		a, b := pl.CoordOf(pairs[i][0]), pl.CoordOf(pairs[j][0])
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		return a.Col < b.Col
+	})
+	return pairs
+}
+
+// Ring returns up to eight sender CPUs on the tiles surrounding the
+// receiver, nearest first — the paper's multi-sender configuration
+// ("up to eight sender nodes that surround the receiver node").
+func (pl *Planner) Ring(receiver int) []int {
+	c := pl.CoordOf(receiver)
+	// Vertical neighbours first: they couple most strongly.
+	offsets := []mesh.Coord{
+		{Row: -1, Col: 0}, {Row: 1, Col: 0},
+		{Row: 0, Col: -1}, {Row: 0, Col: 1},
+		{Row: -1, Col: -1}, {Row: -1, Col: 1},
+		{Row: 1, Col: -1}, {Row: 1, Col: 1},
+	}
+	var ring []int
+	for _, off := range offsets {
+		if cpu, ok := pl.CPUAt(mesh.Coord{Row: c.Row + off.Row, Col: c.Col + off.Col}); ok {
+			ring = append(ring, cpu)
+		}
+	}
+	return ring
+}
+
+// BestReceiver picks the OS CPU with the most surrounding cores, breaking
+// ties toward the map centre — the natural multi-sender receiver.
+func (pl *Planner) BestReceiver() (int, error) {
+	best, bestScore := -1, -1
+	for cpu, cha := range pl.OSToCHA {
+		if cha < 0 {
+			continue
+		}
+		score := len(pl.Ring(cpu))
+		if score > bestScore {
+			best, bestScore = cpu, score
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("covert: no mappable receiver")
+	}
+	return best, nil
+}
+
+// DisjointVerticalPairs greedily selects up to n vertically-adjacent
+// (sender, receiver) pairs with no shared CPUs, spreading them out to
+// minimize cross-channel interference (Fig. 8b's ×n configuration).
+// Orientation is interference-aware: each pair is flipped so its sender
+// sits as far as possible from the other channels' receivers, since a
+// foreign sender adjacent to a receiver is the dominant crosstalk path.
+func (pl *Planner) DisjointVerticalPairs(n int) [][2]int {
+	candidates := pl.PairsAtOffset(1, 0)
+	var chosen [][2]int
+	used := make(map[int]bool)
+	for len(chosen) < n {
+		bestIdx, bestDist := -1, -1
+		for i, pair := range candidates {
+			if used[pair[0]] || used[pair[1]] {
+				continue
+			}
+			// Distance to the nearest already-chosen pair.
+			dist := 1 << 30
+			for _, ch := range chosen {
+				for _, a := range pair {
+					for _, b := range ch {
+						if d := mesh.Distance(pl.CoordOf(a), pl.CoordOf(b)); d < dist {
+							dist = d
+						}
+					}
+				}
+			}
+			if dist > bestDist {
+				bestIdx, bestDist = i, dist
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		chosen = append(chosen, candidates[bestIdx])
+		used[candidates[bestIdx][0]] = true
+		used[candidates[bestIdx][1]] = true
+	}
+	return pl.orientChannels(chosen)
+}
+
+// orientChannels flips (sender, receiver) pairs to minimize crosstalk.
+// The dominant interference path is a foreign sender sitting next to a
+// receiver, so the objective maximizes the smallest sender→foreign-
+// receiver distance (sum as tie-break). For up to a dozen channels the
+// 2^n orientation space is searched exhaustively; hill-climbing sweeps
+// handle anything larger.
+func (pl *Planner) orientChannels(pairs [][2]int) [][2]int {
+	n := len(pairs)
+	if n <= 1 {
+		return pairs
+	}
+	oriented := func(mask int) [][2]int {
+		out := make([][2]int, n)
+		for i, p := range pairs {
+			if mask>>i&1 == 1 {
+				out[i] = [2]int{p[1], p[0]}
+			} else {
+				out[i] = p
+			}
+		}
+		return out
+	}
+	score := func(cfg [][2]int) int {
+		minD, sum := 1<<20, 0
+		for i := range cfg {
+			for j := range cfg {
+				if i == j {
+					continue
+				}
+				d := mesh.Distance(pl.CoordOf(cfg[i][0]), pl.CoordOf(cfg[j][1]))
+				if d < minD {
+					minD = d
+				}
+				sum += d
+			}
+		}
+		return minD*100000 + sum
+	}
+	if n > 12 {
+		// Greedy sweeps for very large channel counts.
+		best := oriented(0)
+		for sweep := 0; sweep < 4; sweep++ {
+			for i := range best {
+				was := score(best)
+				best[i][0], best[i][1] = best[i][1], best[i][0]
+				if score(best) < was {
+					best[i][0], best[i][1] = best[i][1], best[i][0]
+				}
+			}
+		}
+		return best
+	}
+	bestMask, bestScore := 0, -1
+	for mask := 0; mask < 1<<n; mask++ {
+		if s := score(oriented(mask)); s > bestScore {
+			bestMask, bestScore = mask, s
+		}
+	}
+	return oriented(bestMask)
+}

@@ -1,0 +1,72 @@
+package covert
+
+import (
+	"fmt"
+
+	"coremap/internal/machine"
+	"coremap/internal/msr"
+	"coremap/internal/thermal"
+)
+
+// SimPlatform runs covert channels on a simulated machine + thermal die.
+// The receiver path goes through IA32_THERM_STATUS like the real attack
+// (user-level sensor access, 1 °C quantization); the sender path drives
+// the thermal model's per-core load like a pinned stress-ng worker.
+type SimPlatform struct {
+	M *machine.Machine
+	T *thermal.Simulator
+}
+
+// NewSimPlatform builds a thermal die matching the machine's physical core
+// layout and attaches it to the machine's thermal MSRs.
+func NewSimPlatform(m *machine.Machine, cfg thermal.Config) *SimPlatform {
+	sim := thermal.New(cfg, m.SKU.Rows, m.SKU.Cols, m.PhysCoreTiles())
+	m.AttachThermal(sim)
+	return &SimPlatform{M: m, T: sim}
+}
+
+// SetCoTenants designates background-tenant OS CPUs whose load toggles
+// randomly, modelling the shared-cloud noise of the paper's testbed.
+func (p *SimPlatform) SetCoTenants(cpus []int) {
+	phys := make([]int, len(cpus))
+	for i, cpu := range cpus {
+		phys[i] = p.M.PhysOfOS(cpu)
+	}
+	p.T.SetCoTenants(phys)
+}
+
+// CloudThermalConfig returns the thermal parameters of a noisy shared
+// cloud host: the calibrated die plus stronger effective sensor noise from
+// platform activity. Callers modelling co-tenant jobs should also
+// designate co-tenant CPUs via SetCoTenants.
+func CloudThermalConfig(seed int64) thermal.Config {
+	cfg := thermal.DefaultConfig()
+	cfg.SensorNoise = 0.5
+	cfg.Seed = seed
+	return cfg
+}
+
+// ReadTemp implements Platform via the machine's thermal MSR.
+func (p *SimPlatform) ReadTemp(cpu int) (float64, error) {
+	v, err := p.M.ReadMSR(cpu, msr.AddrIA32ThermStatus)
+	if err != nil {
+		return 0, err
+	}
+	below, valid := msr.DecodeThermStatus(v)
+	if !valid {
+		return 0, fmt.Errorf("covert: cpu %d thermal reading invalid", cpu)
+	}
+	return float64(machine.TjMax - below), nil
+}
+
+// SetLoad implements Platform.
+func (p *SimPlatform) SetLoad(cpu int, active bool) error {
+	if cpu < 0 || cpu >= p.M.NumCPUs() {
+		return fmt.Errorf("covert: cpu %d out of range", cpu)
+	}
+	p.T.SetLoad(p.M.PhysOfOS(cpu), active)
+	return nil
+}
+
+// Advance implements Platform.
+func (p *SimPlatform) Advance(seconds float64) { p.T.Advance(seconds) }

@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"testing"
+
+	"coremap/internal/machine"
+	"coremap/internal/stats"
+)
+
+// The experiment tests assert the paper's qualitative claims ("shape"),
+// not its absolute numbers, at reduced survey/payload sizes; the full-size
+// runs live behind cmd/experiments and the repository benchmarks.
+
+func TestTable1SkylakeMappingsInvariant(t *testing.T) {
+	res, err := Table1(Config{Instances: 12, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table1Result{}
+	for _, r := range res {
+		byName[r.SKU] = r
+	}
+
+	// 8124M and 8175M: every instance shares one mapping, and it is the
+	// paper's stride-4 grouped row.
+	want8124 := []int{0, 4, 8, 12, 16, 2, 6, 10, 14, 1, 5, 9, 13, 17, 3, 7, 11, 15}
+	r := byName["Xeon Platinum 8124M"]
+	if len(r.Rows) != 1 {
+		t.Fatalf("8124M has %d distinct mappings, want 1", len(r.Rows))
+	}
+	for i, cha := range want8124 {
+		if r.Rows[0].Mapping[i] != cha {
+			t.Fatalf("8124M mapping[%d] = %d, want %d (Table I row)", i, r.Rows[0].Mapping[i], cha)
+		}
+	}
+	if len(byName["Xeon Platinum 8175M"].Rows) != 1 {
+		t.Errorf("8175M has %d distinct mappings, want 1", len(byName["Xeon Platinum 8175M"].Rows))
+	}
+
+	// 8259CL: several mappings, dominated by one; the dominant one has
+	// CHA 3 and 25 unassigned (LLC-only).
+	cl := byName["Xeon Platinum 8259CL"]
+	if len(cl.Rows) < 2 {
+		t.Errorf("8259CL has %d distinct mappings, want several", len(cl.Rows))
+	}
+	if cl.Rows[0].N <= cl.Rows[len(cl.Rows)-1].N {
+		t.Error("8259CL mappings are not frequency-sorted")
+	}
+	seen := map[int]bool{}
+	for _, cha := range cl.Rows[0].Mapping {
+		seen[cha] = true
+	}
+	if seen[3] || seen[25] {
+		t.Errorf("dominant 8259CL mapping assigns CHA 3/25, which should be LLC-only: %v", cl.Rows[0].Mapping)
+	}
+}
+
+func TestTable2DiversityOrdering(t *testing.T) {
+	res, err := Table2(Config{Instances: 15, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unique := map[string]int{}
+	top := map[string]int{}
+	for _, r := range res {
+		unique[r.SKU] = r.Unique
+		if len(r.Top) > 0 {
+			top[r.SKU] = r.Top[0].N
+		}
+	}
+	// The paper's ordering: the 8259CL exhibits far more distinct
+	// location patterns than the 18-core part, which has one dominant
+	// pattern.
+	if unique["Xeon Platinum 8259CL"] <= unique["Xeon Platinum 8124M"] {
+		t.Errorf("pattern diversity: 8259CL %d ≤ 8124M %d", unique["Xeon Platinum 8259CL"], unique["Xeon Platinum 8124M"])
+	}
+	if top["Xeon Platinum 8124M"] < 15/2 {
+		t.Errorf("8124M dominant pattern only %d/15 instances; the paper has a majority pattern", top["Xeon Platinum 8124M"])
+	}
+}
+
+func TestFig4RendersThreePatterns(t *testing.T) {
+	grids, err := Fig4(Config{Instances: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grids) != 3 {
+		t.Fatalf("rendered %d grids, want 3", len(grids))
+	}
+	for i, g := range grids {
+		if len(g) == 0 {
+			t.Errorf("grid %d empty", i)
+		}
+	}
+	if grids[0] == grids[1] {
+		t.Error("top two patterns render identically")
+	}
+}
+
+func TestFig5IceLake(t *testing.T) {
+	res, err := Fig5(Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 6 unique patterns out of 10 OCI instances.
+	if res.Unique < 2 || res.Unique > 10 {
+		t.Errorf("unique patterns = %d, want a handful out of 10", res.Unique)
+	}
+	if res.RelativeScore < 0.9 {
+		t.Errorf("mean relative order score %.3f below 0.9", res.RelativeScore)
+	}
+	if len(res.Rendered) == 0 {
+		t.Error("no rendered map")
+	}
+}
+
+func TestFig6HopTrendAndDecode(t *testing.T) {
+	res, err := Fig6(Config{Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HopBER) < 2 {
+		t.Fatalf("only %d hops measured", len(res.HopBER))
+	}
+	if res.HopBER[0] > 0.1 {
+		t.Errorf("1-hop BER %.3f at 1 bps; the paper decodes this reliably", res.HopBER[0])
+	}
+	last := res.HopBER[len(res.HopBER)-1]
+	if last < res.HopBER[0] {
+		t.Errorf("farthest hop BER %.3f better than 1-hop %.3f", last, res.HopBER[0])
+	}
+	if len(res.SenderTrace) == 0 || len(res.HopTraces[0]) == 0 {
+		t.Error("missing traces")
+	}
+	// The sender's own swing dwarfs the 1-hop sink's (Fig. 6 scales).
+	if span(res.SenderTrace) < 2*span(res.HopTraces[0]) {
+		t.Errorf("sender swing %.1f not clearly larger than sink swing %.1f",
+			span(res.SenderTrace), span(res.HopTraces[0]))
+	}
+}
+
+func span(trace []float64) float64 {
+	lo, hi := trace[0], trace[0]
+	for _, v := range trace {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return hi - lo
+}
+
+func TestFig7Shapes(t *testing.T) {
+	cfg := Config{Seed: 8, PayloadBits: 240}
+	vert, err := Fig7(cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horz, err := Fig7(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(cells []Fig7Cell, hops int, rate float64) float64 {
+		for _, c := range cells {
+			if c.Hops == hops && c.BitRate == rate {
+				return c.BER
+			}
+		}
+		t.Fatalf("missing cell %d hops @ %g bps", hops, rate)
+		return 0
+	}
+	// 1-hop at 1 bps is essentially error-free.
+	if b := get(vert, 1, 1); b > 0.02 {
+		t.Errorf("vertical 1-hop @ 1 bps BER %.3f, want ≈0", b)
+	}
+	// BER grows with rate on the 1-hop channel.
+	if get(vert, 1, 8) <= get(vert, 1, 1) {
+		t.Error("vertical 1-hop BER does not grow with rate")
+	}
+	// ≥2 hops is much worse than 1 hop (paper: unusable).
+	if get(vert, 2, 2) < get(vert, 1, 2)+0.05 {
+		t.Errorf("vertical 2-hop @ 2 bps (%.3f) not clearly worse than 1-hop (%.3f)",
+			get(vert, 2, 2), get(vert, 1, 2))
+	}
+	// Vertical beats horizontal at the same rate (Fig. 7a vs 7b).
+	if get(vert, 1, 4) >= get(horz, 1, 4) {
+		t.Errorf("vertical 1-hop @ 4 bps (%.3f) not better than horizontal (%.3f)",
+			get(vert, 1, 4), get(horz, 1, 4))
+	}
+}
+
+func TestFig8aMultiSenderHelps(t *testing.T) {
+	cells, err := Fig8a(Config{Seed: 9, PayloadBits: 240})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(senders int, rate float64) float64 {
+		for _, c := range cells {
+			if c.Senders == senders && c.BitRate == rate {
+				return c.BER
+			}
+		}
+		t.Fatalf("missing cell ×%d @ %g", senders, rate)
+		return 0
+	}
+	if get(4, 8) > get(1, 8) {
+		t.Errorf("×4 senders @ 8 bps (%.3f) worse than ×1 (%.3f)", get(4, 8), get(1, 8))
+	}
+	if get(8, 8) > get(1, 8) {
+		t.Errorf("×8 senders @ 8 bps (%.3f) worse than ×1 (%.3f)", get(8, 8), get(1, 8))
+	}
+}
+
+func TestFig8bAggregateHeadline(t *testing.T) {
+	cells, best, err := Fig8b(Config{Seed: 10, PayloadBits: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("no cells measured")
+	}
+	// Paper headline: ~15 bps aggregate under 1% BER; the simulated die
+	// must land in that regime (≥10 bps).
+	if best < 10 {
+		t.Errorf("max aggregate under 1%% BER = %g bps, want ≥10 (paper: 15)", best)
+	}
+	// Pushing per-channel rate must eventually raise the error rate.
+	var x8low, x8high float64 = -1, -1
+	for _, c := range cells {
+		if c.Channels == 8 && c.PerRate == 1 {
+			x8low = c.BER
+		}
+		if c.Channels == 8 && c.PerRate == 5 {
+			x8high = c.BER
+		}
+	}
+	if x8low >= 0 && x8high >= 0 && x8high <= x8low {
+		t.Errorf("×8 BER at 5 bps (%.3f) not above 1 bps (%.3f)", x8high, x8low)
+	}
+}
+
+func TestVerifyAdjacency(t *testing.T) {
+	res, err := Verify(Config{Seed: 11, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AdjacentBest < res.Receivers-1 {
+		t.Errorf("only %d/%d receivers verified adjacent (exceptions: %+v)",
+			res.AdjacentBest, res.Receivers, res.Exceptions)
+	}
+}
+
+func TestAccuracyBeatsBaselines(t *testing.T) {
+	res, err := Accuracy(Config{Instances: 5, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.MeanRelative < 0.9 {
+			t.Errorf("%s: relative order %.3f below 0.9", r.SKU, r.MeanRelative)
+		}
+		if r.MeanTileAccuracy <= r.LstopoAccuracy {
+			t.Errorf("%s: pipeline (%.3f) does not beat lstopo (%.3f)", r.SKU, r.MeanTileAccuracy, r.LstopoAccuracy)
+		}
+		if r.LatencyAmbiguity < 1 {
+			t.Errorf("%s: latency ambiguity %.2f < 1", r.SKU, r.LatencyAmbiguity)
+		}
+	}
+	// On the diverse 8259CL population, direct measurement must clearly
+	// beat assuming the dominant pattern.
+	for _, r := range res {
+		if r.SKU == "Xeon Platinum 8259CL" && r.MeanTileAccuracy <= r.PatternGenAccuracy {
+			t.Errorf("8259CL: pipeline (%.3f) does not beat pattern generalization (%.3f)",
+				r.MeanTileAccuracy, r.PatternGenAccuracy)
+		}
+	}
+}
+
+// TestPatternKeyMatchesSurvey ties the stats layer to the pipeline: two
+// instances generated from the same fusing pattern must share a pattern
+// key after independent measurement.
+func TestPatternKeyMatchesSurvey(t *testing.T) {
+	a, err := survey(machine.SKU8259CL, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := survey(machine.SKU8259CL, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka := stats.PatternKey(a[0].Result.Pos, a[0].Result.OSToCHA)
+	kb := stats.PatternKey(b[0].Result.Pos, b[0].Result.OSToCHA)
+	if ka != kb {
+		t.Error("same population seed produced different pattern keys")
+	}
+}

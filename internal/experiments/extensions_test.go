@@ -1,0 +1,113 @@
+package experiments
+
+import "testing"
+
+func TestDefenseDegradesChannel(t *testing.T) {
+	cells, err := Defense(Config{Seed: 20, PayloadBits: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(res int, period, rate float64) float64 {
+		for _, c := range cells {
+			if c.ResolutionC == res && c.UpdatePeriod == period && c.BitRate == rate {
+				return c.BER
+			}
+		}
+		t.Fatalf("missing cell %d°C %.2fs %g bps", res, period, rate)
+		return 0
+	}
+	// Undefended baseline works at low rates.
+	if b := get(1, 0, 1); b > 0.02 {
+		t.Errorf("undefended 1 bps BER %.3f, want ≈0", b)
+	}
+	// A 1-second sensor update period must destroy even the 1 bps
+	// channel (fewer than 2 samples per bit).
+	if b := get(1, 1.0, 1); b < 0.1 {
+		t.Errorf("1s update period leaves 1 bps BER at %.3f; defense ineffective", b)
+	}
+	// Coarser resolution must hurt the mid-rate channel.
+	if get(4, 0, 2) <= get(1, 0, 2) {
+		t.Errorf("4°C resolution (%.3f) not worse than 1°C (%.3f) at 2 bps",
+			get(4, 0, 2), get(1, 0, 2))
+	}
+}
+
+func TestECCImprovesResidualErrors(t *testing.T) {
+	cells, err := ECC(Config{Seed: 21, PayloadBits: 280})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScheme := map[string]ECCCell{}
+	for _, c := range cells {
+		byScheme[c.Scheme] = c
+	}
+	raw := byScheme["none"]
+	ham := byScheme["hamming(7,4)"]
+	rep := byScheme["repetition-3"]
+	if raw.ResidualBER == 0 {
+		t.Skip("raw channel happened to be clean at this operating point")
+	}
+	if ham.ResidualBER >= raw.ResidualBER {
+		t.Errorf("hamming residual %.4f not below raw %.4f", ham.ResidualBER, raw.ResidualBER)
+	}
+	if rep.ResidualBER >= raw.ResidualBER {
+		t.Errorf("repetition residual %.4f not below raw %.4f", rep.ResidualBER, raw.ResidualBER)
+	}
+	if ham.Goodput <= rep.Goodput {
+		t.Errorf("hamming goodput %.2f not above repetition %.2f", ham.Goodput, rep.Goodput)
+	}
+}
+
+func TestModulationManchesterBeatsOOK(t *testing.T) {
+	res, err := Modulation(Config{Seed: 22, PayloadBits: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ManchesterBER > res.OOKBER {
+		t.Errorf("Manchester BER %.4f worse than OOK %.4f on a biased payload",
+			res.ManchesterBER, res.OOKBER)
+	}
+}
+
+func TestAblationsSliceSourcesHelpICX(t *testing.T) {
+	cells, err := Ablations(Config{Seed: 23, Instances: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationResult{}
+	for _, c := range cells {
+		byName[c.Variant] = c
+	}
+	with := byName["6354 with slice sources"]
+	without := byName["6354 paper-faithful (no slice sources)"]
+	if with.MeanSolverNodes >= without.MeanSolverNodes {
+		t.Errorf("slice sources did not reduce ICX solver effort: %.0f vs %.0f",
+			with.MeanSolverNodes, without.MeanSolverNodes)
+	}
+	if with.MeanTileAccuracy < without.MeanTileAccuracy-0.01 {
+		t.Errorf("slice sources hurt accuracy: %.3f vs %.3f",
+			with.MeanTileAccuracy, without.MeanTileAccuracy)
+	}
+	// Both bounding-box variants must recover the lightly fused part.
+	for _, v := range []string{"8259CL strict bounds + slice sources", "8259CL paper-printed bounds"} {
+		if byName[v].MeanRelative < 0.95 {
+			t.Errorf("%s: relative %.3f below 0.95", v, byName[v].MeanRelative)
+		}
+	}
+	// Memory anchoring must lift absolute accuracy on every SKU it runs
+	// on (the unanchored map is only mirror/translation-defined).
+	for _, pair := range [][2]string{
+		{"8259CL memory-anchored", "8259CL strict bounds + slice sources"},
+		{"6354 memory-anchored", "6354 with slice sources"},
+		{"8124M memory-anchored", "8124M core pairs only"},
+	} {
+		if byName[pair[0]].MeanAbsoluteAccuracy < byName[pair[1]].MeanAbsoluteAccuracy {
+			t.Errorf("%s absolute %.3f below unanchored %.3f",
+				pair[0], byName[pair[0]].MeanAbsoluteAccuracy, byName[pair[1]].MeanAbsoluteAccuracy)
+		}
+	}
+	if byName["8259CL memory-anchored"].MeanAbsoluteAccuracy < 0.9 {
+		t.Errorf("anchored 8259CL absolute accuracy %.3f below 0.9",
+			byName["8259CL memory-anchored"].MeanAbsoluteAccuracy)
+	}
+}

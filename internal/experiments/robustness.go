@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"coremap"
+	"coremap/internal/locate"
+	"coremap/internal/machine"
+	"coremap/internal/probe"
+)
+
+// RobustnessCell is the outcome of mapping attempts at one platform-noise
+// level.
+type RobustnessCell struct {
+	// NoiseFlits is the background packet size injected roughly every
+	// 8 cache operations.
+	NoiseFlits uint64
+	// Step1Success is the fraction of instances whose OS↔CHA mapping
+	// was recovered without error and matched ground truth.
+	Step1Success float64
+	// MapExact is the fraction of instances whose full map was exact
+	// (up to symmetry).
+	MapExact float64
+	// MeanRelative is the mean relative-order score of the maps that
+	// were produced (0 when none).
+	MeanRelative float64
+	// Failures counts instances where the pipeline returned an error.
+	Failures int
+}
+
+// Robustness sweeps the background-traffic level and reports where the
+// measurement method starts to break — the failure-injection study behind
+// the probe's calibrated counter thresholds.
+func Robustness(cfg Config) ([]RobustnessCell, error) {
+	return RobustnessLevels(cfg, []uint64{0, 2, 4, 8, 16, 32})
+}
+
+// RobustnessLevels is Robustness over a caller-chosen set of noise levels.
+func RobustnessLevels(cfg Config, levels []uint64) ([]RobustnessCell, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.Instances
+	if n > 8 {
+		n = 8
+	}
+	sku := machine.SKU8259CL
+	cfg.printf("Probe robustness vs background mesh traffic (%d instances per level)\n", n)
+	var out []RobustnessCell
+	for _, flits := range levels {
+		cell := RobustnessCell{NoiseFlits: flits}
+		var relSum float64
+		produced := 0
+		for i := 0; i < n; i++ {
+			m := machine.Generate(sku, i, machine.Config{
+				Seed:          cfg.Seed + int64(i),
+				NoiseFlits:    flits,
+				NoiseEveryOps: 8,
+			})
+			res, err := coremap.MapMachine(m, dieFor(sku), coremap.Options{
+				Probe: probe.Options{Seed: cfg.Seed + int64(i)},
+			})
+			if err != nil {
+				cell.Failures++
+				continue
+			}
+			truthMapping := m.TrueOSToCHA()
+			step1OK := true
+			for cpu, cha := range res.OSToCHA {
+				if cha != truthMapping[cpu] {
+					step1OK = false
+					break
+				}
+			}
+			if step1OK {
+				cell.Step1Success++
+			}
+			tr := truth(m)
+			if exact, _ := locate.Score(res.Pos, tr); exact {
+				cell.MapExact++
+			}
+			relSum += locate.RelativeScore(res.Pos, tr)
+			produced++
+		}
+		cell.Step1Success /= float64(n)
+		cell.MapExact /= float64(n)
+		if produced > 0 {
+			cell.MeanRelative = relSum / float64(produced)
+		}
+		out = append(out, cell)
+		cfg.printf("  noise %2d flits/8 ops: step1 %.0f%%, exact map %.0f%%, relative %.3f, failures %d/%d\n",
+			cell.NoiseFlits, cell.Step1Success*100, cell.MapExact*100, cell.MeanRelative, cell.Failures, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+func TestRobustnessSweep(t *testing.T) {
+	// The full six-level sweep (including the 32-flit cliff with its
+	// 16× adaptive repetition) lives behind cmd/experiments; the test
+	// covers the levels the calibrated probe must survive.
+	cells, err := RobustnessLevels(Config{Seed: 30, Instances: 2}, []uint64{0, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byNoise := map[uint64]RobustnessCell{}
+	for _, c := range cells {
+		byNoise[c.NoiseFlits] = c
+	}
+	// Calibrated thresholds must keep step 1 perfect through moderate
+	// background traffic.
+	for _, flits := range []uint64{0, 8} {
+		if c := byNoise[flits]; c.Step1Success < 1.0 {
+			t.Errorf("noise %d: step1 success %.2f, want 1.0", flits, c.Step1Success)
+		}
+		if c := byNoise[flits]; c.Failures != 0 {
+			t.Errorf("noise %d: %d pipeline failures", flits, c.Failures)
+		}
+	}
+	// The maps themselves must stay order-consistent under noise.
+	if c := byNoise[8]; c.MeanRelative < 0.95 {
+		t.Errorf("noise 8: relative order %.3f below 0.95", c.MeanRelative)
+	}
+}

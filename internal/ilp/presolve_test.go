@@ -1,0 +1,128 @@
+package ilp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPresolveMergesEqualities(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 5)
+	y := m.NewVar("y", 0, 5)
+	z := m.NewVar("z", 0, 5)
+	m.AddEq("xy", []Term{T(1, x), T(-1, y)}, 0)
+	m.AddEq("yz", []Term{T(1, y), T(-1, z)}, 0)
+	p := presolve(m)
+	if got := p.model.NumVars(); got != 1 {
+		t.Errorf("presolved model has %d variables, want 1", got)
+	}
+	if p.model.NumConstraints() != 0 {
+		t.Errorf("presolved model kept %d constraints, want 0", p.model.NumConstraints())
+	}
+	if p.repVar[x] != p.repVar[y] || p.repVar[y] != p.repVar[z] {
+		t.Error("variables not mapped to one representative")
+	}
+}
+
+func TestPresolveIntersectsBounds(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 3)
+	y := m.NewVar("y", 2, 9)
+	m.AddEq("xy", []Term{T(1, x), T(-1, y)}, 0)
+	p := presolve(m)
+	if !p.feasible {
+		t.Fatal("feasible merge reported infeasible")
+	}
+	if p.model.lo[0] != 2 || p.model.hi[0] != 3 {
+		t.Errorf("merged bounds [%d,%d], want [2,3]", p.model.lo[0], p.model.hi[0])
+	}
+}
+
+func TestPresolveDetectsInfeasibleMerge(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 1)
+	y := m.NewVar("y", 3, 4)
+	m.AddEq("xy", []Term{T(1, x), T(-1, y)}, 0)
+	if _, err := Solve(m, Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible from presolve", err)
+	}
+}
+
+func TestPresolveKeepsNonEqualities(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 5)
+	y := m.NewVar("y", 0, 5)
+	m.AddLE("le", []Term{T(1, x), T(-1, y)}, 0)     // inequality, not equality
+	m.AddEq("sum", []Term{T(1, x), T(1, y)}, 4)     // equality but not x==y form
+	m.AddEq("scaled", []Term{T(2, x), T(-2, y)}, 0) // scaled equality — also a merge
+	p := presolve(m)
+	if got := p.model.NumVars(); got != 1 {
+		t.Errorf("presolved model has %d variables, want 1 (2x-2y=0 merges)", got)
+	}
+	if p.model.NumConstraints() != 2 {
+		t.Errorf("kept %d constraints, want 2", p.model.NumConstraints())
+	}
+}
+
+// TestPresolveEquivalence: with and without presolve, the solver must find
+// the same objective on random models containing equality chains.
+func TestPresolveEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewModel()
+		n := 3 + r.Intn(4)
+		vars := make([]Var, n)
+		for i := range vars {
+			lo := int64(r.Intn(3))
+			vars[i] = m.NewVar("x", lo, lo+int64(1+r.Intn(3)))
+		}
+		// Random equality links.
+		for i := 0; i < r.Intn(3); i++ {
+			a, b := vars[r.Intn(n)], vars[r.Intn(n)]
+			if a != b {
+				m.AddEq("eq", []Term{T(1, a), T(-1, b)}, 0)
+			}
+		}
+		// Random inequalities.
+		for i := 0; i < 1+r.Intn(3); i++ {
+			var terms []Term
+			for _, v := range vars {
+				if r.Intn(2) == 0 {
+					terms = append(terms, T(int64(r.Intn(5))-2, v))
+				}
+			}
+			if len(terms) > 0 {
+				m.AddLE("c", terms, int64(r.Intn(9))-2)
+			}
+		}
+		obj := make([]Term, n)
+		for i, v := range vars {
+			obj[i] = T(int64(r.Intn(5))-2, v)
+		}
+		m.SetObjective(obj)
+
+		a, errA := Solve(m, Options{})
+		b, errB := Solve(m, Options{NoPresolve: true})
+		if (errA == nil) != (errB == nil) {
+			t.Logf("seed %d: presolve err=%v, plain err=%v", seed, errA, errB)
+			return false
+		}
+		if errA != nil {
+			return true
+		}
+		if CheckFeasible(m, a.Values) != nil {
+			t.Logf("seed %d: presolved solution infeasible on original model", seed)
+			return false
+		}
+		if a.Objective != b.Objective {
+			t.Logf("seed %d: objectives differ: %d vs %d", seed, a.Objective, b.Objective)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(90))}); err != nil {
+		t.Error(err)
+	}
+}

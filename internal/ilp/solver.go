@@ -1,0 +1,335 @@
+package ilp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by Solve.
+var (
+	// ErrInfeasible reports that the model admits no integer solution.
+	ErrInfeasible = errors.New("ilp: infeasible")
+	// ErrNodeLimit reports that the search budget expired before any
+	// feasible solution was found.
+	ErrNodeLimit = errors.New("ilp: node limit reached without a feasible solution")
+)
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// MaxNodes bounds the number of search nodes (0 = DefaultMaxNodes).
+	MaxNodes int
+	// BranchOrder, when non-nil, lists variables to branch on first, in
+	// priority order. Variables not listed are branched after these,
+	// smallest-domain first. The core-map formulation lists the row and
+	// column variables here: once those are fixed, everything else is
+	// decided by propagation or cheap follow-up branching.
+	BranchOrder []Var
+	// NoPresolve disables the equality-merging presolve (mainly for
+	// tests and ablation benchmarks).
+	NoPresolve bool
+}
+
+// DefaultMaxNodes is the search budget used when Options.MaxNodes is 0.
+const DefaultMaxNodes = 2_000_000
+
+// Solve minimizes m's objective subject to its constraints.
+func Solve(m *Model, opts Options) (*Solution, error) {
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+
+	target := m
+	branchOrder := opts.BranchOrder
+	var pre *presolved
+	if !opts.NoPresolve {
+		pre = presolve(m)
+		if !pre.feasible {
+			return nil, ErrInfeasible
+		}
+		target = pre.model
+		branchOrder = pre.mapBranchOrder(opts.BranchOrder)
+	}
+
+	s := &solver{m: target, maxNodes: maxNodes}
+	s.build(branchOrder)
+
+	lo := append([]int64(nil), target.lo...)
+	hi := append([]int64(nil), target.hi...)
+	s.search(lo, hi)
+
+	if s.best == nil {
+		if s.nodes >= s.maxNodes {
+			return nil, ErrNodeLimit
+		}
+		return nil, ErrInfeasible
+	}
+	values := s.best
+	if pre != nil {
+		values = pre.expand(values)
+	}
+	return &Solution{
+		Values:    values,
+		Objective: s.bestObj,
+		Optimal:   s.nodes < s.maxNodes,
+		Nodes:     s.nodes,
+	}, nil
+}
+
+type solver struct {
+	m        *Model
+	cons     []constraint
+	occ      [][]int32 // var → indices of constraints containing it
+	objIdx   int       // index of the objective cut constraint, or -1
+	rank     []int32   // var → branch priority (lower first)
+	maxNodes int
+	nodes    int
+	best     []int64
+	bestObj  int64
+}
+
+func (s *solver) build(order []Var) {
+	s.cons = append([]constraint(nil), s.m.cons...)
+	s.objIdx = -1
+	if len(s.m.obj) > 0 {
+		// The objective is represented as a mutable cut constraint:
+		// once an incumbent with value z is found, its upper bound
+		// becomes z-1 and propagation prunes anything not better.
+		s.objIdx = len(s.cons)
+		s.cons = append(s.cons, constraint{
+			terms: s.m.obj, lo: NegInf, hi: PosInf, label: "objective-cut",
+		})
+	}
+	s.occ = make([][]int32, len(s.m.lo))
+	for ci, c := range s.cons {
+		for _, t := range c.terms {
+			s.occ[t.Var] = append(s.occ[t.Var], int32(ci))
+		}
+	}
+	s.rank = make([]int32, len(s.m.lo))
+	for i := range s.rank {
+		s.rank[i] = int32(len(order)) // unlisted vars after listed ones
+	}
+	for i, v := range order {
+		s.rank[v] = int32(i)
+	}
+}
+
+// floorDiv returns ⌊a/b⌋ for any non-zero b.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// ceilDiv returns ⌈a/b⌉ for any non-zero b.
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
+}
+
+// propagate tightens lo/hi to a fixpoint of interval consistency over all
+// constraints (plus the objective cut). It reports false on a domain wipe-
+// out or violated constraint.
+func (s *solver) propagate(lo, hi []int64, seed []int32) bool {
+	inQueue := make([]bool, len(s.cons))
+	queue := make([]int32, 0, len(s.cons))
+	push := func(ci int32) {
+		if !inQueue[ci] {
+			inQueue[ci] = true
+			queue = append(queue, ci)
+		}
+	}
+	if seed == nil {
+		for ci := range s.cons {
+			push(int32(ci))
+		}
+	} else {
+		for _, ci := range seed {
+			push(ci)
+		}
+	}
+
+	for len(queue) > 0 {
+		ci := queue[0]
+		queue = queue[1:]
+		inQueue[ci] = false
+		c := &s.cons[ci]
+
+		var minAct, maxAct int64
+		for _, t := range c.terms {
+			if t.Coef > 0 {
+				minAct += t.Coef * lo[t.Var]
+				maxAct += t.Coef * hi[t.Var]
+			} else {
+				minAct += t.Coef * hi[t.Var]
+				maxAct += t.Coef * lo[t.Var]
+			}
+		}
+		if minAct > c.hi || maxAct < c.lo {
+			return false
+		}
+		for _, t := range c.terms {
+			v := t.Var
+			var tMin, tMax int64
+			if t.Coef > 0 {
+				tMin, tMax = t.Coef*lo[v], t.Coef*hi[v]
+			} else {
+				tMin, tMax = t.Coef*hi[v], t.Coef*lo[v]
+			}
+			restMin := minAct - tMin
+			restMax := maxAct - tMax
+			// t.Coef*x ≤ c.hi - restMin and t.Coef*x ≥ c.lo - restMax.
+			var newLo, newHi int64
+			if t.Coef > 0 {
+				newHi = floorDiv(clampInf(c.hi)-restMin, t.Coef)
+				newLo = ceilDiv(clampInf(c.lo)-restMax, t.Coef)
+			} else {
+				newLo, newHi = boundsNegCoef(t.Coef, clampInf(c.hi)-restMin, clampInf(c.lo)-restMax)
+			}
+			changed := false
+			if newHi < hi[v] {
+				hi[v] = newHi
+				changed = true
+			}
+			if newLo > lo[v] {
+				lo[v] = newLo
+				changed = true
+			}
+			if changed {
+				if lo[v] > hi[v] {
+					return false
+				}
+				for _, oc := range s.occ[v] {
+					push(oc)
+				}
+				// Recompute activities incrementally for the
+				// remaining terms of this constraint.
+				var nMin, nMax int64
+				if t.Coef > 0 {
+					nMin, nMax = t.Coef*lo[v], t.Coef*hi[v]
+				} else {
+					nMin, nMax = t.Coef*hi[v], t.Coef*lo[v]
+				}
+				minAct = restMin + nMin
+				maxAct = restMax + nMax
+			}
+		}
+	}
+	return true
+}
+
+// clampInf keeps the ±Inf sentinels from overflowing division arithmetic.
+func clampInf(x int64) int64 {
+	if x >= PosInf {
+		return PosInf
+	}
+	if x <= NegInf {
+		return NegInf
+	}
+	return x
+}
+
+// boundsNegCoef computes the [lo,hi] bounds of x from c·x ≤ ubRhs and
+// c·x ≥ lbRhs when c < 0 (dividing by a negative flips the inequalities).
+func boundsNegCoef(c, ubRhs, lbRhs int64) (lo, hi int64) {
+	return ceilDiv(ubRhs, c), floorDiv(lbRhs, c)
+}
+
+// pickVar selects the next branching variable: lowest rank first, then
+// smallest current domain. Returns -1 when every variable is fixed.
+func (s *solver) pickVar(lo, hi []int64) int {
+	best := -1
+	var bestRank int32
+	var bestSpan int64
+	for v := range lo {
+		span := hi[v] - lo[v]
+		if span == 0 {
+			continue
+		}
+		if best == -1 || s.rank[v] < bestRank || (s.rank[v] == bestRank && span < bestSpan) {
+			best, bestRank, bestSpan = v, s.rank[v], span
+		}
+	}
+	return best
+}
+
+func (s *solver) objective(vals []int64) int64 {
+	var z int64
+	for _, t := range s.m.obj {
+		z += t.Coef * vals[t.Var]
+	}
+	return z
+}
+
+// search runs depth-first branch and bound. lo/hi are consumed.
+func (s *solver) search(lo, hi []int64) {
+	type frame struct {
+		lo, hi []int64
+		seed   []int32
+	}
+	stack := []frame{{lo: lo, hi: hi, seed: nil}}
+	for len(stack) > 0 {
+		if s.nodes >= s.maxNodes {
+			return
+		}
+		s.nodes++
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		if !s.propagate(f.lo, f.hi, f.seed) {
+			continue
+		}
+		v := s.pickVar(f.lo, f.hi)
+		if v == -1 {
+			vals := append([]int64(nil), f.lo...)
+			z := s.objective(vals)
+			if s.best == nil || z < s.bestObj {
+				s.best = vals
+				s.bestObj = z
+				if s.objIdx >= 0 {
+					s.cons[s.objIdx].hi = z - 1
+				}
+			}
+			continue
+		}
+		// Branch on each value, lowest first. Pushing in reverse makes
+		// the stack explore ascending values first, which suits the
+		// packing objective (small indices first).
+		for x := f.hi[v]; x >= f.lo[v]; x-- {
+			nl := append([]int64(nil), f.lo...)
+			nh := append([]int64(nil), f.hi...)
+			nl[v], nh[v] = x, x
+			stack = append(stack, frame{lo: nl, hi: nh, seed: s.occ[v]})
+		}
+	}
+}
+
+// CheckFeasible verifies that the given assignment satisfies every
+// constraint of the model, returning a descriptive error for the first
+// violation. It is used by tests and by locate's sanity checks.
+func CheckFeasible(m *Model, vals []int64) error {
+	if len(vals) != len(m.lo) {
+		return fmt.Errorf("ilp: assignment has %d values, model has %d variables", len(vals), len(m.lo))
+	}
+	for v := range m.lo {
+		if vals[v] < m.lo[v] || vals[v] > m.hi[v] {
+			return fmt.Errorf("ilp: %s = %d outside [%d,%d]", m.names[v], vals[v], m.lo[v], m.hi[v])
+		}
+	}
+	for _, c := range m.cons {
+		var sum int64
+		for _, t := range c.terms {
+			sum += t.Coef * vals[t.Var]
+		}
+		if sum < c.lo || sum > c.hi {
+			return fmt.Errorf("ilp: constraint %q violated: %d ∉ [%d,%d]", c.label, sum, c.lo, c.hi)
+		}
+	}
+	return nil
+}

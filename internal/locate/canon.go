@@ -1,0 +1,161 @@
+package locate
+
+import "coremap/internal/mesh"
+
+// The reconstructed map is determined only up to a horizontal mirror (the
+// odd-column tile flip hides east/west) and a translation (fully vacant
+// border rows/columns are unobservable; the packing objective normalizes
+// them away). Canonical forms make maps comparable across those symmetries.
+
+// normalize translates positions so the minimum occupied row and column
+// become zero.
+func normalize(pos []mesh.Coord) []mesh.Coord {
+	if len(pos) == 0 {
+		return nil
+	}
+	minR, minC := pos[0].Row, pos[0].Col
+	for _, p := range pos {
+		if p.Row < minR {
+			minR = p.Row
+		}
+		if p.Col < minC {
+			minC = p.Col
+		}
+	}
+	out := make([]mesh.Coord, len(pos))
+	for i, p := range pos {
+		out[i] = mesh.Coord{Row: p.Row - minR, Col: p.Col - minC}
+	}
+	return out
+}
+
+// mirror flips positions horizontally within their occupied bounding box.
+func mirror(pos []mesh.Coord) []mesh.Coord {
+	maxC := 0
+	for _, p := range pos {
+		if p.Col > maxC {
+			maxC = p.Col
+		}
+	}
+	out := make([]mesh.Coord, len(pos))
+	for i, p := range pos {
+		out[i] = mesh.Coord{Row: p.Row, Col: maxC - p.Col}
+	}
+	return out
+}
+
+func lexLess(a, b []mesh.Coord) bool {
+	for i := range a {
+		if a[i].Row != b[i].Row {
+			return a[i].Row < b[i].Row
+		}
+		if a[i].Col != b[i].Col {
+			return a[i].Col < b[i].Col
+		}
+	}
+	return false
+}
+
+// Canonical returns the canonical form of a position list (indexed by CHA
+// ID): translation-normalized, and the lexicographically smaller of the
+// map and its horizontal mirror.
+func Canonical(pos []mesh.Coord) []mesh.Coord {
+	a := normalize(pos)
+	b := normalize(mirror(a))
+	if lexLess(b, a) {
+		return b
+	}
+	return a
+}
+
+// Equivalent reports whether two maps are equal up to translation and
+// horizontal mirroring.
+func Equivalent(a, b []mesh.Coord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ca, cb := Canonical(a), Canonical(b)
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RelativeScore returns the fraction of tile pairs whose relative ordering
+// — the sign of the row difference and of the column difference — matches
+// ground truth under the best mirror choice. A map that is exact except
+// for compacted fully-vacant rows or columns (the paper's Sec. II-D
+// failure mode) still scores 1.0 here.
+func RelativeScore(got, truth []mesh.Coord) float64 {
+	if len(got) != len(truth) || len(got) < 2 {
+		return 0
+	}
+	best := 0
+	for _, cand := range [][]mesh.Coord{got, mirror(got)} {
+		n := 0
+		for i := 0; i < len(cand); i++ {
+			for j := i + 1; j < len(cand); j++ {
+				if sgn(cand[i].Row-cand[j].Row) == sgn(truth[i].Row-truth[j].Row) &&
+					sgn(cand[i].Col-cand[j].Col) == sgn(truth[i].Col-truth[j].Col) {
+					n++
+				}
+			}
+		}
+		if n > best {
+			best = n
+		}
+	}
+	return float64(best) / float64(len(got)*(len(got)-1)/2)
+}
+
+func sgn(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ScoreAbsolute compares an anchored reconstruction against ground truth
+// in absolute die coordinates — no mirror or translation allowance,
+// because memory-anchored observations eliminate both ambiguities.
+func ScoreAbsolute(got, truth []mesh.Coord) (exact bool, tilesCorrect int) {
+	if len(got) != len(truth) {
+		return false, 0
+	}
+	n := 0
+	for i := range got {
+		if got[i] == truth[i] {
+			n++
+		}
+	}
+	return n == len(truth), n
+}
+
+// Score compares a reconstruction against ground truth and returns whether
+// the maps match exactly (up to the inherent symmetries) and how many
+// individual tiles land on their true cell under the best symmetry choice.
+func Score(got, truth []mesh.Coord) (exact bool, tilesCorrect int) {
+	if len(got) != len(truth) {
+		return false, 0
+	}
+	t := normalize(truth)
+	best := 0
+	for _, cand := range [][]mesh.Coord{normalize(got), normalize(mirror(got))} {
+		n := 0
+		for i := range cand {
+			if cand[i] == t[i] {
+				n++
+			}
+		}
+		if n > best {
+			best = n
+		}
+	}
+	return best == len(truth), best
+}

@@ -1,0 +1,340 @@
+// Package locate implements step 3 of the core-locating method: turning
+// the partial traffic observations of internal/probe into the physical
+// core-tile map, by solving the paper's integer-linear-program formulation
+// (Sec. II-C) with internal/ilp.
+//
+// Variables per CHA tile i: row R_i and column C_i. Every observation
+// contributes:
+//
+//   - alignment: CHAs that saw vertical ingress share the source's column;
+//     CHAs that saw horizontal ingress share the sink's row;
+//   - vertical bounding boxes: up-ingress observers lie strictly below the
+//     source and not above the sink (reversed for down);
+//   - horizontal bounding boxes: because odd columns are mirrored, the
+//     true east/west direction is unknowable, so per-path binary
+//     "nullifier" variables NE_p/NW_p enable exactly one direction's
+//     bounds (big-M trick);
+//   - one-hot row/column encodings plus occupancy indicator variables
+//     feed a weighted objective that selects the tightest packed map.
+//
+// Tiles are additionally kept from overlapping by lazily adding pairwise
+// separation disjunctions — only for the (rare, LLC-only-tile) pairs the
+// relaxed solution actually collapses, which keeps the base model small.
+package locate
+
+import (
+	"errors"
+	"fmt"
+
+	"coremap/internal/ilp"
+	"coremap/internal/mesh"
+	"coremap/internal/probe"
+)
+
+// bigM nullifies guarded constraints; any value exceeding every possible
+// index difference and tile count works.
+const bigM = 64
+
+// Input is the reconstruction problem.
+type Input struct {
+	// NumCHA is the number of tiles to place (every active CHA).
+	NumCHA int
+	// Rows and Cols are the die tile-grid dimensions T_h × T_w, known
+	// per CPU family from die documentation.
+	Rows, Cols int
+	// Observations is the step-2 measurement output.
+	Observations []probe.Observation
+	// IMCPositions gives the die coordinates of the memory controllers,
+	// indexed by IMC number. Required only when Observations contains
+	// memory-anchored entries; anchored reconstructions come out in
+	// absolute die coordinates (no mirror or translation ambiguity).
+	IMCPositions []mesh.Coord
+}
+
+// Options tunes reconstruction.
+type Options struct {
+	// MaxNodes bounds the ILP search per solve (0 = ilp default).
+	MaxNodes int
+	// MaxSeparationRounds bounds the lazy no-overlap loop.
+	MaxSeparationRounds int
+	// PaperExactBounds, when true, uses the paper's printed (looser)
+	// horizontal bounding-box inequalities (2)/(3) instead of the strict
+	// dimension-order-routing form. The strict form is the default; both
+	// must admit the true map.
+	PaperExactBounds bool
+}
+
+// Map is a reconstructed physical layout.
+type Map struct {
+	// Pos maps CHA ID → tile coordinate.
+	Pos []mesh.Coord
+	// Rows, Cols echo the grid the map was solved on.
+	Rows, Cols int
+	// Anchored reports whether memory-anchored observations pinned the
+	// map in absolute die coordinates (compare with ScoreAbsolute; an
+	// unanchored map is only defined up to mirror/translation).
+	Anchored bool
+	// Optimal reports whether the ILP proved optimality.
+	Optimal bool
+	// Nodes is the total branch-and-bound nodes over all solve rounds.
+	Nodes int
+	// SeparationRounds is how many lazy no-overlap rounds were needed.
+	SeparationRounds int
+}
+
+// ErrUnsatisfiable reports that no placement explains the observations —
+// in practice a sign of measurement noise exceeding the probe threshold.
+var ErrUnsatisfiable = errors.New("locate: observations admit no placement")
+
+// builder assembles the ILP.
+type builder struct {
+	m       *ilp.Model
+	r, c    []ilp.Var
+	anchors map[mesh.Coord][2]ilp.Var
+	in      Input
+}
+
+func newBuilder(in Input) *builder {
+	b := &builder{m: ilp.NewModel(), in: in, anchors: make(map[mesh.Coord][2]ilp.Var)}
+	b.r = make([]ilp.Var, in.NumCHA)
+	b.c = make([]ilp.Var, in.NumCHA)
+	for i := 0; i < in.NumCHA; i++ {
+		b.r[i] = b.m.NewVar(fmt.Sprintf("R%d", i), 0, int64(in.Rows-1))
+		b.c[i] = b.m.NewVar(fmt.Sprintf("C%d", i), 0, int64(in.Cols-1))
+	}
+	return b
+}
+
+// srcVars returns the row/column variables of an observation's source:
+// the CHA's position unknowns, or — for memory-anchored observations —
+// variables fixed at the known IMC die position.
+func (b *builder) srcVars(o probe.Observation) (ilp.Var, ilp.Var) {
+	if !o.Anchored {
+		return b.r[o.SrcCHA], b.c[o.SrcCHA]
+	}
+	pos := b.in.IMCPositions[o.SrcIMC]
+	if v, ok := b.anchors[pos]; ok {
+		return v[0], v[1]
+	}
+	rv := b.m.NewVar(fmt.Sprintf("AR%d_%d", pos.Row, pos.Col), int64(pos.Row), int64(pos.Row))
+	cv := b.m.NewVar(fmt.Sprintf("AC%d_%d", pos.Row, pos.Col), int64(pos.Col), int64(pos.Col))
+	b.anchors[pos] = [2]ilp.Var{rv, cv}
+	return rv, cv
+}
+
+// addObservation encodes one traffic path's constraints.
+func (b *builder) addObservation(p int, o probe.Observation, paperBounds bool) {
+	e := o.DstCHA
+	srcR, srcC := b.srcVars(o)
+	label := func(kind string, k int) string {
+		return fmt.Sprintf("p%d(%d→%d)/%s@%d", p, o.SrcCHA, e, kind, k)
+	}
+
+	for _, k := range o.Up {
+		// Vertical alignment with the source column.
+		b.m.AddEq(label("col", k), []ilp.Term{ilp.T(1, b.c[k]), ilp.T(-1, srcC)}, 0)
+		// Upward travel: R_s > R_k ≥ R_e.
+		b.m.AddGE(label("up-src", k), []ilp.Term{ilp.T(1, srcR), ilp.T(-1, b.r[k])}, 1)
+		b.m.AddGE(label("up-dst", k), []ilp.Term{ilp.T(1, b.r[k]), ilp.T(-1, b.r[e])}, 0)
+	}
+	for _, k := range o.Down {
+		b.m.AddEq(label("col", k), []ilp.Term{ilp.T(1, b.c[k]), ilp.T(-1, srcC)}, 0)
+		// Downward travel: R_s < R_k ≤ R_e.
+		b.m.AddGE(label("dn-src", k), []ilp.Term{ilp.T(1, b.r[k]), ilp.T(-1, srcR)}, 1)
+		b.m.AddGE(label("dn-dst", k), []ilp.Term{ilp.T(1, b.r[e]), ilp.T(-1, b.r[k])}, 0)
+	}
+	if len(o.Horz) == 0 {
+		return
+	}
+	ne := b.m.NewBinary(fmt.Sprintf("NE%d", p))
+	nw := b.m.NewBinary(fmt.Sprintf("NW%d", p))
+	b.m.AddEq(label("dir", 0), []ilp.Term{ilp.T(1, ne), ilp.T(1, nw)}, 1)
+	for _, k := range o.Horz {
+		// Horizontal alignment with the sink row.
+		b.m.AddEq(label("row", k), []ilp.Term{ilp.T(1, b.r[k]), ilp.T(-1, b.r[e])}, 0)
+
+		srcGap, dstGap := int64(1), int64(1)
+		if paperBounds {
+			// The paper's (2)/(3): C_s ≤ C_k and C_k < C_e
+			// (eastbound), mirrored westbound.
+			srcGap = 0
+		}
+		// Eastbound (active when NE=0): C_s + srcGap ≤ C_k.
+		b.m.AddLE(label("east-src", k),
+			[]ilp.Term{ilp.T(1, srcC), ilp.T(-1, b.c[k]), ilp.T(-bigM, ne)}, -srcGap)
+		// Westbound (active when NW=0): C_k + srcGap ≤ C_s.
+		b.m.AddLE(label("west-src", k),
+			[]ilp.Term{ilp.T(1, b.c[k]), ilp.T(-1, srcC), ilp.T(-bigM, nw)}, -srcGap)
+		if k != e {
+			// Intermediates sit strictly before the sink.
+			b.m.AddLE(label("east-dst", k),
+				[]ilp.Term{ilp.T(1, b.c[k]), ilp.T(-1, b.c[e]), ilp.T(-bigM, ne)}, -dstGap)
+			b.m.AddLE(label("west-dst", k),
+				[]ilp.Term{ilp.T(1, b.c[e]), ilp.T(-1, b.c[k]), ilp.T(-bigM, nw)}, -dstGap)
+		}
+	}
+}
+
+// addObjective builds the one-hot channeling, the occupancy indicators and
+// the weighted packing objective of Sec. II-C.5/6.
+func (b *builder) addObjective() {
+	in := b.in
+	var obj []ilp.Term
+
+	addDim := func(dim string, vars []ilp.Var, size int) {
+		// One-hot per tile.
+		oh := make([][]ilp.Var, in.NumCHA)
+		for i := 0; i < in.NumCHA; i++ {
+			oh[i] = make([]ilp.Var, size)
+			sum := make([]ilp.Term, size)
+			channel := make([]ilp.Term, 0, size+1)
+			channel = append(channel, ilp.T(-1, vars[i]))
+			for r := 0; r < size; r++ {
+				oh[i][r] = b.m.NewBinary(fmt.Sprintf("OH%s%d_%d", dim, i, r))
+				sum[r] = ilp.T(1, oh[i][r])
+				if r > 0 {
+					channel = append(channel, ilp.T(int64(r), oh[i][r]))
+				}
+			}
+			b.m.AddEq(fmt.Sprintf("onehot-%s%d", dim, i), sum, 1)
+			b.m.AddEq(fmt.Sprintf("channel-%s%d", dim, i), channel, 0)
+		}
+		// Occupancy indicators and objective weights.
+		for r := 0; r < size; r++ {
+			ind := b.m.NewBinary(fmt.Sprintf("I%s%d", dim, r))
+			occ := make([]ilp.Term, 0, in.NumCHA+1)
+			for i := 0; i < in.NumCHA; i++ {
+				occ = append(occ, ilp.T(1, oh[i][r]))
+			}
+			// ind ≤ Σ occ: ind - Σ occ ≤ 0.
+			lower := append([]ilp.Term{ilp.T(1, ind)}, negate(occ)...)
+			b.m.AddLE(fmt.Sprintf("ind-lo-%s%d", dim, r), lower, 0)
+			// Σ occ ≤ bigM·ind.
+			upper := append(append([]ilp.Term{}, occ...), ilp.T(-bigM, ind))
+			b.m.AddLE(fmt.Sprintf("ind-hi-%s%d", dim, r), upper, 0)
+			obj = append(obj, ilp.T(int64(r+1), ind))
+		}
+	}
+	addDim("R", b.r, in.Rows)
+	addDim("C", b.c, in.Cols)
+	b.m.SetObjective(obj)
+}
+
+func negate(terms []ilp.Term) []ilp.Term {
+	out := make([]ilp.Term, len(terms))
+	for i, t := range terms {
+		out[i] = ilp.T(-t.Coef, t.Var)
+	}
+	return out
+}
+
+// addSeparation forces tiles i and j onto different cells via a four-way
+// big-M disjunction.
+func (b *builder) addSeparation(i, j int) {
+	name := fmt.Sprintf("sep%d-%d", i, j)
+	dirs := make([]ilp.Term, 4)
+	lhs := [][]ilp.Term{
+		{ilp.T(1, b.r[j]), ilp.T(-1, b.r[i])}, // R_i < R_j
+		{ilp.T(1, b.r[i]), ilp.T(-1, b.r[j])}, // R_i > R_j
+		{ilp.T(1, b.c[j]), ilp.T(-1, b.c[i])}, // C_i < C_j
+		{ilp.T(1, b.c[i]), ilp.T(-1, b.c[j])}, // C_i > C_j
+	}
+	for d := range lhs {
+		a := b.m.NewBinary(fmt.Sprintf("%s/d%d", name, d))
+		dirs[d] = ilp.T(1, a)
+		// active when a=1: lhs ≥ 1  ⇔  -lhs + bigM·(1-a) ≥ ... encode
+		// as lhs + bigM·a ≥ 1 + ... simplest: lhs ≥ 1 - bigM·(1-a):
+		// lhs + bigM·(1-a) ≥ 1 → lhs - bigM·a ≥ 1 - bigM.
+		terms := append(append([]ilp.Term{}, lhs[d]...), ilp.T(-bigM, a))
+		b.m.AddGE(name, terms, 1-bigM)
+	}
+	b.m.AddGE(name+"/any", dirs, 1)
+}
+
+// branchOrder returns the R/C variables interleaved per tile, which lets
+// equality propagation fix most of the model after a few decisions.
+func (b *builder) branchOrder() []ilp.Var {
+	out := make([]ilp.Var, 0, 2*b.in.NumCHA)
+	for i := 0; i < b.in.NumCHA; i++ {
+		out = append(out, b.c[i], b.r[i])
+	}
+	return out
+}
+
+// Reconstruct solves the placement problem.
+func Reconstruct(in Input, opts Options) (*Map, error) {
+	if in.NumCHA <= 0 || in.Rows <= 0 || in.Cols <= 0 {
+		return nil, fmt.Errorf("locate: invalid input %d CHAs on %dx%d", in.NumCHA, in.Rows, in.Cols)
+	}
+	anchored := false
+	for _, o := range in.Observations {
+		if !o.Anchored {
+			continue
+		}
+		if o.SrcIMC < 0 || o.SrcIMC >= len(in.IMCPositions) {
+			return nil, fmt.Errorf("locate: anchored observation references IMC %d but only %d positions are known",
+				o.SrcIMC, len(in.IMCPositions))
+		}
+		anchored = true
+	}
+	maxRounds := opts.MaxSeparationRounds
+	if maxRounds == 0 {
+		maxRounds = 8
+	}
+
+	b := newBuilder(in)
+	for p, o := range in.Observations {
+		b.addObservation(p, o, opts.PaperExactBounds)
+	}
+	b.addObjective()
+
+	result := &Map{Rows: in.Rows, Cols: in.Cols, Anchored: anchored}
+	for round := 0; ; round++ {
+		sol, err := ilp.Solve(b.m, ilp.Options{
+			MaxNodes:    opts.MaxNodes,
+			BranchOrder: b.branchOrder(),
+		})
+		if errors.Is(err, ilp.ErrInfeasible) {
+			return nil, ErrUnsatisfiable
+		}
+		if err != nil {
+			return nil, err
+		}
+		result.Nodes += sol.Nodes
+		result.Optimal = sol.Optimal
+		result.SeparationRounds = round
+
+		pos := make([]mesh.Coord, in.NumCHA)
+		for i := 0; i < in.NumCHA; i++ {
+			pos[i] = mesh.Coord{Row: int(sol.Value(b.r[i])), Col: int(sol.Value(b.c[i]))}
+		}
+		overlaps := findOverlaps(pos)
+		if len(overlaps) == 0 || round >= maxRounds {
+			result.Pos = pos
+			if len(overlaps) > 0 {
+				return result, fmt.Errorf("locate: %d overlapping tile pairs remain after %d separation rounds",
+					len(overlaps), round)
+			}
+			return result, nil
+		}
+		for _, ov := range overlaps {
+			b.addSeparation(ov[0], ov[1])
+		}
+	}
+}
+
+func findOverlaps(pos []mesh.Coord) [][2]int {
+	byCell := make(map[mesh.Coord][]int)
+	for i, p := range pos {
+		byCell[p] = append(byCell[p], i)
+	}
+	var out [][2]int
+	for _, group := range byCell {
+		for a := 0; a < len(group); a++ {
+			for b := a + 1; b < len(group); b++ {
+				out = append(out, [2]int{group[a], group[b]})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package locate
+
+import (
+	"fmt"
+
+	"coremap/internal/mesh"
+	"coremap/internal/probe"
+)
+
+// Validate checks a placement against every observation semantically —
+// alignment, vertical ordering and the existence of a consistent
+// horizontal direction per path — without building the ILP. It returns a
+// descriptive error for the first violated observation. Reconstruct's
+// solutions always validate (the ILP enforces a superset of these
+// constraints); the function exists as an independent cross-check and for
+// validating externally supplied maps.
+func Validate(in Input, pos []mesh.Coord) error {
+	if len(pos) != in.NumCHA {
+		return fmt.Errorf("locate: placement has %d tiles, expected %d", len(pos), in.NumCHA)
+	}
+	at := func(cha int) (mesh.Coord, error) {
+		if cha < 0 || cha >= len(pos) {
+			return mesh.Coord{}, fmt.Errorf("locate: observation references CHA %d", cha)
+		}
+		return pos[cha], nil
+	}
+	for i, o := range in.Observations {
+		var src mesh.Coord
+		if o.Anchored {
+			if o.SrcIMC < 0 || o.SrcIMC >= len(in.IMCPositions) {
+				return fmt.Errorf("locate: observation %d references unknown IMC %d", i, o.SrcIMC)
+			}
+			src = in.IMCPositions[o.SrcIMC]
+		} else {
+			var err error
+			if src, err = at(o.SrcCHA); err != nil {
+				return err
+			}
+		}
+		dst, err := at(o.DstCHA)
+		if err != nil {
+			return err
+		}
+		if err := validatePath(o, src, dst, pos); err != nil {
+			return fmt.Errorf("locate: observation %d (%d→%d): %w", i, o.SrcCHA, o.DstCHA, err)
+		}
+	}
+	return nil
+}
+
+func validatePath(o probe.Observation, src, dst mesh.Coord, pos []mesh.Coord) error {
+	for _, k := range o.Up {
+		c := pos[k]
+		if c.Col != src.Col {
+			return fmt.Errorf("up observer %d at %v not in source column %d", k, c, src.Col)
+		}
+		if !(src.Row > c.Row && c.Row >= dst.Row) {
+			return fmt.Errorf("up observer %d at row %d outside (%d,%d]", k, c.Row, dst.Row-1, src.Row-1)
+		}
+	}
+	for _, k := range o.Down {
+		c := pos[k]
+		if c.Col != src.Col {
+			return fmt.Errorf("down observer %d at %v not in source column %d", k, c, src.Col)
+		}
+		if !(src.Row < c.Row && c.Row <= dst.Row) {
+			return fmt.Errorf("down observer %d at row %d outside [%d,%d)", k, c.Row, src.Row+1, dst.Row)
+		}
+	}
+	if len(o.Horz) == 0 {
+		return nil
+	}
+	// One direction must explain every horizontal observer: strictly
+	// east of the source, on the sink row, and not past the sink (or the
+	// westbound mirror image).
+	ok := func(east bool) bool {
+		for _, k := range o.Horz {
+			c := pos[k]
+			if c.Row != dst.Row {
+				return false
+			}
+			if east {
+				if !(src.Col < c.Col && c.Col <= dst.Col) {
+					return false
+				}
+			} else {
+				if !(src.Col > c.Col && c.Col >= dst.Col) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if !ok(true) && !ok(false) {
+		return fmt.Errorf("horizontal observers %v fit neither direction", o.Horz)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package machine
+
+import (
+	"testing"
+
+	"coremap/internal/msr"
+)
+
+// clockedTemp is a ClockedSource whose temperature and clock the test
+// drives directly.
+type clockedTemp struct {
+	temp float64
+	now  float64
+}
+
+func (c *clockedTemp) CoreTemp(int) float64 { return c.temp }
+func (c *clockedTemp) Now() float64         { return c.now }
+
+func readTempC(t *testing.T, m *Machine, cpu int) int {
+	t.Helper()
+	v, err := m.ReadMSR(cpu, msr.AddrIA32ThermStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	below, _ := msr.DecodeThermStatus(v)
+	return TjMax - below
+}
+
+func TestThermalDefenseResolution(t *testing.T) {
+	m := Generate(SKU8124M, 0, Config{Seed: 1})
+	src := &clockedTemp{temp: 41.3}
+	m.AttachThermal(src)
+
+	if got := readTempC(t, m, 0); got != 41 {
+		t.Errorf("1°C resolution readout = %d, want 41", got)
+	}
+	m.SetThermalDefense(4, 0)
+	if got := readTempC(t, m, 0); got != 40 {
+		t.Errorf("4°C resolution readout = %d, want 40", got)
+	}
+	src.temp = 43.0
+	if got := readTempC(t, m, 0); got != 44 {
+		t.Errorf("4°C resolution readout of 43.0 = %d, want 44 (nearest step)", got)
+	}
+	m.SetThermalDefense(0, 0)
+	if got := readTempC(t, m, 0); got != 43 {
+		t.Errorf("reset defense readout = %d, want 43", got)
+	}
+}
+
+func TestThermalDefenseUpdatePeriod(t *testing.T) {
+	m := Generate(SKU8124M, 0, Config{Seed: 2})
+	src := &clockedTemp{temp: 40}
+	m.AttachThermal(src)
+	m.SetThermalDefense(1, 1.0)
+
+	if got := readTempC(t, m, 3); got != 40 {
+		t.Fatalf("first readout = %d, want 40", got)
+	}
+	// The sensor must hold its value until the period elapses.
+	src.temp = 50
+	src.now = 0.5
+	if got := readTempC(t, m, 3); got != 40 {
+		t.Errorf("readout before update period = %d, want held 40", got)
+	}
+	src.now = 1.1
+	if got := readTempC(t, m, 3); got != 50 {
+		t.Errorf("readout after update period = %d, want 50", got)
+	}
+	// Holding is per-CPU: another CPU's first read samples fresh.
+	if got := readTempC(t, m, 4); got != 50 {
+		t.Errorf("other cpu readout = %d, want 50", got)
+	}
+}
+
+func TestNoUncorePMONDefense(t *testing.T) {
+	m := Generate(SKU8259CL, 0, Config{Seed: 9, NoUncorePMON: true})
+	// The CHA PMON space must be absent from every CPU's view...
+	if _, err := m.ReadMSR(0, msr.ChaMSR(0, msr.ChaOffUnitCtl)); err == nil {
+		t.Error("CHA PMON readable despite lockdown")
+	}
+	// ...while unrelated MSRs keep working.
+	if _, err := m.ReadMSR(0, msr.AddrIA32ThermStatus); err != nil {
+		t.Errorf("thermal MSR broken by PMON lockdown: %v", err)
+	}
+}
+
+func TestThermalDefenseWithoutClockFallsBack(t *testing.T) {
+	m := Generate(SKU8124M, 0, Config{Seed: 3})
+	m.AttachThermal(fixedTemp(42))
+	m.SetThermalDefense(1, 5.0) // period set, but source has no clock
+	if got := readTempC(t, m, 0); got != 42 {
+		t.Errorf("clockless source readout = %d, want live 42", got)
+	}
+}

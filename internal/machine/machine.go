@@ -1,0 +1,448 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"coremap/internal/cache"
+	"coremap/internal/mesh"
+	"coremap/internal/msr"
+	"coremap/internal/pmon"
+)
+
+// TjMax is the thermal-throttling reference temperature reported through
+// MSR_TEMPERATURE_TARGET; IA32_THERM_STATUS readouts count degrees below it.
+const TjMax = 100
+
+// ThermalSource provides the current temperature of each physical core.
+// The thermal simulator implements it; when none is attached, thermal MSR
+// reads report an idle die.
+type ThermalSource interface {
+	CoreTemp(phys int) float64
+}
+
+// ClockedSource is optionally implemented by thermal sources that track
+// simulated time; the sensor-update-period defense needs it.
+type ClockedSource interface {
+	ThermalSource
+	Now() float64
+}
+
+// Config tunes instance construction.
+type Config struct {
+	// Seed drives every per-instance secret: PPIN, slice hash, and
+	// measurement noise.
+	Seed int64
+	// NoiseFlits, when positive, injects one background mesh packet of
+	// that many flits between random tiles for roughly every
+	// NoiseEveryOps cache operations, modeling OS and platform activity
+	// that dirties the uncore counters.
+	NoiseFlits uint64
+	// NoiseEveryOps is the mean number of cache operations between
+	// background packets (default 16 when NoiseFlits > 0).
+	NoiseEveryOps int
+	// Cache overrides the cache sizing; zero value selects
+	// cache.DefaultConfig.
+	Cache cache.Config
+	// NoUncorePMON removes the CHA PMON register blocks entirely — the
+	// firmware-lockdown defense against the mapping method (the paper
+	// notes vendors could restrict the counters). The probe then fails
+	// at discovery instead of producing a map.
+	NoUncorePMON bool
+}
+
+// Machine is one simulated CPU instance. It implements hostif.Host.
+type Machine struct {
+	SKU     *SKU
+	Grid    *mesh.Grid
+	Pattern FusingPattern
+	PPIN    uint64
+
+	hier   *cache.Hierarchy
+	spaces []*msr.Space // per OS CPU
+
+	// Ground truth, used only by verification and the thermal layer.
+	osToPhys   []int        // OS CPU → physical core index
+	physToOS   []int        // inverse
+	physTile   []mesh.Coord // physical core index → tile
+	chaTile    []mesh.Coord // CHA ID → tile
+	osTrueCHA  []int        // OS CPU → CHA ID of its tile (ground truth)
+	numCHA     int
+	ppinUnlock []uint64 // PPIN_CTL value per cpu
+
+	thermal ThermalSource
+	// Thermal-sensor defense knobs (paper Sec. IV): readout resolution
+	// in °C (default 1) and minimum seconds between sensor updates
+	// (default 0 = every read).
+	thermalResolution int
+	thermalPeriod     float64
+	sensorLastTime    []float64
+	sensorLastValue   []int
+
+	noise         *rand.Rand
+	noiseFlits    uint64
+	noiseEvery    int
+	opsSinceNoise int
+}
+
+// New builds an instance of sku with the given fusing pattern.
+func New(sku *SKU, p FusingPattern, cfg Config) *Machine {
+	grid := mesh.NewGrid(sku.Rows, sku.Cols)
+	for _, c := range sku.IMC {
+		grid.SetKind(c, mesh.KindIMC)
+	}
+	for _, c := range sku.IO {
+		grid.SetKind(c, mesh.KindIO)
+	}
+
+	m := &Machine{SKU: sku, Grid: grid, Pattern: p}
+
+	// Classify core-tile positions and assign CHA IDs in the SKU's
+	// enumeration order, skipping fully disabled tiles.
+	pos := sku.coreTilePositions()
+	for _, c := range pos {
+		switch {
+		case p.Disabled[c]:
+			grid.SetKind(c, mesh.KindDisabled)
+		case p.LLCOnly[c]:
+			grid.SetKind(c, mesh.KindLLCOnly)
+		default:
+			grid.SetKind(c, mesh.KindCore)
+		}
+	}
+	for _, c := range pos {
+		tl := grid.Tile(c)
+		if !tl.Kind.HasCHA() {
+			continue
+		}
+		tl.CHA = m.numCHA
+		m.chaTile = append(m.chaTile, c)
+		m.numCHA++
+		if tl.Kind.HasCore() {
+			m.physTile = append(m.physTile, c)
+		}
+	}
+	if len(m.physTile) != sku.Cores {
+		panic(fmt.Sprintf("machine: pattern yields %d cores, SKU %q wants %d",
+			len(m.physTile), sku.Name, sku.Cores))
+	}
+
+	// Firmware OS-core-ID enumeration.
+	coreCHAs := make([]int, len(m.physTile))
+	for i, c := range m.physTile {
+		coreCHAs[i] = grid.Tile(c).CHA
+	}
+	order := enumerateOS(sku.Generation, coreCHAs)
+	m.osToPhys = make([]int, len(order))
+	m.physToOS = make([]int, len(order))
+	m.osTrueCHA = make([]int, len(order))
+	for os, phys := range order {
+		m.osToPhys[os] = phys
+		m.physToOS[phys] = os
+		m.osTrueCHA[os] = coreCHAs[phys]
+	}
+
+	// Secrets and noise.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m.PPIN = rng.Uint64()
+	m.noise = rand.New(rand.NewSource(cfg.Seed + 1))
+	m.noiseFlits = cfg.NoiseFlits
+	m.noiseEvery = cfg.NoiseEveryOps
+	if m.noiseFlits > 0 && m.noiseEvery <= 0 {
+		m.noiseEvery = 16
+	}
+
+	// Cache hierarchy over the active slices.
+	ccfg := cfg.Cache
+	if ccfg.L2Sets == 0 {
+		ccfg = cache.DefaultConfig
+	}
+	m.hier = cache.New(ccfg, grid, m.physTile, m.chaTile, sku.IMC, cache.FNVHash(rng.Uint64(), m.numCHA))
+
+	// MSR spaces: one per OS CPU. Uncore PMON boxes are socket-scoped,
+	// so every CPU's space shares the same box handlers.
+	uncore := msr.NewSpace()
+	if !cfg.NoUncorePMON {
+		for cha, c := range m.chaTile {
+			pmon.InstallBox(uncore, cha, pmon.TileSource{Tile: grid.Tile(c)})
+		}
+	}
+	m.ppinUnlock = make([]uint64, len(m.osToPhys))
+	m.spaces = make([]*msr.Space, len(m.osToPhys))
+	for cpu := range m.spaces {
+		cpu := cpu
+		s := msr.NewSpace()
+		// Share the uncore handlers; errors (unimplemented offsets)
+		// propagate from the shared space.
+		for cha := range m.chaTile {
+			for off := msr.Addr(0); off < msr.ChaStride; off++ {
+				a := msr.ChaMSR(cha, off)
+				s.Register(a, msr.Handler{
+					Read:  func() (uint64, error) { return uncore.Read(a) },
+					Write: func(v uint64) error { return uncore.Write(a, v) },
+				})
+			}
+		}
+		s.Register(msr.AddrPPINCtl, msr.Handler{
+			Read:  func() (uint64, error) { return m.ppinUnlock[cpu], nil },
+			Write: func(v uint64) error { m.ppinUnlock[cpu] = v; return nil },
+		})
+		s.Register(msr.AddrPPIN, msr.Handler{
+			Read: func() (uint64, error) {
+				if m.ppinUnlock[cpu]&0x2 == 0 {
+					return 0, fmt.Errorf("rdmsr PPIN: %w", msr.ErrLocked)
+				}
+				return m.PPIN, nil
+			},
+		})
+		s.RegisterValue(msr.AddrTemperatureTarget, msr.EncodeTemperatureTarget(TjMax))
+		s.Register(msr.AddrIA32ThermStatus, msr.Handler{
+			Read: func() (uint64, error) {
+				return msr.EncodeThermStatus(m.thermReadout(cpu), true), nil
+			},
+		})
+		m.spaces[cpu] = s
+	}
+	return m
+}
+
+// Generate builds the instance for fusing-pattern index idx of sku.
+func Generate(sku *SKU, idx int, cfg Config) *Machine {
+	return New(sku, sku.Pattern(idx), cfg)
+}
+
+// enumerateOS returns the firmware's OS-CPU ordering: a permutation p where
+// p[os] = physical core index. coreCHAs maps physical core index → CHA ID.
+func enumerateOS(gen Generation, coreCHAs []int) []int {
+	idx := make([]int, len(coreCHAs))
+	for i := range idx {
+		idx[i] = i
+	}
+	switch gen {
+	case Skylake:
+		// Group cores by CHA-ID mod 4 in the order 0,2,1,3 (the APIC
+		// enumeration artifact visible in the paper's Table I), CHA-
+		// ascending within a group.
+		groupRank := map[int]int{0: 0, 2: 1, 1: 2, 3: 3}
+		sortBy(idx, func(a, b int) bool {
+			ga, gb := groupRank[coreCHAs[a]%4], groupRank[coreCHAs[b]%4]
+			if ga != gb {
+				return ga < gb
+			}
+			return coreCHAs[a] < coreCHAs[b]
+		})
+	case IceLake:
+		sortBy(idx, func(a, b int) bool { return coreCHAs[a] < coreCHAs[b] })
+	}
+	return idx
+}
+
+func sortBy(s []int, less func(a, b int) bool) {
+	// Insertion sort: n ≤ 40 and it keeps the package free of sort's
+	// interface boilerplate.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func (m *Machine) coreTempOS(cpu int) float64 {
+	if m.thermal == nil {
+		return 35 // idle die
+	}
+	return m.thermal.CoreTemp(m.osToPhys[cpu])
+}
+
+// thermReadout computes the IA32_THERM_STATUS digital readout for a CPU,
+// applying the configured resolution and update-period defenses.
+func (m *Machine) thermReadout(cpu int) int {
+	res := m.thermalResolution
+	if res <= 0 {
+		res = 1
+	}
+	quantize := func() int {
+		t := m.coreTempOS(cpu)
+		step := float64(res)
+		return TjMax - int(t/step+0.5)*res
+	}
+	if m.thermalPeriod <= 0 {
+		return quantize()
+	}
+	clocked, ok := m.thermal.(ClockedSource)
+	if !ok {
+		return quantize()
+	}
+	now := clocked.Now()
+	if m.sensorLastTime == nil {
+		m.sensorLastTime = make([]float64, len(m.spaces))
+		m.sensorLastValue = make([]int, len(m.spaces))
+		for i := range m.sensorLastTime {
+			m.sensorLastTime[i] = -1
+		}
+	}
+	if m.sensorLastTime[cpu] < 0 || now-m.sensorLastTime[cpu] >= m.thermalPeriod {
+		m.sensorLastTime[cpu] = now
+		m.sensorLastValue[cpu] = quantize()
+	}
+	return m.sensorLastValue[cpu]
+}
+
+// AttachThermal connects a thermal model; IA32_THERM_STATUS reads sample it.
+func (m *Machine) AttachThermal(src ThermalSource) { m.thermal = src }
+
+// SetThermalDefense configures the paper's suggested sensor-side defenses:
+// coarser readout resolution (°C per step) and a minimum period between
+// sensor updates. Zero values select the undefended defaults.
+func (m *Machine) SetThermalDefense(resolutionC int, updatePeriod float64) {
+	m.thermalResolution = resolutionC
+	m.thermalPeriod = updatePeriod
+	m.sensorLastTime = nil
+}
+
+// NumCHAs returns the number of active CHAs (ground truth; the probe
+// discovers the same number by scanning PMON MSRs).
+func (m *Machine) NumCHAs() int { return m.numCHA }
+
+// --- hostif.Host implementation ---
+
+// NumCPUs returns the number of online logical CPUs.
+func (m *Machine) NumCPUs() int { return len(m.osToPhys) }
+
+func (m *Machine) checkCPU(cpu int) error {
+	if cpu < 0 || cpu >= len(m.spaces) {
+		return fmt.Errorf("machine: cpu %d out of range [0,%d)", cpu, len(m.spaces))
+	}
+	return nil
+}
+
+// ReadMSR implements hostif.Host.
+func (m *Machine) ReadMSR(cpu int, a msr.Addr) (uint64, error) {
+	if err := m.checkCPU(cpu); err != nil {
+		return 0, err
+	}
+	return m.spaces[cpu].Read(a)
+}
+
+// WriteMSR implements hostif.Host.
+func (m *Machine) WriteMSR(cpu int, a msr.Addr, v uint64) error {
+	if err := m.checkCPU(cpu); err != nil {
+		return err
+	}
+	return m.spaces[cpu].Write(a, v)
+}
+
+// Load implements hostif.Host.
+func (m *Machine) Load(cpu int, addr uint64) error {
+	if err := m.checkCPU(cpu); err != nil {
+		return err
+	}
+	m.hier.Load(m.osToPhys[cpu], addr)
+	m.maybeNoise()
+	return nil
+}
+
+// Access latencies in core cycles, in the range real Skylake-SP parts
+// exhibit. Mesh hops add a few cycles each — the gradient latency-based
+// locating leans on. The values are exported because an attacker can
+// calibrate them with public microbenchmarks; only the *positions* are
+// secret.
+const (
+	LatL2     = 14
+	LatLLC    = 40
+	LatMemory = 170
+	LatPerHop = 3
+)
+
+// TimedLoad implements hostif.Host: a load plus an rdtsc-style cycle
+// count, with measurement jitter.
+func (m *Machine) TimedLoad(cpu int, addr uint64) (uint64, error) {
+	if err := m.checkCPU(cpu); err != nil {
+		return 0, err
+	}
+	level, hops := m.hier.Load(m.osToPhys[cpu], addr)
+	m.maybeNoise()
+	base := LatL2
+	switch level {
+	case cache.LevelLLC:
+		base = LatLLC
+	case cache.LevelMemory:
+		base = LatMemory
+	}
+	cycles := base + LatPerHop*hops + m.noise.Intn(3) - 1
+	if cycles < 1 {
+		cycles = 1
+	}
+	return uint64(cycles), nil
+}
+
+// Store implements hostif.Host.
+func (m *Machine) Store(cpu int, addr uint64) error {
+	if err := m.checkCPU(cpu); err != nil {
+		return err
+	}
+	m.hier.Store(m.osToPhys[cpu], addr)
+	m.maybeNoise()
+	return nil
+}
+
+// Flush implements hostif.Host.
+func (m *Machine) Flush(cpu int, addr uint64) error {
+	if err := m.checkCPU(cpu); err != nil {
+		return err
+	}
+	m.hier.Flush(m.osToPhys[cpu], addr)
+	m.maybeNoise()
+	return nil
+}
+
+// maybeNoise injects background platform traffic between random tiles.
+func (m *Machine) maybeNoise() {
+	if m.noiseFlits == 0 {
+		return
+	}
+	m.opsSinceNoise++
+	if m.opsSinceNoise < m.noiseEvery {
+		return
+	}
+	m.opsSinceNoise = 0
+	src := mesh.Coord{Row: m.noise.Intn(m.Grid.Rows), Col: m.noise.Intn(m.Grid.Cols)}
+	dst := mesh.Coord{Row: m.noise.Intn(m.Grid.Rows), Col: m.noise.Intn(m.Grid.Cols)}
+	m.Grid.Inject(src, dst, m.noiseFlits)
+}
+
+// --- ground-truth accessors (verification/scoring/thermal only) ---
+
+// TrueCoreCoord returns the tile of OS CPU cpu.
+func (m *Machine) TrueCoreCoord(cpu int) mesh.Coord { return m.physTile[m.osToPhys[cpu]] }
+
+// TrueCHACoord returns the tile of CHA cha.
+func (m *Machine) TrueCHACoord(cha int) mesh.Coord { return m.chaTile[cha] }
+
+// TrueOSToCHA returns the ground-truth OS-CPU → CHA-ID mapping.
+func (m *Machine) TrueOSToCHA() []int {
+	out := make([]int, len(m.osTrueCHA))
+	copy(out, m.osTrueCHA)
+	return out
+}
+
+// PhysOfOS returns the physical core index of an OS CPU (thermal layer).
+func (m *Machine) PhysOfOS(cpu int) int { return m.osToPhys[cpu] }
+
+// OSOfPhys returns the OS CPU of a physical core index.
+func (m *Machine) OSOfPhys(phys int) int { return m.physToOS[phys] }
+
+// TrueHomeCHA returns the CHA whose LLC slice homes the line containing
+// addr — the secret slice hash's output, exposed for verification only.
+func (m *Machine) TrueHomeCHA(addr uint64) int {
+	c := m.chaTile[m.hier.SliceOf(addr)]
+	return m.Grid.Tile(c).CHA
+}
+
+// PhysCoreTiles returns the tiles of all physical cores, indexed by
+// physical core number (thermal layer).
+func (m *Machine) PhysCoreTiles() []mesh.Coord {
+	out := make([]mesh.Coord, len(m.physTile))
+	copy(out, m.physTile)
+	return out
+}

@@ -1,0 +1,314 @@
+package machine
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coremap/internal/mesh"
+	"coremap/internal/msr"
+)
+
+func TestSKUGeometry(t *testing.T) {
+	for _, sku := range []*SKU{SKU8124M, SKU8175M, SKU8259CL} {
+		if got := sku.NumCoreTiles(); got != 28 {
+			t.Errorf("%s core tiles = %d, want 28", sku.Name, got)
+		}
+	}
+	if got := SKU6354.NumCoreTiles(); got != 40 {
+		t.Errorf("%s core tiles = %d, want 40", SKU6354.Name, got)
+	}
+}
+
+func TestPatternCounts(t *testing.T) {
+	for _, sku := range SKUs {
+		for idx := 0; idx < 12; idx++ {
+			p := sku.Pattern(idx)
+			wantDisabled := sku.NumCoreTiles() - sku.Cores - sku.LLCOnly
+			if len(p.Disabled) != wantDisabled {
+				t.Errorf("%s pattern %d: %d disabled, want %d", sku.Name, idx, len(p.Disabled), wantDisabled)
+			}
+			if len(p.LLCOnly) != sku.LLCOnly {
+				t.Errorf("%s pattern %d: %d llc-only, want %d", sku.Name, idx, len(p.LLCOnly), sku.LLCOnly)
+			}
+			for c := range p.Disabled {
+				if p.LLCOnly[c] {
+					t.Errorf("%s pattern %d: tile %v both disabled and llc-only", sku.Name, idx, c)
+				}
+			}
+		}
+	}
+}
+
+func TestPatternDeterministic(t *testing.T) {
+	a, b := SKU8259CL.Pattern(5), SKU8259CL.Pattern(5)
+	for c := range a.Disabled {
+		if !b.Disabled[c] {
+			t.Fatal("pattern expansion is not deterministic")
+		}
+	}
+}
+
+func TestCanonicalLLCOnlyPlacement(t *testing.T) {
+	pos := SKU8259CL.coreTilePositions()
+	for _, idx := range []int{0, 1, 2, 7} { // idx%10 != 9 → canonical
+		p := SKU8259CL.Pattern(idx)
+		if !p.LLCOnly[pos[3]] || !p.LLCOnly[pos[len(pos)-1]] {
+			t.Errorf("pattern %d: LLC-only tiles not at canonical positions", idx)
+		}
+	}
+}
+
+func TestCHAIDsColumnMajorContiguous(t *testing.T) {
+	m := Generate(SKU8259CL, 0, Config{Seed: 1})
+	if m.NumCHAs() != 26 {
+		t.Fatalf("8259CL CHAs = %d, want 26 (24 cores + 2 LLC-only)", m.NumCHAs())
+	}
+	// Walking the grid column-major over active-CHA tiles must meet CHA
+	// IDs 0,1,2,...
+	want := 0
+	for col := 0; col < m.Grid.Cols; col++ {
+		for row := 0; row < m.Grid.Rows; row++ {
+			tl := m.Grid.Tile(mesh.Coord{Row: row, Col: col})
+			if !tl.Kind.HasCHA() {
+				continue
+			}
+			if tl.CHA != want {
+				t.Fatalf("tile (%d,%d) CHA = %d, want %d", row, col, tl.CHA, want)
+			}
+			want++
+		}
+	}
+}
+
+// TestTableISkylakeMapping checks the paper's Table I rows that are
+// invariant across instances: with no LLC-only tiles, the enumeration
+// depends only on the CHA-ID set, so every 8124M and 8175M instance shares
+// one mapping.
+func TestTableISkylakeMapping(t *testing.T) {
+	want8124 := []int{0, 4, 8, 12, 16, 2, 6, 10, 14, 1, 5, 9, 13, 17, 3, 7, 11, 15}
+	want8175 := []int{0, 4, 8, 12, 16, 20, 2, 6, 10, 14, 18, 22, 1, 5, 9, 13, 17, 21, 3, 7, 11, 15, 19, 23}
+	for idx := 0; idx < 5; idx++ {
+		m := Generate(SKU8124M, idx, Config{Seed: int64(idx)})
+		got := m.TrueOSToCHA()
+		for os, cha := range want8124 {
+			if got[os] != cha {
+				t.Fatalf("8124M pattern %d: OS %d → CHA %d, want %d", idx, os, got[os], cha)
+			}
+		}
+		m = Generate(SKU8175M, idx, Config{Seed: int64(idx)})
+		got = m.TrueOSToCHA()
+		for os, cha := range want8175 {
+			if got[os] != cha {
+				t.Fatalf("8175M pattern %d: OS %d → CHA %d, want %d", idx, os, got[os], cha)
+			}
+		}
+	}
+}
+
+// TestTableI8259CLDominantMapping: with the canonical LLC-only placement
+// and no disabled tile in the first column-major positions, the 8259CL
+// mapping must be the paper's most frequent row (LLC-only CHAs 3 and 25).
+func TestTableI8259CLDominantMapping(t *testing.T) {
+	pos := SKU8259CL.coreTilePositions()
+	p := FusingPattern{
+		Disabled: map[mesh.Coord]bool{pos[10]: true, pos[15]: true},
+		LLCOnly:  map[mesh.Coord]bool{pos[3]: true, pos[len(pos)-1]: true},
+	}
+	m := New(SKU8259CL, p, Config{Seed: 1})
+	want := []int{0, 4, 8, 12, 16, 20, 24, 2, 6, 10, 14, 18, 22, 1, 5, 9, 13, 17, 21, 7, 11, 15, 19, 23}
+	got := m.TrueOSToCHA()
+	if len(got) != len(want) {
+		t.Fatalf("mapping length %d, want %d", len(got), len(want))
+	}
+	for os := range want {
+		if got[os] != want[os] {
+			t.Fatalf("OS %d → CHA %d, want %d (full: %v)", os, got[os], want[os], got)
+		}
+	}
+}
+
+func TestIceLakeEnumerationAscending(t *testing.T) {
+	m := Generate(SKU6354, 0, Config{Seed: 2})
+	prev := -1
+	for _, cha := range m.TrueOSToCHA() {
+		if cha <= prev {
+			t.Fatalf("Ice Lake OS enumeration not ascending by CHA: %v", m.TrueOSToCHA())
+		}
+		prev = cha
+	}
+	if m.NumCHAs() != 26 {
+		t.Errorf("6354 CHAs = %d, want 26 (18 cores + 8 LLC-only)", m.NumCHAs())
+	}
+}
+
+func TestPPINGatedByControl(t *testing.T) {
+	m := Generate(SKU8124M, 0, Config{Seed: 3})
+	if _, err := m.ReadMSR(0, msr.AddrPPIN); !errors.Is(err, msr.ErrLocked) {
+		t.Errorf("PPIN read before unlock = %v, want ErrLocked", err)
+	}
+	if err := m.WriteMSR(0, msr.AddrPPINCtl, 0x2); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadMSR(0, msr.AddrPPIN)
+	if err != nil || v != m.PPIN {
+		t.Errorf("PPIN = %#x,%v; want %#x,nil", v, err, m.PPIN)
+	}
+	// The unlock is per-CPU.
+	if _, err := m.ReadMSR(1, msr.AddrPPIN); !errors.Is(err, msr.ErrLocked) {
+		t.Errorf("PPIN read on other cpu = %v, want ErrLocked", err)
+	}
+}
+
+func TestUncoreMSRsSocketScoped(t *testing.T) {
+	m := Generate(SKU8124M, 0, Config{Seed: 4})
+	a := msr.ChaMSR(5, msr.ChaOffCtl0)
+	if err := m.WriteMSR(0, a, 0xABCD); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadMSR(7, a)
+	if err != nil || v != 0xABCD {
+		t.Errorf("uncore read from cpu 7 = %#x,%v; want value written from cpu 0", v, err)
+	}
+}
+
+func TestPMONAbsentForDisabledTiles(t *testing.T) {
+	m := Generate(SKU8124M, 0, Config{Seed: 5})
+	// CHAs 0..17 exist; CHA 18 must not.
+	if _, err := m.ReadMSR(0, msr.ChaMSR(17, msr.ChaOffUnitCtl)); err != nil {
+		t.Errorf("CHA 17 unit ctl unreadable: %v", err)
+	}
+	if _, err := m.ReadMSR(0, msr.ChaMSR(18, msr.ChaOffUnitCtl)); !errors.Is(err, msr.ErrNoSuchMSR) {
+		t.Errorf("CHA 18 unit ctl = %v, want ErrNoSuchMSR", err)
+	}
+}
+
+func TestThermalMSRDefaultsAndAttachment(t *testing.T) {
+	m := Generate(SKU8124M, 0, Config{Seed: 6})
+	v, err := m.ReadMSR(3, msr.AddrIA32ThermStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	below, valid := msr.DecodeThermStatus(v)
+	if !valid || TjMax-below != 35 {
+		t.Errorf("default temp = %d°C, want 35", TjMax-below)
+	}
+	m.AttachThermal(fixedTemp(71.3))
+	v, _ = m.ReadMSR(3, msr.AddrIA32ThermStatus)
+	below, _ = msr.DecodeThermStatus(v)
+	if TjMax-below != 71 {
+		t.Errorf("attached temp readout = %d°C, want 71 (1°C quantization)", TjMax-below)
+	}
+	tt, _ := m.ReadMSR(3, msr.AddrTemperatureTarget)
+	if msr.DecodeTemperatureTarget(tt) != TjMax {
+		t.Errorf("TjMax MSR = %d, want %d", msr.DecodeTemperatureTarget(tt), TjMax)
+	}
+}
+
+type fixedTemp float64
+
+func (f fixedTemp) CoreTemp(int) float64 { return float64(f) }
+
+func TestHostCacheOpsGenerateTraffic(t *testing.T) {
+	m := Generate(SKU8175M, 0, Config{Seed: 7})
+	if err := m.Store(0, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	var lookups uint64
+	m.Grid.Tiles(func(_ mesh.Coord, tl *mesh.Tile) { lookups += tl.Counters.LLCLookup })
+	if lookups == 0 {
+		t.Error("store charged no LLC lookups anywhere")
+	}
+	if err := m.Load(99, 0); err == nil {
+		t.Error("Load on out-of-range cpu succeeded")
+	}
+	if err := m.Store(-1, 0); err == nil {
+		t.Error("Store on out-of-range cpu succeeded")
+	}
+	if err := m.Flush(99, 0); err == nil {
+		t.Error("Flush on out-of-range cpu succeeded")
+	}
+}
+
+func TestNoiseInjection(t *testing.T) {
+	m := Generate(SKU8175M, 0, Config{Seed: 8, NoiseFlits: 3, NoiseEveryOps: 2})
+	for i := 0; i < 64; i++ {
+		if err := m.Load(0, uint64(i)*64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With noise every ~2 ops, some tiles not on any core0 route should
+	// still have seen ingress; at minimum total ingress must exceed the
+	// deterministic traffic of a noise-free twin.
+	quiet := Generate(SKU8175M, 0, Config{Seed: 8})
+	for i := 0; i < 64; i++ {
+		if err := quiet.Load(0, uint64(i)*64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total(m.Grid) <= total(quiet.Grid) {
+		t.Error("noise injection produced no extra mesh traffic")
+	}
+}
+
+func total(g *mesh.Grid) uint64 {
+	var n uint64
+	g.Tiles(func(_ mesh.Coord, tl *mesh.Tile) {
+		for _, v := range tl.Counters.Ingress {
+			n += v
+		}
+	})
+	return n
+}
+
+func TestPopulationDeterministicAndDiverse(t *testing.T) {
+	a := NewPopulation(SKU8259CL, 42, Config{})
+	b := NewPopulation(SKU8259CL, 42, Config{})
+	idxs := map[int]bool{}
+	for i := 0; i < 30; i++ {
+		ma, ia := a.Next()
+		mb, ib := b.Next()
+		if ia != ib || ma.PPIN != mb.PPIN {
+			t.Fatal("same-seed populations diverged")
+		}
+		idxs[ia] = true
+	}
+	if len(idxs) < 3 {
+		t.Errorf("30 draws hit only %d distinct patterns; distribution too narrow", len(idxs))
+	}
+}
+
+func TestPopulationPPINsUnique(t *testing.T) {
+	pop := NewPopulation(SKU8124M, 9, Config{})
+	seen := map[uint64]bool{}
+	for i := 0; i < 50; i++ {
+		m, _ := pop.Next()
+		if seen[m.PPIN] {
+			t.Fatal("duplicate PPIN in population")
+		}
+		seen[m.PPIN] = true
+	}
+}
+
+// Property: OS↔physical maps are mutually inverse permutations and ground-
+// truth CHA assignments agree with tile contents, for arbitrary patterns.
+func TestEnumerationConsistency(t *testing.T) {
+	f := func(idx uint8, seed int64) bool {
+		sku := SKUs[int(idx)%len(SKUs)]
+		m := Generate(sku, int(idx), Config{Seed: seed})
+		for os := 0; os < m.NumCPUs(); os++ {
+			if m.OSOfPhys(m.PhysOfOS(os)) != os {
+				return false
+			}
+			tile := m.Grid.Tile(m.TrueCoreCoord(os))
+			if tile.Kind != mesh.KindCore || tile.CHA != m.TrueOSToCHA()[os] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(10))}); err != nil {
+		t.Error(err)
+	}
+}

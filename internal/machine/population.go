@@ -1,0 +1,50 @@
+package machine
+
+import "math/rand"
+
+// Population samples CPU instances of one SKU the way a cloud survey
+// encounters them: fusing-pattern indices are drawn from the SKU's
+// calibrated categorical distribution, and every instance gets fresh
+// per-instance secrets (PPIN, slice hash).
+type Population struct {
+	sku  *SKU
+	cfg  Config
+	rng  *rand.Rand
+	cum  []float64
+	next int64
+}
+
+// NewPopulation returns a sampler for sku seeded by seed. cfg.Seed is
+// ignored; each instance derives its own seed from the population stream.
+func NewPopulation(sku *SKU, seed int64, cfg Config) *Population {
+	cum := make([]float64, len(sku.PatternWeights))
+	var sum float64
+	for i, w := range sku.PatternWeights {
+		sum += w
+		cum[i] = sum
+	}
+	if sum <= 0 {
+		panic("machine: SKU has no positive pattern weights")
+	}
+	return &Population{sku: sku, cfg: cfg, rng: rand.New(rand.NewSource(seed)), cum: cum}
+}
+
+// samplePattern draws a fusing-pattern index.
+func (p *Population) samplePattern() int {
+	x := p.rng.Float64() * p.cum[len(p.cum)-1]
+	for i, c := range p.cum {
+		if x < c {
+			return i
+		}
+	}
+	return len(p.cum) - 1
+}
+
+// Next returns the next sampled instance and its fusing-pattern index.
+func (p *Population) Next() (*Machine, int) {
+	idx := p.samplePattern()
+	cfg := p.cfg
+	cfg.Seed = p.rng.Int63() ^ p.next
+	p.next++
+	return Generate(p.sku, idx, cfg), idx
+}

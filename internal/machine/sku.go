@@ -1,0 +1,241 @@
+// Package machine builds simulated Xeon CPU instances: a die (mesh grid,
+// cache hierarchy, MSR spaces with PPIN, uncore PMON and thermal registers)
+// plus the per-instance configuration the paper shows varies across chips —
+// which core tiles are fused off, which keep only their LLC slice, how CHA
+// IDs are numbered and how the firmware enumerates OS core IDs.
+//
+// A Machine implements hostif.Host; the probing pipeline never touches
+// anything else. Ground-truth accessors (TrueCoreCoord, ...) exist for
+// verification and scoring only.
+package machine
+
+import (
+	"math/rand"
+
+	"coremap/internal/mesh"
+)
+
+// SKU describes one CPU model: the die geometry shared by all instances of
+// the model, the active-resource counts, and the population distribution of
+// fusing patterns observed across instances.
+type SKU struct {
+	// Name is the marketing name, e.g. "Xeon Platinum 8259CL".
+	Name string
+	// Generation distinguishes enumeration conventions; Skylake also
+	// covers Cascade Lake (same die and numbering rules).
+	Generation Generation
+	// Rows, Cols give the tile-grid dimensions.
+	Rows, Cols int
+	// IMC and IO are the grid positions of non-CHA tiles.
+	IMC []mesh.Coord
+	IO  []mesh.Coord
+	// Cores is the number of active cores per instance.
+	Cores int
+	// LLCOnly is the number of tiles per instance whose core is fused
+	// off but whose LLC slice and CHA stay active.
+	LLCOnly int
+	// PatternWeights is the categorical distribution over fusing-pattern
+	// indices used when sampling a population of instances. Pattern i is
+	// expanded deterministically from (SKU, i); the weights encode how
+	// strongly the manufacturer's binning favours particular patterns,
+	// calibrated so that surveys of 100 instances reproduce the paper's
+	// Table II statistics.
+	PatternWeights []float64
+}
+
+// Generation selects the ID-numbering conventions of a CPU family.
+type Generation int
+
+const (
+	// Skylake covers the 1st/2nd generation Xeon Scalable dies: CHA IDs
+	// run column-major over active-CHA tiles, and firmware enumerates OS
+	// core IDs by CHA-ID-mod-4 groups in the order 0,2,1,3.
+	Skylake Generation = iota
+	// IceLake covers the 3rd generation: CHA IDs run row-major and OS
+	// core IDs follow ascending CHA order.
+	IceLake
+)
+
+// coreTilePositions returns the grid positions that can hold a core tile
+// (everything that is not IMC or IO), in column-major order for Skylake and
+// row-major order for Ice Lake — the same order CHA IDs are assigned in.
+func (s *SKU) coreTilePositions() []mesh.Coord {
+	blocked := make(map[mesh.Coord]bool)
+	for _, c := range s.IMC {
+		blocked[c] = true
+	}
+	for _, c := range s.IO {
+		blocked[c] = true
+	}
+	var out []mesh.Coord
+	if s.Generation == Skylake {
+		for col := 0; col < s.Cols; col++ {
+			for row := 0; row < s.Rows; row++ {
+				if c := (mesh.Coord{Row: row, Col: col}); !blocked[c] {
+					out = append(out, c)
+				}
+			}
+		}
+	} else {
+		for row := 0; row < s.Rows; row++ {
+			for col := 0; col < s.Cols; col++ {
+				if c := (mesh.Coord{Row: row, Col: col}); !blocked[c] {
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NumCoreTiles returns the number of core-tile positions on the die.
+func (s *SKU) NumCoreTiles() int { return len(s.coreTilePositions()) }
+
+func concat(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+func uniformWeights(n int, w float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = w
+	}
+	return out
+}
+
+// The Skylake-SP XCC die: 5 rows × 6 columns with the two integrated
+// memory controllers on the middle-left and middle-right, leaving 28 core
+// tiles — the layout of the paper's Fig. 1.
+func skxDie(name string, cores, llcOnly int, weights []float64) *SKU {
+	return &SKU{
+		Name:           name,
+		Generation:     Skylake,
+		Rows:           5,
+		Cols:           6,
+		IMC:            []mesh.Coord{{Row: 1, Col: 0}, {Row: 1, Col: 5}},
+		Cores:          cores,
+		LLCOnly:        llcOnly,
+		PatternWeights: weights,
+	}
+}
+
+// Built-in SKUs used in the paper's evaluation.
+var (
+	// SKU8124M is the 18-core Skylake part (AWS): 10 fully disabled
+	// tiles, no LLC-only tiles. One dominant fusing pattern.
+	SKU8124M = skxDie("Xeon Platinum 8124M", 18, 0,
+		concat([]float64{53, 18, 5, 5}, uniformWeights(14, 1.36)))
+
+	// SKU8175M is the 24-core Skylake part (AWS): 4 disabled tiles.
+	SKU8175M = skxDie("Xeon Platinum 8175M", 24, 0,
+		concat([]float64{52, 7, 7, 6}, uniformWeights(45, 0.62)))
+
+	// SKU8259CL is the 24-core Cascade Lake part (AWS): 2 disabled
+	// tiles and 2 LLC-only tiles, which is what makes its OS-core-ID to
+	// CHA-ID mapping vary across instances.
+	SKU8259CL = skxDie("Xeon Platinum 8259CL", 24, 2,
+		concat([]float64{19, 5, 4, 4}, uniformWeights(100, 0.68)))
+
+	// SKU6354 is the 18-core Ice Lake part (OCI): modeled on a 6-column
+	// × 8-row die with four IMC tiles and four IO tiles (40 core-tile
+	// positions), 8 LLC-only tiles and 14 fully disabled tiles.
+	SKU6354 = &SKU{
+		Name:       "Xeon 6354",
+		Generation: IceLake,
+		Rows:       8,
+		Cols:       6,
+		IMC: []mesh.Coord{
+			{Row: 2, Col: 0}, {Row: 5, Col: 0},
+			{Row: 2, Col: 5}, {Row: 5, Col: 5},
+		},
+		IO: []mesh.Coord{
+			{Row: 0, Col: 0}, {Row: 0, Col: 5},
+			{Row: 7, Col: 0}, {Row: 7, Col: 5},
+		},
+		Cores:          18,
+		LLCOnly:        8,
+		PatternWeights: concat([]float64{4, 2}, uniformWeights(10, 0.9)),
+	}
+)
+
+// SKUs lists the built-in models.
+var SKUs = []*SKU{SKU8124M, SKU8175M, SKU8259CL, SKU6354}
+
+// FusingPattern fixes which core-tile positions of a die are fully
+// disabled and which are LLC-only for one instance.
+type FusingPattern struct {
+	Disabled map[mesh.Coord]bool
+	LLCOnly  map[mesh.Coord]bool
+}
+
+// Pattern expands fusing pattern index idx of the SKU deterministically.
+//
+// For the 8259CL-style SKUs with LLC-only tiles, most patterns keep the
+// LLC-only tiles at two fixed die positions (the first-column bottom tile
+// and the last tile in CHA order) while the fully disabled tiles move —
+// this is the population structure that makes most instances share one of
+// two OS-core-ID↔CHA-ID mappings (Table I) while still exhibiting dozens
+// of distinct physical location patterns (Table II).
+func (s *SKU) Pattern(idx int) FusingPattern {
+	rng := rand.New(rand.NewSource(patternSeed(s.Name, idx)))
+	pos := s.coreTilePositions()
+	numDisabled := len(pos) - s.Cores - s.LLCOnly
+	p := FusingPattern{
+		Disabled: make(map[mesh.Coord]bool),
+		LLCOnly:  make(map[mesh.Coord]bool),
+	}
+
+	avail := make([]mesh.Coord, len(pos))
+	copy(avail, pos)
+	take := func(i int) mesh.Coord {
+		c := avail[i]
+		avail = append(avail[:i], avail[i+1:]...)
+		return c
+	}
+
+	if s.LLCOnly == 2 && s.Generation == Skylake && len(pos) > 8 {
+		if idx%10 != 9 {
+			// Canonical placement: early and last CHA positions.
+			p.LLCOnly[pos[3]] = true
+			p.LLCOnly[pos[len(pos)-1]] = true
+			removeCoord(&avail, pos[3])
+			removeCoord(&avail, pos[len(pos)-1])
+		} else {
+			for i := 0; i < s.LLCOnly; i++ {
+				p.LLCOnly[take(rng.Intn(len(avail)))] = true
+			}
+		}
+	} else {
+		for i := 0; i < s.LLCOnly; i++ {
+			p.LLCOnly[take(rng.Intn(len(avail)))] = true
+		}
+	}
+	for i := 0; i < numDisabled; i++ {
+		p.Disabled[take(rng.Intn(len(avail)))] = true
+	}
+	return p
+}
+
+func removeCoord(s *[]mesh.Coord, c mesh.Coord) {
+	for i, v := range *s {
+		if v == c {
+			*s = append((*s)[:i], (*s)[i+1:]...)
+			return
+		}
+	}
+}
+
+// patternSeed derives a stable seed from the SKU name and pattern index.
+func patternSeed(name string, idx int) int64 {
+	h := uint64(1469598103934665603)
+	for _, b := range []byte(name) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h ^= uint64(idx) * 0x9E3779B97F4A7C15
+	h *= 1099511628211
+	return int64(h & 0x7FFFFFFFFFFFFFFF)
+}

@@ -1,0 +1,332 @@
+// Package mesh models the on-die mesh interconnect of Intel Xeon Scalable
+// processors (Skylake / Cascade Lake / Ice Lake server architectures).
+//
+// The die is a grid of tiles. Most tiles are "core tiles" containing a
+// processor core, a slice of the shared last-level cache (LLC), and the
+// Cache-Home Agent (CHA) that connects the slice to the mesh. Some tiles
+// host the integrated memory controllers (IMC) or other IP and carry no
+// CHA; some core tiles are fused off entirely (they still route traffic but
+// expose no performance counters); some have an active LLC slice but a
+// disabled core ("LLC-only" tiles).
+//
+// Packets use dimension-order routing: all vertical (up/down) movement is
+// completed first, then horizontal (left/right) movement. The core tiles in
+// every odd column are flipped horizontally on the physical die, so the
+// left/right channel labels observed by a tile alternate along a horizontal
+// path; the true east/west direction of travel is therefore not observable
+// from channel labels alone. Vertical channel labels are true directions.
+//
+// Each tile records the number of ingress cycles per channel, mirroring the
+// uncore-PMON events VERT_RING_BL_IN_USE.{UP,DOWN} and
+// HORZ_RING_BL_IN_USE.{LEFT,RIGHT}. Whether those counts are *readable* is
+// decided by the PMON layer (disabled tiles have their counters fused off);
+// the mesh itself accounts for every hop.
+package mesh
+
+import "fmt"
+
+// Kind classifies what occupies a tile position on the die.
+type Kind uint8
+
+const (
+	// KindDisabled is a core tile whose core, LLC slice and CHA are all
+	// fused off. The tile still routes mesh traffic, but its performance
+	// counters are disabled and it has no CHA ID.
+	KindDisabled Kind = iota
+	// KindCore is a fully active core tile: core + LLC slice + CHA.
+	KindCore
+	// KindLLCOnly is a core tile whose core is fused off but whose LLC
+	// slice and CHA remain active. Its counters are readable, but it
+	// cannot host a thread.
+	KindLLCOnly
+	// KindIMC is an integrated-memory-controller tile. It routes traffic
+	// but carries no CHA and no core.
+	KindIMC
+	// KindIO is any other non-CHA IP tile (UPI, PCIe, ...). Like IMC it
+	// routes traffic only.
+	KindIO
+)
+
+// String returns a short human-readable label for the tile kind.
+func (k Kind) String() string {
+	switch k {
+	case KindDisabled:
+		return "disabled"
+	case KindCore:
+		return "core"
+	case KindLLCOnly:
+		return "llc-only"
+	case KindIMC:
+		return "imc"
+	case KindIO:
+		return "io"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// HasCHA reports whether a tile of this kind carries an active CHA (and
+// therefore readable uncore-PMON counters and an LLC slice).
+func (k Kind) HasCHA() bool { return k == KindCore || k == KindLLCOnly }
+
+// HasCore reports whether a tile of this kind can execute threads.
+func (k Kind) HasCore() bool { return k == KindCore }
+
+// Channel identifies one of the four mesh ingress data channels at a tile,
+// as labelled by that tile's counters.
+type Channel uint8
+
+const (
+	// Up is the vertical ingress channel carrying packets that move
+	// toward row 0.
+	Up Channel = iota
+	// Down is the vertical ingress channel carrying packets that move
+	// toward higher row indices.
+	Down
+	// Left and Right are the two horizontal ingress channels. Because
+	// odd columns are physically mirrored, the label seen by a tile does
+	// not reveal the true east/west direction of travel.
+	Left
+	Right
+	numChannels
+)
+
+// String returns the channel name.
+func (c Channel) String() string {
+	switch c {
+	case Up:
+		return "up"
+	case Down:
+		return "down"
+	case Left:
+		return "left"
+	case Right:
+		return "right"
+	default:
+		return fmt.Sprintf("Channel(%d)", uint8(c))
+	}
+}
+
+// Vertical reports whether the channel is one of the vertical (up/down)
+// ring channels.
+func (c Channel) Vertical() bool { return c == Up || c == Down }
+
+// Ring identifies one of the four message classes of the mesh, each with
+// its own physical ring and its own ingress counters. The core-locating
+// method monitors the BL (block/data) ring; the others exist so the
+// simulated uncore carries realistic protocol traffic that a correctly
+// programmed monitor must NOT see.
+type Ring uint8
+
+const (
+	// RingBL carries cache-line data.
+	RingBL Ring = iota
+	// RingAD carries requests and snoops (address ring).
+	RingAD
+	// RingAK carries acknowledgements.
+	RingAK
+	// RingIV carries invalidations.
+	RingIV
+	// NumRings is the number of message classes.
+	NumRings
+)
+
+// String returns the ring mnemonic.
+func (r Ring) String() string {
+	switch r {
+	case RingBL:
+		return "BL"
+	case RingAD:
+		return "AD"
+	case RingAK:
+		return "AK"
+	case RingIV:
+		return "IV"
+	default:
+		return fmt.Sprintf("Ring(%d)", uint8(r))
+	}
+}
+
+// Coord is a tile position on the grid: row 0 is the top row, column 0 the
+// leftmost column.
+type Coord struct {
+	Row, Col int
+}
+
+// String formats the coordinate as "(row,col)".
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.Row, c.Col) }
+
+// Hop is one mesh link traversal: the packet arrives at To through the
+// ingress channel Ch (the label To's counters attribute the arrival to).
+type Hop struct {
+	To Coord
+	Ch Channel
+}
+
+// Counters is the per-tile bank of ingress-occupancy event counts plus the
+// LLC lookup count of the tile's cache slice. Ingress is the BL (data)
+// ring — the one the locating method monitors; the protocol rings have
+// their own banks.
+type Counters struct {
+	Ingress   [4]uint64           // BL ring, indexed by Channel
+	Protocol  [NumRings][4]uint64 // AD/AK/IV rings (RingBL entry unused)
+	LLCLookup uint64
+}
+
+// RingIngress returns the ingress counter bank for a ring.
+func (c *Counters) RingIngress(r Ring) *[4]uint64 {
+	if r == RingBL {
+		return &c.Ingress
+	}
+	return &c.Protocol[r]
+}
+
+// Tile is one grid position.
+type Tile struct {
+	Kind Kind
+	// CHA is the tile's CHA ID, or -1 when the tile has no active CHA.
+	// CHA IDs are assigned by the machine layer in column-major order,
+	// skipping tiles without an active CHA.
+	CHA int
+	// Counters accumulates ingress and LLC-lookup events. The mesh
+	// updates it for every tile, including disabled ones; readability is
+	// a PMON-layer concern.
+	Counters Counters
+}
+
+// Grid is the die mesh: a Rows×Cols arrangement of tiles.
+type Grid struct {
+	Rows, Cols int
+	tiles      []Tile
+}
+
+// NewGrid returns a grid of the given dimensions with every tile initially
+// KindDisabled and no CHA.
+func NewGrid(rows, cols int) *Grid {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mesh: invalid grid size %dx%d", rows, cols))
+	}
+	g := &Grid{Rows: rows, Cols: cols, tiles: make([]Tile, rows*cols)}
+	for i := range g.tiles {
+		g.tiles[i].CHA = -1
+	}
+	return g
+}
+
+// In reports whether the coordinate lies on the grid.
+func (g *Grid) In(c Coord) bool {
+	return c.Row >= 0 && c.Row < g.Rows && c.Col >= 0 && c.Col < g.Cols
+}
+
+// Tile returns the tile at c. It panics if c is out of range.
+func (g *Grid) Tile(c Coord) *Tile {
+	if !g.In(c) {
+		panic(fmt.Sprintf("mesh: coordinate %v outside %dx%d grid", c, g.Rows, g.Cols))
+	}
+	return &g.tiles[c.Row*g.Cols+c.Col]
+}
+
+// SetKind sets the kind of the tile at c.
+func (g *Grid) SetKind(c Coord, k Kind) { g.Tile(c).Kind = k }
+
+// Tiles calls fn for every tile in row-major order.
+func (g *Grid) Tiles(fn func(Coord, *Tile)) {
+	for r := 0; r < g.Rows; r++ {
+		for c := 0; c < g.Cols; c++ {
+			co := Coord{r, c}
+			fn(co, g.Tile(co))
+		}
+	}
+}
+
+// FindCHA returns the coordinate of the tile with the given CHA ID, or
+// ok=false when no tile carries it.
+func (g *Grid) FindCHA(cha int) (Coord, bool) {
+	var found Coord
+	ok := false
+	g.Tiles(func(c Coord, t *Tile) {
+		if t.CHA == cha {
+			found, ok = c, true
+		}
+	})
+	return found, ok
+}
+
+// horizontalLabel returns the channel label the tile in column col uses for
+// a horizontally arriving packet travelling east (increasing column) or
+// west. Odd columns are physically mirrored, so the label alternates per
+// column: an eastbound packet is a "right"-channel arrival at even columns
+// and a "left"-channel arrival at odd columns.
+func horizontalLabel(col int, east bool) Channel {
+	mirrored := col%2 == 1
+	if east != mirrored {
+		return Right
+	}
+	return Left
+}
+
+// Route returns the dimension-order (vertical-first) route from src to dst
+// as the sequence of hops taken. An empty route is returned when src == dst.
+// It panics if either coordinate is off the grid.
+func (g *Grid) Route(src, dst Coord) []Hop {
+	if !g.In(src) || !g.In(dst) {
+		panic(fmt.Sprintf("mesh: route %v->%v outside %dx%d grid", src, dst, g.Rows, g.Cols))
+	}
+	hops := make([]Hop, 0, abs(dst.Row-src.Row)+abs(dst.Col-src.Col))
+	cur := src
+	for cur.Row != dst.Row {
+		ch := Down
+		next := Coord{cur.Row + 1, cur.Col}
+		if dst.Row < cur.Row {
+			ch = Up
+			next = Coord{cur.Row - 1, cur.Col}
+		}
+		cur = next
+		hops = append(hops, Hop{To: cur, Ch: ch})
+	}
+	for cur.Col != dst.Col {
+		east := dst.Col > cur.Col
+		next := Coord{cur.Row, cur.Col - 1}
+		if east {
+			next = Coord{cur.Row, cur.Col + 1}
+		}
+		cur = next
+		hops = append(hops, Hop{To: cur, Ch: horizontalLabel(cur.Col, east)})
+	}
+	return hops
+}
+
+// Inject routes flits data flits from src to dst on the BL ring and
+// charges every hop's ingress counter at the receiving tile. Counters are
+// charged on all tiles, including disabled ones; visibility is decided by
+// the PMON layer.
+func (g *Grid) Inject(src, dst Coord, flits uint64) {
+	g.InjectOn(RingBL, src, dst, flits)
+}
+
+// InjectOn routes flits from src to dst on the given message ring.
+func (g *Grid) InjectOn(ring Ring, src, dst Coord, flits uint64) {
+	for _, h := range g.Route(src, dst) {
+		g.Tile(h.To).Counters.RingIngress(ring)[h.Ch] += flits
+	}
+}
+
+// LookupLLC charges n LLC lookup events to the slice at c.
+func (g *Grid) LookupLLC(c Coord, n uint64) { g.Tile(c).Counters.LLCLookup += n }
+
+// ResetCounters zeroes every tile's counter bank.
+func (g *Grid) ResetCounters() {
+	for i := range g.tiles {
+		g.tiles[i].Counters = Counters{}
+	}
+}
+
+// Distance returns the Manhattan hop distance between two coordinates.
+func Distance(a, b Coord) int { return abs(a.Row-b.Row) + abs(a.Col-b.Col) }
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

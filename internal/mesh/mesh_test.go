@@ -1,0 +1,348 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindDisabled: "disabled",
+		KindCore:     "core",
+		KindLLCOnly:  "llc-only",
+		KindIMC:      "imc",
+		KindIO:       "io",
+		Kind(99):     "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindCapabilities(t *testing.T) {
+	if !KindCore.HasCHA() || !KindCore.HasCore() {
+		t.Error("KindCore must have both CHA and core")
+	}
+	if !KindLLCOnly.HasCHA() || KindLLCOnly.HasCore() {
+		t.Error("KindLLCOnly must have a CHA but no core")
+	}
+	for _, k := range []Kind{KindDisabled, KindIMC, KindIO} {
+		if k.HasCHA() || k.HasCore() {
+			t.Errorf("%v must have neither CHA nor core", k)
+		}
+	}
+}
+
+func TestChannelString(t *testing.T) {
+	cases := map[Channel]string{Up: "up", Down: "down", Left: "left", Right: "right", Channel(9): "Channel(9)"}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Channel(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+}
+
+func TestChannelVertical(t *testing.T) {
+	if !Up.Vertical() || !Down.Vertical() {
+		t.Error("up/down must be vertical")
+	}
+	if Left.Vertical() || Right.Vertical() {
+		t.Error("left/right must not be vertical")
+	}
+}
+
+func TestNewGridInitialState(t *testing.T) {
+	g := NewGrid(5, 6)
+	if g.Rows != 5 || g.Cols != 6 {
+		t.Fatalf("grid size = %dx%d, want 5x6", g.Rows, g.Cols)
+	}
+	g.Tiles(func(c Coord, tl *Tile) {
+		if tl.Kind != KindDisabled {
+			t.Errorf("tile %v initial kind = %v, want disabled", c, tl.Kind)
+		}
+		if tl.CHA != -1 {
+			t.Errorf("tile %v initial CHA = %d, want -1", c, tl.CHA)
+		}
+	})
+}
+
+func TestNewGridPanicsOnBadSize(t *testing.T) {
+	for _, sz := range [][2]int{{0, 4}, {4, 0}, {-1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGrid(%d,%d) did not panic", sz[0], sz[1])
+				}
+			}()
+			NewGrid(sz[0], sz[1])
+		}()
+	}
+}
+
+func TestTilePanicsOutOfRange(t *testing.T) {
+	g := NewGrid(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Tile out of range did not panic")
+		}
+	}()
+	g.Tile(Coord{2, 0})
+}
+
+func TestFindCHA(t *testing.T) {
+	g := NewGrid(3, 3)
+	g.Tile(Coord{1, 2}).Kind = KindCore
+	g.Tile(Coord{1, 2}).CHA = 7
+	if c, ok := g.FindCHA(7); !ok || c != (Coord{1, 2}) {
+		t.Errorf("FindCHA(7) = %v,%v; want (1,2),true", c, ok)
+	}
+	if _, ok := g.FindCHA(8); ok {
+		t.Error("FindCHA(8) found a tile that does not exist")
+	}
+}
+
+func TestRouteVerticalOnly(t *testing.T) {
+	g := NewGrid(5, 6)
+	hops := g.Route(Coord{4, 2}, Coord{1, 2})
+	if len(hops) != 3 {
+		t.Fatalf("got %d hops, want 3", len(hops))
+	}
+	for i, h := range hops {
+		if h.Ch != Up {
+			t.Errorf("hop %d channel = %v, want up", i, h.Ch)
+		}
+		want := Coord{3 - i, 2}
+		if h.To != want {
+			t.Errorf("hop %d to %v, want %v", i, h.To, want)
+		}
+	}
+}
+
+func TestRouteDimensionOrder(t *testing.T) {
+	// Vertical movement must complete before any horizontal movement.
+	g := NewGrid(5, 6)
+	hops := g.Route(Coord{0, 0}, Coord{3, 4})
+	if len(hops) != 7 {
+		t.Fatalf("got %d hops, want 7", len(hops))
+	}
+	for i := 0; i < 3; i++ {
+		if hops[i].Ch != Down {
+			t.Errorf("hop %d = %v, want down", i, hops[i].Ch)
+		}
+		if hops[i].To.Col != 0 {
+			t.Errorf("vertical hop %d strayed to column %d", i, hops[i].To.Col)
+		}
+	}
+	for i := 3; i < 7; i++ {
+		if hops[i].Ch.Vertical() {
+			t.Errorf("hop %d = %v, want horizontal", i, hops[i].Ch)
+		}
+		if hops[i].To.Row != 3 {
+			t.Errorf("horizontal hop %d strayed to row %d", i, hops[i].To.Row)
+		}
+	}
+	if last := hops[6].To; last != (Coord{3, 4}) {
+		t.Errorf("route ends at %v, want (3,4)", last)
+	}
+}
+
+func TestRouteEmptyWhenSameTile(t *testing.T) {
+	g := NewGrid(3, 3)
+	if hops := g.Route(Coord{1, 1}, Coord{1, 1}); len(hops) != 0 {
+		t.Errorf("self route has %d hops, want 0", len(hops))
+	}
+}
+
+func TestHorizontalLabelsAlternate(t *testing.T) {
+	g := NewGrid(1, 6)
+	hops := g.Route(Coord{0, 0}, Coord{0, 5})
+	// Eastbound arrivals: odd columns are mirrored, so the label must
+	// alternate left/right along the path.
+	for i := 1; i < len(hops); i++ {
+		if hops[i].Ch == hops[i-1].Ch {
+			t.Errorf("consecutive horizontal hops %d,%d share label %v; labels must alternate", i-1, i, hops[i].Ch)
+		}
+	}
+	// Westbound arrivals at the same columns must carry the opposite label.
+	back := g.Route(Coord{0, 5}, Coord{0, 0})
+	labels := map[int]Channel{}
+	for _, h := range hops {
+		labels[h.To.Col] = h.Ch
+	}
+	for _, h := range back {
+		if fwd, ok := labels[h.To.Col]; ok && fwd == h.Ch {
+			t.Errorf("column %d: east and west arrivals share label %v; the mirrored labels must hide direction", h.To.Col, h.Ch)
+		}
+	}
+}
+
+func TestRoutePanicsOffGrid(t *testing.T) {
+	g := NewGrid(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Route off grid did not panic")
+		}
+	}()
+	g.Route(Coord{0, 0}, Coord{5, 5})
+}
+
+func TestInjectChargesIngressAtEveryHop(t *testing.T) {
+	g := NewGrid(5, 6)
+	src, dst := Coord{4, 1}, Coord{2, 3}
+	g.Inject(src, dst, 10)
+	// Vertical segment: (3,1) and (2,1) get Up ingress.
+	for _, c := range []Coord{{3, 1}, {2, 1}} {
+		if got := g.Tile(c).Counters.Ingress[Up]; got != 10 {
+			t.Errorf("tile %v up ingress = %d, want 10", c, got)
+		}
+	}
+	// Horizontal segment: (2,2) and (2,3) get horizontal ingress.
+	for _, c := range []Coord{{2, 2}, {2, 3}} {
+		tl := g.Tile(c)
+		if h := tl.Counters.Ingress[Left] + tl.Counters.Ingress[Right]; h != 10 {
+			t.Errorf("tile %v horizontal ingress = %d, want 10", c, h)
+		}
+	}
+	// The source is never charged.
+	var srcTotal uint64
+	for _, v := range g.Tile(src).Counters.Ingress {
+		srcTotal += v
+	}
+	if srcTotal != 0 {
+		t.Errorf("source tile charged %d ingress cycles, want 0", srcTotal)
+	}
+}
+
+func TestInjectAccumulates(t *testing.T) {
+	g := NewGrid(3, 3)
+	g.Inject(Coord{0, 0}, Coord{2, 0}, 4)
+	g.Inject(Coord{0, 0}, Coord{2, 0}, 6)
+	if got := g.Tile(Coord{1, 0}).Counters.Ingress[Down]; got != 10 {
+		t.Errorf("accumulated down ingress = %d, want 10", got)
+	}
+}
+
+func TestLookupLLCAndReset(t *testing.T) {
+	g := NewGrid(2, 2)
+	g.LookupLLC(Coord{0, 1}, 5)
+	if got := g.Tile(Coord{0, 1}).Counters.LLCLookup; got != 5 {
+		t.Errorf("LLC lookups = %d, want 5", got)
+	}
+	g.Inject(Coord{0, 0}, Coord{1, 1}, 1)
+	g.ResetCounters()
+	g.Tiles(func(c Coord, tl *Tile) {
+		if tl.Counters != (Counters{}) {
+			t.Errorf("tile %v counters not reset: %+v", c, tl.Counters)
+		}
+	})
+}
+
+func TestDistance(t *testing.T) {
+	if d := Distance(Coord{0, 0}, Coord{3, 4}); d != 7 {
+		t.Errorf("Distance = %d, want 7", d)
+	}
+	if d := Distance(Coord{2, 2}, Coord{2, 2}); d != 0 {
+		t.Errorf("self distance = %d, want 0", d)
+	}
+}
+
+// Property: every route is a valid lattice path — it starts adjacent to the
+// source, each hop moves to a 4-neighbour of the previous position, it ends
+// at the destination, its length is the Manhattan distance, and all
+// vertical hops precede all horizontal hops.
+func TestRouteProperties(t *testing.T) {
+	const rows, cols = 8, 8
+	g := NewGrid(rows, cols)
+	f := func(sr, sc, dr, dc uint8) bool {
+		src := Coord{int(sr) % rows, int(sc) % cols}
+		dst := Coord{int(dr) % rows, int(dc) % cols}
+		hops := g.Route(src, dst)
+		if len(hops) != Distance(src, dst) {
+			return false
+		}
+		cur := src
+		horizontalSeen := false
+		for _, h := range hops {
+			if Distance(cur, h.To) != 1 {
+				return false
+			}
+			if h.Ch.Vertical() {
+				if horizontalSeen {
+					return false // vertical after horizontal violates DOR
+				}
+				if h.To.Col != cur.Col {
+					return false
+				}
+				if h.Ch == Up && h.To.Row != cur.Row-1 {
+					return false
+				}
+				if h.Ch == Down && h.To.Row != cur.Row+1 {
+					return false
+				}
+			} else {
+				horizontalSeen = true
+				if h.To.Row != cur.Row {
+					return false
+				}
+			}
+			cur = h.To
+		}
+		return cur == dst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the total ingress charged by an injection equals flits ×
+// Manhattan distance, spread one hop per tile.
+func TestInjectConservation(t *testing.T) {
+	f := func(sr, sc, dr, dc uint8, flits uint16) bool {
+		g := NewGrid(6, 7)
+		src := Coord{int(sr) % 6, int(sc) % 7}
+		dst := Coord{int(dr) % 6, int(dc) % 7}
+		g.Inject(src, dst, uint64(flits))
+		var total uint64
+		g.Tiles(func(_ Coord, tl *Tile) {
+			for _, v := range tl.Counters.Ingress {
+				total += v
+			}
+		})
+		return total == uint64(flits)*uint64(Distance(src, dst))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInjectOnRingsIndependent(t *testing.T) {
+	g := NewGrid(2, 2)
+	g.InjectOn(RingAD, Coord{0, 0}, Coord{1, 0}, 3)
+	g.InjectOn(RingIV, Coord{0, 0}, Coord{1, 0}, 4)
+	tl := g.Tile(Coord{1, 0})
+	if tl.Counters.RingIngress(RingAD)[Down] != 3 {
+		t.Errorf("AD ingress = %d, want 3", tl.Counters.RingIngress(RingAD)[Down])
+	}
+	if tl.Counters.RingIngress(RingIV)[Down] != 4 {
+		t.Errorf("IV ingress = %d, want 4", tl.Counters.RingIngress(RingIV)[Down])
+	}
+	if tl.Counters.Ingress[Down] != 0 {
+		t.Errorf("BL ingress = %d, want 0 (protocol traffic must stay off BL)", tl.Counters.Ingress[Down])
+	}
+	g.ResetCounters()
+	if tl.Counters.RingIngress(RingAD)[Down] != 0 {
+		t.Error("ResetCounters did not clear protocol rings")
+	}
+}
+
+func TestRingString(t *testing.T) {
+	cases := map[Ring]string{RingBL: "BL", RingAD: "AD", RingAK: "AK", RingIV: "IV", Ring(9): "Ring(9)"}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Ring(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package msr provides a simulated model-specific-register (MSR) address
+// space in the style of the Linux /dev/cpu/*/msr interface.
+//
+// A Space maps MSR addresses to read/write handlers. The machine layer
+// registers handlers for the registers a simulated Xeon exposes — PPIN,
+// per-CHA uncore-PMON blocks, thermal sensors — and the probing code
+// accesses them exclusively through Read/Write, exactly as the real tool
+// would through rdmsr/wrmsr. Accessing an unimplemented address fails the
+// same way a faulting RDMSR surfaces as EIO on Linux.
+package msr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Addr is an MSR address.
+type Addr uint32
+
+// Architectural and Xeon-specific MSR addresses used by the mapping tool.
+// The numeric values follow the Intel SDM / Xeon Scalable uncore manual so
+// that the probe code reads like its real-hardware counterpart.
+const (
+	// AddrPPINCtl gates access to the protected processor inventory
+	// number. Bit 1 must be set before PPIN reads succeed.
+	AddrPPINCtl Addr = 0x4E
+	// AddrPPIN is the protected processor inventory number uniquely
+	// identifying the CPU chip instance.
+	AddrPPIN Addr = 0x4F
+	// AddrIA32ThermStatus holds the per-core digital temperature readout
+	// (degrees below TjMax, bits 22:16, valid bit 31).
+	AddrIA32ThermStatus Addr = 0x19C
+	// AddrTemperatureTarget holds TjMax in bits 23:16.
+	AddrTemperatureTarget Addr = 0x1A2
+)
+
+// Uncore CHA performance-monitoring block layout (Skylake-SP style): CHA n
+// occupies ChaStride consecutive addresses starting at ChaBase+n*ChaStride.
+const (
+	ChaBase   Addr = 0x0E00
+	ChaStride Addr = 0x10
+
+	// Offsets within one CHA block.
+	ChaOffUnitCtl Addr = 0x0 // box-level control (freeze/reset)
+	ChaOffCtl0    Addr = 0x1 // event select 0..3
+	ChaOffFilter0 Addr = 0x5
+	ChaOffFilter1 Addr = 0x6
+	ChaOffStatus  Addr = 0x7
+	ChaOffCtr0    Addr = 0x8 // counter 0..3
+)
+
+// ChaCounters is the number of general-purpose counters per CHA box.
+const ChaCounters = 4
+
+// ChaMSR returns the address of a register in CHA cha's PMON block.
+func ChaMSR(cha int, off Addr) Addr {
+	if cha < 0 {
+		panic(fmt.Sprintf("msr: negative CHA index %d", cha))
+	}
+	return ChaBase + Addr(cha)*ChaStride + off
+}
+
+// Errors returned by Space operations. On Linux a faulting RDMSR/WRMSR in
+// /dev/cpu/*/msr surfaces as EIO; simulated accesses fail analogously.
+var (
+	ErrNoSuchMSR = errors.New("msr: address not implemented")
+	ErrReadOnly  = errors.New("msr: register is read-only")
+	ErrWriteOnly = errors.New("msr: register is write-only")
+	ErrLocked    = errors.New("msr: register access is locked")
+)
+
+// Handler implements one register. A nil Read or Write makes the register
+// write-only or read-only respectively.
+type Handler struct {
+	Read  func() (uint64, error)
+	Write func(uint64) error
+}
+
+// Space is one logical CPU's MSR address space.
+//
+// Space is not safe for concurrent use; the machine layer serializes
+// accesses the way a single hardware thread would.
+type Space struct {
+	handlers map[Addr]Handler
+}
+
+// NewSpace returns an empty MSR space.
+func NewSpace() *Space {
+	return &Space{handlers: make(map[Addr]Handler)}
+}
+
+// Register installs h at address a, replacing any previous handler.
+func (s *Space) Register(a Addr, h Handler) { s.handlers[a] = h }
+
+// RegisterValue installs a read-only constant register at a.
+func (s *Space) RegisterValue(a Addr, v uint64) {
+	s.Register(a, Handler{Read: func() (uint64, error) { return v, nil }})
+}
+
+// RegisterStorage installs a plain read-write register backed by *v.
+func (s *Space) RegisterStorage(a Addr, v *uint64) {
+	s.Register(a, Handler{
+		Read:  func() (uint64, error) { return *v, nil },
+		Write: func(x uint64) error { *v = x; return nil },
+	})
+}
+
+// Unregister removes the handler at a, if any.
+func (s *Space) Unregister(a Addr) { delete(s.handlers, a) }
+
+// Read performs an RDMSR of address a.
+func (s *Space) Read(a Addr) (uint64, error) {
+	h, ok := s.handlers[a]
+	if !ok {
+		return 0, fmt.Errorf("rdmsr %#x: %w", uint32(a), ErrNoSuchMSR)
+	}
+	if h.Read == nil {
+		return 0, fmt.Errorf("rdmsr %#x: %w", uint32(a), ErrWriteOnly)
+	}
+	return h.Read()
+}
+
+// Write performs a WRMSR of value v to address a.
+func (s *Space) Write(a Addr, v uint64) error {
+	h, ok := s.handlers[a]
+	if !ok {
+		return fmt.Errorf("wrmsr %#x: %w", uint32(a), ErrNoSuchMSR)
+	}
+	if h.Write == nil {
+		return fmt.Errorf("wrmsr %#x: %w", uint32(a), ErrReadOnly)
+	}
+	return h.Write(v)
+}
+
+// IA32_THERM_STATUS layout helpers. The digital readout field reports the
+// number of degrees Celsius below TjMax, quantized to 1 °C, with a reading-
+// valid flag — the 1 °C sensor granularity the paper's covert channel works
+// against.
+
+// EncodeThermStatus packs a digital readout (degrees below TjMax, clamped
+// to [0,127]) into IA32_THERM_STATUS format.
+func EncodeThermStatus(below int, valid bool) uint64 {
+	if below < 0 {
+		below = 0
+	}
+	if below > 127 {
+		below = 127
+	}
+	v := uint64(below) << 16
+	if valid {
+		v |= 1 << 31
+	}
+	return v
+}
+
+// DecodeThermStatus extracts the digital readout and validity flag from an
+// IA32_THERM_STATUS value.
+func DecodeThermStatus(v uint64) (below int, valid bool) {
+	return int(v >> 16 & 0x7F), v>>31&1 == 1
+}
+
+// EncodeTemperatureTarget packs TjMax (°C) into MSR_TEMPERATURE_TARGET
+// format.
+func EncodeTemperatureTarget(tjMax int) uint64 { return uint64(tjMax&0xFF) << 16 }
+
+// DecodeTemperatureTarget extracts TjMax from MSR_TEMPERATURE_TARGET.
+func DecodeTemperatureTarget(v uint64) int { return int(v >> 16 & 0xFF) }

@@ -1,0 +1,140 @@
+package msr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestChaMSRLayout(t *testing.T) {
+	if got := ChaMSR(0, ChaOffUnitCtl); got != 0x0E00 {
+		t.Errorf("CHA0 unit ctl = %#x, want 0xE00", got)
+	}
+	if got := ChaMSR(3, ChaOffCtr0); got != 0x0E00+3*0x10+8 {
+		t.Errorf("CHA3 ctr0 = %#x, want %#x", got, 0x0E00+3*0x10+8)
+	}
+	// Blocks must not overlap.
+	if ChaOffCtr0+ChaCounters-1 >= ChaStride {
+		t.Fatal("CHA block layout exceeds stride")
+	}
+}
+
+func TestChaMSRPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ChaMSR(-1) did not panic")
+		}
+	}()
+	ChaMSR(-1, 0)
+}
+
+func TestSpaceUnknownAddress(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.Read(0x123); !errors.Is(err, ErrNoSuchMSR) {
+		t.Errorf("Read unknown = %v, want ErrNoSuchMSR", err)
+	}
+	if err := s.Write(0x123, 1); !errors.Is(err, ErrNoSuchMSR) {
+		t.Errorf("Write unknown = %v, want ErrNoSuchMSR", err)
+	}
+}
+
+func TestRegisterValueIsReadOnly(t *testing.T) {
+	s := NewSpace()
+	s.RegisterValue(AddrPPIN, 0xDEAD)
+	v, err := s.Read(AddrPPIN)
+	if err != nil || v != 0xDEAD {
+		t.Errorf("Read = %#x,%v; want 0xDEAD,nil", v, err)
+	}
+	if err := s.Write(AddrPPIN, 1); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Write to read-only = %v, want ErrReadOnly", err)
+	}
+}
+
+func TestRegisterStorageRoundTrip(t *testing.T) {
+	s := NewSpace()
+	var backing uint64
+	s.RegisterStorage(0x700, &backing)
+	if err := s.Write(0x700, 42); err != nil {
+		t.Fatal(err)
+	}
+	if backing != 42 {
+		t.Errorf("backing = %d, want 42", backing)
+	}
+	if v, _ := s.Read(0x700); v != 42 {
+		t.Errorf("Read = %d, want 42", v)
+	}
+}
+
+func TestWriteOnlyRegister(t *testing.T) {
+	s := NewSpace()
+	s.Register(0x701, Handler{Write: func(uint64) error { return nil }})
+	if _, err := s.Read(0x701); !errors.Is(err, ErrWriteOnly) {
+		t.Errorf("Read write-only = %v, want ErrWriteOnly", err)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	s := NewSpace()
+	s.RegisterValue(0x702, 1)
+	s.Unregister(0x702)
+	if _, err := s.Read(0x702); !errors.Is(err, ErrNoSuchMSR) {
+		t.Errorf("Read after Unregister = %v, want ErrNoSuchMSR", err)
+	}
+}
+
+func TestThermStatusEncoding(t *testing.T) {
+	v := EncodeThermStatus(28, true)
+	below, valid := DecodeThermStatus(v)
+	if below != 28 || !valid {
+		t.Errorf("round trip = %d,%v; want 28,true", below, valid)
+	}
+	if _, valid := DecodeThermStatus(EncodeThermStatus(5, false)); valid {
+		t.Error("invalid reading decoded as valid")
+	}
+	// Clamping.
+	if b, _ := DecodeThermStatus(EncodeThermStatus(-3, true)); b != 0 {
+		t.Errorf("negative readout clamped to %d, want 0", b)
+	}
+	if b, _ := DecodeThermStatus(EncodeThermStatus(500, true)); b != 127 {
+		t.Errorf("large readout clamped to %d, want 127", b)
+	}
+}
+
+func TestTemperatureTargetEncoding(t *testing.T) {
+	if got := DecodeTemperatureTarget(EncodeTemperatureTarget(100)); got != 100 {
+		t.Errorf("TjMax round trip = %d, want 100", got)
+	}
+}
+
+// Property: therm-status encode/decode round-trips for all in-range values.
+func TestThermStatusRoundTripProperty(t *testing.T) {
+	f := func(b uint8, valid bool) bool {
+		below := int(b % 128)
+		got, gotValid := DecodeThermStatus(EncodeThermStatus(below, valid))
+		return got == below && gotValid == valid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct CHA indices map to disjoint register blocks.
+func TestChaBlocksDisjoint(t *testing.T) {
+	f := func(a, b uint8) bool {
+		ca, cb := int(a%40), int(b%40)
+		if ca == cb {
+			return true
+		}
+		// Every offset within the stride must differ between blocks.
+		for off := Addr(0); off < ChaStride; off++ {
+			if ChaMSR(ca, off) == ChaMSR(cb, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,327 @@
+// Package pmon implements the uncore performance-monitoring (PMON) model of
+// the Xeon Scalable CHA boxes, on both sides of the MSR interface:
+//
+//   - the device side (Box / InstallBox) exposes a CHA's event counters as
+//     MSR registers backed by live mesh-tile event sources, which the
+//     machine layer installs into each simulated CPU's msr.Space;
+//   - the client side (Monitor) programs event selects and reads counters
+//     through plain RDMSR/WRMSR accesses, exactly like the real mapping
+//     tool drives /dev/cpu/*/msr using the uncore manual's layout.
+//
+// The events needed by the core-locating method are the per-CHA LLC lookup
+// count and the ingress-occupancy counts of the mesh data (BL) rings:
+// VERT_RING_BL_IN_USE.{UP,DOWN} and HORZ_RING_BL_IN_USE.{LEFT,RIGHT}. Only
+// ingress is observable — a tile never reports which output channel a
+// packet left through — which is one of the partial-observation limits the
+// ILP reconstruction has to work around.
+package pmon
+
+import (
+	"fmt"
+
+	"coremap/internal/mesh"
+	"coremap/internal/msr"
+)
+
+// Event codes and unit masks, following the Xeon Scalable uncore manual's
+// CHA box encodings.
+const (
+	EvLLCLookup uint8 = 0x34
+	// Ring-occupancy events, one pair per message class. The locating
+	// tool programs the BL (data) pair; the others are implemented so a
+	// mis-programmed monitor would see protocol traffic instead of the
+	// data stream.
+	EvVertRingADInUse uint8 = 0xA6
+	EvHorzRingADInUse uint8 = 0xA7
+	EvVertRingAKInUse uint8 = 0xA8
+	EvHorzRingAKInUse uint8 = 0xA9
+	EvVertRingBLInUse uint8 = 0xAA
+	EvHorzRingBLInUse uint8 = 0xAB
+	EvVertRingIVInUse uint8 = 0xAC
+	EvHorzRingIVInUse uint8 = 0xAD
+
+	// Unit masks. Ring events use one bit per even/odd sub-ring; both
+	// bits of a direction are normally selected together.
+	UmaskLLCAny uint8 = 0x1F
+	UmaskUp     uint8 = 0x03 // VERT_RING_BL_IN_USE.UP_EVEN|UP_ODD
+	UmaskDown   uint8 = 0x0C // VERT_RING_BL_IN_USE.DN_EVEN|DN_ODD
+	UmaskLeft   uint8 = 0x03 // HORZ_RING_BL_IN_USE.LEFT_EVEN|LEFT_ODD
+	UmaskRight  uint8 = 0x0C // HORZ_RING_BL_IN_USE.RIGHT_EVEN|RIGHT_ODD
+)
+
+// Control-register bit fields.
+const (
+	ctlEventMask  uint64 = 0xFF
+	ctlUmaskShift        = 8
+	// CtlEnable must be set in an event-select register for its counter
+	// to count.
+	CtlEnable uint64 = 1 << 22
+)
+
+// Unit-control bits.
+const (
+	// UnitCtlFreeze latches all counters of the box while set.
+	UnitCtlFreeze uint64 = 1 << 8
+	// UnitCtlReset rebases all counters of the box to zero.
+	UnitCtlReset uint64 = 1 << 1
+)
+
+// EncodeCtl builds an event-select register value.
+func EncodeCtl(event, umask uint8) uint64 {
+	return uint64(event) | uint64(umask)<<ctlUmaskShift | CtlEnable
+}
+
+// DecodeCtl splits an event-select register value.
+func DecodeCtl(v uint64) (event, umask uint8, enabled bool) {
+	return uint8(v & ctlEventMask), uint8(v >> ctlUmaskShift & 0xFF), v&CtlEnable != 0
+}
+
+// Source supplies free-running event counts for one CHA box. The device
+// side samples it on every counter read.
+type Source interface {
+	// Count returns the current cumulative count of (event, umask), and
+	// whether the event is implemented.
+	Count(event, umask uint8) (uint64, bool)
+}
+
+// TileSource adapts a mesh tile's counter bank into a PMON event Source.
+type TileSource struct {
+	Tile *mesh.Tile
+}
+
+// ringOf maps a ring-occupancy event code to its message ring and whether
+// it is the vertical pair.
+func ringOf(event uint8) (ring mesh.Ring, vertical, ok bool) {
+	switch event {
+	case EvVertRingADInUse:
+		return mesh.RingAD, true, true
+	case EvHorzRingADInUse:
+		return mesh.RingAD, false, true
+	case EvVertRingAKInUse:
+		return mesh.RingAK, true, true
+	case EvHorzRingAKInUse:
+		return mesh.RingAK, false, true
+	case EvVertRingBLInUse:
+		return mesh.RingBL, true, true
+	case EvHorzRingBLInUse:
+		return mesh.RingBL, false, true
+	case EvVertRingIVInUse:
+		return mesh.RingIV, true, true
+	case EvHorzRingIVInUse:
+		return mesh.RingIV, false, true
+	default:
+		return 0, false, false
+	}
+}
+
+// Count implements Source for the CHA events the locating tool uses.
+func (s TileSource) Count(event, umask uint8) (uint64, bool) {
+	if event == EvLLCLookup {
+		return s.Tile.Counters.LLCLookup, true
+	}
+	ring, vertical, ok := ringOf(event)
+	if !ok {
+		return 0, false
+	}
+	ing := s.Tile.Counters.RingIngress(ring)
+	var n uint64
+	if vertical {
+		if umask&UmaskUp != 0 {
+			n += ing[mesh.Up]
+		}
+		if umask&UmaskDown != 0 {
+			n += ing[mesh.Down]
+		}
+	} else {
+		if umask&UmaskLeft != 0 {
+			n += ing[mesh.Left]
+		}
+		if umask&UmaskRight != 0 {
+			n += ing[mesh.Right]
+		}
+	}
+	return n, true
+}
+
+// Box is the device-side state of one CHA PMON box: four event-select
+// registers and four counters rebased at programming time, with box-level
+// freeze and reset, plus the two filter registers real CHA boxes carry
+// (stored and readable; the modeled events do not interpret them).
+type Box struct {
+	src    Source
+	ctl    [msr.ChaCounters]uint64
+	base   [msr.ChaCounters]uint64
+	frozen bool
+	latch  [msr.ChaCounters]uint64
+	unit   uint64
+	filter [2]uint64
+}
+
+// NewBox returns a box counting events from src.
+func NewBox(src Source) *Box { return &Box{src: src} }
+
+func (b *Box) current(i int) uint64 {
+	event, umask, enabled := DecodeCtl(b.ctl[i])
+	if !enabled {
+		return 0
+	}
+	n, ok := b.src.Count(event, umask)
+	if !ok {
+		return 0
+	}
+	return n - b.base[i]
+}
+
+func (b *Box) writeCtl(i int, v uint64) error {
+	b.ctl[i] = v
+	event, umask, enabled := DecodeCtl(v)
+	if enabled {
+		if n, ok := b.src.Count(event, umask); ok {
+			b.base[i] = n
+		} else {
+			b.base[i] = 0
+		}
+	}
+	return nil
+}
+
+func (b *Box) readCtr(i int) (uint64, error) {
+	if b.frozen {
+		return b.latch[i], nil
+	}
+	return b.current(i), nil
+}
+
+func (b *Box) writeUnit(v uint64) error {
+	b.unit = v
+	if v&UnitCtlReset != 0 {
+		for i := range b.ctl {
+			event, umask, enabled := DecodeCtl(b.ctl[i])
+			if !enabled {
+				continue
+			}
+			if n, ok := b.src.Count(event, umask); ok {
+				b.base[i] = n
+			}
+		}
+	}
+	freeze := v&UnitCtlFreeze != 0
+	if freeze && !b.frozen {
+		for i := range b.latch {
+			b.latch[i] = b.current(i)
+		}
+	}
+	b.frozen = freeze
+	return nil
+}
+
+// InstallBox registers the MSR handlers of CHA cha's PMON box into space.
+func InstallBox(space *msr.Space, cha int, src Source) *Box {
+	b := NewBox(src)
+	space.Register(msr.ChaMSR(cha, msr.ChaOffUnitCtl), msr.Handler{
+		Read:  func() (uint64, error) { return b.unit, nil },
+		Write: b.writeUnit,
+	})
+	for i := 0; i < 2; i++ {
+		i := i
+		space.Register(msr.ChaMSR(cha, msr.ChaOffFilter0+msr.Addr(i)), msr.Handler{
+			Read:  func() (uint64, error) { return b.filter[i], nil },
+			Write: func(v uint64) error { b.filter[i] = v; return nil },
+		})
+	}
+	for i := 0; i < msr.ChaCounters; i++ {
+		i := i
+		space.Register(msr.ChaMSR(cha, msr.ChaOffCtl0+msr.Addr(i)), msr.Handler{
+			Read:  func() (uint64, error) { return b.ctl[i], nil },
+			Write: func(v uint64) error { return b.writeCtl(i, v) },
+		})
+		space.Register(msr.ChaMSR(cha, msr.ChaOffCtr0+msr.Addr(i)), msr.Handler{
+			Read: func() (uint64, error) { return b.readCtr(i) },
+		})
+	}
+	return b
+}
+
+// Access is the MSR access the client-side monitor needs. Uncore registers
+// are socket-scoped, so implementations may route the access through any
+// online CPU.
+type Access interface {
+	ReadMSR(a msr.Addr) (uint64, error)
+	WriteMSR(a msr.Addr, v uint64) error
+}
+
+// Monitor is the client-side driver for the CHA PMON boxes of one socket.
+// All methods issue plain MSR accesses; a Monitor works identically against
+// simulated and (hypothetically) real hardware.
+type Monitor struct {
+	acc Access
+	// NumCHA is the number of CHA boxes exposed by the socket. Boxes of
+	// fused-off tiles are not in the address space at all.
+	NumCHA int
+}
+
+// NewMonitor returns a monitor for a socket exposing numCHA CHA boxes.
+func NewMonitor(acc Access, numCHA int) *Monitor {
+	return &Monitor{acc: acc, NumCHA: numCHA}
+}
+
+func (m *Monitor) checkCHA(cha int) error {
+	if cha < 0 || cha >= m.NumCHA {
+		return fmt.Errorf("pmon: CHA %d out of range [0,%d)", cha, m.NumCHA)
+	}
+	return nil
+}
+
+// Program configures counter ctr of CHA cha to count (event, umask) and
+// rebases it to zero.
+func (m *Monitor) Program(cha, ctr int, event, umask uint8) error {
+	if err := m.checkCHA(cha); err != nil {
+		return err
+	}
+	if ctr < 0 || ctr >= msr.ChaCounters {
+		return fmt.Errorf("pmon: counter %d out of range [0,%d)", ctr, msr.ChaCounters)
+	}
+	return m.acc.WriteMSR(msr.ChaMSR(cha, msr.ChaOffCtl0+msr.Addr(ctr)), EncodeCtl(event, umask))
+}
+
+// Read returns the current value of counter ctr of CHA cha.
+func (m *Monitor) Read(cha, ctr int) (uint64, error) {
+	if err := m.checkCHA(cha); err != nil {
+		return 0, err
+	}
+	if ctr < 0 || ctr >= msr.ChaCounters {
+		return 0, fmt.Errorf("pmon: counter %d out of range [0,%d)", ctr, msr.ChaCounters)
+	}
+	return m.acc.ReadMSR(msr.ChaMSR(cha, msr.ChaOffCtr0+msr.Addr(ctr)))
+}
+
+// Reset rebases all counters of CHA cha.
+func (m *Monitor) Reset(cha int) error {
+	if err := m.checkCHA(cha); err != nil {
+		return err
+	}
+	return m.acc.WriteMSR(msr.ChaMSR(cha, msr.ChaOffUnitCtl), UnitCtlReset)
+}
+
+// ProgramAll configures the same counter of every CHA box.
+func (m *Monitor) ProgramAll(ctr int, event, umask uint8) error {
+	for cha := 0; cha < m.NumCHA; cha++ {
+		if err := m.Program(cha, ctr, event, umask); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAll returns counter ctr of every CHA box, indexed by CHA ID.
+func (m *Monitor) ReadAll(ctr int) ([]uint64, error) {
+	out := make([]uint64, m.NumCHA)
+	for cha := 0; cha < m.NumCHA; cha++ {
+		v, err := m.Read(cha, ctr)
+		if err != nil {
+			return nil, err
+		}
+		out[cha] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,264 @@
+package pmon
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coremap/internal/mesh"
+	"coremap/internal/msr"
+)
+
+func TestEncodeDecodeCtl(t *testing.T) {
+	v := EncodeCtl(EvVertRingBLInUse, UmaskUp)
+	event, umask, enabled := DecodeCtl(v)
+	if event != EvVertRingBLInUse || umask != UmaskUp || !enabled {
+		t.Errorf("DecodeCtl = %#x,%#x,%v", event, umask, enabled)
+	}
+	if _, _, enabled := DecodeCtl(0); enabled {
+		t.Error("zero ctl decoded as enabled")
+	}
+}
+
+func TestTileSourceEvents(t *testing.T) {
+	tl := &mesh.Tile{}
+	tl.Counters.Ingress[mesh.Up] = 10
+	tl.Counters.Ingress[mesh.Down] = 20
+	tl.Counters.Ingress[mesh.Left] = 3
+	tl.Counters.Ingress[mesh.Right] = 4
+	tl.Counters.LLCLookup = 99
+	src := TileSource{Tile: tl}
+
+	cases := []struct {
+		event, umask uint8
+		want         uint64
+	}{
+		{EvLLCLookup, UmaskLLCAny, 99},
+		{EvVertRingBLInUse, UmaskUp, 10},
+		{EvVertRingBLInUse, UmaskDown, 20},
+		{EvVertRingBLInUse, UmaskUp | UmaskDown, 30},
+		{EvHorzRingBLInUse, UmaskLeft, 3},
+		{EvHorzRingBLInUse, UmaskRight, 4},
+		{EvHorzRingBLInUse, UmaskLeft | UmaskRight, 7},
+	}
+	for _, c := range cases {
+		got, ok := src.Count(c.event, c.umask)
+		if !ok || got != c.want {
+			t.Errorf("Count(%#x,%#x) = %d,%v; want %d,true", c.event, c.umask, got, ok, c.want)
+		}
+	}
+	if _, ok := src.Count(0x55, 0); ok {
+		t.Error("unimplemented event reported as implemented")
+	}
+}
+
+// harness wires one box into an msr.Space and exposes pmon.Access.
+type harness struct{ space *msr.Space }
+
+func (h harness) ReadMSR(a msr.Addr) (uint64, error)  { return h.space.Read(a) }
+func (h harness) WriteMSR(a msr.Addr, v uint64) error { return h.space.Write(a, v) }
+
+func newHarness(t *testing.T, tiles ...*mesh.Tile) (harness, *Monitor) {
+	t.Helper()
+	space := msr.NewSpace()
+	for i, tl := range tiles {
+		InstallBox(space, i, TileSource{Tile: tl})
+	}
+	h := harness{space: space}
+	return h, NewMonitor(h, len(tiles))
+}
+
+func TestBoxCountsFromProgrammingTime(t *testing.T) {
+	tl := &mesh.Tile{}
+	tl.Counters.LLCLookup = 1000 // pre-existing activity
+	_, mon := newHarness(t, tl)
+
+	if err := mon.Program(0, 0, EvLLCLookup, UmaskLLCAny); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := mon.Read(0, 0); v != 0 {
+		t.Errorf("counter right after programming = %d, want 0", v)
+	}
+	tl.Counters.LLCLookup += 25
+	if v, _ := mon.Read(0, 0); v != 25 {
+		t.Errorf("counter after 25 events = %d, want 25", v)
+	}
+}
+
+func TestBoxReset(t *testing.T) {
+	tl := &mesh.Tile{}
+	_, mon := newHarness(t, tl)
+	if err := mon.Program(0, 1, EvVertRingBLInUse, UmaskUp); err != nil {
+		t.Fatal(err)
+	}
+	tl.Counters.Ingress[mesh.Up] = 40
+	if err := mon.Reset(0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := mon.Read(0, 1); v != 0 {
+		t.Errorf("counter after reset = %d, want 0", v)
+	}
+	tl.Counters.Ingress[mesh.Up] += 7
+	if v, _ := mon.Read(0, 1); v != 7 {
+		t.Errorf("counter after reset+7 = %d, want 7", v)
+	}
+}
+
+func TestBoxFreezeLatchesCounters(t *testing.T) {
+	tl := &mesh.Tile{}
+	h, mon := newHarness(t, tl)
+	if err := mon.Program(0, 0, EvLLCLookup, UmaskLLCAny); err != nil {
+		t.Fatal(err)
+	}
+	tl.Counters.LLCLookup = 5
+	if err := h.WriteMSR(msr.ChaMSR(0, msr.ChaOffUnitCtl), UnitCtlFreeze); err != nil {
+		t.Fatal(err)
+	}
+	tl.Counters.LLCLookup = 500
+	if v, _ := mon.Read(0, 0); v != 5 {
+		t.Errorf("frozen counter = %d, want latched 5", v)
+	}
+	if err := h.WriteMSR(msr.ChaMSR(0, msr.ChaOffUnitCtl), 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := mon.Read(0, 0); v != 500 {
+		t.Errorf("unfrozen counter = %d, want 500", v)
+	}
+}
+
+func TestFilterRegistersStored(t *testing.T) {
+	tl := &mesh.Tile{}
+	h, _ := newHarness(t, tl)
+	a := msr.ChaMSR(0, msr.ChaOffFilter0)
+	if err := h.WriteMSR(a, 0xCAFE); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := h.ReadMSR(a); err != nil || v != 0xCAFE {
+		t.Errorf("filter0 = %#x,%v; want 0xCAFE,nil", v, err)
+	}
+	b := msr.ChaMSR(0, msr.ChaOffFilter0+1)
+	if err := h.WriteMSR(b, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := h.ReadMSR(b); v != 0xBEEF {
+		t.Errorf("filter1 = %#x, want 0xBEEF", v)
+	}
+	if v, _ := h.ReadMSR(a); v != 0xCAFE {
+		t.Error("filter0 clobbered by filter1 write")
+	}
+}
+
+func TestUnprogrammedCounterReadsZero(t *testing.T) {
+	tl := &mesh.Tile{}
+	tl.Counters.LLCLookup = 123
+	_, mon := newHarness(t, tl)
+	if v, err := mon.Read(0, 3); err != nil || v != 0 {
+		t.Errorf("unprogrammed counter = %d,%v; want 0,nil", v, err)
+	}
+}
+
+func TestMonitorBoundsChecks(t *testing.T) {
+	_, mon := newHarness(t, &mesh.Tile{})
+	if err := mon.Program(1, 0, EvLLCLookup, UmaskLLCAny); err == nil {
+		t.Error("Program on out-of-range CHA succeeded")
+	}
+	if err := mon.Program(0, msr.ChaCounters, EvLLCLookup, UmaskLLCAny); err == nil {
+		t.Error("Program on out-of-range counter succeeded")
+	}
+	if _, err := mon.Read(-1, 0); err == nil {
+		t.Error("Read on negative CHA succeeded")
+	}
+	if _, err := mon.Read(0, -1); err == nil {
+		t.Error("Read on negative counter succeeded")
+	}
+	if err := mon.Reset(7); err == nil {
+		t.Error("Reset on out-of-range CHA succeeded")
+	}
+}
+
+func TestProgramAllReadAll(t *testing.T) {
+	tiles := []*mesh.Tile{{}, {}, {}}
+	_, mon := newHarness(t, tiles[0], tiles[1], tiles[2])
+	if err := mon.ProgramAll(0, EvLLCLookup, UmaskLLCAny); err != nil {
+		t.Fatal(err)
+	}
+	for i, tl := range tiles {
+		tl.Counters.LLCLookup = uint64(10 * (i + 1))
+	}
+	got, err := mon.ReadAll(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if want := uint64(10 * (i + 1)); v != want {
+			t.Errorf("CHA %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// Property: a counter's value equals the source growth since programming,
+// for any sequence of increments.
+func TestCounterTracksDeltas(t *testing.T) {
+	f := func(pre uint16, incs []uint8) bool {
+		tl := &mesh.Tile{}
+		tl.Counters.Ingress[mesh.Down] = uint64(pre)
+		space := msr.NewSpace()
+		InstallBox(space, 0, TileSource{Tile: tl})
+		mon := NewMonitor(harness{space}, 1)
+		if err := mon.Program(0, 2, EvVertRingBLInUse, UmaskDown); err != nil {
+			return false
+		}
+		var sum uint64
+		for _, inc := range incs {
+			tl.Counters.Ingress[mesh.Down] += uint64(inc)
+			sum += uint64(inc)
+			if v, _ := mon.Read(0, 2); v != sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTileSourceProtocolRings(t *testing.T) {
+	tl := &mesh.Tile{}
+	tl.Counters.RingIngress(mesh.RingAD)[mesh.Up] = 5
+	tl.Counters.RingIngress(mesh.RingAK)[mesh.Left] = 6
+	tl.Counters.RingIngress(mesh.RingIV)[mesh.Down] = 7
+	tl.Counters.Ingress[mesh.Up] = 100 // BL must stay separate
+	src := TileSource{Tile: tl}
+
+	cases := []struct {
+		event, umask uint8
+		want         uint64
+	}{
+		{EvVertRingADInUse, UmaskUp, 5},
+		{EvVertRingADInUse, UmaskDown, 0},
+		{EvHorzRingAKInUse, UmaskLeft, 6},
+		{EvVertRingIVInUse, UmaskDown, 7},
+		{EvVertRingBLInUse, UmaskUp, 100},
+	}
+	for _, c := range cases {
+		got, ok := src.Count(c.event, c.umask)
+		if !ok || got != c.want {
+			t.Errorf("Count(%#x,%#x) = %d,%v; want %d,true", c.event, c.umask, got, ok, c.want)
+		}
+	}
+}
+
+func TestRingEventsAreIndependent(t *testing.T) {
+	// Incrementing one ring's counters must not leak into another's
+	// events — the selectivity the probe's BL programming relies on.
+	tl := &mesh.Tile{}
+	tl.Counters.RingIngress(mesh.RingIV)[mesh.Up] = 50
+	src := TileSource{Tile: tl}
+	if n, _ := src.Count(EvVertRingBLInUse, UmaskUp); n != 0 {
+		t.Errorf("IV traffic leaked into BL event: %d", n)
+	}
+	if n, _ := src.Count(EvVertRingADInUse, UmaskUp); n != 0 {
+		t.Errorf("IV traffic leaked into AD event: %d", n)
+	}
+}

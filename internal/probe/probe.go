@@ -1,0 +1,742 @@
+// Package probe implements the measurement half of the core-locating
+// method (steps 1 and 2 of the paper):
+//
+//  1. OS-core-ID ↔ CHA-ID mapping — build slice eviction sets with the
+//     LLC-lookup counters, drive targeted eviction traffic from every core
+//     to every slice, and declare the (core, slice) pairs that generate no
+//     mesh traffic to be co-located on one tile.
+//  2. Inter-tile traffic generation and monitoring — for every ordered
+//     core pair, bounce a cache line homed at the sink's slice and record
+//     which CHAs observed vertical-up, vertical-down or horizontal ingress
+//     on the BL data rings.
+//
+// Everything runs through hostif.Host and MSR reads/writes, so the code is
+// the same shape as a real /dev/cpu/*/msr tool; only the Host
+// implementation is simulated.
+package probe
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"coremap/internal/cache"
+	"coremap/internal/hostif"
+	"coremap/internal/msr"
+	"coremap/internal/pmon"
+)
+
+// Options tunes the measurement effort. The zero value selects defaults
+// that are comfortably above the simulator's noise floor.
+type Options struct {
+	// L2Sets and L2Ways describe the (publicly documented) private-cache
+	// geometry of the target part; the eviction-set threshold is
+	// L2Ways+1 lines. Zero selects the simulator's default geometry.
+	L2Sets, L2Ways int
+	// HomeSamples is the number of ping-pong writes used to identify a
+	// line's home slice.
+	HomeSamples int
+	// EvictRounds is the number of passes over an eviction set per
+	// co-location test.
+	EvictRounds int
+	// TrafficIters is the number of write/read bounces per inter-tile
+	// traffic experiment.
+	TrafficIters int
+	// Threshold is the minimum counter delta (ring-occupancy cycles)
+	// treated as real traffic rather than noise.
+	Threshold uint64
+	// NoCalibration disables the noise-floor calibration that adapts
+	// the thresholds to background platform traffic.
+	NoCalibration bool
+	// Progress, when non-nil, receives coarse progress callbacks
+	// (stage name, completed units, total units) during long phases.
+	Progress func(stage string, done, total int)
+	// MaxCandidates bounds the address scan when building eviction sets.
+	MaxCandidates int
+	// Seed drives the probe's address exploration.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.L2Sets == 0 {
+		o.L2Sets = 64
+	}
+	if o.L2Ways == 0 {
+		o.L2Ways = 8
+	}
+	if o.HomeSamples == 0 {
+		o.HomeSamples = 32
+	}
+	if o.EvictRounds == 0 {
+		o.EvictRounds = 4
+	}
+	if o.TrafficIters == 0 {
+		o.TrafficIters = 16
+	}
+	if o.Threshold == 0 {
+		o.Threshold = 24
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 4096
+	}
+	return o
+}
+
+// Observation is the monitored result of one inter-tile traffic
+// experiment: the CHAs whose ingress counters crossed the threshold,
+// classified by channel. Horizontal left/right arrivals are merged — the
+// odd-column tile mirroring makes the physical direction unknowable.
+type Observation struct {
+	// SrcCHA and DstCHA identify the experiment endpoints by CHA ID.
+	// For memory-anchored observations SrcCHA is unused (-1).
+	SrcCHA, DstCHA int
+	// Anchored marks a memory-traffic observation whose source is the
+	// integrated memory controller SrcIMC — a tile at a publicly known
+	// die position, which pins the reconstruction in absolute
+	// coordinates.
+	Anchored bool
+	SrcIMC   int
+	// Up, Down and Horz list the CHA IDs that observed ingress of each
+	// class, in ascending order.
+	Up, Down, Horz []int
+}
+
+// Result is the full measurement output for one CPU instance.
+type Result struct {
+	// PPIN is the protected processor inventory number, the stable
+	// identity the recovered map can be cached under.
+	PPIN uint64
+	// NumCHA is the number of CHA boxes discovered by MSR scanning.
+	NumCHA int
+	// OSToCHA maps each OS CPU to the CHA ID of its tile (-1 when the
+	// probe could not identify it).
+	OSToCHA []int
+	// CoreCHAs is the sorted set of CHA IDs that host an active core.
+	CoreCHAs []int
+	// Observations holds one entry per ordered core pair.
+	Observations []Observation
+}
+
+// LLCOnlyCHAs returns the CHA IDs that belong to LLC-only tiles (a CHA with
+// no matching OS core).
+func (r *Result) LLCOnlyCHAs() []int {
+	used := make([]bool, r.NumCHA)
+	for _, cha := range r.OSToCHA {
+		if cha >= 0 {
+			used[cha] = true
+		}
+	}
+	var out []int
+	for cha, u := range used {
+		if !u {
+			out = append(out, cha)
+		}
+	}
+	return out
+}
+
+// Prober drives the measurement pipeline on one host.
+type Prober struct {
+	host hostif.Host
+	opts Options
+	mon  *pmon.Monitor
+	rng  *rand.Rand
+	// homes caches discovered line → home-CHA results, bucketed by CHA.
+	homes map[int][]uint64
+	// noisePerOpMilli is the calibrated background ring traffic in
+	// milli-cycles per cache operation, summed over all counters.
+	noisePerOpMilli uint64
+	calibrated      bool
+}
+
+// Counter layout used throughout: three counters per CHA box.
+const (
+	ctrUp   = 0
+	ctrDown = 1
+	ctrHorz = 2
+	ctrLook = 3
+)
+
+// New returns a prober for host.
+func New(host hostif.Host, opts Options) (*Prober, error) {
+	opts = opts.withDefaults()
+	p := &Prober{
+		host:  host,
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(opts.Seed + 0x5EED)),
+		homes: make(map[int][]uint64),
+	}
+	n, err := p.discoverCHAs()
+	if err != nil {
+		return nil, err
+	}
+	p.mon = pmon.NewMonitor(msrVia{host}, n)
+	return p, nil
+}
+
+// msrVia adapts hostif.Host to pmon.Access; uncore registers are socket-
+// scoped, so CPU 0 serves all of them.
+type msrVia struct{ h hostif.Host }
+
+func (a msrVia) ReadMSR(ad msr.Addr) (uint64, error)  { return a.h.ReadMSR(0, ad) }
+func (a msrVia) WriteMSR(ad msr.Addr, v uint64) error { return a.h.WriteMSR(0, ad, v) }
+
+// discoverCHAs scans the CHA PMON MSR space until an address faults, the
+// same way user-space tools size the uncore.
+func (p *Prober) discoverCHAs() (int, error) {
+	const maxCHAs = 64
+	for cha := 0; cha < maxCHAs; cha++ {
+		_, err := p.host.ReadMSR(0, msr.ChaMSR(cha, msr.ChaOffUnitCtl))
+		if errors.Is(err, msr.ErrNoSuchMSR) {
+			if cha == 0 {
+				return 0, fmt.Errorf("probe: no CHA PMON found: %w", err)
+			}
+			return cha, nil
+		}
+		if err != nil {
+			return 0, fmt.Errorf("probe: scanning CHA %d: %w", cha, err)
+		}
+	}
+	return maxCHAs, nil
+}
+
+// NumCHA returns the number of discovered CHA boxes.
+func (p *Prober) NumCHA() int { return p.mon.NumCHA }
+
+// progress reports long-phase progress when a callback is configured.
+func (p *Prober) progress(stage string, done, total int) {
+	if p.opts.Progress != nil {
+		p.opts.Progress(stage, done, total)
+	}
+}
+
+// CalibrateNoise measures the platform's background ring traffic: it runs
+// a pure-L2-hit workload (which injects no mesh traffic of its own) and
+// attributes every ring cycle observed meanwhile to noise. The estimate
+// scales the detection thresholds, which is what keeps the probe working
+// on busy hosts.
+func (p *Prober) CalibrateNoise() error {
+	const calOps = 512
+	addr := uint64(0x600000000) + uint64(p.rng.Intn(1<<12))*64
+	// Take ownership once; every following store is an L2 hit.
+	if err := p.host.Store(0, addr); err != nil {
+		return err
+	}
+	if err := p.resetRingCounters(); err != nil {
+		return err
+	}
+	for i := 0; i < calOps; i++ {
+		if err := p.host.Store(0, addr); err != nil {
+			return err
+		}
+	}
+	total, err := p.totalRingTraffic()
+	if err != nil {
+		return err
+	}
+	p.noisePerOpMilli = total * 1000 / calOps
+	p.calibrated = true
+	return nil
+}
+
+// ensureCalibrated runs noise calibration once unless disabled.
+func (p *Prober) ensureCalibrated() error {
+	if p.calibrated || p.opts.NoCalibration {
+		return nil
+	}
+	return p.CalibrateNoise()
+}
+
+// noiseEstimate is the expected total background ring cycles accumulated
+// over the given number of cache operations.
+func (p *Prober) noiseEstimate(ops int) uint64 {
+	return p.noisePerOpMilli * uint64(ops) / 1000
+}
+
+// ReadPPIN unlocks and reads the protected processor inventory number.
+func (p *Prober) ReadPPIN() (uint64, error) {
+	if err := p.host.WriteMSR(0, msr.AddrPPINCtl, 0x2); err != nil {
+		return 0, fmt.Errorf("probe: unlocking PPIN: %w", err)
+	}
+	v, err := p.host.ReadMSR(0, msr.AddrPPIN)
+	if err != nil {
+		return 0, fmt.Errorf("probe: reading PPIN: %w", err)
+	}
+	return v, nil
+}
+
+// FindLineHome identifies the home CHA of the line at addr by ping-pong
+// writing it from two cores and picking the CHA with the most LLC lookups,
+// the uncore-assisted variant of eviction-set home discovery.
+func (p *Prober) FindLineHome(addr uint64) (int, error) {
+	n := p.host.NumCPUs()
+	if n < 2 {
+		return 0, errors.New("probe: need at least two CPUs")
+	}
+	if err := p.mon.ProgramAll(ctrLook, pmon.EvLLCLookup, pmon.UmaskLLCAny); err != nil {
+		return 0, err
+	}
+	cpuA, cpuB := 0, n-1
+	for i := 0; i < p.opts.HomeSamples; i++ {
+		if err := p.host.Store(cpuA, addr); err != nil {
+			return 0, err
+		}
+		if err := p.host.Store(cpuB, addr); err != nil {
+			return 0, err
+		}
+	}
+	counts, err := p.mon.ReadAll(ctrLook)
+	if err != nil {
+		return 0, err
+	}
+	best, bestCount := -1, uint64(0)
+	for cha, c := range counts {
+		if c > bestCount {
+			best, bestCount = cha, c
+		}
+	}
+	if best < 0 || bestCount < uint64(p.opts.HomeSamples) {
+		return 0, fmt.Errorf("probe: home of %#x not identifiable (max lookups %d)", addr, bestCount)
+	}
+	return best, nil
+}
+
+// BuildEvictionSets scans same-L2-set addresses until every CHA has a full
+// slice eviction set (L2Ways+1 lines that share one L2 set and one home
+// slice). The discovered lines are cached for later traffic experiments.
+func (p *Prober) BuildEvictionSets() error {
+	need := p.opts.L2Ways + 1
+	setStride := uint64(p.opts.L2Sets) * 64
+	base := uint64(0x40000000) + uint64(p.rng.Intn(1<<16))*setStride
+	filled := 0
+	for i := 0; i < p.opts.MaxCandidates && filled < p.mon.NumCHA; i++ {
+		addr := base + uint64(i)*setStride
+		home, err := p.FindLineHome(addr)
+		if err != nil {
+			return err
+		}
+		if len(p.homes[home]) < need {
+			p.homes[home] = append(p.homes[home], addr)
+			if len(p.homes[home]) == need {
+				filled++
+			}
+		}
+	}
+	if filled < p.mon.NumCHA {
+		return fmt.Errorf("probe: only %d/%d slices received a full eviction set after %d candidates",
+			filled, p.mon.NumCHA, p.opts.MaxCandidates)
+	}
+	return nil
+}
+
+// EvictionSet returns the discovered eviction set for a CHA.
+func (p *Prober) EvictionSet(cha int) []uint64 { return p.homes[cha] }
+
+// resetRingCounters programs and rebases the three BL-ring counters on
+// every CHA box.
+func (p *Prober) resetRingCounters() error {
+	return p.resetRingCountersOn(pmon.EvVertRingBLInUse, pmon.EvHorzRingBLInUse)
+}
+
+// resetRingCountersOn programs the up/down/horizontal counters for an
+// arbitrary vertical/horizontal ring-event pair.
+func (p *Prober) resetRingCountersOn(evVert, evHorz uint8) error {
+	if err := p.mon.ProgramAll(ctrUp, evVert, pmon.UmaskUp); err != nil {
+		return err
+	}
+	if err := p.mon.ProgramAll(ctrDown, evVert, pmon.UmaskDown); err != nil {
+		return err
+	}
+	return p.mon.ProgramAll(ctrHorz, evHorz, pmon.UmaskLeft|pmon.UmaskRight)
+}
+
+// totalRingTraffic sums all three ring counters across all CHAs.
+func (p *Prober) totalRingTraffic() (uint64, error) {
+	var total uint64
+	for _, ctr := range []int{ctrUp, ctrDown, ctrHorz} {
+		counts, err := p.mon.ReadAll(ctr)
+		if err != nil {
+			return 0, err
+		}
+		for _, c := range counts {
+			total += c
+		}
+	}
+	return total, nil
+}
+
+// counterThreshold picks a per-counter detection threshold at the midpoint
+// between the calibrated noise share and noise-plus-signal: a worst-case
+// quarter of the background traffic may concentrate on one counter, and an
+// on-path counter additionally carries the full measured stream.
+func (p *Prober) counterThreshold(ops int, perCounterSignal uint64) uint64 {
+	t := p.noiseEstimate(ops)/4 + perCounterSignal/2
+	if t < p.opts.Threshold {
+		t = p.opts.Threshold
+	}
+	return t
+}
+
+// coLocated tests whether OS CPU cpu sits on the same tile as the slice of
+// CHA cha: eviction traffic between co-located pairs never enters the mesh.
+func (p *Prober) coLocated(cpu, cha int) (bool, error) {
+	set := p.homes[cha]
+	if len(set) <= p.opts.L2Ways {
+		return false, fmt.Errorf("probe: no eviction set for CHA %d", cha)
+	}
+	// Warm one pass first: the lines may still be owned by whichever
+	// cores discovered them, and those one-off ownership transfers would
+	// otherwise drown the co-location signal.
+	for _, addr := range set {
+		if err := p.host.Store(cpu, addr); err != nil {
+			return false, err
+		}
+	}
+	if err := p.resetRingCounters(); err != nil {
+		return false, err
+	}
+	rounds := p.opts.EvictRounds * p.repetitionFactor()
+	for r := 0; r < rounds; r++ {
+		for _, addr := range set {
+			if err := p.host.Store(cpu, addr); err != nil {
+				return false, err
+			}
+		}
+	}
+	total, err := p.totalRingTraffic()
+	if err != nil {
+		return false, err
+	}
+	// Decide at the midpoint between expected background noise alone
+	// (co-located: the eviction traffic never enters the mesh) and noise
+	// plus the weakest real signal (a 1-hop neighbour's fills and
+	// write-backs, 8 ring cycles per access).
+	ops := rounds * len(set)
+	threshold := p.noiseEstimate(ops) + uint64(ops)*8/2
+	if min := p.opts.Threshold * uint64(p.opts.EvictRounds); threshold < min {
+		threshold = min
+	}
+	return total < threshold, nil
+}
+
+// repetitionFactor scales measurement length with the calibrated noise:
+// averaging over proportionally more accesses keeps the noise variance
+// small relative to the detection gap on busy hosts.
+func (p *Prober) repetitionFactor() int {
+	noisePerOp := int(p.noisePerOpMilli / 1000)
+	m := 1 + noisePerOp
+	if m > 16 {
+		m = 16
+	}
+	return m
+}
+
+// MapCoresToCHAs runs step 1: it tests all (core, slice) combinations and
+// returns the OS-CPU → CHA-ID mapping.
+func (p *Prober) MapCoresToCHAs() ([]int, error) {
+	if err := p.ensureCalibrated(); err != nil {
+		return nil, err
+	}
+	if len(p.homes) == 0 {
+		if err := p.BuildEvictionSets(); err != nil {
+			return nil, err
+		}
+	}
+	mapping := make([]int, p.host.NumCPUs())
+	for cpu := range mapping {
+		p.progress("core-to-cha", cpu, len(mapping))
+		mapping[cpu] = -1
+		for cha := 0; cha < p.mon.NumCHA; cha++ {
+			same, err := p.coLocated(cpu, cha)
+			if err != nil {
+				return nil, err
+			}
+			if same {
+				if mapping[cpu] != -1 {
+					return nil, fmt.Errorf("probe: cpu %d co-located with both CHA %d and %d",
+						cpu, mapping[cpu], cha)
+				}
+				mapping[cpu] = cha
+			}
+		}
+		if mapping[cpu] == -1 {
+			return nil, fmt.Errorf("probe: cpu %d matched no CHA", cpu)
+		}
+	}
+	return mapping, nil
+}
+
+// MeasureTraffic runs one step-2 experiment: srcCPU repeatedly writes and
+// sinkCPU repeatedly reads a cache line homed at the sink tile's slice, and
+// the ingress counters of every CHA classify who saw the data stream.
+func (p *Prober) MeasureTraffic(srcCPU, sinkCPU, srcCHA, sinkCHA int) (Observation, error) {
+	obs := Observation{SrcCHA: srcCHA, DstCHA: sinkCHA}
+	if err := p.ensureCalibrated(); err != nil {
+		return obs, err
+	}
+	lines := p.homes[sinkCHA]
+	if len(lines) == 0 {
+		return obs, fmt.Errorf("probe: no known line homed at CHA %d", sinkCHA)
+	}
+	addr := lines[0]
+	// Warm the coherence pattern so the measured loop is steady-state:
+	// source upgrades in place, sink pulls the modified line.
+	for i := 0; i < 2; i++ {
+		if err := p.host.Store(srcCPU, addr); err != nil {
+			return obs, err
+		}
+		if err := p.host.Load(sinkCPU, addr); err != nil {
+			return obs, err
+		}
+	}
+	if err := p.resetRingCounters(); err != nil {
+		return obs, err
+	}
+	for i := 0; i < p.opts.TrafficIters; i++ {
+		if err := p.host.Store(srcCPU, addr); err != nil {
+			return obs, err
+		}
+		if err := p.host.Load(sinkCPU, addr); err != nil {
+			return obs, err
+		}
+	}
+	threshold := p.counterThreshold(p.opts.TrafficIters*2, uint64(p.opts.TrafficIters)*8)
+	if err := p.collectObservation(&obs, threshold); err != nil {
+		return obs, err
+	}
+	return obs, nil
+}
+
+// collectObservation reads the three ring counters of every CHA and
+// classifies the ones whose delta crossed the threshold.
+func (p *Prober) collectObservation(obs *Observation, threshold uint64) error {
+	for ctr, out := range map[int]*[]int{ctrUp: &obs.Up, ctrDown: &obs.Down, ctrHorz: &obs.Horz} {
+		counts, err := p.mon.ReadAll(ctr)
+		if err != nil {
+			return err
+		}
+		for cha, c := range counts {
+			if c >= threshold {
+				*out = append(*out, cha)
+			}
+		}
+	}
+	sortInts(obs.Up)
+	sortInts(obs.Down)
+	sortInts(obs.Horz)
+	return nil
+}
+
+// MeasureSliceTraffic runs a read-only experiment between an LLC slice and
+// a core: the core cycles loads over the slice's eviction set, so cache-
+// line data streams unidirectionally from the slice's tile to the core's
+// tile (clean evictions produce no write-back). This extends the paper's
+// core-pair experiments to LLC-only tiles, which can serve as a traffic
+// *source* even though they cannot host a thread.
+func (p *Prober) MeasureSliceTraffic(coreCPU, coreCHA, sliceCHA int) (Observation, error) {
+	obs := Observation{SrcCHA: sliceCHA, DstCHA: coreCHA}
+	if err := p.ensureCalibrated(); err != nil {
+		return obs, err
+	}
+	set := p.homes[sliceCHA]
+	if len(set) <= p.opts.L2Ways {
+		return obs, fmt.Errorf("probe: no eviction set for CHA %d", sliceCHA)
+	}
+	// Warm pass: clear any foreign ownership left by home discovery.
+	for _, addr := range set {
+		if err := p.host.Load(coreCPU, addr); err != nil {
+			return obs, err
+		}
+	}
+	if err := p.resetRingCounters(); err != nil {
+		return obs, err
+	}
+	for i := 0; i < p.opts.TrafficIters; i++ {
+		for _, addr := range set {
+			if err := p.host.Load(coreCPU, addr); err != nil {
+				return obs, err
+			}
+		}
+	}
+	threshold := p.counterThreshold(p.opts.TrafficIters*len(set),
+		uint64(p.opts.TrafficIters)*uint64(len(set))*4)
+	if err := p.collectObservation(&obs, threshold); err != nil {
+		return obs, err
+	}
+	return obs, nil
+}
+
+// MeasureRequestTraffic monitors the AD (request) ring while a core cycles
+// loads over a slice's eviction set: every miss sends a request flit from
+// the core's tile to the slice's tile, a directed core→slice path. For
+// LLC-only tiles this is the only way to observe them as a traffic *sink*
+// (they cannot host a receiving thread), complementing the fill-based
+// slice-source observations.
+func (p *Prober) MeasureRequestTraffic(coreCPU, coreCHA, sliceCHA int) (Observation, error) {
+	obs := Observation{SrcCHA: coreCHA, DstCHA: sliceCHA}
+	if err := p.ensureCalibrated(); err != nil {
+		return obs, err
+	}
+	set := p.homes[sliceCHA]
+	if len(set) <= p.opts.L2Ways {
+		return obs, fmt.Errorf("probe: no eviction set for CHA %d", sliceCHA)
+	}
+	// Warm pass (ownership transfers off the measured window).
+	for _, addr := range set {
+		if err := p.host.Load(coreCPU, addr); err != nil {
+			return obs, err
+		}
+	}
+	if err := p.resetRingCountersOn(pmon.EvVertRingADInUse, pmon.EvHorzRingADInUse); err != nil {
+		return obs, err
+	}
+	for i := 0; i < p.opts.TrafficIters; i++ {
+		for _, addr := range set {
+			if err := p.host.Load(coreCPU, addr); err != nil {
+				return obs, err
+			}
+		}
+	}
+	// Each miss sends one fill request and each eviction one more; about
+	// two AD flits per access reach every on-path counter.
+	threshold := p.counterThreshold(p.opts.TrafficIters*len(set),
+		uint64(p.opts.TrafficIters)*uint64(len(set)))
+	if err := p.collectObservation(&obs, threshold); err != nil {
+		return obs, err
+	}
+	// Leave the counters in their default BL programming.
+	if err := p.resetRingCounters(); err != nil {
+		return obs, err
+	}
+	return obs, nil
+}
+
+// MeasureMemoryTraffic runs one memory-anchored experiment: the core
+// flush+loads lines served by memory controller imc, so cache-line data
+// streams from the IMC's tile to the core's tile on every access. The
+// controller serving a line follows the documented channel interleaving
+// (cache.IMCOf), and the IMC die positions are public — the resulting
+// observations carry absolute position information the core-pair
+// experiments cannot provide.
+func (p *Prober) MeasureMemoryTraffic(cpu, coreCHA, imc, numIMC int) (Observation, error) {
+	obs := Observation{SrcCHA: -1, DstCHA: coreCHA, Anchored: true, SrcIMC: imc}
+	if err := p.ensureCalibrated(); err != nil {
+		return obs, err
+	}
+	// Fresh lines in a region untouched by the cache-resident probing,
+	// interleave-selected for the target controller.
+	base := uint64(0x200000000) + uint64(p.rng.Intn(1<<12))*uint64(numIMC)*64
+	var lines []uint64
+	for i := 0; len(lines) < 2; i++ {
+		addr := base + uint64(i)*64
+		if cache.IMCOf(addr, numIMC) == imc {
+			lines = append(lines, addr)
+		}
+	}
+	if err := p.resetRingCounters(); err != nil {
+		return obs, err
+	}
+	for i := 0; i < p.opts.TrafficIters; i++ {
+		for _, addr := range lines {
+			if err := p.host.Flush(cpu, addr); err != nil {
+				return obs, err
+			}
+			if err := p.host.Load(cpu, addr); err != nil {
+				return obs, err
+			}
+		}
+	}
+	threshold := p.counterThreshold(p.opts.TrafficIters*len(lines)*2,
+		uint64(p.opts.TrafficIters)*uint64(len(lines))*4)
+	if err := p.collectObservation(&obs, threshold); err != nil {
+		return obs, err
+	}
+	return obs, nil
+}
+
+// RunOptions selects which experiment families Run performs.
+type RunOptions struct {
+	// SliceSources, when true (the default used by Run), adds the
+	// read-only LLC-only-slice → core experiments that anchor LLC-only
+	// tiles; disable for a strictly paper-faithful measurement set.
+	SliceSources bool
+	// NumIMCs, when positive, adds the memory-anchored IMC → core
+	// experiments (an extension beyond the paper; see
+	// MeasureMemoryTraffic).
+	NumIMCs int
+}
+
+// Run executes the full measurement pipeline with slice-source experiments
+// enabled.
+func (p *Prober) Run() (*Result, error) {
+	return p.RunWith(RunOptions{SliceSources: true})
+}
+
+// RunWith executes the full measurement pipeline.
+func (p *Prober) RunWith(ro RunOptions) (*Result, error) {
+	ppin, err := p.ReadPPIN()
+	if err != nil {
+		return nil, err
+	}
+	osToCHA, err := p.MapCoresToCHAs()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		PPIN:    ppin,
+		NumCHA:  p.mon.NumCHA,
+		OSToCHA: osToCHA,
+	}
+	for _, cha := range osToCHA {
+		res.CoreCHAs = append(res.CoreCHAs, cha)
+	}
+	sortInts(res.CoreCHAs)
+
+	for src := 0; src < len(osToCHA); src++ {
+		p.progress("pair-traffic", src, len(osToCHA))
+		for sink := 0; sink < len(osToCHA); sink++ {
+			if src == sink {
+				continue
+			}
+			obs, err := p.MeasureTraffic(src, sink, osToCHA[src], osToCHA[sink])
+			if err != nil {
+				return nil, err
+			}
+			res.Observations = append(res.Observations, obs)
+		}
+	}
+	if ro.SliceSources {
+		for _, sliceCHA := range res.LLCOnlyCHAs() {
+			for cpu, coreCHA := range osToCHA {
+				obs, err := p.MeasureSliceTraffic(cpu, coreCHA, sliceCHA)
+				if err != nil {
+					return nil, err
+				}
+				res.Observations = append(res.Observations, obs)
+				req, err := p.MeasureRequestTraffic(cpu, coreCHA, sliceCHA)
+				if err != nil {
+					return nil, err
+				}
+				res.Observations = append(res.Observations, req)
+			}
+		}
+	}
+	for imc := 0; imc < ro.NumIMCs; imc++ {
+		for cpu, coreCHA := range osToCHA {
+			obs, err := p.MeasureMemoryTraffic(cpu, coreCHA, imc, ro.NumIMCs)
+			if err != nil {
+				return nil, err
+			}
+			res.Observations = append(res.Observations, obs)
+		}
+	}
+	return res, nil
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

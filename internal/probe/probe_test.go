@@ -1,0 +1,302 @@
+package probe
+
+import (
+	"testing"
+
+	"coremap/internal/machine"
+	"coremap/internal/mesh"
+)
+
+func newProber(t *testing.T, m *machine.Machine) *Prober {
+	t.Helper()
+	p, err := New(m, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDiscoverCHAs(t *testing.T) {
+	for _, sku := range machine.SKUs {
+		m := machine.Generate(sku, 0, machine.Config{Seed: 1})
+		p := newProber(t, m)
+		if p.NumCHA() != m.NumCHAs() {
+			t.Errorf("%s: discovered %d CHAs, want %d", sku.Name, p.NumCHA(), m.NumCHAs())
+		}
+	}
+}
+
+func TestReadPPIN(t *testing.T) {
+	m := machine.Generate(machine.SKU8124M, 0, machine.Config{Seed: 2})
+	p := newProber(t, m)
+	ppin, err := p.ReadPPIN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppin != m.PPIN {
+		t.Errorf("PPIN = %#x, want %#x", ppin, m.PPIN)
+	}
+}
+
+func TestFindLineHomeMatchesSecretHash(t *testing.T) {
+	m := machine.Generate(machine.SKU8175M, 0, machine.Config{Seed: 3})
+	p := newProber(t, m)
+	for i := 0; i < 40; i++ {
+		addr := 0x10000000 + uint64(i)*4096
+		got, err := p.FindLineHome(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := m.TrueHomeCHA(addr); got != want {
+			t.Errorf("home of %#x = CHA %d, want %d", addr, got, want)
+		}
+	}
+}
+
+func TestBuildEvictionSets(t *testing.T) {
+	m := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 4})
+	p := newProber(t, m)
+	if err := p.BuildEvictionSets(); err != nil {
+		t.Fatal(err)
+	}
+	for cha := 0; cha < p.NumCHA(); cha++ {
+		set := p.EvictionSet(cha)
+		if len(set) != p.opts.L2Ways+1 {
+			t.Fatalf("CHA %d eviction set has %d lines, want %d", cha, len(set), p.opts.L2Ways+1)
+		}
+		wantSet := set[0] / 64 % uint64(p.opts.L2Sets)
+		for _, addr := range set {
+			if m.TrueHomeCHA(addr) != cha {
+				t.Errorf("CHA %d eviction set contains line %#x homed at CHA %d", cha, addr, m.TrueHomeCHA(addr))
+			}
+			if got := addr / 64 % uint64(p.opts.L2Sets); got != wantSet {
+				t.Errorf("CHA %d eviction set mixes L2 sets (%d vs %d)", cha, got, wantSet)
+			}
+		}
+	}
+}
+
+func TestMapCoresToCHAs(t *testing.T) {
+	for _, sku := range []*machine.SKU{machine.SKU8124M, machine.SKU8259CL} {
+		m := machine.Generate(sku, 0, machine.Config{Seed: 5})
+		p := newProber(t, m)
+		got, err := p.MapCoresToCHAs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.TrueOSToCHA()
+		for cpu := range want {
+			if got[cpu] != want[cpu] {
+				t.Errorf("%s: OS %d → CHA %d, want %d", sku.Name, cpu, got[cpu], want[cpu])
+			}
+		}
+	}
+}
+
+func TestMapCoresToCHAsWithNoise(t *testing.T) {
+	m := machine.Generate(machine.SKU8175M, 0, machine.Config{Seed: 6, NoiseFlits: 2, NoiseEveryOps: 16})
+	p := newProber(t, m)
+	got, err := p.MapCoresToCHAs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.TrueOSToCHA()
+	for cpu := range want {
+		if got[cpu] != want[cpu] {
+			t.Errorf("OS %d → CHA %d, want %d (noise run)", cpu, got[cpu], want[cpu])
+		}
+	}
+}
+
+// expectedObservation computes the ground-truth observation for a directed
+// tile path from the mesh routing rules.
+func expectedObservation(m *machine.Machine, src, dst mesh.Coord) (up, down, horz []int) {
+	for _, h := range m.Grid.Route(src, dst) {
+		tl := m.Grid.Tile(h.To)
+		if !tl.Kind.HasCHA() {
+			continue
+		}
+		switch {
+		case h.Ch == mesh.Up:
+			up = append(up, tl.CHA)
+		case h.Ch == mesh.Down:
+			down = append(down, tl.CHA)
+		default:
+			horz = append(horz, tl.CHA)
+		}
+	}
+	sortInts(up)
+	sortInts(down)
+	sortInts(horz)
+	return up, down, horz
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMeasureTrafficMatchesRoute(t *testing.T) {
+	m := machine.Generate(machine.SKU8175M, 0, machine.Config{Seed: 7})
+	p := newProber(t, m)
+	mapping, err := p.MapCoresToCHAs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]int{{0, 1}, {0, 23}, {5, 17}, {12, 3}, {20, 2}}
+	for _, pair := range pairs {
+		src, sink := pair[0], pair[1]
+		obs, err := p.MeasureTraffic(src, sink, mapping[src], mapping[sink])
+		if err != nil {
+			t.Fatal(err)
+		}
+		up, down, horz := expectedObservation(m, m.TrueCoreCoord(src), m.TrueCoreCoord(sink))
+		if !sameInts(obs.Up, up) || !sameInts(obs.Down, down) || !sameInts(obs.Horz, horz) {
+			t.Errorf("pair %d→%d: observation up=%v down=%v horz=%v, want %v/%v/%v",
+				src, sink, obs.Up, obs.Down, obs.Horz, up, down, horz)
+		}
+	}
+}
+
+func TestMeasureSliceTrafficMatchesRoute(t *testing.T) {
+	m := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 8})
+	p := newProber(t, m)
+	mapping, err := p.MapCoresToCHAs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &Result{NumCHA: p.NumCHA(), OSToCHA: mapping}
+	llcOnly := res.LLCOnlyCHAs()
+	if len(llcOnly) != 2 {
+		t.Fatalf("8259CL reported %d LLC-only CHAs, want 2", len(llcOnly))
+	}
+	for _, sliceCHA := range llcOnly {
+		for _, cpu := range []int{0, 11, 23} {
+			obs, err := p.MeasureSliceTraffic(cpu, mapping[cpu], sliceCHA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sliceCoord, ok := m.Grid.FindCHA(sliceCHA)
+			if !ok {
+				t.Fatalf("CHA %d not on grid", sliceCHA)
+			}
+			up, down, horz := expectedObservation(m, sliceCoord, m.TrueCoreCoord(cpu))
+			if !sameInts(obs.Up, up) || !sameInts(obs.Down, down) || !sameInts(obs.Horz, horz) {
+				t.Errorf("slice %d→cpu %d: observation up=%v down=%v horz=%v, want %v/%v/%v",
+					sliceCHA, cpu, obs.Up, obs.Down, obs.Horz, up, down, horz)
+			}
+			// The AD-ring request experiment observes the reverse path:
+			// core → slice.
+			req, err := p.MeasureRequestTraffic(cpu, mapping[cpu], sliceCHA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			up, down, horz = expectedObservation(m, m.TrueCoreCoord(cpu), sliceCoord)
+			if !sameInts(req.Up, up) || !sameInts(req.Down, down) || !sameInts(req.Horz, horz) {
+				t.Errorf("request cpu %d→slice %d: observation up=%v down=%v horz=%v, want %v/%v/%v",
+					cpu, sliceCHA, req.Up, req.Down, req.Horz, up, down, horz)
+			}
+			if req.SrcCHA != mapping[cpu] || req.DstCHA != sliceCHA {
+				t.Errorf("request observation endpoints %d→%d, want %d→%d",
+					req.SrcCHA, req.DstCHA, mapping[cpu], sliceCHA)
+			}
+		}
+	}
+}
+
+func TestRunProducesAllPairs(t *testing.T) {
+	m := machine.Generate(machine.SKU8124M, 0, machine.Config{Seed: 9})
+	p := newProber(t, m)
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := m.NumCPUs()
+	if want := cores * (cores - 1); len(res.Observations) != want {
+		t.Errorf("got %d observations, want %d (all ordered core pairs)", len(res.Observations), want)
+	}
+	if len(res.LLCOnlyCHAs()) != 0 {
+		t.Errorf("8124M reported LLC-only CHAs: %v", res.LLCOnlyCHAs())
+	}
+	if len(res.CoreCHAs) != cores {
+		t.Errorf("CoreCHAs has %d entries, want %d", len(res.CoreCHAs), cores)
+	}
+	for i := 1; i < len(res.CoreCHAs); i++ {
+		if res.CoreCHAs[i] <= res.CoreCHAs[i-1] {
+			t.Fatal("CoreCHAs not sorted ascending")
+		}
+	}
+}
+
+func TestRunIncludesSliceSourceObservations(t *testing.T) {
+	m := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 10})
+	p := newProber(t, m)
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := m.NumCPUs()
+	// Per LLC-only slice and core: one slice-source (fill) and one
+	// request-sink (AD) observation on top of the core-pair set.
+	want := cores*(cores-1) + 2*2*cores
+	if len(res.Observations) != want {
+		t.Errorf("got %d observations, want %d", len(res.Observations), want)
+	}
+	// Paper-faithful mode must skip them.
+	p2 := newProber(t, machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 10}))
+	res2, err := p2.RunWith(RunOptions{SliceSources: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Observations) != cores*(cores-1) {
+		t.Errorf("paper-faithful run: got %d observations, want %d", len(res2.Observations), cores*(cores-1))
+	}
+}
+
+func TestProgressCallbacks(t *testing.T) {
+	m := machine.Generate(machine.SKU8124M, 0, machine.Config{Seed: 16})
+	stages := map[string]int{}
+	p, err := New(m, Options{Seed: 1, Progress: func(stage string, done, total int) {
+		if done < 0 || done >= total {
+			t.Errorf("progress %s: done %d outside [0,%d)", stage, done, total)
+		}
+		stages[stage]++
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if stages["core-to-cha"] != m.NumCPUs() {
+		t.Errorf("core-to-cha callbacks = %d, want %d", stages["core-to-cha"], m.NumCPUs())
+	}
+	if stages["pair-traffic"] != m.NumCPUs() {
+		t.Errorf("pair-traffic callbacks = %d, want %d", stages["pair-traffic"], m.NumCPUs())
+	}
+}
+
+func TestObservationThresholdSuppressesNoise(t *testing.T) {
+	m := machine.Generate(machine.SKU8175M, 0, machine.Config{Seed: 11, NoiseFlits: 2, NoiseEveryOps: 16})
+	p := newProber(t, m)
+	mapping, err := p.MapCoresToCHAs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := p.MeasureTraffic(0, 1, mapping[0], mapping[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, down, horz := expectedObservation(m, m.TrueCoreCoord(0), m.TrueCoreCoord(1))
+	if !sameInts(obs.Up, up) || !sameInts(obs.Down, down) || !sameInts(obs.Horz, horz) {
+		t.Errorf("noisy observation diverged: up=%v down=%v horz=%v, want %v/%v/%v",
+			obs.Up, obs.Down, obs.Horz, up, down, horz)
+	}
+}

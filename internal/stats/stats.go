@@ -1,0 +1,151 @@
+// Package stats aggregates core-map survey results: canonical pattern
+// keys, frequency counters for Table I/II-style statistics, and ASCII
+// rendering of tile grids in the style of the paper's Fig. 4/5.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"coremap/internal/locate"
+	"coremap/internal/mesh"
+)
+
+// PatternKey returns a canonical textual key for a physical core map: CHA
+// positions (translation- and mirror-normalized) annotated with whether
+// each CHA hosts a core. Two instances share a key exactly when their
+// recovered maps are the same physical pattern.
+func PatternKey(pos []mesh.Coord, osToCHA []int) string {
+	hasCore := make([]bool, len(pos))
+	for _, cha := range osToCHA {
+		if cha >= 0 && cha < len(pos) {
+			hasCore[cha] = true
+		}
+	}
+	canon := locate.Canonical(pos)
+	var b strings.Builder
+	for cha, c := range canon {
+		role := "L"
+		if hasCore[cha] {
+			role = "C"
+		}
+		fmt.Fprintf(&b, "%d:%d%s;", c.Row, c.Col, role)
+	}
+	return b.String()
+}
+
+// MappingKey returns a textual key for an OS-core-ID → CHA-ID mapping
+// (one row of the paper's Table I).
+func MappingKey(osToCHA []int) string {
+	parts := make([]string, len(osToCHA))
+	for i, cha := range osToCHA {
+		parts[i] = fmt.Sprint(cha)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Count is one pattern with its observation frequency.
+type Count struct {
+	Key string
+	N   int
+}
+
+// Counter tallies pattern frequencies across a survey.
+type Counter struct {
+	counts map[string]int
+}
+
+// NewCounter returns an empty counter.
+func NewCounter() *Counter { return &Counter{counts: make(map[string]int)} }
+
+// Add records one observation of key.
+func (c *Counter) Add(key string) { c.counts[key]++ }
+
+// Unique returns the number of distinct keys observed.
+func (c *Counter) Unique() int { return len(c.counts) }
+
+// Total returns the number of observations recorded.
+func (c *Counter) Total() int {
+	n := 0
+	for _, v := range c.counts {
+		n += v
+	}
+	return n
+}
+
+// Top returns the k most frequent patterns, most frequent first; ties
+// break lexicographically for determinism.
+func (c *Counter) Top(k int) []Count {
+	out := make([]Count, 0, len(c.counts))
+	for key, n := range c.counts {
+		out = append(out, Count{Key: key, N: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].N != out[j].N {
+			return out[i].N > out[j].N
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Tile is one cell's rendering content.
+type Tile struct {
+	// Label is what to print ("0/12", "IMC", "-/25", ...); empty cells
+	// render as dots.
+	Label string
+}
+
+// RenderGrid draws a rows×cols grid with the given cell labels, Fig. 4
+// style.
+func RenderGrid(rows, cols int, label func(r, c int) string) string {
+	width := 6
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if n := len(label(r, c)); n+2 > width {
+				width = n + 2
+			}
+		}
+	}
+	var b strings.Builder
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			s := label(r, c)
+			if s == "" {
+				s = "·"
+			}
+			fmt.Fprintf(&b, "%*s", width, s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderMap renders a recovered core map: each CHA at its reconstructed
+// position labelled "os/cha" (or "-/cha" for LLC-only tiles). Cells with
+// no CHA are unknowable to the measurement (disabled, IMC or IO) and
+// render as dots.
+func RenderMap(rows, cols int, pos []mesh.Coord, osToCHA []int) string {
+	chaOS := make(map[int]int)
+	for cpu, cha := range osToCHA {
+		chaOS[cha] = cpu
+	}
+	at := make(map[mesh.Coord]int)
+	for cha, c := range pos {
+		at[c] = cha
+	}
+	return RenderGrid(rows, cols, func(r, c int) string {
+		cha, ok := at[mesh.Coord{Row: r, Col: c}]
+		if !ok {
+			return ""
+		}
+		if cpu, ok := chaOS[cha]; ok {
+			return fmt.Sprintf("%d/%d", cpu, cha)
+		}
+		return fmt.Sprintf("-/%d", cha)
+	})
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"coremap/internal/mesh"
+)
+
+func TestPatternKeyDistinguishesLayouts(t *testing.T) {
+	a := []mesh.Coord{{Row: 0, Col: 0}, {Row: 0, Col: 1}}
+	b := []mesh.Coord{{Row: 0, Col: 0}, {Row: 1, Col: 0}}
+	os := []int{0, 1}
+	if PatternKey(a, os) == PatternKey(b, os) {
+		t.Error("horizontal and vertical pair share a pattern key")
+	}
+}
+
+func TestPatternKeyRoleSensitive(t *testing.T) {
+	pos := []mesh.Coord{{Row: 0, Col: 0}, {Row: 0, Col: 1}}
+	withCore := PatternKey(pos, []int{0, 1})
+	llcOnly := PatternKey(pos, []int{0}) // CHA 1 has no OS core
+	if withCore == llcOnly {
+		t.Error("core and LLC-only tiles share a pattern key")
+	}
+}
+
+// Property: pattern keys are invariant under translation and horizontal
+// mirroring — the symmetries the measurement cannot resolve.
+func TestPatternKeySymmetryInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		pos := make([]mesh.Coord, n)
+		os := make([]int, n-1)
+		for i := range pos {
+			pos[i] = mesh.Coord{Row: r.Intn(4), Col: r.Intn(5)}
+		}
+		for i := range os {
+			os[i] = i
+		}
+		base := PatternKey(pos, os)
+		shifted := make([]mesh.Coord, n)
+		for i, c := range pos {
+			shifted[i] = mesh.Coord{Row: c.Row + 2, Col: c.Col + 1}
+		}
+		if PatternKey(shifted, os) != base {
+			return false
+		}
+		maxC := 0
+		for _, c := range pos {
+			if c.Col > maxC {
+				maxC = c.Col
+			}
+		}
+		mirrored := make([]mesh.Coord, n)
+		for i, c := range pos {
+			mirrored[i] = mesh.Coord{Row: c.Row, Col: maxC - c.Col}
+		}
+		return PatternKey(mirrored, os) == base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(50))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMappingKey(t *testing.T) {
+	if MappingKey([]int{0, 4, 8}) != "0 4 8" {
+		t.Errorf("MappingKey = %q", MappingKey([]int{0, 4, 8}))
+	}
+	if MappingKey([]int{0, 4, 8}) == MappingKey([]int{0, 8, 4}) {
+		t.Error("order-insensitive mapping key")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	for _, k := range []string{"a", "b", "a", "c", "a", "b"} {
+		c.Add(k)
+	}
+	if c.Unique() != 3 || c.Total() != 6 {
+		t.Errorf("unique=%d total=%d, want 3,6", c.Unique(), c.Total())
+	}
+	top := c.Top(2)
+	if len(top) != 2 || top[0].Key != "a" || top[0].N != 3 || top[1].Key != "b" || top[1].N != 2 {
+		t.Errorf("Top(2) = %+v", top)
+	}
+	if got := c.Top(10); len(got) != 3 {
+		t.Errorf("Top(10) returned %d entries", len(got))
+	}
+}
+
+func TestCounterTopDeterministicTies(t *testing.T) {
+	c := NewCounter()
+	c.Add("z")
+	c.Add("a")
+	top := c.Top(2)
+	if top[0].Key != "a" || top[1].Key != "z" {
+		t.Errorf("tie break not lexicographic: %+v", top)
+	}
+}
+
+func TestRenderGrid(t *testing.T) {
+	out := RenderGrid(2, 2, func(r, c int) string {
+		if r == 0 && c == 0 {
+			return "0/0"
+		}
+		return ""
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("rendered %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], "0/0") {
+		t.Errorf("missing cell label: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "·") {
+		t.Errorf("empty cells not dotted: %q", lines[1])
+	}
+}
+
+func TestRenderMap(t *testing.T) {
+	pos := []mesh.Coord{{Row: 0, Col: 0}, {Row: 1, Col: 1}}
+	out := RenderMap(2, 2, pos, []int{0}) // CHA 1 is LLC-only
+	if !strings.Contains(out, "0/0") {
+		t.Errorf("core tile not rendered: %s", out)
+	}
+	if !strings.Contains(out, "-/1") {
+		t.Errorf("LLC-only tile not rendered as -/1: %s", out)
+	}
+}

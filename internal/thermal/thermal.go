@@ -1,0 +1,269 @@
+// Package thermal simulates heat flow across a Xeon die as a lumped
+// resistance-capacitance network over the tile grid — the physical
+// substrate of the paper's inter-core thermal covert channel.
+//
+// Every tile is one thermal node with heat capacity C, a conductance to
+// the heat-sink/ambient, and lateral conductances to its four neighbours.
+// The lateral coupling is anisotropic: Xeon core tiles are horizontally
+// long rectangles, so vertically adjacent tiles share the long edge and
+// couple more strongly than horizontal neighbours — the effect behind the
+// paper's observation that vertical 1-hop covert channels outperform
+// horizontal ones (Fig. 7).
+//
+// Active cores dissipate extra power (the stress-ng stand-in); optional
+// co-tenant noise randomly toggles load on uninvolved cores the way other
+// cloud jobs would. Integration is explicit Euler with a stability-checked
+// step. The simulator implements machine.ThermalSource, so receiver cores
+// observe it through IA32_THERM_STATUS at 1 °C granularity like the real
+// attack does.
+package thermal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"coremap/internal/mesh"
+)
+
+// Config sets the physical parameters. The defaults are calibrated so a
+// solo stressed core settles ≈14 °C above idle and a vertical neighbour
+// sees ≈3-4 °C, matching the trace magnitudes in the paper's Fig. 6.
+type Config struct {
+	// Ambient is the heat-sink reference temperature in °C.
+	Ambient float64
+	// Capacity is the per-tile heat capacity in J/K.
+	Capacity float64
+	// GAmbient is the per-tile conductance to ambient in W/K.
+	GAmbient float64
+	// GVertical and GHorizontal are the lateral conductances between
+	// vertically / horizontally adjacent tiles in W/K.
+	GVertical, GHorizontal float64
+	// PowerIdle and PowerActive are per-core dissipation in W.
+	PowerIdle, PowerActive float64
+	// PowerTile is the baseline uncore dissipation of every tile in W.
+	PowerTile float64
+	// SensorNoise is the standard deviation of Gaussian sensor noise in
+	// °C, applied per temperature read.
+	SensorNoise float64
+	// CoTenantToggleHz is each co-tenant core's mean load-toggle rate;
+	// the affected cores are designated with SetCoTenants.
+	CoTenantToggleHz float64
+	// MaxStep caps the Euler integration step in seconds (0 = 5 ms).
+	MaxStep float64
+	// Seed drives sensor noise and co-tenant behaviour.
+	Seed int64
+}
+
+// DefaultConfig returns the calibrated parameter set.
+func DefaultConfig() Config {
+	return Config{
+		Ambient:          30,
+		Capacity:         0.065,
+		GAmbient:         0.40,
+		GVertical:        0.15,
+		GHorizontal:      0.045,
+		PowerIdle:        1.6,
+		PowerActive:      12.4,
+		PowerTile:        0.0,
+		SensorNoise:      0.25,
+		CoTenantToggleHz: 0.05,
+		MaxStep:          0.005,
+	}
+}
+
+// Simulator is the thermal state of one die.
+type Simulator struct {
+	cfg        Config
+	rows, cols int
+	temp       []float64
+	power      []float64 // steady per-node power, recomputed on load change
+	coreTiles  []mesh.Coord
+	coreNode   []int // physical core → node index
+	load       []bool
+	coTenants  []int // physical core indices acting as background tenants
+	rng        *rand.Rand
+	now        float64
+	scratch    []float64
+}
+
+// New builds a simulator for a die of rows×cols tiles whose physical cores
+// sit at coreTiles (indexed by physical core number).
+func New(cfg Config, rows, cols int, coreTiles []mesh.Coord) *Simulator {
+	if cfg.Capacity <= 0 || cfg.GAmbient <= 0 {
+		panic(fmt.Sprintf("thermal: non-physical config %+v", cfg))
+	}
+	if cfg.MaxStep == 0 {
+		cfg.MaxStep = 0.005
+	}
+	// Explicit Euler stability: dt < C / (GAmbient + 2GV + 2GH).
+	limit := cfg.Capacity / (cfg.GAmbient + 2*cfg.GVertical + 2*cfg.GHorizontal)
+	if cfg.MaxStep >= limit {
+		panic(fmt.Sprintf("thermal: step %.4gs exceeds stability limit %.4gs", cfg.MaxStep, limit))
+	}
+	s := &Simulator{
+		cfg:       cfg,
+		rows:      rows,
+		cols:      cols,
+		temp:      make([]float64, rows*cols),
+		power:     make([]float64, rows*cols),
+		coreTiles: append([]mesh.Coord(nil), coreTiles...),
+		coreNode:  make([]int, len(coreTiles)),
+		load:      make([]bool, len(coreTiles)),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i, c := range coreTiles {
+		s.coreNode[i] = c.Row*cols + c.Col
+	}
+	// Start from the idle steady state, approximately: ambient plus the
+	// idle dissipation spread through the ambient conductance.
+	idle := cfg.Ambient + cfg.PowerIdle/cfg.GAmbient*0.8
+	for i := range s.temp {
+		s.temp[i] = idle
+	}
+	s.recomputePower()
+	// Let the die settle to its true idle equilibrium.
+	s.Advance(30)
+	return s
+}
+
+// SetCoTenants designates background-tenant cores (by physical index) that
+// toggle load randomly during Advance.
+func (s *Simulator) SetCoTenants(cores []int) {
+	s.coTenants = append([]int(nil), cores...)
+}
+
+// Now returns the simulated time in seconds since construction (excluding
+// the settling transient).
+func (s *Simulator) Now() float64 { return s.now }
+
+// SetLoad switches a physical core between idle and active dissipation.
+func (s *Simulator) SetLoad(phys int, active bool) {
+	if s.load[phys] == active {
+		return
+	}
+	s.load[phys] = active
+	s.recomputePower()
+}
+
+// Load reports a core's current load state.
+func (s *Simulator) Load(phys int) bool { return s.load[phys] }
+
+func (s *Simulator) recomputePower() {
+	for i := range s.power {
+		s.power[i] = s.cfg.PowerTile
+	}
+	for phys, node := range s.coreNode {
+		p := s.cfg.PowerIdle
+		if s.load[phys] {
+			p = s.cfg.PowerActive
+		}
+		s.power[node] += p
+	}
+}
+
+// Advance integrates the network forward by the given number of seconds.
+func (s *Simulator) Advance(seconds float64) {
+	for seconds > 1e-12 {
+		dt := s.cfg.MaxStep
+		if dt > seconds {
+			dt = seconds
+		}
+		s.step(dt)
+		seconds -= dt
+		s.now += dt
+	}
+}
+
+func (s *Simulator) step(dt float64) {
+	s.maybeToggleCoTenants(dt)
+	cfg := &s.cfg
+	if len(s.scratch) != len(s.temp) {
+		s.scratch = make([]float64, len(s.temp))
+	}
+	next := s.scratch
+	for r := 0; r < s.rows; r++ {
+		for c := 0; c < s.cols; c++ {
+			i := r*s.cols + c
+			t := s.temp[i]
+			q := s.power[i] - cfg.GAmbient*(t-cfg.Ambient)
+			if r > 0 {
+				q += cfg.GVertical * (s.temp[i-s.cols] - t)
+			}
+			if r < s.rows-1 {
+				q += cfg.GVertical * (s.temp[i+s.cols] - t)
+			}
+			if c > 0 {
+				q += cfg.GHorizontal * (s.temp[i-1] - t)
+			}
+			if c < s.cols-1 {
+				q += cfg.GHorizontal * (s.temp[i+1] - t)
+			}
+			next[i] = t + dt*q/cfg.Capacity
+		}
+	}
+	s.temp, s.scratch = next, s.temp
+}
+
+func (s *Simulator) maybeToggleCoTenants(dt float64) {
+	if len(s.coTenants) == 0 || s.cfg.CoTenantToggleHz <= 0 {
+		return
+	}
+	p := s.cfg.CoTenantToggleHz * dt
+	for _, phys := range s.coTenants {
+		if s.rng.Float64() < p {
+			s.SetLoad(phys, !s.load[phys])
+		}
+	}
+}
+
+// NodeTemp returns the exact (noise-free) temperature of a tile node; it
+// is ground truth for tests and calibration.
+func (s *Simulator) NodeTemp(c mesh.Coord) float64 { return s.temp[c.Row*s.cols+c.Col] }
+
+// CoreTemp implements machine.ThermalSource: the sensed temperature of a
+// physical core including sensor noise. Quantization to 1 °C happens at
+// the MSR layer.
+func (s *Simulator) CoreTemp(phys int) float64 {
+	t := s.temp[s.coreNode[phys]]
+	if s.cfg.SensorNoise > 0 {
+		t += s.rng.NormFloat64() * s.cfg.SensorNoise
+	}
+	return t
+}
+
+// SteadyStateGain estimates the DC temperature rise at observer when the
+// source core toggles from idle to active, by running two settles. It is a
+// calibration helper.
+func SteadyStateGain(cfg Config, rows, cols int, coreTiles []mesh.Coord, source, observer int) float64 {
+	cfg.SensorNoise = 0
+	a := New(cfg, rows, cols, coreTiles)
+	a.Advance(60)
+	base := a.NodeTemp(coreTiles[observer])
+	a.SetLoad(source, true)
+	a.Advance(60)
+	return a.NodeTemp(coreTiles[observer]) - base
+}
+
+// TimeConstant estimates the dominant thermal time constant of a node: the
+// time to reach 63.2% of its step response when its own core turns active.
+func TimeConstant(cfg Config, rows, cols int, coreTiles []mesh.Coord, core int) float64 {
+	cfg.SensorNoise = 0
+	s := New(cfg, rows, cols, coreTiles)
+	s.Advance(60)
+	start := s.NodeTemp(coreTiles[core])
+	s.SetLoad(core, true)
+	probeEnd := start
+	// Find the settled value first.
+	tmp := *s
+	tmp.temp = append([]float64(nil), s.temp...)
+	tmp.Advance(60)
+	probeEnd = tmp.NodeTemp(coreTiles[core])
+	target := start + (probeEnd-start)*(1-1/math.E)
+	elapsed := 0.0
+	for s.NodeTemp(coreTiles[core]) < target && elapsed < 60 {
+		s.Advance(0.01)
+		elapsed += 0.01
+	}
+	return elapsed
+}

@@ -1,0 +1,192 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coremap/internal/mesh"
+)
+
+// fullTiles returns a core on every cell of a rows×cols grid.
+func fullTiles(rows, cols int) []mesh.Coord {
+	var tiles []mesh.Coord
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			tiles = append(tiles, mesh.Coord{Row: r, Col: c})
+		}
+	}
+	return tiles
+}
+
+func TestNewPanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{Capacity: 0, GAmbient: 1},
+		{Capacity: 1, GAmbient: 0},
+		{Capacity: 0.001, GAmbient: 10, MaxStep: 1}, // unstable step
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg, 2, 2, fullTiles(2, 2))
+		}()
+	}
+}
+
+func TestIdleEquilibrium(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SensorNoise = 0
+	s := New(cfg, 5, 6, fullTiles(5, 6))
+	before := s.NodeTemp(mesh.Coord{Row: 2, Col: 3})
+	s.Advance(20)
+	after := s.NodeTemp(mesh.Coord{Row: 2, Col: 3})
+	if math.Abs(after-before) > 0.05 {
+		t.Errorf("idle die drifted %.3f°C over 20s; construction should settle it", after-before)
+	}
+	if before < 31 || before > 40 {
+		t.Errorf("idle temperature %.1f°C implausible (paper idles ≈34°C)", before)
+	}
+}
+
+// TestCalibratedGains pins the DC behaviour the covert-channel results
+// depend on: a stressed core rises ≈14°C, a vertical neighbour sees a few
+// °C, horizontal coupling is roughly half of vertical, and the signal
+// decays steeply with hop count.
+func TestCalibratedGains(t *testing.T) {
+	cfg := DefaultConfig()
+	tiles := fullTiles(5, 6)
+	idx := func(r, c int) int { return r*6 + c }
+	src := idx(1, 2)
+	g := func(obs int) float64 { return SteadyStateGain(cfg, 5, 6, tiles, src, obs) }
+
+	self := g(src)
+	if self < 12 || self > 17 {
+		t.Errorf("self gain %.1f°C outside [12,17]", self)
+	}
+	v1, v2 := g(idx(2, 2)), g(idx(3, 2))
+	h1 := g(idx(1, 3))
+	if v1 < 2 || v1 > 5 {
+		t.Errorf("vertical 1-hop gain %.2f°C outside [2,5]", v1)
+	}
+	if h1 >= v1 {
+		t.Errorf("horizontal gain %.2f must be below vertical %.2f (tiles are wide rectangles)", h1, v1)
+	}
+	if h1 < 0.3*v1 {
+		t.Errorf("horizontal gain %.2f implausibly small vs vertical %.2f", h1, v1)
+	}
+	if v2 >= 0.5*v1 {
+		t.Errorf("2-hop gain %.2f does not decay steeply from 1-hop %.2f", v2, v1)
+	}
+}
+
+func TestTimeConstantSubSecond(t *testing.T) {
+	cfg := DefaultConfig()
+	tau := TimeConstant(cfg, 5, 6, fullTiles(5, 6), 8)
+	if tau < 0.05 || tau > 1.0 {
+		t.Errorf("thermal time constant %.3fs outside [0.05,1.0]; bit rates of 1-8 bps need this range", tau)
+	}
+}
+
+func TestSetLoadRaisesAndLowersTemp(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SensorNoise = 0
+	s := New(cfg, 3, 3, fullTiles(3, 3))
+	c := mesh.Coord{Row: 1, Col: 1}
+	idle := s.NodeTemp(c)
+	s.SetLoad(4, true)
+	s.Advance(5)
+	hot := s.NodeTemp(c)
+	if hot <= idle+5 {
+		t.Errorf("active core rose only %.2f°C", hot-idle)
+	}
+	s.SetLoad(4, false)
+	s.Advance(5)
+	cooled := s.NodeTemp(c)
+	if math.Abs(cooled-idle) > 0.5 {
+		t.Errorf("core did not cool back to idle: %.2f vs %.2f", cooled, idle)
+	}
+}
+
+func TestSensorNoiseAndDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	a := New(cfg, 2, 2, fullTiles(2, 2))
+	b := New(cfg, 2, 2, fullTiles(2, 2))
+	for i := 0; i < 10; i++ {
+		if a.CoreTemp(0) != b.CoreTemp(0) {
+			t.Fatal("same-seed simulators diverged")
+		}
+	}
+	// Noise must actually vary the reads.
+	seen := map[float64]bool{}
+	for i := 0; i < 20; i++ {
+		seen[a.CoreTemp(1)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("sensor noise produced constant reads")
+	}
+}
+
+func TestCoTenantsToggle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CoTenantToggleHz = 50 // fast for test
+	s := New(cfg, 3, 3, fullTiles(3, 3))
+	s.SetCoTenants([]int{0, 8})
+	toggled := false
+	for i := 0; i < 200 && !toggled; i++ {
+		s.Advance(0.05)
+		toggled = s.Load(0) || s.Load(8)
+	}
+	if !toggled {
+		t.Error("co-tenant cores never toggled load")
+	}
+}
+
+// Property: temperatures stay bounded between ambient and a physical
+// maximum for any load pattern (numerical stability + energy sanity).
+func TestTemperatureBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SensorNoise = 0
+	f := func(loads []bool, steps uint8) bool {
+		s := New(cfg, 3, 4, fullTiles(3, 4))
+		for i, on := range loads {
+			if i >= 12 {
+				break
+			}
+			s.SetLoad(i, on)
+		}
+		s.Advance(float64(steps%50) * 0.1)
+		maxPhysical := cfg.Ambient + float64(12)*(cfg.PowerActive+cfg.PowerTile)/cfg.GAmbient
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 4; c++ {
+				temp := s.NodeTemp(mesh.Coord{Row: r, Col: c})
+				if temp < cfg.Ambient-0.01 || temp > maxPhysical || math.IsNaN(temp) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(30))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: heat propagation is monotone in distance along a column.
+func TestGainMonotoneInDistance(t *testing.T) {
+	cfg := DefaultConfig()
+	tiles := fullTiles(5, 3)
+	idx := func(r, c int) int { return r*3 + c }
+	prev := math.Inf(1)
+	for hop := 1; hop <= 4; hop++ {
+		g := SteadyStateGain(cfg, 5, 3, tiles, idx(0, 1), idx(hop, 1))
+		if g >= prev {
+			t.Errorf("gain at hop %d (%.3f) not below hop %d (%.3f)", hop, g, hop-1, prev)
+		}
+		prev = g
+	}
+}

@@ -1,0 +1,102 @@
+package coremap_test
+
+// End-to-end property test: the full pipeline must hold its guarantees on
+// *randomized* die configurations, not just the four catalog SKUs —
+// arbitrary grid sizes, IMC placements, core counts and fusing patterns.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coremap"
+	"coremap/internal/locate"
+	"coremap/internal/machine"
+	"coremap/internal/mesh"
+	"coremap/internal/probe"
+)
+
+// randomSKU builds a random but well-formed die description.
+func randomSKU(r *rand.Rand) *machine.SKU {
+	rows := 3 + r.Intn(3)
+	cols := 3 + r.Intn(3)
+	gen := machine.Skylake
+	if r.Intn(2) == 1 {
+		gen = machine.IceLake
+	}
+	sku := &machine.SKU{
+		Name:           "random",
+		Generation:     gen,
+		Rows:           rows,
+		Cols:           cols,
+		PatternWeights: []float64{1},
+	}
+	// Up to two IMC tiles at distinct positions.
+	used := map[mesh.Coord]bool{}
+	for i := 0; i < r.Intn(3); i++ {
+		c := mesh.Coord{Row: r.Intn(rows), Col: r.Intn(cols)}
+		if !used[c] {
+			used[c] = true
+			sku.IMC = append(sku.IMC, c)
+		}
+	}
+	coreTiles := rows*cols - len(sku.IMC)
+	// Keep at least 4 cores and disable at most a third of the tiles so
+	// the observation set stays informative.
+	maxDisabled := coreTiles / 3
+	disabled := r.Intn(maxDisabled + 1)
+	llcOnly := 0
+	if coreTiles-disabled > 5 && r.Intn(2) == 1 {
+		llcOnly = 1 + r.Intn(2)
+	}
+	sku.Cores = coreTiles - disabled - llcOnly
+	sku.LLCOnly = llcOnly
+	if sku.Cores < 4 {
+		sku.Cores = 4
+		sku.LLCOnly = 0
+	}
+	return sku
+}
+
+func TestPipelinePropertyRandomDies(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sku := randomSKU(r)
+		pattern := sku.Pattern(r.Intn(4))
+		m := machine.New(sku, pattern, machine.Config{Seed: seed})
+
+		die := coremap.DieInfo{Rows: sku.Rows, Cols: sku.Cols, IMC: sku.IMC}
+		res, err := coremap.MapMachine(m, die, coremap.Options{
+			Probe:         probe.Options{Seed: seed},
+			MemoryAnchors: len(sku.IMC) > 0,
+		})
+		if err != nil {
+			t.Logf("seed %d (%dx%d, %d cores, %d llc-only, %d imc): %v",
+				seed, sku.Rows, sku.Cols, sku.Cores, sku.LLCOnly, len(sku.IMC), err)
+			return false
+		}
+
+		// Step 1 must be exact on every configuration.
+		truthMapping := m.TrueOSToCHA()
+		for cpu, cha := range res.OSToCHA {
+			if cha != truthMapping[cpu] {
+				t.Logf("seed %d: step1 OS %d → CHA %d, want %d", seed, cpu, cha, truthMapping[cpu])
+				return false
+			}
+		}
+
+		// The map must stay close to the true relative ordering.
+		truth := make([]mesh.Coord, m.NumCHAs())
+		for cha := range truth {
+			truth[cha] = m.TrueCHACoord(cha)
+		}
+		if rs := locate.RelativeScore(res.Pos, truth); rs < 0.8 {
+			t.Logf("seed %d (%dx%d, %d cores): relative score %.3f", seed, sku.Rows, sku.Cols, sku.Cores, rs)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10, Rand: rand.New(rand.NewSource(77))}); err != nil {
+		t.Error(err)
+	}
+}
