@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench experiments quick-experiments cover
+.PHONY: all build vet test race lint ci smoke bench experiments quick-experiments cover
 
 all: build vet test
 
@@ -13,8 +13,23 @@ vet:
 test:
 	go test ./... -timeout 1800s
 
+# Race-check the concurrent parts of the tree: the parallel ILP solver,
+# the survey worker pools and the covert-channel harness.
 race:
-	go test -race ./internal/experiments/ ./internal/covert/ -timeout 1800s
+	go test -race ./internal/ilp/ ./internal/experiments/ ./internal/covert/ -timeout 1800s
+
+# Mirrors the lint job of .github/workflows/ci.yml; requires staticcheck
+# (go install honnef.co/go/tools/cmd/staticcheck@latest) on PATH.
+lint:
+	staticcheck ./...
+
+# Everything the CI workflow runs, in one local invocation (lint excluded:
+# it needs the staticcheck binary and CI treats it as advisory for now).
+ci: all race smoke
+
+# The CI smoke job: the full quick reproduction must exit 0.
+smoke:
+	go run ./cmd/experiments -exp all -quick
 
 bench:
 	go test -bench=. -benchmem -timeout 3600s .
@@ -23,8 +38,7 @@ bench:
 experiments:
 	go run ./cmd/experiments -exp all -csv results_csv
 
-quick-experiments:
-	go run ./cmd/experiments -exp all -quick
+quick-experiments: smoke
 
 cover:
 	go test ./internal/... . -cover -timeout 1800s

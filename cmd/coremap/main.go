@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	coremap [-sku name] [-pattern n] [-seed n] [-paper-faithful] [-check] [-json]
+//	coremap [-sku name] [-pattern n] [-seed n] [-workers n] [-paper-faithful] [-check] [-json]
 //
 // The tool generates one simulated CPU instance (internal/machine stands in
 // for bare-metal hardware; see DESIGN.md), runs the three-step locating
@@ -33,6 +33,7 @@ func main() {
 		paperFaithful = flag.Bool("paper-faithful", false, "use only the paper's core-pair experiments")
 		anchors       = flag.Bool("anchors", false, "add memory-anchored (IMC→core) experiments for an absolute map")
 		check         = flag.Bool("check", false, "score the map against simulator ground truth")
+		workers       = flag.Int("workers", 0, "ILP solver workers (0 = all cores); the map is identical at any setting")
 		asJSON        = flag.Bool("json", false, "emit the result as JSON")
 		registryPath  = flag.String("registry", "", "JSON registry file: reuse a cached map for this PPIN, store new maps")
 	)
@@ -53,6 +54,7 @@ func main() {
 		var err error
 		res, err = coremap.MapMachine(m, coremap.DieInfo{Rows: sku.Rows, Cols: sku.Cols, IMC: sku.IMC}, coremap.Options{
 			Probe:         probe.Options{Seed: *seed},
+			Locate:        locate.Options{Workers: *workers},
 			PaperFaithful: *paperFaithful,
 			MemoryAnchors: *anchors,
 		})

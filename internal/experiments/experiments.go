@@ -135,12 +135,15 @@ func surveyStep1(sku *machine.SKU, n int, seed int64) ([][]int, error) {
 	return out, nil
 }
 
-// survey runs the full pipeline over a population.
+// survey runs the full pipeline over a population. forEachInstance already
+// fans out across instances, so each per-instance ILP solve runs on a
+// single worker — nested parallelism would only oversubscribe the machine.
 func survey(sku *machine.SKU, n int, seed int64) ([]Instance, error) {
 	out := make([]Instance, n)
 	err := forEachInstance(sku, n, seed, func(i int, m *machine.Machine) error {
 		res, err := coremap.MapMachine(m, dieFor(sku), coremap.Options{
-			Probe: probe.Options{Seed: seed + int64(i)},
+			Probe:  probe.Options{Seed: seed + int64(i)},
+			Locate: locate.Options{Workers: 1},
 		})
 		if err != nil {
 			return err

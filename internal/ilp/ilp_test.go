@@ -353,11 +353,11 @@ func TestPropagationSoundness(t *testing.T) {
 			m.AddLE("c", terms, int64(r.Intn(7))-1)
 		}
 		vals, _, feasible := bruteForce(m)
-		s := &solver{m: m, maxNodes: 1}
+		s := &solver{m: m}
 		s.build(nil)
 		lo := append([]int64(nil), m.lo...)
 		hi := append([]int64(nil), m.hi...)
-		ok := s.propagate(lo, hi, nil)
+		ok := s.propagate(lo, hi, nil, PosInf)
 		if !feasible {
 			return true // wipe-out allowed (and correct) here
 		}

@@ -142,7 +142,9 @@ type Solution struct {
 	// Optimal reports whether the solver proved optimality; false means
 	// the node budget expired with this incumbent in hand.
 	Optimal bool
-	// Nodes is the number of branch-and-bound nodes explored.
+	// Nodes is the number of branch-and-bound nodes explored, aggregated
+	// across all workers. Unlike Values, it may vary between runs and
+	// worker counts (pruning depends on when incumbents are published).
 	Nodes int
 }
 

@@ -3,6 +3,7 @@ package ilp
 import (
 	"errors"
 	"fmt"
+	"runtime"
 )
 
 // Errors returned by Solve.
@@ -27,6 +28,14 @@ type Options struct {
 	// NoPresolve disables the equality-merging presolve (mainly for
 	// tests and ablation benchmarks).
 	NoPresolve bool
+	// Workers sets the number of branch-and-bound workers pulling subtree
+	// tasks from a shared deque (0 = runtime.GOMAXPROCS). Results are
+	// independent of the worker count: ties between equal-objective
+	// solutions are broken by a canonical lexicographic rule, so a solve
+	// that completes within MaxNodes returns byte-identical
+	// Solution.Values at any Workers setting. Only Solution.Nodes (and,
+	// for budget-truncated searches, the incumbent) may vary.
+	Workers int
 }
 
 // DefaultMaxNodes is the search budget used when Options.MaxNodes is 0.
@@ -37,6 +46,10 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 	maxNodes := opts.MaxNodes
 	if maxNodes <= 0 {
 		maxNodes = DefaultMaxNodes
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 
 	target := m
@@ -51,50 +64,53 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 		branchOrder = pre.mapBranchOrder(opts.BranchOrder)
 	}
 
-	s := &solver{m: target, maxNodes: maxNodes}
+	s := &solver{m: target}
 	s.build(branchOrder)
 
 	lo := append([]int64(nil), target.lo...)
 	hi := append([]int64(nil), target.hi...)
-	s.search(lo, hi)
+	e := newEngine(s, workers, maxNodes)
+	e.run(frame{lo: lo, hi: hi})
 
-	if s.best == nil {
-		if s.nodes >= s.maxNodes {
+	if e.best == nil {
+		if e.aborted.Load() {
 			return nil, ErrNodeLimit
 		}
 		return nil, ErrInfeasible
 	}
-	values := s.best
+	values := e.best
 	if pre != nil {
 		values = pre.expand(values)
 	}
 	return &Solution{
 		Values:    values,
-		Objective: s.bestObj,
-		Optimal:   s.nodes < s.maxNodes,
-		Nodes:     s.nodes,
+		Objective: e.bestObj,
+		Optimal:   !e.aborted.Load(),
+		Nodes:     int(e.nodes.Load()),
 	}, nil
 }
 
+// solver is the immutable search context shared by all workers: the model,
+// its constraint/occurrence indexes and the branching priorities. Mutable
+// search state (incumbent, bound, node budget, task deque) lives in engine.
 type solver struct {
-	m        *Model
-	cons     []constraint
-	occ      [][]int32 // var → indices of constraints containing it
-	objIdx   int       // index of the objective cut constraint, or -1
-	rank     []int32   // var → branch priority (lower first)
-	maxNodes int
-	nodes    int
-	best     []int64
-	bestObj  int64
+	m      *Model
+	cons   []constraint
+	occ    [][]int32 // var → indices of constraints containing it
+	objIdx int       // index of the objective cut constraint, or -1
+	rank   []int32   // var → branch priority (lower first)
 }
 
 func (s *solver) build(order []Var) {
 	s.cons = append([]constraint(nil), s.m.cons...)
 	s.objIdx = -1
 	if len(s.m.obj) > 0 {
-		// The objective is represented as a mutable cut constraint:
-		// once an incumbent with value z is found, its upper bound
-		// becomes z-1 and propagation prunes anything not better.
+		// The objective is represented as a cut constraint whose upper
+		// bound is the shared incumbent bound: once an incumbent with
+		// value z is known, propagation prunes anything worse than z.
+		// Equal-objective solutions stay reachable so the lexicographic
+		// tie-break is applied to every optimum, keeping results
+		// scheduling-independent.
 		s.objIdx = len(s.cons)
 		s.cons = append(s.cons, constraint{
 			terms: s.m.obj, lo: NegInf, hi: PosInf, label: "objective-cut",
@@ -134,9 +150,10 @@ func ceilDiv(a, b int64) int64 {
 }
 
 // propagate tightens lo/hi to a fixpoint of interval consistency over all
-// constraints (plus the objective cut). It reports false on a domain wipe-
-// out or violated constraint.
-func (s *solver) propagate(lo, hi []int64, seed []int32) bool {
+// constraints. objHi is the current upper bound of the objective cut (the
+// shared incumbent bound; PosInf when no incumbent or no objective exists).
+// It reports false on a domain wipe-out or violated constraint.
+func (s *solver) propagate(lo, hi []int64, seed []int32, objHi int64) bool {
 	inQueue := make([]bool, len(s.cons))
 	queue := make([]int32, 0, len(s.cons))
 	push := func(ci int32) {
@@ -160,6 +177,10 @@ func (s *solver) propagate(lo, hi []int64, seed []int32) bool {
 		queue = queue[1:]
 		inQueue[ci] = false
 		c := &s.cons[ci]
+		chi := c.hi
+		if int(ci) == s.objIdx {
+			chi = objHi
+		}
 
 		var minAct, maxAct int64
 		for _, t := range c.terms {
@@ -171,7 +192,7 @@ func (s *solver) propagate(lo, hi []int64, seed []int32) bool {
 				maxAct += t.Coef * lo[t.Var]
 			}
 		}
-		if minAct > c.hi || maxAct < c.lo {
+		if minAct > chi || maxAct < c.lo {
 			return false
 		}
 		for _, t := range c.terms {
@@ -184,13 +205,13 @@ func (s *solver) propagate(lo, hi []int64, seed []int32) bool {
 			}
 			restMin := minAct - tMin
 			restMax := maxAct - tMax
-			// t.Coef*x ≤ c.hi - restMin and t.Coef*x ≥ c.lo - restMax.
+			// t.Coef*x ≤ chi - restMin and t.Coef*x ≥ c.lo - restMax.
 			var newLo, newHi int64
 			if t.Coef > 0 {
-				newHi = floorDiv(clampInf(c.hi)-restMin, t.Coef)
+				newHi = floorDiv(clampInf(chi)-restMin, t.Coef)
 				newLo = ceilDiv(clampInf(c.lo)-restMax, t.Coef)
 			} else {
-				newLo, newHi = boundsNegCoef(t.Coef, clampInf(c.hi)-restMin, clampInf(c.lo)-restMax)
+				newLo, newHi = boundsNegCoef(t.Coef, clampInf(chi)-restMin, clampInf(c.lo)-restMax)
 			}
 			changed := false
 			if newHi < hi[v] {
@@ -267,47 +288,17 @@ func (s *solver) objective(vals []int64) int64 {
 	return z
 }
 
-// search runs depth-first branch and bound. lo/hi are consumed.
-func (s *solver) search(lo, hi []int64) {
-	type frame struct {
-		lo, hi []int64
-		seed   []int32
-	}
-	stack := []frame{{lo: lo, hi: hi, seed: nil}}
-	for len(stack) > 0 {
-		if s.nodes >= s.maxNodes {
-			return
-		}
-		s.nodes++
-		f := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-
-		if !s.propagate(f.lo, f.hi, f.seed) {
-			continue
-		}
-		v := s.pickVar(f.lo, f.hi)
-		if v == -1 {
-			vals := append([]int64(nil), f.lo...)
-			z := s.objective(vals)
-			if s.best == nil || z < s.bestObj {
-				s.best = vals
-				s.bestObj = z
-				if s.objIdx >= 0 {
-					s.cons[s.objIdx].hi = z - 1
-				}
-			}
-			continue
-		}
-		// Branch on each value, lowest first. Pushing in reverse makes
-		// the stack explore ascending values first, which suits the
-		// packing objective (small indices first).
-		for x := f.hi[v]; x >= f.lo[v]; x-- {
-			nl := append([]int64(nil), f.lo...)
-			nh := append([]int64(nil), f.hi...)
-			nl[v], nh[v] = x, x
-			stack = append(stack, frame{lo: nl, hi: nh, seed: s.occ[v]})
+// lexLess reports whether a precedes b lexicographically. It is the
+// canonical tie-break between equal-objective solutions: the winner is the
+// same whichever worker finds which solution first, which is what makes
+// parallel solves reproducible.
+func lexLess(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
 		}
 	}
+	return false
 }
 
 // CheckFeasible verifies that the given assignment satisfies every

@@ -141,3 +141,21 @@ func TestPipelineDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestPipelineWorkerCountInvariant: the reconstruction of a real measured
+// instance must be identical whether the ILP runs on one worker or many —
+// the end-to-end face of ilp's determinism guarantee.
+func TestPipelineWorkerCountInvariant(t *testing.T) {
+	for _, sku := range []*machine.SKU{machine.SKU8259CL, machine.SKU6354} {
+		ref, _ := runPipeline(t, machine.Generate(sku, 1, machine.Config{Seed: 500}), Options{Workers: 1})
+		for _, workers := range []int{2, 4} {
+			mp, _ := runPipeline(t, machine.Generate(sku, 1, machine.Config{Seed: 500}), Options{Workers: workers})
+			for i := range ref.Pos {
+				if mp.Pos[i] != ref.Pos[i] {
+					t.Fatalf("%s: workers=%d moved CHA %d: %v vs %v",
+						sku.Name, workers, i, mp.Pos[i], ref.Pos[i])
+				}
+			}
+		}
+	}
+}

@@ -55,6 +55,12 @@ type Input struct {
 type Options struct {
 	// MaxNodes bounds the ILP search per solve (0 = ilp default).
 	MaxNodes int
+	// Workers is the ILP worker count per solve (0 = GOMAXPROCS). Callers
+	// that already parallelize across instances — the survey loops in
+	// internal/experiments — pass 1 so nested parallelism does not
+	// oversubscribe the machine. The reconstructed map is identical at
+	// any setting (see ilp.Options.Workers).
+	Workers int
 	// MaxSeparationRounds bounds the lazy no-overlap loop.
 	MaxSeparationRounds int
 	// PaperExactBounds, when true, uses the paper's printed (looser)
@@ -293,6 +299,7 @@ func Reconstruct(in Input, opts Options) (*Map, error) {
 		sol, err := ilp.Solve(b.m, ilp.Options{
 			MaxNodes:    opts.MaxNodes,
 			BranchOrder: b.branchOrder(),
+			Workers:     opts.Workers,
 		})
 		if errors.Is(err, ilp.ErrInfeasible) {
 			return nil, ErrUnsatisfiable
