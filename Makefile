@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race lint ci smoke bench experiments quick-experiments cover
+.PHONY: all build vet test race lint ci smoke bench bench-json experiments quick-experiments cover
 
 all: build vet test
 
@@ -33,6 +33,13 @@ smoke:
 
 bench:
 	go test -bench=. -benchmem -timeout 3600s .
+
+# Machine-readable benchmark archive: the full -bench run converted to
+# BENCH_<date>.json (name → ns/op + custom metrics) for diffing across
+# commits. See cmd/benchjson.
+bench-json:
+	go test -bench=. -benchmem -timeout 3600s . | tee /dev/stderr \
+		| go run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d).json
 
 # Full-size reproduction of every table and figure (paper parameters).
 experiments:

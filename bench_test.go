@@ -31,12 +31,18 @@ func benchConfig(b *testing.B) experiments.Config {
 }
 
 // BenchmarkTable1_CHAIDMapping regenerates Table I: the distinct measured
-// OS-core-ID ↔ CHA-ID mappings per CPU model.
+// OS-core-ID ↔ CHA-ID mappings per CPU model. cache=off is the uncached
+// baseline; cache=on re-runs the survey against a warmed content-addressed
+// cache, the steady state of repeated surveys over one population.
 func BenchmarkTable1_CHAIDMapping(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table1(benchConfig(b))
-		if err != nil {
-			b.Fatal(err)
+	bench := func(b *testing.B, cfg experiments.Config) {
+		var res []experiments.Table1Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = experiments.Table1(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
 		}
 		for _, r := range res {
 			switch r.SKU {
@@ -49,67 +55,93 @@ func BenchmarkTable1_CHAIDMapping(b *testing.B) {
 			}
 		}
 	}
+	b.Run("cache=off", func(b *testing.B) {
+		cfg := benchConfig(b)
+		cfg.NoCache = true
+		bench(b, cfg)
+	})
+	b.Run("cache=on", func(b *testing.B) {
+		cfg := benchConfig(b)
+		cfg.Caches = experiments.NewCaches()
+		if _, err := experiments.Table1(cfg); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		bench(b, cfg)
+	})
 }
 
 // BenchmarkTable2_PatternStats regenerates Table II: location-pattern
 // frequency statistics per CPU model.
 func BenchmarkTable2_PatternStats(b *testing.B) {
+	var res []experiments.Table2Result
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table2(benchConfig(b))
+		var err error
+		res, err = experiments.Table2(benchConfig(b))
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, r := range res {
-			switch r.SKU {
-			case "Xeon Platinum 8124M":
-				b.ReportMetric(float64(r.Unique), "patterns-8124M")
-			case "Xeon Platinum 8259CL":
-				b.ReportMetric(float64(r.Unique), "patterns-8259CL")
-			}
+	}
+	for _, r := range res {
+		switch r.SKU {
+		case "Xeon Platinum 8124M":
+			b.ReportMetric(float64(r.Unique), "patterns-8124M")
+		case "Xeon Platinum 8259CL":
+			b.ReportMetric(float64(r.Unique), "patterns-8259CL")
 		}
 	}
 }
 
 // BenchmarkFig4_TopPatterns renders the three most frequent 8259CL maps.
 func BenchmarkFig4_TopPatterns(b *testing.B) {
+	var rendered int
 	for i := 0; i < b.N; i++ {
 		grids, err := experiments.Fig4(benchConfig(b))
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(len(grids)), "patterns-rendered")
+		rendered = len(grids)
 	}
+	b.ReportMetric(float64(rendered), "patterns-rendered")
 }
 
 // BenchmarkFig5_IceLakeMapping maps ten Ice Lake instances.
 func BenchmarkFig5_IceLakeMapping(b *testing.B) {
+	var unique int
+	var relative float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig5(benchConfig(b))
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(res.Unique), "unique-patterns")
-		b.ReportMetric(res.RelativeScore, "relative-order")
+		unique, relative = res.Unique, res.RelativeScore
 	}
+	b.ReportMetric(float64(unique), "unique-patterns")
+	b.ReportMetric(relative, "relative-order")
 }
 
 // BenchmarkFig6_ThermalTrace runs the multi-hop trace experiment.
 func BenchmarkFig6_ThermalTrace(b *testing.B) {
+	var hopBER []float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig6(benchConfig(b))
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(res.HopBER[0], "BER-1hop")
-		if len(res.HopBER) > 1 {
-			b.ReportMetric(res.HopBER[len(res.HopBER)-1], "BER-farthest")
-		}
+		hopBER = res.HopBER
+	}
+	if len(hopBER) > 0 {
+		b.ReportMetric(hopBER[0], "BER-1hop")
+	}
+	if len(hopBER) > 1 {
+		b.ReportMetric(hopBER[len(hopBER)-1], "BER-farthest")
 	}
 }
 
 // BenchmarkFig7_HopCounts sweeps BER vs rate for horizontal and vertical
 // pairs at 1-3 hops.
 func BenchmarkFig7_HopCounts(b *testing.B) {
+	var vertBER, horzBER float64
 	for i := 0; i < b.N; i++ {
 		cfg := benchConfig(b)
 		vert, err := experiments.Fig7(cfg, true)
@@ -122,19 +154,22 @@ func BenchmarkFig7_HopCounts(b *testing.B) {
 		}
 		for _, c := range vert {
 			if c.Hops == 1 && c.BitRate == 4 {
-				b.ReportMetric(c.BER, "BER-vert-1hop-4bps")
+				vertBER = c.BER
 			}
 		}
 		for _, c := range horz {
 			if c.Hops == 1 && c.BitRate == 4 {
-				b.ReportMetric(c.BER, "BER-horz-1hop-4bps")
+				horzBER = c.BER
 			}
 		}
 	}
+	b.ReportMetric(vertBER, "BER-vert-1hop-4bps")
+	b.ReportMetric(horzBER, "BER-horz-1hop-4bps")
 }
 
 // BenchmarkFig8a_MultiSender sweeps sender counts.
 func BenchmarkFig8a_MultiSender(b *testing.B) {
+	var ber4, ber1 float64
 	for i := 0; i < b.N; i++ {
 		cells, err := experiments.Fig8a(benchConfig(b))
 		if err != nil {
@@ -142,41 +177,48 @@ func BenchmarkFig8a_MultiSender(b *testing.B) {
 		}
 		for _, c := range cells {
 			if c.Senders == 4 && c.BitRate == 4 {
-				b.ReportMetric(c.BER, "BER-x4-4bps")
+				ber4 = c.BER
 			}
 			if c.Senders == 1 && c.BitRate == 4 {
-				b.ReportMetric(c.BER, "BER-x1-4bps")
+				ber1 = c.BER
 			}
 		}
 	}
+	b.ReportMetric(ber4, "BER-x4-4bps")
+	b.ReportMetric(ber1, "BER-x1-4bps")
 }
 
 // BenchmarkFig8b_MultiChannel sweeps parallel-channel configurations and
 // reports the paper's headline: maximum aggregate throughput under 1% BER.
 func BenchmarkFig8b_MultiChannel(b *testing.B) {
+	var best float64
 	for i := 0; i < b.N; i++ {
-		_, best, err := experiments.Fig8b(benchConfig(b))
+		var err error
+		_, best, err = experiments.Fig8b(benchConfig(b))
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(best, "bps-under-1pct")
 	}
+	b.ReportMetric(best, "bps-under-1pct")
 }
 
 // BenchmarkVerify_AllPairs reruns the Sec. V-D adjacency verification.
 func BenchmarkVerify_AllPairs(b *testing.B) {
+	var frac float64
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Verify(benchConfig(b))
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(res.AdjacentBest)/float64(res.Receivers), "adjacent-fraction")
+		frac = float64(res.AdjacentBest) / float64(res.Receivers)
 	}
+	b.ReportMetric(frac, "adjacent-fraction")
 }
 
 // BenchmarkBaselines compares the pipeline against lstopo guessing,
 // pattern generalization and latency trilateration.
 func BenchmarkBaselines(b *testing.B) {
+	var pipeline, patternGen, lstopo float64
 	for i := 0; i < b.N; i++ {
 		cfg := benchConfig(b)
 		cfg.Instances = 6
@@ -186,26 +228,56 @@ func BenchmarkBaselines(b *testing.B) {
 		}
 		for _, r := range res {
 			if r.SKU == "Xeon Platinum 8259CL" {
-				b.ReportMetric(r.MeanTileAccuracy, "pipeline-accuracy")
-				b.ReportMetric(r.PatternGenAccuracy, "patterngen-accuracy")
-				b.ReportMetric(r.LstopoAccuracy, "lstopo-accuracy")
+				pipeline = r.MeanTileAccuracy
+				patternGen = r.PatternGenAccuracy
+				lstopo = r.LstopoAccuracy
 			}
 		}
 	}
+	b.ReportMetric(pipeline, "pipeline-accuracy")
+	b.ReportMetric(patternGen, "patterngen-accuracy")
+	b.ReportMetric(lstopo, "lstopo-accuracy")
 }
 
 // --- micro-benchmarks of the load-bearing components ---
 
-// BenchmarkPipeline_FullMap is one complete probe + ILP run on an 8259CL.
+// BenchmarkPipeline_FullMap is one complete probe + ILP run per iteration,
+// cycling through a 20-instance 8259CL survey population. cache=off maps
+// each machine from scratch; cache=on serves repeat encounters of a chip
+// from the PPIN-keyed measurement cache and the content-addressed
+// reconstruction cache (warmed by one pass, i.e. the steady state once the
+// survey has seen the population).
 func BenchmarkPipeline_FullMap(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		m := machine.Generate(machine.SKU8259CL, i%8, machine.Config{Seed: int64(i)})
-		if _, err := coremap.MapMachine(m, coremap.SkylakeXCCDie, coremap.Options{
-			Probe: probe.Options{Seed: int64(i)},
-		}); err != nil {
-			b.Fatal(err)
+	const surveySize = 20
+	pop := machine.NewPopulation(machine.SKU8259CL, 1, machine.Config{})
+	machines := make([]*machine.Machine, surveySize)
+	for i := range machines {
+		machines[i], _ = pop.Next()
+	}
+	run := func(b *testing.B, opts coremap.Options) {
+		for i := 0; i < b.N; i++ {
+			m := machines[i%len(machines)]
+			if _, err := coremap.MapMachine(m, coremap.SkylakeXCCDie, opts); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
+	b.Run("cache=off", func(b *testing.B) {
+		run(b, coremap.Options{Probe: probe.Options{Seed: 1}})
+	})
+	b.Run("cache=on", func(b *testing.B) {
+		opts := coremap.Options{
+			Probe:  probe.Options{Seed: 1, Cache: probe.NewResultCache()},
+			Locate: locate.Options{Cache: locate.NewCache()},
+		}
+		for _, m := range machines { // warm
+			if _, err := coremap.MapMachine(m, coremap.SkylakeXCCDie, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		run(b, opts)
+	})
 }
 
 // BenchmarkPipeline_Anchored is the full pipeline with the memory-anchored

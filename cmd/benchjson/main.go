@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark report on stdout, so results can be archived and diffed across
+// runs (see the `bench-json` Makefile target, which writes
+// BENCH_<date>.json).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem . | go run ./cmd/benchjson > BENCH_2026-08-05.json
+//
+// Every "Benchmark..." result line becomes one entry: the benchmark name
+// (GOMAXPROCS suffix stripped), the iteration count, ns/op, and every
+// remaining value/unit pair — allocation stats and the custom
+// b.ReportMetric quantities the table/figure benchmarks emit — keyed by
+// unit in a metrics map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Report is the whole converted run.
+type Report struct {
+	Date       string      `json:"date"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one result line.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// gomaxprocsSuffix matches the "-8" style suffix the testing package
+// appends to benchmark names when GOMAXPROCS > 1.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseLine converts one "BenchmarkFoo-8  10  123 ns/op  4.0 things" line;
+// ok is false for non-benchmark lines (headers, PASS, ok ...).
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name: gomaxprocsSuffix.ReplaceAllString(fields[0], ""),
+		Runs: runs,
+	}
+	// The rest of the line is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[unit] = v
+	}
+	return b, true
+}
+
+// parse consumes a full `go test -bench` transcript.
+func parse(lines []string) Report {
+	rep := Report{Date: time.Now().Format("2006-01-02")}
+	header := func(line, key string) (string, bool) {
+		if rest, ok := strings.CutPrefix(line, key+": "); ok {
+			return strings.TrimSpace(rest), true
+		}
+		return "", false
+	}
+	for _, line := range lines {
+		if v, ok := header(line, "goos"); ok {
+			rep.GoOS = v
+		} else if v, ok := header(line, "goarch"); ok {
+			rep.GoArch = v
+		} else if v, ok := header(line, "pkg"); ok {
+			rep.Pkg = v
+		} else if v, ok := header(line, "cpu"); ok {
+			rep.CPU = v
+		} else if b, ok := parseLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	return rep
+}
+
+func main() {
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep := parse(lines)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

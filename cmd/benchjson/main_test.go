@@ -1,0 +1,57 @@
+package main
+
+import "testing"
+
+func TestParseBenchOutput(t *testing.T) {
+	lines := []string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: coremap",
+		"cpu: Intel(R) Xeon(R) Processor @ 2.10GHz",
+		"BenchmarkPipeline_FullMap/cache=off-8 \t       3\t  87710508 ns/op",
+		"BenchmarkPipeline_FullMap/cache=on-8  \t       3\t    367127 ns/op",
+		"BenchmarkTable2_PatternStats-8 \t 2\t 1234 ns/op\t 3.000 patterns-8124M\t 9.000 patterns-8259CL",
+		"BenchmarkMesh_Route \t 1000000\t 85.2 ns/op\t 16 B/op\t 1 allocs/op",
+		"PASS",
+		"ok  \tcoremap\t17.982s",
+	}
+	rep := parse(lines)
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Pkg != "coremap" {
+		t.Errorf("headers not captured: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkPipeline_FullMap/cache=off" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", b.Name)
+	}
+	if b.Runs != 3 || b.NsPerOp != 87710508 {
+		t.Errorf("runs/ns mis-parsed: %+v", b)
+	}
+	tbl := rep.Benchmarks[2]
+	if tbl.Metrics["patterns-8124M"] != 3 || tbl.Metrics["patterns-8259CL"] != 9 {
+		t.Errorf("custom metrics mis-parsed: %+v", tbl.Metrics)
+	}
+	mesh := rep.Benchmarks[3]
+	if mesh.Metrics["B/op"] != 16 || mesh.Metrics["allocs/op"] != 1 {
+		t.Errorf("-benchmem metrics mis-parsed: %+v", mesh.Metrics)
+	}
+	if mesh.NsPerOp != 85.2 {
+		t.Errorf("fractional ns/op mis-parsed: %v", mesh.NsPerOp)
+	}
+}
+
+func TestParseLineRejectsNonBenchLines(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  \tcoremap\t17.982s",
+		"goos: linux",
+		"--- BENCH: BenchmarkFoo",
+		"BenchmarkBroken 	 notanumber 	 12 ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

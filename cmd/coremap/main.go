@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	coremap [-sku name] [-pattern n] [-seed n] [-workers n] [-paper-faithful] [-check] [-json]
+//	coremap [-sku name] [-pattern n] [-seed n] [-workers n] [-paper-faithful] [-check] [-json] [-nocache]
 //
 // The tool generates one simulated CPU instance (internal/machine stands in
 // for bare-metal hardware; see DESIGN.md), runs the three-step locating
@@ -35,6 +35,7 @@ func main() {
 		check         = flag.Bool("check", false, "score the map against simulator ground truth")
 		workers       = flag.Int("workers", 0, "ILP solver workers (0 = all cores); the map is identical at any setting")
 		asJSON        = flag.Bool("json", false, "emit the result as JSON")
+		noCache       = flag.Bool("nocache", false, "disable the in-process measurement/reconstruction caches")
 		registryPath  = flag.String("registry", "", "JSON registry file: reuse a cached map for this PPIN, store new maps")
 	)
 	flag.Parse()
@@ -46,6 +47,13 @@ func main() {
 	m := machine.Generate(sku, *pattern, machine.Config{Seed: *seed})
 	registry := loadRegistry(*registryPath)
 
+	popts := probe.Options{Seed: *seed}
+	lopts := locate.Options{Workers: *workers}
+	if !*noCache {
+		popts.Cache = probe.NewResultCache()
+		lopts.Cache = locate.NewCache()
+	}
+
 	var res *coremap.Result
 	if cached, ok := cachedResult(registry, m); ok {
 		fmt.Fprintln(os.Stderr, "coremap: using map cached in registry for this PPIN")
@@ -53,13 +61,18 @@ func main() {
 	} else {
 		var err error
 		res, err = coremap.MapMachine(m, coremap.DieInfo{Rows: sku.Rows, Cols: sku.Cols, IMC: sku.IMC}, coremap.Options{
-			Probe:         probe.Options{Seed: *seed},
-			Locate:        locate.Options{Workers: *workers},
+			Probe:         popts,
+			Locate:        lopts,
 			PaperFaithful: *paperFaithful,
 			MemoryAnchors: *anchors,
 		})
 		if err != nil {
 			fatal(err)
+		}
+		if popts.Cache != nil {
+			ls, ps := lopts.Cache.Stats(), popts.Cache.Stats()
+			fmt.Fprintf(os.Stderr, "[cache] locate %d hits / %d misses; probe %d hits / %d misses\n",
+				ls.Hits, ls.Misses, ps.Hits, ps.Misses)
 		}
 		if registry != nil {
 			registry.Store(res)

@@ -5,10 +5,13 @@
 //
 //	experiments -exp table1|table2|fig4|fig5|fig6|fig7a|fig7b|fig8a|fig8b|
 //	                 verify|accuracy|defense|ecc|modulation|ablations|all
-//	            [-n instances] [-bits payload] [-seed n] [-quick]
+//	            [-n instances] [-bits payload] [-seed n] [-quick] [-nocache]
 //
 // Full-size runs use the paper's parameters (100 instances per model,
-// 10 Kbit payloads); -quick shrinks both for a fast pass.
+// 10 Kbit payloads); -quick shrinks both for a fast pass. Survey
+// measurements and reconstructions are cached by content across
+// experiments (per-survey hit/miss statistics appear as "[cache]" lines);
+// -nocache reproduces the uncached baseline.
 package main
 
 import (
@@ -24,9 +27,10 @@ func main() {
 		exp    = flag.String("exp", "all", "experiment to run")
 		n      = flag.Int("n", 0, "instances per model (0 = paper's 100)")
 		bits   = flag.Int("bits", 0, "covert payload bits (0 = paper's 10000)")
-		seed   = flag.Int64("seed", 1, "survey seed")
-		quick  = flag.Bool("quick", false, "shrink surveys and payloads")
-		csvDir = flag.String("csv", "", "directory to also write plot-ready CSV files into")
+		seed    = flag.Int64("seed", 1, "survey seed")
+		quick   = flag.Bool("quick", false, "shrink surveys and payloads")
+		noCache = flag.Bool("nocache", false, "disable the measurement/reconstruction caches (uncached baseline)")
+		csvDir  = flag.String("csv", "", "directory to also write plot-ready CSV files into")
 	)
 	flag.Parse()
 
@@ -36,6 +40,12 @@ func main() {
 		PayloadBits: *bits,
 		Seed:        *seed,
 		Quick:       *quick,
+		NoCache:     *noCache,
+	}
+	if !*noCache {
+		// One cache set across every experiment of the run, so e.g.
+		// Fig. 4 reuses Table II's 8259CL survey wholesale.
+		cfg.Caches = experiments.NewCaches()
 	}
 
 	// maybeCSV runs the writer only when -csv was given.

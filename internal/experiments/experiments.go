@@ -14,10 +14,46 @@ import (
 	"coremap"
 	"coremap/internal/locate"
 	"coremap/internal/machine"
+	"coremap/internal/memo"
 	"coremap/internal/mesh"
 	"coremap/internal/probe"
 	"coremap/internal/stats"
 )
+
+// Caches bundles the pipeline's two memoization layers: the probe-side
+// measurement cache (keyed by chip PPIN) and the reconstruction cache
+// (keyed by the canonical observation fingerprint). A survey threading one
+// Caches through all its instances pays for one ILP solve per *distinct
+// observed pattern* — the cache hit rate mirrors Table II's
+// distinct-pattern counts — and re-surveys of the same population skip
+// measurement entirely.
+type Caches struct {
+	Locate *locate.Cache
+	Probe  *probe.ResultCache
+}
+
+// NewCaches returns an empty cache set.
+func NewCaches() *Caches {
+	return &Caches{Locate: locate.NewCache(), Probe: probe.NewResultCache()}
+}
+
+// CacheStats snapshots both layers' counters.
+type CacheStats struct {
+	Locate, Probe memo.Stats
+}
+
+// Stats snapshots the current counters (zero for a nil cache set).
+func (c *Caches) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{Locate: c.Locate.Stats(), Probe: c.Probe.Stats()}
+}
+
+// Sub returns the counter deltas since an earlier snapshot.
+func (s CacheStats) Sub(o CacheStats) CacheStats {
+	return CacheStats{Locate: s.Locate.Sub(o.Locate), Probe: s.Probe.Sub(o.Probe)}
+}
 
 // Config sizes an experiment run.
 type Config struct {
@@ -32,6 +68,16 @@ type Config struct {
 	Seed int64
 	// Quick shrinks surveys and payloads for fast runs (benchmarks).
 	Quick bool
+	// NoCache disables the measurement and reconstruction caches,
+	// reproducing the uncached baseline (every instance measured and
+	// solved from scratch). The printed tables are identical either way
+	// apart from the "[cache]" statistic lines.
+	NoCache bool
+	// Caches supplies the cache set to thread through every survey. nil
+	// (with NoCache false) allocates a fresh set per experiment call;
+	// passing a shared set lets repeated experiments reuse each other's
+	// work, e.g. Fig. 4 reusing Table II's 8259CL survey.
+	Caches *Caches
 }
 
 func (c Config) withDefaults() Config {
@@ -52,7 +98,23 @@ func (c Config) withDefaults() Config {
 			c.PayloadBits = 400
 		}
 	}
+	if c.NoCache {
+		c.Caches = nil
+	} else if c.Caches == nil {
+		c.Caches = NewCaches()
+	}
 	return c
+}
+
+// printCacheDelta reports one survey's cache-counter deltas. The "[cache]"
+// prefix makes the lines trivially filterable, so diffing a cached against
+// an uncached run (the CI cache-invariance job) compares only the science.
+func (c Config) printCacheDelta(label string, d CacheStats) {
+	if c.Caches == nil {
+		return
+	}
+	c.printf("[cache] %s: locate %d hits / %d misses / %d coalesced; probe %d hits / %d misses\n",
+		label, d.Locate.Hits, d.Locate.Misses, d.Locate.Coalesced, d.Probe.Hits, d.Probe.Misses)
 }
 
 func (c Config) printf(format string, args ...any) {
@@ -118,11 +180,33 @@ func forEachInstance(sku *machine.SKU, n int, seed int64, fn func(i int, m *mach
 	return nil
 }
 
+// probeOptions builds one instance's measurement options, wiring in the
+// survey's shared probe cache when one is configured.
+func (c Config) probeOptions(i int) probe.Options {
+	o := probe.Options{Seed: c.Seed + int64(i)}
+	if c.Caches != nil {
+		o.Cache = c.Caches.Probe
+	}
+	return o
+}
+
+// locateOptions builds the per-instance reconstruction options. Workers is
+// 1 because forEachInstance already fans out across instances — nested
+// parallelism would only oversubscribe the machine (and Workers does not
+// enter the cache fingerprint, so this choice never splits the cache).
+func (c Config) locateOptions() locate.Options {
+	o := locate.Options{Workers: 1}
+	if c.Caches != nil {
+		o.Cache = c.Caches.Locate
+	}
+	return o
+}
+
 // surveyStep1 runs only the OS-core-ID ↔ CHA-ID step over a population.
-func surveyStep1(sku *machine.SKU, n int, seed int64) ([][]int, error) {
+func surveyStep1(sku *machine.SKU, n int, cfg Config) ([][]int, error) {
 	out := make([][]int, n)
-	err := forEachInstance(sku, n, seed, func(i int, m *machine.Machine) error {
-		p, err := probe.New(m, probe.Options{Seed: seed + int64(i)})
+	err := forEachInstance(sku, n, cfg.Seed, func(i int, m *machine.Machine) error {
+		p, err := probe.New(m, cfg.probeOptions(i))
 		if err != nil {
 			return err
 		}
@@ -135,15 +219,14 @@ func surveyStep1(sku *machine.SKU, n int, seed int64) ([][]int, error) {
 	return out, nil
 }
 
-// survey runs the full pipeline over a population. forEachInstance already
-// fans out across instances, so each per-instance ILP solve runs on a
-// single worker — nested parallelism would only oversubscribe the machine.
-func survey(sku *machine.SKU, n int, seed int64) ([]Instance, error) {
+// survey runs the full pipeline over a population, threading the config's
+// cache set through both pipeline layers.
+func survey(sku *machine.SKU, n int, cfg Config) ([]Instance, error) {
 	out := make([]Instance, n)
-	err := forEachInstance(sku, n, seed, func(i int, m *machine.Machine) error {
+	err := forEachInstance(sku, n, cfg.Seed, func(i int, m *machine.Machine) error {
 		res, err := coremap.MapMachine(m, dieFor(sku), coremap.Options{
-			Probe:  probe.Options{Seed: seed + int64(i)},
-			Locate: locate.Options{Workers: 1},
+			Probe:  cfg.probeOptions(i),
+			Locate: cfg.locateOptions(),
 		})
 		if err != nil {
 			return err
@@ -178,10 +261,12 @@ func Table1(cfg Config) ([]Table1Result, error) {
 	var out []Table1Result
 	cfg.printf("Table I: OS core ID ↔ CHA ID mappings (%d instances per model)\n", cfg.Instances)
 	for _, sku := range []*machine.SKU{machine.SKU8124M, machine.SKU8175M, machine.SKU8259CL} {
-		mappings, err := surveyStep1(sku, cfg.Instances, cfg.Seed)
+		before := cfg.Caches.Stats()
+		mappings, err := surveyStep1(sku, cfg.Instances, cfg)
 		if err != nil {
 			return nil, err
 		}
+		cfg.printCacheDelta(sku.Name, cfg.Caches.Stats().Sub(before))
 		counter := stats.NewCounter()
 		repr := make(map[string][]int)
 		for _, mp := range mappings {
@@ -218,10 +303,12 @@ func Table2(cfg Config) ([]Table2Result, error) {
 	var out []Table2Result
 	cfg.printf("Table II: observed core location pattern statistics (%d instances per model)\n\n", cfg.Instances)
 	for _, sku := range []*machine.SKU{machine.SKU8124M, machine.SKU8175M, machine.SKU8259CL} {
-		insts, err := survey(sku, cfg.Instances, cfg.Seed)
+		before := cfg.Caches.Stats()
+		insts, err := survey(sku, cfg.Instances, cfg)
 		if err != nil {
 			return nil, err
 		}
+		cfg.printCacheDelta(sku.Name, cfg.Caches.Stats().Sub(before))
 		counter := stats.NewCounter()
 		for _, in := range insts {
 			counter.Add(in.Result.PatternKey())
@@ -246,10 +333,12 @@ func Table2(cfg Config) ([]Table2Result, error) {
 // location maps, rendered with OS-core-ID/CHA-ID labels.
 func Fig4(cfg Config) ([]string, error) {
 	cfg = cfg.withDefaults()
-	insts, err := survey(machine.SKU8259CL, cfg.Instances, cfg.Seed)
+	before := cfg.Caches.Stats()
+	insts, err := survey(machine.SKU8259CL, cfg.Instances, cfg)
 	if err != nil {
 		return nil, err
 	}
+	cfg.printCacheDelta(machine.SKU8259CL.Name, cfg.Caches.Stats().Sub(before))
 	counter := stats.NewCounter()
 	repr := make(map[string]*coremap.Result)
 	for _, in := range insts {
@@ -284,10 +373,12 @@ type Fig5Result struct {
 func Fig5(cfg Config) (*Fig5Result, error) {
 	cfg = cfg.withDefaults()
 	n := 10
-	insts, err := survey(machine.SKU6354, n, cfg.Seed)
+	before := cfg.Caches.Stats()
+	insts, err := survey(machine.SKU6354, n, cfg)
 	if err != nil {
 		return nil, err
 	}
+	cfg.printCacheDelta(machine.SKU6354.Name, cfg.Caches.Stats().Sub(before))
 	counter := stats.NewCounter()
 	var relSum float64
 	for _, in := range insts {

@@ -282,11 +282,11 @@ func TestAccuracyBeatsBaselines(t *testing.T) {
 // instances generated from the same fusing pattern must share a pattern
 // key after independent measurement.
 func TestPatternKeyMatchesSurvey(t *testing.T) {
-	a, err := survey(machine.SKU8259CL, 1, 100)
+	a, err := survey(machine.SKU8259CL, 1, Config{Seed: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := survey(machine.SKU8259CL, 1, 100)
+	b, err := survey(machine.SKU8259CL, 1, Config{Seed: 100})
 	if err != nil {
 		t.Fatal(err)
 	}

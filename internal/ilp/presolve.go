@@ -76,7 +76,7 @@ func presolve(m *Model) *presolved {
 		}
 	}
 
-	// Intersect bounds per class.
+	// Intersect bounds per class (accumulated at the union-find root).
 	lo := append([]int64(nil), m.lo...)
 	hi := append([]int64(nil), m.hi...)
 	feasible := true
@@ -93,22 +93,35 @@ func presolve(m *Model) *presolved {
 		}
 	}
 
+	// Each class is represented by its smallest member, independent of the
+	// order the equalities arrived in. This keeps the reduced model's
+	// variable order — and with it the lexicographic tie-break between
+	// equal-objective solutions — a function of the equivalence classes
+	// alone, so logically equivalent models built from reordered or
+	// dominance-pruned constraint systems solve to identical values.
+	rep := make([]int, n)
+	for v := n - 1; v >= 0; v-- {
+		rep[uf.find(v)] = v
+	}
+
 	out := NewModel()
 	repVar := make([]Var, n)
 	newIdx := make([]int, n)
 	for v := 0; v < n; v++ {
-		if uf.find(v) != v {
+		r := uf.find(v)
+		if rep[r] != v {
 			continue
 		}
-		if lo[v] > hi[v] {
+		clo, chi := lo[r], hi[r]
+		if clo > chi {
 			feasible = false
-			lo[v] = hi[v] // keep the model well-formed; caller bails
+			clo = chi // keep the model well-formed; caller bails
 		}
 		newIdx[v] = out.NumVars()
-		out.NewVar(m.names[v], lo[v], hi[v])
+		out.NewVar(m.names[v], clo, chi)
 	}
 	for v := 0; v < n; v++ {
-		repVar[v] = Var(newIdx[uf.find(v)])
+		repVar[v] = Var(newIdx[rep[uf.find(v)]])
 	}
 
 	for _, c := range m.cons {
@@ -138,6 +151,111 @@ func (p *presolved) expand(values []int64) []int64 {
 		out[v] = values[rep]
 	}
 	return out
+}
+
+// reduce extends presolve with constraint-dominance elimination and
+// interval bound-tightening. It mutates m (always the fresh model built
+// by presolve, never a caller's) in three deterministic passes:
+//
+//  1. Constraints with identical term signatures are merged, keeping the
+//     tightest [lo, hi] — the core-map sweep emits the same bounding-box
+//     inequality once per experiment that crosses a tile, so whole
+//     families collapse to their dominant member here.
+//  2. Interval propagation runs to fixpoint once at the root and the
+//     tightened variable bounds are baked into the model, shrinking
+//     every subsequent branch-and-bound domain (this is what turns the
+//     memory-anchored single-variable constraints into plain bounds).
+//  3. Constraints already implied by the tightened bounds alone are
+//     dropped.
+//
+// Every pass preserves the feasible set exactly, so Solution.Values is
+// byte-identical with and without reduce (pinned by the determinism
+// corpus). Returns false when the model is proven infeasible.
+func reduce(m *Model) bool {
+	// Pass 1: merge identical-signature constraints.
+	seen := make(map[string]int, len(m.cons))
+	merged := make([]constraint, 0, len(m.cons))
+	for _, c := range m.cons {
+		key := signature(c.terms)
+		if i, ok := seen[key]; ok {
+			if c.lo > merged[i].lo {
+				merged[i].lo = c.lo
+			}
+			if c.hi < merged[i].hi {
+				merged[i].hi = c.hi
+			}
+			continue
+		}
+		seen[key] = len(merged)
+		merged = append(merged, c)
+	}
+	m.cons = merged
+	for _, c := range m.cons {
+		if c.lo > c.hi {
+			return false
+		}
+	}
+
+	// Pass 2: root bound-tightening.
+	s := &solver{m: m}
+	s.build(nil)
+	lo := append([]int64(nil), m.lo...)
+	hi := append([]int64(nil), m.hi...)
+	if !s.propagate(lo, hi, nil, PosInf) {
+		return false
+	}
+	copy(m.lo, lo)
+	copy(m.hi, hi)
+
+	// Pass 3: drop constraints implied by the tightened bounds.
+	kept := m.cons[:0]
+	for _, c := range m.cons {
+		var minAct, maxAct int64
+		for _, t := range c.terms {
+			if t.Coef > 0 {
+				minAct += t.Coef * lo[t.Var]
+				maxAct += t.Coef * hi[t.Var]
+			} else {
+				minAct += t.Coef * hi[t.Var]
+				maxAct += t.Coef * lo[t.Var]
+			}
+		}
+		if minAct >= c.lo && maxAct <= c.hi {
+			continue
+		}
+		kept = append(kept, c)
+	}
+	m.cons = kept
+	return true
+}
+
+// signature is the canonical identity of a constraint's linear form:
+// terms sorted by variable. Constraints sharing a signature differ only
+// in their bounds, so the tightest pair dominates.
+func signature(terms []Term) string {
+	sorted := append([]Term(nil), terms...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Var < sorted[j-1].Var; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	buf := make([]byte, 0, len(sorted)*10)
+	for _, t := range sorted {
+		buf = appendVarint(buf, int64(t.Var))
+		buf = appendVarint(buf, t.Coef)
+	}
+	return string(buf)
+}
+
+// appendVarint is a minimal zig-zag varint encoder (avoids importing
+// encoding/binary for two call sites).
+func appendVarint(buf []byte, v int64) []byte {
+	u := uint64(v<<1) ^ uint64(v>>63)
+	for u >= 0x80 {
+		buf = append(buf, byte(u)|0x80)
+		u >>= 7
+	}
+	return append(buf, byte(u))
 }
 
 // mapBranchOrder rewrites a branch order onto reduced variables, dropping

@@ -1,0 +1,127 @@
+package ilp
+
+import (
+	"testing"
+)
+
+// TestSolveDeterministicAcrossReduce pins the presolve-extension promise:
+// reduce never changes what Solve returns, only how fast it gets there.
+// Every corpus model must produce byte-identical Solution.Values with and
+// without the reduction passes.
+func TestSolveDeterministicAcrossReduce(t *testing.T) {
+	for _, cm := range corpus() {
+		t.Run(cm.name, func(t *testing.T) {
+			ref, refErr := Solve(cm.build(), Options{Workers: 1, NoReduce: true})
+			sol, err := Solve(cm.build(), Options{Workers: 1})
+			if (err == nil) != (refErr == nil) {
+				t.Fatalf("reduce err=%v, noreduce err=%v", err, refErr)
+			}
+			if err != nil {
+				return
+			}
+			if sol.Objective != ref.Objective {
+				t.Fatalf("objective %d with reduce, %d without", sol.Objective, ref.Objective)
+			}
+			for i := range sol.Values {
+				if sol.Values[i] != ref.Values[i] {
+					t.Fatalf("values disagree at var %d: %d (reduce) vs %d (noreduce)",
+						i, sol.Values[i], ref.Values[i])
+				}
+			}
+		})
+	}
+}
+
+// TestReduceMergesDuplicateSignatures: constraints over the same linear
+// form collapse to one with the intersected bounds.
+func TestReduceMergesDuplicateSignatures(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 10)
+	y := m.NewVar("y", 0, 10)
+	m.AddRange("a", []Term{T(1, x), T(1, y)}, 2, 9)
+	m.AddRange("b", []Term{T(1, y), T(1, x)}, 4, 15) // same form, term order flipped
+	if !reduce(m) {
+		t.Fatal("reduce reported infeasible")
+	}
+	if len(m.cons) != 1 {
+		t.Fatalf("kept %d constraints, want 1", len(m.cons))
+	}
+	if m.cons[0].lo != 4 || m.cons[0].hi != 9 {
+		t.Fatalf("merged bounds [%d,%d], want [4,9]", m.cons[0].lo, m.cons[0].hi)
+	}
+}
+
+// TestReduceDetectsDuplicateConflict: two same-signature constraints with
+// disjoint bounds are an infeasibility reduce must catch.
+func TestReduceDetectsDuplicateConflict(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 10)
+	y := m.NewVar("y", 0, 10)
+	m.AddRange("a", []Term{T(1, x), T(1, y)}, 0, 3)
+	m.AddRange("b", []Term{T(1, x), T(1, y)}, 7, 12)
+	if reduce(m) {
+		t.Fatal("conflicting duplicate constraints not detected")
+	}
+}
+
+// TestReduceTightensBoundsAndDropsImplied: a single-variable constraint
+// becomes a variable bound and disappears from the constraint set.
+func TestReduceTightensBoundsAndDropsImplied(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 10)
+	y := m.NewVar("y", 0, 10)
+	m.AddGE("x-lo", []Term{T(1, x)}, 3)
+	m.AddLE("x-hi", []Term{T(1, x)}, 7)
+	// Interval propagation through a two-variable link: y ≥ x ≥ 3.
+	m.AddGE("link", []Term{T(1, y), T(-1, x)}, 0)
+	if !reduce(m) {
+		t.Fatal("reduce reported infeasible")
+	}
+	if m.lo[x] != 3 || m.hi[x] != 7 {
+		t.Fatalf("x bounds [%d,%d], want [3,7]", m.lo[x], m.hi[x])
+	}
+	if m.lo[y] != 3 {
+		t.Fatalf("y lower bound %d, want 3 (propagated through link)", m.lo[y])
+	}
+	for _, c := range m.cons {
+		if c.label == "x-lo" || c.label == "x-hi" {
+			t.Fatalf("single-variable constraint %q survived bound baking", c.label)
+		}
+	}
+}
+
+// TestReduceInfeasibleByPropagation: a constraint chain with no integer
+// solution is caught at the root, before any branching.
+func TestReduceInfeasibleByPropagation(t *testing.T) {
+	m := NewModel()
+	x := m.NewVar("x", 0, 4)
+	y := m.NewVar("y", 0, 4)
+	m.AddGE("a", []Term{T(1, y), T(-1, x)}, 3)
+	m.AddGE("b", []Term{T(1, x), T(-1, y)}, 3)
+	if reduce(m) {
+		t.Fatal("mutually contradictory orderings not detected")
+	}
+}
+
+// TestSolveNoPresolveStillWorks: NoPresolve (which implies NoReduce) must
+// agree with the default path on the corpus too.
+func TestSolveNoPresolveStillWorks(t *testing.T) {
+	for _, cm := range corpus() {
+		ref, refErr := Solve(cm.build(), Options{Workers: 1, NoPresolve: true})
+		sol, err := Solve(cm.build(), Options{Workers: 1})
+		if (err == nil) != (refErr == nil) {
+			t.Fatalf("%s: presolve err=%v, nopresolve err=%v", cm.name, err, refErr)
+		}
+		if err != nil {
+			continue
+		}
+		if sol.Objective != ref.Objective {
+			t.Fatalf("%s: objective %d with presolve, %d without", cm.name, sol.Objective, ref.Objective)
+		}
+		for i := range sol.Values {
+			if sol.Values[i] != ref.Values[i] {
+				t.Fatalf("%s: values disagree at var %d", cm.name, i)
+			}
+		}
+	}
+}

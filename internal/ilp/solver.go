@@ -26,8 +26,14 @@ type Options struct {
 	// decided by propagation or cheap follow-up branching.
 	BranchOrder []Var
 	// NoPresolve disables the equality-merging presolve (mainly for
-	// tests and ablation benchmarks).
+	// tests and ablation benchmarks). It implies NoReduce.
 	NoPresolve bool
+	// NoReduce disables the presolve extensions — duplicate-constraint
+	// merging, root interval bound-tightening and implied-constraint
+	// elimination — while keeping the equality merge. Solution.Values is
+	// byte-identical either way (see the determinism corpus); the switch
+	// exists for ablation and regression testing.
+	NoReduce bool
 	// Workers sets the number of branch-and-bound workers pulling subtree
 	// tasks from a shared deque (0 = runtime.GOMAXPROCS). Results are
 	// independent of the worker count: ties between equal-objective
@@ -58,6 +64,9 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 	if !opts.NoPresolve {
 		pre = presolve(m)
 		if !pre.feasible {
+			return nil, ErrInfeasible
+		}
+		if !opts.NoReduce && !reduce(pre.model) {
 			return nil, ErrInfeasible
 		}
 		target = pre.model

@@ -1,0 +1,85 @@
+package locate
+
+import (
+	"reflect"
+	"testing"
+
+	"coremap/internal/mesh"
+)
+
+// Edge cases of the canonical-form machinery that the property tests in
+// locate_test.go don't reach: degenerate inputs and maps that are their
+// own mirror image.
+
+func TestCanonicalEmpty(t *testing.T) {
+	if got := Canonical(nil); len(got) != 0 {
+		t.Errorf("Canonical(nil) = %v, want empty", got)
+	}
+	if got := Canonical([]mesh.Coord{}); len(got) != 0 {
+		t.Errorf("Canonical([]) = %v, want empty", got)
+	}
+	if !Equivalent(nil, []mesh.Coord{}) {
+		t.Error("two empty maps must be equivalent")
+	}
+	if Equivalent(nil, []mesh.Coord{{Row: 0, Col: 0}}) {
+		t.Error("empty map equivalent to a one-tile map")
+	}
+}
+
+func TestCanonicalSingleTile(t *testing.T) {
+	// Any lone tile normalizes to the origin: translation removes its
+	// offset and mirroring a 1-wide box is the identity.
+	for _, p := range []mesh.Coord{{Row: 0, Col: 0}, {Row: 4, Col: 2}, {Row: 0, Col: 5}} {
+		got := Canonical([]mesh.Coord{p})
+		want := []mesh.Coord{{Row: 0, Col: 0}}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Canonical([%v]) = %v, want %v", p, got, want)
+		}
+	}
+	if !Equivalent([]mesh.Coord{{Row: 3, Col: 1}}, []mesh.Coord{{Row: 0, Col: 4}}) {
+		t.Error("two single-tile maps must always be equivalent")
+	}
+}
+
+// TestCanonicalMirrorSymmetric: a map that is its own horizontal mirror
+// (tile i at column c, tile i also present mirrored) must canonicalize
+// identically from either orientation, and mirroring must not change it.
+func TestCanonicalMirrorSymmetric(t *testing.T) {
+	// CHA 0 and 1 mirror onto each other's cells, 2 sits on the axis:
+	//   0 2 1
+	sym := []mesh.Coord{{Row: 0, Col: 0}, {Row: 0, Col: 2}, {Row: 0, Col: 1}}
+	if !Equivalent(sym, mirror(sym)) {
+		t.Fatal("mirror-symmetric map not equivalent to its mirror")
+	}
+	c := Canonical(sym)
+	cm := Canonical(normalize(mirror(sym)))
+	if !reflect.DeepEqual(c, cm) {
+		t.Errorf("canonical form differs across the mirror: %v vs %v", c, cm)
+	}
+}
+
+// TestCanonicalPicksLexSmaller: for an asymmetric map, Canonical must
+// return the lexicographically smaller of the two orientations no matter
+// which one it is handed.
+func TestCanonicalPicksLexSmaller(t *testing.T) {
+	// CHA 0 west, CHA 1 east of it — mirroring swaps the columns.
+	a := []mesh.Coord{{Row: 0, Col: 0}, {Row: 0, Col: 1}}
+	b := []mesh.Coord{{Row: 0, Col: 1}, {Row: 0, Col: 0}}
+	ca, cb := Canonical(a), Canonical(b)
+	if !reflect.DeepEqual(ca, cb) {
+		t.Fatalf("mirrored inputs canonicalize differently: %v vs %v", ca, cb)
+	}
+	want := []mesh.Coord{{Row: 0, Col: 0}, {Row: 0, Col: 1}}
+	if !reflect.DeepEqual(ca, want) {
+		t.Errorf("Canonical chose %v, want lexicographically smaller %v", ca, want)
+	}
+}
+
+// TestEquivalentLengthMismatch: maps of different sizes are never
+// equivalent, even when one is a prefix of the other.
+func TestEquivalentLengthMismatch(t *testing.T) {
+	a := []mesh.Coord{{Row: 0, Col: 0}, {Row: 0, Col: 1}}
+	if Equivalent(a, a[:1]) {
+		t.Error("maps of different length reported equivalent")
+	}
+}

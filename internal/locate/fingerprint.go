@@ -1,0 +1,99 @@
+package locate
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+
+	"coremap/internal/memo"
+)
+
+// The reconstruction cache is content-addressed: two Inputs that describe
+// the same placement problem must hash to the same key, regardless of how
+// the problem was assembled. The fingerprint therefore canonicalizes the
+// encoding:
+//
+//   - observations are encoded as self-contained records and sorted, so
+//     the order the probe emitted them in is irrelevant (the solver's
+//     lexicographic tie-break makes Map.Pos order-independent too — the
+//     position variables are created before any per-observation variable,
+//     so they dominate the tie-break prefix);
+//   - anchored observations resolve SrcIMC through IMCPositions into die
+//     coordinates, so the fingerprint does not depend on IMC numbering or
+//     on unreferenced IMCPositions entries;
+//   - only the Options fields that can change the reconstruction
+//     participate (PaperExactBounds, NoPrune, MaxNodes,
+//     MaxSeparationRounds). Workers is excluded: the parallel solver
+//     guarantees byte-identical Solution.Values at any worker count.
+//
+// fingerprintVersion is baked into the digest; bump it whenever the
+// encoding or the reconstruction semantics change so stale processes
+// cannot alias old entries.
+const fingerprintVersion = 1
+
+// Fingerprint returns the canonical content digest of a reconstruction
+// problem. Reconstruct must have validated in first (anchored
+// observations index into IMCPositions).
+func Fingerprint(in Input, opts Options) memo.Key {
+	var buf []byte
+	u := func(v int64) {
+		buf = binary.AppendVarint(buf, v)
+	}
+	u(fingerprintVersion)
+	u(int64(in.NumCHA))
+	u(int64(in.Rows))
+	u(int64(in.Cols))
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	u(b2i(opts.PaperExactBounds))
+	u(b2i(opts.NoPrune))
+	u(int64(opts.MaxNodes))
+	u(int64(opts.MaxSeparationRounds))
+
+	recs := make([][]byte, 0, len(in.Observations))
+	for _, o := range in.Observations {
+		var r []byte
+		ru := func(v int64) { r = binary.AppendVarint(r, v) }
+		if o.Anchored {
+			pos := in.IMCPositions[o.SrcIMC]
+			ru(1)
+			ru(int64(pos.Row))
+			ru(int64(pos.Col))
+		} else {
+			ru(0)
+			ru(int64(o.SrcCHA))
+		}
+		ru(int64(o.DstCHA))
+		for _, list := range [][]int{o.Up, o.Down, o.Horz} {
+			ru(int64(len(list)))
+			for _, k := range list {
+				ru(int64(k))
+			}
+		}
+		recs = append(recs, r)
+	}
+	sort.Slice(recs, func(i, j int) bool { return lessBytes(recs[i], recs[j]) })
+	u(int64(len(recs)))
+	for _, r := range recs {
+		u(int64(len(r)))
+		buf = append(buf, r...)
+	}
+	return sha256.Sum256(buf)
+}
+
+func lessBytes(a, b []byte) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

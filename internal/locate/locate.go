@@ -68,6 +68,17 @@ type Options struct {
 	// dimension-order-routing form. The strict form is the default; both
 	// must admit the true map.
 	PaperExactBounds bool
+	// NoPrune disables the observation-dominance pruner (see prune.go)
+	// and emits the raw per-observation constraint system. The
+	// reconstructed map is identical either way (TestPruneInvariant);
+	// the switch exists for ablation and regression testing.
+	NoPrune bool
+	// Cache, when non-nil, memoizes reconstructions by the canonical
+	// content fingerprint of the input (see Fingerprint). Survey loops
+	// share one Cache across instances: machines with the same
+	// core-location pattern produce identical observations, so the hit
+	// rate mirrors the paper's Table II distinct-pattern counts.
+	Cache *Cache
 }
 
 // Map is a reconstructed physical layout.
@@ -267,21 +278,32 @@ func (b *builder) branchOrder() []ilp.Var {
 	return out
 }
 
-// Reconstruct solves the placement problem.
+// Reconstruct solves the placement problem. With Options.Cache set, the
+// solve is memoized under the input's canonical fingerprint.
 func Reconstruct(in Input, opts Options) (*Map, error) {
 	if in.NumCHA <= 0 || in.Rows <= 0 || in.Cols <= 0 {
 		return nil, fmt.Errorf("locate: invalid input %d CHAs on %dx%d", in.NumCHA, in.Rows, in.Cols)
 	}
-	anchored := false
 	for _, o := range in.Observations {
-		if !o.Anchored {
-			continue
-		}
-		if o.SrcIMC < 0 || o.SrcIMC >= len(in.IMCPositions) {
+		if o.Anchored && (o.SrcIMC < 0 || o.SrcIMC >= len(in.IMCPositions)) {
 			return nil, fmt.Errorf("locate: anchored observation references IMC %d but only %d positions are known",
 				o.SrcIMC, len(in.IMCPositions))
 		}
-		anchored = true
+	}
+	if opts.Cache != nil {
+		return opts.Cache.reconstruct(in, opts)
+	}
+	return reconstruct(in, opts)
+}
+
+// reconstruct is the uncached solve path; in has been validated.
+func reconstruct(in Input, opts Options) (*Map, error) {
+	anchored := false
+	for _, o := range in.Observations {
+		if o.Anchored {
+			anchored = true
+			break
+		}
 	}
 	maxRounds := opts.MaxSeparationRounds
 	if maxRounds == 0 {
@@ -289,8 +311,12 @@ func Reconstruct(in Input, opts Options) (*Map, error) {
 	}
 
 	b := newBuilder(in)
-	for p, o := range in.Observations {
-		b.addObservation(p, o, opts.PaperExactBounds)
+	if opts.NoPrune {
+		for p, o := range in.Observations {
+			b.addObservation(p, o, opts.PaperExactBounds)
+		}
+	} else {
+		b.addPruned(opts.PaperExactBounds)
 	}
 	b.addObjective()
 

@@ -291,6 +291,23 @@ func TestPopulationPPINsUnique(t *testing.T) {
 	}
 }
 
+// TestPopulationPPINsUniqueAcrossSKUs: PPINs identify physical chips, so
+// same-seed surveys of different models must not share them. (PPIN-keyed
+// caching in the probe layer depends on this.)
+func TestPopulationPPINsUniqueAcrossSKUs(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, sku := range SKUs {
+		pop := NewPopulation(sku, 9, Config{})
+		for i := 0; i < 25; i++ {
+			m, _ := pop.Next()
+			if other, dup := seen[m.PPIN]; dup {
+				t.Fatalf("%s instance %d shares PPIN %#x with a %s instance", sku.Name, i, m.PPIN, other)
+			}
+			seen[m.PPIN] = sku.Name
+		}
+	}
+}
+
 // Property: OS↔physical maps are mutually inverse permutations and ground-
 // truth CHA assignments agree with tile contents, for arbitrary patterns.
 func TestEnumerationConsistency(t *testing.T) {

@@ -1,6 +1,9 @@
 package machine
 
-import "math/rand"
+import (
+	"hash/fnv"
+	"math/rand"
+)
 
 // Population samples CPU instances of one SKU the way a cloud survey
 // encounters them: fusing-pattern indices are drawn from the SKU's
@@ -26,7 +29,13 @@ func NewPopulation(sku *SKU, seed int64, cfg Config) *Population {
 	if sum <= 0 {
 		panic("machine: SKU has no positive pattern weights")
 	}
-	return &Population{sku: sku, cfg: cfg, rng: rand.New(rand.NewSource(seed)), cum: cum}
+	// Mix the SKU into the stream: real PPINs are globally unique, so two
+	// surveys of different models must never produce instances sharing a
+	// PPIN (the PPIN-keyed measurement cache depends on that).
+	h := fnv.New64a()
+	h.Write([]byte(sku.Name))
+	return &Population{sku: sku, cfg: cfg,
+		rng: rand.New(rand.NewSource(seed ^ int64(h.Sum64()))), cum: cum}
 }
 
 // samplePattern draws a fusing-pattern index.

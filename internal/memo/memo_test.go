@@ -1,0 +1,143 @@
+package memo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func key(b byte) Key {
+	var k Key
+	k[0] = b
+	k[31] = b
+	return k
+}
+
+func TestDoCachesValuesAndErrors(t *testing.T) {
+	g := NewGroup()
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, err := g.Do(key(1), func() (any, error) { calls++; return 42, nil })
+		if err != nil || v.(int) != 42 {
+			t.Fatalf("Do = %v, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	wantErr := errors.New("deterministic failure")
+	for i := 0; i < 2; i++ {
+		_, err := g.Do(key(2), func() (any, error) { calls++; return nil, wantErr })
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("Do err = %v, want %v", err, wantErr)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times total, want 2 (errors are cached)", calls)
+	}
+	st := g.Stats()
+	if st.Misses != 2 || st.Hits != 3 {
+		t.Fatalf("stats = %+v, want 2 misses / 3 hits", st)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+}
+
+func TestDoSingleFlight(t *testing.T) {
+	g := NewGroup()
+	const goroutines = 16
+	var computes atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+
+	var wg sync.WaitGroup
+	results := make([]int, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := g.Do(key(7), func() (any, error) {
+				computes.Add(1)
+				once.Do(func() { close(started) })
+				<-release
+				return 99, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+				return
+			}
+			results[i] = v.(int)
+		}(i)
+	}
+	<-started
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under contention, want 1", n)
+	}
+	for i, r := range results {
+		if r != 99 {
+			t.Fatalf("goroutine %d got %d, want 99", i, r)
+		}
+	}
+	st := g.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 miss", st)
+	}
+	if st.Hits+st.Coalesced != goroutines-1 {
+		t.Fatalf("stats = %+v, want hits+coalesced = %d", st, goroutines-1)
+	}
+}
+
+func TestDoPanicDoesNotPoison(t *testing.T) {
+	g := NewGroup()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic was swallowed")
+			}
+		}()
+		g.Do(key(3), func() (any, error) { panic("boom") })
+	}()
+	// The key must be retryable after a panic.
+	v, err := g.Do(key(3), func() (any, error) { return "ok", nil })
+	if err != nil || v.(string) != "ok" {
+		t.Fatalf("retry after panic = %v, %v", v, err)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	g := NewGroup()
+	before := g.Stats()
+	g.Do(key(9), func() (any, error) { return 1, nil })
+	g.Do(key(9), func() (any, error) { return 1, nil })
+	d := g.Stats().Sub(before)
+	if d.Misses != 1 || d.Hits != 1 || d.Total() != 2 {
+		t.Fatalf("delta = %+v, want 1 miss / 1 hit", d)
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	// Keys differing only in later bytes must still be distinct entries.
+	g := NewGroup()
+	for i := 0; i < 100; i++ {
+		i := i
+		var k Key
+		k[0] = byte(i % 3) // deliberately collide shards
+		k[20] = byte(i)
+		if _, err := g.Do(k, func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Len() != 100 {
+		t.Fatalf("Len = %d, want 100 distinct entries", g.Len())
+	}
+	if fmt.Sprint(key(1)) == fmt.Sprint(key(2)) {
+		t.Fatal("Key.String does not distinguish keys")
+	}
+}

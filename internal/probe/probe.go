@@ -55,6 +55,10 @@ type Options struct {
 	MaxCandidates int
 	// Seed drives the probe's address exploration.
 	Seed int64
+	// Cache, when non-nil, memoizes measurement results by chip identity
+	// (PPIN) and measurement options; see ResultCache. It is excluded from
+	// the cache key itself.
+	Cache *ResultCache
 }
 
 func (o Options) withDefaults() Options {
@@ -432,8 +436,36 @@ func (p *Prober) repetitionFactor() int {
 }
 
 // MapCoresToCHAs runs step 1: it tests all (core, slice) combinations and
-// returns the OS-CPU → CHA-ID mapping.
+// returns the OS-CPU → CHA-ID mapping. With a ResultCache configured the
+// whole step — calibration, eviction-set discovery and the co-location
+// sweep — is memoized under the chip's PPIN, and a hit restores the
+// prober's internal state (eviction sets, noise floor) so later traffic
+// experiments continue exactly as if the step had run.
 func (p *Prober) MapCoresToCHAs() ([]int, error) {
+	c := p.opts.Cache
+	if c == nil {
+		return p.mapCoresToCHAs()
+	}
+	ppin, err := p.ReadPPIN()
+	if err != nil {
+		return nil, err
+	}
+	v, err := c.step1.Do(p.step1Key(ppin), func() (any, error) {
+		mapping, err := p.mapCoresToCHAs()
+		if err != nil {
+			return nil, err
+		}
+		return p.snapshotStep1(mapping), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	st := v.(*step1State)
+	p.installStep1(st)
+	return append([]int(nil), st.mapping...), nil
+}
+
+func (p *Prober) mapCoresToCHAs() ([]int, error) {
 	if err := p.ensureCalibrated(); err != nil {
 		return nil, err
 	}
@@ -672,12 +704,28 @@ func (p *Prober) Run() (*Result, error) {
 	return p.RunWith(RunOptions{SliceSources: true})
 }
 
-// RunWith executes the full measurement pipeline.
+// RunWith executes the full measurement pipeline. With a ResultCache
+// configured the complete Result is memoized under the chip's PPIN and
+// the run/measurement options; callers receive a private deep copy.
 func (p *Prober) RunWith(ro RunOptions) (*Result, error) {
 	ppin, err := p.ReadPPIN()
 	if err != nil {
 		return nil, err
 	}
+	c := p.opts.Cache
+	if c == nil {
+		return p.runWith(ppin, ro)
+	}
+	v, err := c.full.Do(p.runKey(ppin, ro), func() (any, error) {
+		return p.runWith(ppin, ro)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Result).clone(), nil
+}
+
+func (p *Prober) runWith(ppin uint64, ro RunOptions) (*Result, error) {
 	osToCHA, err := p.MapCoresToCHAs()
 	if err != nil {
 		return nil, err
