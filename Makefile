@@ -14,9 +14,11 @@ test:
 	go test ./... -timeout 1800s
 
 # Race-check the concurrent parts of the tree: the parallel ILP solver,
-# the survey worker pools and the covert-channel harness.
+# the survey worker pools and the covert-channel harness — plus the
+# goroutine-leak check over cancelled solves (mirrors the CI race job).
 race:
 	go test -race ./internal/ilp/ ./internal/experiments/ ./internal/covert/ -timeout 1800s
+	go test -race -run 'TestSolveCancel|TestMapMachineCancel' -count=1 ./internal/ilp/ . -timeout 300s
 
 # Mirrors the lint job of .github/workflows/ci.yml; requires staticcheck
 # (go install honnef.co/go/tools/cmd/staticcheck@latest) on PATH.

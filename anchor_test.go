@@ -6,6 +6,7 @@ package coremap_test
 // translation ambiguities of the core-pair-only method.
 
 import (
+	"context"
 	"testing"
 
 	"coremap"
@@ -19,7 +20,7 @@ func anchoredMap(t *testing.T, sku *machine.SKU, idx int, seed int64, anchors bo
 	t.Helper()
 	m := machine.Generate(sku, idx, machine.Config{Seed: seed})
 	die := coremap.DieInfo{Rows: sku.Rows, Cols: sku.Cols, IMC: sku.IMC}
-	res, err := coremap.MapMachine(m, die, coremap.Options{
+	res, err := coremap.MapMachine(context.Background(), m, die, coremap.Options{
 		Probe:         probe.Options{Seed: 1},
 		MemoryAnchors: anchors,
 	})
@@ -89,7 +90,7 @@ func TestAnchorsImproveHeavilyFusedParts(t *testing.T) {
 // positions must fail loudly, not silently mis-place tiles.
 func TestAnchoredRejectsMissingIMCInfo(t *testing.T) {
 	obs := []probe.Observation{{SrcCHA: -1, DstCHA: 0, Anchored: true, SrcIMC: 1, Down: []int{0}}}
-	_, err := locate.Reconstruct(locate.Input{NumCHA: 2, Rows: 3, Cols: 3, Observations: obs}, locate.Options{})
+	_, err := locate.Reconstruct(context.Background(), locate.Input{NumCHA: 2, Rows: 3, Cols: 3, Observations: obs}, locate.Options{})
 	if err == nil {
 		t.Fatal("anchored observation without IMC positions accepted")
 	}
@@ -104,13 +105,13 @@ func TestAnchoredObservationMatchesRoute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mapping, err := p.MapCoresToCHAs()
+	mapping, err := p.MapCoresToCHAs(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, cpu := range []int{0, 9, 23} {
 		for imc := 0; imc < len(sku.IMC); imc++ {
-			obs, err := p.MeasureMemoryTraffic(cpu, mapping[cpu], imc, len(sku.IMC))
+			obs, err := p.MeasureMemoryTraffic(context.Background(), cpu, mapping[cpu], imc, len(sku.IMC))
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -9,6 +9,7 @@ package coremap_test
 // `go run ./cmd/experiments -exp all`.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -39,7 +40,7 @@ func BenchmarkTable1_CHAIDMapping(b *testing.B) {
 		var res []experiments.Table1Result
 		for i := 0; i < b.N; i++ {
 			var err error
-			res, err = experiments.Table1(cfg)
+			res, err = experiments.Table1(context.Background(), cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -63,7 +64,7 @@ func BenchmarkTable1_CHAIDMapping(b *testing.B) {
 	b.Run("cache=on", func(b *testing.B) {
 		cfg := benchConfig(b)
 		cfg.Caches = experiments.NewCaches()
-		if _, err := experiments.Table1(cfg); err != nil { // warm
+		if _, err := experiments.Table1(context.Background(), cfg); err != nil { // warm
 			b.Fatal(err)
 		}
 		b.ResetTimer()
@@ -77,7 +78,7 @@ func BenchmarkTable2_PatternStats(b *testing.B) {
 	var res []experiments.Table2Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = experiments.Table2(benchConfig(b))
+		res, err = experiments.Table2(context.Background(), benchConfig(b))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func BenchmarkTable2_PatternStats(b *testing.B) {
 func BenchmarkFig4_TopPatterns(b *testing.B) {
 	var rendered int
 	for i := 0; i < b.N; i++ {
-		grids, err := experiments.Fig4(benchConfig(b))
+		grids, err := experiments.Fig4(context.Background(), benchConfig(b))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func BenchmarkFig5_IceLakeMapping(b *testing.B) {
 	var unique int
 	var relative float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig5(benchConfig(b))
+		res, err := experiments.Fig5(context.Background(), benchConfig(b))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -124,7 +125,7 @@ func BenchmarkFig5_IceLakeMapping(b *testing.B) {
 func BenchmarkFig6_ThermalTrace(b *testing.B) {
 	var hopBER []float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig6(benchConfig(b))
+		res, err := experiments.Fig6(context.Background(), benchConfig(b))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -144,11 +145,11 @@ func BenchmarkFig7_HopCounts(b *testing.B) {
 	var vertBER, horzBER float64
 	for i := 0; i < b.N; i++ {
 		cfg := benchConfig(b)
-		vert, err := experiments.Fig7(cfg, true)
+		vert, err := experiments.Fig7(context.Background(), cfg, true)
 		if err != nil {
 			b.Fatal(err)
 		}
-		horz, err := experiments.Fig7(cfg, false)
+		horz, err := experiments.Fig7(context.Background(), cfg, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -171,7 +172,7 @@ func BenchmarkFig7_HopCounts(b *testing.B) {
 func BenchmarkFig8a_MultiSender(b *testing.B) {
 	var ber4, ber1 float64
 	for i := 0; i < b.N; i++ {
-		cells, err := experiments.Fig8a(benchConfig(b))
+		cells, err := experiments.Fig8a(context.Background(), benchConfig(b))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -194,7 +195,7 @@ func BenchmarkFig8b_MultiChannel(b *testing.B) {
 	var best float64
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, best, err = experiments.Fig8b(benchConfig(b))
+		_, best, err = experiments.Fig8b(context.Background(), benchConfig(b))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -206,7 +207,7 @@ func BenchmarkFig8b_MultiChannel(b *testing.B) {
 func BenchmarkVerify_AllPairs(b *testing.B) {
 	var frac float64
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Verify(benchConfig(b))
+		res, err := experiments.Verify(context.Background(), benchConfig(b))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -222,7 +223,7 @@ func BenchmarkBaselines(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := benchConfig(b)
 		cfg.Instances = 6
-		res, err := experiments.Accuracy(cfg)
+		res, err := experiments.Accuracy(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -257,7 +258,7 @@ func BenchmarkPipeline_FullMap(b *testing.B) {
 	run := func(b *testing.B, opts coremap.Options) {
 		for i := 0; i < b.N; i++ {
 			m := machines[i%len(machines)]
-			if _, err := coremap.MapMachine(m, coremap.SkylakeXCCDie, opts); err != nil {
+			if _, err := coremap.MapMachine(context.Background(), m, coremap.SkylakeXCCDie, opts); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -271,7 +272,7 @@ func BenchmarkPipeline_FullMap(b *testing.B) {
 			Locate: locate.Options{Cache: locate.NewCache()},
 		}
 		for _, m := range machines { // warm
-			if _, err := coremap.MapMachine(m, coremap.SkylakeXCCDie, opts); err != nil {
+			if _, err := coremap.MapMachine(context.Background(), m, coremap.SkylakeXCCDie, opts); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -285,7 +286,7 @@ func BenchmarkPipeline_FullMap(b *testing.B) {
 func BenchmarkPipeline_Anchored(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m := machine.Generate(machine.SKU8259CL, i%8, machine.Config{Seed: int64(i)})
-		if _, err := coremap.MapMachine(m, coremap.SkylakeXCCDie, coremap.Options{
+		if _, err := coremap.MapMachine(context.Background(), m, coremap.SkylakeXCCDie, coremap.Options{
 			Probe:         probe.Options{Seed: int64(i)},
 			MemoryAnchors: true,
 		}); err != nil {
@@ -302,7 +303,7 @@ func BenchmarkProbe_Step1(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := p.MapCoresToCHAs(); err != nil {
+		if _, err := p.MapCoresToCHAs(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -316,13 +317,13 @@ func BenchmarkILP_Reconstruct(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	meas, err := p.Run()
+	meas, err := p.Run(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := locate.Reconstruct(locate.Input{
+		if _, err := locate.Reconstruct(context.Background(), locate.Input{
 			NumCHA:       meas.NumCHA,
 			Rows:         m.SKU.Rows,
 			Cols:         m.SKU.Cols,
@@ -344,7 +345,7 @@ func BenchmarkSolveParallel(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		meas, err := p.Run()
+		meas, err := p.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -362,7 +363,7 @@ func BenchmarkSolveParallel(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/workers=%d", sku.Name, workers), func(b *testing.B) {
 				var nodes int
 				for i := 0; i < b.N; i++ {
-					mp, err := locate.Reconstruct(in, locate.Options{Workers: workers})
+					mp, err := locate.Reconstruct(context.Background(), in, locate.Options{Workers: workers})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -395,7 +396,7 @@ func BenchmarkILP_Solver(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		m, _ := build()
-		if _, err := ilp.Solve(m, ilp.Options{}); err != nil {
+		if _, err := ilp.Solve(context.Background(), m, ilp.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -17,12 +17,16 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
 	"strconv"
 	"strings"
 	"time"
+
+	"coremap/internal/cli"
+	"coremap/internal/cmerr"
 )
 
 // Report is the whole converted run.
@@ -107,15 +111,37 @@ func parse(lines []string) Report {
 }
 
 func main() {
-	var lines []string
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		lines = append(lines, sc.Text())
+	timeout := flag.Duration("timeout", 0, "give up waiting for stdin after this duration (exit code 2)")
+	flag.Parse()
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
+	// The transcript arrives on stdin from a (possibly long) benchmark run;
+	// read it off the main goroutine so a signal or -timeout can interrupt
+	// the wait — a blocked os.Stdin read is not otherwise cancellable.
+	type scanned struct {
+		lines []string
+		err   error
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	done := make(chan scanned, 1)
+	go func() {
+		var lines []string
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		done <- scanned{lines, sc.Err()}
+	}()
+	var lines []string
+	select {
+	case <-ctx.Done():
+		cli.Fatal("benchjson", cmerr.FromContext(ctx, "benchjson"))
+	case got := <-done:
+		if got.err != nil {
+			cli.Fatal("benchjson", got.err)
+		}
+		lines = got.lines
 	}
 	rep := parse(lines)
 	enc := json.NewEncoder(os.Stdout)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	coremap [-sku name] [-pattern n] [-seed n] [-workers n] [-paper-faithful] [-check] [-json] [-nocache]
+//	coremap [-sku name] [-pattern n] [-seed n] [-workers n] [-timeout d] [-paper-faithful] [-check] [-json] [-nocache]
 //
 // The tool generates one simulated CPU instance (internal/machine stands in
 // for bare-metal hardware; see DESIGN.md), runs the three-step locating
@@ -13,12 +13,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"coremap"
+	"coremap/internal/cli"
 	"coremap/internal/locate"
 	"coremap/internal/machine"
 	"coremap/internal/mesh"
@@ -37,8 +39,12 @@ func main() {
 		asJSON        = flag.Bool("json", false, "emit the result as JSON")
 		noCache       = flag.Bool("nocache", false, "disable the in-process measurement/reconstruction caches")
 		registryPath  = flag.String("registry", "", "JSON registry file: reuse a cached map for this PPIN, store new maps")
+		timeout       = flag.Duration("timeout", 0, "abort the pipeline after this duration (exit code 2)")
 	)
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	sku, err := findSKU(*skuName)
 	if err != nil {
@@ -55,12 +61,12 @@ func main() {
 	}
 
 	var res *coremap.Result
-	if cached, ok := cachedResult(registry, m); ok {
+	if cached, ok := cachedResult(ctx, registry, m); ok {
 		fmt.Fprintln(os.Stderr, "coremap: using map cached in registry for this PPIN")
 		res = cached
 	} else {
 		var err error
-		res, err = coremap.MapMachine(m, coremap.DieInfo{Rows: sku.Rows, Cols: sku.Cols, IMC: sku.IMC}, coremap.Options{
+		res, err = coremap.MapMachine(ctx, m, coremap.DieInfo{Rows: sku.Rows, Cols: sku.Cols, IMC: sku.IMC}, coremap.Options{
 			Probe:         popts,
 			Locate:        lopts,
 			PaperFaithful: *paperFaithful,
@@ -93,6 +99,9 @@ func main() {
 	fmt.Printf("OS core ID → CHA ID: %v\n\n", res.OSToCHA)
 	fmt.Printf("Recovered core map (OS/CHA; dots are tiles with no active CHA):\n%s\n", res.Render())
 	fmt.Printf("ILP: optimal=%v, %d search nodes\n", res.Optimal, res.SolverNodes)
+	if res.Degraded {
+		fmt.Printf("DEGRADED: measurement coverage %.1f%% (host faults dropped experiments)\n", res.Coverage*100)
+	}
 
 	if *check {
 		tr := make([]mesh.Coord, m.NumCHAs())
@@ -147,7 +156,7 @@ func loadRegistry(path string) *coremap.Registry {
 
 // cachedResult looks the machine's PPIN up in the registry, reading the
 // PPIN the same way the probe would.
-func cachedResult(reg *coremap.Registry, m *machine.Machine) (*coremap.Result, bool) {
+func cachedResult(ctx context.Context, reg *coremap.Registry, m *machine.Machine) (*coremap.Result, bool) {
 	if reg == nil {
 		return nil, false
 	}
@@ -155,7 +164,7 @@ func cachedResult(reg *coremap.Registry, m *machine.Machine) (*coremap.Result, b
 	if err != nil {
 		return nil, false
 	}
-	ppin, err := p.ReadPPIN()
+	ppin, err := p.ReadPPIN(ctx)
 	if err != nil {
 		return nil, false
 	}
@@ -174,6 +183,5 @@ func saveRegistry(path string, reg *coremap.Registry) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "coremap:", err)
-	os.Exit(1)
+	cli.Fatal("coremap", err)
 }

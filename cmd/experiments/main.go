@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"coremap/internal/cli"
 	"coremap/internal/experiments"
 )
 
@@ -31,8 +32,12 @@ func main() {
 		quick   = flag.Bool("quick", false, "shrink surveys and payloads")
 		noCache = flag.Bool("nocache", false, "disable the measurement/reconstruction caches (uncached baseline)")
 		csvDir  = flag.String("csv", "", "directory to also write plot-ready CSV files into")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (exit code 2)")
 	)
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	cfg := experiments.Config{
 		Out:         os.Stdout,
@@ -57,62 +62,62 @@ func main() {
 	}
 
 	runners := map[string]func() error{
-		"table1": func() error { _, err := experiments.Table1(cfg); return err },
-		"table2": func() error { _, err := experiments.Table2(cfg); return err },
-		"fig4":   func() error { _, err := experiments.Fig4(cfg); return err },
-		"fig5":   func() error { _, err := experiments.Fig5(cfg); return err },
+		"table1": func() error { _, err := experiments.Table1(ctx, cfg); return err },
+		"table2": func() error { _, err := experiments.Table2(ctx, cfg); return err },
+		"fig4":   func() error { _, err := experiments.Fig4(ctx, cfg); return err },
+		"fig5":   func() error { _, err := experiments.Fig5(ctx, cfg); return err },
 		"fig6": func() error {
-			res, err := experiments.Fig6(cfg)
+			res, err := experiments.Fig6(ctx, cfg)
 			if err != nil {
 				return err
 			}
 			return maybeCSV(func(dir string) error { return writeFig6CSV(dir, res) })
 		},
 		"fig7a": func() error {
-			cells, err := experiments.Fig7(cfg, false)
+			cells, err := experiments.Fig7(ctx, cfg, false)
 			if err != nil {
 				return err
 			}
 			return maybeCSV(func(dir string) error { return writeFig7CSV(dir, "fig7a_horizontal.csv", cells) })
 		},
 		"fig7b": func() error {
-			cells, err := experiments.Fig7(cfg, true)
+			cells, err := experiments.Fig7(ctx, cfg, true)
 			if err != nil {
 				return err
 			}
 			return maybeCSV(func(dir string) error { return writeFig7CSV(dir, "fig7b_vertical.csv", cells) })
 		},
 		"fig8a": func() error {
-			cells, err := experiments.Fig8a(cfg)
+			cells, err := experiments.Fig8a(ctx, cfg)
 			if err != nil {
 				return err
 			}
 			return maybeCSV(func(dir string) error { return writeFig8aCSV(dir, cells) })
 		},
 		"fig8b": func() error {
-			cells, _, err := experiments.Fig8b(cfg)
+			cells, _, err := experiments.Fig8b(ctx, cfg)
 			if err != nil {
 				return err
 			}
 			return maybeCSV(func(dir string) error { return writeFig8bCSV(dir, cells) })
 		},
-		"verify": func() error { _, err := experiments.Verify(cfg); return err },
+		"verify": func() error { _, err := experiments.Verify(ctx, cfg); return err },
 		"accuracy": func() error {
-			_, err := experiments.Accuracy(cfg)
+			_, err := experiments.Accuracy(ctx, cfg)
 			return err
 		},
 		"defense": func() error {
-			cells, err := experiments.Defense(cfg)
+			cells, err := experiments.Defense(ctx, cfg)
 			if err != nil {
 				return err
 			}
 			return maybeCSV(func(dir string) error { return writeDefenseCSV(dir, cells) })
 		},
-		"ecc":        func() error { _, err := experiments.ECC(cfg); return err },
-		"modulation": func() error { _, err := experiments.Modulation(cfg); return err },
-		"ablations":  func() error { _, err := experiments.Ablations(cfg); return err },
+		"ecc":        func() error { _, err := experiments.ECC(ctx, cfg); return err },
+		"modulation": func() error { _, err := experiments.Modulation(ctx, cfg); return err },
+		"ablations":  func() error { _, err := experiments.Ablations(ctx, cfg); return err },
 		"robustness": func() error {
-			cells, err := experiments.Robustness(cfg)
+			cells, err := experiments.Robustness(ctx, cfg)
 			if err != nil {
 				return err
 			}
@@ -144,6 +149,5 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	cli.Fatal("experiments", err)
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	thermchan [-sku name] [-seed n] [-rate bps] [-bits n]
+//	thermchan [-sku name] [-seed n] [-rate bps] [-bits n] [-timeout d]
 //	          [-senders n] [-channels n] [-hops n] [-horizontal]
 //
 // The tool first recovers the instance's physical core map with the full
@@ -13,12 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 
 	"coremap"
+	"coremap/internal/cli"
 	"coremap/internal/covert"
 	"coremap/internal/machine"
 	"coremap/internal/probe"
@@ -35,8 +37,12 @@ func main() {
 		hops       = flag.Int("hops", 1, "sender-receiver tile distance")
 		horizontal = flag.Bool("horizontal", false, "place the pair horizontally instead of vertically")
 		registry   = flag.String("registry", "", "JSON registry file with a cached map for this PPIN (skips the root-level probe)")
+		timeout    = flag.Duration("timeout", 0, "abort mapping and transfer after this duration (exit code 2)")
 	)
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	sku := map[string]*machine.SKU{
 		"8124M": machine.SKU8124M, "8175M": machine.SKU8175M,
@@ -47,7 +53,7 @@ func main() {
 	}
 
 	m := machine.Generate(sku, 0, machine.Config{Seed: *seed})
-	res := lookupOrMap(m, sku, *seed, *registry)
+	res := lookupOrMap(ctx, m, sku, *seed, *registry)
 	fmt.Printf("mapped %s (PPIN %#016x)\n", sku.Name, res.PPIN)
 
 	plan := res.Planner()
@@ -102,7 +108,7 @@ func main() {
 		fmt.Printf("%d-hop %s channel cpu %d → cpu %d at %g bps\n", *hops, dir, pair[0], pair[1], *rate)
 	}
 
-	results, err := covert.Run(plat, specs, covert.Config{BitRate: *rate})
+	results, err := covert.Run(ctx, plat, specs, covert.Config{BitRate: *rate})
 	if err != nil {
 		fatal(err)
 	}
@@ -122,13 +128,13 @@ func main() {
 // lookupOrMap reuses a registry-cached map when available — the paper's
 // threat model: the probe ran once with root, and the covert channel runs
 // user-level forever after — and falls back to a fresh mapping run.
-func lookupOrMap(m *machine.Machine, sku *machine.SKU, seed int64, registryPath string) *coremap.Result {
+func lookupOrMap(ctx context.Context, m *machine.Machine, sku *machine.SKU, seed int64, registryPath string) *coremap.Result {
 	if registryPath != "" {
 		if f, err := os.Open(registryPath); err == nil {
 			defer f.Close()
 			if reg, err := coremap.LoadRegistry(f); err == nil {
 				if p, err := probe.New(m, probe.Options{}); err == nil {
-					if ppin, err := p.ReadPPIN(); err == nil {
+					if ppin, err := p.ReadPPIN(ctx); err == nil {
 						if cached, ok := reg.Lookup(ppin); ok {
 							fmt.Fprintln(os.Stderr, "thermchan: using registry-cached map")
 							return cached
@@ -138,7 +144,7 @@ func lookupOrMap(m *machine.Machine, sku *machine.SKU, seed int64, registryPath 
 			}
 		}
 	}
-	res, err := coremap.MapMachine(m, coremap.DieInfo{Rows: sku.Rows, Cols: sku.Cols, IMC: sku.IMC},
+	res, err := coremap.MapMachine(ctx, m, coremap.DieInfo{Rows: sku.Rows, Cols: sku.Cols, IMC: sku.IMC},
 		coremap.Options{Probe: probe.Options{Seed: seed}})
 	if err != nil {
 		fatal(err)
@@ -147,6 +153,5 @@ func lookupOrMap(m *machine.Machine, sku *machine.SKU, seed int64, registryPath 
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "thermchan:", err)
-	os.Exit(1)
+	cli.Fatal("thermchan", err)
 }

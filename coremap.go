@@ -11,7 +11,7 @@
 // observations by solving an integer linear program. The recovered map is
 // stable per chip instance and can be cached under the CPU's PPIN.
 //
-//	res, err := coremap.MapMachine(host, coremap.SkylakeXCCDie, coremap.Options{})
+//	res, err := coremap.MapMachine(ctx, host, coremap.SkylakeXCCDie, coremap.Options{})
 //	fmt.Println(res.Render())
 //
 // internal/machine provides a full simulated Xeon (mesh, caches, MSRs,
@@ -20,10 +20,12 @@
 package coremap
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 
+	"coremap/internal/cmerr"
 	"coremap/internal/covert"
 	"coremap/internal/hostif"
 	"coremap/internal/locate"
@@ -86,23 +88,38 @@ type Result struct {
 	Optimal bool `json:"optimal"`
 	// SolverNodes is the branch-and-bound effort spent.
 	SolverNodes int `json:"solver_nodes"`
+	// Degraded reports that the map was reconstructed from an incomplete
+	// measurement (experiments or core mappings were dropped after
+	// permanent host faults); Coverage is the completed fraction.
+	Degraded bool    `json:"degraded,omitempty"`
+	Coverage float64 `json:"coverage,omitempty"`
 }
 
-// MapMachine runs the full locating pipeline on a host.
-func MapMachine(h hostif.Host, die DieInfo, opts Options) (*Result, error) {
+// MapMachine runs the full locating pipeline on a host. The context
+// governs the whole run: cancellation or deadline expiry stops the
+// measurement within one host operation and the ILP search at the next
+// node boundary, returning a cmerr.Interrupted error. Host faults are
+// retried (probe.Options.OpRetries) and, where retry cannot help, degraded
+// around: the result is then marked Degraded with its measurement
+// Coverage.
+func MapMachine(ctx context.Context, h hostif.Host, die DieInfo, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p, err := probe.New(h, opts.Probe)
 	if err != nil {
-		return nil, fmt.Errorf("coremap: %w", err)
+		return nil, cmerr.Ensure(cmerr.Permanent, "coremap", err)
 	}
 	ro := probe.RunOptions{SliceSources: !opts.PaperFaithful}
 	if opts.MemoryAnchors {
 		ro.NumIMCs = len(die.IMC)
 	}
-	meas, err := p.RunWith(ro)
-	if err != nil {
-		return nil, fmt.Errorf("coremap: measuring: %w", err)
+	meas, err := p.RunWith(ctx, ro)
+	if err != nil && (meas == nil || !cmerr.IsDegraded(err)) {
+		return nil, cmerr.Ensure(cmerr.Permanent, "coremap", err)
 	}
-	mp, err := locate.Reconstruct(locate.Input{
+	measErr := err // nil, or a Degraded below-coverage-floor error with a usable partial
+	mp, err := locate.Reconstruct(ctx, locate.Input{
 		NumCHA:       meas.NumCHA,
 		Rows:         die.Rows,
 		Cols:         die.Cols,
@@ -110,7 +127,7 @@ func MapMachine(h hostif.Host, die DieInfo, opts Options) (*Result, error) {
 		IMCPositions: die.IMC,
 	}, opts.Locate)
 	if err != nil {
-		return nil, fmt.Errorf("coremap: reconstructing: %w", err)
+		return nil, cmerr.Ensure(cmerr.Permanent, "coremap", err)
 	}
 	return &Result{
 		PPIN:        meas.PPIN,
@@ -120,7 +137,9 @@ func MapMachine(h hostif.Host, die DieInfo, opts Options) (*Result, error) {
 		Anchored:    mp.Anchored,
 		Optimal:     mp.Optimal,
 		SolverNodes: mp.Nodes,
-	}, nil
+		Degraded:    meas.Degraded,
+		Coverage:    meas.Coverage(),
+	}, measErr
 }
 
 // Render draws the recovered map as a Fig. 4-style grid with "os/cha"

@@ -1,6 +1,7 @@
 package coremap
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -15,7 +16,7 @@ func mapInstance(t *testing.T, sku *machine.SKU, pattern int, seed int64, opts O
 	t.Helper()
 	m := machine.Generate(sku, pattern, machine.Config{Seed: seed})
 	opts.Probe.Seed = seed
-	res, err := MapMachine(m, DieInfo{Rows: sku.Rows, Cols: sku.Cols}, opts)
+	res, err := MapMachine(context.Background(), m, DieInfo{Rows: sku.Rows, Cols: sku.Cols}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,11 +144,11 @@ func TestMapMachineSKUDies(t *testing.T) {
 func TestProbeSeedDoesNotChangeMap(t *testing.T) {
 	m1 := machine.Generate(machine.SKU8259CL, 1, machine.Config{Seed: 84})
 	m2 := machine.Generate(machine.SKU8259CL, 1, machine.Config{Seed: 84})
-	r1, err := MapMachine(m1, SkylakeXCCDie, Options{Probe: probe.Options{Seed: 1}})
+	r1, err := MapMachine(context.Background(), m1, SkylakeXCCDie, Options{Probe: probe.Options{Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := MapMachine(m2, SkylakeXCCDie, Options{Probe: probe.Options{Seed: 999}})
+	r2, err := MapMachine(context.Background(), m2, SkylakeXCCDie, Options{Probe: probe.Options{Seed: 999}})
 	if err != nil {
 		t.Fatal(err)
 	}

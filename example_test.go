@@ -4,6 +4,7 @@ package coremap_test
 // output is verified.
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,7 @@ import (
 func ExampleMapMachine() {
 	host := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 42})
 
-	res, err := coremap.MapMachine(host, coremap.SkylakeXCCDie, coremap.Options{
+	res, err := coremap.MapMachine(context.Background(), host, coremap.SkylakeXCCDie, coremap.Options{
 		Probe: probe.Options{Seed: 1},
 	})
 	if err != nil {
@@ -38,7 +39,7 @@ func ExampleMapMachine() {
 // user-level attacker reuses a map produced once with root access.
 func ExampleRegistry() {
 	host := machine.Generate(machine.SKU8124M, 0, machine.Config{Seed: 7})
-	res, err := coremap.MapMachine(host, coremap.SkylakeXCCDie, coremap.Options{
+	res, err := coremap.MapMachine(context.Background(), host, coremap.SkylakeXCCDie, coremap.Options{
 		Probe: probe.Options{Seed: 1},
 	})
 	if err != nil {

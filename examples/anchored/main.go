@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,11 +21,11 @@ func main() {
 	// under-determined here.
 	host := machine.Generate(machine.SKU6354, 0, machine.Config{Seed: 11})
 
-	plain, err := coremap.MapMachine(host, coremap.IceLakeXCCDie, coremap.Options{})
+	plain, err := coremap.MapMachine(context.Background(), host, coremap.IceLakeXCCDie, coremap.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	anchored, err := coremap.MapMachine(host, coremap.IceLakeXCCDie, coremap.Options{MemoryAnchors: true})
+	anchored, err := coremap.MapMachine(context.Background(), host, coremap.IceLakeXCCDie, coremap.Options{MemoryAnchors: true})
 	if err != nil {
 		log.Fatal(err)
 	}

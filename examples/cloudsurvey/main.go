@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 
 	for i := 0; i < instances; i++ {
 		host, _ := pop.Next()
-		res, err := coremap.MapMachine(host, coremap.SkylakeXCCDie, coremap.Options{
+		res, err := coremap.MapMachine(context.Background(), host, coremap.SkylakeXCCDie, coremap.Options{
 			Probe: probe.Options{Seed: int64(i)},
 		})
 		if err != nil {

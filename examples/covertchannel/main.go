@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -17,7 +18,7 @@ func main() {
 	host := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 3})
 
 	// Root-once: recover and cache the physical map.
-	res, err := coremap.MapMachine(host, coremap.SkylakeXCCDie, coremap.Options{})
+	res, err := coremap.MapMachine(context.Background(), host, coremap.SkylakeXCCDie, coremap.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func main() {
 	}
 
 	platform := covert.NewSimPlatform(host, covert.CloudThermalConfig(3))
-	results, err := covert.Run(platform, []covert.ChannelSpec{{
+	results, err := covert.Run(context.Background(), platform, []covert.ChannelSpec{{
 		Senders:  []int{pair[0]},
 		Receiver: pair[1],
 		Payload:  secret,

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -15,7 +16,7 @@ import (
 
 func main() {
 	host := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 5})
-	res, err := coremap.MapMachine(host, coremap.SkylakeXCCDie, coremap.Options{})
+	res, err := coremap.MapMachine(context.Background(), host, coremap.SkylakeXCCDie, coremap.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func main() {
 	} {
 		host.SetThermalDefense(d.resolutionC, d.updatePeriod)
 		platform := covert.NewSimPlatform(host, covert.CloudThermalConfig(5))
-		r, err := covert.Run(platform, []covert.ChannelSpec{{
+		r, err := covert.Run(context.Background(), platform, []covert.ChannelSpec{{
 			Senders: []int{pair[0]}, Receiver: pair[1], Payload: payload,
 		}}, covert.Config{BitRate: 2})
 		if err != nil {

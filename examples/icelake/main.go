@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,7 +15,7 @@ import (
 func main() {
 	host := machine.Generate(machine.SKU6354, 0, machine.Config{Seed: 11})
 
-	res, err := coremap.MapMachine(host, coremap.IceLakeXCCDie, coremap.Options{})
+	res, err := coremap.MapMachine(context.Background(), host, coremap.IceLakeXCCDie, coremap.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

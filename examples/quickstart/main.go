@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,7 @@ func main() {
 	// pattern, unknown ID mappings.
 	host := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 42})
 
-	res, err := coremap.MapMachine(host, coremap.SkylakeXCCDie, coremap.Options{})
+	res, err := coremap.MapMachine(context.Background(), host, coremap.SkylakeXCCDie, coremap.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,56 @@
+// Package cli holds the context and exit-code plumbing shared by the
+// repository's commands: a root context wired to SIGINT/SIGTERM and an
+// optional -timeout deadline, and the exit-code contract that lets scripts
+// tell an interrupted run from a failed one.
+package cli
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"coremap/internal/cmerr"
+)
+
+// Exit codes: 0 success, 1 hard failure, 2 interrupted (signal or
+// -timeout deadline).
+const (
+	ExitOK          = 0
+	ExitError       = 1
+	ExitInterrupted = 2
+)
+
+// Context returns the command's root context: cancelled on SIGINT or
+// SIGTERM (first signal cancels gracefully; a second kills the process via
+// the default handler) and, when timeout > 0, after the deadline. The
+// returned stop function releases the signal registration.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() { cancel(); stop() }
+}
+
+// ExitCode maps an error to the command exit code.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case cmerr.IsInterrupted(err):
+		return ExitInterrupted
+	default:
+		return ExitError
+	}
+}
+
+// Fatal prints "prog: err" to stderr and exits with the class-appropriate
+// code (2 for interrupted/timeout, 1 otherwise).
+func Fatal(prog string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	os.Exit(ExitCode(err))
+}

@@ -1,6 +1,7 @@
 package covert
 
 import (
+	"context"
 	"testing"
 
 	"coremap/internal/machine"
@@ -153,7 +154,7 @@ func TestVertical1HopTransferClean(t *testing.T) {
 	pl := truthPlanner(p.M)
 	pair := pl.PairsAtOffset(1, 0)[0]
 	payload := randomPayload(48, 7)
-	res, err := Run(p, []ChannelSpec{{Senders: []int{pair[0]}, Receiver: pair[1], Payload: payload}},
+	res, err := Run(context.Background(), p, []ChannelSpec{{Senders: []int{pair[0]}, Receiver: pair[1], Payload: payload}},
 		Config{BitRate: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -174,7 +175,7 @@ func TestVerticalBeatsHorizontalAtHighRate(t *testing.T) {
 		p := NewSimPlatform(m, CloudThermalConfig(9))
 		pl := truthPlanner(m)
 		pair := pl.PairsAtOffset(dr, dc)[0]
-		res, err := Run(p, []ChannelSpec{{Senders: []int{pair[0]}, Receiver: pair[1], Payload: payload}},
+		res, err := Run(context.Background(), p, []ChannelSpec{{Senders: []int{pair[0]}, Receiver: pair[1], Payload: payload}},
 			Config{BitRate: 4})
 		if err != nil {
 			t.Fatal(err)
@@ -197,7 +198,7 @@ func TestHopDistanceDegradesChannel(t *testing.T) {
 		if len(pairs) == 0 {
 			t.Skipf("no %d-hop vertical pairs", hops)
 		}
-		res, err := Run(p, []ChannelSpec{{Senders: []int{pairs[0][0]}, Receiver: pairs[0][1], Payload: payload}},
+		res, err := Run(context.Background(), p, []ChannelSpec{{Senders: []int{pairs[0][0]}, Receiver: pairs[0][1], Payload: payload}},
 			Config{BitRate: 2})
 		if err != nil {
 			t.Fatal(err)
@@ -227,7 +228,7 @@ func TestMultiSenderReducesErrors(t *testing.T) {
 		if len(ring) < senders {
 			t.Skipf("ring has only %d cores", len(ring))
 		}
-		res, err := Run(p, []ChannelSpec{{Senders: ring[:senders], Receiver: recv, Payload: payload}},
+		res, err := Run(context.Background(), p, []ChannelSpec{{Senders: ring[:senders], Receiver: recv, Payload: payload}},
 			Config{BitRate: 8})
 		if err != nil {
 			t.Fatal(err)
@@ -256,7 +257,7 @@ func TestRunObservedCollectsObserverTraces(t *testing.T) {
 	if far < 0 {
 		t.Skip("no far core")
 	}
-	res, traces, err := RunObserved(p, []ChannelSpec{{
+	res, traces, err := RunObserved(context.Background(), p, []ChannelSpec{{
 		Senders: []int{pair[0]}, Receiver: pair[1], Payload: payload,
 	}}, Config{BitRate: 2}, []int{pair[0], far})
 	if err != nil {
@@ -311,7 +312,7 @@ func TestParallelChannelsDeliverIndependentPayloads(t *testing.T) {
 	for i, pair := range pairs {
 		specs[i] = ChannelSpec{Senders: []int{pair[0]}, Receiver: pair[1], Payload: randomPayload(32, int64(20+i))}
 	}
-	res, err := Run(p, specs, Config{BitRate: 1})
+	res, err := Run(context.Background(), p, specs, Config{BitRate: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,9 +11,11 @@
 package covert
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
+
+	"coremap/internal/cmerr"
 )
 
 // Platform is everything the (user-level) attacker can do: place load on
@@ -142,9 +144,10 @@ type Result struct {
 
 // Run performs a transfer over all channels simultaneously; parallel
 // channels interfere through the shared die exactly as in Fig. 8b. All
-// payloads must have equal length.
-func Run(p Platform, specs []ChannelSpec, cfg Config) ([]Result, error) {
-	res, _, err := RunObserved(p, specs, cfg, nil)
+// payloads must have equal length. The context is checked once per sample
+// period, so cancellation stops a transfer within one sensor poll.
+func Run(ctx context.Context, p Platform, specs []ChannelSpec, cfg Config) ([]Result, error) {
+	res, _, err := RunObserved(ctx, p, specs, cfg, nil)
 	return res, err
 }
 
@@ -152,13 +155,16 @@ func Run(p Platform, specs []ChannelSpec, cfg Config) ([]Result, error) {
 // each observer CPU is sampled on the same timeline and returned as one
 // trace per observer. Observers may overlap with channel roles (e.g. to
 // record the sender's own temperature for a Fig. 6-style plot).
-func RunObserved(p Platform, specs []ChannelSpec, cfg Config, observers []int) ([]Result, [][]float64, error) {
+func RunObserved(ctx context.Context, p Platform, specs []ChannelSpec, cfg Config, observers []int) ([]Result, [][]float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
 	if cfg.BitRate <= 0 {
-		return nil, nil, errors.New("covert: bit rate must be positive")
+		return nil, nil, cmerr.New(cmerr.Permanent, "covert", "bit rate must be positive")
 	}
 	if len(specs) == 0 {
-		return nil, nil, errors.New("covert: no channels")
+		return nil, nil, cmerr.New(cmerr.Permanent, "covert", "no channels")
 	}
 	n := len(specs[0].Payload)
 	used := make(map[int]bool)
@@ -194,6 +200,9 @@ func RunObserved(p Platform, specs []ChannelSpec, cfg Config, observers []int) (
 	obsTraces := make([][]float64, len(observers))
 	loadState := make(map[int]bool)
 	for k := 0; k < totalSamples; k++ {
+		if err := cmerr.FromContext(ctx, "covert"); err != nil {
+			return nil, nil, err
+		}
 		t := float64(k) * sampleDt
 		bitIdx := int(t / bitPeriod)
 		phase := t/bitPeriod - float64(bitIdx)

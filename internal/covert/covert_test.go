@@ -1,6 +1,7 @@
 package covert
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -148,7 +149,7 @@ func TestRunValidation(t *testing.T) {
 		}, Config{BitRate: 1}},
 	}
 	for _, tc := range cases {
-		if _, err := Run(p, tc.specs, tc.cfg); err == nil {
+		if _, err := Run(context.Background(), p, tc.specs, tc.cfg); err == nil {
 			t.Errorf("%s: Run accepted invalid input", tc.name)
 		}
 	}

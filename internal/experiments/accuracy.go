@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"coremap/internal/baseline"
 	"coremap/internal/locate"
 	"coremap/internal/machine"
@@ -34,7 +36,7 @@ type AccuracyResult struct {
 
 // Accuracy measures the full pipeline and the three baselines across a
 // population of each SKU.
-func Accuracy(cfg Config) ([]AccuracyResult, error) {
+func Accuracy(ctx context.Context, cfg Config) ([]AccuracyResult, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.Instances
 	if n > 25 {
@@ -44,7 +46,7 @@ func Accuracy(cfg Config) ([]AccuracyResult, error) {
 	var out []AccuracyResult
 	for _, sku := range machine.SKUs {
 		before := cfg.Caches.Stats()
-		insts, err := survey(sku, n, cfg)
+		insts, err := survey(ctx, sku, n, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"bytes"
 	"reflect"
 	"strings"
@@ -14,11 +15,11 @@ import (
 // results, instance by instance.
 func TestSurveyCacheInvariance(t *testing.T) {
 	const n = 6
-	cached, err := survey(machine.SKU8259CL, n, Config{Seed: 5, Caches: NewCaches()})
+	cached, err := survey(context.Background(), machine.SKU8259CL, n, Config{Seed: 5, Caches: NewCaches()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := survey(machine.SKU8259CL, n, Config{Seed: 5})
+	plain, err := survey(context.Background(), machine.SKU8259CL, n, Config{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,12 +43,12 @@ func TestSurveyCacheReuse(t *testing.T) {
 	const n = 5
 	caches := NewCaches()
 	cfg := Config{Seed: 6, Caches: caches}
-	first, err := survey(machine.SKU8175M, n, cfg)
+	first, err := survey(context.Background(), machine.SKU8175M, n, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	afterFirst := caches.Stats()
-	second, err := survey(machine.SKU8175M, n, cfg)
+	second, err := survey(context.Background(), machine.SKU8175M, n, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestSurveyCacheReuse(t *testing.T) {
 func TestSurveyLocateCacheMirrorsPatterns(t *testing.T) {
 	const n = 12
 	caches := NewCaches()
-	insts, err := survey(machine.SKU8175M, n, Config{Seed: 7, Caches: caches})
+	insts, err := survey(context.Background(), machine.SKU8175M, n, Config{Seed: 7, Caches: caches})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestSurveyLocateCacheMirrorsPatterns(t *testing.T) {
 func TestTableOutputCacheInvariant(t *testing.T) {
 	run := func(noCache bool) string {
 		var buf bytes.Buffer
-		if _, err := Table1(Config{Out: &buf, Instances: 6, Seed: 9, NoCache: noCache}); err != nil {
+		if _, err := Table1(context.Background(), Config{Out: &buf, Instances: 6, Seed: 9, NoCache: noCache}); err != nil {
 			t.Fatal(err)
 		}
 		var kept []string

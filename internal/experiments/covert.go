@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -22,9 +23,9 @@ type covertRig struct {
 	seed int64
 }
 
-func newCovertRig(cfg Config) (*covertRig, error) {
+func newCovertRig(ctx context.Context, cfg Config) (*covertRig, error) {
 	m := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: cfg.Seed + 0xC0})
-	res, err := coremap.MapMachine(m, dieFor(machine.SKU8259CL), coremap.Options{
+	res, err := coremap.MapMachine(ctx, m, dieFor(machine.SKU8259CL), coremap.Options{
 		Probe: probe.Options{Seed: cfg.Seed},
 	})
 	if err != nil {
@@ -94,9 +95,9 @@ type Fig6Result struct {
 // Fig6 reproduces Fig. 6: one sender transmitting at 1 bps while vertical
 // receivers 1, 2 and 3 hops away record their sensors. The 1-hop trace
 // decodes cleanly; further receivers degrade visibly.
-func Fig6(cfg Config) (*Fig6Result, error) {
+func Fig6(ctx context.Context, cfg Config) (*Fig6Result, error) {
 	cfg = cfg.withDefaults()
-	rig, err := newCovertRig(cfg)
+	rig, err := newCovertRig(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +133,7 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 	ccfg := covert.Config{BitRate: 1}
 	specs := []covert.ChannelSpec{{Senders: []int{sender}, Receiver: chain[1], Payload: payload}}
 	observers := append([]int{sender}, chain[2:]...)
-	results, obsTraces, err := covert.RunObserved(plat, specs, ccfg, observers)
+	results, obsTraces, err := covert.RunObserved(ctx, plat, specs, ccfg, observers)
 	if err != nil {
 		return nil, err
 	}
@@ -181,9 +182,9 @@ type Fig7Cell struct {
 // receiver pairs 1-3 hops apart, horizontally (7a) or vertically (7b).
 // The paper's trends: only 1-hop pairs form a usable channel, BER grows
 // with rate, and vertical 1-hop beats horizontal 1-hop at equal rates.
-func Fig7(cfg Config, vertical bool) ([]Fig7Cell, error) {
+func Fig7(ctx context.Context, cfg Config, vertical bool) ([]Fig7Cell, error) {
 	cfg = cfg.withDefaults()
-	rig, err := newCovertRig(cfg)
+	rig, err := newCovertRig(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +209,7 @@ func Fig7(cfg Config, vertical bool) ([]Fig7Cell, error) {
 			cell++
 			payload := randomPayload(cfg.PayloadBits, cfg.Seed+cell)
 			plat := rig.platform(cell, pair[:])
-			res, err := covert.Run(plat, []covert.ChannelSpec{{
+			res, err := covert.Run(ctx, plat, []covert.ChannelSpec{{
 				Senders: []int{pair[0]}, Receiver: pair[1], Payload: payload,
 			}}, covert.Config{BitRate: rate})
 			if err != nil {
@@ -231,9 +232,9 @@ type Fig8aCell struct {
 // Fig8a reproduces Fig. 8a: synchronized multi-sender amplification.
 // Surrounding the receiver with more senders strengthens the thermal
 // signal and lowers the error rate at every bit rate.
-func Fig8a(cfg Config) ([]Fig8aCell, error) {
+func Fig8a(ctx context.Context, cfg Config) ([]Fig8aCell, error) {
 	cfg = cfg.withDefaults()
-	rig, err := newCovertRig(cfg)
+	rig, err := newCovertRig(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -256,7 +257,7 @@ func Fig8a(cfg Config) ([]Fig8aCell, error) {
 			payload := randomPayload(cfg.PayloadBits, cfg.Seed+cell)
 			participants := append(append([]int{}, ring[:senders]...), recv)
 			plat := rig.platform(cell, participants)
-			res, err := covert.Run(plat, []covert.ChannelSpec{{
+			res, err := covert.Run(ctx, plat, []covert.ChannelSpec{{
 				Senders: ring[:senders], Receiver: recv, Payload: payload,
 			}}, covert.Config{BitRate: rate})
 			if err != nil {
@@ -280,9 +281,9 @@ type Fig8bCell struct {
 // Fig8b reproduces Fig. 8b: parallel channels spread across the die. The
 // headline result is the maximum aggregate throughput achievable below 1%
 // BER — the paper reports 15 bps with the ×8 configuration.
-func Fig8b(cfg Config) ([]Fig8bCell, float64, error) {
+func Fig8b(ctx context.Context, cfg Config) ([]Fig8bCell, float64, error) {
 	cfg = cfg.withDefaults()
-	rig, err := newCovertRig(cfg)
+	rig, err := newCovertRig(ctx, cfg)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -309,7 +310,7 @@ func Fig8b(cfg Config) ([]Fig8bCell, float64, error) {
 				participants = append(participants, pair[0], pair[1])
 			}
 			plat := rig.platform(cell, participants)
-			results, err := covert.Run(plat, specs, covert.Config{BitRate: rate})
+			results, err := covert.Run(ctx, plat, specs, covert.Config{BitRate: rate})
 			if err != nil {
 				return nil, 0, err
 			}
@@ -359,9 +360,9 @@ type VerifyException struct {
 // must achieve their lowest error rates exactly between the cores the
 // recovered map calls neighbours — the paper's independent confirmation
 // that the map is physical truth.
-func Verify(cfg Config) (*VerifyResult, error) {
+func Verify(ctx context.Context, cfg Config) (*VerifyResult, error) {
 	cfg = cfg.withDefaults()
-	rig, err := newCovertRig(cfg)
+	rig, err := newCovertRig(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -384,7 +385,7 @@ func Verify(cfg Config) (*VerifyResult, error) {
 			cell++
 			payload := randomPayload(bits, cfg.Seed+cell)
 			plat := rig.platform(cell, []int{sender, recv})
-			res, err := covert.Run(plat, []covert.ChannelSpec{{
+			res, err := covert.Run(ctx, plat, []covert.ChannelSpec{{
 				Senders: []int{sender}, Receiver: recv, Payload: payload,
 			}}, covert.Config{BitRate: 2})
 			if err != nil {

@@ -6,12 +6,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
 
 	"coremap"
+	"coremap/internal/cmerr"
 	"coremap/internal/locate"
 	"coremap/internal/machine"
 	"coremap/internal/memo"
@@ -144,8 +146,10 @@ func truth(m *machine.Machine) []mesh.Coord {
 
 // forEachInstance samples n machines from sku's population and runs fn on
 // each from a bounded worker pool; machines are fully independent, so the
-// survey parallelizes across cores. Results keep their sample order.
-func forEachInstance(sku *machine.SKU, n int, seed int64, fn func(i int, m *machine.Machine) error) error {
+// survey parallelizes across cores. Results keep their sample order. A
+// cancelled context stops the dispatch loop, drains the in-flight work and
+// returns an Interrupted error.
+func forEachInstance(ctx context.Context, sku *machine.SKU, n int, seed int64, fn func(i int, m *machine.Machine) error) error {
 	pop := machine.NewPopulation(sku, seed, machine.Config{})
 	machines := make([]*machine.Machine, n)
 	for i := range machines {
@@ -167,11 +171,19 @@ func forEachInstance(sku *machine.SKU, n int, seed int64, fn func(i int, m *mach
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if err := cmerr.FromContext(ctx, "experiments"); err != nil {
+		return err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("%s instance %d: %w", sku.Name, i, err)
@@ -203,14 +215,14 @@ func (c Config) locateOptions() locate.Options {
 }
 
 // surveyStep1 runs only the OS-core-ID ↔ CHA-ID step over a population.
-func surveyStep1(sku *machine.SKU, n int, cfg Config) ([][]int, error) {
+func surveyStep1(ctx context.Context, sku *machine.SKU, n int, cfg Config) ([][]int, error) {
 	out := make([][]int, n)
-	err := forEachInstance(sku, n, cfg.Seed, func(i int, m *machine.Machine) error {
+	err := forEachInstance(ctx, sku, n, cfg.Seed, func(i int, m *machine.Machine) error {
 		p, err := probe.New(m, cfg.probeOptions(i))
 		if err != nil {
 			return err
 		}
-		out[i], err = p.MapCoresToCHAs()
+		out[i], err = p.MapCoresToCHAs(ctx)
 		return err
 	})
 	if err != nil {
@@ -221,10 +233,10 @@ func surveyStep1(sku *machine.SKU, n int, cfg Config) ([][]int, error) {
 
 // survey runs the full pipeline over a population, threading the config's
 // cache set through both pipeline layers.
-func survey(sku *machine.SKU, n int, cfg Config) ([]Instance, error) {
+func survey(ctx context.Context, sku *machine.SKU, n int, cfg Config) ([]Instance, error) {
 	out := make([]Instance, n)
-	err := forEachInstance(sku, n, cfg.Seed, func(i int, m *machine.Machine) error {
-		res, err := coremap.MapMachine(m, dieFor(sku), coremap.Options{
+	err := forEachInstance(ctx, sku, n, cfg.Seed, func(i int, m *machine.Machine) error {
+		res, err := coremap.MapMachine(ctx, m, dieFor(sku), coremap.Options{
 			Probe:  cfg.probeOptions(i),
 			Locate: cfg.locateOptions(),
 		})
@@ -256,13 +268,13 @@ type Table1Result struct {
 // mappings of 100 instances per model. 8124M and 8175M must each collapse
 // to a single mapping; 8259CL splits into a handful of cases dominated by
 // two, driven by where its LLC-only tiles fall in the CHA numbering.
-func Table1(cfg Config) ([]Table1Result, error) {
+func Table1(ctx context.Context, cfg Config) ([]Table1Result, error) {
 	cfg = cfg.withDefaults()
 	var out []Table1Result
 	cfg.printf("Table I: OS core ID ↔ CHA ID mappings (%d instances per model)\n", cfg.Instances)
 	for _, sku := range []*machine.SKU{machine.SKU8124M, machine.SKU8175M, machine.SKU8259CL} {
 		before := cfg.Caches.Stats()
-		mappings, err := surveyStep1(sku, cfg.Instances, cfg)
+		mappings, err := surveyStep1(ctx, sku, cfg.Instances, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -298,13 +310,13 @@ type Table2Result struct {
 // Table2 reproduces Table II: the frequency statistics of observed core
 // location patterns per model — a few patterns dominate, yet each model
 // exhibits many distinct patterns, most of all the 8259CL.
-func Table2(cfg Config) ([]Table2Result, error) {
+func Table2(ctx context.Context, cfg Config) ([]Table2Result, error) {
 	cfg = cfg.withDefaults()
 	var out []Table2Result
 	cfg.printf("Table II: observed core location pattern statistics (%d instances per model)\n\n", cfg.Instances)
 	for _, sku := range []*machine.SKU{machine.SKU8124M, machine.SKU8175M, machine.SKU8259CL} {
 		before := cfg.Caches.Stats()
-		insts, err := survey(sku, cfg.Instances, cfg)
+		insts, err := survey(ctx, sku, cfg.Instances, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -331,10 +343,10 @@ func Table2(cfg Config) ([]Table2Result, error) {
 
 // Fig4 reproduces Fig. 4: the three most frequently observed 8259CL core
 // location maps, rendered with OS-core-ID/CHA-ID labels.
-func Fig4(cfg Config) ([]string, error) {
+func Fig4(ctx context.Context, cfg Config) ([]string, error) {
 	cfg = cfg.withDefaults()
 	before := cfg.Caches.Stats()
-	insts, err := survey(machine.SKU8259CL, cfg.Instances, cfg)
+	insts, err := survey(ctx, machine.SKU8259CL, cfg.Instances, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -370,11 +382,11 @@ type Fig5Result struct {
 // Fig5 reproduces Fig. 5: mapping 10 Ice Lake Xeon 6354 instances (the
 // paper's OCI survey) and rendering one example map. The CHA numbering
 // pattern differs visibly from the Skylake generation.
-func Fig5(cfg Config) (*Fig5Result, error) {
+func Fig5(ctx context.Context, cfg Config) (*Fig5Result, error) {
 	cfg = cfg.withDefaults()
 	n := 10
 	before := cfg.Caches.Stats()
-	insts, err := survey(machine.SKU6354, n, cfg)
+	insts, err := survey(ctx, machine.SKU6354, n, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"coremap/internal/machine"
@@ -12,7 +13,7 @@ import (
 // runs live behind cmd/experiments and the repository benchmarks.
 
 func TestTable1SkylakeMappingsInvariant(t *testing.T) {
-	res, err := Table1(Config{Instances: 12, Seed: 3})
+	res, err := Table1(context.Background(), Config{Instances: 12, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestTable1SkylakeMappingsInvariant(t *testing.T) {
 }
 
 func TestTable2DiversityOrdering(t *testing.T) {
-	res, err := Table2(Config{Instances: 15, Seed: 4})
+	res, err := Table2(context.Background(), Config{Instances: 15, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestTable2DiversityOrdering(t *testing.T) {
 }
 
 func TestFig4RendersThreePatterns(t *testing.T) {
-	grids, err := Fig4(Config{Instances: 12, Seed: 5})
+	grids, err := Fig4(context.Background(), Config{Instances: 12, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestFig4RendersThreePatterns(t *testing.T) {
 }
 
 func TestFig5IceLake(t *testing.T) {
-	res, err := Fig5(Config{Seed: 6})
+	res, err := Fig5(context.Background(), Config{Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestFig5IceLake(t *testing.T) {
 }
 
 func TestFig6HopTrendAndDecode(t *testing.T) {
-	res, err := Fig6(Config{Seed: 7, Quick: true})
+	res, err := Fig6(context.Background(), Config{Seed: 7, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,11 +155,11 @@ func span(trace []float64) float64 {
 
 func TestFig7Shapes(t *testing.T) {
 	cfg := Config{Seed: 8, PayloadBits: 240}
-	vert, err := Fig7(cfg, true)
+	vert, err := Fig7(context.Background(), cfg, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	horz, err := Fig7(cfg, false)
+	horz, err := Fig7(context.Background(), cfg, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestFig7Shapes(t *testing.T) {
 }
 
 func TestFig8aMultiSenderHelps(t *testing.T) {
-	cells, err := Fig8a(Config{Seed: 9, PayloadBits: 240})
+	cells, err := Fig8a(context.Background(), Config{Seed: 9, PayloadBits: 240})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestFig8aMultiSenderHelps(t *testing.T) {
 }
 
 func TestFig8bAggregateHeadline(t *testing.T) {
-	cells, best, err := Fig8b(Config{Seed: 10, PayloadBits: 300})
+	cells, best, err := Fig8b(context.Background(), Config{Seed: 10, PayloadBits: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestFig8bAggregateHeadline(t *testing.T) {
 }
 
 func TestVerifyAdjacency(t *testing.T) {
-	res, err := Verify(Config{Seed: 11, Quick: true})
+	res, err := Verify(context.Background(), Config{Seed: 11, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestVerifyAdjacency(t *testing.T) {
 }
 
 func TestAccuracyBeatsBaselines(t *testing.T) {
-	res, err := Accuracy(Config{Instances: 5, Seed: 12})
+	res, err := Accuracy(context.Background(), Config{Instances: 5, Seed: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,11 +283,11 @@ func TestAccuracyBeatsBaselines(t *testing.T) {
 // instances generated from the same fusing pattern must share a pattern
 // key after independent measurement.
 func TestPatternKeyMatchesSurvey(t *testing.T) {
-	a, err := survey(machine.SKU8259CL, 1, Config{Seed: 100})
+	a, err := survey(context.Background(), machine.SKU8259CL, 1, Config{Seed: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := survey(machine.SKU8259CL, 1, Config{Seed: 100})
+	b, err := survey(context.Background(), machine.SKU8259CL, 1, Config{Seed: 100})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"coremap"
 	"coremap/internal/covert"
 	"coremap/internal/locate"
@@ -25,9 +27,9 @@ type DefenseCell struct {
 // Defense evaluates the paper's proposed countermeasures: reducing the
 // thermal sensor's resolution or its update frequency shrinks the covert
 // channel's usable rate.
-func Defense(cfg Config) ([]DefenseCell, error) {
+func Defense(ctx context.Context, cfg Config) ([]DefenseCell, error) {
 	cfg = cfg.withDefaults()
-	rig, err := newCovertRig(cfg)
+	rig, err := newCovertRig(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -46,7 +48,7 @@ func Defense(cfg Config) ([]DefenseCell, error) {
 				rig.m.SetThermalDefense(res, period)
 				plat := rig.platform(cell, pair[:])
 				payload := randomPayload(cfg.PayloadBits, cfg.Seed+cell)
-				r, err := covert.Run(plat, []covert.ChannelSpec{{
+				r, err := covert.Run(ctx, plat, []covert.ChannelSpec{{
 					Senders: []int{pair[0]}, Receiver: pair[1], Payload: payload,
 				}}, covert.Config{BitRate: rate})
 				if err != nil {
@@ -82,9 +84,9 @@ type ECCCell struct {
 // ECC runs the raw channel past its reliable point and shows what
 // repetition-3 and Hamming(7,4) coding recover — the error-correction
 // follow-up the paper leaves open.
-func ECC(cfg Config) ([]ECCCell, error) {
+func ECC(ctx context.Context, cfg Config) ([]ECCCell, error) {
 	cfg = cfg.withDefaults()
-	rig, err := newCovertRig(cfg)
+	rig, err := newCovertRig(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +100,7 @@ func ECC(cfg Config) ([]ECCCell, error) {
 
 	run := func(coded []bool, cell int64) ([]bool, float64, error) {
 		plat := rig.platform(cell, pair[:])
-		r, err := covert.Run(plat, []covert.ChannelSpec{{
+		r, err := covert.Run(ctx, plat, []covert.ChannelSpec{{
 			Senders: []int{pair[0]}, Receiver: pair[1], Payload: coded,
 		}}, covert.Config{BitRate: rate})
 		if err != nil {
@@ -162,9 +164,9 @@ type ModulationResult struct {
 // Modulation demonstrates why the channel uses Manchester coding: a biased
 // bit pattern shifts the die's baseline temperature, which breaks OOK's
 // global threshold but leaves the DC-free Manchester decoder intact.
-func Modulation(cfg Config) (*ModulationResult, error) {
+func Modulation(ctx context.Context, cfg Config) (*ModulationResult, error) {
 	cfg = cfg.withDefaults()
-	rig, err := newCovertRig(cfg)
+	rig, err := newCovertRig(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -182,7 +184,7 @@ func Modulation(cfg Config) (*ModulationResult, error) {
 	res := &ModulationResult{}
 	for _, mod := range []covert.Modulation{covert.ModManchester, covert.ModOOK} {
 		plat := rig.platform(7000+int64(mod), pair[:])
-		r, err := covert.Run(plat, []covert.ChannelSpec{{
+		r, err := covert.Run(ctx, plat, []covert.ChannelSpec{{
 			Senders: []int{pair[0]}, Receiver: pair[1], Payload: payload,
 		}}, covert.Config{BitRate: 2, Modulation: mod})
 		if err != nil {
@@ -214,7 +216,7 @@ type AblationResult struct {
 // strict dimension-order bounding boxes (vs the paper's printed looser
 // inequalities) and the slice-source measurement extension that anchors
 // LLC-only tiles.
-func Ablations(cfg Config) ([]AblationResult, error) {
+func Ablations(ctx context.Context, cfg Config) ([]AblationResult, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.Instances
 	if n > 10 {
@@ -244,7 +246,7 @@ func Ablations(cfg Config) ([]AblationResult, error) {
 			m, _ := pop.Next()
 			opts := v.opts
 			opts.Probe = probe.Options{Seed: cfg.Seed + int64(i)}
-			r, err := coremap.MapMachine(m, dieFor(v.sku), opts)
+			r, err := coremap.MapMachine(ctx, m, dieFor(v.sku), opts)
 			if err != nil {
 				return nil, err
 			}

@@ -1,9 +1,12 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestDefenseDegradesChannel(t *testing.T) {
-	cells, err := Defense(Config{Seed: 20, PayloadBits: 300})
+	cells, err := Defense(context.Background(), Config{Seed: 20, PayloadBits: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +36,7 @@ func TestDefenseDegradesChannel(t *testing.T) {
 }
 
 func TestECCImprovesResidualErrors(t *testing.T) {
-	cells, err := ECC(Config{Seed: 21, PayloadBits: 280})
+	cells, err := ECC(context.Background(), Config{Seed: 21, PayloadBits: 280})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +62,7 @@ func TestECCImprovesResidualErrors(t *testing.T) {
 }
 
 func TestModulationManchesterBeatsOOK(t *testing.T) {
-	res, err := Modulation(Config{Seed: 22, PayloadBits: 300})
+	res, err := Modulation(context.Background(), Config{Seed: 22, PayloadBits: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +73,7 @@ func TestModulationManchesterBeatsOOK(t *testing.T) {
 }
 
 func TestAblationsSliceSourcesHelpICX(t *testing.T) {
-	cells, err := Ablations(Config{Seed: 23, Instances: 4})
+	cells, err := Ablations(context.Background(), Config{Seed: 23, Instances: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"coremap"
+	"coremap/internal/cmerr"
 	"coremap/internal/locate"
 	"coremap/internal/machine"
 	"coremap/internal/probe"
@@ -29,12 +32,12 @@ type RobustnessCell struct {
 // Robustness sweeps the background-traffic level and reports where the
 // measurement method starts to break — the failure-injection study behind
 // the probe's calibrated counter thresholds.
-func Robustness(cfg Config) ([]RobustnessCell, error) {
-	return RobustnessLevels(cfg, []uint64{0, 2, 4, 8, 16, 32})
+func Robustness(ctx context.Context, cfg Config) ([]RobustnessCell, error) {
+	return RobustnessLevels(ctx, cfg, []uint64{0, 2, 4, 8, 16, 32})
 }
 
 // RobustnessLevels is Robustness over a caller-chosen set of noise levels.
-func RobustnessLevels(cfg Config, levels []uint64) ([]RobustnessCell, error) {
+func RobustnessLevels(ctx context.Context, cfg Config, levels []uint64) ([]RobustnessCell, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.Instances
 	if n > 8 {
@@ -53,10 +56,13 @@ func RobustnessLevels(cfg Config, levels []uint64) ([]RobustnessCell, error) {
 				NoiseFlits:    flits,
 				NoiseEveryOps: 8,
 			})
-			res, err := coremap.MapMachine(m, dieFor(sku), coremap.Options{
+			res, err := coremap.MapMachine(ctx, m, dieFor(sku), coremap.Options{
 				Probe: probe.Options{Seed: cfg.Seed + int64(i)},
 			})
 			if err != nil {
+				if cmerr.IsInterrupted(err) {
+					return nil, err
+				}
 				cell.Failures++
 				continue
 			}

@@ -1,12 +1,15 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRobustnessSweep(t *testing.T) {
 	// The full six-level sweep (including the 32-flit cliff with its
 	// 16× adaptive repetition) lives behind cmd/experiments; the test
 	// covers the levels the calibrated probe must survive.
-	cells, err := RobustnessLevels(Config{Seed: 30, Instances: 2}, []uint64{0, 8})
+	cells, err := RobustnessLevels(context.Background(), Config{Seed: 30, Instances: 2}, []uint64{0, 8})
 	if err != nil {
 		t.Fatal(err)
 	}

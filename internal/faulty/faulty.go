@@ -1,0 +1,141 @@
+// Package faulty wraps a hostif.Host with deterministic, seeded fault
+// injection. It is the test harness for the pipeline's fault-tolerance
+// machinery: injected faults carry the cmerr.Transient class, so the
+// probe's per-operation retry absorbs isolated hits, while a stuck CPU —
+// whose operations always fail — exhausts the retry budget, escalates to
+// cmerr.Permanent, and exercises the degradation path (dropped core pairs,
+// Degraded results with a coverage fraction).
+//
+// The injector draws from its own seeded PRNG, so a given (seed, rate,
+// operation sequence) always faults the same operations — experiments
+// built on it are reproducible.
+package faulty
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"coremap/internal/cmerr"
+	"coremap/internal/hostif"
+	"coremap/internal/msr"
+)
+
+// Options configures the injector.
+type Options struct {
+	// Seed drives the fault pattern; the same seed reproduces the same
+	// faults for the same operation sequence.
+	Seed int64
+	// Rate is the per-operation probability (0..1) of injecting a
+	// transient fault on a healthy CPU.
+	Rate float64
+	// StuckCPUs lists CPUs whose every operation fails. The failures are
+	// still classified Transient — that is what makes them interesting:
+	// retry cannot fix them, so they surface as Permanent
+	// retries-exhausted errors and force the pipeline to degrade around
+	// the CPU rather than merely slow down.
+	StuckCPUs []int
+	// MSROnly restricts injection to MSR reads/writes, leaving the cache
+	// operations clean.
+	MSROnly bool
+}
+
+// Host is a fault-injecting hostif.Host decorator. It is safe for
+// concurrent use (the underlying PRNG draw is serialized).
+type Host struct {
+	inner hostif.Host
+	opts  Options
+	stuck map[int]bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	injected atomic.Int64
+	ops      atomic.Int64
+}
+
+// New wraps inner with fault injection.
+func New(inner hostif.Host, opts Options) *Host {
+	h := &Host{
+		inner: inner,
+		opts:  opts,
+		stuck: make(map[int]bool, len(opts.StuckCPUs)),
+		rng:   rand.New(rand.NewSource(opts.Seed ^ 0xFA17)),
+	}
+	for _, cpu := range opts.StuckCPUs {
+		h.stuck[cpu] = true
+	}
+	return h
+}
+
+// Injected returns how many faults have been injected so far.
+func (h *Host) Injected() int64 { return h.injected.Load() }
+
+// Ops returns how many operations passed through the injector (faulted or
+// not), excluding NumCPUs.
+func (h *Host) Ops() int64 { return h.ops.Load() }
+
+// maybeFault decides whether this operation faults, and builds the error.
+func (h *Host) maybeFault(op string, cpu int, isMSR bool) error {
+	h.ops.Add(1)
+	if h.stuck[cpu] {
+		h.injected.Add(1)
+		return cmerr.New(cmerr.Transient, "faulty",
+			"injected fault (stuck cpu)").WithOp(op).OnCPU(cpu)
+	}
+	if h.opts.Rate <= 0 || (h.opts.MSROnly && !isMSR) {
+		return nil
+	}
+	h.mu.Lock()
+	hit := h.rng.Float64() < h.opts.Rate
+	h.mu.Unlock()
+	if !hit {
+		return nil
+	}
+	h.injected.Add(1)
+	return cmerr.New(cmerr.Transient, "faulty", "injected fault").WithOp(op).OnCPU(cpu)
+}
+
+func (h *Host) NumCPUs() int { return h.inner.NumCPUs() }
+
+func (h *Host) ReadMSR(cpu int, a msr.Addr) (uint64, error) {
+	if err := h.maybeFault("rdmsr", cpu, true); err != nil {
+		return 0, err
+	}
+	return h.inner.ReadMSR(cpu, a)
+}
+
+func (h *Host) WriteMSR(cpu int, a msr.Addr, v uint64) error {
+	if err := h.maybeFault("wrmsr", cpu, true); err != nil {
+		return err
+	}
+	return h.inner.WriteMSR(cpu, a, v)
+}
+
+func (h *Host) Load(cpu int, addr uint64) error {
+	if err := h.maybeFault("load", cpu, false); err != nil {
+		return err
+	}
+	return h.inner.Load(cpu, addr)
+}
+
+func (h *Host) TimedLoad(cpu int, addr uint64) (uint64, error) {
+	if err := h.maybeFault("timed-load", cpu, false); err != nil {
+		return 0, err
+	}
+	return h.inner.TimedLoad(cpu, addr)
+}
+
+func (h *Host) Store(cpu int, addr uint64) error {
+	if err := h.maybeFault("store", cpu, false); err != nil {
+		return err
+	}
+	return h.inner.Store(cpu, addr)
+}
+
+func (h *Host) Flush(cpu int, addr uint64) error {
+	if err := h.maybeFault("flush", cpu, false); err != nil {
+		return err
+	}
+	return h.inner.Flush(cpu, addr)
+}

@@ -1,0 +1,132 @@
+package faulty
+
+import (
+	"errors"
+	"testing"
+
+	"coremap/internal/cmerr"
+	"coremap/internal/msr"
+)
+
+// okHost succeeds on every operation.
+type okHost struct{}
+
+func (okHost) NumCPUs() int                          { return 8 }
+func (okHost) ReadMSR(int, msr.Addr) (uint64, error) { return 1, nil }
+func (okHost) WriteMSR(int, msr.Addr, uint64) error  { return nil }
+func (okHost) Load(int, uint64) error                { return nil }
+func (okHost) Store(int, uint64) error               { return nil }
+func (okHost) Flush(int, uint64) error               { return nil }
+func (okHost) TimedLoad(int, uint64) (uint64, error) { return 5, nil }
+
+// faultTrace drives n mixed operations and records which ones faulted.
+func faultTrace(h *Host, n int) []bool {
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		var err error
+		switch i % 4 {
+		case 0:
+			_, err = h.ReadMSR(i%8, 0xe00)
+		case 1:
+			err = h.WriteMSR(i%8, 0xe01, 1)
+		case 2:
+			err = h.Load(i%8, uint64(i)*64)
+		case 3:
+			err = h.Flush(i%8, uint64(i)*64)
+		}
+		out[i] = err != nil
+	}
+	return out
+}
+
+func TestDeterministicFaultSequence(t *testing.T) {
+	a := New(okHost{}, Options{Seed: 9, Rate: 0.05})
+	b := New(okHost{}, Options{Seed: 9, Rate: 0.05})
+	ta, tb := faultTrace(a, 4000), faultTrace(b, 4000)
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	if a.Injected() == 0 {
+		t.Fatal("5%% fault rate injected nothing over 4000 ops")
+	}
+	if a.Injected() != b.Injected() {
+		t.Errorf("injected counts diverged: %d vs %d", a.Injected(), b.Injected())
+	}
+	c := New(okHost{}, Options{Seed: 10, Rate: 0.05})
+	tc := faultTrace(c, 4000)
+	same := true
+	for i := range ta {
+		if ta[i] != tc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical fault sequence")
+	}
+}
+
+func TestFaultRateApproximate(t *testing.T) {
+	h := New(okHost{}, Options{Seed: 3, Rate: 0.02})
+	n := 20000
+	faults := 0
+	for _, f := range faultTrace(h, n) {
+		if f {
+			faults++
+		}
+	}
+	got := float64(faults) / float64(n)
+	if got < 0.01 || got > 0.04 {
+		t.Errorf("observed fault rate %.4f, want ~0.02", got)
+	}
+	if h.Ops() != int64(n) {
+		t.Errorf("Ops() = %d, want %d", h.Ops(), n)
+	}
+	if h.Injected() != int64(faults) {
+		t.Errorf("Injected() = %d, observed %d faults", h.Injected(), faults)
+	}
+}
+
+func TestStuckCPUAlwaysFaults(t *testing.T) {
+	h := New(okHost{}, Options{Seed: 1, StuckCPUs: []int{3}})
+	for i := 0; i < 50; i++ {
+		if err := h.Load(3, 0x1000); err == nil {
+			t.Fatal("stuck CPU 3 completed a load")
+		} else if !cmerr.IsTransient(err) {
+			t.Fatalf("stuck-CPU fault classified %v, want Transient", cmerr.ClassOf(err))
+		}
+	}
+	// Healthy CPUs are untouched at rate 0.
+	for i := 0; i < 50; i++ {
+		if err := h.Load(2, 0x1000); err != nil {
+			t.Fatalf("healthy CPU faulted: %v", err)
+		}
+	}
+}
+
+func TestInjectedFaultProvenance(t *testing.T) {
+	h := New(okHost{}, Options{Seed: 1, StuckCPUs: []int{5}})
+	_, err := h.ReadMSR(5, 0xe00)
+	var ce *cmerr.Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("injected fault %v is not a *cmerr.Error", err)
+	}
+	if ce.CPU != 5 || ce.Op == "" {
+		t.Errorf("fault lacks provenance: %+v", ce)
+	}
+}
+
+func TestMSROnlyLeavesMemoryOpsAlone(t *testing.T) {
+	h := New(okHost{}, Options{Seed: 2, Rate: 1, MSROnly: true})
+	if err := h.Load(0, 0x40); err != nil {
+		t.Errorf("MSROnly injector faulted a load: %v", err)
+	}
+	if err := h.Flush(0, 0x40); err != nil {
+		t.Errorf("MSROnly injector faulted a flush: %v", err)
+	}
+	if _, err := h.ReadMSR(0, 0xe00); err == nil {
+		t.Error("MSROnly injector at rate 1 let an MSR read through")
+	}
+}

@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -166,7 +167,7 @@ func TestSolveDeterministicAcrossWorkers(t *testing.T) {
 			var ref *Solution
 			var refErr error
 			for _, w := range workerCounts {
-				sol, err := Solve(cm.build(), Options{Workers: w})
+				sol, err := Solve(context.Background(), cm.build(), Options{Workers: w})
 				if w == workerCounts[0] {
 					ref, refErr = sol, err
 					if err == nil {
@@ -206,12 +207,12 @@ func TestSolveDeterministicAcrossWorkers(t *testing.T) {
 // lexicographic tie-break ranges over but must not change determinism.
 func TestSolveDeterministicNoPresolve(t *testing.T) {
 	model := func() *Model { return placementModel(4, 3, 4) }
-	ref, err := Solve(model(), Options{Workers: 1, NoPresolve: true})
+	ref, err := Solve(context.Background(), model(), Options{Workers: 1, NoPresolve: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, w := range workerCounts[1:] {
-		sol, err := Solve(model(), Options{Workers: w, NoPresolve: true})
+		sol, err := Solve(context.Background(), model(), Options{Workers: w, NoPresolve: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -237,7 +238,7 @@ func TestSolveLexicographicTieBreak(t *testing.T) {
 		y := m.NewVar("y", 0, 3)
 		m.AddEq("sum", []Term{T(1, x), T(1, y)}, 3)
 		m.SetObjective([]Term{T(1, x), T(1, y)}) // every solution ties at 3
-		sol, err := Solve(m, Options{Workers: w})
+		sol, err := Solve(context.Background(), m, Options{Workers: w})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -34,7 +35,7 @@ func TestSolveSimpleEquality(t *testing.T) {
 	y := m.NewVar("y", 0, 10)
 	m.AddEq("sum", []Term{T(1, x), T(1, y)}, 7)
 	m.AddEq("diff", []Term{T(1, x), T(-1, y)}, 3)
-	sol, err := Solve(m, Options{})
+	sol, err := Solve(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestSolveMinimizes(t *testing.T) {
 	y := m.NewVar("y", 0, 9)
 	m.AddGE("floor", []Term{T(1, x), T(1, y)}, 6)
 	m.SetObjective([]Term{T(3, x), T(1, y)})
-	sol, err := Solve(m, Options{})
+	sol, err := Solve(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestSolveInfeasible(t *testing.T) {
 	m := NewModel()
 	x := m.NewVar("x", 0, 3)
 	m.AddGE("hi", []Term{T(1, x)}, 5)
-	if _, err := Solve(m, Options{}); !errors.Is(err, ErrInfeasible) {
+	if _, err := Solve(context.Background(), m, Options{}); !errors.Is(err, ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible", err)
 	}
 }
@@ -78,7 +79,7 @@ func TestSolveInfeasibleByConflict(t *testing.T) {
 	m.AddEq("a", []Term{T(1, x), T(1, y)}, 4)
 	m.AddGE("b", []Term{T(1, x)}, 3)
 	m.AddGE("c", []Term{T(1, y)}, 3)
-	if _, err := Solve(m, Options{}); !errors.Is(err, ErrInfeasible) {
+	if _, err := Solve(context.Background(), m, Options{}); !errors.Is(err, ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible", err)
 	}
 }
@@ -98,7 +99,7 @@ func TestBigMDisjunction(t *testing.T) {
 	// west: x ≥ y + 1 - b·NW  ⇔  y - x - b·NW ≤ -1
 	m.AddLE("west", []Term{T(1, y), T(-1, x), T(-b, nw)}, -1)
 	m.AddEq("one", []Term{T(1, ne), T(1, nw)}, 1)
-	sol, err := Solve(m, Options{})
+	sol, err := Solve(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestOneHotChanneling(t *testing.T) {
 	m.AddEq("onehot", sum, 1)
 	ch := append([]Term{T(-1, r)}, terms...)
 	m.AddEq("channel", ch, 0)
-	sol, err := Solve(m, Options{})
+	sol, err := Solve(context.Background(), m, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestIndicatorConstraint(t *testing.T) {
 		m.AddLE("lower", []Term{T(1, ri), T(-1, x)}, 0)
 		m.AddLE("upper", []Term{T(1, x), T(-b, ri)}, 0)
 		m.SetObjective([]Term{T(1, ri)})
-		sol, err := Solve(m, Options{})
+		sol, err := Solve(context.Background(), m, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,7 +178,7 @@ func TestNodeLimit(t *testing.T) {
 	m.AddEq("half", vars, 6)
 	// Parity-style extra constraint to prevent trivial propagation.
 	m.AddGE("ge", vars[:6], 1)
-	if _, err := Solve(m, Options{MaxNodes: 1}); !errors.Is(err, ErrNodeLimit) {
+	if _, err := Solve(context.Background(), m, Options{MaxNodes: 1}); !errors.Is(err, ErrNodeLimit) {
 		t.Errorf("err = %v, want ErrNodeLimit", err)
 	}
 }
@@ -193,7 +194,7 @@ func TestNodeLimitWithIncumbentReturnsBest(t *testing.T) {
 	}
 	m.AddGE("sum", vars, 1)
 	m.SetObjective(vars)
-	sol, err := Solve(m, Options{MaxNodes: 40})
+	sol, err := Solve(context.Background(), m, Options{MaxNodes: 40})
 	if err != nil {
 		t.Fatalf("budgeted solve failed: %v", err)
 	}
@@ -215,7 +216,7 @@ func TestBranchOrderRespected(t *testing.T) {
 	a := m.NewVar("a", 0, 5)
 	c := m.NewVar("c", 0, 5)
 	m.AddGE("s", []Term{T(1, a), T(1, c)}, 1)
-	sol, err := Solve(m, Options{BranchOrder: []Var{c}})
+	sol, err := Solve(context.Background(), m, Options{BranchOrder: []Var{c}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestSolverMatchesBruteForce(t *testing.T) {
 		m.SetObjective(obj)
 
 		want, wantObj, feasible := bruteForce(m)
-		sol, err := Solve(m, Options{})
+		sol, err := Solve(context.Background(), m, Options{})
 		if !feasible {
 			return errors.Is(err, ErrInfeasible)
 		}

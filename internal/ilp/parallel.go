@@ -41,8 +41,12 @@ type engine struct {
 	bound atomic.Int64
 	// nodes counts processed frames across all workers.
 	nodes atomic.Int64
-	// aborted is set when the node budget expires.
+	// aborted is set when the search stops early for any reason: node
+	// budget expiry or context cancellation.
 	aborted atomic.Bool
+	// interrupted records that the early stop was a context cancellation
+	// (set by the ctx watcher), distinguishing it from budget expiry.
+	interrupted atomic.Bool
 
 	mu      sync.Mutex
 	wake    *sync.Cond
@@ -150,6 +154,14 @@ func (e *engine) abort() {
 	e.aborted.Store(true)
 	e.wake.Broadcast()
 	e.mu.Unlock()
+}
+
+// interrupt stops the search because the caller's context was cancelled.
+// Workers observe the aborted flag at their next node (or wake from a
+// blocked deque pop), so the search returns within one node's work.
+func (e *engine) interrupt() {
+	e.interrupted.Store(true)
+	e.abort()
 }
 
 // runSubtree explores one task depth-first. Frames shallower than

@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -45,7 +46,7 @@ func TestPresolveDetectsInfeasibleMerge(t *testing.T) {
 	x := m.NewVar("x", 0, 1)
 	y := m.NewVar("y", 3, 4)
 	m.AddEq("xy", []Term{T(1, x), T(-1, y)}, 0)
-	if _, err := Solve(m, Options{}); !errors.Is(err, ErrInfeasible) {
+	if _, err := Solve(context.Background(), m, Options{}); !errors.Is(err, ErrInfeasible) {
 		t.Errorf("err = %v, want ErrInfeasible from presolve", err)
 	}
 }
@@ -103,8 +104,8 @@ func TestPresolveEquivalence(t *testing.T) {
 		}
 		m.SetObjective(obj)
 
-		a, errA := Solve(m, Options{})
-		b, errB := Solve(m, Options{NoPresolve: true})
+		a, errA := Solve(context.Background(), m, Options{})
+		b, errB := Solve(context.Background(), m, Options{NoPresolve: true})
 		if (errA == nil) != (errB == nil) {
 			t.Logf("seed %d: presolve err=%v, plain err=%v", seed, errA, errB)
 			return false

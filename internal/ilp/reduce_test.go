@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"testing"
 )
 
@@ -11,8 +12,8 @@ import (
 func TestSolveDeterministicAcrossReduce(t *testing.T) {
 	for _, cm := range corpus() {
 		t.Run(cm.name, func(t *testing.T) {
-			ref, refErr := Solve(cm.build(), Options{Workers: 1, NoReduce: true})
-			sol, err := Solve(cm.build(), Options{Workers: 1})
+			ref, refErr := Solve(context.Background(), cm.build(), Options{Workers: 1, NoReduce: true})
+			sol, err := Solve(context.Background(), cm.build(), Options{Workers: 1})
 			if (err == nil) != (refErr == nil) {
 				t.Fatalf("reduce err=%v, noreduce err=%v", err, refErr)
 			}
@@ -107,8 +108,8 @@ func TestReduceInfeasibleByPropagation(t *testing.T) {
 // agree with the default path on the corpus too.
 func TestSolveNoPresolveStillWorks(t *testing.T) {
 	for _, cm := range corpus() {
-		ref, refErr := Solve(cm.build(), Options{Workers: 1, NoPresolve: true})
-		sol, err := Solve(cm.build(), Options{Workers: 1})
+		ref, refErr := Solve(context.Background(), cm.build(), Options{Workers: 1, NoPresolve: true})
+		sol, err := Solve(context.Background(), cm.build(), Options{Workers: 1})
 		if (err == nil) != (refErr == nil) {
 			t.Fatalf("%s: presolve err=%v, nopresolve err=%v", cm.name, err, refErr)
 		}

@@ -1,18 +1,27 @@
 package ilp
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"runtime"
+
+	"coremap/internal/cmerr"
 )
 
 // Errors returned by Solve.
 var (
 	// ErrInfeasible reports that the model admits no integer solution.
-	ErrInfeasible = errors.New("ilp: infeasible")
+	// It is a Permanent error: re-running the same model cannot help.
+	ErrInfeasible = cmerr.Sentinel(cmerr.Permanent, "ilp: infeasible")
 	// ErrNodeLimit reports that the search budget expired before any
 	// feasible solution was found.
-	ErrNodeLimit = errors.New("ilp: node limit reached without a feasible solution")
+	ErrNodeLimit = cmerr.Sentinel(cmerr.Permanent, "ilp: node limit reached without a feasible solution")
+	// ErrInterrupted reports that the context was cancelled mid-search.
+	// When an incumbent existed at cancellation time, Solve returns it
+	// alongside this error (Solution non-nil, Optimal false); the
+	// incumbent is a complete, feasible assignment — never a partial
+	// write-out. errors.Is(err, cmerr.Interrupted) matches.
+	ErrInterrupted = cmerr.Sentinel(cmerr.Interrupted, "ilp: interrupted")
 )
 
 // Options tunes the branch-and-bound search.
@@ -47,8 +56,15 @@ type Options struct {
 // DefaultMaxNodes is the search budget used when Options.MaxNodes is 0.
 const DefaultMaxNodes = 2_000_000
 
-// Solve minimizes m's objective subject to its constraints.
-func Solve(m *Model, opts Options) (*Solution, error) {
+// Solve minimizes m's objective subject to its constraints. The search is
+// cancellable: when ctx expires, workers stop at the next node boundary
+// (the deque pop and the per-node budget check both observe it) and Solve
+// returns the best incumbent found so far together with ErrInterrupted,
+// or ErrInterrupted alone when no feasible leaf had been reached yet.
+func Solve(ctx context.Context, m *Model, opts Options) (*Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	maxNodes := opts.MaxNodes
 	if maxNodes <= 0 {
 		maxNodes = DefaultMaxNodes
@@ -79,9 +95,30 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 	lo := append([]int64(nil), target.lo...)
 	hi := append([]int64(nil), target.hi...)
 	e := newEngine(s, workers, maxNodes)
-	e.run(frame{lo: lo, hi: hi})
 
+	// A watcher turns context expiry into the engine's interrupt flag,
+	// which every worker polls per node and which wakes blocked deque
+	// pops. The stop channel reaps the watcher on normal completion so a
+	// Solve never leaks a goroutine (the CI race job pins this).
+	stop := make(chan struct{})
+	watcher := make(chan struct{})
+	go func() {
+		defer close(watcher)
+		select {
+		case <-ctx.Done():
+			e.interrupt()
+		case <-stop:
+		}
+	}()
+	e.run(frame{lo: lo, hi: hi})
+	close(stop)
+	<-watcher
+
+	interrupted := e.interrupted.Load()
 	if e.best == nil {
+		if interrupted {
+			return nil, fmt.Errorf("%w (no incumbent): %w", ErrInterrupted, context.Cause(ctx))
+		}
 		if e.aborted.Load() {
 			return nil, ErrNodeLimit
 		}
@@ -91,12 +128,18 @@ func Solve(m *Model, opts Options) (*Solution, error) {
 	if pre != nil {
 		values = pre.expand(values)
 	}
-	return &Solution{
+	sol := &Solution{
 		Values:    values,
 		Objective: e.bestObj,
 		Optimal:   !e.aborted.Load(),
 		Nodes:     int(e.nodes.Load()),
-	}, nil
+	}
+	if interrupted {
+		// The incumbent is complete and feasible; hand it back with the
+		// interruption so callers can degrade instead of discarding it.
+		return sol, ErrInterrupted
+	}
+	return sol, nil
 }
 
 // solver is the immutable search context shared by all workers: the model,

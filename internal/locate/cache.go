@@ -1,6 +1,9 @@
 package locate
 
 import (
+	"context"
+
+	"coremap/internal/cmerr"
 	"coremap/internal/memo"
 	"coremap/internal/mesh"
 )
@@ -33,16 +36,27 @@ func (c *Cache) Len() int { return c.g.Len() }
 // reconstruct is the cached version of Reconstruct's solve path. The
 // cached Map is private to the cache; every caller gets a clone so later
 // mutation cannot poison other hits.
-func (c *Cache) reconstruct(in Input, opts Options) (*Map, error) {
-	v, err := c.g.Do(Fingerprint(in, opts), func() (any, error) {
-		m, err := reconstruct(in, opts)
+//
+// Interrupted solves are never cached: how far a cancelled search got is a
+// property of that run's deadline, not of the fingerprinted input, so the
+// entry is forgotten and the best-effort incumbent (when one exists) is
+// handed only to the caller that ran the computation.
+func (c *Cache) reconstruct(ctx context.Context, in Input, opts Options) (*Map, error) {
+	key := Fingerprint(in, opts)
+	var partial *Map
+	v, err := c.g.Do(key, func() (any, error) {
+		m, err := reconstruct(ctx, in, opts)
 		if err != nil {
+			partial = m
 			return nil, err
 		}
 		return m, nil
 	})
 	if err != nil {
-		return nil, err
+		if cmerr.IsInterrupted(err) {
+			c.g.Forget(key)
+		}
+		return partial, err
 	}
 	return v.(*Map).clone(), nil
 }

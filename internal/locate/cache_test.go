@@ -1,6 +1,7 @@
 package locate
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -24,11 +25,11 @@ func testInput(rows, cols int) (Input, []mesh.Coord) {
 // the map an uncached one does.
 func TestCacheMatchesUncached(t *testing.T) {
 	in, _ := testInput(3, 3)
-	plain, err := Reconstruct(in, Options{})
+	plain, err := Reconstruct(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cached, err := Reconstruct(in, Options{Cache: NewCache()})
+	cached, err := Reconstruct(context.Background(), in, Options{Cache: NewCache()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestCacheSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			maps[i], errs[i] = Reconstruct(in, Options{Cache: c, Workers: 1})
+			maps[i], errs[i] = Reconstruct(context.Background(), in, Options{Cache: c, Workers: 1})
 		}(i)
 	}
 	wg.Wait()
@@ -78,7 +79,7 @@ func TestCacheSingleFlight(t *testing.T) {
 	// Clones are private: corrupting one caller's map must not reach the
 	// cache.
 	maps[0].Pos[0] = mesh.Coord{Row: -42, Col: -42}
-	again, err := Reconstruct(in, Options{Cache: c})
+	again, err := Reconstruct(context.Background(), in, Options{Cache: c})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestReconstructObservationOrderInvariant(t *testing.T) {
 	})
 	in := Input{NumCHA: len(tiles), Rows: rows, Cols: cols,
 		Observations: syntheticObservations(g, tiles)}
-	base, err := Reconstruct(in, Options{Workers: 1})
+	base, err := Reconstruct(context.Background(), in, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestReconstructObservationOrderInvariant(t *testing.T) {
 		r.Shuffle(len(perm.Observations), func(i, j int) {
 			perm.Observations[i], perm.Observations[j] = perm.Observations[j], perm.Observations[i]
 		})
-		got, err := Reconstruct(perm, Options{Workers: 1})
+		got, err := Reconstruct(context.Background(), perm, Options{Workers: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -245,11 +246,11 @@ func TestCacheCachesErrors(t *testing.T) {
 		},
 	}
 	c := NewCache()
-	_, err1 := Reconstruct(in, Options{Cache: c})
+	_, err1 := Reconstruct(context.Background(), in, Options{Cache: c})
 	if err1 == nil {
 		t.Fatal("contradictory observations reconstructed successfully")
 	}
-	_, err2 := Reconstruct(in, Options{Cache: c})
+	_, err2 := Reconstruct(context.Background(), in, Options{Cache: c})
 	if err2 == nil || c.Stats().Hits != 1 {
 		t.Fatalf("error not served from cache (err=%v, stats=%+v)", err2, c.Stats())
 	}

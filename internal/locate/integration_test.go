@@ -1,6 +1,7 @@
 package locate
 
 import (
+	"context"
 	"testing"
 
 	"coremap/internal/machine"
@@ -15,11 +16,11 @@ func runPipeline(t *testing.T, m *machine.Machine, opts Options) (*Map, *probe.R
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.Run()
+	res, err := p.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	mp, err := Reconstruct(Input{
+	mp, err := Reconstruct(context.Background(), Input{
 		NumCHA:       res.NumCHA,
 		Rows:         m.SKU.Rows,
 		Cols:         m.SKU.Cols,
@@ -48,7 +49,7 @@ func TestPipelineStepOneMatchesTruth(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := p.MapCoresToCHAs()
+		got, err := p.MapCoresToCHAs(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", sku.Name, err)
 		}

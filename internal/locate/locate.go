@@ -23,9 +23,11 @@
 package locate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"coremap/internal/cmerr"
 	"coremap/internal/ilp"
 	"coremap/internal/mesh"
 	"coremap/internal/probe"
@@ -101,7 +103,14 @@ type Map struct {
 
 // ErrUnsatisfiable reports that no placement explains the observations —
 // in practice a sign of measurement noise exceeding the probe threshold.
-var ErrUnsatisfiable = errors.New("locate: observations admit no placement")
+// It is Permanent: re-solving the same observations cannot help.
+var ErrUnsatisfiable = cmerr.Sentinel(cmerr.Permanent, "locate: observations admit no placement")
+
+// ErrInterrupted reports that reconstruction was cancelled mid-solve. When
+// an ILP incumbent existed, Reconstruct returns it as a best-effort Map
+// (Optimal false) alongside this error. errors.Is(err, cmerr.Interrupted)
+// matches.
+var ErrInterrupted = cmerr.Sentinel(cmerr.Interrupted, "locate: reconstruction interrupted")
 
 // builder assembles the ILP.
 type builder struct {
@@ -279,25 +288,29 @@ func (b *builder) branchOrder() []ilp.Var {
 }
 
 // Reconstruct solves the placement problem. With Options.Cache set, the
-// solve is memoized under the input's canonical fingerprint.
-func Reconstruct(in Input, opts Options) (*Map, error) {
+// solve is memoized under the input's canonical fingerprint. Cancelling
+// ctx stops the ILP search at the next node boundary; when an incumbent
+// placement existed, it is returned as a best-effort Map alongside an
+// ErrInterrupted error.
+func Reconstruct(ctx context.Context, in Input, opts Options) (*Map, error) {
 	if in.NumCHA <= 0 || in.Rows <= 0 || in.Cols <= 0 {
-		return nil, fmt.Errorf("locate: invalid input %d CHAs on %dx%d", in.NumCHA, in.Rows, in.Cols)
+		return nil, cmerr.New(cmerr.Permanent, "locate", "invalid input %d CHAs on %dx%d", in.NumCHA, in.Rows, in.Cols)
 	}
 	for _, o := range in.Observations {
 		if o.Anchored && (o.SrcIMC < 0 || o.SrcIMC >= len(in.IMCPositions)) {
-			return nil, fmt.Errorf("locate: anchored observation references IMC %d but only %d positions are known",
+			return nil, cmerr.New(cmerr.Permanent, "locate",
+				"anchored observation references IMC %d but only %d positions are known",
 				o.SrcIMC, len(in.IMCPositions))
 		}
 	}
 	if opts.Cache != nil {
-		return opts.Cache.reconstruct(in, opts)
+		return opts.Cache.reconstruct(ctx, in, opts)
 	}
-	return reconstruct(in, opts)
+	return reconstruct(ctx, in, opts)
 }
 
 // reconstruct is the uncached solve path; in has been validated.
-func reconstruct(in Input, opts Options) (*Map, error) {
+func reconstruct(ctx context.Context, in Input, opts Options) (*Map, error) {
 	anchored := false
 	for _, o := range in.Observations {
 		if o.Anchored {
@@ -322,7 +335,7 @@ func reconstruct(in Input, opts Options) (*Map, error) {
 
 	result := &Map{Rows: in.Rows, Cols: in.Cols, Anchored: anchored}
 	for round := 0; ; round++ {
-		sol, err := ilp.Solve(b.m, ilp.Options{
+		sol, err := ilp.Solve(ctx, b.m, ilp.Options{
 			MaxNodes:    opts.MaxNodes,
 			BranchOrder: b.branchOrder(),
 			Workers:     opts.Workers,
@@ -330,11 +343,15 @@ func reconstruct(in Input, opts Options) (*Map, error) {
 		if errors.Is(err, ilp.ErrInfeasible) {
 			return nil, ErrUnsatisfiable
 		}
-		if err != nil {
-			return nil, err
+		interrupted := errors.Is(err, ilp.ErrInterrupted)
+		if err != nil && !(interrupted && sol != nil) {
+			if interrupted {
+				return nil, fmt.Errorf("%w: %w", ErrInterrupted, err)
+			}
+			return nil, cmerr.Wrap(cmerr.Permanent, "locate", err)
 		}
 		result.Nodes += sol.Nodes
-		result.Optimal = sol.Optimal
+		result.Optimal = sol.Optimal && !interrupted
 		result.SeparationRounds = round
 
 		pos := make([]mesh.Coord, in.NumCHA)
@@ -342,11 +359,18 @@ func reconstruct(in Input, opts Options) (*Map, error) {
 			pos[i] = mesh.Coord{Row: int(sol.Value(b.r[i])), Col: int(sol.Value(b.c[i]))}
 		}
 		overlaps := findOverlaps(pos)
+		if interrupted {
+			// The incumbent is a complete feasible assignment of the
+			// current model; separation refinement stops here. Hand it
+			// back with the interruption so callers can keep it.
+			result.Pos = pos
+			return result, fmt.Errorf("%w after %d nodes: %w", ErrInterrupted, result.Nodes, err)
+		}
 		if len(overlaps) == 0 || round >= maxRounds {
 			result.Pos = pos
 			if len(overlaps) > 0 {
-				return result, fmt.Errorf("locate: %d overlapping tile pairs remain after %d separation rounds",
-					len(overlaps), round)
+				return result, cmerr.New(cmerr.Permanent, "locate",
+					"%d overlapping tile pairs remain after %d separation rounds", len(overlaps), round)
 			}
 			return result, nil
 		}

@@ -1,6 +1,7 @@
 package locate
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -132,7 +133,7 @@ func fullGrid(rows, cols int) (*mesh.Grid, []mesh.Coord) {
 func TestReconstructFullGridExact(t *testing.T) {
 	for _, sz := range [][2]int{{2, 2}, {3, 3}, {2, 4}, {4, 3}} {
 		g, tiles := fullGrid(sz[0], sz[1])
-		mp, err := Reconstruct(Input{
+		mp, err := Reconstruct(context.Background(), Input{
 			NumCHA:       len(tiles),
 			Rows:         sz[0],
 			Cols:         sz[1],
@@ -174,7 +175,7 @@ func TestReconstructRandomActiveSubsets(t *testing.T) {
 		if len(tiles) < 3 {
 			return true
 		}
-		mp, err := Reconstruct(Input{
+		mp, err := Reconstruct(context.Background(), Input{
 			NumCHA:       len(tiles),
 			Rows:         rows,
 			Cols:         cols,
@@ -197,7 +198,7 @@ func TestReconstructRandomActiveSubsets(t *testing.T) {
 
 func TestReconstructPaperBoundsAlsoRecover(t *testing.T) {
 	g, tiles := fullGrid(3, 3)
-	mp, err := Reconstruct(Input{
+	mp, err := Reconstruct(context.Background(), Input{
 		NumCHA:       len(tiles),
 		Rows:         3,
 		Cols:         3,
@@ -218,17 +219,17 @@ func TestReconstructUnsatisfiable(t *testing.T) {
 		{SrcCHA: 2, DstCHA: 1, Down: []int{0}},
 		{SrcCHA: 1, DstCHA: 0, Down: []int{2}},
 	}
-	_, err := Reconstruct(Input{NumCHA: 3, Rows: 2, Cols: 2, Observations: obs}, Options{})
+	_, err := Reconstruct(context.Background(), Input{NumCHA: 3, Rows: 2, Cols: 2, Observations: obs}, Options{})
 	if !errors.Is(err, ErrUnsatisfiable) {
 		t.Errorf("err = %v, want ErrUnsatisfiable", err)
 	}
 }
 
 func TestReconstructRejectsBadInput(t *testing.T) {
-	if _, err := Reconstruct(Input{NumCHA: 0, Rows: 2, Cols: 2}, Options{}); err == nil {
+	if _, err := Reconstruct(context.Background(), Input{NumCHA: 0, Rows: 2, Cols: 2}, Options{}); err == nil {
 		t.Error("zero CHAs accepted")
 	}
-	if _, err := Reconstruct(Input{NumCHA: 2, Rows: 0, Cols: 2}, Options{}); err == nil {
+	if _, err := Reconstruct(context.Background(), Input{NumCHA: 2, Rows: 0, Cols: 2}, Options{}); err == nil {
 		t.Error("zero rows accepted")
 	}
 }
@@ -257,7 +258,7 @@ func TestLazySeparationResolvesOverlaps(t *testing.T) {
 		{SrcCHA: 0, DstCHA: 1, Down: []int{1}},
 		{SrcCHA: 1, DstCHA: 0, Up: []int{0}},
 	}
-	mp, err := Reconstruct(Input{NumCHA: 3, Rows: 3, Cols: 3, Observations: obs}, Options{})
+	mp, err := Reconstruct(context.Background(), Input{NumCHA: 3, Rows: 3, Cols: 3, Observations: obs}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestAnchoredSyntheticReconstruction(t *testing.T) {
 		{SrcCHA: -1, DstCHA: 0, Anchored: true, SrcIMC: 0, Up: []int{0}},
 		{SrcCHA: -1, DstCHA: 1, Anchored: true, SrcIMC: 0, Down: []int{1}},
 	}
-	mp, err := Reconstruct(Input{NumCHA: 2, Rows: 3, Cols: 3, Observations: obs, IMCPositions: imc}, Options{})
+	mp, err := Reconstruct(context.Background(), Input{NumCHA: 2, Rows: 3, Cols: 3, Observations: obs, IMCPositions: imc}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func TestVerticalPairMinimalObservation(t *testing.T) {
 	// One observation — 1 down-hop — must separate the two tiles
 	// vertically with the source above the sink.
 	obs := []probe.Observation{{SrcCHA: 0, DstCHA: 1, Down: []int{1}}}
-	mp, err := Reconstruct(Input{NumCHA: 2, Rows: 3, Cols: 3, Observations: obs}, Options{})
+	mp, err := Reconstruct(context.Background(), Input{NumCHA: 2, Rows: 3, Cols: 3, Observations: obs}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

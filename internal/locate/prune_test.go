@@ -1,6 +1,7 @@
 package locate
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -19,7 +20,7 @@ func measuredInput(t *testing.T, m *machine.Machine) Input {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.RunWith(probe.RunOptions{SliceSources: true, NumIMCs: len(m.SKU.IMC)})
+	res, err := p.RunWith(context.Background(), probe.RunOptions{SliceSources: true, NumIMCs: len(m.SKU.IMC)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,11 +51,11 @@ func TestPruneInvariant(t *testing.T) {
 	} {
 		m := machine.Generate(tc.sku, tc.idx, machine.Config{Seed: tc.seed})
 		in := measuredInput(t, m)
-		pruned, err := Reconstruct(in, Options{Workers: 1})
+		pruned, err := Reconstruct(context.Background(), in, Options{Workers: 1})
 		if err != nil {
 			t.Fatalf("%s pattern %d: pruned: %v", tc.sku.Name, tc.idx, err)
 		}
-		unpruned, err := Reconstruct(in, Options{NoPrune: true, Workers: 1})
+		unpruned, err := Reconstruct(context.Background(), in, Options{NoPrune: true, Workers: 1})
 		if err != nil {
 			t.Fatalf("%s pattern %d: unpruned: %v", tc.sku.Name, tc.idx, err)
 		}
@@ -96,11 +97,11 @@ func TestPruneInvariantSyntheticSubsets(t *testing.T) {
 			Cols:         cols,
 			Observations: syntheticObservations(g, tiles),
 		}
-		pruned, err := Reconstruct(in, Options{Workers: 1})
+		pruned, err := Reconstruct(context.Background(), in, Options{Workers: 1})
 		if err != nil {
 			t.Fatalf("trial %d: pruned: %v", trial, err)
 		}
-		unpruned, err := Reconstruct(in, Options{NoPrune: true, Workers: 1})
+		unpruned, err := Reconstruct(context.Background(), in, Options{NoPrune: true, Workers: 1})
 		if err != nil {
 			t.Fatalf("trial %d: unpruned: %v", trial, err)
 		}

@@ -1,6 +1,7 @@
 package locate
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestValidateAcceptsTruth(t *testing.T) {
 func TestValidateAcceptsReconstruction(t *testing.T) {
 	g, tiles := fullGrid(3, 3)
 	in := Input{NumCHA: len(tiles), Rows: 3, Cols: 3, Observations: syntheticObservations(g, tiles)}
-	mp, err := Reconstruct(in, Options{})
+	mp, err := Reconstruct(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,12 +98,12 @@ func TestPipelineValidatesSemantically(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.Run()
+	res, err := p.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	in := Input{NumCHA: res.NumCHA, Rows: m.SKU.Rows, Cols: m.SKU.Cols, Observations: res.Observations}
-	mp, err := Reconstruct(in, Options{})
+	mp, err := Reconstruct(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

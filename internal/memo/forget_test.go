@@ -1,0 +1,35 @@
+package memo
+
+import "testing"
+
+// Forget is how the pipeline keeps interrupted and degraded results out
+// of the cache: the computing goroutine drops its own entry so the next
+// caller recomputes instead of inheriting a partial result.
+func TestForgetForcesRecompute(t *testing.T) {
+	g := NewGroup()
+	calls := 0
+	compute := func() (any, error) { calls++; return calls, nil }
+
+	if v, _ := g.Do(key(7), compute); v.(int) != 1 {
+		t.Fatalf("first Do = %v, want 1", v)
+	}
+	g.Forget(key(7))
+	if g.Len() != 0 {
+		t.Fatalf("Len = %d after Forget, want 0", g.Len())
+	}
+	if v, _ := g.Do(key(7), compute); v.(int) != 2 {
+		t.Fatalf("Do after Forget = %v, want a recompute", v)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2", calls)
+	}
+
+	// Forgetting a key that was never cached (or already forgotten) is a
+	// no-op, not a panic.
+	g.Forget(key(8))
+	g.Forget(key(7))
+	g.Forget(key(7))
+	if g.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", g.Len())
+	}
+}

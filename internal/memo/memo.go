@@ -123,6 +123,19 @@ func (g *Group) Do(key Key, compute func() (any, error)) (any, error) {
 	return e.val, e.err
 }
 
+// Forget drops the cached entry for key, if any. Callers use it to keep
+// non-reusable outcomes out of the cache: a computation that was cancelled
+// mid-flight or produced a partial (degraded) result is a property of that
+// particular run, not of the key's content, so replaying it to later
+// callers would be wrong. An in-flight entry is forgotten too — current
+// waiters still receive its outcome, but later lookups recompute.
+func (g *Group) Forget(key Key) {
+	sh := &g.shards[key[0]%shardCount]
+	sh.mu.Lock()
+	delete(sh.m, key)
+	sh.mu.Unlock()
+}
+
 // Len returns the number of cached entries (in-flight ones included).
 func (g *Group) Len() int {
 	n := 0

@@ -47,15 +47,17 @@ func (c *ResultCache) Len() int { return c.step1.Len() + c.full.Len() }
 // learns before the pair-traffic sweep.
 type step1State struct {
 	mapping         []int
+	failures        []Failure
 	homes           map[int][]uint64
 	noisePerOpMilli uint64
 	calibrated      bool
 }
 
 // snapshotStep1 captures the prober's step-1 state for caching.
-func (p *Prober) snapshotStep1(mapping []int) *step1State {
+func (p *Prober) snapshotStep1(mapping []int, failures []Failure) *step1State {
 	st := &step1State{
 		mapping:         append([]int(nil), mapping...),
+		failures:        append([]Failure(nil), failures...),
 		homes:           make(map[int][]uint64, len(p.homes)),
 		noisePerOpMilli: p.noisePerOpMilli,
 		calibrated:      p.calibrated,
@@ -92,6 +94,7 @@ func (p *Prober) optionsKey(buf []byte) []byte {
 		int64(o.L2Sets), int64(o.L2Ways), int64(o.HomeSamples),
 		int64(o.EvictRounds), int64(o.TrafficIters), int64(o.Threshold),
 		b2i(o.NoCalibration), int64(o.MaxCandidates), o.Seed,
+		b2i(o.FailFast), int64(o.MinCoverage * 1e6),
 	} {
 		buf = binary.AppendVarint(buf, v)
 	}
@@ -122,9 +125,12 @@ func (p *Prober) runKey(ppin uint64, ro RunOptions) memo.Key {
 // handed to callers cannot poison the cache when mutated.
 func (r *Result) clone() *Result {
 	out := &Result{
-		PPIN:    r.PPIN,
-		NumCHA:  r.NumCHA,
-		OSToCHA: append([]int(nil), r.OSToCHA...),
+		PPIN:      r.PPIN,
+		NumCHA:    r.NumCHA,
+		OSToCHA:   append([]int(nil), r.OSToCHA...),
+		Planned:   r.Planned,
+		Completed: r.Completed,
+		Degraded:  r.Degraded,
 	}
 	if r.CoreCHAs != nil {
 		out.CoreCHAs = append([]int(nil), r.CoreCHAs...)
@@ -134,6 +140,9 @@ func (r *Result) clone() *Result {
 		for i, o := range r.Observations {
 			out.Observations[i] = o.clone()
 		}
+	}
+	if r.Failures != nil {
+		out.Failures = append([]Failure(nil), r.Failures...)
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestResultCacheRunWith(t *testing.T) {
 	c := NewResultCache()
 	ro := RunOptions{SliceSources: true}
 
-	first, err := newCachedProber(t, m, c).RunWith(ro)
+	first, err := newCachedProber(t, m, c).RunWith(context.Background(), ro)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestResultCacheRunWith(t *testing.T) {
 		t.Fatalf("first run recorded %d hits, want 0", afterFirst.Hits)
 	}
 
-	second, err := newCachedProber(t, m, c).RunWith(ro)
+	second, err := newCachedProber(t, m, c).RunWith(context.Background(), ro)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestResultCacheRunWith(t *testing.T) {
 	// Mutating a returned result must not poison the cache.
 	second.OSToCHA[0] = -99
 	second.Observations[0].Up = append(second.Observations[0].Up, 1234)
-	third, err := newCachedProber(t, m, c).RunWith(ro)
+	third, err := newCachedProber(t, m, c).RunWith(context.Background(), ro)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,13 +65,13 @@ func TestResultCacheStep1Restore(t *testing.T) {
 	c := NewResultCache()
 
 	p1 := newCachedProber(t, m, c)
-	mapping1, err := p1.MapCoresToCHAs()
+	mapping1, err := p1.MapCoresToCHAs(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	p2 := newCachedProber(t, m, c)
-	mapping2, err := p2.MapCoresToCHAs()
+	mapping2, err := p2.MapCoresToCHAs(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestResultCacheStep1Restore(t *testing.T) {
 	// p2 never built eviction sets itself; the restored state must carry
 	// them, or this traffic experiment cannot find a line homed at the
 	// sink CHA.
-	obs, err := p2.MeasureTraffic(0, 1, mapping2[0], mapping2[1])
+	obs, err := p2.MeasureTraffic(context.Background(), 0, 1, mapping2[0], mapping2[1])
 	if err != nil {
 		t.Fatalf("traffic experiment after step-1 cache hit: %v", err)
 	}
@@ -102,10 +103,10 @@ func TestResultCacheKeyedByChipAndOptions(t *testing.T) {
 	m0 := machine.Generate(machine.SKU8124M, 0, machine.Config{Seed: 9})
 	m1 := machine.Generate(machine.SKU8124M, 1, machine.Config{Seed: 10})
 
-	if _, err := newCachedProber(t, m0, c).RunWith(RunOptions{}); err != nil {
+	if _, err := newCachedProber(t, m0, c).RunWith(context.Background(), RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := newCachedProber(t, m1, c).RunWith(RunOptions{}); err != nil {
+	if _, err := newCachedProber(t, m1, c).RunWith(context.Background(), RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Stats().Hits; got != 0 {
@@ -115,7 +116,7 @@ func TestResultCacheKeyedByChipAndOptions(t *testing.T) {
 	// Same chip, different run options → new full-result entry (the
 	// step-1 layer legitimately hits: the measurement options match).
 	before := c.Stats()
-	if _, err := newCachedProber(t, m0, c).RunWith(RunOptions{SliceSources: true}); err != nil {
+	if _, err := newCachedProber(t, m0, c).RunWith(context.Background(), RunOptions{SliceSources: true}); err != nil {
 		t.Fatal(err)
 	}
 	if d := c.Stats().Sub(before); d.Misses != 1 {
@@ -128,7 +129,7 @@ func TestResultCacheKeyedByChipAndOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.RunWith(RunOptions{}); err != nil {
+	if _, err := p.RunWith(context.Background(), RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if d := c.Stats().Sub(before); d.Hits != 0 || d.Misses != 2 {

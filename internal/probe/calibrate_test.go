@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"testing"
 
 	"coremap/internal/machine"
@@ -9,7 +10,7 @@ import (
 func TestCalibrateNoiseQuietHost(t *testing.T) {
 	m := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 1})
 	p := newProber(t, m)
-	if err := p.CalibrateNoise(); err != nil {
+	if err := p.CalibrateNoise(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if p.noisePerOpMilli != 0 {
@@ -23,7 +24,7 @@ func TestCalibrateNoiseQuietHost(t *testing.T) {
 func TestCalibrateNoiseBusyHost(t *testing.T) {
 	m := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 2, NoiseFlits: 8, NoiseEveryOps: 8})
 	p := newProber(t, m)
-	if err := p.CalibrateNoise(); err != nil {
+	if err := p.CalibrateNoise(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if p.noisePerOpMilli == 0 {
@@ -39,11 +40,11 @@ func TestCalibrateNoiseBusyHost(t *testing.T) {
 
 func TestThresholdsScaleWithNoise(t *testing.T) {
 	quiet := newProber(t, machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 3}))
-	if err := quiet.CalibrateNoise(); err != nil {
+	if err := quiet.CalibrateNoise(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	busy := newProber(t, machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 3, NoiseFlits: 8, NoiseEveryOps: 8}))
-	if err := busy.CalibrateNoise(); err != nil {
+	if err := busy.CalibrateNoise(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if busy.counterThreshold(64, 128) <= quiet.counterThreshold(64, 128) {
@@ -61,7 +62,7 @@ func TestThresholdsScaleWithNoise(t *testing.T) {
 func TestStep1SurvivesHeavyNoise(t *testing.T) {
 	m := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 4, NoiseFlits: 12, NoiseEveryOps: 8})
 	p := newProber(t, m)
-	got, err := p.MapCoresToCHAs()
+	got, err := p.MapCoresToCHAs(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -14,13 +15,13 @@ func TestMeasureMemoryTrafficMatchesRoute(t *testing.T) {
 	sku := machine.SKU8175M
 	m := machine.Generate(sku, 0, machine.Config{Seed: 12})
 	p := newProber(t, m)
-	mapping, err := p.MapCoresToCHAs()
+	mapping, err := p.MapCoresToCHAs(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, cpu := range []int{0, 13} {
 		for imc := range sku.IMC {
-			obs, err := p.MeasureMemoryTraffic(cpu, mapping[cpu], imc, len(sku.IMC))
+			obs, err := p.MeasureMemoryTraffic(context.Background(), cpu, mapping[cpu], imc, len(sku.IMC))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -52,10 +53,10 @@ func TestMeasureMemoryTrafficUsesInterleave(t *testing.T) {
 func TestMeasureTrafficUnknownSink(t *testing.T) {
 	m := machine.Generate(machine.SKU8124M, 0, machine.Config{Seed: 13})
 	p := newProber(t, m)
-	if _, err := p.MeasureTraffic(0, 1, 0, 1); err == nil {
+	if _, err := p.MeasureTraffic(context.Background(), 0, 1, 0, 1); err == nil {
 		t.Error("MeasureTraffic without eviction sets succeeded")
 	}
-	if _, err := p.MeasureSliceTraffic(0, 0, 5); err == nil {
+	if _, err := p.MeasureSliceTraffic(context.Background(), 0, 0, 5); err == nil {
 		t.Error("MeasureSliceTraffic without eviction sets succeeded")
 	}
 }
@@ -111,7 +112,7 @@ func TestProbeSurfacesHostFailures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Run(); err != nil {
+	if _, err := p.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	totalOps := int(1<<60) - clean.budget
@@ -119,16 +120,36 @@ func TestProbeSurfacesHostFailures(t *testing.T) {
 	for _, budget := range []int{0, totalOps / 10, totalOps / 2, totalOps - 10} {
 		m := machine.Generate(machine.SKU8124M, 0, machine.Config{Seed: 14})
 		host := &failingHost{Machine: m, budget: budget}
-		p, err := New(host, Options{Seed: 1})
+		p, err := New(host, Options{Seed: 1, FailFast: true})
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, err = p.Run()
+		_, err = p.Run(context.Background())
 		if err == nil {
-			t.Fatalf("budget %d/%d: Run succeeded despite injected failures", budget, totalOps)
+			t.Fatalf("budget %d/%d: FailFast Run succeeded despite injected failures", budget, totalOps)
 		}
 		if !errors.Is(err, errInjected) {
 			t.Fatalf("budget %d: error %v does not wrap the injected failure", budget, err)
+		}
+
+		// Without FailFast the same fault either still aborts (when it
+		// hits run-level infrastructure like calibration or eviction-set
+		// discovery) or is degraded around — but never silently ignored.
+		m = machine.Generate(machine.SKU8124M, 0, machine.Config{Seed: 14})
+		p, err = New(&failingHost{Machine: m, budget: budget}, Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Run(context.Background())
+		if err == nil {
+			if !res.Degraded || len(res.Failures) == 0 {
+				t.Fatalf("budget %d: degraded-mode Run absorbed faults without marking the result degraded", budget)
+			}
+			if res.Coverage() >= 1 {
+				t.Fatalf("budget %d: degraded result claims full coverage", budget)
+			}
+		} else if !errors.Is(err, errInjected) {
+			t.Fatalf("budget %d: degraded-mode error %v does not wrap the injected failure", budget, err)
 		}
 	}
 }
@@ -147,7 +168,7 @@ func TestFindLineHomeNeedsTwoCPUs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.FindLineHome(0x1000); err == nil {
+	if _, err := p.FindLineHome(context.Background(), 0x1000); err == nil {
 		t.Error("FindLineHome succeeded with a single CPU")
 	}
 }

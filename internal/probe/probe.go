@@ -13,18 +13,37 @@
 // Everything runs through hostif.Host and MSR reads/writes, so the code is
 // the same shape as a real /dev/cpu/*/msr tool; only the Host
 // implementation is simulated.
+//
+// # Cancellation and fault tolerance
+//
+// Every public method takes a context; cancellation is observed before
+// each host operation (see hostif.Bind), so a running measurement stops
+// within one hardware operation of the deadline and surfaces a
+// cmerr.Interrupted error. Host operations failing with cmerr.Transient
+// errors — flaky counter reads, injected faults — are retried per
+// operation with exponential backoff (Options.OpRetries); when the budget
+// is exhausted the failure escalates to cmerr.Permanent. Permanent
+// experiment failures do not abort the run: the affected core pair (or
+// unmappable CPU) is recorded in Result.Failures, the observation is
+// dropped, and the Result is marked Degraded with a Coverage fraction so
+// the reconstruction can still proceed on what was measured.
 package probe
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"math/rand"
+	"time"
 
 	"coremap/internal/cache"
+	"coremap/internal/cmerr"
 	"coremap/internal/hostif"
 	"coremap/internal/msr"
 	"coremap/internal/pmon"
 )
+
+// stage tags every error this package classifies.
+const stage = "probe"
 
 // Options tunes the measurement effort. The zero value selects defaults
 // that are comfortably above the simulator's noise floor.
@@ -57,8 +76,25 @@ type Options struct {
 	Seed int64
 	// Cache, when non-nil, memoizes measurement results by chip identity
 	// (PPIN) and measurement options; see ResultCache. It is excluded from
-	// the cache key itself.
+	// the cache key itself. Degraded (partial) results are never cached.
 	Cache *ResultCache
+	// OpRetries is how many times a host operation that failed with a
+	// cmerr.Transient error is retried before the failure escalates to
+	// cmerr.Permanent. 0 selects the default of 3; negative disables
+	// retry entirely.
+	OpRetries int
+	// RetryBackoff is the initial delay between retries of one operation,
+	// doubled per attempt (0 selects 100µs). Backoff sleeps observe the
+	// context.
+	RetryBackoff time.Duration
+	// MinCoverage, when positive, is the experiment-coverage floor below
+	// which RunWith returns a cmerr.Degraded error alongside the partial
+	// Result instead of a silent degraded success.
+	MinCoverage float64
+	// FailFast restores the strict pre-fault-tolerance contract: any
+	// permanent experiment failure aborts the run with an error instead
+	// of degrading around the affected CPU or core pair.
+	FailFast bool
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +119,14 @@ func (o Options) withDefaults() Options {
 	if o.MaxCandidates == 0 {
 		o.MaxCandidates = 4096
 	}
+	if o.OpRetries == 0 {
+		o.OpRetries = 3
+	} else if o.OpRetries < 0 {
+		o.OpRetries = 0
+	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 100 * time.Microsecond
+	}
 	return o
 }
 
@@ -105,6 +149,22 @@ type Observation struct {
 	Up, Down, Horz []int
 }
 
+// Failure records one permanently failed unit of measurement work: a
+// step-1 core mapping that could not be established, or a step-2
+// experiment whose observation was dropped. The error is kept as a string
+// so results stay serializable and cache-clonable.
+type Failure struct {
+	// Op is the failed unit: "core-to-cha", "pair", "slice", "request"
+	// or "memory".
+	Op string
+	// CPU is the OS CPU involved (-1 when not applicable).
+	CPU int
+	// SrcCHA and DstCHA are the experiment endpoints (-1 when unknown).
+	SrcCHA, DstCHA int
+	// Err is the rendered permanent error.
+	Err string
+}
+
 // Result is the full measurement output for one CPU instance.
 type Result struct {
 	// PPIN is the protected processor inventory number, the stable
@@ -117,8 +177,28 @@ type Result struct {
 	OSToCHA []int
 	// CoreCHAs is the sorted set of CHA IDs that host an active core.
 	CoreCHAs []int
-	// Observations holds one entry per ordered core pair.
+	// Observations holds one entry per completed experiment.
 	Observations []Observation
+	// Planned and Completed count the step-2 experiments the run options
+	// called for and the ones that produced an observation. Experiments
+	// skipped because a CPU could not be mapped in step 1 count as
+	// planned but not completed.
+	Planned, Completed int
+	// Failures records the permanently failed core mappings and
+	// experiments behind any Planned/Completed gap.
+	Failures []Failure
+	// Degraded reports that the measurement is incomplete: at least one
+	// CPU is unmapped or at least one experiment failed permanently.
+	Degraded bool
+}
+
+// Coverage is the fraction of planned step-2 experiments that produced an
+// observation (1 for a complete run, including runs with nothing planned).
+func (r *Result) Coverage() float64 {
+	if r.Planned == 0 {
+		return 1
+	}
+	return float64(r.Completed) / float64(r.Planned)
 }
 
 // LLCOnlyCHAs returns the CHA IDs that belong to LLC-only tiles (a CHA with
@@ -139,9 +219,15 @@ func (r *Result) LLCOnlyCHAs() []int {
 	return out
 }
 
-// Prober drives the measurement pipeline on one host.
+// Prober drives the measurement pipeline on one host. A Prober is not safe
+// for concurrent use: it binds the context of the public method currently
+// executing.
 type Prober struct {
+	// raw is the host as handed to New; host is raw bound to the current
+	// call's context and wrapped with the transient-retry decorator.
+	raw  hostif.Host
 	host hostif.Host
+	ctx  context.Context
 	opts Options
 	mon  *pmon.Monitor
 	rng  *rand.Rand
@@ -151,6 +237,9 @@ type Prober struct {
 	// milli-cycles per cache operation, summed over all counters.
 	noisePerOpMilli uint64
 	calibrated      bool
+	// step1Failures records the degraded core mappings of the last
+	// MapCoresToCHAs call, for RunWith to fold into its Result.
+	step1Failures []Failure
 }
 
 // Counter layout used throughout: three counters per CHA box.
@@ -161,29 +250,41 @@ const (
 	ctrLook = 3
 )
 
-// New returns a prober for host.
+// New returns a prober for host. Discovery performs a bounded MSR scan and
+// is quick, so it does not take a context; all measurement methods do.
 func New(host hostif.Host, opts Options) (*Prober, error) {
 	opts = opts.withDefaults()
 	p := &Prober{
-		host:  host,
+		raw:   host,
 		opts:  opts,
 		rng:   rand.New(rand.NewSource(opts.Seed + 0x5EED)),
 		homes: make(map[int][]uint64),
 	}
+	p.bind(context.Background())
 	n, err := p.discoverCHAs()
 	if err != nil {
 		return nil, err
 	}
-	p.mon = pmon.NewMonitor(msrVia{host}, n)
+	p.mon = pmon.NewMonitor(msrVia{p}, n)
 	return p, nil
 }
 
-// msrVia adapts hostif.Host to pmon.Access; uncore registers are socket-
-// scoped, so CPU 0 serves all of them.
-type msrVia struct{ h hostif.Host }
+// bind fixes ctx as the context every host operation of the current call
+// observes, and layers the transient-retry decorator on top.
+func (p *Prober) bind(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.ctx = ctx
+	p.host = newRetryHost(ctx, hostif.Bind(ctx, p.raw), p.opts.OpRetries, p.opts.RetryBackoff)
+}
 
-func (a msrVia) ReadMSR(ad msr.Addr) (uint64, error)  { return a.h.ReadMSR(0, ad) }
-func (a msrVia) WriteMSR(ad msr.Addr, v uint64) error { return a.h.WriteMSR(0, ad, v) }
+// msrVia adapts the prober's current bound host to pmon.Access; uncore
+// registers are socket-scoped, so CPU 0 serves all of them.
+type msrVia struct{ p *Prober }
+
+func (a msrVia) ReadMSR(ad msr.Addr) (uint64, error)  { return a.p.host.ReadMSR(0, ad) }
+func (a msrVia) WriteMSR(ad msr.Addr, v uint64) error { return a.p.host.WriteMSR(0, ad, v) }
 
 // discoverCHAs scans the CHA PMON MSR space until an address faults, the
 // same way user-space tools size the uncore.
@@ -193,12 +294,13 @@ func (p *Prober) discoverCHAs() (int, error) {
 		_, err := p.host.ReadMSR(0, msr.ChaMSR(cha, msr.ChaOffUnitCtl))
 		if errors.Is(err, msr.ErrNoSuchMSR) {
 			if cha == 0 {
-				return 0, fmt.Errorf("probe: no CHA PMON found: %w", err)
+				return 0, cmerr.Wrapf(cmerr.Permanent, stage, err, "no CHA PMON found").WithOp("discover")
 			}
 			return cha, nil
 		}
 		if err != nil {
-			return 0, fmt.Errorf("probe: scanning CHA %d: %w", cha, err)
+			return 0, cmerr.Ensure(cmerr.Permanent, stage,
+				cmerr.Wrapf(cmerr.Permanent, stage, err, "scanning CHA %d", cha).AtCHA(cha))
 		}
 	}
 	return maxCHAs, nil
@@ -219,19 +321,24 @@ func (p *Prober) progress(stage string, done, total int) {
 // attributes every ring cycle observed meanwhile to noise. The estimate
 // scales the detection thresholds, which is what keeps the probe working
 // on busy hosts.
-func (p *Prober) CalibrateNoise() error {
+func (p *Prober) CalibrateNoise(ctx context.Context) error {
+	p.bind(ctx)
+	return p.calibrateNoise()
+}
+
+func (p *Prober) calibrateNoise() error {
 	const calOps = 512
 	addr := uint64(0x600000000) + uint64(p.rng.Intn(1<<12))*64
 	// Take ownership once; every following store is an L2 hit.
 	if err := p.host.Store(0, addr); err != nil {
-		return err
+		return cmerr.Ensure(cmerr.Permanent, stage, err)
 	}
 	if err := p.resetRingCounters(); err != nil {
 		return err
 	}
 	for i := 0; i < calOps; i++ {
 		if err := p.host.Store(0, addr); err != nil {
-			return err
+			return cmerr.Ensure(cmerr.Permanent, stage, err)
 		}
 	}
 	total, err := p.totalRingTraffic()
@@ -248,7 +355,7 @@ func (p *Prober) ensureCalibrated() error {
 	if p.calibrated || p.opts.NoCalibration {
 		return nil
 	}
-	return p.CalibrateNoise()
+	return p.calibrateNoise()
 }
 
 // noiseEstimate is the expected total background ring cycles accumulated
@@ -258,13 +365,20 @@ func (p *Prober) noiseEstimate(ops int) uint64 {
 }
 
 // ReadPPIN unlocks and reads the protected processor inventory number.
-func (p *Prober) ReadPPIN() (uint64, error) {
+func (p *Prober) ReadPPIN(ctx context.Context) (uint64, error) {
+	p.bind(ctx)
+	return p.readPPIN()
+}
+
+func (p *Prober) readPPIN() (uint64, error) {
 	if err := p.host.WriteMSR(0, msr.AddrPPINCtl, 0x2); err != nil {
-		return 0, fmt.Errorf("probe: unlocking PPIN: %w", err)
+		return 0, cmerr.Ensure(cmerr.Permanent, stage,
+			cmerr.Wrapf(cmerr.Permanent, stage, err, "unlocking PPIN").AtMSR(uint64(msr.AddrPPINCtl)))
 	}
 	v, err := p.host.ReadMSR(0, msr.AddrPPIN)
 	if err != nil {
-		return 0, fmt.Errorf("probe: reading PPIN: %w", err)
+		return 0, cmerr.Ensure(cmerr.Permanent, stage,
+			cmerr.Wrapf(cmerr.Permanent, stage, err, "reading PPIN").AtMSR(uint64(msr.AddrPPIN)))
 	}
 	return v, nil
 }
@@ -272,26 +386,31 @@ func (p *Prober) ReadPPIN() (uint64, error) {
 // FindLineHome identifies the home CHA of the line at addr by ping-pong
 // writing it from two cores and picking the CHA with the most LLC lookups,
 // the uncore-assisted variant of eviction-set home discovery.
-func (p *Prober) FindLineHome(addr uint64) (int, error) {
+func (p *Prober) FindLineHome(ctx context.Context, addr uint64) (int, error) {
+	p.bind(ctx)
+	return p.findLineHome(addr)
+}
+
+func (p *Prober) findLineHome(addr uint64) (int, error) {
 	n := p.host.NumCPUs()
 	if n < 2 {
-		return 0, errors.New("probe: need at least two CPUs")
+		return 0, cmerr.New(cmerr.Permanent, stage, "need at least two CPUs")
 	}
 	if err := p.mon.ProgramAll(ctrLook, pmon.EvLLCLookup, pmon.UmaskLLCAny); err != nil {
-		return 0, err
+		return 0, cmerr.Ensure(cmerr.Permanent, stage, err)
 	}
 	cpuA, cpuB := 0, n-1
 	for i := 0; i < p.opts.HomeSamples; i++ {
 		if err := p.host.Store(cpuA, addr); err != nil {
-			return 0, err
+			return 0, cmerr.Ensure(cmerr.Permanent, stage, err)
 		}
 		if err := p.host.Store(cpuB, addr); err != nil {
-			return 0, err
+			return 0, cmerr.Ensure(cmerr.Permanent, stage, err)
 		}
 	}
 	counts, err := p.mon.ReadAll(ctrLook)
 	if err != nil {
-		return 0, err
+		return 0, cmerr.Ensure(cmerr.Permanent, stage, err)
 	}
 	best, bestCount := -1, uint64(0)
 	for cha, c := range counts {
@@ -300,7 +419,8 @@ func (p *Prober) FindLineHome(addr uint64) (int, error) {
 		}
 	}
 	if best < 0 || bestCount < uint64(p.opts.HomeSamples) {
-		return 0, fmt.Errorf("probe: home of %#x not identifiable (max lookups %d)", addr, bestCount)
+		return 0, cmerr.New(cmerr.Permanent, stage,
+			"home of %#x not identifiable (max lookups %d)", addr, bestCount).WithOp("find-home")
 	}
 	return best, nil
 }
@@ -308,14 +428,19 @@ func (p *Prober) FindLineHome(addr uint64) (int, error) {
 // BuildEvictionSets scans same-L2-set addresses until every CHA has a full
 // slice eviction set (L2Ways+1 lines that share one L2 set and one home
 // slice). The discovered lines are cached for later traffic experiments.
-func (p *Prober) BuildEvictionSets() error {
+func (p *Prober) BuildEvictionSets(ctx context.Context) error {
+	p.bind(ctx)
+	return p.buildEvictionSets()
+}
+
+func (p *Prober) buildEvictionSets() error {
 	need := p.opts.L2Ways + 1
 	setStride := uint64(p.opts.L2Sets) * 64
 	base := uint64(0x40000000) + uint64(p.rng.Intn(1<<16))*setStride
 	filled := 0
 	for i := 0; i < p.opts.MaxCandidates && filled < p.mon.NumCHA; i++ {
 		addr := base + uint64(i)*setStride
-		home, err := p.FindLineHome(addr)
+		home, err := p.findLineHome(addr)
 		if err != nil {
 			return err
 		}
@@ -327,8 +452,9 @@ func (p *Prober) BuildEvictionSets() error {
 		}
 	}
 	if filled < p.mon.NumCHA {
-		return fmt.Errorf("probe: only %d/%d slices received a full eviction set after %d candidates",
-			filled, p.mon.NumCHA, p.opts.MaxCandidates)
+		return cmerr.New(cmerr.Permanent, stage,
+			"only %d/%d slices received a full eviction set after %d candidates",
+			filled, p.mon.NumCHA, p.opts.MaxCandidates).WithOp("eviction-sets")
 	}
 	return nil
 }
@@ -346,12 +472,13 @@ func (p *Prober) resetRingCounters() error {
 // arbitrary vertical/horizontal ring-event pair.
 func (p *Prober) resetRingCountersOn(evVert, evHorz uint8) error {
 	if err := p.mon.ProgramAll(ctrUp, evVert, pmon.UmaskUp); err != nil {
-		return err
+		return cmerr.Ensure(cmerr.Permanent, stage, err)
 	}
 	if err := p.mon.ProgramAll(ctrDown, evVert, pmon.UmaskDown); err != nil {
-		return err
+		return cmerr.Ensure(cmerr.Permanent, stage, err)
 	}
-	return p.mon.ProgramAll(ctrHorz, evHorz, pmon.UmaskLeft|pmon.UmaskRight)
+	return cmerr.Ensure(cmerr.Permanent, stage,
+		p.mon.ProgramAll(ctrHorz, evHorz, pmon.UmaskLeft|pmon.UmaskRight))
 }
 
 // totalRingTraffic sums all three ring counters across all CHAs.
@@ -360,7 +487,7 @@ func (p *Prober) totalRingTraffic() (uint64, error) {
 	for _, ctr := range []int{ctrUp, ctrDown, ctrHorz} {
 		counts, err := p.mon.ReadAll(ctr)
 		if err != nil {
-			return 0, err
+			return 0, cmerr.Ensure(cmerr.Permanent, stage, err)
 		}
 		for _, c := range counts {
 			total += c
@@ -386,14 +513,14 @@ func (p *Prober) counterThreshold(ops int, perCounterSignal uint64) uint64 {
 func (p *Prober) coLocated(cpu, cha int) (bool, error) {
 	set := p.homes[cha]
 	if len(set) <= p.opts.L2Ways {
-		return false, fmt.Errorf("probe: no eviction set for CHA %d", cha)
+		return false, cmerr.New(cmerr.Permanent, stage, "no eviction set for CHA %d", cha).AtCHA(cha)
 	}
 	// Warm one pass first: the lines may still be owned by whichever
 	// cores discovered them, and those one-off ownership transfers would
 	// otherwise drown the co-location signal.
 	for _, addr := range set {
 		if err := p.host.Store(cpu, addr); err != nil {
-			return false, err
+			return false, cmerr.Ensure(cmerr.Permanent, stage, err)
 		}
 	}
 	if err := p.resetRingCounters(); err != nil {
@@ -403,7 +530,7 @@ func (p *Prober) coLocated(cpu, cha int) (bool, error) {
 	for r := 0; r < rounds; r++ {
 		for _, addr := range set {
 			if err := p.host.Store(cpu, addr); err != nil {
-				return false, err
+				return false, cmerr.Ensure(cmerr.Permanent, stage, err)
 			}
 		}
 	}
@@ -441,84 +568,124 @@ func (p *Prober) repetitionFactor() int {
 // sweep — is memoized under the chip's PPIN, and a hit restores the
 // prober's internal state (eviction sets, noise floor) so later traffic
 // experiments continue exactly as if the step had run.
-func (p *Prober) MapCoresToCHAs() ([]int, error) {
+//
+// A CPU whose co-location tests failed with permanent host errors is
+// reported as -1 in the mapping instead of failing the whole step (unless
+// Options.FailFast is set); such degraded mappings are never cached.
+func (p *Prober) MapCoresToCHAs(ctx context.Context) ([]int, error) {
+	p.bind(ctx)
 	c := p.opts.Cache
 	if c == nil {
-		return p.mapCoresToCHAs()
+		mapping, failures, err := p.mapCoresToCHAs()
+		p.step1Failures = failures
+		return mapping, err
 	}
-	ppin, err := p.ReadPPIN()
+	ppin, err := p.readPPIN()
 	if err != nil {
 		return nil, err
 	}
-	v, err := c.step1.Do(p.step1Key(ppin), func() (any, error) {
-		mapping, err := p.mapCoresToCHAs()
+	key := p.step1Key(ppin)
+	v, err := c.step1.Do(key, func() (any, error) {
+		mapping, failures, err := p.mapCoresToCHAs()
 		if err != nil {
 			return nil, err
 		}
-		return p.snapshotStep1(mapping), nil
+		return p.snapshotStep1(mapping, failures), nil
 	})
 	if err != nil {
+		if cmerr.IsInterrupted(err) {
+			c.step1.Forget(key)
+		}
 		return nil, err
 	}
 	st := v.(*step1State)
+	if len(st.failures) > 0 {
+		// A degraded mapping reflects this run's faults, not the chip.
+		c.step1.Forget(key)
+	}
 	p.installStep1(st)
+	p.step1Failures = append([]Failure(nil), st.failures...)
 	return append([]int(nil), st.mapping...), nil
 }
 
-func (p *Prober) mapCoresToCHAs() ([]int, error) {
+func (p *Prober) mapCoresToCHAs() ([]int, []Failure, error) {
 	if err := p.ensureCalibrated(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(p.homes) == 0 {
-		if err := p.BuildEvictionSets(); err != nil {
-			return nil, err
+		if err := p.buildEvictionSets(); err != nil {
+			return nil, nil, err
 		}
 	}
+	var failures []Failure
 	mapping := make([]int, p.host.NumCPUs())
 	for cpu := range mapping {
 		p.progress("core-to-cha", cpu, len(mapping))
 		mapping[cpu] = -1
+		var opErr error
 		for cha := 0; cha < p.mon.NumCHA; cha++ {
 			same, err := p.coLocated(cpu, cha)
 			if err != nil {
-				return nil, err
+				if cmerr.IsInterrupted(err) || p.opts.FailFast {
+					return nil, nil, err
+				}
+				// This (cpu, cha) test is unobtainable; remember why and
+				// keep probing the remaining slices.
+				opErr = err
+				continue
 			}
 			if same {
 				if mapping[cpu] != -1 {
-					return nil, fmt.Errorf("probe: cpu %d co-located with both CHA %d and %d",
-						cpu, mapping[cpu], cha)
+					return nil, nil, cmerr.New(cmerr.Permanent, stage,
+						"cpu %d co-located with both CHA %d and %d",
+						cpu, mapping[cpu], cha).OnCPU(cpu).WithOp("co-locate")
 				}
 				mapping[cpu] = cha
 			}
 		}
 		if mapping[cpu] == -1 {
-			return nil, fmt.Errorf("probe: cpu %d matched no CHA", cpu)
+			err := cmerr.New(cmerr.Permanent, stage, "cpu %d matched no CHA", cpu).
+				OnCPU(cpu).WithOp("co-locate")
+			if opErr == nil {
+				// No host fault explains the miss: this is a measurement-
+				// quality failure (noise past the thresholds), which
+				// degradation cannot repair. Keep the strict contract.
+				return nil, nil, err
+			}
+			failures = append(failures, Failure{
+				Op: "core-to-cha", CPU: cpu, SrcCHA: -1, DstCHA: -1, Err: opErr.Error(),
+			})
 		}
 	}
-	return mapping, nil
+	return mapping, failures, nil
 }
 
 // MeasureTraffic runs one step-2 experiment: srcCPU repeatedly writes and
 // sinkCPU repeatedly reads a cache line homed at the sink tile's slice, and
 // the ingress counters of every CHA classify who saw the data stream.
-func (p *Prober) MeasureTraffic(srcCPU, sinkCPU, srcCHA, sinkCHA int) (Observation, error) {
+func (p *Prober) MeasureTraffic(ctx context.Context, srcCPU, sinkCPU, srcCHA, sinkCHA int) (Observation, error) {
+	p.bind(ctx)
+	return p.measureTraffic(srcCPU, sinkCPU, srcCHA, sinkCHA)
+}
+
+func (p *Prober) measureTraffic(srcCPU, sinkCPU, srcCHA, sinkCHA int) (Observation, error) {
 	obs := Observation{SrcCHA: srcCHA, DstCHA: sinkCHA}
 	if err := p.ensureCalibrated(); err != nil {
 		return obs, err
 	}
 	lines := p.homes[sinkCHA]
 	if len(lines) == 0 {
-		return obs, fmt.Errorf("probe: no known line homed at CHA %d", sinkCHA)
+		return obs, cmerr.New(cmerr.Permanent, stage, "no known line homed at CHA %d", sinkCHA).AtCHA(sinkCHA)
 	}
 	addr := lines[0]
 	// Warm the coherence pattern so the measured loop is steady-state:
 	// source upgrades in place, sink pulls the modified line.
 	for i := 0; i < 2; i++ {
 		if err := p.host.Store(srcCPU, addr); err != nil {
-			return obs, err
+			return obs, cmerr.Ensure(cmerr.Permanent, stage, err)
 		}
 		if err := p.host.Load(sinkCPU, addr); err != nil {
-			return obs, err
+			return obs, cmerr.Ensure(cmerr.Permanent, stage, err)
 		}
 	}
 	if err := p.resetRingCounters(); err != nil {
@@ -526,10 +693,10 @@ func (p *Prober) MeasureTraffic(srcCPU, sinkCPU, srcCHA, sinkCHA int) (Observati
 	}
 	for i := 0; i < p.opts.TrafficIters; i++ {
 		if err := p.host.Store(srcCPU, addr); err != nil {
-			return obs, err
+			return obs, cmerr.Ensure(cmerr.Permanent, stage, err)
 		}
 		if err := p.host.Load(sinkCPU, addr); err != nil {
-			return obs, err
+			return obs, cmerr.Ensure(cmerr.Permanent, stage, err)
 		}
 	}
 	threshold := p.counterThreshold(p.opts.TrafficIters*2, uint64(p.opts.TrafficIters)*8)
@@ -545,7 +712,7 @@ func (p *Prober) collectObservation(obs *Observation, threshold uint64) error {
 	for ctr, out := range map[int]*[]int{ctrUp: &obs.Up, ctrDown: &obs.Down, ctrHorz: &obs.Horz} {
 		counts, err := p.mon.ReadAll(ctr)
 		if err != nil {
-			return err
+			return cmerr.Ensure(cmerr.Permanent, stage, err)
 		}
 		for cha, c := range counts {
 			if c >= threshold {
@@ -565,19 +732,24 @@ func (p *Prober) collectObservation(obs *Observation, threshold uint64) error {
 // tile (clean evictions produce no write-back). This extends the paper's
 // core-pair experiments to LLC-only tiles, which can serve as a traffic
 // *source* even though they cannot host a thread.
-func (p *Prober) MeasureSliceTraffic(coreCPU, coreCHA, sliceCHA int) (Observation, error) {
+func (p *Prober) MeasureSliceTraffic(ctx context.Context, coreCPU, coreCHA, sliceCHA int) (Observation, error) {
+	p.bind(ctx)
+	return p.measureSliceTraffic(coreCPU, coreCHA, sliceCHA)
+}
+
+func (p *Prober) measureSliceTraffic(coreCPU, coreCHA, sliceCHA int) (Observation, error) {
 	obs := Observation{SrcCHA: sliceCHA, DstCHA: coreCHA}
 	if err := p.ensureCalibrated(); err != nil {
 		return obs, err
 	}
 	set := p.homes[sliceCHA]
 	if len(set) <= p.opts.L2Ways {
-		return obs, fmt.Errorf("probe: no eviction set for CHA %d", sliceCHA)
+		return obs, cmerr.New(cmerr.Permanent, stage, "no eviction set for CHA %d", sliceCHA).AtCHA(sliceCHA)
 	}
 	// Warm pass: clear any foreign ownership left by home discovery.
 	for _, addr := range set {
 		if err := p.host.Load(coreCPU, addr); err != nil {
-			return obs, err
+			return obs, cmerr.Ensure(cmerr.Permanent, stage, err)
 		}
 	}
 	if err := p.resetRingCounters(); err != nil {
@@ -586,7 +758,7 @@ func (p *Prober) MeasureSliceTraffic(coreCPU, coreCHA, sliceCHA int) (Observatio
 	for i := 0; i < p.opts.TrafficIters; i++ {
 		for _, addr := range set {
 			if err := p.host.Load(coreCPU, addr); err != nil {
-				return obs, err
+				return obs, cmerr.Ensure(cmerr.Permanent, stage, err)
 			}
 		}
 	}
@@ -604,19 +776,24 @@ func (p *Prober) MeasureSliceTraffic(coreCPU, coreCHA, sliceCHA int) (Observatio
 // LLC-only tiles this is the only way to observe them as a traffic *sink*
 // (they cannot host a receiving thread), complementing the fill-based
 // slice-source observations.
-func (p *Prober) MeasureRequestTraffic(coreCPU, coreCHA, sliceCHA int) (Observation, error) {
+func (p *Prober) MeasureRequestTraffic(ctx context.Context, coreCPU, coreCHA, sliceCHA int) (Observation, error) {
+	p.bind(ctx)
+	return p.measureRequestTraffic(coreCPU, coreCHA, sliceCHA)
+}
+
+func (p *Prober) measureRequestTraffic(coreCPU, coreCHA, sliceCHA int) (Observation, error) {
 	obs := Observation{SrcCHA: coreCHA, DstCHA: sliceCHA}
 	if err := p.ensureCalibrated(); err != nil {
 		return obs, err
 	}
 	set := p.homes[sliceCHA]
 	if len(set) <= p.opts.L2Ways {
-		return obs, fmt.Errorf("probe: no eviction set for CHA %d", sliceCHA)
+		return obs, cmerr.New(cmerr.Permanent, stage, "no eviction set for CHA %d", sliceCHA).AtCHA(sliceCHA)
 	}
 	// Warm pass (ownership transfers off the measured window).
 	for _, addr := range set {
 		if err := p.host.Load(coreCPU, addr); err != nil {
-			return obs, err
+			return obs, cmerr.Ensure(cmerr.Permanent, stage, err)
 		}
 	}
 	if err := p.resetRingCountersOn(pmon.EvVertRingADInUse, pmon.EvHorzRingADInUse); err != nil {
@@ -625,7 +802,7 @@ func (p *Prober) MeasureRequestTraffic(coreCPU, coreCHA, sliceCHA int) (Observat
 	for i := 0; i < p.opts.TrafficIters; i++ {
 		for _, addr := range set {
 			if err := p.host.Load(coreCPU, addr); err != nil {
-				return obs, err
+				return obs, cmerr.Ensure(cmerr.Permanent, stage, err)
 			}
 		}
 	}
@@ -650,7 +827,12 @@ func (p *Prober) MeasureRequestTraffic(coreCPU, coreCHA, sliceCHA int) (Observat
 // (cache.IMCOf), and the IMC die positions are public — the resulting
 // observations carry absolute position information the core-pair
 // experiments cannot provide.
-func (p *Prober) MeasureMemoryTraffic(cpu, coreCHA, imc, numIMC int) (Observation, error) {
+func (p *Prober) MeasureMemoryTraffic(ctx context.Context, cpu, coreCHA, imc, numIMC int) (Observation, error) {
+	p.bind(ctx)
+	return p.measureMemoryTraffic(cpu, coreCHA, imc, numIMC)
+}
+
+func (p *Prober) measureMemoryTraffic(cpu, coreCHA, imc, numIMC int) (Observation, error) {
 	obs := Observation{SrcCHA: -1, DstCHA: coreCHA, Anchored: true, SrcIMC: imc}
 	if err := p.ensureCalibrated(); err != nil {
 		return obs, err
@@ -671,10 +853,10 @@ func (p *Prober) MeasureMemoryTraffic(cpu, coreCHA, imc, numIMC int) (Observatio
 	for i := 0; i < p.opts.TrafficIters; i++ {
 		for _, addr := range lines {
 			if err := p.host.Flush(cpu, addr); err != nil {
-				return obs, err
+				return obs, cmerr.Ensure(cmerr.Permanent, stage, err)
 			}
 			if err := p.host.Load(cpu, addr); err != nil {
-				return obs, err
+				return obs, cmerr.Ensure(cmerr.Permanent, stage, err)
 			}
 		}
 	}
@@ -700,15 +882,18 @@ type RunOptions struct {
 
 // Run executes the full measurement pipeline with slice-source experiments
 // enabled.
-func (p *Prober) Run() (*Result, error) {
-	return p.RunWith(RunOptions{SliceSources: true})
+func (p *Prober) Run(ctx context.Context) (*Result, error) {
+	return p.RunWith(ctx, RunOptions{SliceSources: true})
 }
 
 // RunWith executes the full measurement pipeline. With a ResultCache
 // configured the complete Result is memoized under the chip's PPIN and
 // the run/measurement options; callers receive a private deep copy.
-func (p *Prober) RunWith(ro RunOptions) (*Result, error) {
-	ppin, err := p.ReadPPIN()
+// Degraded results — runs where experiments failed permanently — are
+// never cached.
+func (p *Prober) RunWith(ctx context.Context, ro RunOptions) (*Result, error) {
+	p.bind(ctx)
+	ppin, err := p.readPPIN()
 	if err != nil {
 		return nil, err
 	}
@@ -716,69 +901,134 @@ func (p *Prober) RunWith(ro RunOptions) (*Result, error) {
 	if c == nil {
 		return p.runWith(ppin, ro)
 	}
-	v, err := c.full.Do(p.runKey(ppin, ro), func() (any, error) {
-		return p.runWith(ppin, ro)
+	key := p.runKey(ppin, ro)
+	var partial *Result
+	v, err := c.full.Do(key, func() (any, error) {
+		res, err := p.runWith(ppin, ro)
+		if err != nil {
+			partial = res
+			return nil, err
+		}
+		return res, nil
 	})
 	if err != nil {
-		return nil, err
+		if cmerr.IsInterrupted(err) || cmerr.IsDegraded(err) {
+			c.full.Forget(key)
+		}
+		return partial, err
 	}
-	return v.(*Result).clone(), nil
+	res := v.(*Result)
+	if res.Degraded {
+		c.full.Forget(key)
+	}
+	return res.clone(), nil
 }
 
 func (p *Prober) runWith(ppin uint64, ro RunOptions) (*Result, error) {
-	osToCHA, err := p.MapCoresToCHAs()
+	mapping, failures, err := p.runStep1()
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{
-		PPIN:    ppin,
-		NumCHA:  p.mon.NumCHA,
-		OSToCHA: osToCHA,
+		PPIN:     ppin,
+		NumCHA:   p.mon.NumCHA,
+		OSToCHA:  mapping,
+		Failures: failures,
 	}
-	for _, cha := range osToCHA {
-		res.CoreCHAs = append(res.CoreCHAs, cha)
+	for _, cha := range mapping {
+		if cha >= 0 {
+			res.CoreCHAs = append(res.CoreCHAs, cha)
+		}
 	}
 	sortInts(res.CoreCHAs)
 
-	for src := 0; src < len(osToCHA); src++ {
-		p.progress("pair-traffic", src, len(osToCHA))
-		for sink := 0; sink < len(osToCHA); sink++ {
+	// fail records one permanently failed experiment; interrupted errors
+	// abort the run instead (and so does any failure under FailFast).
+	fail := func(op string, cpu, srcCHA, dstCHA int, err error) error {
+		if cmerr.IsInterrupted(err) || p.opts.FailFast {
+			return err
+		}
+		res.Failures = append(res.Failures, Failure{
+			Op: op, CPU: cpu, SrcCHA: srcCHA, DstCHA: dstCHA, Err: err.Error(),
+		})
+		return nil
+	}
+	// experiment wraps one planned measurement: skipped units (unmapped
+	// CPUs) count against coverage without running anything.
+	experiment := func(op string, cpu, srcCHA, dstCHA int, skip bool, run func() (Observation, error)) error {
+		res.Planned++
+		if skip {
+			return nil
+		}
+		obs, err := run()
+		if err != nil {
+			return fail(op, cpu, srcCHA, dstCHA, err)
+		}
+		res.Completed++
+		res.Observations = append(res.Observations, obs)
+		return nil
+	}
+
+	n := len(mapping)
+	for src := 0; src < n; src++ {
+		p.progress("pair-traffic", src, n)
+		for sink := 0; sink < n; sink++ {
 			if src == sink {
 				continue
 			}
-			obs, err := p.MeasureTraffic(src, sink, osToCHA[src], osToCHA[sink])
+			srcCHA, sinkCHA := mapping[src], mapping[sink]
+			src, sink := src, sink
+			err := experiment("pair", src, srcCHA, sinkCHA, srcCHA < 0 || sinkCHA < 0,
+				func() (Observation, error) { return p.measureTraffic(src, sink, srcCHA, sinkCHA) })
 			if err != nil {
 				return nil, err
 			}
-			res.Observations = append(res.Observations, obs)
 		}
 	}
 	if ro.SliceSources {
 		for _, sliceCHA := range res.LLCOnlyCHAs() {
-			for cpu, coreCHA := range osToCHA {
-				obs, err := p.MeasureSliceTraffic(cpu, coreCHA, sliceCHA)
+			for cpu, coreCHA := range mapping {
+				sliceCHA, cpu, coreCHA := sliceCHA, cpu, coreCHA
+				err := experiment("slice", cpu, sliceCHA, coreCHA, coreCHA < 0,
+					func() (Observation, error) { return p.measureSliceTraffic(cpu, coreCHA, sliceCHA) })
 				if err != nil {
 					return nil, err
 				}
-				res.Observations = append(res.Observations, obs)
-				req, err := p.MeasureRequestTraffic(cpu, coreCHA, sliceCHA)
+				err = experiment("request", cpu, coreCHA, sliceCHA, coreCHA < 0,
+					func() (Observation, error) { return p.measureRequestTraffic(cpu, coreCHA, sliceCHA) })
 				if err != nil {
 					return nil, err
 				}
-				res.Observations = append(res.Observations, req)
 			}
 		}
 	}
 	for imc := 0; imc < ro.NumIMCs; imc++ {
-		for cpu, coreCHA := range osToCHA {
-			obs, err := p.MeasureMemoryTraffic(cpu, coreCHA, imc, ro.NumIMCs)
+		for cpu, coreCHA := range mapping {
+			imc, cpu, coreCHA := imc, cpu, coreCHA
+			err := experiment("memory", cpu, -1, coreCHA, coreCHA < 0,
+				func() (Observation, error) { return p.measureMemoryTraffic(cpu, coreCHA, imc, ro.NumIMCs) })
 			if err != nil {
 				return nil, err
 			}
-			res.Observations = append(res.Observations, obs)
 		}
 	}
+	res.Degraded = len(res.Failures) > 0 || res.Completed < res.Planned
+	if f := p.opts.MinCoverage; f > 0 && res.Coverage() < f {
+		return res, cmerr.New(cmerr.Degraded, stage,
+			"experiment coverage %.3f below floor %.3f (%d/%d completed, %d failures)",
+			res.Coverage(), f, res.Completed, res.Planned, len(res.Failures))
+	}
 	return res, nil
+}
+
+// runStep1 is mapCoresToCHAs routed through the step-1 cache when one is
+// configured, returning the mapping together with its degradation record.
+func (p *Prober) runStep1() ([]int, []Failure, error) {
+	mapping, err := p.MapCoresToCHAs(p.ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mapping, append([]Failure(nil), p.step1Failures...), nil
 }
 
 func sortInts(s []int) {

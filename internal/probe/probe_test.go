@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"context"
 	"testing"
 
 	"coremap/internal/machine"
@@ -29,7 +30,7 @@ func TestDiscoverCHAs(t *testing.T) {
 func TestReadPPIN(t *testing.T) {
 	m := machine.Generate(machine.SKU8124M, 0, machine.Config{Seed: 2})
 	p := newProber(t, m)
-	ppin, err := p.ReadPPIN()
+	ppin, err := p.ReadPPIN(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestFindLineHomeMatchesSecretHash(t *testing.T) {
 	p := newProber(t, m)
 	for i := 0; i < 40; i++ {
 		addr := 0x10000000 + uint64(i)*4096
-		got, err := p.FindLineHome(addr)
+		got, err := p.FindLineHome(context.Background(), addr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func TestFindLineHomeMatchesSecretHash(t *testing.T) {
 func TestBuildEvictionSets(t *testing.T) {
 	m := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 4})
 	p := newProber(t, m)
-	if err := p.BuildEvictionSets(); err != nil {
+	if err := p.BuildEvictionSets(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for cha := 0; cha < p.NumCHA(); cha++ {
@@ -80,7 +81,7 @@ func TestMapCoresToCHAs(t *testing.T) {
 	for _, sku := range []*machine.SKU{machine.SKU8124M, machine.SKU8259CL} {
 		m := machine.Generate(sku, 0, machine.Config{Seed: 5})
 		p := newProber(t, m)
-		got, err := p.MapCoresToCHAs()
+		got, err := p.MapCoresToCHAs(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func TestMapCoresToCHAs(t *testing.T) {
 func TestMapCoresToCHAsWithNoise(t *testing.T) {
 	m := machine.Generate(machine.SKU8175M, 0, machine.Config{Seed: 6, NoiseFlits: 2, NoiseEveryOps: 16})
 	p := newProber(t, m)
-	got, err := p.MapCoresToCHAs()
+	got, err := p.MapCoresToCHAs(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,14 +147,14 @@ func sameInts(a, b []int) bool {
 func TestMeasureTrafficMatchesRoute(t *testing.T) {
 	m := machine.Generate(machine.SKU8175M, 0, machine.Config{Seed: 7})
 	p := newProber(t, m)
-	mapping, err := p.MapCoresToCHAs()
+	mapping, err := p.MapCoresToCHAs(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	pairs := [][2]int{{0, 1}, {0, 23}, {5, 17}, {12, 3}, {20, 2}}
 	for _, pair := range pairs {
 		src, sink := pair[0], pair[1]
-		obs, err := p.MeasureTraffic(src, sink, mapping[src], mapping[sink])
+		obs, err := p.MeasureTraffic(context.Background(), src, sink, mapping[src], mapping[sink])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +169,7 @@ func TestMeasureTrafficMatchesRoute(t *testing.T) {
 func TestMeasureSliceTrafficMatchesRoute(t *testing.T) {
 	m := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 8})
 	p := newProber(t, m)
-	mapping, err := p.MapCoresToCHAs()
+	mapping, err := p.MapCoresToCHAs(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestMeasureSliceTrafficMatchesRoute(t *testing.T) {
 	}
 	for _, sliceCHA := range llcOnly {
 		for _, cpu := range []int{0, 11, 23} {
-			obs, err := p.MeasureSliceTraffic(cpu, mapping[cpu], sliceCHA)
+			obs, err := p.MeasureSliceTraffic(context.Background(), cpu, mapping[cpu], sliceCHA)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -194,7 +195,7 @@ func TestMeasureSliceTrafficMatchesRoute(t *testing.T) {
 			}
 			// The AD-ring request experiment observes the reverse path:
 			// core → slice.
-			req, err := p.MeasureRequestTraffic(cpu, mapping[cpu], sliceCHA)
+			req, err := p.MeasureRequestTraffic(context.Background(), cpu, mapping[cpu], sliceCHA)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -214,7 +215,7 @@ func TestMeasureSliceTrafficMatchesRoute(t *testing.T) {
 func TestRunProducesAllPairs(t *testing.T) {
 	m := machine.Generate(machine.SKU8124M, 0, machine.Config{Seed: 9})
 	p := newProber(t, m)
-	res, err := p.Run()
+	res, err := p.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestRunProducesAllPairs(t *testing.T) {
 func TestRunIncludesSliceSourceObservations(t *testing.T) {
 	m := machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 10})
 	p := newProber(t, m)
-	res, err := p.Run()
+	res, err := p.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +252,7 @@ func TestRunIncludesSliceSourceObservations(t *testing.T) {
 	}
 	// Paper-faithful mode must skip them.
 	p2 := newProber(t, machine.Generate(machine.SKU8259CL, 0, machine.Config{Seed: 10}))
-	res2, err := p2.RunWith(RunOptions{SliceSources: false})
+	res2, err := p2.RunWith(context.Background(), RunOptions{SliceSources: false})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +273,7 @@ func TestProgressCallbacks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Run(); err != nil {
+	if _, err := p.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if stages["core-to-cha"] != m.NumCPUs() {
@@ -286,11 +287,11 @@ func TestProgressCallbacks(t *testing.T) {
 func TestObservationThresholdSuppressesNoise(t *testing.T) {
 	m := machine.Generate(machine.SKU8175M, 0, machine.Config{Seed: 11, NoiseFlits: 2, NoiseEveryOps: 16})
 	p := newProber(t, m)
-	mapping, err := p.MapCoresToCHAs()
+	mapping, err := p.MapCoresToCHAs(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	obs, err := p.MeasureTraffic(0, 1, mapping[0], mapping[1])
+	obs, err := p.MeasureTraffic(context.Background(), 0, 1, mapping[0], mapping[1])
 	if err != nil {
 		t.Fatal(err)
 	}

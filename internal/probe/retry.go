@@ -1,0 +1,105 @@
+package probe
+
+import (
+	"context"
+	"time"
+
+	"coremap/internal/cmerr"
+	"coremap/internal/hostif"
+	"coremap/internal/msr"
+)
+
+// retryHost decorates a (context-bound) hostif.Host with per-operation
+// retry: a host operation failing with a cmerr.Transient error — the class
+// a flaky MSR read or an injected fault carries — is retried up to
+// `retries` more times with exponential backoff before being escalated to
+// cmerr.Permanent ("retries exhausted"). Non-transient errors pass through
+// untouched, so a cancelled context or a structural failure never burns
+// the retry budget.
+//
+// Retry lives at the operation level rather than the experiment level on
+// purpose: a measurement experiment performs thousands of host operations,
+// so even a small per-op transient fault rate would make every
+// experiment-level retry fail somewhere and the pipeline would never
+// converge. Retrying the single failed operation keeps the effective
+// failure probability at rateⁿ⁺¹ per op, which the degradation layer in
+// RunWith can absorb.
+type retryHost struct {
+	h       hostif.Host
+	ctx     context.Context
+	retries int
+	backoff time.Duration
+}
+
+func newRetryHost(ctx context.Context, h hostif.Host, retries int, backoff time.Duration) hostif.Host {
+	if retries <= 0 {
+		return h
+	}
+	return retryHost{h: h, ctx: ctx, retries: retries, backoff: backoff}
+}
+
+// sleepCtx waits for d or until ctx is cancelled, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return cmerr.FromContext(ctx, "probe")
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return cmerr.FromContext(ctx, "probe")
+	case <-t.C:
+		return nil
+	}
+}
+
+// do runs fn with the retry policy.
+func (r retryHost) do(op string, cpu int, fn func() error) error {
+	var err error
+	backoff := r.backoff
+	for attempt := 0; ; attempt++ {
+		err = fn()
+		if err == nil || !cmerr.IsTransient(err) || attempt >= r.retries {
+			break
+		}
+		if serr := sleepCtx(r.ctx, backoff); serr != nil {
+			return serr
+		}
+		backoff *= 2
+	}
+	if err != nil && cmerr.IsTransient(err) {
+		return cmerr.Wrapf(cmerr.Permanent, "probe", err,
+			"%s retries exhausted after %d attempts", op, r.retries+1).WithOp(op).OnCPU(cpu)
+	}
+	return err
+}
+
+func (r retryHost) NumCPUs() int { return r.h.NumCPUs() }
+
+func (r retryHost) ReadMSR(cpu int, a msr.Addr) (uint64, error) {
+	var v uint64
+	err := r.do("rdmsr", cpu, func() (e error) { v, e = r.h.ReadMSR(cpu, a); return })
+	return v, err
+}
+
+func (r retryHost) WriteMSR(cpu int, a msr.Addr, v uint64) error {
+	return r.do("wrmsr", cpu, func() error { return r.h.WriteMSR(cpu, a, v) })
+}
+
+func (r retryHost) Load(cpu int, addr uint64) error {
+	return r.do("load", cpu, func() error { return r.h.Load(cpu, addr) })
+}
+
+func (r retryHost) TimedLoad(cpu int, addr uint64) (uint64, error) {
+	var c uint64
+	err := r.do("timed-load", cpu, func() (e error) { c, e = r.h.TimedLoad(cpu, addr); return })
+	return c, err
+}
+
+func (r retryHost) Store(cpu int, addr uint64) error {
+	return r.do("store", cpu, func() error { return r.h.Store(cpu, addr) })
+}
+
+func (r retryHost) Flush(cpu int, addr uint64) error {
+	return r.do("flush", cpu, func() error { return r.h.Flush(cpu, addr) })
+}

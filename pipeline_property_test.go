@@ -5,6 +5,7 @@ package coremap_test
 // arbitrary grid sizes, IMC placements, core counts and fusing patterns.
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -66,7 +67,7 @@ func TestPipelinePropertyRandomDies(t *testing.T) {
 		m := machine.New(sku, pattern, machine.Config{Seed: seed})
 
 		die := coremap.DieInfo{Rows: sku.Rows, Cols: sku.Cols, IMC: sku.IMC}
-		res, err := coremap.MapMachine(m, die, coremap.Options{
+		res, err := coremap.MapMachine(context.Background(), m, die, coremap.Options{
 			Probe:         probe.Options{Seed: seed},
 			MemoryAnchors: len(sku.IMC) > 0,
 		})
