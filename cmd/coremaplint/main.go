@@ -1,0 +1,110 @@
+// Command coremaplint is the repository's invariant linter: a
+// multichecker that runs the internal/analysis suite — detrange,
+// cmerrcheck, ctxflow, hostsafe — over go-list package patterns and
+// fails when any determinism, error-taxonomy, context or host-access
+// invariant is violated.
+//
+// Usage:
+//
+//	coremaplint [-only a,b] [packages]
+//
+// With no arguments it lints ./..., so both `make lint` and CI run
+// exactly `go run ./cmd/coremaplint ./...` from the module root (the
+// loader resolves module-local imports through the go command, so the
+// working directory must be inside the module). Exit status: 0 clean,
+// 1 findings, 2 usage or load failure.
+//
+// Findings are suppressed per line with `//lint:allow <analyzer>
+// <reason>`; see DESIGN.md §7 for each analyzer's invariant and the
+// suppression contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coremap/internal/analysis"
+	"coremap/internal/analysis/cmerrcheck"
+	"coremap/internal/analysis/ctxflow"
+	"coremap/internal/analysis/detrange"
+	"coremap/internal/analysis/hostsafe"
+)
+
+// suite is every analyzer the multichecker runs, in report order.
+var suite = []*analysis.Analyzer{
+	detrange.Analyzer,
+	cmerrcheck.Analyzer,
+	ctxflow.Analyzer,
+	hostsafe.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("coremaplint", flag.ContinueOnError)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("help-analyzers", false, "print the analyzers and their invariants, then exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coremaplint:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coremaplint:", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coremaplint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "coremaplint: %d finding(s) across %d package(s)\n", n, len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return suite, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: detrange, cmerrcheck, ctxflow, hostsafe)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

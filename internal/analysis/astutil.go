@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// Shared AST/type predicates used by the coremaplint analyzers. They are
+// deliberately conservative: an analyzer that cannot resolve a type or
+// callee stays silent rather than guessing, so framework limitations
+// surface as missed findings, never as false positives.
+
+// IsMapType reports whether e's type is (or aliases) a map.
+func IsMapType(p *Pass, e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// IsNamedType reports whether t (through pointers and aliases) is the
+// named type pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+			continue
+		case *types.Alias:
+			t = types.Unalias(tt)
+			continue
+		}
+		break
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	return t != nil && IsNamedType(t, "context", "Context")
+}
+
+// IsErrorType reports whether t implements the error interface.
+func IsErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType)
+}
+
+// CalleeFunc resolves the function or method a call invokes, or nil for
+// calls through function values, built-ins and type conversions.
+func CalleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// CalleeIs reports whether the call invokes pkgPath.name (a package-level
+// function, e.g. "fmt"."Errorf").
+func CalleeIs(p *Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := CalleeFunc(p, call)
+	return fn != nil && fn.Name() == name &&
+		fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// IsBuiltin reports whether the call invokes the named built-in.
+func IsBuiltin(p *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+// ConstString returns the compile-time string value of e, if it has one.
+func ConstString(p *Pass, e ast.Expr) (string, bool) {
+	tv, ok := p.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// FormatHasVerb reports whether format contains the given verb letter
+// (e.g. 'w') as a conversion, skipping literal %%.
+func FormatHasVerb(format string, verb byte) bool {
+	for i := 0; i+1 < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		// Scan past flags, width, precision and index clauses to the
+		// verb letter.
+		j := i + 1
+		for j < len(format) && strings.ContainsRune("+-# 0123456789.[]*", rune(format[j])) {
+			j++
+		}
+		if j < len(format) {
+			if format[j] == '%' {
+				i = j
+				continue
+			}
+			if format[j] == verb {
+				return true
+			}
+			i = j
+		}
+	}
+	return false
+}
+
+// UsesObject reports whether any identifier within n resolves to obj.
+func UsesObject(p *Pass, n ast.Node, obj types.Object) bool {
+	if obj == nil || n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && p.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// UsesAnyObject reports whether any identifier within n resolves to one
+// of objs.
+func UsesAnyObject(p *Pass, n ast.Node, objs []types.Object) bool {
+	for _, o := range objs {
+		if UsesObject(p, n, o) {
+			return true
+		}
+	}
+	return false
+}
+
+// PackageNameOneOf reports whether the pass's package name is in names.
+// Analyzers scope pipeline-specific rules by package name rather than
+// import path so that analysistest fixtures (whose synthetic import path
+// is a testdata directory) opt in by declaring the package name.
+func PackageNameOneOf(p *Pass, names ...string) bool {
+	for _, n := range names {
+		if p.Pkg.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// ExportedFuncDecls yields every top-level exported function or method
+// declaration with a body.
+func ExportedFuncDecls(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			out = append(out, fd)
+		}
+	}
+	return out
+}
+
+// InspectShallow walks n but does not descend into function literals:
+// statements inside a closure execute on the closure's schedule, not the
+// enclosing function's, so per-function rules must not attribute them to
+// the enclosing body.
+func InspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok && c != n {
+			return false
+		}
+		return fn(c)
+	})
+}

@@ -1,0 +1,141 @@
+// Package cmerrcheck enforces the pipeline's error taxonomy (see
+// internal/cmerr): every error that crosses an exported boundary of a
+// pipeline-stage package must carry a cmerr class and provenance, and
+// wrapping must preserve the class chain.
+//
+// Two rules:
+//
+//   - boundary rule (stage packages probe, locate, ilp, experiments,
+//     covert): a return statement lexically inside an exported function
+//     or method must not hand back a freshly built unclassified leaf —
+//     errors.New(...), or fmt.Errorf(...) whose format has no %w. Such
+//     leaves must be born classified via cmerr.New / cmerr.Ensure /
+//     cmerr.Wrapf. fmt.Errorf with %w is a transparent wrapper and stays
+//     legal: cmerr.ClassOf and errors.Is traverse it.
+//
+//   - wrap rule (every package): fmt.Errorf given an error-typed argument
+//     but no %w in its constant format flattens the cause to text —
+//     errors.Is, errors.As and cmerr.ClassOf all stop working through it.
+//     This is how a classified Transient quietly degrades into an
+//     unclassified string.
+package cmerrcheck
+
+import (
+	"go/ast"
+	"go/token"
+
+	"coremap/internal/analysis"
+)
+
+// Analyzer is the cmerrcheck check.
+var Analyzer = &analysis.Analyzer{
+	Name: "cmerrcheck",
+	Doc: "flags unclassified errors returned across exported pipeline-stage boundaries " +
+		"and fmt.Errorf wrapping that drops the cmerr class chain (%w)",
+	Run: run,
+}
+
+// stagePackages are the pipeline stages whose exported boundaries must
+// return classified errors.
+var stagePackages = []string{"probe", "locate", "ilp", "experiments", "covert"}
+
+func run(pass *analysis.Pass) error {
+	reported := make(map[token.Pos]bool)
+
+	if analysis.PackageNameOneOf(pass, stagePackages...) {
+		for _, fd := range analysis.ExportedFuncDecls(pass.Files) {
+			checkBoundary(pass, fd, reported)
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || reported[call.Pos()] {
+				return true
+			}
+			if ok, badArg := losesCause(pass, call); ok {
+				reported[call.Pos()] = true
+				pass.Reportf(call.Pos(),
+					"fmt.Errorf captures error %q without %%w: the cmerr class and cause chain are lost; use %%w (or cmerr.Wrapf)",
+					badArg)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBoundary flags unclassified leaf errors returned directly from an
+// exported stage function. Function literals are skipped: a closure's
+// return feeds whatever invoked it, not the exported boundary.
+func checkBoundary(pass *analysis.Pass, fd *ast.FuncDecl, reported map[token.Pos]bool) {
+	analysis.InspectShallow(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			call, ok := ast.Unparen(res).(*ast.CallExpr)
+			if !ok || !analysis.IsErrorType(pass.TypeOf(res)) {
+				continue
+			}
+			if reason := unclassifiedLeaf(pass, call); reason != "" && !reported[call.Pos()] {
+				reported[call.Pos()] = true
+				pass.Reportf(call.Pos(),
+					"%s returns an unclassified %s across the %s stage boundary: construct it with cmerr.New/cmerr.Ensure so the class and provenance survive",
+					fd.Name.Name, reason, pass.Pkg.Name())
+			}
+		}
+		return true
+	})
+}
+
+// unclassifiedLeaf reports why call builds an unclassified leaf error
+// ("" when it does not): errors.New always, fmt.Errorf when its constant
+// format carries no %w.
+func unclassifiedLeaf(pass *analysis.Pass, call *ast.CallExpr) string {
+	if analysis.CalleeIs(pass, call, "errors", "New") {
+		return "errors.New leaf"
+	}
+	if analysis.CalleeIs(pass, call, "fmt", "Errorf") && len(call.Args) > 0 {
+		if format, ok := analysis.ConstString(pass, call.Args[0]); ok &&
+			!analysis.FormatHasVerb(format, 'w') {
+			return "fmt.Errorf leaf (no %w)"
+		}
+	}
+	return ""
+}
+
+// losesCause reports whether call is fmt.Errorf with an error-typed
+// argument that its format string does not wrap with %w, naming the
+// offending argument.
+func losesCause(pass *analysis.Pass, call *ast.CallExpr) (bool, string) {
+	if !analysis.CalleeIs(pass, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return false, ""
+	}
+	format, ok := analysis.ConstString(pass, call.Args[0])
+	if !ok || analysis.FormatHasVerb(format, 'w') {
+		return false, ""
+	}
+	for _, arg := range call.Args[1:] {
+		if analysis.IsErrorType(pass.TypeOf(arg)) {
+			return true, exprLabel(pass, arg)
+		}
+	}
+	return false, ""
+}
+
+func exprLabel(pass *analysis.Pass, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.CallExpr:
+		if fn := analysis.CalleeFunc(pass, x); fn != nil {
+			return fn.Name() + "(...)"
+		}
+	}
+	return "argument"
+}

@@ -1,0 +1,19 @@
+package cmerrcheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"coremap/internal/analysis/analysistest"
+	"coremap/internal/analysis/cmerrcheck"
+)
+
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "flagged"), cmerrcheck.Analyzer)
+}
+
+// TestClean pins the no-false-positive contract: cmerr.New/Ensure,
+// transparent %w wraps and unexported scratch errors are not reported.
+func TestClean(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "clean"), cmerrcheck.Analyzer)
+}

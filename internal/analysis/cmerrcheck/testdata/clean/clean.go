@@ -1,0 +1,45 @@
+// Fixture: the sanctioned error-taxonomy patterns must stay unflagged.
+// The clean fixture deliberately imports the real cmerr package so the
+// patterns it blesses are the ones the pipeline actually uses.
+package ilp
+
+import (
+	"fmt"
+
+	"coremap/internal/cmerr"
+)
+
+// Classified construction at the boundary.
+func CheckFeasible(n int) error {
+	if n < 0 {
+		return cmerr.New(cmerr.Permanent, "ilp", "assignment has %d values", n)
+	}
+	return nil
+}
+
+// Boundary wrap: Ensure stamps a class only when none is present.
+func Solve(err error) error {
+	return cmerr.Ensure(cmerr.Permanent, "ilp", err)
+}
+
+// Transparent %w wrapping keeps the chain intact.
+func Expand(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("ilp: expand: %w", err)
+}
+
+// Unexported scratch leaves never cross the boundary directly.
+func leaf() error { return fmt.Errorf("internal scratch marker") }
+
+// Sentinels declared at package scope are legal (they are classified at
+// the point of use or are themselves cmerr sentinels).
+var errBudget = cmerr.Sentinel(cmerr.Permanent, "ilp: node budget exhausted")
+
+// Double-%w joins keep both chains.
+func Join(outer, inner error) error {
+	return fmt.Errorf("%w: %w", outer, inner)
+}
+
+var _ = errBudget

@@ -1,0 +1,36 @@
+// Fixture: unclassified errors crossing an exported stage boundary, and
+// wrapping that drops the cause chain. The package name opts into the
+// boundary rule (locate is a pipeline stage).
+package locate
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Exported boundary returning raw leaves.
+func Validate(n int) error {
+	if n < 0 {
+		return errors.New("negative count") // want `unclassified errors.New leaf`
+	}
+	if n > 100 {
+		return fmt.Errorf("locate: %d out of range", n) // want `unclassified fmt.Errorf leaf`
+	}
+	return nil
+}
+
+// Methods are boundaries too.
+type Checker struct{}
+
+func (Checker) Check(ok bool) error {
+	if !ok {
+		return errors.New("check failed") // want `unclassified errors.New leaf`
+	}
+	return nil
+}
+
+// The wrap rule applies everywhere, exported or not: %v flattens the
+// class chain that errors.Is and cmerr.ClassOf walk.
+func describe(err error) error {
+	return fmt.Errorf("reconstruct failed: %v", err) // want `captures error "err" without %w`
+}

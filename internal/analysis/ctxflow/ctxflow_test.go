@@ -1,0 +1,20 @@
+package ctxflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"coremap/internal/analysis/analysistest"
+	"coremap/internal/analysis/ctxflow"
+)
+
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "flagged"), ctxflow.Analyzer)
+}
+
+// TestClean pins the no-false-positive contract: nil-guard defaults,
+// ctx-observing loops, bound-host loops and pure computation stay
+// silent.
+func TestClean(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "clean"), ctxflow.Analyzer)
+}

@@ -1,0 +1,291 @@
+// Package detrange flags range statements over maps whose iteration
+// order can leak into pipeline results.
+//
+// The reconstruction pipeline promises bit-identical output for identical
+// input — the ILP map must not depend on worker count, constraint order
+// or cache state, and the content-addressed caches fingerprint canonical
+// encodings. A single `for k := range m` that appends to a result slice,
+// drives a measurement, or feeds a hash in map order silently breaks that
+// promise (Go randomizes map iteration per run). The analyzer applies
+// only to the determinism-critical packages — ilp, locate, probe, memo —
+// selected by package name so fixtures opt in the same way.
+//
+// A map range is flagged when its body
+//
+//   - appends to a slice declared outside the loop, unless the loop body
+//     does nothing else and the slice is passed to a sort call in the
+//     statements that follow the loop (the collect-then-sort idiom is the
+//     sanctioned way to order map keys);
+//   - calls a function or method with a loop-variable-derived argument or
+//     receiver (each iteration performs an effect, so the effect sequence
+//     follows map order — measurement ops, constraint emission, hash
+//     writes all enter through here); or
+//   - concatenates onto a string, or accumulates into a float, declared
+//     outside the loop (order-sensitive reductions; integer sums are
+//     order-insensitive and stay legal).
+//
+// Keyed writes (m2[k] = v), pure lookups and commutative integer
+// reductions are deliberately not flagged.
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"coremap/internal/analysis"
+)
+
+// Analyzer is the detrange check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flags map iteration whose order feeds solver constraints, fingerprints, " +
+		"observations or appended slices in the deterministic pipeline packages",
+	Run: run,
+}
+
+// scopedPackages are the determinism-critical package names.
+var scopedPackages = []string{"ilp", "locate", "probe", "memo"}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageNameOneOf(pass, scopedPackages...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	// Walk with enough context to see the statements that follow each
+	// range loop (for the collect-then-sort exemption), so inspect
+	// blocks rather than bare statements.
+	ast.Inspect(f, func(n ast.Node) bool {
+		stmts := blockStmts(n)
+		if stmts == nil {
+			return true
+		}
+		for i, s := range stmts {
+			rs, ok := s.(*ast.RangeStmt)
+			if !ok || !analysis.IsMapType(pass, rs.X) {
+				continue
+			}
+			checkMapRange(pass, rs, stmts[i+1:])
+		}
+		return true
+	})
+}
+
+// blockStmts returns the statement list of any block-bearing node.
+func blockStmts(n ast.Node) []ast.Stmt {
+	switch b := n.(type) {
+	case *ast.BlockStmt:
+		return b.List
+	case *ast.CaseClause:
+		return b.Body
+	case *ast.CommClause:
+		return b.Body
+	}
+	return nil
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, following []ast.Stmt) {
+	loopVars := rangeVars(pass, rs)
+
+	var appended []types.Object // outer slices appended to, in order
+	onlyAppends := true         // body is the pure collect idiom
+	var firstCall *ast.CallExpr // first order-sensitive call
+	var firstAccum ast.Node     // first order-sensitive accumulation
+
+	analysis.InspectShallow(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if analysis.IsBuiltin(pass, s, "append") {
+				if obj := outerSliceTarget(pass, s, rs); obj != nil {
+					appended = append(appended, obj)
+				}
+				return true
+			}
+			if isOrderInsensitiveCall(pass, s) {
+				return true
+			}
+			onlyAppends = false
+			if firstCall == nil && callTouchesVars(pass, s, loopVars) {
+				firstCall = s
+			}
+		case *ast.AssignStmt:
+			if s.Tok == token.ADD_ASSIGN && firstAccum == nil &&
+				isOrderSensitiveAccum(pass, s, rs, loopVars) {
+				firstAccum = s
+			}
+		}
+		return true
+	})
+
+	switch {
+	case firstCall != nil:
+		pass.Reportf(rs.For,
+			"map iteration order drives calls (%s): iterate a sorted key slice so the effect sequence is deterministic",
+			callLabel(pass, firstCall))
+	case firstAccum != nil:
+		pass.Reportf(rs.For,
+			"map iteration order feeds an order-sensitive accumulation: iterate a sorted key slice")
+	case len(appended) > 0:
+		if onlyAppends && allSortedAfter(pass, appended, following) {
+			return // the sanctioned collect-then-sort idiom
+		}
+		pass.Reportf(rs.For,
+			"map iteration order leaks into an appended slice: sort the result, or iterate a sorted key slice")
+	}
+}
+
+// rangeVars returns the objects of the loop's key/value variables.
+func rangeVars(pass *analysis.Pass, rs *ast.RangeStmt) []types.Object {
+	var vars []types.Object
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.ObjectOf(id); obj != nil {
+				vars = append(vars, obj)
+			}
+		}
+	}
+	return vars
+}
+
+// outerSliceTarget returns the object of append's destination when it is
+// a plain identifier (possibly dereferenced) declared outside the loop.
+// Keyed destinations (m[k] = append(m[k], ...)) are order-insensitive and
+// return nil.
+func outerSliceTarget(pass *analysis.Pass, call *ast.CallExpr, rs *ast.RangeStmt) types.Object {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	dst := ast.Unparen(call.Args[0])
+	if star, ok := dst.(*ast.StarExpr); ok {
+		dst = ast.Unparen(star.X)
+	}
+	var id *ast.Ident
+	switch d := dst.(type) {
+	case *ast.Ident:
+		id = d
+	case *ast.SelectorExpr:
+		id = d.Sel
+	default:
+		return nil
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return nil
+	}
+	if obj.Pos() >= rs.Body.Pos() && obj.Pos() < rs.Body.End() {
+		return nil // loop-local scratch
+	}
+	return obj
+}
+
+// isOrderInsensitiveCall reports whether the call is harmless regardless
+// of iteration order: pure builtins and type conversions.
+func isOrderInsensitiveCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, b := range []string{"len", "cap", "delete", "min", "max", "make", "new", "copy"} {
+		if analysis.IsBuiltin(pass, call, b) {
+			return true
+		}
+	}
+	// A type conversion has a type, not a function, in call position.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	return false
+}
+
+// callTouchesVars reports whether the call's receiver or arguments
+// reference a loop variable — the signature of a per-element effect whose
+// order follows the map.
+func callTouchesVars(pass *analysis.Pass, call *ast.CallExpr, vars []types.Object) bool {
+	if analysis.UsesAnyObject(pass, call.Fun, vars) {
+		return true
+	}
+	for _, a := range call.Args {
+		if analysis.UsesAnyObject(pass, a, vars) {
+			return true
+		}
+	}
+	return false
+}
+
+// isOrderSensitiveAccum reports whether s accumulates a loop-derived
+// value into an outer string or float with +=.
+func isOrderSensitiveAccum(pass *analysis.Pass, s *ast.AssignStmt, rs *ast.RangeStmt, vars []types.Object) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.ObjectOf(id)
+	if obj == nil || (obj.Pos() >= rs.Body.Pos() && obj.Pos() < rs.Body.End()) {
+		return false
+	}
+	if !analysis.UsesAnyObject(pass, s.Rhs[0], vars) {
+		return false
+	}
+	basic, ok := obj.Type().Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch basic.Info() & (types.IsString | types.IsFloat) {
+	case 0:
+		return false // integer and other commutative accumulations
+	default:
+		return true
+	}
+}
+
+// allSortedAfter reports whether every appended slice is passed to a
+// sort-like call in the statements directly following the loop.
+func allSortedAfter(pass *analysis.Pass, appended []types.Object, following []ast.Stmt) bool {
+	for _, obj := range appended {
+		if !sortedAfter(pass, obj, following) {
+			return false
+		}
+	}
+	return true
+}
+
+// callLabel names a call for the diagnostic message.
+func callLabel(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := analysis.CalleeFunc(pass, call); fn != nil {
+		return fn.Name()
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "a call"
+}
+
+func sortedAfter(pass *analysis.Pass, obj types.Object, following []ast.Stmt) bool {
+	for _, s := range following {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || !analysis.UsesObject(pass, call, obj) {
+			continue
+		}
+		fn := analysis.CalleeFunc(pass, call)
+		if fn == nil {
+			continue
+		}
+		if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "sort" || pkg.Path() == "slices") {
+			return true
+		}
+		if strings.Contains(strings.ToLower(fn.Name()), "sort") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,26 @@
+package detrange_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"coremap/internal/analysis/analysistest"
+	"coremap/internal/analysis/detrange"
+)
+
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "flagged"), detrange.Analyzer)
+}
+
+// TestClean pins the no-false-positive contract: sanctioned iteration
+// idioms (collect-then-sort, keyed writes, commutative reductions) are
+// not reported.
+func TestClean(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "clean"), detrange.Analyzer)
+}
+
+// TestAllowed pins the suppression contract: a //lint:allow directive
+// with a reason silences the finding on the next line.
+func TestAllowed(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "allowed"), detrange.Analyzer)
+}

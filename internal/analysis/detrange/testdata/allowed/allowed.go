@@ -1,0 +1,12 @@
+// Fixture: a finding suppressed by //lint:allow with a recorded reason
+// must stay silent (and the directive must count as used).
+package probe
+
+func consume(int) {}
+
+func anyOrder(m map[int]int) {
+	//lint:allow detrange per-key effect is idempotent, order immaterial
+	for k := range m {
+		consume(k)
+	}
+}

@@ -1,0 +1,61 @@
+// Fixture: legal map iteration patterns that must stay unflagged (the
+// no-false-positive contract).
+package locate
+
+import "sort"
+
+// Collect-then-sort is the sanctioned way to order map keys.
+func sortedKeys(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// sort.Slice with a comparator also sanitizes the collect idiom.
+func sortedPairs(edges map[[2]int]int) [][2]int {
+	keys := make([][2]int, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i][0] < keys[j][0] })
+	return keys
+}
+
+// Keyed writes are order-insensitive.
+func invert(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Integer reductions commute.
+func sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Pure lookups and builtin calls are harmless.
+func width(m map[int][]int) int {
+	w := 0
+	for _, v := range m {
+		if len(v) > w {
+			w = len(v)
+		}
+	}
+	return w
+}
+
+// Ranging over a slice is always ordered, whatever the body does.
+func emitAll(order []int, sink func(int)) {
+	for _, v := range order {
+		sink(v)
+	}
+}

@@ -1,0 +1,54 @@
+// Fixture: map iterations whose order leaks into results. The package
+// name opts into detrange's scope (ilp is a deterministic pipeline
+// package).
+package ilp
+
+// addConstraint stands in for an order-sensitive sink (constraint
+// emission, hash writes, measurement ops).
+func addConstraint(v int) {}
+
+// Constraint emission in map order: the call sequence follows the map.
+func emit(weights map[int]int) {
+	for v := range weights { // want `map iteration order drives calls`
+		addConstraint(v)
+	}
+}
+
+// Appending to an outer slice in map order leaks the order into the
+// result (and there is no sort afterwards).
+func collect(weights map[int]int) []int {
+	var out []int
+	for v := range weights { // want `leaks into an appended slice`
+		out = append(out, v)
+	}
+	return out
+}
+
+// Method receivers derived from the loop variable are effects too.
+type counter struct{ n int }
+
+func (c *counter) bump() {}
+
+func touchAll(m map[int]*counter) {
+	for _, c := range m { // want `map iteration order drives calls`
+		c.bump()
+	}
+}
+
+// Float accumulation does not commute.
+func total(w map[int]float64) float64 {
+	var sum float64
+	for _, x := range w { // want `order-sensitive accumulation`
+		sum += x
+	}
+	return sum
+}
+
+// Neither does string concatenation.
+func join(w map[int]string) string {
+	s := ""
+	for _, v := range w { // want `order-sensitive accumulation`
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,151 @@
+// Package hostsafe enforces the host-access and randomness discipline of
+// the measurement pipeline. Two rules:
+//
+//   - decorator rule: the MSR/PMON/memory operations of hostif.Host and
+//     hostif.HostCtx (ReadMSR, WriteMSR, Load, TimedLoad, Store, Flush)
+//     may be invoked only from the packages that implement or decorate
+//     the boundary — hostif (the Bind/WithContext adapters), probe (the
+//     retry decorator and the measurement loops running behind it),
+//     machine (the simulator) and faulty (the fault injector). Everyone
+//     else calling through the raw interface bypasses per-operation
+//     context checks and transient-fault retry, which is exactly how an
+//     uncancellable, flaky measurement path gets reintroduced.
+//
+//   - seeded-rand rule (every package): no math/rand global-source
+//     functions (rand.Intn, rand.Shuffle, rand.Seed, ...) and no RNG
+//     seeded from the clock (rand.NewSource(time.Now()...)). Every RNG in
+//     a deterministic path must be rand.New(rand.NewSource(seed)) with a
+//     seed that is part of the experiment's configuration, or the
+//     content-addressed caches would fingerprint irreproducible runs.
+package hostsafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"coremap/internal/analysis"
+)
+
+// Analyzer is the hostsafe check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hostsafe",
+	Doc: "flags raw hostif.Host operations outside the sanctioned decorator packages " +
+		"and math/rand usage without an explicit deterministic source",
+	Run: run,
+}
+
+// hostOps are the Host operations covered by the decorator rule.
+// NumCPUs is deliberately absent: it is immutable metadata, not a
+// measurement operation.
+var hostOps = map[string]bool{
+	"ReadMSR": true, "WriteMSR": true,
+	"Load": true, "TimedLoad": true, "Store": true, "Flush": true,
+}
+
+// sanctioned packages implement or decorate the hostif boundary.
+var sanctioned = []string{"hostif", "probe", "machine", "faulty"}
+
+// randGlobals are the math/rand package-level functions that draw from
+// the shared, clock-seeded global source.
+var randGlobals = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 additions.
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "UintN": true, "Uint": true, "N": true,
+}
+
+func run(pass *analysis.Pass) error {
+	checkHostOps := !analysis.PackageNameOneOf(pass, sanctioned...)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if checkHostOps {
+				checkHostOp(pass, call)
+			}
+			checkRand(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkHostOp flags a covered operation invoked on a hostif.Host or
+// hostif.HostCtx value.
+func checkHostOp(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !hostOps[sel.Sel.Name] {
+		return
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return
+	}
+	if analysis.IsNamedType(t, "coremap/internal/hostif", "Host") ||
+		analysis.IsNamedType(t, "coremap/internal/hostif", "HostCtx") {
+		pass.Reportf(call.Pos(),
+			"raw hostif %s call bypasses the retry/Bind decorators: route the operation through probe.Prober, or wrap the host with hostif.Bind",
+			sel.Sel.Name)
+	}
+}
+
+// checkRand flags global-source math/rand calls and clock-seeded
+// sources.
+func checkRand(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	// Methods on an explicit *rand.Rand are fine; only package-level
+	// functions touch the global source.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return
+	}
+	if randGlobals[fn.Name()] {
+		pass.Reportf(call.Pos(),
+			"rand.%s draws from the global math/rand source: use rand.New(rand.NewSource(seed)) with a configured seed (determinism)",
+			fn.Name())
+		return
+	}
+	// rand.New(rand.NewSource(time.Now()...)) reports once, on the
+	// source constructor, which is where the clock enters.
+	if fn.Name() == "NewSource" || fn.Name() == "NewPCG" {
+		if arg := clockSeedArg(pass, call); arg != "" {
+			pass.Reportf(call.Pos(),
+				"RNG seeded from %s is irreproducible: derive the seed from the experiment configuration",
+				arg)
+		}
+	}
+}
+
+// clockSeedArg reports the clock call used inside any seed argument
+// ("time.Now" style), or "".
+func clockSeedArg(pass *analysis.Pass, call *ast.CallExpr) string {
+	label := ""
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if label != "" {
+				return false
+			}
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if analysis.CalleeIs(pass, inner, "time", "Now") {
+				label = "time.Now()"
+				return false
+			}
+			return true
+		})
+	}
+	return label
+}

@@ -1,0 +1,19 @@
+package hostsafe_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"coremap/internal/analysis/analysistest"
+	"coremap/internal/analysis/hostsafe"
+)
+
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "flagged"), hostsafe.Analyzer)
+}
+
+// TestClean pins the no-false-positive contract: seeded RNGs, *rand.Rand
+// methods and decorator-respecting host handling stay silent.
+func TestClean(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "clean"), hostsafe.Analyzer)
+}

@@ -1,0 +1,31 @@
+// Fixture: sanctioned host and randomness patterns that must stay
+// unflagged.
+package baseline
+
+import (
+	"math/rand"
+
+	"coremap/internal/hostif"
+)
+
+// Explicitly seeded RNGs are deterministic.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Methods on an explicit *rand.Rand never touch the global source.
+func Draw(r *rand.Rand) int { return r.Intn(10) }
+
+// Deriving one seed from another is still configuration-driven.
+func Derived(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed + 0x5EED))
+}
+
+// Holding or forwarding a Host without operating on it is legal: the
+// callee applies the decorators.
+func Forward(h hostif.Host) int { return h.NumCPUs() }
+
+// Wrapping the host is exactly what the rule wants to see.
+type runner struct{ h hostif.Host }
+
+func newRunner(h hostif.Host) *runner { return &runner{h: h} }

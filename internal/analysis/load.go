@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path ("coremap/internal/probe"), or the
+	// directory for packages loaded outside the build (fixtures).
+	Path string
+
+	// Dir is the directory holding the source files.
+	Dir string
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// A Loader type-checks packages with a shared FileSet and importer so
+// dependency type-checking work (the source importer re-checks imports
+// from source) is paid once per process, not once per package.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// NewLoader returns a loader backed by the stdlib source importer, which
+// resolves both standard-library and module-local imports from source.
+// Module-local imports resolve through the go command, so the process
+// must run with a working directory inside the module.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// load parses files and type-checks them as one package.
+func (l *Loader) load(path, dir string, filenames []string) (*Package, error) {
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("analysis: package %s has no Go files", path)
+	}
+	sort.Strings(filenames)
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", path, err)
+	}
+	return &Package{
+		Path:      path,
+		Dir:       dir,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     pkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// LoadDir loads the single package in dir from its non-test .go files.
+// It is the fixture loader used by analysistest: the directory does not
+// need to be part of the surrounding module's build (testdata trees are
+// not), but its imports must resolve from the process working directory.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	names, err := goFilesIn(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(dir, dir, names)
+}
+
+func goFilesIn(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, m := range matches {
+		base := filepath.Base(m)
+		if strings.HasSuffix(base, "_test.go") {
+			continue
+		}
+		names = append(names, base)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no non-test Go files in %s", dir)
+	}
+	return names, nil
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+}
+
+// LoadPatterns expands go-list package patterns (e.g. "./...") and loads
+// every matched package. Test files are not loaded: the invariants the
+// analyzers enforce concern the shipped pipeline, and test-local shortcuts
+// (context.Background in a test, a raw host poke) are legitimate there.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %w\n%s",
+			strings.Join(patterns, " "), err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	var pkgs []*Package
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %w", err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		p, err := l.load(lp.ImportPath, lp.Dir, append([]string(nil), lp.GoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -28,6 +28,7 @@ const (
 // the default handler) and, when timeout > 0, after the deadline. The
 // returned stop function releases the signal registration.
 func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	//lint:allow ctxflow this IS the command root: cli manufactures the process-wide context
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	if timeout <= 0 {
 		return ctx, stop

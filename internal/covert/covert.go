@@ -12,7 +12,6 @@ package covert
 
 import (
 	"context"
-	"fmt"
 	"math"
 
 	"coremap/internal/cmerr"
@@ -170,14 +169,14 @@ func RunObserved(ctx context.Context, p Platform, specs []ChannelSpec, cfg Confi
 	used := make(map[int]bool)
 	for i, s := range specs {
 		if len(s.Payload) != n {
-			return nil, nil, fmt.Errorf("covert: channel %d payload length %d != %d", i, len(s.Payload), n)
+			return nil, nil, cmerr.New(cmerr.Permanent, "covert", "channel %d payload length %d != %d", i, len(s.Payload), n)
 		}
 		if len(s.Senders) == 0 {
-			return nil, nil, fmt.Errorf("covert: channel %d has no senders", i)
+			return nil, nil, cmerr.New(cmerr.Permanent, "covert", "channel %d has no senders", i)
 		}
 		for _, cpu := range append(append([]int{}, s.Senders...), s.Receiver) {
 			if used[cpu] {
-				return nil, nil, fmt.Errorf("covert: cpu %d used by more than one role", cpu)
+				return nil, nil, cmerr.New(cmerr.Permanent, "covert", "cpu %d used by more than one role", cpu)
 			}
 			used[cpu] = true
 		}
@@ -236,6 +235,7 @@ func RunObserved(ctx context.Context, p Platform, specs []ChannelSpec, cfg Confi
 			obsTraces[i] = append(obsTraces[i], temp)
 		}
 	}
+	//lint:allow ctxflow load teardown must complete even after cancellation
 	for cpu, on := range loadState {
 		if on {
 			if err := p.SetLoad(cpu, false); err != nil {

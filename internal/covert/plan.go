@@ -1,9 +1,9 @@
 package covert
 
 import (
-	"fmt"
 	"sort"
 
+	"coremap/internal/cmerr"
 	"coremap/internal/mesh"
 )
 
@@ -99,7 +99,7 @@ func (pl *Planner) BestReceiver() (int, error) {
 		}
 	}
 	if best < 0 {
-		return 0, fmt.Errorf("covert: no mappable receiver")
+		return 0, cmerr.New(cmerr.Permanent, "covert", "no mappable receiver")
 	}
 	return best, nil
 }

@@ -1,8 +1,7 @@
 package covert
 
 import (
-	"fmt"
-
+	"coremap/internal/cmerr"
 	"coremap/internal/machine"
 	"coremap/internal/msr"
 	"coremap/internal/thermal"
@@ -54,7 +53,7 @@ func (p *SimPlatform) ReadTemp(cpu int) (float64, error) {
 	}
 	below, valid := msr.DecodeThermStatus(v)
 	if !valid {
-		return 0, fmt.Errorf("covert: cpu %d thermal reading invalid", cpu)
+		return 0, cmerr.New(cmerr.Transient, "covert", "cpu %d thermal reading invalid", cpu)
 	}
 	return float64(machine.TjMax - below), nil
 }
@@ -62,7 +61,7 @@ func (p *SimPlatform) ReadTemp(cpu int) (float64, error) {
 // SetLoad implements Platform.
 func (p *SimPlatform) SetLoad(cpu int, active bool) error {
 	if cpu < 0 || cpu >= p.M.NumCPUs() {
-		return fmt.Errorf("covert: cpu %d out of range", cpu)
+		return cmerr.New(cmerr.Permanent, "covert", "cpu %d out of range", cpu)
 	}
 	p.T.SetLoad(p.M.PhysOfOS(cpu), active)
 	return nil

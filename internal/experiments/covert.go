@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"context"
-	"fmt"
 	"math/rand"
 	"sort"
 
 	"coremap"
+	"coremap/internal/cmerr"
 	"coremap/internal/covert"
 	"coremap/internal/machine"
 	"coremap/internal/mesh"
@@ -121,7 +121,7 @@ func Fig6(ctx context.Context, cfg Config) (*Fig6Result, error) {
 		}
 	}
 	if len(chain) < 2 {
-		return nil, fmt.Errorf("experiments: no vertical chain on the recovered map")
+		return nil, cmerr.New(cmerr.Permanent, "experiments", "no vertical chain on the recovered map")
 	}
 	bits := 32
 	if cfg.Quick {

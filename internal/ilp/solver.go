@@ -358,11 +358,11 @@ func lexLess(a, b []int64) bool {
 // violation. It is used by tests and by locate's sanity checks.
 func CheckFeasible(m *Model, vals []int64) error {
 	if len(vals) != len(m.lo) {
-		return fmt.Errorf("ilp: assignment has %d values, model has %d variables", len(vals), len(m.lo))
+		return cmerr.New(cmerr.Permanent, "ilp", "assignment has %d values, model has %d variables", len(vals), len(m.lo))
 	}
 	for v := range m.lo {
 		if vals[v] < m.lo[v] || vals[v] > m.hi[v] {
-			return fmt.Errorf("ilp: %s = %d outside [%d,%d]", m.names[v], vals[v], m.lo[v], m.hi[v])
+			return cmerr.New(cmerr.Permanent, "ilp", "%s = %d outside [%d,%d]", m.names[v], vals[v], m.lo[v], m.hi[v])
 		}
 	}
 	for _, c := range m.cons {
@@ -371,7 +371,7 @@ func CheckFeasible(m *Model, vals []int64) error {
 			sum += t.Coef * vals[t.Var]
 		}
 		if sum < c.lo || sum > c.hi {
-			return fmt.Errorf("ilp: constraint %q violated: %d ∉ [%d,%d]", c.label, sum, c.lo, c.hi)
+			return cmerr.New(cmerr.Permanent, "ilp", "constraint %q violated: %d ∉ [%d,%d]", c.label, sum, c.lo, c.hi)
 		}
 	}
 	return nil

@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"coremap/internal/cmerr"
 	"coremap/internal/ilp"
@@ -393,5 +394,14 @@ func findOverlaps(pos []mesh.Coord) [][2]int {
 			}
 		}
 	}
+	// The map range above visits cells in random order; sorting makes the
+	// separation constraints (and thus the solver's branching order)
+	// identical across runs.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
 	return out
 }

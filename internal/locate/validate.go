@@ -3,6 +3,7 @@ package locate
 import (
 	"fmt"
 
+	"coremap/internal/cmerr"
 	"coremap/internal/mesh"
 	"coremap/internal/probe"
 )
@@ -16,11 +17,11 @@ import (
 // validating externally supplied maps.
 func Validate(in Input, pos []mesh.Coord) error {
 	if len(pos) != in.NumCHA {
-		return fmt.Errorf("locate: placement has %d tiles, expected %d", len(pos), in.NumCHA)
+		return cmerr.New(cmerr.Permanent, "locate", "placement has %d tiles, expected %d", len(pos), in.NumCHA)
 	}
 	at := func(cha int) (mesh.Coord, error) {
 		if cha < 0 || cha >= len(pos) {
-			return mesh.Coord{}, fmt.Errorf("locate: observation references CHA %d", cha)
+			return mesh.Coord{}, cmerr.New(cmerr.Permanent, "locate", "observation references CHA %d", cha)
 		}
 		return pos[cha], nil
 	}
@@ -28,7 +29,7 @@ func Validate(in Input, pos []mesh.Coord) error {
 		var src mesh.Coord
 		if o.Anchored {
 			if o.SrcIMC < 0 || o.SrcIMC >= len(in.IMCPositions) {
-				return fmt.Errorf("locate: observation %d references unknown IMC %d", i, o.SrcIMC)
+				return cmerr.New(cmerr.Permanent, "locate", "observation %d references unknown IMC %d", i, o.SrcIMC)
 			}
 			src = in.IMCPositions[o.SrcIMC]
 		} else {

@@ -260,6 +260,7 @@ func New(host hostif.Host, opts Options) (*Prober, error) {
 		rng:   rand.New(rand.NewSource(opts.Seed + 0x5EED)),
 		homes: make(map[int][]uint64),
 	}
+	//lint:allow ctxflow construction-time CHA discovery predates any caller context
 	p.bind(context.Background())
 	n, err := p.discoverCHAs()
 	if err != nil {
@@ -709,7 +710,14 @@ func (p *Prober) measureTraffic(srcCPU, sinkCPU, srcCHA, sinkCHA int) (Observati
 // collectObservation reads the three ring counters of every CHA and
 // classifies the ones whose delta crossed the threshold.
 func (p *Prober) collectObservation(obs *Observation, threshold uint64) error {
-	for ctr, out := range map[int]*[]int{ctrUp: &obs.Up, ctrDown: &obs.Down, ctrHorz: &obs.Horz} {
+	// Fixed iteration order: the three ReadAll sweeps hit the PMON
+	// counters in a deterministic sequence, so identical runs produce
+	// identical host traces (a map literal here would randomize them).
+	for _, dir := range []struct {
+		ctr int
+		out *[]int
+	}{{ctrUp, &obs.Up}, {ctrDown, &obs.Down}, {ctrHorz, &obs.Horz}} {
+		ctr, out := dir.ctr, dir.out
 		counts, err := p.mon.ReadAll(ctr)
 		if err != nil {
 			return cmerr.Ensure(cmerr.Permanent, stage, err)
