@@ -27,6 +27,7 @@ import (
 
 	"coremap/internal/cli"
 	"coremap/internal/cmerr"
+	"coremap/internal/obs"
 )
 
 // Report is the whole converted run.
@@ -112,9 +113,21 @@ func parse(lines []string) Report {
 
 func main() {
 	timeout := flag.Duration("timeout", 0, "give up waiting for stdin after this duration (exit code 2)")
+	tel := cli.TelemetryFlags()
 	flag.Parse()
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
+	ctx, err := tel.Start(ctx)
+	if err != nil {
+		cli.Fatal("benchjson", err)
+	}
+	_, span := obs.Start(ctx, "benchjson/convert")
+	defer func() {
+		span.End(nil)
+		if err := tel.Close(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+		}
+	}()
 
 	// The transcript arrives on stdin from a (possibly long) benchmark run;
 	// read it off the main goroutine so a signal or -timeout can interrupt

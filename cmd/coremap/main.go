@@ -4,6 +4,7 @@
 // Usage:
 //
 //	coremap [-sku name] [-pattern n] [-seed n] [-workers n] [-timeout d] [-paper-faithful] [-check] [-json] [-nocache]
+//	        [-trace file] [-metrics-out file] [-debug-addr addr] [-report]
 //
 // The tool generates one simulated CPU instance (internal/machine stands in
 // for bare-metal hardware; see DESIGN.md), runs the three-step locating
@@ -41,10 +42,20 @@ func main() {
 		registryPath  = flag.String("registry", "", "JSON registry file: reuse a cached map for this PPIN, store new maps")
 		timeout       = flag.Duration("timeout", 0, "abort the pipeline after this duration (exit code 2)")
 	)
+	tel := cli.TelemetryFlags()
 	flag.Parse()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
+	ctx, err := tel.Start(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := tel.Close(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "coremap:", err)
+		}
+	}()
 
 	sku, err := findSKU(*skuName)
 	if err != nil {
@@ -58,6 +69,8 @@ func main() {
 	if !*noCache {
 		popts.Cache = probe.NewResultCache()
 		lopts.Cache = locate.NewCache()
+		popts.Cache.Register(tel.Registry())
+		lopts.Cache.Register(tel.Registry())
 	}
 
 	var res *coremap.Result
@@ -76,9 +89,7 @@ func main() {
 			fatal(err)
 		}
 		if popts.Cache != nil {
-			ls, ps := lopts.Cache.Stats(), popts.Cache.Stats()
-			fmt.Fprintf(os.Stderr, "[cache] locate %d hits / %d misses; probe %d hits / %d misses\n",
-				ls.Hits, ls.Misses, ps.Hits, ps.Misses)
+			cli.WriteCacheStats(os.Stderr, tel.Registry().Snapshot())
 		}
 		if registry != nil {
 			registry.Store(res)

@@ -10,8 +10,12 @@
 // Full-size runs use the paper's parameters (100 instances per model,
 // 10 Kbit payloads); -quick shrinks both for a fast pass. Survey
 // measurements and reconstructions are cached by content across
-// experiments (per-survey hit/miss statistics appear as "[cache]" lines);
-// -nocache reproduces the uncached baseline.
+// experiments (hit/miss statistics appear once, as "[cache]" lines at the
+// end of the run); -nocache reproduces the uncached baseline.
+//
+// The shared telemetry flags (-trace, -metrics-out, -debug-addr, -report)
+// emit the run's span trace, metrics snapshot, live debug endpoint and
+// per-stage report; see README.md "Observability".
 package main
 
 import (
@@ -34,10 +38,15 @@ func main() {
 		csvDir  = flag.String("csv", "", "directory to also write plot-ready CSV files into")
 		timeout = flag.Duration("timeout", 0, "abort the run after this duration (exit code 2)")
 	)
+	tel := cli.TelemetryFlags()
 	flag.Parse()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
+	ctx, err := tel.Start(ctx)
+	if err != nil {
+		fatal(err)
+	}
 
 	cfg := experiments.Config{
 		Out:         os.Stdout,
@@ -51,6 +60,7 @@ func main() {
 		// One cache set across every experiment of the run, so e.g.
 		// Fig. 4 reuses Table II's 8259CL survey wholesale.
 		cfg.Caches = experiments.NewCaches()
+		cfg.Caches.Register(tel.Registry())
 	}
 
 	// maybeCSV runs the writer only when -csv was given.
@@ -137,13 +147,18 @@ func main() {
 				fatal(fmt.Errorf("%s: %w", name, err))
 			}
 		}
-		return
+	} else {
+		run, ok := runners[*exp]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q", *exp))
+		}
+		if err := run(); err != nil {
+			fatal(err)
+		}
 	}
-	run, ok := runners[*exp]
-	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
-	}
-	if err := run(); err != nil {
+
+	cli.WriteCacheStats(os.Stdout, tel.Registry().Snapshot())
+	if err := tel.Close(os.Stdout); err != nil {
 		fatal(err)
 	}
 }

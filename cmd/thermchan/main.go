@@ -39,10 +39,20 @@ func main() {
 		registry   = flag.String("registry", "", "JSON registry file with a cached map for this PPIN (skips the root-level probe)")
 		timeout    = flag.Duration("timeout", 0, "abort mapping and transfer after this duration (exit code 2)")
 	)
+	tel := cli.TelemetryFlags()
 	flag.Parse()
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
+	ctx, err := tel.Start(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := tel.Close(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "thermchan:", err)
+		}
+	}()
 
 	sku := map[string]*machine.SKU{
 		"8124M": machine.SKU8124M, "8175M": machine.SKU8175M,

@@ -30,6 +30,7 @@ import (
 	"coremap/internal/hostif"
 	"coremap/internal/locate"
 	"coremap/internal/mesh"
+	"coremap/internal/obs"
 	"coremap/internal/probe"
 	"coremap/internal/stats"
 )
@@ -102,10 +103,18 @@ type Result struct {
 // retried (probe.Options.OpRetries) and, where retry cannot help, degraded
 // around: the result is then marked Degraded with its measurement
 // Coverage.
-func MapMachine(ctx context.Context, h hostif.Host, die DieInfo, opts Options) (*Result, error) {
+func MapMachine(ctx context.Context, h hostif.Host, die DieInfo, opts Options) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, span := obs.Start(ctx, "coremap/map-machine")
+	defer func() {
+		if res != nil {
+			span.SetAttr("solver_nodes", int64(res.SolverNodes)).
+				SetAttr("coverage_permille", int64(res.Coverage*1000))
+		}
+		span.End(err)
+	}()
 	p, err := probe.New(h, opts.Probe)
 	if err != nil {
 		return nil, cmerr.Ensure(cmerr.Permanent, "coremap", err)

@@ -1,5 +1,5 @@
 // Package hostsafe enforces the host-access and randomness discipline of
-// the measurement pipeline. Two rules:
+// the measurement pipeline. Three rules:
 //
 //   - decorator rule: the MSR/PMON/memory operations of hostif.Host and
 //     hostif.HostCtx (ReadMSR, WriteMSR, Load, TimedLoad, Store, Flush)
@@ -17,6 +17,13 @@
 //     a deterministic path must be rand.New(rand.NewSource(seed)) with a
 //     seed that is part of the experiment's configuration, or the
 //     content-addressed caches would fingerprint irreproducible runs.
+//
+//   - injected-clock rule (stage packages probe, ilp, locate, covert and
+//     memo): no direct time.Now/time.Since/time.Until. Stage code reads
+//     wall time only through the injected obs.Clock (obs.Config.Clock),
+//     which is what lets the telemetry determinism tests swap in a fake
+//     clock and assert byte-identical traces. A direct clock read would
+//     make span timings — and anything derived from them — untestable.
 package hostsafe
 
 import (
@@ -29,8 +36,9 @@ import (
 // Analyzer is the hostsafe check.
 var Analyzer = &analysis.Analyzer{
 	Name: "hostsafe",
-	Doc: "flags raw hostif.Host operations outside the sanctioned decorator packages " +
-		"and math/rand usage without an explicit deterministic source",
+	Doc: "flags raw hostif.Host operations outside the sanctioned decorator packages, " +
+		"math/rand usage without an explicit deterministic source, " +
+		"and direct wall-clock reads in the pipeline stage packages",
 	Run: run,
 }
 
@@ -44,6 +52,14 @@ var hostOps = map[string]bool{
 
 // sanctioned packages implement or decorate the hostif boundary.
 var sanctioned = []string{"hostif", "probe", "machine", "faulty"}
+
+// stagePackages are the pipeline stages whose wall-clock reads must go
+// through the injected obs.Clock.
+var stagePackages = []string{"probe", "ilp", "locate", "covert", "memo"}
+
+// clockFuncs are the time package's wall-clock reads covered by the
+// injected-clock rule.
+var clockFuncs = []string{"Now", "Since", "Until"}
 
 // randGlobals are the math/rand package-level functions that draw from
 // the shared, clock-seeded global source.
@@ -59,6 +75,7 @@ var randGlobals = map[string]bool{
 
 func run(pass *analysis.Pass) error {
 	checkHostOps := !analysis.PackageNameOneOf(pass, sanctioned...)
+	checkClocks := analysis.PackageNameOneOf(pass, stagePackages...)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -69,10 +86,25 @@ func run(pass *analysis.Pass) error {
 				checkHostOp(pass, call)
 			}
 			checkRand(pass, call)
+			if checkClocks {
+				checkClock(pass, call)
+			}
 			return true
 		})
 	}
 	return nil
+}
+
+// checkClock flags direct wall-clock reads in stage packages.
+func checkClock(pass *analysis.Pass, call *ast.CallExpr) {
+	for _, name := range clockFuncs {
+		if analysis.CalleeIs(pass, call, "time", name) {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock in a stage package: take an injected obs.Clock (obs.Config.Clock) so telemetry stays deterministic under a fake clock",
+				name)
+			return
+		}
+	}
 }
 
 // checkHostOp flags a covered operation invoked on a hostif.Host or

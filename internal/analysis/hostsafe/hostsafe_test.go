@@ -12,6 +12,13 @@ func TestFlagged(t *testing.T) {
 	analysistest.Run(t, filepath.Join("testdata", "flagged"), hostsafe.Analyzer)
 }
 
+// TestClockFlagged pins the injected-clock rule: direct time.Now/Since/
+// Until reads inside a stage package are diagnosed, duration arithmetic
+// and //lint:allow exceptions stay silent.
+func TestClockFlagged(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "clockflagged"), hostsafe.Analyzer)
+}
+
 // TestClean pins the no-false-positive contract: seeded RNGs, *rand.Rand
 // methods and decorator-respecting host handling stay silent.
 func TestClean(t *testing.T) {

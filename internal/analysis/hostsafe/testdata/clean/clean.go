@@ -4,6 +4,7 @@ package baseline
 
 import (
 	"math/rand"
+	"time"
 
 	"coremap/internal/hostif"
 )
@@ -29,3 +30,7 @@ func Forward(h hostif.Host) int { return h.NumCPUs() }
 type runner struct{ h hostif.Host }
 
 func newRunner(h hostif.Host) *runner { return &runner{h: h} }
+
+// The injected-clock rule scopes to the stage packages; this package
+// (baseline) may read the wall clock directly.
+func Uptime(start time.Time) time.Duration { return time.Since(start) }

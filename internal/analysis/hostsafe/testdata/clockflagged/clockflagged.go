@@ -1,0 +1,28 @@
+// Fixture: direct wall-clock reads inside a stage package (the package
+// name "probe" puts it in the injected-clock rule's scope). Every read
+// must go through the injected obs.Clock instead.
+package probe
+
+import "time"
+
+// Direct clock reads make span timings nondeterministic under test.
+func Stamp() time.Time {
+	return time.Now() // want `time.Now reads the wall clock in a stage package`
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since reads the wall clock in a stage package`
+}
+
+func Remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `time.Until reads the wall clock in a stage package`
+}
+
+// Duration arithmetic and constants never touch the clock.
+func Budget() time.Duration { return 3 * time.Second }
+
+// An explicit suppression documents a reviewed exception.
+func Allowed() time.Time {
+	//lint:allow hostsafe fixture: reviewed wall-clock read
+	return time.Now()
+}

@@ -1,0 +1,139 @@
+package cli
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"coremap/internal/obs"
+)
+
+// Telemetry bundles the observability surfaces shared by the repository's
+// commands:
+//
+//	-trace <file>        write a JSONL span trace
+//	-metrics-out <file>  write the final metrics snapshot as JSON
+//	-debug-addr <addr>   serve /debug/vars and /debug/pprof while running
+//	-report              print a per-stage run report at exit
+//
+// The telemetry itself is always live once Start has run — stage counters
+// are a few atomic adds — and the flags only choose which surfaces are
+// emitted. Commands call TelemetryFlags before flag.Parse, Start to attach
+// the telemetry to the root context, and Close to flush the artifacts.
+type Telemetry struct {
+	tracePath   string
+	metricsPath string
+	debugAddr   string
+	report      bool
+
+	t      *obs.Telemetry
+	traceW *bufio.Writer
+	traceF *os.File
+	dbg    *obs.DebugServer
+}
+
+// TelemetryFlags registers the shared observability flags on the
+// command-line flag set. Call it once, before flag.Parse.
+func TelemetryFlags() *Telemetry { return newTelemetryFlags(flag.CommandLine) }
+
+func newTelemetryFlags(fs *flag.FlagSet) *Telemetry {
+	tf := &Telemetry{}
+	fs.StringVar(&tf.tracePath, "trace", "", "write a JSONL span trace to this file")
+	fs.StringVar(&tf.metricsPath, "metrics-out", "", "write the final metrics snapshot as JSON to this file")
+	fs.StringVar(&tf.debugAddr, "debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	fs.BoolVar(&tf.report, "report", false, "print a per-stage run report at exit")
+	return tf
+}
+
+// Start builds the command's obs.Telemetry (real clock, trace sink and
+// debug server per the parsed flags) and returns the context carrying it.
+// Call after flag.Parse.
+func (tf *Telemetry) Start(ctx context.Context) (context.Context, error) {
+	cfg := obs.Config{Clock: obs.SystemClock}
+	if tf.tracePath != "" {
+		f, err := os.Create(tf.tracePath)
+		if err != nil {
+			return ctx, fmt.Errorf("telemetry: %w", err)
+		}
+		tf.traceF = f
+		tf.traceW = bufio.NewWriter(f)
+		cfg.TraceSink = tf.traceW
+	}
+	tf.t = obs.New(cfg)
+	if tf.debugAddr != "" {
+		dbg, err := obs.ServeDebug(tf.debugAddr, tf.t.Registry())
+		if err != nil {
+			return ctx, fmt.Errorf("telemetry: %w", err)
+		}
+		tf.dbg = dbg
+		fmt.Fprintf(os.Stderr, "telemetry: debug server on http://%s/debug/vars\n", dbg.Addr())
+	}
+	return obs.With(ctx, tf.t), nil
+}
+
+// Registry returns the live metrics registry (nil before Start; obs metric
+// handles from a nil registry are no-ops, so callers need no guard).
+func (tf *Telemetry) Registry() *obs.Registry {
+	if tf == nil {
+		return nil
+	}
+	return tf.t.Registry()
+}
+
+// Close shuts the debug server down, flushes the trace, writes the metrics
+// snapshot, and prints the -report table to w (stdout in the commands).
+// Safe to call once after the run, including when Start never ran.
+func (tf *Telemetry) Close(w io.Writer) error {
+	if tf == nil || tf.t == nil {
+		return nil
+	}
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("telemetry: %w", err)
+		}
+	}
+	keep(tf.dbg.Close())
+	if tf.traceW != nil {
+		keep(tf.traceW.Flush())
+		keep(tf.t.SinkErr())
+		keep(tf.traceF.Close())
+	}
+	if tf.metricsPath != "" {
+		f, err := os.Create(tf.metricsPath)
+		if err == nil {
+			keep(tf.t.Registry().Snapshot().WriteJSON(f))
+			keep(f.Close())
+		} else {
+			keep(err)
+		}
+	}
+	if tf.report {
+		keep(tf.t.Report(w))
+	}
+	return firstErr
+}
+
+// WriteCacheStats prints one "[cache]" line per cache layer registered in
+// the snapshot (the <layer>/cache/{hits,misses,coalesced} gauge triples),
+// so a run's cache statistics appear exactly once. The stable "[cache] "
+// prefix keeps the lines trivially filterable: diffing a cached against an
+// uncached run (the CI cache-invariance job) compares only the science.
+func WriteCacheStats(w io.Writer, snap obs.Snapshot) {
+	var layers []string
+	for name := range snap.Gauges {
+		if strings.HasSuffix(name, "/cache/hits") {
+			layers = append(layers, strings.TrimSuffix(name, "/hits"))
+		}
+	}
+	sort.Strings(layers)
+	for _, l := range layers {
+		fmt.Fprintf(w, "[cache] %s: %d hits / %d misses / %d coalesced\n",
+			l, snap.Gauges[l+"/hits"], snap.Gauges[l+"/misses"], snap.Gauges[l+"/coalesced"])
+	}
+}

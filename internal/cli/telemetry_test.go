@@ -1,0 +1,96 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coremap/internal/obs"
+)
+
+// TestTelemetryRoundTrip drives the full flag → Start → instrument → Close
+// path and checks both emitted artifacts against the schema validators.
+func TestTelemetryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.json")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	tf := newTelemetryFlags(fs)
+	if err := fs.Parse([]string{"-trace", tracePath, "-metrics-out", metricsPath}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, err := tf.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.From(ctx) == nil {
+		t.Fatal("Start did not attach telemetry to the context")
+	}
+	tf.Registry().Counter("probe/experiments/planned").Add(3)
+	_, span := obs.Start(ctx, "probe/run")
+	span.SetAttr("planned", 3)
+	span.End(nil)
+
+	if err := tf.Close(os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := obs.ValidateTrace(tr); err != nil {
+		t.Errorf("emitted trace fails schema validation: %v", err)
+	}
+	mf, err := os.Open(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	if err := obs.ValidateMetrics(mf); err != nil {
+		t.Errorf("emitted metrics fail schema validation: %v", err)
+	}
+}
+
+func TestTelemetryCloseWithoutStart(t *testing.T) {
+	var tf *Telemetry
+	if err := tf.Close(os.Stderr); err != nil {
+		t.Errorf("nil Telemetry Close: %v", err)
+	}
+	if err := (&Telemetry{}).Close(os.Stderr); err != nil {
+		t.Errorf("unstarted Telemetry Close: %v", err)
+	}
+}
+
+func TestWriteCacheStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.GaugeFunc("locate/cache/hits", func() int64 { return 7 })
+	reg.GaugeFunc("locate/cache/misses", func() int64 { return 2 })
+	reg.GaugeFunc("locate/cache/coalesced", func() int64 { return 1 })
+	reg.GaugeFunc("probe/cache/hits", func() int64 { return 5 })
+	reg.GaugeFunc("probe/cache/misses", func() int64 { return 4 })
+	reg.GaugeFunc("probe/cache/coalesced", func() int64 { return 0 })
+	reg.Gauge("probe/coverage_permille").Set(1000) // must not produce a line
+
+	var sb strings.Builder
+	WriteCacheStats(&sb, reg.Snapshot())
+	want := "[cache] locate/cache: 7 hits / 2 misses / 1 coalesced\n" +
+		"[cache] probe/cache: 5 hits / 4 misses / 0 coalesced\n"
+	if sb.String() != want {
+		t.Errorf("WriteCacheStats:\n%swant:\n%s", sb.String(), want)
+	}
+}
+
+func TestWriteCacheStatsEmpty(t *testing.T) {
+	var sb strings.Builder
+	WriteCacheStats(&sb, obs.NewRegistry().Snapshot())
+	if sb.String() != "" {
+		t.Errorf("no registered caches should print nothing, got %q", sb.String())
+	}
+}

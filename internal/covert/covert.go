@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"coremap/internal/cmerr"
+	"coremap/internal/obs"
 )
 
 // Platform is everything the (user-level) attacker can do: place load on
@@ -158,6 +159,25 @@ func RunObserved(ctx context.Context, p Platform, specs []ChannelSpec, cfg Confi
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, span := obs.Start(ctx, "covert/run")
+	results, obsTraces, err := runObserved(ctx, p, specs, cfg, observers)
+	var bits, bitErrs int64
+	for _, r := range results {
+		bits += int64(len(r.Sent))
+		bitErrs += int64(r.BitErrors)
+	}
+	reg := obs.RegistryFrom(ctx)
+	reg.Counter("covert/bits/sent").Add(bits)
+	reg.Counter("covert/bits/errors").Add(bitErrs)
+	span.SetAttr("channels", int64(len(specs))).
+		SetAttr("bits_sent", bits).
+		SetAttr("bit_errors", bitErrs)
+	span.End(err)
+	return results, obsTraces, err
+}
+
+// runObserved is the uninstrumented transfer; ctx is non-nil.
+func runObserved(ctx context.Context, p Platform, specs []ChannelSpec, cfg Config, observers []int) ([]Result, [][]float64, error) {
 	cfg = cfg.withDefaults()
 	if cfg.BitRate <= 0 {
 		return nil, nil, cmerr.New(cmerr.Permanent, "covert", "bit rate must be positive")
@@ -195,6 +215,10 @@ func RunObserved(ctx context.Context, p Platform, specs []ChannelSpec, cfg Confi
 	// payload window inside the sample array.
 	totalSamples := int(math.Ceil(float64(frameBits+cfg.WarmupBits+3) * bitPeriod * cfg.SampleHz))
 
+	reg := obs.RegistryFrom(ctx)
+	samples := reg.Counter("covert/samples")
+	pulses := reg.Counter("covert/pulses")
+
 	traces := make([][]float64, len(specs))
 	obsTraces := make([][]float64, len(observers))
 	loadState := make(map[int]bool)
@@ -202,6 +226,7 @@ func RunObserved(ctx context.Context, p Platform, specs []ChannelSpec, cfg Confi
 		if err := cmerr.FromContext(ctx, "covert"); err != nil {
 			return nil, nil, err
 		}
+		samples.Inc()
 		t := float64(k) * sampleDt
 		bitIdx := int(t / bitPeriod)
 		phase := t/bitPeriod - float64(bitIdx)
@@ -216,6 +241,10 @@ func RunObserved(ctx context.Context, p Platform, specs []ChannelSpec, cfg Confi
 						return nil, nil, err
 					}
 					loadState[cpu] = level
+					if level {
+						// Each off→on transition is one thermal pulse.
+						pulses.Inc()
+					}
 				}
 			}
 		}

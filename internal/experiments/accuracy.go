@@ -45,12 +45,10 @@ func Accuracy(ctx context.Context, cfg Config) ([]AccuracyResult, error) {
 	cfg.printf("Mapping accuracy and baselines (%d instances per model)\n\n", n)
 	var out []AccuracyResult
 	for _, sku := range machine.SKUs {
-		before := cfg.Caches.Stats()
 		insts, err := survey(ctx, sku, n, cfg)
 		if err != nil {
 			return nil, err
 		}
-		cfg.printCacheDelta(sku.Name, cfg.Caches.Stats().Sub(before))
 		ref := machine.Generate(sku, 0, machine.Config{Seed: cfg.Seed})
 		gen := baseline.NewPatternGeneralization(ref)
 		res := AccuracyResult{SKU: sku.Name}

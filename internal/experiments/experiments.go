@@ -18,6 +18,7 @@ import (
 	"coremap/internal/machine"
 	"coremap/internal/memo"
 	"coremap/internal/mesh"
+	"coremap/internal/obs"
 	"coremap/internal/probe"
 	"coremap/internal/stats"
 )
@@ -55,6 +56,18 @@ func (c *Caches) Stats() CacheStats {
 // Sub returns the counter deltas since an earlier snapshot.
 func (s CacheStats) Sub(o CacheStats) CacheStats {
 	return CacheStats{Locate: s.Locate.Sub(o.Locate), Probe: s.Probe.Sub(o.Probe)}
+}
+
+// Register wires both cache layers into reg (as locate/cache/* and
+// probe/cache/* gauges), so a run's cache statistics come out of the
+// telemetry snapshot exactly once instead of via per-survey printouts.
+// No-op on a nil cache set or registry.
+func (c *Caches) Register(reg *obs.Registry) {
+	if c == nil {
+		return
+	}
+	c.Locate.Register(reg)
+	c.Probe.Register(reg)
 }
 
 // Config sizes an experiment run.
@@ -106,17 +119,6 @@ func (c Config) withDefaults() Config {
 		c.Caches = NewCaches()
 	}
 	return c
-}
-
-// printCacheDelta reports one survey's cache-counter deltas. The "[cache]"
-// prefix makes the lines trivially filterable, so diffing a cached against
-// an uncached run (the CI cache-invariance job) compares only the science.
-func (c Config) printCacheDelta(label string, d CacheStats) {
-	if c.Caches == nil {
-		return
-	}
-	c.printf("[cache] %s: locate %d hits / %d misses / %d coalesced; probe %d hits / %d misses\n",
-		label, d.Locate.Hits, d.Locate.Misses, d.Locate.Coalesced, d.Probe.Hits, d.Probe.Misses)
 }
 
 func (c Config) printf(format string, args ...any) {
@@ -215,9 +217,14 @@ func (c Config) locateOptions() locate.Options {
 }
 
 // surveyStep1 runs only the OS-core-ID ↔ CHA-ID step over a population.
-func surveyStep1(ctx context.Context, sku *machine.SKU, n int, cfg Config) ([][]int, error) {
+func surveyStep1(ctx context.Context, sku *machine.SKU, n int, cfg Config) (_ [][]int, err error) {
+	ctx, span := obs.Start(ctx, "experiments/survey-step1")
+	span.SetAttrStr("sku", sku.Name).SetAttr("instances", int64(n))
+	defer func() { span.End(err) }()
+	obs.RegistryFrom(ctx).Counter("experiments/surveys").Inc()
+
 	out := make([][]int, n)
-	err := forEachInstance(ctx, sku, n, cfg.Seed, func(i int, m *machine.Machine) error {
+	err = forEachInstance(ctx, sku, n, cfg.Seed, func(i int, m *machine.Machine) error {
 		p, err := probe.New(m, cfg.probeOptions(i))
 		if err != nil {
 			return err
@@ -233,9 +240,14 @@ func surveyStep1(ctx context.Context, sku *machine.SKU, n int, cfg Config) ([][]
 
 // survey runs the full pipeline over a population, threading the config's
 // cache set through both pipeline layers.
-func survey(ctx context.Context, sku *machine.SKU, n int, cfg Config) ([]Instance, error) {
+func survey(ctx context.Context, sku *machine.SKU, n int, cfg Config) (_ []Instance, err error) {
+	ctx, span := obs.Start(ctx, "experiments/survey")
+	span.SetAttrStr("sku", sku.Name).SetAttr("instances", int64(n))
+	defer func() { span.End(err) }()
+	obs.RegistryFrom(ctx).Counter("experiments/surveys").Inc()
+
 	out := make([]Instance, n)
-	err := forEachInstance(ctx, sku, n, cfg.Seed, func(i int, m *machine.Machine) error {
+	err = forEachInstance(ctx, sku, n, cfg.Seed, func(i int, m *machine.Machine) error {
 		res, err := coremap.MapMachine(ctx, m, dieFor(sku), coremap.Options{
 			Probe:  cfg.probeOptions(i),
 			Locate: cfg.locateOptions(),
@@ -273,12 +285,10 @@ func Table1(ctx context.Context, cfg Config) ([]Table1Result, error) {
 	var out []Table1Result
 	cfg.printf("Table I: OS core ID ↔ CHA ID mappings (%d instances per model)\n", cfg.Instances)
 	for _, sku := range []*machine.SKU{machine.SKU8124M, machine.SKU8175M, machine.SKU8259CL} {
-		before := cfg.Caches.Stats()
 		mappings, err := surveyStep1(ctx, sku, cfg.Instances, cfg)
 		if err != nil {
 			return nil, err
 		}
-		cfg.printCacheDelta(sku.Name, cfg.Caches.Stats().Sub(before))
 		counter := stats.NewCounter()
 		repr := make(map[string][]int)
 		for _, mp := range mappings {
@@ -315,12 +325,10 @@ func Table2(ctx context.Context, cfg Config) ([]Table2Result, error) {
 	var out []Table2Result
 	cfg.printf("Table II: observed core location pattern statistics (%d instances per model)\n\n", cfg.Instances)
 	for _, sku := range []*machine.SKU{machine.SKU8124M, machine.SKU8175M, machine.SKU8259CL} {
-		before := cfg.Caches.Stats()
 		insts, err := survey(ctx, sku, cfg.Instances, cfg)
 		if err != nil {
 			return nil, err
 		}
-		cfg.printCacheDelta(sku.Name, cfg.Caches.Stats().Sub(before))
 		counter := stats.NewCounter()
 		for _, in := range insts {
 			counter.Add(in.Result.PatternKey())
@@ -345,12 +353,10 @@ func Table2(ctx context.Context, cfg Config) ([]Table2Result, error) {
 // location maps, rendered with OS-core-ID/CHA-ID labels.
 func Fig4(ctx context.Context, cfg Config) ([]string, error) {
 	cfg = cfg.withDefaults()
-	before := cfg.Caches.Stats()
 	insts, err := survey(ctx, machine.SKU8259CL, cfg.Instances, cfg)
 	if err != nil {
 		return nil, err
 	}
-	cfg.printCacheDelta(machine.SKU8259CL.Name, cfg.Caches.Stats().Sub(before))
 	counter := stats.NewCounter()
 	repr := make(map[string]*coremap.Result)
 	for _, in := range insts {
@@ -385,12 +391,10 @@ type Fig5Result struct {
 func Fig5(ctx context.Context, cfg Config) (*Fig5Result, error) {
 	cfg = cfg.withDefaults()
 	n := 10
-	before := cfg.Caches.Stats()
 	insts, err := survey(ctx, machine.SKU6354, n, cfg)
 	if err != nil {
 		return nil, err
 	}
-	cfg.printCacheDelta(machine.SKU6354.Name, cfg.Caches.Stats().Sub(before))
 	counter := stats.NewCounter()
 	var relSum float64
 	for _, in := range insts {

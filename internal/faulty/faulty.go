@@ -19,6 +19,7 @@ import (
 	"coremap/internal/cmerr"
 	"coremap/internal/hostif"
 	"coremap/internal/msr"
+	"coremap/internal/obs"
 )
 
 // Options configures the injector.
@@ -66,6 +67,15 @@ func New(inner hostif.Host, opts Options) *Host {
 		h.stuck[cpu] = true
 	}
 	return h
+}
+
+// Register wires the host's fault counters into reg as lazily-read
+// gauges faulty/injected and faulty/ops. Registration is additive, so
+// several fault-injecting hosts in one process (one per surveyed
+// instance, say) sum under the same two names. No-op on a nil registry.
+func (h *Host) Register(reg *obs.Registry) {
+	reg.GaugeFunc("faulty/injected", h.injected.Load)
+	reg.GaugeFunc("faulty/ops", h.ops.Load)
 }
 
 // Injected returns how many faults have been injected so far.

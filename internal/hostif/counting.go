@@ -1,0 +1,67 @@
+package hostif
+
+import (
+	"coremap/internal/msr"
+	"coremap/internal/obs"
+)
+
+// countingHost is a transparent decorator that counts every host
+// operation into an obs.Registry under host/ops/<op>. Counter updates
+// are lock-free atomics and the decorator never alters arguments,
+// results or errors, so wrapping a Host cannot perturb a measurement —
+// only observe it.
+type countingHost struct {
+	h Host
+
+	rdmsr, wrmsr, load, timedLoad, store, flush *obs.Counter
+}
+
+// Counting wraps h so that every operation increments the matching
+// host/ops/* counter in reg. With a nil registry it returns h unchanged,
+// keeping the uninstrumented path decorator-free.
+func Counting(h Host, reg *obs.Registry) Host {
+	if reg == nil {
+		return h
+	}
+	return &countingHost{
+		h:         h,
+		rdmsr:     reg.Counter("host/ops/rdmsr"),
+		wrmsr:     reg.Counter("host/ops/wrmsr"),
+		load:      reg.Counter("host/ops/load"),
+		timedLoad: reg.Counter("host/ops/timed_load"),
+		store:     reg.Counter("host/ops/store"),
+		flush:     reg.Counter("host/ops/flush"),
+	}
+}
+
+func (c *countingHost) NumCPUs() int { return c.h.NumCPUs() }
+
+func (c *countingHost) ReadMSR(cpu int, a msr.Addr) (uint64, error) {
+	c.rdmsr.Inc()
+	return c.h.ReadMSR(cpu, a)
+}
+
+func (c *countingHost) WriteMSR(cpu int, a msr.Addr, v uint64) error {
+	c.wrmsr.Inc()
+	return c.h.WriteMSR(cpu, a, v)
+}
+
+func (c *countingHost) Load(cpu int, addr uint64) error {
+	c.load.Inc()
+	return c.h.Load(cpu, addr)
+}
+
+func (c *countingHost) TimedLoad(cpu int, addr uint64) (uint64, error) {
+	c.timedLoad.Inc()
+	return c.h.TimedLoad(cpu, addr)
+}
+
+func (c *countingHost) Store(cpu int, addr uint64) error {
+	c.store.Inc()
+	return c.h.Store(cpu, addr)
+}
+
+func (c *countingHost) Flush(cpu int, addr uint64) error {
+	c.flush.Inc()
+	return c.h.Flush(cpu, addr)
+}

@@ -41,6 +41,9 @@ type engine struct {
 	bound atomic.Int64
 	// nodes counts processed frames across all workers.
 	nodes atomic.Int64
+	// pruned counts frames discarded by propagation (domain wipe-out or
+	// bound cut) before any branching.
+	pruned atomic.Int64
 	// aborted is set when the search stops early for any reason: node
 	// budget expiry or context cancellation.
 	aborted atomic.Bool
@@ -56,10 +59,18 @@ type engine struct {
 
 	best    []int64
 	bestObj int64
+	// incumbents counts accepted incumbent updates (guarded by mu).
+	incumbents int64
+
+	// workerNodes[w] counts the frames worker w processed; each slot is
+	// written only by its owning worker, and read after the pool joins.
+	// It feeds the ilp/worker_nodes utilization histogram.
+	workerNodes []int64
 }
 
 func newEngine(s *solver, workers, maxNodes int) *engine {
-	e := &engine{s: s, workers: workers, maxNodes: int64(maxNodes)}
+	e := &engine{s: s, workers: workers, maxNodes: int64(maxNodes),
+		workerNodes: make([]int64, workers)}
 	e.bound.Store(PosInf)
 	e.wake = sync.NewCond(&e.mu)
 	// Split only near the root: with the core-map models' branching
@@ -85,27 +96,27 @@ func (e *engine) run(root frame) {
 	e.pending = 1
 	e.deque = append(e.deque, root)
 	if e.workers == 1 {
-		e.worker()
+		e.worker(0)
 		return
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < e.workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			e.worker()
-		}()
+			e.worker(w)
+		}(w)
 	}
 	wg.Wait()
 }
 
-func (e *engine) worker() {
+func (e *engine) worker(w int) {
 	for {
 		f, ok := e.pop()
 		if !ok {
 			return
 		}
-		e.runSubtree(f)
+		e.workerNodes[w] += e.runSubtree(f)
 		e.finish()
 	}
 }
@@ -164,20 +175,22 @@ func (e *engine) interrupt() {
 	e.abort()
 }
 
-// runSubtree explores one task depth-first. Frames shallower than
-// splitDepth are pushed back onto the shared deque instead of the local
-// stack, which is where parallelism comes from.
-func (e *engine) runSubtree(task frame) {
+// runSubtree explores one task depth-first, returning the number of
+// frames it processed. Frames shallower than splitDepth are pushed back
+// onto the shared deque instead of the local stack, which is where
+// parallelism comes from.
+func (e *engine) runSubtree(task frame) (visited int64) {
 	s := e.s
 	stack := []frame{task}
 	for len(stack) > 0 {
 		if e.aborted.Load() {
-			return
+			return visited
 		}
 		if e.nodes.Add(1) > e.maxNodes {
 			e.abort()
-			return
+			return visited
 		}
+		visited++
 		f := stack[len(stack)-1]
 		stack[len(stack)-1] = frame{}
 		stack = stack[:len(stack)-1]
@@ -185,6 +198,7 @@ func (e *engine) runSubtree(task frame) {
 		// A stale bound only weakens pruning (it is monotone
 		// decreasing), never soundness, so one load per node suffices.
 		if !s.propagate(f.lo, f.hi, f.seed, e.bound.Load()) {
+			e.pruned.Add(1)
 			continue
 		}
 		v := s.pickVar(f.lo, f.hi)
@@ -213,6 +227,7 @@ func (e *engine) runSubtree(task frame) {
 			stack = append(stack, branch(x))
 		}
 	}
+	return visited
 }
 
 // offer proposes a fully assigned feasible leaf as the incumbent. The
@@ -225,6 +240,7 @@ func (e *engine) offer(vals []int64) {
 	e.mu.Lock()
 	if e.best == nil || z < e.bestObj || (z == e.bestObj && lexLess(v, e.best)) {
 		e.best, e.bestObj = v, z
+		e.incumbents++
 		if e.s.objIdx >= 0 {
 			e.bound.Store(z)
 		}

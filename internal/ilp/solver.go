@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"coremap/internal/cmerr"
+	"coremap/internal/obs"
 )
 
 // Errors returned by Solve.
@@ -61,10 +62,12 @@ const DefaultMaxNodes = 2_000_000
 // (the deque pop and the per-node budget check both observe it) and Solve
 // returns the best incumbent found so far together with ErrInterrupted,
 // or ErrInterrupted alone when no feasible leaf had been reached yet.
-func Solve(ctx context.Context, m *Model, opts Options) (*Solution, error) {
+func Solve(ctx context.Context, m *Model, opts Options) (sol *Solution, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, span := obs.Start(ctx, "ilp/solve")
+	defer func() { span.End(err) }()
 	maxNodes := opts.MaxNodes
 	if maxNodes <= 0 {
 		maxNodes = DefaultMaxNodes
@@ -114,6 +117,7 @@ func Solve(ctx context.Context, m *Model, opts Options) (*Solution, error) {
 	close(stop)
 	<-watcher
 
+	e.record(obs.RegistryFrom(ctx), m, target, span)
 	interrupted := e.interrupted.Load()
 	if e.best == nil {
 		if interrupted {
@@ -128,7 +132,7 @@ func Solve(ctx context.Context, m *Model, opts Options) (*Solution, error) {
 	if pre != nil {
 		values = pre.expand(values)
 	}
-	sol := &Solution{
+	sol = &Solution{
 		Values:    values,
 		Objective: e.bestObj,
 		Optimal:   !e.aborted.Load(),
@@ -140,6 +144,38 @@ func Solve(ctx context.Context, m *Model, opts Options) (*Solution, error) {
 		return sol, ErrInterrupted
 	}
 	return sol, nil
+}
+
+// workerNodeBounds buckets per-worker node counts for the utilization
+// histogram: a heavily skewed distribution (one busy worker, the rest
+// idle) is the signature of a bad task split.
+var workerNodeBounds = []int64{0, 100, 1_000, 10_000, 100_000, 1_000_000}
+
+// record publishes the finished search's statistics: counters for nodes,
+// prunes, incumbent updates and presolve reductions, the per-worker node
+// histogram, and the node/worker attributes of the solve span. Safe (and
+// a near no-op) with a nil registry. Called after the worker pool has
+// joined, so the engine state is quiescent.
+func (e *engine) record(reg *obs.Registry, orig, target *Model, span *obs.Span) {
+	nodes := e.nodes.Load()
+	span.SetAttr("nodes", nodes).SetAttr("workers", int64(e.workers))
+	if reg == nil {
+		return
+	}
+	reg.Counter("ilp/solves").Inc()
+	reg.Counter("ilp/nodes").Add(nodes)
+	reg.Counter("ilp/pruned").Add(e.pruned.Load())
+	reg.Counter("ilp/incumbents").Add(e.incumbents)
+	if d := int64(orig.NumVars() - target.NumVars()); d > 0 {
+		reg.Counter("ilp/presolve/vars_removed").Add(d)
+	}
+	if d := int64(orig.NumConstraints() - target.NumConstraints()); d > 0 {
+		reg.Counter("ilp/presolve/cons_removed").Add(d)
+	}
+	h := reg.Histogram("ilp/worker_nodes", workerNodeBounds)
+	for _, n := range e.workerNodes {
+		h.Observe(n)
+	}
 }
 
 // solver is the immutable search context shared by all workers: the model,

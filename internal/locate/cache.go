@@ -6,6 +6,7 @@ import (
 	"coremap/internal/cmerr"
 	"coremap/internal/memo"
 	"coremap/internal/mesh"
+	"coremap/internal/obs"
 )
 
 // Cache memoizes reconstructions by the canonical fingerprint of their
@@ -32,6 +33,15 @@ func (c *Cache) Stats() memo.Stats { return c.g.Stats() }
 
 // Len returns the number of distinct problems cached so far.
 func (c *Cache) Len() int { return c.g.Len() }
+
+// Register wires the cache counters into reg under locate/cache/*.
+// No-op on a nil cache or registry.
+func (c *Cache) Register(reg *obs.Registry) {
+	if c == nil {
+		return
+	}
+	c.g.Register(reg, "locate/cache")
+}
 
 // reconstruct is the cached version of Reconstruct's solve path. The
 // cached Map is private to the cache; every caller gets a clone so later

@@ -31,6 +31,7 @@ import (
 	"coremap/internal/cmerr"
 	"coremap/internal/ilp"
 	"coremap/internal/mesh"
+	"coremap/internal/obs"
 	"coremap/internal/probe"
 )
 
@@ -310,8 +311,42 @@ func Reconstruct(ctx context.Context, in Input, opts Options) (*Map, error) {
 	return reconstruct(ctx, in, opts)
 }
 
+// rawConstraintCount is the number of observation constraints an
+// unpruned build (Options.NoPrune) would emit, mirroring addObservation:
+// three per vertical observer, a direction one-hot per horizontal path,
+// and three or five per horizontal observer. Reported next to the built
+// model's actual count so telemetry shows what dominance pruning saved.
+func rawConstraintCount(in Input) int64 {
+	var n int64
+	for _, o := range in.Observations {
+		n += int64(3 * (len(o.Up) + len(o.Down)))
+		if len(o.Horz) == 0 {
+			continue
+		}
+		n++ // NE/NW one-hot
+		for _, k := range o.Horz {
+			n += 3 // row alignment + east/west source bounds
+			if k != o.DstCHA {
+				n += 2 // east/west intermediate bounds
+			}
+		}
+	}
+	return n
+}
+
 // reconstruct is the uncached solve path; in has been validated.
-func reconstruct(ctx context.Context, in Input, opts Options) (*Map, error) {
+func reconstruct(ctx context.Context, in Input, opts Options) (result *Map, err error) {
+	ctx, span := obs.Start(ctx, "locate/reconstruct")
+	defer func() {
+		if result != nil {
+			span.SetAttr("rounds", int64(result.SeparationRounds)).
+				SetAttr("nodes", int64(result.Nodes))
+		}
+		span.End(err)
+	}()
+	reg := obs.RegistryFrom(ctx)
+	reg.Counter("locate/reconstructs").Inc()
+
 	anchored := false
 	for _, o := range in.Observations {
 		if o.Anchored {
@@ -332,9 +367,11 @@ func reconstruct(ctx context.Context, in Input, opts Options) (*Map, error) {
 	} else {
 		b.addPruned(opts.PaperExactBounds)
 	}
+	reg.Counter("locate/constraints/raw").Add(rawConstraintCount(in))
+	reg.Counter("locate/constraints/built").Add(int64(b.m.NumConstraints()))
 	b.addObjective()
 
-	result := &Map{Rows: in.Rows, Cols: in.Cols, Anchored: anchored}
+	result = &Map{Rows: in.Rows, Cols: in.Cols, Anchored: anchored}
 	for round := 0; ; round++ {
 		sol, err := ilp.Solve(ctx, b.m, ilp.Options{
 			MaxNodes:    opts.MaxNodes,

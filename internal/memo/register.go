@@ -1,0 +1,17 @@
+package memo
+
+import "coremap/internal/obs"
+
+// Register wires the group's hit/miss/coalesced counters into reg as
+// lazily-read gauges named prefix/hits, prefix/misses and
+// prefix/coalesced. Registration is additive: several groups may share a
+// prefix (the probe cache registers its two layers under one name) and
+// the snapshot shows their sum. No-op on a nil group or registry.
+func (g *Group) Register(reg *obs.Registry, prefix string) {
+	if g == nil || reg == nil {
+		return
+	}
+	reg.GaugeFunc(prefix+"/hits", g.hits.Load)
+	reg.GaugeFunc(prefix+"/misses", g.misses.Load)
+	reg.GaugeFunc(prefix+"/coalesced", g.coalesce.Load)
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source instrumented code reads through. The pipeline
+// never calls time.Now directly (the hostsafe analyzer enforces this in
+// the stage packages): stages read the clock injected with their
+// Telemetry, so a run driven by a FakeClock is bit-for-bit reproducible —
+// span timestamps included — while commands bind SystemClock for real
+// wall-clock durations.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+}
+
+// SystemClock is the real wall clock. Only internal/cli binds it; library
+// and test code use a FakeClock (or the fixed default) so instrumented
+// runs stay deterministic.
+var SystemClock Clock = systemClock{}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+// fixedClock always returns the same instant. It is the default when no
+// clock is configured: every span gets timestamp 0 and duration 0, which
+// keeps traces byte-identical across runs without any setup.
+type fixedClock struct{ t time.Time }
+
+func (c fixedClock) Now() time.Time { return c.t }
+
+// FakeClock is a deterministic clock for tests: every Now call advances
+// the time by a fixed step, so the k-th clock read of a run always
+// observes the same instant. It is safe for concurrent use, but
+// deterministic timestamps of course require a deterministic read order.
+type FakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+// NewFakeClock returns a clock starting at start that advances by step on
+// every Now call.
+func NewFakeClock(start time.Time, step time.Duration) *FakeClock {
+	return &FakeClock{now: start, step: step}
+}
+
+// Now returns the current fake time and advances it by one step.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}

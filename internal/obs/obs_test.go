@@ -1,0 +1,422 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"coremap/internal/cmerr"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("probe/experiments/planned")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if r.Counter("probe/experiments/planned") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+
+	g := r.Gauge("probe/coverage_permille")
+	g.Set(987)
+	if got := g.Value(); got != 987 {
+		t.Fatalf("gauge = %d, want 987", got)
+	}
+
+	h := r.Histogram("ilp/worker_nodes", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot().Histograms["ilp/worker_nodes"]
+	want := []int64{2, 2, 0, 1} // <=10: {5,10}; <=100: {11,100}; <=1000: none; overflow: 5000
+	if len(snap.Counts) != len(want) {
+		t.Fatalf("bucket counts %v, want %v", snap.Counts, want)
+	}
+	for i := range want {
+		if snap.Counts[i] != want[i] {
+			t.Fatalf("bucket counts %v, want %v", snap.Counts, want)
+		}
+	}
+	if snap.Count != 5 || snap.Sum != 5+10+11+100+5000 {
+		t.Fatalf("count=%d sum=%d, want 5, %d", snap.Count, snap.Sum, 5+10+11+100+5000)
+	}
+}
+
+func TestGaugeFuncAdditive(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("faulty/injected", func() int64 { return 2 })
+	r.GaugeFunc("faulty/injected", func() int64 { return 3 })
+	// A plain gauge under the same name merges additively too.
+	r.Gauge("faulty/injected").Set(10)
+	if got := r.Snapshot().Gauges["faulty/injected"]; got != 15 {
+		t.Fatalf("additive gauge = %d, want 15", got)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("memo/hits")
+	h := r.Histogram("ilp/worker_nodes", []int64{10})
+	c.Add(5)
+	h.Observe(3)
+	before := r.Snapshot()
+	c.Add(7)
+	h.Observe(100)
+	r.Gauge("probe/coverage_permille").Set(500)
+	d := r.Snapshot().Sub(before)
+	if got := d.Counters["memo/hits"]; got != 7 {
+		t.Fatalf("delta counter = %d, want 7", got)
+	}
+	if got := d.Gauges["probe/coverage_permille"]; got != 500 {
+		t.Fatalf("delta gauge = %d, want later value 500", got)
+	}
+	dh := d.Histograms["ilp/worker_nodes"]
+	if dh.Count != 1 || dh.Counts[0] != 0 || dh.Counts[1] != 1 {
+		t.Fatalf("delta histogram = %+v, want one overflow observation", dh)
+	}
+}
+
+func TestSnapshotTotal(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("host/ops/rdmsr").Add(3)
+	r.Counter("host/ops/load").Add(4)
+	r.Counter("probe/retries").Add(9)
+	if got := r.Snapshot().Total("host/ops/"); got != 7 {
+		t.Fatalf("Total(host/ops/) = %d, want 7", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(1)
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(2)
+	r.Histogram("z", []int64{1}).Observe(3)
+	r.GaugeFunc("w", func() int64 { return 1 })
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+
+	var tel *Telemetry
+	if tel.Registry() != nil || tel.Spans() != nil || tel.Dropped() != 0 || tel.SinkErr() != nil {
+		t.Fatal("nil telemetry accessors not inert")
+	}
+	if tel.Clock() == nil {
+		t.Fatal("nil telemetry Clock() must still return a clock")
+	}
+	if err := tel.Report(io.Discard); err != nil {
+		t.Fatalf("nil telemetry report: %v", err)
+	}
+
+	ctx, span := Start(context.Background(), "probe/run")
+	if span != nil {
+		t.Fatal("Start without telemetry must return a nil span")
+	}
+	span.SetAttr("k", 1).SetAttrStr("s", "v")
+	span.End(errors.New("boom"))
+	if From(ctx) != nil || RegistryFrom(ctx) != nil {
+		t.Fatal("empty context must yield nil telemetry")
+	}
+	if From(nil) != nil { //lint:ignore SA1012 nil-context tolerance is part of the API contract
+		t.Fatal("From(nil) must be nil")
+	}
+}
+
+func TestSpanHierarchyAndErrorClass(t *testing.T) {
+	tel := New(Config{Clock: NewFakeClock(time.Unix(0, 0), time.Millisecond)})
+	ctx := With(context.Background(), tel)
+
+	ctx1, root := Start(ctx, "coremap/map-machine")
+	ctx2, child := Start(ctx1, "probe/run")
+	child.SetAttr("experiments", 42)
+	child.End(fmt.Errorf("sweep: %w", cmerr.Transient))
+	_, sib := Start(ctx1, "ilp/solve")
+	sib.End(errors.New("plain"))
+	root.End(nil)
+	_ = ctx2
+
+	spans := tel.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Spans complete child-first.
+	probe, ilp, top := spans[0], spans[1], spans[2]
+	if probe.Name != "probe/run" || ilp.Name != "ilp/solve" || top.Name != "coremap/map-machine" {
+		t.Fatalf("span order: %q %q %q", probe.Name, ilp.Name, top.Name)
+	}
+	if top.Parent != 0 {
+		t.Fatalf("root parent = %d, want 0", top.Parent)
+	}
+	if probe.Parent != top.ID || ilp.Parent != top.ID {
+		t.Fatalf("children parent = %d/%d, want %d", probe.Parent, ilp.Parent, top.ID)
+	}
+	if probe.Err != "transient" {
+		t.Fatalf("classified err = %q, want transient", probe.Err)
+	}
+	if ilp.Err != "unclassified" {
+		t.Fatalf("plain err = %q, want unclassified", ilp.Err)
+	}
+	if top.Err != "" {
+		t.Fatalf("nil err recorded as %q", top.Err)
+	}
+	if len(probe.Attrs) != 1 || probe.Attrs[0].Key != "experiments" || probe.Attrs[0].Int != 42 {
+		t.Fatalf("attrs = %+v", probe.Attrs)
+	}
+	// FakeClock ticks once per Now(): epoch, then one tick per Start/End.
+	if probe.DurUS <= 0 || top.DurUS <= probe.DurUS {
+		t.Fatalf("durations not nested: probe %d us, root %d us", probe.DurUS, top.DurUS)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tel := New(Config{})
+	_, s := Start(With(context.Background(), tel), "probe/run")
+	s.End(nil)
+	s.End(errors.New("second end must not re-record"))
+	if got := len(tel.Spans()); got != 1 {
+		t.Fatalf("got %d spans after double End, want 1", got)
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	tel := New(Config{TraceCapacity: 2})
+	ctx := With(context.Background(), tel)
+	for i := 0; i < 5; i++ {
+		_, s := Start(ctx, fmt.Sprintf("probe/op-%d", i))
+		s.End(nil)
+	}
+	spans := tel.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("buffer holds %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "probe/op-3" || spans[1].Name != "probe/op-4" {
+		t.Fatalf("ring kept %q, %q; want the two newest", spans[0].Name, spans[1].Name)
+	}
+	if tel.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", tel.Dropped())
+	}
+}
+
+// runTrace drives a fixed span workload against a fresh, identically
+// seeded fake clock and returns the JSONL bytes the sink received.
+func runTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tel := New(Config{
+		Clock:     NewFakeClock(time.Unix(1000, 0), 250*time.Microsecond),
+		TraceSink: &buf,
+	})
+	ctx := With(context.Background(), tel)
+	ctx, root := Start(ctx, "coremap/map-machine")
+	for i := 0; i < 3; i++ {
+		_, s := Start(ctx, "probe/run")
+		s.SetAttr("round", int64(i))
+		s.End(nil)
+	}
+	_, s := Start(ctx, "ilp/solve")
+	s.SetAttr("nodes", 128)
+	s.End(fmt.Errorf("budget: %w", cmerr.Degraded))
+	root.End(nil)
+	if err := tel.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestJSONLSinkDeterministic(t *testing.T) {
+	a, b := runTrace(t), runTrace(t)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("identically-seeded traces differ:\n%s\nvs\n%s", a, b)
+	}
+	if err := ValidateTrace(bytes.NewReader(a)); err != nil {
+		t.Fatalf("emitted trace fails its own schema: %v", err)
+	}
+	if n := bytes.Count(a, []byte("\n")); n != 5 {
+		t.Fatalf("trace has %d lines, want 5", n)
+	}
+}
+
+func TestValidateTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field": `{"id":1,"name":"a/b","start_us":0,"dur_us":0,"bogus":1}`,
+		"zero id":       `{"id":0,"name":"a/b","start_us":0,"dur_us":0}`,
+		"self parent":   `{"id":2,"parent":2,"name":"a/b","start_us":0,"dur_us":0}`,
+		"empty name":    `{"id":1,"name":"","start_us":0,"dur_us":0}`,
+		"negative time": `{"id":1,"name":"a/b","start_us":-1,"dur_us":0}`,
+		"empty attr":    `{"id":1,"name":"a/b","start_us":0,"dur_us":0,"attrs":[{"k":""}]}`,
+		"not json":      `nope`,
+	}
+	for name, line := range cases {
+		if err := ValidateTrace(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("%s: ValidateTrace accepted %q", name, line)
+		}
+	}
+}
+
+func TestValidateMetricsRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("probe/experiments/planned").Add(12)
+	r.Gauge("probe/coverage_permille").Set(1000)
+	r.Histogram("ilp/worker_nodes", []int64{10, 100}).Observe(7)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMetrics(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("emitted snapshot fails its own schema: %v", err)
+	}
+	// Deterministic encoding: same state, same bytes.
+	var buf2 bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("snapshot JSON is not deterministic")
+	}
+}
+
+func TestValidateMetricsRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":  `{"counters":{},"gauges":{},"bogus":{}}`,
+		"no counters":    `{"gauges":{}}`,
+		"no gauges":      `{"counters":{}}`,
+		"bad histogram":  `{"counters":{},"gauges":{},"histograms":{"h":{"bounds":[1,2],"counts":[1],"sum":0,"count":1}}}`,
+		"bad bucket sum": `{"counters":{},"gauges":{},"histograms":{"h":{"bounds":[1],"counts":[1,1],"sum":0,"count":3}}}`,
+		"bad bounds":     `{"counters":{},"gauges":{},"histograms":{"h":{"bounds":[2,2],"counts":[0,0,0],"sum":0,"count":0}}}`,
+	}
+	for name, doc := range cases {
+		if err := ValidateMetrics(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: ValidateMetrics accepted %q", name, doc)
+		}
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("probe/experiments/planned").Add(100)
+	r.Counter("probe/retries").Add(4)
+	r.Gauge("probe/coverage_permille").Set(995)
+	r.Gauge("probe/cache/hits").Set(17)
+	r.Counter("ilp/nodes").Add(2048)
+	r.Counter("host/ops/rdmsr").Add(600)
+	r.Counter("host/ops/load").Add(50)
+	spans := []SpanRecord{
+		{ID: 1, Name: "coremap/map-machine", DurUS: 1000},
+		{ID: 2, Parent: 1, Name: "probe/run", DurUS: 700},
+		{ID: 3, Parent: 2, Name: "probe/map-cores", DurUS: 300}, // nested same-stage: no extra duration
+		{ID: 4, Parent: 1, Name: "ilp/solve", DurUS: 200},
+	}
+	rows := BuildReport(r.Snapshot(), spans)
+
+	byStage := make(map[string]StageRow)
+	var order []string
+	for _, row := range rows {
+		byStage[row.Stage] = row
+		order = append(order, row.Stage)
+	}
+	wantOrder := []string{"coremap", "host", "probe", "ilp"}
+	if len(order) != len(wantOrder) {
+		t.Fatalf("stages %v, want %v", order, wantOrder)
+	}
+	for i := range wantOrder {
+		if order[i] != wantOrder[i] {
+			t.Fatalf("stages %v, want %v", order, wantOrder)
+		}
+	}
+
+	p := byStage["probe"]
+	if p.Ops != 100 || p.Retries != 4 || p.CacheHits != 17 {
+		t.Fatalf("probe row = %+v", p)
+	}
+	if p.Coverage != 99.5 {
+		t.Fatalf("probe coverage = %v, want 99.5", p.Coverage)
+	}
+	if p.Spans != 2 || p.Duration != 700*time.Microsecond {
+		t.Fatalf("probe spans/duration = %d/%v, want 2/700µs (no double count)", p.Spans, p.Duration)
+	}
+	if byStage["ilp"].Ops != 2048 {
+		t.Fatalf("ilp ops = %d, want 2048", byStage["ilp"].Ops)
+	}
+	if byStage["host"].Ops != 650 {
+		t.Fatalf("host ops = %d, want 650", byStage["host"].Ops)
+	}
+	if byStage["host"].Coverage != -1 {
+		t.Fatal("host coverage should be absent (-1)")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "probe") || !strings.Contains(out, "99.5%") {
+		t.Fatalf("report table missing probe row:\n%s", out)
+	}
+}
+
+// TestDebugServerCleanShutdown is the goroutine-leak test for the
+// -debug-addr server: after Close, the serve goroutine and the
+// connection handlers must all be gone.
+func TestDebugServerCleanShutdown(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		r := NewRegistry()
+		r.Counter("probe/experiments/planned").Add(int64(i))
+		d, err := ServeDebug("127.0.0.1:0", r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Get("http://" + d.Addr() + "/debug/vars")
+		if err != nil {
+			d.Close()
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			d.Close()
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			d.Close()
+			t.Fatalf("/debug/vars status %d", resp.StatusCode)
+		}
+		if err := ValidateMetrics(bytes.NewReader(body)); err != nil {
+			d.Close()
+			t.Fatalf("/debug/vars payload invalid: %v", err)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keep-alive pools and runtime helpers take a moment to unwind.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+		runtime.GC()
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestFakeClockStep(t *testing.T) {
+	c := NewFakeClock(time.Unix(100, 0), time.Second)
+	t0, t1 := c.Now(), c.Now()
+	if !t1.Equal(t0.Add(time.Second)) {
+		t.Fatalf("fake clock step: %v then %v", t0, t1)
+	}
+}

@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter is a no-op, so instrumented code never has
+// to guard on "is telemetry enabled".
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d. No-op on a nil receiver.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; zero on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (a level, not a total).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current value; zero on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed, half-open buckets. An
+// observation v lands in the first bucket with v <= bounds[i], or in the
+// overflow bucket when v exceeds every bound. Bucket increments are
+// atomic and commutative, so concurrent observers never perturb the final
+// snapshot regardless of interleaving.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// HistogramSnapshot is the point-in-time state of a Histogram.
+type HistogramSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"` // len(Bounds)+1; last is overflow
+	Sum    int64   `json:"sum"`
+	Count  int64   `json:"count"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.n.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Registry is a process-wide, get-or-create metrics registry. Metric
+// handles are cheap to look up and safe to cache; all mutation paths are
+// lock-free atomics. A nil *Registry hands out nil metric handles, which
+// are themselves no-ops, so instrumentation is unconditional.
+type Registry struct {
+	mu      sync.Mutex
+	counter map[string]*Counter
+	gauge   map[string]*Gauge
+	hist    map[string]*Histogram
+	funcs   map[string][]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counter: make(map[string]*Counter),
+		gauge:   make(map[string]*Gauge),
+		hist:    make(map[string]*Histogram),
+		funcs:   make(map[string][]func() int64),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. Nil on a nil receiver.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counter[name]
+	if !ok {
+		c = &Counter{}
+		r.counter[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+// Nil on a nil receiver.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauge[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauge[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds (which must be sorted ascending) if needed. A
+// pre-existing histogram keeps its original bounds; the bounds argument is
+// then ignored. Nil on a nil receiver.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hist[name]
+	if !ok {
+		h = &Histogram{
+			bounds: append([]int64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+		r.hist[name] = h
+	}
+	return h
+}
+
+// GaugeFunc registers fn as a lazily-read gauge under name. Registering
+// several functions under one name is additive: the snapshot value is
+// their sum. That lets every instance of a component (e.g. each
+// faulty.Host, or the two memo groups behind a probe cache) register under
+// the same stable name without coordination. No-op on a nil receiver.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = append(r.funcs[name], fn)
+}
+
+// Snapshot is a point-in-time copy of every metric in a Registry. Gauge
+// functions are evaluated at snapshot time and merged (additively) into
+// Gauges. Map keys serialize in sorted order, so two snapshots of equal
+// state encode to identical JSON.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the current value of every registered metric. On a
+// nil receiver it returns an empty (but non-nil-mapped) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]int64),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counter {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauge {
+		s.Gauges[name] = g.Value()
+	}
+	for name, fns := range r.funcs {
+		var sum int64
+		for _, fn := range fns {
+			sum += fn()
+		}
+		s.Gauges[name] += sum
+	}
+	if len(r.hist) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hist))
+		for name, h := range r.hist {
+			s.Histograms[name] = h.snapshot()
+		}
+	}
+	return s
+}
+
+// Sub returns the delta s minus earlier, in the spirit of memo.Stats.Sub:
+// counters and histogram counts subtract; gauges keep the later value
+// (they are levels, not totals). Metrics absent from earlier pass through
+// unchanged.
+func (s Snapshot) Sub(earlier Snapshot) Snapshot {
+	d := Snapshot{
+		Counters: make(map[string]int64, len(s.Counters)),
+		Gauges:   make(map[string]int64, len(s.Gauges)),
+	}
+	for name, v := range s.Counters {
+		d.Counters[name] = v - earlier.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		d.Gauges[name] = v
+	}
+	if len(s.Histograms) > 0 {
+		d.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
+		for name, h := range s.Histograms {
+			e, ok := earlier.Histograms[name]
+			if !ok || len(e.Counts) != len(h.Counts) {
+				d.Histograms[name] = h
+				continue
+			}
+			dh := HistogramSnapshot{
+				Bounds: h.Bounds,
+				Counts: make([]int64, len(h.Counts)),
+				Sum:    h.Sum - e.Sum,
+				Count:  h.Count - e.Count,
+			}
+			for i := range h.Counts {
+				dh.Counts[i] = h.Counts[i] - e.Counts[i]
+			}
+			d.Histograms[name] = dh
+		}
+	}
+	return d
+}
+
+// Total sums every counter whose name starts with prefix.
+func (s Snapshot) Total(prefix string) int64 {
+	var sum int64
+	for name, v := range s.Counters {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// WriteJSON writes the snapshot as indented JSON followed by a newline.
+// encoding/json sorts map keys, so the output is deterministic.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: encode snapshot: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("obs: write snapshot: %w", err)
+	}
+	return nil
+}

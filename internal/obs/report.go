@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// StageRow is one line of a RunReport: the rollup of every metric and
+// span belonging to one pipeline stage (the first path segment of metric
+// and span names, e.g. "probe" from "probe/experiments/planned").
+type StageRow struct {
+	Stage     string
+	Spans     int           // finished spans in the stage
+	Duration  time.Duration // sum over spans whose parent lies outside the stage
+	Ops       int64         // stage-defining operation count (see opsOf)
+	Retries   int64         // <stage>/retries
+	CacheHits int64         // <stage>/cache/hits
+	Coverage  float64       // <stage>/coverage_permille / 10; -1 when absent
+}
+
+// stageOrder pins the pipeline stages to their execution order; stages
+// outside the list sort alphabetically after it.
+var stageOrder = []string{"coremap", "host", "probe", "ilp", "locate", "covert", "experiments"}
+
+func stageRank(stage string) int {
+	for i, s := range stageOrder {
+		if s == stage {
+			return i
+		}
+	}
+	return len(stageOrder)
+}
+
+func stageOf(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// opsOf picks the operation count that best characterizes a stage's
+// workload: planned experiments for probe, explored nodes for the ILP,
+// and so on. The default is the sum of the stage's "<stage>/ops/*"
+// counters (how hostif counts per-op), falling back to zero.
+func opsOf(stage string, snap Snapshot) int64 {
+	alias := map[string]string{
+		"probe":       "probe/experiments/planned",
+		"ilp":         "ilp/nodes",
+		"locate":      "locate/reconstructs",
+		"covert":      "covert/samples",
+		"experiments": "experiments/surveys",
+	}
+	if name, ok := alias[stage]; ok {
+		if v, ok := snap.Counters[name]; ok {
+			return v
+		}
+	}
+	return snap.Total(stage + "/ops/")
+}
+
+// BuildReport rolls a metrics snapshot and a span buffer up into
+// per-stage rows, ordered by pipeline position. A stage appears if any
+// metric or span mentions it. Stage duration sums only spans whose
+// parent is outside the stage, so nested same-stage spans are not
+// double-counted.
+func BuildReport(snap Snapshot, spans []SpanRecord) []StageRow {
+	stages := make(map[string]*StageRow)
+	row := func(stage string) *StageRow {
+		r, ok := stages[stage]
+		if !ok {
+			r = &StageRow{Stage: stage, Coverage: -1}
+			stages[stage] = r
+		}
+		return r
+	}
+
+	for name := range snap.Counters {
+		row(stageOf(name))
+	}
+	for name := range snap.Gauges {
+		row(stageOf(name))
+	}
+	for name := range snap.Histograms {
+		row(stageOf(name))
+	}
+
+	spanStage := make(map[int64]string, len(spans))
+	for _, s := range spans {
+		spanStage[s.ID] = stageOf(s.Name)
+	}
+	for _, s := range spans {
+		stage := stageOf(s.Name)
+		r := row(stage)
+		r.Spans++
+		if parent, ok := spanStage[s.Parent]; !ok || parent != stage {
+			r.Duration += time.Duration(s.DurUS) * time.Microsecond
+		}
+	}
+
+	for stage, r := range stages {
+		r.Ops = opsOf(stage, snap)
+		r.Retries = snap.Counters[stage+"/retries"]
+		r.CacheHits = snap.Gauges[stage+"/cache/hits"]
+		if permille, ok := snap.Gauges[stage+"/coverage_permille"]; ok {
+			r.Coverage = float64(permille) / 10
+		}
+	}
+
+	out := make([]StageRow, 0, len(stages))
+	for _, r := range stages {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := stageRank(out[i].Stage), stageRank(out[j].Stage)
+		if ri != rj {
+			return ri < rj
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+// WriteReport formats the rows as an aligned human-readable table.
+func WriteReport(w io.Writer, rows []StageRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "stage\tspans\tduration\tops\tretries\tcache-hits\tcoverage")
+	for _, r := range rows {
+		cov := "-"
+		if r.Coverage >= 0 {
+			cov = fmt.Sprintf("%.1f%%", r.Coverage)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\n",
+			r.Stage, r.Spans, r.Duration.Round(time.Microsecond),
+			dashZero(r.Ops), dashZero(r.Retries), dashZero(r.CacheHits), cov)
+	}
+	if err := tw.Flush(); err != nil {
+		return fmt.Errorf("obs: write report: %w", err)
+	}
+	return nil
+}
+
+func dashZero(v int64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// Report is a convenience wrapper: snapshot the telemetry, build the
+// rows, and write the table. Nil-safe; a nil Telemetry writes an empty
+// table header only.
+func (t *Telemetry) Report(w io.Writer) error {
+	return WriteReport(w, BuildReport(t.Registry().Snapshot(), t.Spans()))
+}

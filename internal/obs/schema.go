@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ValidateTrace checks that r holds a well-formed JSONL span trace as
+// written by the -trace flag: one SpanRecord object per line, no unknown
+// fields, positive IDs, no self-parenting, non-empty names, non-negative
+// times, and well-formed attributes. It is the schema check CI runs
+// against the artifacts a -quick experiments run emits.
+func ValidateTrace(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var rec SpanRecord
+		if err := dec.Decode(&rec); err != nil {
+			return fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		if dec.More() {
+			return fmt.Errorf("obs: trace line %d: trailing data after span object", line)
+		}
+		if err := validateSpan(rec); err != nil {
+			return fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("obs: read trace: %w", err)
+	}
+	return nil
+}
+
+func validateSpan(rec SpanRecord) error {
+	if rec.ID <= 0 {
+		return fmt.Errorf("span id %d, want > 0", rec.ID)
+	}
+	if rec.Parent < 0 {
+		return fmt.Errorf("span %d: negative parent %d", rec.ID, rec.Parent)
+	}
+	if rec.Parent == rec.ID {
+		return fmt.Errorf("span %d is its own parent", rec.ID)
+	}
+	if rec.Name == "" {
+		return fmt.Errorf("span %d: empty name", rec.ID)
+	}
+	if rec.StartUS < 0 || rec.DurUS < 0 {
+		return fmt.Errorf("span %d: negative time (start %d us, dur %d us)", rec.ID, rec.StartUS, rec.DurUS)
+	}
+	for i, a := range rec.Attrs {
+		if a.Key == "" {
+			return fmt.Errorf("span %d: attr %d has empty key", rec.ID, i)
+		}
+	}
+	return nil
+}
+
+// ValidateMetrics checks that r holds a well-formed metrics snapshot as
+// written by the -metrics-out flag: a single Snapshot object with no
+// unknown fields, both metric maps present, and internally consistent
+// histograms (counts length matches bounds, totals reconcile, bounds
+// strictly increasing).
+func ValidateMetrics(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var snap Snapshot
+	if err := dec.Decode(&snap); err != nil {
+		return fmt.Errorf("obs: decode metrics: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("obs: metrics: trailing data after snapshot object")
+	}
+	if snap.Counters == nil {
+		return fmt.Errorf("obs: metrics: missing counters map")
+	}
+	if snap.Gauges == nil {
+		return fmt.Errorf("obs: metrics: missing gauges map")
+	}
+	for name, h := range snap.Histograms {
+		if len(h.Counts) != len(h.Bounds)+1 {
+			return fmt.Errorf("obs: metrics: histogram %q: %d counts for %d bounds, want %d",
+				name, len(h.Counts), len(h.Bounds), len(h.Bounds)+1)
+		}
+		var total int64
+		for _, c := range h.Counts {
+			if c < 0 {
+				return fmt.Errorf("obs: metrics: histogram %q: negative bucket count", name)
+			}
+			total += c
+		}
+		if total != h.Count {
+			return fmt.Errorf("obs: metrics: histogram %q: bucket sum %d != count %d", name, total, h.Count)
+		}
+		for i := 1; i < len(h.Bounds); i++ {
+			if h.Bounds[i] <= h.Bounds[i-1] {
+				return fmt.Errorf("obs: metrics: histogram %q: bounds not strictly increasing at %d", name, i)
+			}
+		}
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 
 	"coremap/internal/memo"
+	"coremap/internal/obs"
 )
 
 // ResultCache memoizes measurement results by chip identity. The paper's
@@ -42,6 +43,17 @@ func (c *ResultCache) Stats() memo.Stats {
 
 // Len returns the number of cached entries across both layers.
 func (c *ResultCache) Len() int { return c.step1.Len() + c.full.Len() }
+
+// Register wires both cache layers into reg under probe/cache/* (the
+// registrations are additive, so the gauges show the combined counters,
+// matching Stats). No-op on a nil cache or registry.
+func (c *ResultCache) Register(reg *obs.Registry) {
+	if c == nil {
+		return
+	}
+	c.step1.Register(reg, "probe/cache")
+	c.full.Register(reg, "probe/cache")
+}
 
 // step1State is the cached outcome of step 1: everything the prober
 // learns before the pair-traffic sweep.

@@ -39,6 +39,7 @@ import (
 	"coremap/internal/cmerr"
 	"coremap/internal/hostif"
 	"coremap/internal/msr"
+	"coremap/internal/obs"
 	"coremap/internal/pmon"
 )
 
@@ -224,10 +225,14 @@ func (r *Result) LLCOnlyCHAs() []int {
 // executing.
 type Prober struct {
 	// raw is the host as handed to New; host is raw bound to the current
-	// call's context and wrapped with the transient-retry decorator.
+	// call's context and wrapped with the telemetry and transient-retry
+	// decorators.
 	raw  hostif.Host
 	host hostif.Host
 	ctx  context.Context
+	// reg is the telemetry registry of the current call's context; nil
+	// (a no-op registry) when the caller carries no telemetry.
+	reg *obs.Registry
 	opts Options
 	mon  *pmon.Monitor
 	rng  *rand.Rand
@@ -271,13 +276,17 @@ func New(host hostif.Host, opts Options) (*Prober, error) {
 }
 
 // bind fixes ctx as the context every host operation of the current call
-// observes, and layers the transient-retry decorator on top.
+// observes, and layers the telemetry and transient-retry decorators on
+// top. The counting decorator sits innermost (below retry), so host op
+// counters see every attempt, not just the first.
 func (p *Prober) bind(ctx context.Context) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	p.ctx = ctx
-	p.host = newRetryHost(ctx, hostif.Bind(ctx, p.raw), p.opts.OpRetries, p.opts.RetryBackoff)
+	p.reg = obs.RegistryFrom(ctx)
+	h := hostif.Bind(ctx, hostif.Counting(p.raw, p.reg))
+	p.host = newRetryHost(ctx, h, p.opts.OpRetries, p.opts.RetryBackoff, p.reg.Counter("probe/retries"))
 }
 
 // msrVia adapts the prober's current bound host to pmon.Access; uncore
@@ -310,8 +319,12 @@ func (p *Prober) discoverCHAs() (int, error) {
 // NumCHA returns the number of discovered CHA boxes.
 func (p *Prober) NumCHA() int { return p.mon.NumCHA }
 
-// progress reports long-phase progress when a callback is configured.
+// progress reports long-phase progress when a callback is configured,
+// and mirrors it into the probe/progress/* gauges so a -debug-addr
+// snapshot shows how far each phase has come.
 func (p *Prober) progress(stage string, done, total int) {
+	p.reg.Gauge("probe/progress/" + stage + "_done").Set(int64(done))
+	p.reg.Gauge("probe/progress/" + stage + "_total").Set(int64(total))
 	if p.opts.Progress != nil {
 		p.opts.Progress(stage, done, total)
 	}
@@ -573,7 +586,20 @@ func (p *Prober) repetitionFactor() int {
 // A CPU whose co-location tests failed with permanent host errors is
 // reported as -1 in the mapping instead of failing the whole step (unless
 // Options.FailFast is set); such degraded mappings are never cached.
-func (p *Prober) MapCoresToCHAs(ctx context.Context) ([]int, error) {
+func (p *Prober) MapCoresToCHAs(ctx context.Context) (mapping []int, err error) {
+	ctx, span := obs.Start(ctx, "probe/map-cores")
+	defer func() {
+		var mapped, unmapped int64
+		for _, cha := range mapping {
+			if cha >= 0 {
+				mapped++
+			} else {
+				unmapped++
+			}
+		}
+		span.SetAttr("mapped", mapped).SetAttr("unmapped", unmapped)
+		span.End(err)
+	}()
 	p.bind(ctx)
 	c := p.opts.Cache
 	if c == nil {
@@ -656,6 +682,13 @@ func (p *Prober) mapCoresToCHAs() ([]int, []Failure, error) {
 			failures = append(failures, Failure{
 				Op: "core-to-cha", CPU: cpu, SrcCHA: -1, DstCHA: -1, Err: opErr.Error(),
 			})
+		}
+	}
+	for _, cha := range mapping {
+		if cha >= 0 {
+			p.reg.Counter("probe/step1/mapped").Inc()
+		} else {
+			p.reg.Counter("probe/step1/unmapped").Inc()
 		}
 	}
 	return mapping, failures, nil
@@ -899,7 +932,16 @@ func (p *Prober) Run(ctx context.Context) (*Result, error) {
 // the run/measurement options; callers receive a private deep copy.
 // Degraded results — runs where experiments failed permanently — are
 // never cached.
-func (p *Prober) RunWith(ctx context.Context, ro RunOptions) (*Result, error) {
+func (p *Prober) RunWith(ctx context.Context, ro RunOptions) (res *Result, err error) {
+	ctx, span := obs.Start(ctx, "probe/run")
+	defer func() {
+		if res != nil {
+			span.SetAttr("planned", int64(res.Planned)).
+				SetAttr("completed", int64(res.Completed)).
+				SetAttr("failures", int64(len(res.Failures)))
+		}
+		span.End(err)
+	}()
 	p.bind(ctx)
 	ppin, err := p.readPPIN()
 	if err != nil {
@@ -925,7 +967,7 @@ func (p *Prober) RunWith(ctx context.Context, ro RunOptions) (*Result, error) {
 		}
 		return partial, err
 	}
-	res := v.(*Result)
+	res = v.(*Result)
 	if res.Degraded {
 		c.full.Forget(key)
 	}
@@ -962,17 +1004,31 @@ func (p *Prober) runWith(ppin uint64, ro RunOptions) (*Result, error) {
 		return nil
 	}
 	// experiment wraps one planned measurement: skipped units (unmapped
-	// CPUs) count against coverage without running anything.
+	// CPUs) count against coverage without running anything. The four
+	// probe/experiments/* counters partition planned exactly into
+	// completed + failed + skipped, which is what lets the RunReport
+	// reconcile against Result.Planned/Completed.
+	planned := p.reg.Counter("probe/experiments/planned")
+	completed := p.reg.Counter("probe/experiments/completed")
+	failed := p.reg.Counter("probe/experiments/failed")
+	skipped := p.reg.Counter("probe/experiments/skipped")
 	experiment := func(op string, cpu, srcCHA, dstCHA int, skip bool, run func() (Observation, error)) error {
 		res.Planned++
+		planned.Inc()
 		if skip {
+			skipped.Inc()
 			return nil
 		}
 		obs, err := run()
 		if err != nil {
-			return fail(op, cpu, srcCHA, dstCHA, err)
+			if ferr := fail(op, cpu, srcCHA, dstCHA, err); ferr != nil {
+				return ferr
+			}
+			failed.Inc()
+			return nil
 		}
 		res.Completed++
+		completed.Inc()
 		res.Observations = append(res.Observations, obs)
 		return nil
 	}
@@ -1021,6 +1077,7 @@ func (p *Prober) runWith(ppin uint64, ro RunOptions) (*Result, error) {
 		}
 	}
 	res.Degraded = len(res.Failures) > 0 || res.Completed < res.Planned
+	p.reg.Gauge("probe/coverage_permille").Set(int64(res.Coverage() * 1000))
 	if f := p.opts.MinCoverage; f > 0 && res.Coverage() < f {
 		return res, cmerr.New(cmerr.Degraded, stage,
 			"experiment coverage %.3f below floor %.3f (%d/%d completed, %d failures)",

@@ -7,6 +7,7 @@ import (
 	"coremap/internal/cmerr"
 	"coremap/internal/hostif"
 	"coremap/internal/msr"
+	"coremap/internal/obs"
 )
 
 // retryHost decorates a (context-bound) hostif.Host with per-operation
@@ -29,13 +30,14 @@ type retryHost struct {
 	ctx     context.Context
 	retries int
 	backoff time.Duration
+	retried *obs.Counter // probe/retries; nil (no-op) without telemetry
 }
 
-func newRetryHost(ctx context.Context, h hostif.Host, retries int, backoff time.Duration) hostif.Host {
+func newRetryHost(ctx context.Context, h hostif.Host, retries int, backoff time.Duration, retried *obs.Counter) hostif.Host {
 	if retries <= 0 {
 		return h
 	}
-	return retryHost{h: h, ctx: ctx, retries: retries, backoff: backoff}
+	return retryHost{h: h, ctx: ctx, retries: retries, backoff: backoff, retried: retried}
 }
 
 // sleepCtx waits for d or until ctx is cancelled, whichever comes first.
@@ -62,6 +64,7 @@ func (r retryHost) do(op string, cpu int, fn func() error) error {
 		if err == nil || !cmerr.IsTransient(err) || attempt >= r.retries {
 			break
 		}
+		r.retried.Inc()
 		if serr := sleepCtx(r.ctx, backoff); serr != nil {
 			return serr
 		}

@@ -1,0 +1,249 @@
+package coremap
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"coremap/internal/faulty"
+	"coremap/internal/hostif"
+	"coremap/internal/locate"
+	"coremap/internal/machine"
+	"coremap/internal/msr"
+	"coremap/internal/obs"
+	"coremap/internal/probe"
+)
+
+// recordingHost logs every host operation, in order, before forwarding it
+// — the telemetry-transparency tests compare these logs across runs with
+// and without telemetry attached.
+type recordingHost struct {
+	h   hostif.Host
+	ops []string
+}
+
+func (r *recordingHost) log(format string, args ...any) {
+	r.ops = append(r.ops, fmt.Sprintf(format, args...))
+}
+
+func (r *recordingHost) NumCPUs() int { return r.h.NumCPUs() }
+
+func (r *recordingHost) ReadMSR(cpu int, a msr.Addr) (uint64, error) {
+	r.log("rdmsr cpu=%d addr=%#x", cpu, uint64(a))
+	return r.h.ReadMSR(cpu, a)
+}
+
+func (r *recordingHost) WriteMSR(cpu int, a msr.Addr, v uint64) error {
+	r.log("wrmsr cpu=%d addr=%#x val=%#x", cpu, uint64(a), v)
+	return r.h.WriteMSR(cpu, a, v)
+}
+
+func (r *recordingHost) Load(cpu int, addr uint64) error {
+	r.log("load cpu=%d addr=%#x", cpu, addr)
+	return r.h.Load(cpu, addr)
+}
+
+func (r *recordingHost) TimedLoad(cpu int, addr uint64) (uint64, error) {
+	r.log("timedload cpu=%d addr=%#x", cpu, addr)
+	return r.h.TimedLoad(cpu, addr)
+}
+
+func (r *recordingHost) Store(cpu int, addr uint64) error {
+	r.log("store cpu=%d addr=%#x", cpu, addr)
+	return r.h.Store(cpu, addr)
+}
+
+func (r *recordingHost) Flush(cpu int, addr uint64) error {
+	r.log("flush cpu=%d addr=%#x", cpu, addr)
+	return r.h.Flush(cpu, addr)
+}
+
+// fakeClockTelemetry builds a telemetry whose clock ticks a fixed step per
+// read, so identical runs stamp identical span timings.
+func fakeClockTelemetry(sink *bytes.Buffer) *obs.Telemetry {
+	return obs.New(obs.Config{
+		Clock:     obs.NewFakeClock(time.Unix(0, 0).UTC(), time.Microsecond),
+		TraceSink: sink,
+	})
+}
+
+// mappedRun maps one fresh, identically-seeded instance and returns the
+// result plus the recorded host-operation trace. Workers is pinned to 1:
+// the recovered map is identical at any worker count, but node totals —
+// and with them the trace — are only deterministic single-threaded.
+func mappedRun(t *testing.T, tel *obs.Telemetry) (*Result, []string) {
+	t.Helper()
+	m := machine.Generate(machine.SKU8175M, 0, machine.Config{Seed: 7})
+	rec := &recordingHost{h: m}
+	ctx := context.Background()
+	if tel != nil {
+		ctx = obs.With(ctx, tel)
+	}
+	sku := machine.SKU8175M
+	res, err := MapMachine(ctx, rec, DieInfo{Rows: sku.Rows, Cols: sku.Cols}, Options{
+		Probe:  probe.Options{Seed: 1},
+		Locate: locate.Options{Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec.ops
+}
+
+// TestTelemetryTransparent pins the zero-interference contract: attaching
+// telemetry must change neither the recovered map nor a single host
+// operation of the measurement.
+func TestTelemetryTransparent(t *testing.T) {
+	plainRes, plainOps := mappedRun(t, nil)
+	var sink bytes.Buffer
+	instrRes, instrOps := mappedRun(t, fakeClockTelemetry(&sink))
+
+	if !reflect.DeepEqual(plainRes, instrRes) {
+		t.Errorf("telemetry changed the pipeline result:\nplain: %+v\ninstrumented: %+v", plainRes, instrRes)
+	}
+	if len(plainOps) != len(instrOps) {
+		t.Fatalf("telemetry changed the host trace length: %d vs %d ops", len(plainOps), len(instrOps))
+	}
+	for i := range plainOps {
+		if plainOps[i] != instrOps[i] {
+			t.Fatalf("host traces diverge at op %d: %q vs %q", i, plainOps[i], instrOps[i])
+		}
+	}
+	if sink.Len() == 0 {
+		t.Error("instrumented run emitted no trace")
+	}
+}
+
+// TestTraceDeterministic pins satellite invariant: two identically-seeded
+// runs under a fake clock emit byte-identical JSONL traces.
+func TestTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	mappedRun(t, fakeClockTelemetry(&a))
+	mappedRun(t, fakeClockTelemetry(&b))
+	if a.Len() == 0 {
+		t.Fatal("run emitted no trace")
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("identically-seeded runs emitted different traces:\n--- a ---\n%s--- b ---\n%s", a.String(), b.String())
+	}
+	if err := obs.ValidateTrace(bytes.NewReader(a.Bytes())); err != nil {
+		t.Errorf("emitted trace fails schema validation: %v", err)
+	}
+}
+
+// reconcile checks the probe counter partition against the probe result.
+func reconcile(t *testing.T, snap obs.Snapshot, res *probe.Result) {
+	t.Helper()
+	planned := snap.Counters["probe/experiments/planned"]
+	completed := snap.Counters["probe/experiments/completed"]
+	failed := snap.Counters["probe/experiments/failed"]
+	skipped := snap.Counters["probe/experiments/skipped"]
+	if planned != completed+failed+skipped {
+		t.Errorf("counters do not partition: planned %d != completed %d + failed %d + skipped %d",
+			planned, completed, failed, skipped)
+	}
+	if planned != int64(res.Planned) {
+		t.Errorf("planned counter %d != Result.Planned %d", planned, res.Planned)
+	}
+	if completed != int64(res.Completed) {
+		t.Errorf("completed counter %d != Result.Completed %d", completed, res.Completed)
+	}
+}
+
+// TestReportReconciles runs the probe under telemetry and checks that the
+// RunReport's experiment accounting matches probe.Result exactly — on a
+// clean host and under injected faults.
+func TestReportReconciles(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		tel := fakeClockTelemetry(&bytes.Buffer{})
+		ctx := obs.With(context.Background(), tel)
+		m := machine.Generate(machine.SKU8175M, 0, machine.Config{Seed: 7})
+		p, err := probe.New(m, probe.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.RunWith(ctx, probe.RunOptions{SliceSources: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := tel.Registry().Snapshot()
+		reconcile(t, snap, res)
+
+		var probeRow *obs.StageRow
+		for _, row := range obs.BuildReport(snap, tel.Spans()) {
+			if row.Stage == "probe" {
+				row := row
+				probeRow = &row
+			}
+		}
+		if probeRow == nil {
+			t.Fatal("report has no probe row")
+		}
+		if probeRow.Ops != int64(res.Planned) {
+			t.Errorf("probe row Ops = %d, want Result.Planned %d", probeRow.Ops, res.Planned)
+		}
+		if want := res.Coverage() * 100; probeRow.Coverage != want {
+			t.Errorf("probe row Coverage = %.1f, want %.1f", probeRow.Coverage, want)
+		}
+	})
+
+	t.Run("faulty", func(t *testing.T) {
+		tel := fakeClockTelemetry(&bytes.Buffer{})
+		ctx := obs.With(context.Background(), tel)
+		m := machine.Generate(machine.SKU8175M, 0, machine.Config{Seed: 7})
+		fh := faulty.New(m, faulty.Options{Seed: 3, StuckCPUs: []int{5}})
+		fh.Register(tel.Registry())
+		p, err := probe.New(fh, probe.Options{Seed: 1, OpRetries: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.RunWith(ctx, probe.RunOptions{SliceSources: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := tel.Registry().Snapshot()
+		reconcile(t, snap, res)
+		if snap.Counters["probe/experiments/failed"]+snap.Counters["probe/experiments/skipped"] == 0 {
+			t.Error("stuck CPU produced neither failed nor skipped experiments")
+		}
+		if snap.Gauges["faulty/injected"] == 0 {
+			t.Error("fault injector registered no injected faults")
+		}
+	})
+}
+
+// TestEmittedArtifactsValidate schema-checks trace and metrics files
+// produced by an external command run; CI's telemetry smoke step sets the
+// environment variables after running cmd/experiments with -trace and
+// -metrics-out. Skipped when the variables are unset.
+func TestEmittedArtifactsValidate(t *testing.T) {
+	tracePath := os.Getenv("COREMAP_TRACE_FILE")
+	metricsPath := os.Getenv("COREMAP_METRICS_FILE")
+	if tracePath == "" && metricsPath == "" {
+		t.Skip("COREMAP_TRACE_FILE / COREMAP_METRICS_FILE not set")
+	}
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := obs.ValidateTrace(f); err != nil {
+			t.Errorf("%s fails trace schema validation: %v", tracePath, err)
+		}
+	}
+	if metricsPath != "" {
+		f, err := os.Open(metricsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := obs.ValidateMetrics(f); err != nil {
+			t.Errorf("%s fails metrics schema validation: %v", metricsPath, err)
+		}
+	}
+}
