@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race lint ci smoke bench bench-json experiments quick-experiments cover
+.PHONY: all build vet test race lint ci smoke bench bench-json bench-gate experiments quick-experiments cover
 
 all: build vet test
 
@@ -51,6 +51,16 @@ bench:
 bench-json:
 	go test -bench=. -benchmem -timeout 3600s . | tee /dev/stderr \
 		| go run ./cmd/benchjson > BENCH_$$(date +%Y-%m-%d).json
+
+# Benchmark regression gate (mirrors the CI bench-gate job): run every
+# benchmark once, convert to JSON and diff against the newest checked-in
+# BENCH_<date>.json. Fails on >60% regressions in ns/op or allocs/op —
+# generous because one iteration is timing-noisy; see cmd/benchdiff for
+# the tight 15% default used against same-machine baselines.
+bench-gate:
+	GOMAXPROCS=4 go test -bench=. -benchmem -benchtime=1x -run XXX -timeout 1800s . \
+		| go run ./cmd/benchjson > /tmp/coremap-bench.json
+	go run ./cmd/benchdiff -current /tmp/coremap-bench.json -threshold 0.60
 
 # Full-size reproduction of every table and figure (paper parameters).
 experiments:

@@ -1,0 +1,106 @@
+// Command benchdiff compares a fresh benchjson report against a
+// checked-in baseline and fails when any benchmark regressed beyond the
+// threshold in wall time (ns_per_op) or allocation count (allocs/op).
+// It is the CI bench-gate: a PR that reintroduces an allocation firehose
+// turns the gate red even though every correctness test still passes.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem . | go run ./cmd/benchjson > bench.json
+//	go run ./cmd/benchdiff -baseline BENCH_2026-08-08.json -current bench.json
+//
+// With no -baseline the newest BENCH_*.json in the working directory is
+// used. -threshold is a fraction (default 0.15 = fail beyond +15%).
+// When -summary names a file — or GITHUB_STEP_SUMMARY is set, as it is
+// in GitHub Actions — a markdown delta table is appended there; the
+// plain-text table always goes to stdout. Exit codes: 0 clean, 1 at
+// least one regression, 2 usage or I/O failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"coremap/internal/benchfmt"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline report (default: newest BENCH_*.json in the working directory)")
+	current := flag.String("current", "", "current report to compare (required)")
+	threshold := flag.Float64("threshold", 0.15, "regression gate as a fraction of the baseline value")
+	summary := flag.String("summary", os.Getenv("GITHUB_STEP_SUMMARY"),
+		"append a markdown delta table to this file (default: $GITHUB_STEP_SUMMARY)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if *current == "" {
+		fail(fmt.Errorf("-current is required (a benchjson report)"))
+	}
+	if *threshold <= 0 {
+		fail(fmt.Errorf("-threshold must be positive, got %v", *threshold))
+	}
+	if *baseline == "" {
+		b, err := newestBaseline(".")
+		if err != nil {
+			fail(err)
+		}
+		*baseline = b
+	}
+
+	base, err := benchfmt.Load(*baseline)
+	if err != nil {
+		fail(err)
+	}
+	cur, err := benchfmt.Load(*current)
+	if err != nil {
+		fail(err)
+	}
+
+	deltas, missing, fresh := benchfmt.Diff(base, cur, *threshold)
+	if len(deltas) == 0 && len(missing) == 0 && len(fresh) == 0 {
+		fail(fmt.Errorf("no benchmarks in common between %s and %s", *baseline, *current))
+	}
+	fmt.Printf("baseline %s (%s) vs current %s\n\n", *baseline, base.Date, *current)
+	fmt.Print(benchfmt.Text(deltas, missing, fresh))
+
+	if *summary != "" {
+		md := benchfmt.Markdown(deltas, missing, fresh, *threshold)
+		f, err := os.OpenFile(*summary, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := f.WriteString(md); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+
+	if reg := benchfmt.Regressions(deltas); len(reg) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed beyond +%.0f%%\n",
+			len(reg), *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("\nno regressions beyond +%.0f%%\n", *threshold*100)
+}
+
+// newestBaseline picks the lexicographically last BENCH_*.json in dir —
+// the filenames embed ISO dates, so lexicographic order is date order.
+func newestBaseline(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		return "", fmt.Errorf("no BENCH_*.json baseline in %s (pass -baseline)", dir)
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
+}

@@ -25,28 +25,18 @@ import (
 	"strings"
 	"time"
 
+	"coremap/internal/benchfmt"
 	"coremap/internal/cli"
 	"coremap/internal/cmerr"
 	"coremap/internal/obs"
 )
 
-// Report is the whole converted run.
-type Report struct {
-	Date       string      `json:"date"`
-	GoOS       string      `json:"goos,omitempty"`
-	GoArch     string      `json:"goarch,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
-
-// Benchmark is one result line.
-type Benchmark struct {
-	Name    string             `json:"name"`
-	Runs    int64              `json:"runs"`
-	NsPerOp float64            `json:"ns_per_op"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
+// The report schema lives in internal/benchfmt, shared with cmd/benchdiff
+// so the regression gate reads exactly what this command writes.
+type (
+	Report    = benchfmt.Report
+	Benchmark = benchfmt.Benchmark
+)
 
 // gomaxprocsSuffix matches the "-8" style suffix the testing package
 // appends to benchmark names when GOMAXPROCS > 1.

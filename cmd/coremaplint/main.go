@@ -1,8 +1,8 @@
 // Command coremaplint is the repository's invariant linter: a
 // multichecker that runs the internal/analysis suite — detrange,
-// cmerrcheck, ctxflow, hostsafe — over go-list package patterns and
-// fails when any determinism, error-taxonomy, context or host-access
-// invariant is violated.
+// cmerrcheck, ctxflow, hostsafe, poolsafe — over go-list package
+// patterns and fails when any determinism, error-taxonomy, context,
+// host-access or memory-reuse invariant is violated.
 //
 // Usage:
 //
@@ -30,6 +30,7 @@ import (
 	"coremap/internal/analysis/ctxflow"
 	"coremap/internal/analysis/detrange"
 	"coremap/internal/analysis/hostsafe"
+	"coremap/internal/analysis/poolsafe"
 )
 
 // suite is every analyzer the multichecker runs, in report order.
@@ -38,6 +39,7 @@ var suite = []*analysis.Analyzer{
 	cmerrcheck.Analyzer,
 	ctxflow.Analyzer,
 	hostsafe.Analyzer,
+	poolsafe.Analyzer,
 }
 
 func main() {
@@ -102,7 +104,7 @@ func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
 		name = strings.TrimSpace(name)
 		a, ok := byName[name]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (have: detrange, cmerrcheck, ctxflow, hostsafe)", name)
+			return nil, fmt.Errorf("unknown analyzer %q (have: detrange, cmerrcheck, ctxflow, hostsafe, poolsafe)", name)
 		}
 		out = append(out, a)
 	}

@@ -1,0 +1,177 @@
+// Package poolsafe enforces the Reset discipline of internal/pool in the
+// pipeline stage packages. A Scratch or FreeList buffer is recycled
+// memory: Get zeroes (or deliberately does not zero) a prefix sized to
+// the request, and Put hands the backing array to the next caller. The
+// contract in the pool package doc — return every buffer with Put
+// exactly once, pass Put the buffer exactly as obtained, never let a
+// pooled buffer outlive the function that got it — is what keeps stale
+// solver bounds or PMON counts from leaking between users. Three rules:
+//
+//   - pairing rule: a function body that obtains a buffer with
+//     Scratch.Get or FreeList.Get must also contain a Put call. The
+//     match is per body (closures are separate bodies): a Get whose Put
+//     lives in another function is a handoff the analyzer cannot prove
+//     safe, so it must be annotated with //lint:allow poolsafe and a
+//     reason.
+//
+//   - as-obtained rule: the argument to Put must not be a reslice or an
+//     append result. Putting b[:n] narrows what the next Get believes it
+//     zeroes, and putting append(b, ...) may recycle a reallocated copy
+//     while the original leaks — both defeat the isolation the pool
+//     promises.
+//
+//   - escape rule: a variable bound to a Get result must not be
+//     returned. Ownership ends at Put; data that outlives the function
+//     must be copied out (or allocated from a grow-only Slab, which the
+//     analyzer deliberately ignores: slab windows are never recycled, so
+//     retaining them is the intended use).
+package poolsafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"coremap/internal/analysis"
+)
+
+// Analyzer is the poolsafe check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolsafe",
+	Doc: "flags pool.Scratch/pool.FreeList buffers that are never Put back, " +
+		"Put calls on resliced or appended buffers, and pooled buffers escaping via return " +
+		"in the pipeline stage packages",
+	Run: run,
+}
+
+// poolPkg is the import path of the enforced primitives.
+const poolPkg = "coremap/internal/pool"
+
+// stagePackages mirrors hostsafe's scope: the pipeline stages where
+// pooled state crossing a solve or sweep boundary would corrupt results.
+var stagePackages = []string{"probe", "ilp", "locate", "covert", "memo"}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageNameOneOf(pass, stagePackages...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBody applies all three rules to one function body. Closure bodies
+// are excluded from the shallow walk and checked as their own scope by
+// run — a Put inside a deferred closure still counts for the enclosing
+// function only when written as a direct `defer x.Put(b)`.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	type get struct {
+		call *ast.CallExpr
+		recv string // "Scratch" or "FreeList"
+	}
+	var gets []get
+	var pooled []types.Object // variables bound to Get results
+	havePut := false
+
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			// x := sc.Get(n) binds a pooled buffer to x.
+			if len(stmt.Lhs) == 1 && len(stmt.Rhs) == 1 {
+				if call, ok := stmt.Rhs[0].(*ast.CallExpr); ok {
+					if _, isGet := poolCall(pass, call, "Get"); isGet {
+						if id, ok := stmt.Lhs[0].(*ast.Ident); ok {
+							if obj := pass.ObjectOf(id); obj != nil {
+								pooled = append(pooled, obj)
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if recv, ok := poolCall(pass, stmt, "Get"); ok {
+				gets = append(gets, get{call: stmt, recv: recv})
+			}
+			if _, ok := poolCall(pass, stmt, "Put"); ok {
+				havePut = true
+				checkPutArg(pass, stmt)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range stmt.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok {
+					if obj := pass.ObjectOf(id); obj != nil && isPooledObj(obj, pooled) {
+						pass.Reportf(res.Pos(),
+							"pooled buffer %s escapes via return: ownership ends at Put, copy the data out instead",
+							id.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if !havePut {
+		for _, g := range gets {
+			pass.Reportf(g.call.Pos(),
+				"pool %s.Get result is never returned with Put in this function: release the buffer (defer works), or annotate a cross-function handoff with //lint:allow poolsafe",
+				g.recv)
+		}
+	}
+}
+
+// checkPutArg enforces the as-obtained rule on a Put call.
+func checkPutArg(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	switch arg := ast.Unparen(call.Args[0]).(type) {
+	case *ast.SliceExpr:
+		pass.Reportf(arg.Pos(),
+			"Put of a resliced buffer: Put must receive the slice exactly as Get returned it, or the next Get zeroes less than it promises")
+	case *ast.CallExpr:
+		if analysis.IsBuiltin(pass, arg, "append") {
+			pass.Reportf(arg.Pos(),
+				"Put of an append result: append may have reallocated, recycling a copy while the pooled buffer leaks")
+		}
+	}
+}
+
+// poolCall reports whether call invokes the named method (Get or Put) on
+// a pool.Scratch or pool.FreeList receiver, and which one.
+func poolCall(pass *analysis.Pass, call *ast.CallExpr, name string) (recv string, ok bool) {
+	fn := analysis.CalleeFunc(pass, call)
+	if fn == nil || fn.Name() != name {
+		return "", false
+	}
+	sig, ok2 := fn.Type().(*types.Signature)
+	if !ok2 || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	switch {
+	case analysis.IsNamedType(t, poolPkg, "Scratch"):
+		return "Scratch", true
+	case analysis.IsNamedType(t, poolPkg, "FreeList"):
+		return "FreeList", true
+	}
+	return "", false
+}
+
+func isPooledObj(obj types.Object, pooled []types.Object) bool {
+	for _, p := range pooled {
+		if p == obj {
+			return true
+		}
+	}
+	return false
+}

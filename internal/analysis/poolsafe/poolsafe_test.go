@@ -1,0 +1,22 @@
+package poolsafe_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"coremap/internal/analysis/analysistest"
+	"coremap/internal/analysis/poolsafe"
+)
+
+// TestFlagged pins the three rules: unpaired Gets, Put of reslice/append
+// results, and pooled buffers escaping via return.
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "flagged"), poolsafe.Analyzer)
+}
+
+// TestClean pins the no-false-positive contract: defer-Put pairing,
+// copy-then-return, FreeList ownership hand-over within a body, Slab
+// retention, sync.Pool lookalikes and //lint:allow handoffs stay silent.
+func TestClean(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "clean"), poolsafe.Analyzer)
+}

@@ -1,0 +1,60 @@
+// Fixture: disciplined pool usage stays silent, as do pool lookalikes
+// and out-of-scope retention patterns.
+package ilp
+
+import (
+	"sync"
+
+	"coremap/internal/pool"
+)
+
+var scratch pool.Scratch[uint64]
+
+// The canonical pattern: Get with a deferred Put.
+func sweep(n int) uint64 {
+	counts := scratch.Get(n)
+	defer scratch.Put(counts)
+	var sum uint64
+	for _, c := range counts {
+		sum += c
+	}
+	return sum
+}
+
+// Explicit Put before returning a copy is fine: the pooled buffer itself
+// does not escape.
+func snapshot(n int) []uint64 {
+	b := scratch.Get(n)
+	out := append([]uint64(nil), b...)
+	scratch.Put(b)
+	return out
+}
+
+// A worker loop recycling FreeList node vectors: Gets and Puts in one
+// body, not necessarily on the same buffer (ownership moves through a
+// local stack). The pairing rule accepts any Put in the body.
+func branch(fl *pool.FreeList[int64], lo []int64) {
+	nl := fl.Get(len(lo))
+	copy(nl, lo)
+	fl.Put(lo)
+	fl.Put(nl)
+}
+
+// Slab windows are grow-only and never recycled: retaining and returning
+// them is the intended use, so the analyzer ignores Slab entirely.
+func record(s *pool.Slab[int], vals []int) []int {
+	w := s.Alloc(len(vals))
+	return append(w, vals...)
+}
+
+// sync.Pool has Get/Put methods too; poolsafe only covers internal/pool.
+func other(p *sync.Pool) any {
+	v := p.Get()
+	return v
+}
+
+// An annotated cross-function handoff is the documented escape hatch.
+func handoff(fl *pool.FreeList[int64], sink func([]int64)) {
+	b := fl.Get(8) //lint:allow poolsafe ownership transfers to sink, which Puts it
+	sink(b)
+}

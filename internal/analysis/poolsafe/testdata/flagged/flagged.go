@@ -1,0 +1,55 @@
+// Fixture: pooled-buffer misuse. The package name (ilp) opts into
+// poolsafe's stage-package scope.
+package ilp
+
+import "coremap/internal/pool"
+
+var scratch pool.Scratch[uint64]
+
+// A Get with no Put anywhere in the body leaks the buffer out of the
+// pool: the next sweep allocates fresh instead of reusing.
+func leak(n int) uint64 {
+	counts := scratch.Get(n) // want `never returned with Put`
+	var sum uint64
+	for _, c := range counts {
+		sum += c
+	}
+	return sum
+}
+
+// Both Gets are flagged when the body has no Put at all.
+func leakTwice(fl *pool.FreeList[int64]) {
+	a := fl.Get(4) // want `never returned with Put`
+	b := fl.Get(4) // want `never returned with Put`
+	_, _ = a, b
+}
+
+// Put of a reslice narrows what the next Get believes it zeroes.
+func shrink(n int) {
+	b := scratch.Get(n)
+	scratch.Put(b[:1]) // want `Put of a resliced buffer`
+}
+
+// Put of an append result may recycle a reallocated copy.
+func grow(fl *pool.FreeList[int64]) {
+	b := fl.Get(2)
+	fl.Put(append(b, 9)) // want `Put of an append result`
+}
+
+// A pooled buffer must not outlive its function.
+func escape(n int) []uint64 {
+	b := scratch.Get(n)
+	defer scratch.Put(b)
+	return b // want `escapes via return`
+}
+
+// A Put inside a deferred closure is a separate body: the enclosing
+// function still has no direct Put, so the Get is flagged (write
+// `defer scratch.Put(b)` instead).
+func closurePut(n int) {
+	b := scratch.Get(n) // want `never returned with Put`
+	defer func() {
+		scratch.Put(b)
+	}()
+	b[0] = 1
+}

@@ -1,0 +1,45 @@
+// Package benchfmt holds the machine-readable benchmark report schema
+// shared by cmd/benchjson (which produces it from `go test -bench`
+// transcripts) and cmd/benchdiff (which compares two reports and gates CI
+// on regressions). The checked-in BENCH_<date>.json archives at the repo
+// root follow this schema.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Report is one whole converted benchmark run.
+type Report struct {
+	Date       string      `json:"date"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one result line: the name (GOMAXPROCS suffix stripped),
+// the iteration count, ns/op, and every remaining value/unit pair —
+// allocation stats and custom b.ReportMetric quantities — keyed by unit.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Load reads one JSON report from path.
+func Load(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	return rep, nil
+}

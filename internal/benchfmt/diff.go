@@ -1,0 +1,168 @@
+package benchfmt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The regression gate compares the two metrics a performance PR can
+// plausibly ruin without failing any correctness test: wall time and
+// allocation count. Bytes/op and the custom table metrics ride along in
+// the reports for human inspection but do not gate — B/op tracks
+// allocs/op for gating purposes, and the mapping/pattern counts are
+// correctness facts pinned by the test suite instead.
+var gatedMetrics = []string{"ns_per_op", "allocs/op"}
+
+// Delta is one (benchmark, metric) comparison between two reports.
+type Delta struct {
+	Name   string  // benchmark name
+	Metric string  // "ns_per_op" or "allocs/op"
+	Base   float64 // baseline value
+	Cur    float64 // current value
+	Pct    float64 // (Cur-Base)/Base, negative = improvement
+	// Regressed is set when Cur exceeds Base by more than the threshold.
+	Regressed bool
+}
+
+// Diff compares every benchmark present in both reports metric by metric.
+// threshold is a fraction: 0.15 flags any metric more than 15% worse than
+// baseline. Benchmarks present in only one report are returned by name in
+// missing (baseline-only — a silently dropped benchmark must be visible)
+// and fresh (current-only, informational). The deltas are ordered by
+// benchmark name then metric for deterministic output.
+func Diff(base, cur Report, threshold float64) (deltas []Delta, missing, fresh []string) {
+	curBy := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curBy[b.Name] = b
+	}
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+		if _, ok := curBy[b.Name]; !ok {
+			missing = append(missing, b.Name)
+		}
+	}
+	for _, b := range cur.Benchmarks {
+		if _, ok := baseBy[b.Name]; !ok {
+			fresh = append(fresh, b.Name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(fresh)
+
+	value := func(b Benchmark, metric string) (float64, bool) {
+		if metric == "ns_per_op" {
+			return b.NsPerOp, b.NsPerOp > 0
+		}
+		v, ok := b.Metrics[metric]
+		return v, ok
+	}
+	names := make([]string, 0, len(baseBy))
+	for name := range baseBy {
+		if _, ok := curBy[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, metric := range gatedMetrics {
+			bv, bok := value(baseBy[name], metric)
+			cv, cok := value(curBy[name], metric)
+			if !bok || !cok {
+				continue
+			}
+			d := Delta{Name: name, Metric: metric, Base: bv, Cur: cv}
+			if bv > 0 {
+				d.Pct = (cv - bv) / bv
+				d.Regressed = d.Pct > threshold
+			}
+			deltas = append(deltas, d)
+		}
+	}
+	return deltas, missing, fresh
+}
+
+// Regressions filters deltas down to the failing ones.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Markdown renders the delta table as GitHub-flavored markdown, suitable
+// for appending to a job summary. threshold is echoed in the caption.
+func Markdown(deltas []Delta, missing, fresh []string, threshold float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Benchmark delta vs baseline (gate: +%.0f%%)\n\n", threshold*100)
+	b.WriteString("| benchmark | metric | baseline | current | delta | |\n")
+	b.WriteString("|---|---|---:|---:|---:|---|\n")
+	for _, d := range deltas {
+		flag := ""
+		if d.Regressed {
+			flag = "❌ regression"
+		} else if d.Pct < -0.05 {
+			flag = "✅ improved"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %+.1f%% | %s |\n",
+			d.Name, d.Metric, formatValue(d.Metric, d.Base),
+			formatValue(d.Metric, d.Cur), d.Pct*100, flag)
+	}
+	for _, name := range missing {
+		fmt.Fprintf(&b, "| %s | — | — | *missing from current run* | | ⚠️ |\n", name)
+	}
+	for _, name := range fresh {
+		fmt.Fprintf(&b, "| %s | — | *new benchmark* | — | | |\n", name)
+	}
+	return b.String()
+}
+
+// Text renders the same table as aligned plain text for terminals and CI
+// logs.
+func Text(deltas []Delta, missing, fresh []string) string {
+	var b strings.Builder
+	w := 0
+	for _, d := range deltas {
+		if len(d.Name) > w {
+			w = len(d.Name)
+		}
+	}
+	for _, d := range deltas {
+		flag := ""
+		if d.Regressed {
+			flag = "  REGRESSION"
+		}
+		fmt.Fprintf(&b, "%-*s  %-9s  %14s -> %14s  %+7.1f%%%s\n",
+			w, d.Name, d.Metric, formatValue(d.Metric, d.Base),
+			formatValue(d.Metric, d.Cur), d.Pct*100, flag)
+	}
+	for _, name := range missing {
+		fmt.Fprintf(&b, "%-*s  missing from current run\n", w, name)
+	}
+	for _, name := range fresh {
+		fmt.Fprintf(&b, "%-*s  new benchmark (no baseline)\n", w, name)
+	}
+	return b.String()
+}
+
+// formatValue prints ns as engineering-friendly durations and counts as
+// integers.
+func formatValue(metric string, v float64) string {
+	if metric != "ns_per_op" {
+		return fmt.Sprintf("%.0f", v)
+	}
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", v)
+	}
+}

@@ -1,0 +1,106 @@
+package benchfmt
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func report(benches ...Benchmark) Report {
+	return Report{Date: "2026-08-08", Benchmarks: benches}
+}
+
+func bench(name string, ns, allocs float64) Benchmark {
+	return Benchmark{Name: name, Runs: 1, NsPerOp: ns,
+		Metrics: map[string]float64{"allocs/op": allocs, "B/op": allocs * 100}}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	base := report(
+		bench("BenchmarkA", 1000, 50),
+		bench("BenchmarkB", 2000, 100),
+	)
+	cur := report(
+		bench("BenchmarkA", 1100, 50),  // +10% ns: within a 15% gate
+		bench("BenchmarkB", 2000, 120), // +20% allocs: regression
+	)
+	deltas, missing, fresh := Diff(base, cur, 0.15)
+	if len(missing) != 0 || len(fresh) != 0 {
+		t.Fatalf("missing=%v fresh=%v, want none", missing, fresh)
+	}
+	if len(deltas) != 4 {
+		t.Fatalf("got %d deltas, want 4 (2 benchmarks × 2 metrics)", len(deltas))
+	}
+	reg := Regressions(deltas)
+	if len(reg) != 1 || reg[0].Name != "BenchmarkB" || reg[0].Metric != "allocs/op" {
+		t.Fatalf("regressions = %+v, want exactly BenchmarkB allocs/op", reg)
+	}
+	if got := reg[0].Pct; got < 0.199 || got > 0.201 {
+		t.Errorf("regression pct = %v, want 0.20", got)
+	}
+}
+
+func TestDiffExactThresholdPasses(t *testing.T) {
+	// The gate is strict: exactly +15% is not a regression, only > is.
+	deltas, _, _ := Diff(report(bench("B", 1000, 100)),
+		report(bench("B", 1150, 115)), 0.15)
+	if reg := Regressions(deltas); len(reg) != 0 {
+		t.Fatalf("exact-threshold deltas flagged as regressions: %+v", reg)
+	}
+}
+
+func TestDiffImprovementNeverFails(t *testing.T) {
+	deltas, _, _ := Diff(report(bench("B", 1000, 100)),
+		report(bench("B", 100, 5)), 0.15)
+	if reg := Regressions(deltas); len(reg) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", reg)
+	}
+	if deltas[0].Pct >= 0 {
+		t.Errorf("improvement pct = %v, want negative", deltas[0].Pct)
+	}
+}
+
+func TestDiffMissingAndFresh(t *testing.T) {
+	base := report(bench("BenchmarkOld", 10, 1), bench("BenchmarkBoth", 10, 1))
+	cur := report(bench("BenchmarkBoth", 10, 1), bench("BenchmarkNew", 10, 1))
+	deltas, missing, fresh := Diff(base, cur, 0.15)
+	if !reflect.DeepEqual(missing, []string{"BenchmarkOld"}) {
+		t.Errorf("missing = %v", missing)
+	}
+	if !reflect.DeepEqual(fresh, []string{"BenchmarkNew"}) {
+		t.Errorf("fresh = %v", fresh)
+	}
+	for _, d := range deltas {
+		if d.Name != "BenchmarkBoth" {
+			t.Errorf("unexpected delta for %s", d.Name)
+		}
+	}
+}
+
+func TestDiffDeterministicOrder(t *testing.T) {
+	base := report(bench("BenchmarkZ", 10, 1), bench("BenchmarkA", 10, 1))
+	cur := report(bench("BenchmarkA", 10, 1), bench("BenchmarkZ", 10, 1))
+	deltas, _, _ := Diff(base, cur, 0.15)
+	want := []string{"BenchmarkA", "BenchmarkA", "BenchmarkZ", "BenchmarkZ"}
+	for i, d := range deltas {
+		if d.Name != want[i] {
+			t.Fatalf("delta %d is %s, want %s (sorted)", i, d.Name, want[i])
+		}
+	}
+}
+
+func TestMarkdownMarksRegressions(t *testing.T) {
+	deltas, missing, fresh := Diff(
+		report(bench("BenchmarkB", 1000, 100), bench("BenchmarkGone", 1, 1)),
+		report(bench("BenchmarkB", 2000, 100)), 0.15)
+	md := Markdown(deltas, missing, fresh, 0.15)
+	if !strings.Contains(md, "❌ regression") {
+		t.Error("markdown table lacks the regression marker")
+	}
+	if !strings.Contains(md, "BenchmarkGone") || !strings.Contains(md, "missing") {
+		t.Error("markdown table lacks the missing-benchmark row")
+	}
+	if !strings.Contains(md, "gate: +15%") {
+		t.Error("markdown caption lacks the threshold")
+	}
+}

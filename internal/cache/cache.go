@@ -19,6 +19,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"coremap/internal/mesh"
 )
@@ -82,14 +83,26 @@ func IMCOf(line Addr, numIMC int) int {
 	return int(lineOf(line) / LineSize % uint64(numIMC))
 }
 
+// maxCores bounds the number of physical cores a Hierarchy can model; the
+// sharer set of a line is a uint64 bitmask indexed by core.
+const maxCores = 64
+
 // lineState tracks the global coherence state of one line.
 type lineState struct {
-	sharers map[int]bool // cores with a valid L2 copy
-	owner   int          // core holding the line modified, or -1
+	sharers uint64 // bitmask of cores with a valid L2 copy
+	owner   int    // core holding the line modified, or -1
+	// home is the line's LLC slice index, computed once at first touch:
+	// the slice hash is fixed per instance, and hashing on every protocol
+	// action showed up in simulator profiles.
+	home int
 	// cached reports whether the LLC currently holds the line; a miss
 	// on an uncached line fetches from memory through its IMC.
 	cached bool
 }
+
+func (st *lineState) hasSharer(core int) bool { return st.sharers&(1<<uint(core)) != 0 }
+func (st *lineState) addSharer(core int)      { st.sharers |= 1 << uint(core) }
+func (st *lineState) dropSharer(core int)     { st.sharers &^= 1 << uint(core) }
 
 // l2set is one associative set, most recently used last.
 type l2set struct {
@@ -106,6 +119,10 @@ type Hierarchy struct {
 	hash      SliceHash
 	l2        [][]l2set // [core][set]
 	lines     map[Addr]*lineState
+	// stateSlab is the current allocation chunk for lineStates; states are
+	// handed out as interior pointers so the map costs one allocation per
+	// chunk instead of one per line.
+	stateSlab []lineState
 }
 
 // New builds a hierarchy over grid. coreTile maps each physical core index
@@ -117,6 +134,9 @@ type Hierarchy struct {
 func New(cfg Config, grid *mesh.Grid, coreTile, sliceTile, imcTile []mesh.Coord, hash SliceHash) *Hierarchy {
 	if cfg.L2Sets <= 0 || cfg.L2Ways <= 0 {
 		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
+	}
+	if len(coreTile) > maxCores {
+		panic(fmt.Sprintf("cache: %d cores exceeds the %d-core sharer-mask limit", len(coreTile), maxCores))
 	}
 	h := &Hierarchy{
 		cfg:       cfg,
@@ -130,6 +150,12 @@ func New(cfg Config, grid *mesh.Grid, coreTile, sliceTile, imcTile []mesh.Coord,
 	}
 	for c := range h.l2 {
 		h.l2[c] = make([]l2set, cfg.L2Sets)
+		// One backing array per core, carved into fixed-capacity windows,
+		// so MRU reordering and insertion never reallocate.
+		backing := make([]Addr, cfg.L2Sets*cfg.L2Ways)
+		for s := range h.l2[c] {
+			h.l2[c][s].lines = backing[s*cfg.L2Ways : s*cfg.L2Ways : (s+1)*cfg.L2Ways]
+		}
 	}
 	return h
 }
@@ -165,13 +191,17 @@ func (h *Hierarchy) L2SetOf(a Addr) int {
 func (h *Hierarchy) state(line Addr) *lineState {
 	st, ok := h.lines[line]
 	if !ok {
-		st = &lineState{sharers: make(map[int]bool), owner: -1}
+		if len(h.stateSlab) == cap(h.stateSlab) {
+			h.stateSlab = make([]lineState, 0, 1024)
+		}
+		h.stateSlab = append(h.stateSlab, lineState{owner: -1, home: h.hash(line)})
+		st = &h.stateSlab[len(h.stateSlab)-1]
 		h.lines[line] = st
 	}
 	return st
 }
 
-func (h *Hierarchy) homeTile(line Addr) mesh.Coord { return h.sliceTile[h.hash(line)] }
+func (h *Hierarchy) homeTile(st *lineState) mesh.Coord { return h.sliceTile[st.home] }
 
 // transfer moves one cache line of data across the mesh BL rings and
 // returns the hop distance it traveled (the latency-relevant quantity).
@@ -214,21 +244,26 @@ func (h *Hierarchy) inL2(core int, line Addr) bool {
 }
 
 // touchL2 marks line most-recently-used in core's L2, inserting it if
-// absent and returning the evicted victim line, if any.
+// absent and returning the evicted victim line, if any. The MRU rotate and
+// the eviction shift both happen in place: every set owns a fixed-capacity
+// window of its core's backing array, so no path here allocates.
 func (h *Hierarchy) touchL2(core int, line Addr) (victim Addr, evicted bool) {
 	set := &h.l2[core][h.L2SetOf(line)]
-	for i, l := range set.lines {
+	ls := set.lines
+	for i, l := range ls {
 		if l == line {
-			set.lines = append(append(set.lines[:i:i], set.lines[i+1:]...), line)
+			copy(ls[i:], ls[i+1:])
+			ls[len(ls)-1] = line
 			return 0, false
 		}
 	}
-	set.lines = append(set.lines, line)
-	if len(set.lines) > h.cfg.L2Ways {
-		victim = set.lines[0]
-		set.lines = set.lines[1:]
+	if len(ls) == h.cfg.L2Ways {
+		victim = ls[0]
+		copy(ls, ls[1:])
+		ls[len(ls)-1] = line
 		return victim, true
 	}
+	set.lines = append(ls, line)
 	return 0, false
 }
 
@@ -236,7 +271,7 @@ func (h *Hierarchy) dropL2(core int, line Addr) {
 	set := &h.l2[core][h.L2SetOf(line)]
 	for i, l := range set.lines {
 		if l == line {
-			set.lines = append(set.lines[:i:i], set.lines[i+1:]...)
+			set.lines = append(set.lines[:i], set.lines[i+1:]...)
 			return
 		}
 	}
@@ -252,8 +287,8 @@ func (h *Hierarchy) checkCore(core int) {
 // its home slice.
 func (h *Hierarchy) evict(core int, victim Addr) {
 	st := h.state(victim)
-	delete(st.sharers, core)
-	home := h.homeTile(victim)
+	st.dropSharer(core)
+	home := h.homeTile(st)
 	h.grid.LookupLLC(home, 1)
 	if st.owner == core {
 		st.owner = -1
@@ -272,6 +307,16 @@ func (h *Hierarchy) invalidate(home mesh.Coord, core int, line Addr) {
 	h.message(mesh.RingAK, tile, home)
 }
 
+// invalidateOthers invalidates every sharer of line other than keep, in
+// ascending core order.
+func (h *Hierarchy) invalidateOthers(home mesh.Coord, st *lineState, keep int, line Addr) {
+	for others := st.sharers &^ (1 << uint(keep)); others != 0; others &= others - 1 {
+		other := bits.TrailingZeros64(others)
+		h.invalidate(home, other, line)
+		st.dropSharer(other)
+	}
+}
+
 // Load performs a read of a by physical core. Misses charge an LLC lookup
 // at the home slice and move the line's data across the mesh. The returned
 // level and hop count describe the critical-path data source, from which
@@ -280,11 +325,11 @@ func (h *Hierarchy) Load(core int, a Addr) (Level, int) {
 	h.checkCore(core)
 	line := lineOf(a)
 	st := h.state(line)
-	if st.sharers[core] && h.inL2(core, line) {
+	if st.hasSharer(core) && h.inL2(core, line) {
 		h.touchL2(core, line)
 		return LevelL2, 0
 	}
-	home := h.homeTile(line)
+	home := h.homeTile(st)
 	h.grid.LookupLLC(home, 1)
 	dst := h.coreTile[core]
 	h.message(mesh.RingAD, dst, home) // read request
@@ -303,7 +348,7 @@ func (h *Hierarchy) Load(core int, a Addr) (Level, int) {
 	} else {
 		level, hops = LevelMemory, h.fetchFromMemory(st, line, dst)
 	}
-	st.sharers[core] = true
+	st.addSharer(core)
 	if victim, ok := h.touchL2(core, line); ok {
 		h.evict(core, victim)
 	}
@@ -323,18 +368,13 @@ func (h *Hierarchy) Store(core int, a Addr) (Level, int) {
 		h.touchL2(core, line)
 		return LevelL2, 0
 	}
-	home := h.homeTile(line)
-	if st.sharers[core] && h.inL2(core, line) {
+	home := h.homeTile(st)
+	if st.hasSharer(core) && h.inL2(core, line) {
 		// Upgrade: invalidate the other sharers via the directory.
 		h.grid.LookupLLC(home, 1)
 		mine := h.coreTile[core]
 		h.message(mesh.RingAD, mine, home) // upgrade request
-		for other := range st.sharers {
-			if other != core {
-				h.invalidate(home, other, line)
-				delete(st.sharers, other)
-			}
-		}
+		h.invalidateOthers(home, st, core, line)
 		st.owner = core
 		h.touchL2(core, line)
 		return LevelL2, 0
@@ -348,19 +388,14 @@ func (h *Hierarchy) Store(core int, a Addr) (Level, int) {
 		h.message(mesh.RingAD, home, h.coreTile[st.owner]) // snoop
 		hops = h.transfer(h.coreTile[st.owner], dst)
 		h.dropL2(st.owner, line)
-		delete(st.sharers, st.owner)
+		st.dropSharer(st.owner)
 	} else if st.cached {
 		hops = h.transfer(home, dst)
 	} else {
 		level, hops = LevelMemory, h.fetchFromMemory(st, line, dst)
 	}
-	for other := range st.sharers {
-		if other != core {
-			h.invalidate(home, other, line)
-			delete(st.sharers, other)
-		}
-	}
-	st.sharers[core] = true
+	h.invalidateOthers(home, st, core, line)
+	st.addSharer(core)
 	st.owner = core
 	if victim, ok := h.touchL2(core, line); ok {
 		h.evict(core, victim)
@@ -376,7 +411,7 @@ func (h *Hierarchy) Flush(core int, a Addr) {
 	h.checkCore(core)
 	line := lineOf(a)
 	st := h.state(line)
-	if st.sharers[core] {
+	if st.hasSharer(core) {
 		h.dropL2(core, line)
 		h.evict(core, line)
 	}

@@ -366,17 +366,12 @@ func TestCoherenceInvariants(t *testing.T) {
 			}
 		}
 		for line, st := range h.lines {
-			for core := range st.sharers {
-				if !h.inL2(core, line) {
-					return false
-				}
-			}
 			for core := 0; core < 3; core++ {
-				if h.inL2(core, line) && !st.sharers[core] {
+				if st.hasSharer(core) != h.inL2(core, line) {
 					return false
 				}
 			}
-			if st.owner >= 0 && !st.sharers[st.owner] {
+			if st.owner >= 0 && !st.hasSharer(st.owner) {
 				return false
 			}
 		}

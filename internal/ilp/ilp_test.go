@@ -358,7 +358,7 @@ func TestPropagationSoundness(t *testing.T) {
 		s.build(nil)
 		lo := append([]int64(nil), m.lo...)
 		hi := append([]int64(nil), m.hi...)
-		ok := s.propagate(lo, hi, nil, PosInf)
+		ok := s.propagate(lo, hi, nil, PosInf, &propScratch{})
 		if !feasible {
 			return true // wipe-out allowed (and correct) here
 		}

@@ -13,6 +13,8 @@ package ilp
 import (
 	"fmt"
 	"math"
+
+	"coremap/internal/pool"
 )
 
 // Var identifies a model variable.
@@ -47,6 +49,11 @@ type Model struct {
 	names  []string
 	cons   []constraint
 	obj    []Term
+	// termSlab backs the constraint term rows: AddRange copies caller
+	// terms into slab windows, so call-site term literals stay on the
+	// caller's stack and the model costs one allocation per slab chunk
+	// instead of one per constraint.
+	termSlab pool.Slab[Term]
 }
 
 // NewModel returns an empty model.
@@ -84,9 +91,11 @@ func (m *Model) checkTerms(terms []Term) {
 }
 
 // AddRange adds lo ≤ Σ terms ≤ hi. The label is used in error reporting.
+// The terms slice is copied into the model; callers may reuse (or
+// stack-allocate) it.
 func (m *Model) AddRange(label string, terms []Term, lo, hi int64) {
 	m.checkTerms(terms)
-	m.cons = append(m.cons, constraint{terms: dedupeTerms(terms), lo: lo, hi: hi, label: label})
+	m.cons = append(m.cons, constraint{terms: m.dedupeTerms(terms), lo: lo, hi: hi, label: label})
 }
 
 // AddLE adds Σ terms ≤ rhs.
@@ -107,21 +116,40 @@ func (m *Model) AddEq(label string, terms []Term, rhs int64) {
 // SetObjective sets the linear function to minimize.
 func (m *Model) SetObjective(terms []Term) {
 	m.checkTerms(terms)
-	m.obj = dedupeTerms(terms)
+	m.obj = m.dedupeTerms(terms)
 }
 
+// smallTerms bounds the row width below which dedupeTerms uses a
+// quadratic scan instead of a map; constraint rows in this codebase are
+// rarely more than a handful of terms wide.
+const smallTerms = 32
+
 // dedupeTerms merges duplicate variables and drops zero coefficients, so
-// propagation can assume each variable appears once per constraint.
-func dedupeTerms(terms []Term) []Term {
-	seen := make(map[Var]int, len(terms))
-	out := make([]Term, 0, len(terms))
-	for _, t := range terms {
-		if i, ok := seen[t.Var]; ok {
-			out[i].Coef += t.Coef
-			continue
+// propagation can assume each variable appears once per constraint. The
+// result lives in the model's term slab; the input is never retained.
+func (m *Model) dedupeTerms(terms []Term) []Term {
+	out := m.termSlab.Alloc(len(terms))
+	if len(terms) <= smallTerms {
+	merge:
+		for _, t := range terms {
+			for i := range out {
+				if out[i].Var == t.Var {
+					out[i].Coef += t.Coef
+					continue merge
+				}
+			}
+			out = append(out, t)
 		}
-		seen[t.Var] = len(out)
-		out = append(out, t)
+	} else {
+		seen := make(map[Var]int, len(terms))
+		for _, t := range terms {
+			if i, ok := seen[t.Var]; ok {
+				out[i].Coef += t.Coef
+				continue
+			}
+			seen[t.Var] = len(out)
+			out = append(out, t)
+		}
 	}
 	kept := out[:0]
 	for _, t := range out {

@@ -19,6 +19,8 @@ package ilp
 import (
 	"sync"
 	"sync/atomic"
+
+	"coremap/internal/pool"
 )
 
 // frame is one branch-and-bound subproblem: variable bounds plus the
@@ -61,6 +63,11 @@ type engine struct {
 	bestObj int64
 	// incumbents counts accepted incumbent updates (guarded by mu).
 	incumbents int64
+	// seeded records that the incumbent was warm-started before the
+	// search; symBreaks is the number of symmetry-ordering rows added.
+	// Both are set before run and read after the pool joins.
+	seeded    bool
+	symBreaks int64
 
 	// workerNodes[w] counts the frames worker w processed; each slot is
 	// written only by its owning worker, and read after the pool joins.
@@ -111,12 +118,19 @@ func (e *engine) run(root frame) {
 }
 
 func (e *engine) worker(w int) {
+	// Per-worker reusable state: the propagation scratch and a free list
+	// for frame bound vectors. Both stay private to this goroutine, so no
+	// synchronization is needed; a frame taken from the shared deque was
+	// built by another worker's free list, but ownership transfers with
+	// the frame, so recycling it here is safe.
+	var sc propScratch
+	var fl pool.FreeList[int64]
 	for {
 		f, ok := e.pop()
 		if !ok {
 			return
 		}
-		e.workerNodes[w] += e.runSubtree(f)
+		e.workerNodes[w] += e.runSubtree(f, &sc, &fl)
 		e.finish()
 	}
 }
@@ -179,7 +193,14 @@ func (e *engine) interrupt() {
 // frames it processed. Frames shallower than splitDepth are pushed back
 // onto the shared deque instead of the local stack, which is where
 // parallelism comes from.
-func (e *engine) runSubtree(task frame) (visited int64) {
+//
+// Frame bound vectors cycle through fl: children copy the parent's
+// (already propagated) bounds into recycled slices, and the parent's
+// vectors are handed back once its children are built — after offer has
+// copied the leaf, and never for frames published to the shared deque
+// (share transfers ownership to whichever worker pops them). Abort paths
+// simply drop frames on the floor; the GC reclaims them.
+func (e *engine) runSubtree(task frame, sc *propScratch, fl *pool.FreeList[int64]) (visited int64) {
 	s := e.s
 	stack := []frame{task}
 	for len(stack) > 0 {
@@ -197,18 +218,24 @@ func (e *engine) runSubtree(task frame) (visited int64) {
 
 		// A stale bound only weakens pruning (it is monotone
 		// decreasing), never soundness, so one load per node suffices.
-		if !s.propagate(f.lo, f.hi, f.seed, e.bound.Load()) {
+		if !s.propagate(f.lo, f.hi, f.seed, e.bound.Load(), sc) {
 			e.pruned.Add(1)
+			fl.Put(f.lo)
+			fl.Put(f.hi)
 			continue
 		}
 		v := s.pickVar(f.lo, f.hi)
 		if v == -1 {
 			e.offer(f.lo)
+			fl.Put(f.lo)
+			fl.Put(f.hi)
 			continue
 		}
 		branch := func(x int64) frame {
-			nl := append([]int64(nil), f.lo...)
-			nh := append([]int64(nil), f.hi...)
+			nl := fl.Get(len(f.lo)) //lint:allow poolsafe ownership moves into the child frame; Put happens when the frame is popped
+			nh := fl.Get(len(f.hi)) //lint:allow poolsafe ownership moves into the child frame; Put happens when the frame is popped
+			copy(nl, f.lo)
+			copy(nh, f.hi)
 			nl[v], nh[v] = x, x
 			return frame{lo: nl, hi: nh, seed: s.occ[v], depth: f.depth + 1}
 		}
@@ -218,6 +245,8 @@ func (e *engine) runSubtree(task frame) (visited int64) {
 				kids = append(kids, branch(x))
 			}
 			e.share(kids) // deque is LIFO, so low values are taken first
+			fl.Put(f.lo)
+			fl.Put(f.hi)
 			continue
 		}
 		// Pushing in reverse makes the local stack explore ascending
@@ -226,8 +255,25 @@ func (e *engine) runSubtree(task frame) (visited int64) {
 		for x := f.hi[v]; x >= f.lo[v]; x-- {
 			stack = append(stack, branch(x))
 		}
+		fl.Put(f.lo)
+		fl.Put(f.hi)
 	}
 	return visited
+}
+
+// seed installs a pre-verified feasible assignment as the starting
+// incumbent. Called before any worker starts, so no locking is needed.
+// The seed is either in the cold search's optimal set (in which case the
+// lexicographic offer rule still selects the canonical optimum) or worse
+// (in which case it is displaced by the first better incumbent), so the
+// returned Solution.Values of a completed search is unchanged — the seed
+// only prunes worse subtrees from node one.
+func (e *engine) seed(vals []int64, z int64) {
+	e.best, e.bestObj = vals, z
+	e.seeded = true
+	if e.s.objIdx >= 0 {
+		e.bound.Store(z)
+	}
 }
 
 // offer proposes a fully assigned feasible leaf as the incumbent. The

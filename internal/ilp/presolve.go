@@ -124,22 +124,27 @@ func presolve(m *Model) *presolved {
 		repVar[v] = Var(newIdx[rep[uf.find(v)]])
 	}
 
+	// AddRange/SetObjective copy their input into the model's term slab,
+	// so one scratch row serves every rewritten constraint.
+	var scratch []Term
+	rewrite := func(terms []Term) []Term {
+		if cap(scratch) < len(terms) {
+			scratch = make([]Term, len(terms))
+		}
+		row := scratch[:len(terms)]
+		for i, t := range terms {
+			row[i] = T(t.Coef, repVar[t.Var])
+		}
+		return row
+	}
 	for _, c := range m.cons {
 		if x, y, ok := isEquality(c); ok && uf.find(int(x)) == uf.find(int(y)) {
 			continue // absorbed into the merge
 		}
-		terms := make([]Term, len(c.terms))
-		for i, t := range c.terms {
-			terms[i] = T(t.Coef, repVar[t.Var])
-		}
-		out.AddRange(c.label, terms, c.lo, c.hi)
+		out.AddRange(c.label, rewrite(c.terms), c.lo, c.hi)
 	}
 	if len(m.obj) > 0 {
-		obj := make([]Term, len(m.obj))
-		for i, t := range m.obj {
-			obj[i] = T(t.Coef, repVar[t.Var])
-		}
-		out.SetObjective(obj)
+		out.SetObjective(rewrite(m.obj))
 	}
 	return &presolved{model: out, repVar: repVar, feasible: feasible}
 }
@@ -149,6 +154,17 @@ func (p *presolved) expand(values []int64) []int64 {
 	out := make([]int64, len(p.repVar))
 	for v, rep := range p.repVar {
 		out[v] = values[rep]
+	}
+	return out
+}
+
+// compress projects an original-model assignment onto the reduced model.
+// A feasible assignment is constant across each merged equivalence class,
+// so any member's value represents its class.
+func (p *presolved) compress(values []int64) []int64 {
+	out := make([]int64, p.model.NumVars())
+	for v, rep := range p.repVar {
+		out[rep] = values[v]
 	}
 	return out
 }
@@ -172,12 +188,17 @@ func (p *presolved) expand(values []int64) []int64 {
 // byte-identical with and without reduce (pinned by the determinism
 // corpus). Returns false when the model is proven infeasible.
 func reduce(m *Model) bool {
-	// Pass 1: merge identical-signature constraints.
+	// Pass 1: merge identical-signature constraints. The signature is
+	// built in reusable scratch buffers; map lookups with string(sig)
+	// don't allocate (the compiler elides the conversion), so only the
+	// first occurrence of each signature pays for a key copy.
 	seen := make(map[string]int, len(m.cons))
 	merged := make([]constraint, 0, len(m.cons))
+	var sorted []Term
+	var sig []byte
 	for _, c := range m.cons {
-		key := signature(c.terms)
-		if i, ok := seen[key]; ok {
+		sorted, sig = signature(sorted[:0], sig[:0], c.terms)
+		if i, ok := seen[string(sig)]; ok {
 			if c.lo > merged[i].lo {
 				merged[i].lo = c.lo
 			}
@@ -186,7 +207,7 @@ func reduce(m *Model) bool {
 			}
 			continue
 		}
-		seen[key] = len(merged)
+		seen[string(sig)] = len(merged)
 		merged = append(merged, c)
 	}
 	m.cons = merged
@@ -201,7 +222,7 @@ func reduce(m *Model) bool {
 	s.build(nil)
 	lo := append([]int64(nil), m.lo...)
 	hi := append([]int64(nil), m.hi...)
-	if !s.propagate(lo, hi, nil, PosInf) {
+	if !s.propagate(lo, hi, nil, PosInf, &propScratch{}) {
 		return false
 	}
 	copy(m.lo, lo)
@@ -229,22 +250,23 @@ func reduce(m *Model) bool {
 	return true
 }
 
-// signature is the canonical identity of a constraint's linear form:
-// terms sorted by variable. Constraints sharing a signature differ only
-// in their bounds, so the tightest pair dominates.
-func signature(terms []Term) string {
-	sorted := append([]Term(nil), terms...)
+// signature appends the canonical identity of a constraint's linear form —
+// terms sorted by variable, zig-zag varint encoded — to buf, using sorted
+// as sorting scratch. Constraints sharing a signature differ only in their
+// bounds, so the tightest pair dominates. Both slices are returned so the
+// caller can recycle their backing arrays across constraints.
+func signature(sorted []Term, buf []byte, terms []Term) ([]Term, []byte) {
+	sorted = append(sorted, terms...)
 	for i := 1; i < len(sorted); i++ {
 		for j := i; j > 0 && sorted[j].Var < sorted[j-1].Var; j-- {
 			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
 		}
 	}
-	buf := make([]byte, 0, len(sorted)*10)
 	for _, t := range sorted {
 		buf = appendVarint(buf, int64(t.Var))
 		buf = appendVarint(buf, t.Coef)
 	}
-	return string(buf)
+	return sorted, buf
 }
 
 // appendVarint is a minimal zig-zag varint encoder (avoids importing

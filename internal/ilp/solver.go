@@ -52,6 +52,22 @@ type Options struct {
 	// Solution.Values at any Workers setting. Only Solution.Nodes (and,
 	// for budget-truncated searches, the incumbent) may vary.
 	Workers int
+	// WarmStart, when non-nil, is a candidate assignment of every model
+	// variable used to seed the incumbent (and its pruning bound) before
+	// the search starts. The seed is verified with CheckFeasible and
+	// silently ignored when infeasible or when its length does not match
+	// the model, so callers may pass best-effort guesses. Seeding never
+	// changes Solution.Values of a completed search: the bound admits
+	// equal-objective solutions and the lexicographic tie-break still
+	// selects the canonical optimum — a warm solve only prunes
+	// worse-than-seed subtrees earlier (pinned by the determinism corpus).
+	WarmStart []int64
+	// NoWarmStart ignores WarmStart (ablation and regression testing).
+	NoWarmStart bool
+	// NoSymmetryBreak disables the solver-side interchangeable-variable
+	// ordering pass (see symmetry.go). Solution.Values is byte-identical
+	// either way; the switch exists for ablation.
+	NoSymmetryBreak bool
 }
 
 // DefaultMaxNodes is the search budget used when Options.MaxNodes is 0.
@@ -92,12 +108,31 @@ func Solve(ctx context.Context, m *Model, opts Options) (sol *Solution, err erro
 		branchOrder = pre.mapBranchOrder(opts.BranchOrder)
 	}
 
+	var symBreaks int
+	if pre != nil && !opts.NoSymmetryBreak {
+		// Only the presolved copy is ever mutated; with NoPresolve the
+		// target is the caller's model, so the pass is skipped.
+		symBreaks = breakSymmetries(target)
+	}
+
 	s := &solver{m: target}
 	s.build(branchOrder)
 
 	lo := append([]int64(nil), target.lo...)
 	hi := append([]int64(nil), target.hi...)
 	e := newEngine(s, workers, maxNodes)
+	e.symBreaks = int64(symBreaks)
+	if !opts.NoWarmStart && len(opts.WarmStart) == len(m.lo) &&
+		CheckFeasible(m, opts.WarmStart) == nil {
+		seed := append([]int64(nil), opts.WarmStart...)
+		if pre != nil {
+			// A feasible assignment is constant across each merged
+			// equivalence class, so projecting through repVar and the
+			// reduce-tightened bounds keeps it feasible for the target.
+			seed = pre.compress(seed)
+		}
+		e.seed(seed, s.objective(seed))
+	}
 
 	// A watcher turns context expiry into the engine's interrupt flag,
 	// which every worker polls per node and which wakes blocked deque
@@ -172,6 +207,12 @@ func (e *engine) record(reg *obs.Registry, orig, target *Model, span *obs.Span) 
 	if d := int64(orig.NumConstraints() - target.NumConstraints()); d > 0 {
 		reg.Counter("ilp/presolve/cons_removed").Add(d)
 	}
+	if e.seeded {
+		reg.Counter("ilp/incumbent_seeded").Inc()
+	}
+	if e.symBreaks > 0 {
+		reg.Counter("ilp/symmetry_breaks").Add(e.symBreaks)
+	}
 	h := reg.Histogram("ilp/worker_nodes", workerNodeBounds)
 	for _, n := range e.workerNodes {
 		h.Observe(n)
@@ -204,7 +245,26 @@ func (s *solver) build(order []Var) {
 			terms: s.m.obj, lo: NegInf, hi: PosInf, label: "objective-cut",
 		})
 	}
-	s.occ = make([][]int32, len(s.m.lo))
+	// The occurrence index is carved from one flat backing array (two
+	// counting passes) rather than grown per variable, so building it
+	// costs three allocations instead of one per variable.
+	nvars := len(s.m.lo)
+	counts := make([]int32, nvars)
+	total := 0
+	for _, c := range s.cons {
+		for _, t := range c.terms {
+			counts[t.Var]++
+			total++
+		}
+	}
+	backing := make([]int32, 0, total)
+	s.occ = make([][]int32, nvars)
+	off := 0
+	for v := range s.occ {
+		n := off + int(counts[v])
+		s.occ[v] = backing[off:off:n]
+		off = n
+	}
 	for ci, c := range s.cons {
 		for _, t := range c.terms {
 			s.occ[t.Var] = append(s.occ[t.Var], int32(ci))
@@ -237,16 +297,38 @@ func ceilDiv(a, b int64) int64 {
 	return q
 }
 
+// propScratch is one worker's reusable propagation state: an epoch-stamped
+// in-queue mark per constraint plus the FIFO work queue itself. Bumping the
+// epoch invalidates every stale mark at once, so re-arming the scratch for
+// the next node is O(1) instead of O(constraints) — propagate runs once per
+// search node, and the per-node clear used to dominate its profile.
+// A zero propScratch is ready to use. Not safe for concurrent use.
+type propScratch struct {
+	mark  []uint64
+	epoch uint64
+	queue []int32
+}
+
 // propagate tightens lo/hi to a fixpoint of interval consistency over all
 // constraints. objHi is the current upper bound of the objective cut (the
 // shared incumbent bound; PosInf when no incumbent or no objective exists).
 // It reports false on a domain wipe-out or violated constraint.
-func (s *solver) propagate(lo, hi []int64, seed []int32, objHi int64) bool {
-	inQueue := make([]bool, len(s.cons))
-	queue := make([]int32, 0, len(s.cons))
+//
+// The fixpoint of interval propagation is confluent — the same final bounds
+// are reached whatever order constraints are processed in — but the queue
+// here preserves the original FIFO order anyway, so even intermediate
+// wipe-out points are identical to the pre-scratch implementation.
+func (s *solver) propagate(lo, hi []int64, seed []int32, objHi int64, sc *propScratch) bool {
+	if len(sc.mark) < len(s.cons) {
+		sc.mark = make([]uint64, len(s.cons))
+	}
+	sc.epoch++
+	epoch, mark := sc.epoch, sc.mark
+	queue := sc.queue[:0]
+	defer func() { sc.queue = queue[:0] }()
 	push := func(ci int32) {
-		if !inQueue[ci] {
-			inQueue[ci] = true
+		if mark[ci] != epoch {
+			mark[ci] = epoch
 			queue = append(queue, ci)
 		}
 	}
@@ -260,10 +342,9 @@ func (s *solver) propagate(lo, hi []int64, seed []int32, objHi int64) bool {
 		}
 	}
 
-	for len(queue) > 0 {
-		ci := queue[0]
-		queue = queue[1:]
-		inQueue[ci] = false
+	for head := 0; head < len(queue); head++ {
+		ci := queue[head]
+		mark[ci] = 0
 		c := &s.cons[ci]
 		chi := c.hi
 		if int(ci) == s.objIdx {

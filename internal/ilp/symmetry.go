@@ -1,0 +1,182 @@
+package ilp
+
+// Solver-side symmetry breaking. Two variables i < j are interchangeable
+// when transposing them maps the model to itself: identical bounds,
+// identical objective coefficient, and a constraint multiset invariant
+// under the swap. For such a pair the canonical (lexicographically
+// smallest) optimum necessarily satisfies x_i ≤ x_j — if it did not,
+// swapping the two values would produce an equal-objective solution that
+// is lexicographically smaller, contradicting canonicity — so adding the
+// ordering row x_i - x_j ≤ 0 cuts the mirrored half of the search space
+// without changing Solution.Values (pinned by the determinism corpus and
+// TestSymmetryBreak*).
+//
+// Each ordering row is justified against the model as it was before the
+// pass, so rows do not need to be re-validated against each other: the
+// canonical optimum satisfies all of them simultaneously.
+
+import (
+	"bytes"
+	"sort"
+)
+
+// breakSymmetries appends x_a ≤ x_b ordering rows for consecutive
+// interchangeable variable pairs and returns how many were added. It is
+// called on the presolved model copy only, after reduce.
+func breakSymmetries(m *Model) int {
+	n := len(m.lo)
+	if n < 2 {
+		return 0
+	}
+	objCoef := make([]int64, n)
+	for _, t := range m.obj {
+		objCoef[t.Var] = t.Coef // obj is deduped, one term per var
+	}
+	// Flattened occurrence index (counts pass + shared backing array, as
+	// in solver.build): two allocations regardless of model size.
+	counts := make([]int, n)
+	total := 0
+	for _, c := range m.cons {
+		for _, t := range c.terms {
+			counts[t.Var]++
+			total++
+		}
+	}
+	occ := make([][]int32, n)
+	backing := make([]int32, total)
+	off := 0
+	for v := 0; v < n; v++ {
+		occ[v] = backing[off : off : off+counts[v]]
+		off += counts[v]
+	}
+	for ci, c := range m.cons {
+		for _, t := range c.terms {
+			occ[t.Var] = append(occ[t.Var], int32(ci))
+		}
+	}
+
+	// Candidate grouping: interchangeable variables necessarily share
+	// bounds, objective coefficient and occurrence count. Groups are
+	// visited in ascending first-member order so the appended rows — and
+	// therefore constraint indexes — are deterministic.
+	type groupKey struct {
+		lo, hi, obj int64
+		cnt         int
+	}
+	groups := map[groupKey][]int{}
+	for v := 0; v < n; v++ {
+		k := groupKey{m.lo[v], m.hi[v], objCoef[v], len(occ[v])}
+		groups[k] = append(groups[k], v)
+	}
+	ordered := make([][]int, 0, len(groups))
+	for _, vs := range groups {
+		if len(vs) >= 2 {
+			ordered = append(ordered, vs)
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i][0] < ordered[j][0] })
+
+	var sc symScratch
+	added := 0
+	row := make([]Term, 2)
+	for _, vs := range ordered {
+		// Consecutive pairs suffice: each row is individually implied by
+		// canonicity, so a chain a ≤ b ≤ c needs no (a, c) row.
+		for x := 0; x+1 < len(vs); x++ {
+			a, b := Var(vs[x]), Var(vs[x+1])
+			if !interchangeable(m, occ, &sc, a, b) {
+				continue
+			}
+			row[0], row[1] = T(1, a), T(-1, b)
+			m.AddLE("symmetry-break", row, 0)
+			added++
+		}
+	}
+	return added
+}
+
+// symScratch recycles the buffers of repeated interchangeability tests.
+// Row identities live in two reusable byte arenas addressed by offset, so
+// a test allocates nothing once the arenas are warm.
+type symScratch struct {
+	cs             []int32
+	sorted         []Term
+	buf            []byte
+	swapped        []Term
+	arenaA, arenaB []byte
+	offA, offB     []int
+	viewA, viewB   [][]byte
+}
+
+// interchangeable reports whether swapping a and b maps the constraint
+// multiset to itself: the multiset of (canonical linear form, bounds)
+// identities over all rows touching a or b must be invariant under the
+// transposition. Rows touching neither variable are untouched by the swap
+// and need no inspection.
+func interchangeable(m *Model, occ [][]int32, sc *symScratch, a, b Var) bool {
+	cs := sc.cs[:0]
+	cs = append(cs, occ[a]...)
+	cs = append(cs, occ[b]...)
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	// Dedupe rows containing both variables.
+	uniq := cs[:0]
+	for i, ci := range cs {
+		if i == 0 || ci != cs[i-1] {
+			uniq = append(uniq, ci)
+		}
+	}
+	sc.cs = cs
+
+	// The arenas may reallocate while identities accumulate, so rows are
+	// addressed by offset and materialized as views only once complete.
+	arenaA, offA := sc.arenaA[:0], append(sc.offA[:0], 0)
+	arenaB, offB := sc.arenaB[:0], append(sc.offB[:0], 0)
+	for _, ci := range uniq {
+		c := &m.cons[ci]
+		arenaA = constraintIdentity(sc, arenaA, c.terms, c.lo, c.hi)
+		offA = append(offA, len(arenaA))
+		if cap(sc.swapped) < len(c.terms) {
+			sc.swapped = make([]Term, len(c.terms))
+		}
+		sw := sc.swapped[:len(c.terms)]
+		for i, t := range c.terms {
+			v := t.Var
+			switch v {
+			case a:
+				v = b
+			case b:
+				v = a
+			}
+			sw[i] = T(t.Coef, v)
+		}
+		arenaB = constraintIdentity(sc, arenaB, sw, c.lo, c.hi)
+		offB = append(offB, len(arenaB))
+	}
+	sc.arenaA, sc.offA = arenaA, offA
+	sc.arenaB, sc.offB = arenaB, offB
+	viewA, viewB := sc.viewA[:0], sc.viewB[:0]
+	for i := 0; i+1 < len(offA); i++ {
+		viewA = append(viewA, arenaA[offA[i]:offA[i+1]])
+		viewB = append(viewB, arenaB[offB[i]:offB[i+1]])
+	}
+	sc.viewA, sc.viewB = viewA, viewB
+	sort.Slice(viewA, func(i, j int) bool { return bytes.Compare(viewA[i], viewA[j]) < 0 })
+	sort.Slice(viewB, func(i, j int) bool { return bytes.Compare(viewB[i], viewB[j]) < 0 })
+	for i := range viewA {
+		if !bytes.Equal(viewA[i], viewB[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// constraintIdentity appends the semantic identity of a row — canonical
+// term signature plus bounds — to dst. Labels are presentation only and
+// excluded.
+func constraintIdentity(sc *symScratch, dst []byte, terms []Term, lo, hi int64) []byte {
+	sc.sorted, sc.buf = signature(sc.sorted[:0], sc.buf[:0], terms)
+	dst = append(dst, sc.buf...)
+	dst = appendVarint(dst, lo)
+	dst = appendVarint(dst, hi)
+	return dst
+}

@@ -31,13 +31,15 @@ import (
 // cannot alias old entries.
 const fingerprintVersion = 1
 
-// Fingerprint returns the canonical content digest of a reconstruction
-// problem. Reconstruct must have validated in first (anchored
-// observations index into IMCPositions).
-func Fingerprint(in Input, opts Options) memo.Key {
-	var buf []byte
+// canonicalInput splits a problem into its canonical header (grid
+// dimensions plus the Options fields that can change the reconstruction)
+// and its sorted, self-contained observation records. The cache's
+// superset index compares problems componentwise: same header, record
+// multiset inclusion. Options.NoWarmStart is excluded like Workers — the
+// reconstructed map is identical either way.
+func canonicalInput(in Input, opts Options) (header []byte, recs [][]byte) {
 	u := func(v int64) {
-		buf = binary.AppendVarint(buf, v)
+		header = binary.AppendVarint(header, v)
 	}
 	u(fingerprintVersion)
 	u(int64(in.NumCHA))
@@ -54,7 +56,7 @@ func Fingerprint(in Input, opts Options) memo.Key {
 	u(int64(opts.MaxNodes))
 	u(int64(opts.MaxSeparationRounds))
 
-	recs := make([][]byte, 0, len(in.Observations))
+	recs = make([][]byte, 0, len(in.Observations))
 	for _, o := range in.Observations {
 		var r []byte
 		ru := func(v int64) { r = binary.AppendVarint(r, v) }
@@ -77,12 +79,26 @@ func Fingerprint(in Input, opts Options) memo.Key {
 		recs = append(recs, r)
 	}
 	sort.Slice(recs, func(i, j int) bool { return lessBytes(recs[i], recs[j]) })
-	u(int64(len(recs)))
+	return header, recs
+}
+
+// digest folds a canonical header and record set into the cache key.
+func digest(header []byte, recs [][]byte) memo.Key {
+	buf := append([]byte(nil), header...)
+	buf = binary.AppendVarint(buf, int64(len(recs)))
 	for _, r := range recs {
-		u(int64(len(r)))
+		buf = binary.AppendVarint(buf, int64(len(r)))
 		buf = append(buf, r...)
 	}
 	return sha256.Sum256(buf)
+}
+
+// Fingerprint returns the canonical content digest of a reconstruction
+// problem. Reconstruct must have validated in first (anchored
+// observations index into IMCPositions).
+func Fingerprint(in Input, opts Options) memo.Key {
+	header, recs := canonicalInput(in, opts)
+	return digest(header, recs)
 }
 
 func lessBytes(a, b []byte) bool {

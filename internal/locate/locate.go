@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"coremap/internal/cmerr"
 	"coremap/internal/ilp"
@@ -77,6 +78,13 @@ type Options struct {
 	// reconstructed map is identical either way (TestPruneInvariant);
 	// the switch exists for ablation and regression testing.
 	NoPrune bool
+	// NoWarmStart disables ILP incumbent seeding: both the cache's
+	// superset-index lookup (a cached placement for a subset of the
+	// observations seeds the new solve) and the ilp.Options.WarmStart
+	// plumbing. The reconstructed map is identical either way — seeding
+	// only prunes worse subtrees earlier — so the switch exists for
+	// ablation and regression testing, and is excluded from Fingerprint.
+	NoWarmStart bool
 	// Cache, when non-nil, memoizes reconstructions by the canonical
 	// content fingerprint of the input (see Fingerprint). Survey loops
 	// share one Cache across instances: machines with the same
@@ -120,6 +128,58 @@ type builder struct {
 	r, c    []ilp.Var
 	anchors map[mesh.Coord][2]ilp.Var
 	in      Input
+	// lbl is scratch for building label and name strings with strconv
+	// instead of fmt: one constraint label is minted per model row, and
+	// Sprintf's vararg boxing was the largest allocation source of model
+	// construction.
+	lbl []byte
+	// dirs, oh{R,C} and ind{R,C} record the auxiliary variables as they
+	// are created, so warmAssignment can derive a full model assignment
+	// from a known placement without re-deriving variable layout.
+	dirs       []pathDir
+	ohR, ohC   [][]ilp.Var
+	indR, indC []ilp.Var
+}
+
+// pathDir is one horizontal path's direction-nullifier pair.
+type pathDir struct {
+	ne, nw ilp.Var
+	obs    probe.Observation
+}
+
+// nameIdx formats prefix+itoa(i), e.g. "R3".
+func (b *builder) nameIdx(prefix string, i int) string {
+	buf := append(b.lbl[:0], prefix...)
+	buf = strconv.AppendInt(buf, int64(i), 10)
+	b.lbl = buf
+	return string(buf)
+}
+
+// nameIdx2 formats prefix+itoa(i)+sep+itoa(j), e.g. "OHR3_1".
+func (b *builder) nameIdx2(prefix string, i int, sep string, j int) string {
+	buf := append(b.lbl[:0], prefix...)
+	buf = strconv.AppendInt(buf, int64(i), 10)
+	buf = append(buf, sep...)
+	buf = strconv.AppendInt(buf, int64(j), 10)
+	b.lbl = buf
+	return string(buf)
+}
+
+// pathLabel formats the per-observation constraint label
+// "p<p>(<src>→<dst>)/<kind>@<k>".
+func (b *builder) pathLabel(p, src, dst int, kind string, k int) string {
+	buf := append(b.lbl[:0], 'p')
+	buf = strconv.AppendInt(buf, int64(p), 10)
+	buf = append(buf, '(')
+	buf = strconv.AppendInt(buf, int64(src), 10)
+	buf = append(buf, "→"...)
+	buf = strconv.AppendInt(buf, int64(dst), 10)
+	buf = append(buf, ")/"...)
+	buf = append(buf, kind...)
+	buf = append(buf, '@')
+	buf = strconv.AppendInt(buf, int64(k), 10)
+	b.lbl = buf
+	return string(buf)
 }
 
 func newBuilder(in Input) *builder {
@@ -127,8 +187,8 @@ func newBuilder(in Input) *builder {
 	b.r = make([]ilp.Var, in.NumCHA)
 	b.c = make([]ilp.Var, in.NumCHA)
 	for i := 0; i < in.NumCHA; i++ {
-		b.r[i] = b.m.NewVar(fmt.Sprintf("R%d", i), 0, int64(in.Rows-1))
-		b.c[i] = b.m.NewVar(fmt.Sprintf("C%d", i), 0, int64(in.Cols-1))
+		b.r[i] = b.m.NewVar(b.nameIdx("R", i), 0, int64(in.Rows-1))
+		b.c[i] = b.m.NewVar(b.nameIdx("C", i), 0, int64(in.Cols-1))
 	}
 	return b
 }
@@ -155,7 +215,7 @@ func (b *builder) addObservation(p int, o probe.Observation, paperBounds bool) {
 	e := o.DstCHA
 	srcR, srcC := b.srcVars(o)
 	label := func(kind string, k int) string {
-		return fmt.Sprintf("p%d(%d→%d)/%s@%d", p, o.SrcCHA, e, kind, k)
+		return b.pathLabel(p, o.SrcCHA, e, kind, k)
 	}
 
 	for _, k := range o.Up {
@@ -174,8 +234,9 @@ func (b *builder) addObservation(p int, o probe.Observation, paperBounds bool) {
 	if len(o.Horz) == 0 {
 		return
 	}
-	ne := b.m.NewBinary(fmt.Sprintf("NE%d", p))
-	nw := b.m.NewBinary(fmt.Sprintf("NW%d", p))
+	ne := b.m.NewBinary(b.nameIdx("NE", p))
+	nw := b.m.NewBinary(b.nameIdx("NW", p))
+	b.dirs = append(b.dirs, pathDir{ne: ne, nw: nw, obs: o})
 	b.m.AddEq(label("dir", 0), []ilp.Term{ilp.T(1, ne), ilp.T(1, nw)}, 1)
 	for _, k := range o.Horz {
 		// Horizontal alignment with the sink row.
@@ -209,51 +270,114 @@ func (b *builder) addObjective() {
 	in := b.in
 	var obj []ilp.Term
 
-	addDim := func(dim string, vars []ilp.Var, size int) {
+	// The model copies term rows on AddEq/AddLE, so one scratch row per
+	// shape is reused across every tile and index below.
+	addDim := func(dim string, vars []ilp.Var, size int, ohOut *[][]ilp.Var, indOut *[]ilp.Var) {
 		// One-hot per tile.
 		oh := make([][]ilp.Var, in.NumCHA)
+		ohName, onehotName, channelName := "OH"+dim, "onehot-"+dim, "channel-"+dim
+		indName, indLoName, indHiName := "I"+dim, "ind-lo-"+dim, "ind-hi-"+dim
+		sum := make([]ilp.Term, size)
+		channel := make([]ilp.Term, 0, size+1)
 		for i := 0; i < in.NumCHA; i++ {
 			oh[i] = make([]ilp.Var, size)
-			sum := make([]ilp.Term, size)
-			channel := make([]ilp.Term, 0, size+1)
-			channel = append(channel, ilp.T(-1, vars[i]))
+			channel = append(channel[:0], ilp.T(-1, vars[i]))
 			for r := 0; r < size; r++ {
-				oh[i][r] = b.m.NewBinary(fmt.Sprintf("OH%s%d_%d", dim, i, r))
+				oh[i][r] = b.m.NewBinary(b.nameIdx2(ohName, i, "_", r))
 				sum[r] = ilp.T(1, oh[i][r])
 				if r > 0 {
 					channel = append(channel, ilp.T(int64(r), oh[i][r]))
 				}
 			}
-			b.m.AddEq(fmt.Sprintf("onehot-%s%d", dim, i), sum, 1)
-			b.m.AddEq(fmt.Sprintf("channel-%s%d", dim, i), channel, 0)
+			b.m.AddEq(b.nameIdx(onehotName, i), sum, 1)
+			b.m.AddEq(b.nameIdx(channelName, i), channel, 0)
 		}
 		// Occupancy indicators and objective weights.
+		inds := make([]ilp.Var, size)
+		row := make([]ilp.Term, 0, in.NumCHA+1)
 		for r := 0; r < size; r++ {
-			ind := b.m.NewBinary(fmt.Sprintf("I%s%d", dim, r))
-			occ := make([]ilp.Term, 0, in.NumCHA+1)
-			for i := 0; i < in.NumCHA; i++ {
-				occ = append(occ, ilp.T(1, oh[i][r]))
-			}
+			ind := b.m.NewBinary(b.nameIdx(indName, r))
+			inds[r] = ind
 			// ind ≤ Σ occ: ind - Σ occ ≤ 0.
-			lower := append([]ilp.Term{ilp.T(1, ind)}, negate(occ)...)
-			b.m.AddLE(fmt.Sprintf("ind-lo-%s%d", dim, r), lower, 0)
+			row = append(row[:0], ilp.T(1, ind))
+			for i := 0; i < in.NumCHA; i++ {
+				row = append(row, ilp.T(-1, oh[i][r]))
+			}
+			b.m.AddLE(b.nameIdx(indLoName, r), row, 0)
 			// Σ occ ≤ bigM·ind.
-			upper := append(append([]ilp.Term{}, occ...), ilp.T(-bigM, ind))
-			b.m.AddLE(fmt.Sprintf("ind-hi-%s%d", dim, r), upper, 0)
+			row = row[:0]
+			for i := 0; i < in.NumCHA; i++ {
+				row = append(row, ilp.T(1, oh[i][r]))
+			}
+			row = append(row, ilp.T(-bigM, ind))
+			b.m.AddLE(b.nameIdx(indHiName, r), row, 0)
 			obj = append(obj, ilp.T(int64(r+1), ind))
 		}
+		*ohOut, *indOut = oh, inds
 	}
-	addDim("R", b.r, in.Rows)
-	addDim("C", b.c, in.Cols)
+	addDim("R", b.r, in.Rows, &b.ohR, &b.indR)
+	addDim("C", b.c, in.Cols, &b.ohC, &b.indC)
 	b.m.SetObjective(obj)
 }
 
-func negate(terms []ilp.Term) []ilp.Term {
-	out := make([]ilp.Term, len(terms))
-	for i, t := range terms {
-		out[i] = ilp.T(-t.Coef, t.Var)
+// warmAssignment derives a complete assignment of the built model from a
+// known placement, for seeding the ILP incumbent (ilp.Options.WarmStart):
+// position variables from the placement, anchors at their fixed
+// coordinates, direction nullifiers from the relative source/sink
+// columns, one-hots and occupancy indicators from the occupied cells. The
+// solver re-verifies the seed with CheckFeasible, so a placement the
+// current observations contradict (a superset seed from a pattern that
+// diverged) is simply discarded there. Returns nil when the placement
+// does not fit the grid.
+func (b *builder) warmAssignment(pos []mesh.Coord) []int64 {
+	in := b.in
+	if len(pos) != in.NumCHA {
+		return nil
 	}
-	return out
+	for _, p := range pos {
+		if p.Row < 0 || p.Row >= in.Rows || p.Col < 0 || p.Col >= in.Cols {
+			return nil
+		}
+	}
+	vals := make([]int64, b.m.NumVars())
+	for i, p := range pos {
+		vals[b.r[i]] = int64(p.Row)
+		vals[b.c[i]] = int64(p.Col)
+	}
+	for at, v := range b.anchors {
+		vals[v[0]] = int64(at.Row)
+		vals[v[1]] = int64(at.Col)
+	}
+	for _, d := range b.dirs {
+		var srcCol int
+		if d.obs.Anchored {
+			srcCol = in.IMCPositions[d.obs.SrcIMC].Col
+		} else {
+			srcCol = pos[d.obs.SrcCHA].Col
+		}
+		// Eastbound paths keep the east rows active (NE = 0, NW = 1).
+		if pos[d.obs.DstCHA].Col > srcCol {
+			vals[d.nw] = 1
+		} else {
+			vals[d.ne] = 1
+		}
+	}
+	fill := func(oh [][]ilp.Var, ind []ilp.Var, at func(mesh.Coord) int) {
+		for i, p := range pos {
+			vals[oh[i][at(p)]] = 1
+		}
+		for r, v := range ind {
+			for _, p := range pos {
+				if at(p) == r {
+					vals[v] = 1
+					break
+				}
+			}
+		}
+	}
+	fill(b.ohR, b.indR, func(c mesh.Coord) int { return c.Row })
+	fill(b.ohC, b.indC, func(c mesh.Coord) int { return c.Col })
+	return vals
 }
 
 // addSeparation forces tiles i and j onto different cells via a four-way
@@ -308,7 +432,7 @@ func Reconstruct(ctx context.Context, in Input, opts Options) (*Map, error) {
 	if opts.Cache != nil {
 		return opts.Cache.reconstruct(ctx, in, opts)
 	}
-	return reconstruct(ctx, in, opts)
+	return reconstruct(ctx, in, opts, nil)
 }
 
 // rawConstraintCount is the number of observation constraints an
@@ -334,8 +458,11 @@ func rawConstraintCount(in Input) int64 {
 	return n
 }
 
-// reconstruct is the uncached solve path; in has been validated.
-func reconstruct(ctx context.Context, in Input, opts Options) (result *Map, err error) {
+// reconstruct is the uncached solve path; in has been validated. warmPos,
+// when non-nil, is a placement from the cache's superset index used to
+// seed the first solve's incumbent (discarded by the solver if the new
+// observations contradict it).
+func reconstruct(ctx context.Context, in Input, opts Options, warmPos []mesh.Coord) (result *Map, err error) {
 	ctx, span := obs.Start(ctx, "locate/reconstruct")
 	defer func() {
 		if result != nil {
@@ -371,12 +498,24 @@ func reconstruct(ctx context.Context, in Input, opts Options) (result *Map, err 
 	reg.Counter("locate/constraints/built").Add(int64(b.m.NumConstraints()))
 	b.addObjective()
 
+	// The warm seed targets the round-0 model; separation rounds add
+	// variables, after which the stale (shorter) seed is ignored by the
+	// solver's length check.
+	var warm []int64
+	if warmPos != nil && !opts.NoWarmStart {
+		if warm = b.warmAssignment(warmPos); warm != nil {
+			reg.Counter("ilp/warmstart_hits").Inc()
+		}
+	}
+
 	result = &Map{Rows: in.Rows, Cols: in.Cols, Anchored: anchored}
 	for round := 0; ; round++ {
 		sol, err := ilp.Solve(ctx, b.m, ilp.Options{
 			MaxNodes:    opts.MaxNodes,
 			BranchOrder: b.branchOrder(),
 			Workers:     opts.Workers,
+			WarmStart:   warm,
+			NoWarmStart: opts.NoWarmStart,
 		})
 		if errors.Is(err, ilp.ErrInfeasible) {
 			return nil, ErrUnsatisfiable

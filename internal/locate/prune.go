@@ -261,10 +261,11 @@ func (b *builder) addHorzPruned(p int, o probe.Observation, paperBounds bool) {
 	}
 	e := o.DstCHA
 	label := func(kind string, k int) string {
-		return fmt.Sprintf("p%d(%d→%d)/%s@%d", p, o.SrcCHA, e, kind, k)
+		return b.pathLabel(p, o.SrcCHA, e, kind, k)
 	}
-	ne := b.m.NewBinary(fmt.Sprintf("NE%d", p))
-	nw := b.m.NewBinary(fmt.Sprintf("NW%d", p))
+	ne := b.m.NewBinary(b.nameIdx("NE", p))
+	nw := b.m.NewBinary(b.nameIdx("NW", p))
+	b.dirs = append(b.dirs, pathDir{ne: ne, nw: nw, obs: o})
 	b.m.AddEq(label("dir", 0), []ilp.Term{ilp.T(1, ne), ilp.T(1, nw)}, 1)
 
 	srcGap, dstGap := int64(1), int64(1)

@@ -1,0 +1,116 @@
+package locate
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"coremap/internal/mesh"
+	"coremap/internal/obs"
+	"coremap/internal/probe"
+)
+
+// registryCtx returns a context carrying a fresh metrics registry plus the
+// registry itself, for asserting the warm-start counters.
+func registryCtx() (context.Context, *obs.Registry) {
+	tel := obs.New(obs.Config{})
+	return obs.With(context.Background(), tel), tel.Registry()
+}
+
+// subsetInput returns in with only the first half of its observations —
+// a strict multiset subset with the same grid header, which is exactly
+// what the cache's warm-start index matches on.
+func subsetInput(in Input) Input {
+	sub := in
+	sub.Observations = append([]probe.Observation(nil),
+		in.Observations[:len(in.Observations)/2]...)
+	return sub
+}
+
+// TestCacheWarmStartSuperset: solving a subset problem and then its
+// superset through one cache must trigger the warm-start index, and the
+// superset's map must be byte-identical to an uncached cold solve —
+// seeding is a pure accelerator.
+func TestCacheWarmStartSuperset(t *testing.T) {
+	in, _ := testInput(3, 4)
+	cold, err := Reconstruct(context.Background(), in, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCache()
+	ctx, reg := registryCtx()
+	if _, err := Reconstruct(ctx, subsetInput(in), Options{Cache: c, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("ilp/warmstart_hits").Value(); got != 0 {
+		t.Fatalf("ilp/warmstart_hits = %d after the first solve, want 0", got)
+	}
+	warm, err := Reconstruct(ctx, in, Options{Cache: c, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm.Pos, cold.Pos) {
+		t.Fatalf("warm-started superset map differs from cold solve:\n%v\n%v",
+			warm.Pos, cold.Pos)
+	}
+	if got := reg.Counter("ilp/warmstart_hits").Value(); got == 0 {
+		t.Error("ilp/warmstart_hits = 0, want > 0 (superset miss should seed from the subset entry)")
+	}
+}
+
+// TestCacheWarmStartAblation: Options.NoWarmStart must disable the index
+// without changing the reconstructed map, and must not split the cache
+// key (the option is excluded from the fingerprint like Workers).
+func TestCacheWarmStartAblation(t *testing.T) {
+	in, _ := testInput(3, 4)
+	cold, err := Reconstruct(context.Background(), in, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCache()
+	ctx, reg := registryCtx()
+	sub := subsetInput(in)
+	if _, err := Reconstruct(ctx, sub, Options{Cache: c, Workers: 1, NoWarmStart: true}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Reconstruct(ctx, in, Options{Cache: c, Workers: 1, NoWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Pos, cold.Pos) {
+		t.Fatalf("NoWarmStart changed the map:\n%v\n%v", m.Pos, cold.Pos)
+	}
+	for _, name := range []string{"ilp/warmstart_hits", "ilp/incumbent_seeded"} {
+		if got := reg.Counter(name).Value(); got != 0 {
+			t.Errorf("%s = %d under NoWarmStart, want 0", name, got)
+		}
+	}
+	if Fingerprint(in, Options{NoWarmStart: true}) != Fingerprint(in, Options{}) {
+		t.Error("NoWarmStart changed the fingerprint; it must not split the cache")
+	}
+}
+
+// TestWarmAssignmentRejectsBadPlacements: warmAssignment must return nil
+// (not a bogus seed) on length or bounds mismatches.
+func TestWarmAssignmentRejectsBadPlacements(t *testing.T) {
+	in, tiles := testInput(3, 3)
+	b := newBuilder(in)
+	for p, o := range in.Observations {
+		b.addObservation(p, o, false)
+	}
+	b.addObjective()
+
+	if got := b.warmAssignment(tiles[:len(tiles)-1]); got != nil {
+		t.Error("short placement accepted")
+	}
+	bad := append([]mesh.Coord(nil), tiles...)
+	bad[0].Row = in.Rows // out of grid
+	if got := b.warmAssignment(bad); got != nil {
+		t.Error("out-of-grid placement accepted")
+	}
+	if got := b.warmAssignment(tiles); got == nil {
+		t.Error("valid placement rejected")
+	}
+}

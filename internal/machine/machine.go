@@ -60,6 +60,13 @@ type Machine struct {
 
 	hier   *cache.Hierarchy
 	spaces []*msr.Space // per OS CPU
+	// boxes holds the socket-scoped CHA PMON boxes, indexed by CHA ID.
+	// MSR accesses in the CHA block range dispatch to them directly
+	// instead of through per-CPU msr.Space handler tables: registering
+	// forwarding closures for every (CPU, CHA, offset) triple dominated
+	// instance construction cost, and the handler-map lookups dominated
+	// counter-sweep cost. Empty when the PMON blocks are fused off.
+	boxes []*pmon.Box
 
 	// Ground truth, used only by verification and the thermal layer.
 	osToPhys   []int        // OS CPU → physical core index
@@ -159,12 +166,13 @@ func New(sku *SKU, p FusingPattern, cfg Config) *Machine {
 	}
 	m.hier = cache.New(ccfg, grid, m.physTile, m.chaTile, sku.IMC, cache.FNVHash(rng.Uint64(), m.numCHA))
 
-	// MSR spaces: one per OS CPU. Uncore PMON boxes are socket-scoped,
-	// so every CPU's space shares the same box handlers.
-	uncore := msr.NewSpace()
+	// Uncore PMON boxes are socket-scoped: every CPU sees the same boxes.
+	// The CHA MSR block range is dispatched to them directly in
+	// ReadMSR/WriteMSR rather than registered into each CPU's space.
 	if !cfg.NoUncorePMON {
+		m.boxes = make([]*pmon.Box, len(m.chaTile))
 		for cha, c := range m.chaTile {
-			pmon.InstallBox(uncore, cha, pmon.TileSource{Tile: grid.Tile(c)})
+			m.boxes[cha] = pmon.NewBox(pmon.TileSource{Tile: grid.Tile(c)})
 		}
 	}
 	m.ppinUnlock = make([]uint64, len(m.osToPhys))
@@ -172,17 +180,6 @@ func New(sku *SKU, p FusingPattern, cfg Config) *Machine {
 	for cpu := range m.spaces {
 		cpu := cpu
 		s := msr.NewSpace()
-		// Share the uncore handlers; errors (unimplemented offsets)
-		// propagate from the shared space.
-		for cha := range m.chaTile {
-			for off := msr.Addr(0); off < msr.ChaStride; off++ {
-				a := msr.ChaMSR(cha, off)
-				s.Register(a, msr.Handler{
-					Read:  func() (uint64, error) { return uncore.Read(a) },
-					Write: func(v uint64) error { return uncore.Write(a, v) },
-				})
-			}
-		}
 		s.Register(msr.AddrPPINCtl, msr.Handler{
 			Read:  func() (uint64, error) { return m.ppinUnlock[cpu], nil },
 			Write: func(v uint64) error { m.ppinUnlock[cpu] = v; return nil },
@@ -316,10 +313,32 @@ func (m *Machine) checkCPU(cpu int) error {
 	return nil
 }
 
+// chaBox returns the index of the CHA PMON box whose MSR block contains a,
+// or -1 when a is outside the exposed CHA range (including when the PMON
+// blocks are fused off). Addresses past the last active CHA fall through to
+// the per-CPU space and fault there, exactly as the discovery scan expects.
+func (m *Machine) chaBox(a msr.Addr) int {
+	if a < msr.ChaBase {
+		return -1
+	}
+	i := int(a-msr.ChaBase) / int(msr.ChaStride)
+	if i >= len(m.boxes) {
+		return -1
+	}
+	return i
+}
+
 // ReadMSR implements hostif.Host.
 func (m *Machine) ReadMSR(cpu int, a msr.Addr) (uint64, error) {
 	if err := m.checkCPU(cpu); err != nil {
 		return 0, err
+	}
+	if i := m.chaBox(a); i >= 0 {
+		v, st := m.boxes[i].ReadReg((a - msr.ChaBase) % msr.ChaStride)
+		if st != pmon.RegOK {
+			return 0, fmt.Errorf("rdmsr %#x: %w", uint32(a), msr.ErrNoSuchMSR)
+		}
+		return v, nil
 	}
 	return m.spaces[cpu].Read(a)
 }
@@ -328,6 +347,16 @@ func (m *Machine) ReadMSR(cpu int, a msr.Addr) (uint64, error) {
 func (m *Machine) WriteMSR(cpu int, a msr.Addr, v uint64) error {
 	if err := m.checkCPU(cpu); err != nil {
 		return err
+	}
+	if i := m.chaBox(a); i >= 0 {
+		switch m.boxes[i].WriteReg((a-msr.ChaBase)%msr.ChaStride, v) {
+		case pmon.RegOK:
+			return nil
+		case pmon.RegReadOnly:
+			return fmt.Errorf("wrmsr %#x: %w", uint32(a), msr.ErrReadOnly)
+		default:
+			return fmt.Errorf("wrmsr %#x: %w", uint32(a), msr.ErrNoSuchMSR)
+		}
 	}
 	return m.spaces[cpu].Write(a, v)
 }

@@ -305,9 +305,43 @@ func (g *Grid) Inject(src, dst Coord, flits uint64) {
 }
 
 // InjectOn routes flits from src to dst on the given message ring.
+//
+// The walk is inlined rather than delegated to Route: injection runs once
+// per simulated mesh transfer, so materializing the hop slice here would
+// dominate the whole simulator's allocation profile.
 func (g *Grid) InjectOn(ring Ring, src, dst Coord, flits uint64) {
-	for _, h := range g.Route(src, dst) {
-		g.Tile(h.To).Counters.RingIngress(ring)[h.Ch] += flits
+	if !g.In(src) || !g.In(dst) {
+		panic(fmt.Sprintf("mesh: route %v->%v outside %dx%d grid", src, dst, g.Rows, g.Cols))
+	}
+	row, col := src.Row, src.Col
+	idx := row*g.Cols + col
+	for row != dst.Row {
+		ch := Down
+		if dst.Row < row {
+			ch = Up
+			row--
+			idx -= g.Cols
+		} else {
+			row++
+			idx += g.Cols
+		}
+		g.tiles[idx].Counters.RingIngress(ring)[ch] += flits
+	}
+	if col == dst.Col {
+		return
+	}
+	// The horizontal label alternates per column (odd-column mirroring),
+	// and Left^1 == Right, so one XOR replaces the per-hop parity check.
+	step := 1
+	if dst.Col < col {
+		step = -1
+	}
+	ch := horizontalLabel(col+step, dst.Col > col)
+	for col != dst.Col {
+		col += step
+		idx += step
+		g.tiles[idx].Counters.RingIngress(ring)[ch] += flits
+		ch ^= 1
 	}
 }
 

@@ -215,6 +215,57 @@ func (b *Box) writeUnit(v uint64) error {
 	return nil
 }
 
+// RegAccess is the outcome of a direct Box register access.
+type RegAccess uint8
+
+const (
+	// RegOK means the access succeeded.
+	RegOK RegAccess = iota
+	// RegNoSuchReg means the offset is not implemented in the box's block
+	// (a faulting RDMSR/WRMSR on real hardware).
+	RegNoSuchReg
+	// RegReadOnly means a write hit a read-only register (the counters).
+	RegReadOnly
+)
+
+// ReadReg performs a direct read of the register at byte offset off within
+// the box's MSR block, bypassing the msr.Space handler table. It implements
+// exactly the register set InstallBox registers; the machine layer uses it
+// as the fast path for socket-scoped PMON access.
+func (b *Box) ReadReg(off msr.Addr) (uint64, RegAccess) {
+	switch {
+	case off == msr.ChaOffUnitCtl:
+		return b.unit, RegOK
+	case off >= msr.ChaOffFilter0 && off <= msr.ChaOffFilter1:
+		return b.filter[off-msr.ChaOffFilter0], RegOK
+	case off >= msr.ChaOffCtl0 && off < msr.ChaOffCtl0+msr.ChaCounters:
+		return b.ctl[off-msr.ChaOffCtl0], RegOK
+	case off >= msr.ChaOffCtr0 && off < msr.ChaOffCtr0+msr.ChaCounters:
+		v, _ := b.readCtr(int(off - msr.ChaOffCtr0))
+		return v, RegOK
+	}
+	return 0, RegNoSuchReg
+}
+
+// WriteReg performs a direct write of the register at byte offset off, with
+// the same implemented-register set and writability as InstallBox.
+func (b *Box) WriteReg(off msr.Addr, v uint64) RegAccess {
+	switch {
+	case off == msr.ChaOffUnitCtl:
+		b.writeUnit(v)
+		return RegOK
+	case off >= msr.ChaOffFilter0 && off <= msr.ChaOffFilter1:
+		b.filter[off-msr.ChaOffFilter0] = v
+		return RegOK
+	case off >= msr.ChaOffCtl0 && off < msr.ChaOffCtl0+msr.ChaCounters:
+		b.writeCtl(int(off-msr.ChaOffCtl0), v)
+		return RegOK
+	case off >= msr.ChaOffCtr0 && off < msr.ChaOffCtr0+msr.ChaCounters:
+		return RegReadOnly
+	}
+	return RegNoSuchReg
+}
+
 // InstallBox registers the MSR handlers of CHA cha's PMON box into space.
 func InstallBox(space *msr.Space, cha int, src Source) *Box {
 	b := NewBox(src)
@@ -316,12 +367,25 @@ func (m *Monitor) ProgramAll(ctr int, event, umask uint8) error {
 // ReadAll returns counter ctr of every CHA box, indexed by CHA ID.
 func (m *Monitor) ReadAll(ctr int) ([]uint64, error) {
 	out := make([]uint64, m.NumCHA)
+	if err := m.ReadAllInto(ctr, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadAllInto reads counter ctr of every CHA box into out, which must have
+// length NumCHA. Callers sweeping counters in a loop use it to reuse one
+// scratch buffer instead of allocating a fresh slice per sweep.
+func (m *Monitor) ReadAllInto(ctr int, out []uint64) error {
+	if len(out) != m.NumCHA {
+		return fmt.Errorf("pmon: ReadAllInto buffer has length %d, want %d", len(out), m.NumCHA)
+	}
 	for cha := 0; cha < m.NumCHA; cha++ {
 		v, err := m.Read(cha, ctr)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[cha] = v
 	}
-	return out, nil
+	return nil
 }

@@ -1,0 +1,111 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSlabWindowsAreExclusive(t *testing.T) {
+	var s Slab[int]
+	a := s.Alloc(3)
+	b := s.Alloc(3)
+	a = append(a, 1, 2, 3)
+	b = append(b, 4, 5, 6)
+	if a[0] != 1 || a[2] != 3 || b[0] != 4 || b[2] != 6 {
+		t.Fatalf("windows alias: a=%v b=%v", a, b)
+	}
+	// Appending past capacity must not be possible within the window.
+	if cap(a) != 3 || cap(b) != 3 {
+		t.Fatalf("window capacities %d,%d, want 3,3", cap(a), cap(b))
+	}
+}
+
+func TestSlabLargeAlloc(t *testing.T) {
+	var s Slab[byte]
+	big := s.Alloc(3 * maxChunk)
+	if cap(big) != 3*maxChunk {
+		t.Fatalf("large alloc capacity %d, want %d", cap(big), 3*maxChunk)
+	}
+	small := s.Alloc(8)
+	small = append(small, 1)
+	if small[0] != 1 {
+		t.Fatal("small alloc after large alloc broken")
+	}
+}
+
+func TestSlabClone(t *testing.T) {
+	var s Slab[int]
+	if got := s.Clone(nil); got != nil {
+		t.Fatalf("Clone(nil) = %v, want nil", got)
+	}
+	orig := []int{7, 8, 9}
+	c := s.Clone(orig)
+	orig[0] = 0
+	if c[0] != 7 || len(c) != 3 {
+		t.Fatalf("Clone not a copy: %v", c)
+	}
+}
+
+func TestScratchZeroesPrefix(t *testing.T) {
+	var s Scratch[uint64]
+	b := s.Get(4)
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	s.Put(b)
+	b2 := s.Get(4)
+	for i, v := range b2 {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d: %#x", i, v)
+		}
+	}
+	s.Put(b2)
+}
+
+func TestScratchGrows(t *testing.T) {
+	var s Scratch[int]
+	s.Put(s.Get(2))
+	b := s.Get(100)
+	if len(b) != 100 {
+		t.Fatalf("len %d, want 100", len(b))
+	}
+}
+
+func TestScratchConcurrent(t *testing.T) {
+	var s Scratch[int]
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b := s.Get(16)
+				for j := range b {
+					if b[j] != 0 {
+						panic("dirty scratch buffer")
+					}
+					b[j] = j
+				}
+				s.Put(b)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestFreeListRecycles(t *testing.T) {
+	var f FreeList[int64]
+	a := f.Get(8)
+	pa := &a[0]
+	f.Put(a)
+	b := f.Get(8)
+	if &b[0] != pa {
+		t.Fatal("FreeList did not recycle the buffer")
+	}
+	// Requesting more than the recycled capacity allocates fresh.
+	f.Put(b)
+	c := f.Get(64)
+	if len(c) != 64 {
+		t.Fatalf("len %d, want 64", len(c))
+	}
+}

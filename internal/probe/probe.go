@@ -41,7 +41,15 @@ import (
 	"coremap/internal/msr"
 	"coremap/internal/obs"
 	"coremap/internal/pmon"
+	"coremap/internal/pool"
 )
+
+// ctrScratch pools the per-sweep PMON counter buffers (one uint64 per CHA).
+// Counter sweeps run once per co-location test and once per experiment
+// direction, so a fresh slice per sweep used to be one of the measurement
+// pipeline's dominant allocation sites. Shared across Probers so a survey
+// over many instances reuses one warm buffer set.
+var ctrScratch pool.Scratch[uint64]
 
 // stage tags every error this package classifies.
 const stage = "probe"
@@ -238,6 +246,15 @@ type Prober struct {
 	rng  *rand.Rand
 	// homes caches discovered line → home-CHA results, bucketed by CHA.
 	homes map[int][]uint64
+	// obsSlab backs the Up/Down/Horz records of completed observations.
+	// It is grow-only and never reset, so records retained in Results can
+	// never be aliased by later experiments.
+	obsSlab pool.Slab[int]
+	// ringProgrammed/ringVert/ringHorz track the ring-event pair currently
+	// programmed into the CHA counters, enabling the cheap box-reset path
+	// in resetRingCountersOn.
+	ringProgrammed     bool
+	ringVert, ringHorz uint8
 	// noisePerOpMilli is the calibrated background ring traffic in
 	// milli-cycles per cache operation, summed over all counters.
 	noisePerOpMilli uint64
@@ -422,8 +439,9 @@ func (p *Prober) findLineHome(addr uint64) (int, error) {
 			return 0, cmerr.Ensure(cmerr.Permanent, stage, err)
 		}
 	}
-	counts, err := p.mon.ReadAll(ctrLook)
-	if err != nil {
+	counts := ctrScratch.Get(p.mon.NumCHA)
+	defer ctrScratch.Put(counts)
+	if err := p.mon.ReadAllInto(ctrLook, counts); err != nil {
 		return 0, cmerr.Ensure(cmerr.Permanent, stage, err)
 	}
 	best, bestCount := -1, uint64(0)
@@ -483,24 +501,43 @@ func (p *Prober) resetRingCounters() error {
 }
 
 // resetRingCountersOn programs the up/down/horizontal counters for an
-// arbitrary vertical/horizontal ring-event pair.
+// arbitrary vertical/horizontal ring-event pair and rebases them to zero.
+// When the boxes already carry that programming — the common case, since
+// nearly every reset between measurements re-selects the BL pair — a box-
+// level UnitCtl reset per CHA rebases all three counters with one MSR write
+// instead of three, which cuts the dominant per-measurement MSR traffic.
+// Both paths leave identical counter programming and identical zero bases,
+// so measured observations are unaffected.
 func (p *Prober) resetRingCountersOn(evVert, evHorz uint8) error {
+	if p.ringProgrammed && p.ringVert == evVert && p.ringHorz == evHorz {
+		for cha := 0; cha < p.mon.NumCHA; cha++ {
+			if err := p.mon.Reset(cha); err != nil {
+				return cmerr.Ensure(cmerr.Permanent, stage, err)
+			}
+		}
+		return nil
+	}
+	p.ringProgrammed = false
 	if err := p.mon.ProgramAll(ctrUp, evVert, pmon.UmaskUp); err != nil {
 		return cmerr.Ensure(cmerr.Permanent, stage, err)
 	}
 	if err := p.mon.ProgramAll(ctrDown, evVert, pmon.UmaskDown); err != nil {
 		return cmerr.Ensure(cmerr.Permanent, stage, err)
 	}
-	return cmerr.Ensure(cmerr.Permanent, stage,
-		p.mon.ProgramAll(ctrHorz, evHorz, pmon.UmaskLeft|pmon.UmaskRight))
+	if err := p.mon.ProgramAll(ctrHorz, evHorz, pmon.UmaskLeft|pmon.UmaskRight); err != nil {
+		return cmerr.Ensure(cmerr.Permanent, stage, err)
+	}
+	p.ringProgrammed, p.ringVert, p.ringHorz = true, evVert, evHorz
+	return nil
 }
 
 // totalRingTraffic sums all three ring counters across all CHAs.
 func (p *Prober) totalRingTraffic() (uint64, error) {
+	counts := ctrScratch.Get(p.mon.NumCHA)
+	defer ctrScratch.Put(counts)
 	var total uint64
-	for _, ctr := range []int{ctrUp, ctrDown, ctrHorz} {
-		counts, err := p.mon.ReadAll(ctr)
-		if err != nil {
+	for _, ctr := range [...]int{ctrUp, ctrDown, ctrHorz} {
+		if err := p.mon.ReadAllInto(ctr, counts); err != nil {
 			return 0, cmerr.Ensure(cmerr.Permanent, stage, err)
 		}
 		for _, c := range counts {
@@ -741,29 +778,39 @@ func (p *Prober) measureTraffic(srcCPU, sinkCPU, srcCHA, sinkCHA int) (Observati
 }
 
 // collectObservation reads the three ring counters of every CHA and
-// classifies the ones whose delta crossed the threshold.
+// classifies the ones whose delta crossed the threshold. The per-direction
+// CHA lists are exact-size windows of the prober's observation slab; a
+// direction with no crossings stays nil, matching the pre-slab encoding.
 func (p *Prober) collectObservation(obs *Observation, threshold uint64) error {
-	// Fixed iteration order: the three ReadAll sweeps hit the PMON
-	// counters in a deterministic sequence, so identical runs produce
+	counts := ctrScratch.Get(p.mon.NumCHA)
+	defer ctrScratch.Put(counts)
+	// Fixed iteration order: the three counter sweeps hit the PMON
+	// registers in a deterministic sequence, so identical runs produce
 	// identical host traces (a map literal here would randomize them).
-	for _, dir := range []struct {
+	for _, dir := range [...]struct {
 		ctr int
 		out *[]int
 	}{{ctrUp, &obs.Up}, {ctrDown, &obs.Down}, {ctrHorz, &obs.Horz}} {
-		ctr, out := dir.ctr, dir.out
-		counts, err := p.mon.ReadAll(ctr)
-		if err != nil {
+		if err := p.mon.ReadAllInto(dir.ctr, counts); err != nil {
 			return cmerr.Ensure(cmerr.Permanent, stage, err)
 		}
-		for cha, c := range counts {
+		n := 0
+		for _, c := range counts {
 			if c >= threshold {
-				*out = append(*out, cha)
+				n++
 			}
 		}
+		if n == 0 {
+			continue
+		}
+		w := p.obsSlab.Alloc(n)[:0]
+		for cha, c := range counts {
+			if c >= threshold {
+				w = append(w, cha)
+			}
+		}
+		*dir.out = w
 	}
-	sortInts(obs.Up)
-	sortInts(obs.Down)
-	sortInts(obs.Horz)
 	return nil
 }
 
