@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race lint ci smoke bench bench-json bench-gate experiments quick-experiments cover
+.PHONY: all build vet test race lint ci smoke plancompare bench bench-json bench-gate experiments quick-experiments cover
 
 all: build vet test
 
@@ -38,9 +38,15 @@ lint:
 # Everything the CI workflow runs, in one local invocation.
 ci: all race smoke lint
 
-# The CI smoke job: the full quick reproduction must exit 0.
+# The CI smoke job: the full quick reproduction must exit 0 (this
+# includes plancompare, the adaptive-planner acceptance gate).
 smoke:
 	go run ./cmd/experiments -exp all -quick
+
+# The planner acceptance gate alone: planned vs exhaustive survey on one
+# 8259CL instance — byte-identical map, ≤ 1/3 of the host operations.
+plancompare:
+	go run ./cmd/experiments -exp plancompare
 
 bench:
 	go test -bench=. -benchmem -timeout 3600s .
@@ -54,9 +60,11 @@ bench-json:
 
 # Benchmark regression gate (mirrors the CI bench-gate job): run every
 # benchmark once, convert to JSON and diff against the newest checked-in
-# BENCH_<date>.json. Fails on >60% regressions in ns/op or allocs/op —
-# generous because one iteration is timing-noisy; see cmd/benchdiff for
-# the tight 15% default used against same-machine baselines.
+# BENCH_<date>.json. Direction-aware: fails on >60% regressions in the
+# gated metrics (ns/op, allocs/op, host-ops/map up; bps-under-1pct
+# down), never on improvements — generous because one iteration is
+# timing-noisy; see cmd/benchdiff for the tight 15% default used
+# against same-machine baselines.
 bench-gate:
 	GOMAXPROCS=4 go test -bench=. -benchmem -benchtime=1x -run XXX -timeout 1800s . \
 		| go run ./cmd/benchjson > /tmp/coremap-bench.json

@@ -22,6 +22,7 @@ import (
 	"coremap/internal/locate"
 	"coremap/internal/machine"
 	"coremap/internal/mesh"
+	"coremap/internal/obs"
 	"coremap/internal/probe"
 	"coremap/internal/thermal"
 )
@@ -279,6 +280,40 @@ func BenchmarkPipeline_FullMap(b *testing.B) {
 		b.ResetTimer()
 		run(b, opts)
 	})
+}
+
+// BenchmarkPipeline_PlannedSurvey compares the adaptive measurement
+// planner against the exhaustive all-pairs survey on fresh 8259CL
+// instances, caches off so every iteration pays the full measurement.
+// Both sub-benchmarks report host-ops/map — the host operations one
+// converged map costs — which the CI bench-gate watches as a
+// lower-is-better metric. The maps are byte-identical either way
+// (pinned by the planner property test), so host operations are the
+// planner's entire value: plan=off is the ablation baseline that keeps
+// the exhaustive cost visible next to the planned one.
+func BenchmarkPipeline_PlannedSurvey(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noPlan bool
+	}{{"plan=on", false}, {"plan=off", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			tel := obs.New(obs.Config{})
+			ctx := obs.With(context.Background(), tel)
+			reg := tel.Registry()
+			before := reg.Snapshot()
+			for i := 0; i < b.N; i++ {
+				m := machine.Generate(machine.SKU8259CL, i%8, machine.Config{Seed: int64(i)})
+				if _, err := coremap.MapMachine(ctx, m, coremap.SkylakeXCCDie, coremap.Options{
+					Probe:  probe.Options{Seed: int64(i)},
+					NoPlan: mode.noPlan,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ops := reg.Snapshot().Sub(before).Total("host/ops/")
+			b.ReportMetric(float64(ops)/float64(b.N), "host-ops/map")
+		})
+	}
 }
 
 // BenchmarkPipeline_Anchored is the full pipeline with the memory-anchored

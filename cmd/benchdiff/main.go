@@ -1,8 +1,13 @@
 // Command benchdiff compares a fresh benchjson report against a
 // checked-in baseline and fails when any benchmark regressed beyond the
-// threshold in wall time (ns_per_op) or allocation count (allocs/op).
-// It is the CI bench-gate: a PR that reintroduces an allocation firehose
-// turns the gate red even though every correctness test still passes.
+// threshold in a gated metric: wall time (ns_per_op), allocation count
+// (allocs/op), host operations per converged map (host-ops/map), or the
+// covert channel's reliable rate (bps-under-1pct). The gate is
+// direction-aware — cost metrics fail on increases, capacity metrics on
+// decreases, and movement in the good direction never fails. It is the
+// CI bench-gate: a PR that reintroduces an allocation firehose or
+// quietly re-inflates the survey cost turns the gate red even though
+// every correctness test still passes.
 //
 // Usage:
 //

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	coremap [-sku name] [-pattern n] [-seed n] [-workers n] [-timeout d] [-paper-faithful] [-check] [-json] [-nocache]
+//	        [-noplan] [-ambiguity-cap n]
 //	        [-trace file] [-metrics-out file] [-debug-addr addr] [-report]
 //
 // The tool generates one simulated CPU instance (internal/machine stands in
@@ -11,6 +12,14 @@
 // pipeline through the hostif.Host abstraction, and prints the OS-core-ID ↔
 // CHA-ID mapping plus the reconstructed map. With -check it also scores the
 // reconstruction against the simulator's ground truth.
+//
+// By default the survey is planned adaptively: experiments run in batches
+// chosen to split the set of placements consistent with what has been
+// observed, and measurement stops once the answer cannot change — the map
+// is byte-identical to the exhaustive one for a fraction of the host
+// operations. -noplan restores the exhaustive all-pairs survey;
+// -ambiguity-cap bounds how many surviving placements the planner tracks
+// before it falls back to exhaustive measurement.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"coremap/internal/locate"
 	"coremap/internal/machine"
 	"coremap/internal/mesh"
+	"coremap/internal/plan"
 	"coremap/internal/probe"
 )
 
@@ -39,6 +49,8 @@ func main() {
 		workers       = flag.Int("workers", 0, "ILP solver workers (0 = all cores); the map is identical at any setting")
 		asJSON        = flag.Bool("json", false, "emit the result as JSON")
 		noCache       = flag.Bool("nocache", false, "disable the in-process measurement/reconstruction caches")
+		noPlan        = flag.Bool("noplan", false, "survey every core pair exhaustively instead of planning adaptively")
+		ambiguityCap  = flag.Int("ambiguity-cap", 0, "max surviving placements the planner tracks (0 = default 256)")
 		registryPath  = flag.String("registry", "", "JSON registry file: reuse a cached map for this PPIN, store new maps")
 		timeout       = flag.Duration("timeout", 0, "abort the pipeline after this duration (exit code 2)")
 	)
@@ -66,6 +78,14 @@ func main() {
 
 	popts := probe.Options{Seed: *seed}
 	lopts := locate.Options{Workers: *workers}
+	if *ambiguityCap > 0 && !*noPlan {
+		// A non-default cap needs explicit planner options; otherwise
+		// MapMachine derives them from the die geometry.
+		popts.Plan = &plan.Options{
+			Rows: sku.Rows, Cols: sku.Cols, IMCPositions: sku.IMC,
+			AmbiguityCap: *ambiguityCap,
+		}
+	}
 	if !*noCache {
 		popts.Cache = probe.NewResultCache()
 		lopts.Cache = locate.NewCache()
@@ -84,6 +104,7 @@ func main() {
 			Locate:        lopts,
 			PaperFaithful: *paperFaithful,
 			MemoryAnchors: *anchors,
+			NoPlan:        *noPlan,
 		})
 		if err != nil {
 			fatal(err)

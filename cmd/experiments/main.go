@@ -4,14 +4,22 @@
 // Usage:
 //
 //	experiments -exp table1|table2|fig4|fig5|fig6|fig7a|fig7b|fig8a|fig8b|
-//	                 verify|accuracy|defense|ecc|modulation|ablations|all
+//	                 verify|accuracy|defense|ecc|modulation|ablations|
+//	                 plancompare|all
 //	            [-n instances] [-bits payload] [-seed n] [-quick] [-nocache]
+//	            [-noplan]
 //
 // Full-size runs use the paper's parameters (100 instances per model,
 // 10 Kbit payloads); -quick shrinks both for a fast pass. Survey
 // measurements and reconstructions are cached by content across
 // experiments (hit/miss statistics appear once, as "[cache]" lines at the
-// end of the run); -nocache reproduces the uncached baseline.
+// end of the run); -nocache reproduces the uncached baseline. -noplan
+// disables the adaptive measurement planner and surveys every core pair
+// exhaustively — the maps are identical either way, only the host
+// operation counts move. plancompare runs both modes back to back on one
+// chip and exits non-zero unless the planned survey converged to a
+// byte-identical map for at most one third of the exhaustive host
+// operations (the CI smoke gate).
 //
 // The shared telemetry flags (-trace, -metrics-out, -debug-addr, -report)
 // emit the run's span trace, metrics snapshot, live debug endpoint and
@@ -29,12 +37,13 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run")
-		n      = flag.Int("n", 0, "instances per model (0 = paper's 100)")
-		bits   = flag.Int("bits", 0, "covert payload bits (0 = paper's 10000)")
+		exp     = flag.String("exp", "all", "experiment to run")
+		n       = flag.Int("n", 0, "instances per model (0 = paper's 100)")
+		bits    = flag.Int("bits", 0, "covert payload bits (0 = paper's 10000)")
 		seed    = flag.Int64("seed", 1, "survey seed")
 		quick   = flag.Bool("quick", false, "shrink surveys and payloads")
 		noCache = flag.Bool("nocache", false, "disable the measurement/reconstruction caches (uncached baseline)")
+		noPlan  = flag.Bool("noplan", false, "disable the adaptive measurement planner (exhaustive all-pairs survey)")
 		csvDir  = flag.String("csv", "", "directory to also write plot-ready CSV files into")
 		timeout = flag.Duration("timeout", 0, "abort the run after this duration (exit code 2)")
 	)
@@ -55,6 +64,7 @@ func main() {
 		Seed:        *seed,
 		Quick:       *quick,
 		NoCache:     *noCache,
+		NoPlan:      *noPlan,
 	}
 	if !*noCache {
 		// One cache set across every experiment of the run, so e.g.
@@ -133,11 +143,30 @@ func main() {
 			}
 			return maybeCSV(func(dir string) error { return writeRobustnessCSV(dir, cells) })
 		},
+		"plancompare": func() error {
+			r, err := experiments.PlanCompare(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			// The CI smoke gate: the planner must converge to the same
+			// map the exhaustive survey finds, for at most a third of
+			// the host operations.
+			switch {
+			case !r.Identical:
+				return fmt.Errorf("plancompare: planned map differs from exhaustive map")
+			case !r.Converged:
+				return fmt.Errorf("plancompare: planned survey did not converge (fell back to exhaustive measurement)")
+			case r.Ratio > 1.0/3.0:
+				return fmt.Errorf("plancompare: planned survey used %.1f%% of exhaustive host ops, gate is 33.3%%", r.Ratio*100)
+			}
+			return nil
+		},
 	}
 	order := []string{
 		"table1", "table2", "fig4", "fig5", "fig6", "fig7a", "fig7b",
 		"fig8a", "fig8b", "verify", "accuracy",
 		"defense", "ecc", "modulation", "ablations", "robustness",
+		"plancompare",
 	}
 
 	if *exp == "all" {

@@ -31,6 +31,7 @@ import (
 	"coremap/internal/locate"
 	"coremap/internal/mesh"
 	"coremap/internal/obs"
+	"coremap/internal/plan"
 	"coremap/internal/probe"
 	"coremap/internal/stats"
 )
@@ -68,6 +69,17 @@ type Options struct {
 	// coordinates (resolves the mirror and any vacant-row compaction).
 	// Extension beyond the paper; requires Die.IMC.
 	MemoryAnchors bool
+	// NoPlan disables the adaptive measurement planner and restores the
+	// exhaustive all-pairs survey. By default MapMachine plans the survey
+	// from the die geometry: experiments are issued in batches chosen to
+	// split the surviving placement set, and measurement stops once no
+	// remaining experiment could change the reconstruction — the map is
+	// byte-identical to the exhaustive survey's, for a fraction of the
+	// host operations. The exhaustive mode exists as the ablation
+	// baseline (and the verifier for invariants the planner assumes,
+	// e.g. one CHA per core). Ignored when Options.Probe.Plan is already
+	// set explicitly.
+	NoPlan bool
 }
 
 // Result is a recovered physical core map.
@@ -115,6 +127,14 @@ func MapMachine(ctx context.Context, h hostif.Host, die DieInfo, opts Options) (
 		}
 		span.End(err)
 	}()
+	if opts.Probe.Plan == nil && !opts.NoPlan {
+		opts.Probe.Plan = &plan.Options{
+			Rows:             die.Rows,
+			Cols:             die.Cols,
+			IMCPositions:     die.IMC,
+			PaperExactBounds: opts.Locate.PaperExactBounds,
+		}
+	}
 	p, err := probe.New(h, opts.Probe)
 	if err != nil {
 		return nil, cmerr.Ensure(cmerr.Permanent, "coremap", err)

@@ -6,23 +6,57 @@ import (
 	"strings"
 )
 
-// The regression gate compares the two metrics a performance PR can
-// plausibly ruin without failing any correctness test: wall time and
-// allocation count. Bytes/op and the custom table metrics ride along in
-// the reports for human inspection but do not gate — B/op tracks
-// allocs/op for gating purposes, and the mapping/pattern counts are
-// correctness facts pinned by the test suite instead.
-var gatedMetrics = []string{"ns_per_op", "allocs/op"}
+// gatedMetric is one metric the CI gate watches, together with the
+// direction that counts as a regression. Cost metrics (time,
+// allocations, host operations) regress upward; capacity metrics
+// (channel rate) regress downward. The gate is direction-aware so that
+// a survey-planner PR that *reduces* host-ops/map sails through while
+// one that quietly re-inflates it fails.
+type gatedMetric struct {
+	name string
+	// higherIsBetter inverts the regression direction: increases are
+	// improvements and decreases beyond the threshold fail.
+	higherIsBetter bool
+}
+
+// The regression gate compares the metrics a performance PR can
+// plausibly ruin without failing any correctness test: wall time,
+// allocation count, the host operations one converged map costs, and
+// the covert channel's reliable rate. Bytes/op and the remaining table
+// metrics ride along in the reports for human inspection but do not
+// gate — B/op tracks allocs/op for gating purposes, and the
+// mapping/pattern counts are correctness facts pinned by the test
+// suite instead.
+var gatedMetrics = []gatedMetric{
+	{name: "ns_per_op"},
+	{name: "allocs/op"},
+	{name: "host-ops/map"},
+	{name: "bps-under-1pct", higherIsBetter: true},
+}
 
 // Delta is one (benchmark, metric) comparison between two reports.
 type Delta struct {
 	Name   string  // benchmark name
-	Metric string  // "ns_per_op" or "allocs/op"
+	Metric string  // e.g. "ns_per_op", "allocs/op", "host-ops/map"
 	Base   float64 // baseline value
 	Cur    float64 // current value
-	Pct    float64 // (Cur-Base)/Base, negative = improvement
-	// Regressed is set when Cur exceeds Base by more than the threshold.
+	Pct    float64 // (Cur-Base)/Base, the raw relative change
+	// HigherIsBetter records the metric's good direction so consumers
+	// can render the delta without a copy of the gated-metric table.
+	HigherIsBetter bool
+	// Regressed is set when Cur moves past Base in the metric's bad
+	// direction by more than the threshold.
 	Regressed bool
+}
+
+// WorsePct returns the relative change in the metric's bad direction:
+// positive means the current run is worse than baseline, whichever
+// way the raw value moved.
+func (d Delta) WorsePct() float64 {
+	if d.HigherIsBetter {
+		return -d.Pct
+	}
+	return d.Pct
 }
 
 // Diff compares every benchmark present in both reports metric by metric.
@@ -67,15 +101,16 @@ func Diff(base, cur Report, threshold float64) (deltas []Delta, missing, fresh [
 	sort.Strings(names)
 	for _, name := range names {
 		for _, metric := range gatedMetrics {
-			bv, bok := value(baseBy[name], metric)
-			cv, cok := value(curBy[name], metric)
+			bv, bok := value(baseBy[name], metric.name)
+			cv, cok := value(curBy[name], metric.name)
 			if !bok || !cok {
 				continue
 			}
-			d := Delta{Name: name, Metric: metric, Base: bv, Cur: cv}
+			d := Delta{Name: name, Metric: metric.name, Base: bv, Cur: cv,
+				HigherIsBetter: metric.higherIsBetter}
 			if bv > 0 {
 				d.Pct = (cv - bv) / bv
-				d.Regressed = d.Pct > threshold
+				d.Regressed = d.WorsePct() > threshold
 			}
 			deltas = append(deltas, d)
 		}
@@ -105,7 +140,7 @@ func Markdown(deltas []Delta, missing, fresh []string, threshold float64) string
 		flag := ""
 		if d.Regressed {
 			flag = "❌ regression"
-		} else if d.Pct < -0.05 {
+		} else if d.WorsePct() < -0.05 {
 			flag = "✅ improved"
 		}
 		fmt.Fprintf(&b, "| %s | %s | %s | %s | %+.1f%% | %s |\n",

@@ -60,6 +60,71 @@ func TestDiffImprovementNeverFails(t *testing.T) {
 	}
 }
 
+func withMetric(b Benchmark, metric string, v float64) Benchmark {
+	m := map[string]float64{}
+	for k, val := range b.Metrics {
+		m[k] = val
+	}
+	m[metric] = v
+	b.Metrics = m
+	return b
+}
+
+func TestDiffHostOpsGatesOnlyIncreases(t *testing.T) {
+	// host-ops/map is a cost: the planner PR that cut it must pass the
+	// gate, and a PR that re-inflates it must fail.
+	base := report(withMetric(bench("BenchmarkPlanned", 1000, 10), "host-ops/map", 240000))
+	better := report(withMetric(bench("BenchmarkPlanned", 1000, 10), "host-ops/map", 60000))
+	deltas, _, _ := Diff(base, better, 0.15)
+	if reg := Regressions(deltas); len(reg) != 0 {
+		t.Fatalf("host-ops/map decrease flagged as regression: %+v", reg)
+	}
+	var d *Delta
+	for i := range deltas {
+		if deltas[i].Metric == "host-ops/map" {
+			d = &deltas[i]
+		}
+	}
+	if d == nil {
+		t.Fatal("no host-ops/map delta emitted")
+	}
+	if d.WorsePct() >= 0 {
+		t.Errorf("decrease WorsePct = %v, want negative (improvement)", d.WorsePct())
+	}
+
+	worse := report(withMetric(bench("BenchmarkPlanned", 1000, 10), "host-ops/map", 300000))
+	deltas, _, _ = Diff(base, worse, 0.15)
+	reg := Regressions(deltas)
+	if len(reg) != 1 || reg[0].Metric != "host-ops/map" {
+		t.Fatalf("host-ops/map +25%% not flagged: %+v", reg)
+	}
+}
+
+func TestDiffHigherIsBetterMetric(t *testing.T) {
+	// bps-under-1pct is a capacity: only decreases beyond the threshold
+	// regress, and increases render as improvements.
+	base := report(withMetric(bench("BenchmarkCapacity", 1000, 10), "bps-under-1pct", 4))
+	faster := report(withMetric(bench("BenchmarkCapacity", 1000, 10), "bps-under-1pct", 8))
+	deltas, missing, fresh := Diff(base, faster, 0.15)
+	if reg := Regressions(deltas); len(reg) != 0 {
+		t.Fatalf("capacity increase flagged as regression: %+v", reg)
+	}
+	md := Markdown(deltas, missing, fresh, 0.15)
+	if !strings.Contains(md, "✅ improved") {
+		t.Error("doubled capacity not rendered as an improvement")
+	}
+
+	slower := report(withMetric(bench("BenchmarkCapacity", 1000, 10), "bps-under-1pct", 2))
+	deltas, _, _ = Diff(base, slower, 0.15)
+	reg := Regressions(deltas)
+	if len(reg) != 1 || reg[0].Metric != "bps-under-1pct" {
+		t.Fatalf("halved capacity not flagged: %+v", reg)
+	}
+	if got := reg[0].WorsePct(); got < 0.499 || got > 0.501 {
+		t.Errorf("WorsePct = %v, want 0.50", got)
+	}
+}
+
 func TestDiffMissingAndFresh(t *testing.T) {
 	base := report(bench("BenchmarkOld", 10, 1), bench("BenchmarkBoth", 10, 1))
 	cur := report(bench("BenchmarkBoth", 10, 1), bench("BenchmarkNew", 10, 1))

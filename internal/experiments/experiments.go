@@ -93,6 +93,12 @@ type Config struct {
 	// passing a shared set lets repeated experiments reuse each other's
 	// work, e.g. Fig. 4 reusing Table II's 8259CL survey.
 	Caches *Caches
+	// NoPlan surveys exhaustively instead of with the adaptive
+	// measurement planner. The recovered maps are identical either way;
+	// the flag exists as the ablation baseline for host-operation counts.
+	// (The measurement-set ablations always survey exhaustively — see
+	// Ablations.)
+	NoPlan bool
 }
 
 func (c Config) withDefaults() Config {
@@ -251,6 +257,7 @@ func survey(ctx context.Context, sku *machine.SKU, n int, cfg Config) (_ []Insta
 		res, err := coremap.MapMachine(ctx, m, dieFor(sku), coremap.Options{
 			Probe:  cfg.probeOptions(i),
 			Locate: cfg.locateOptions(),
+			NoPlan: cfg.NoPlan,
 		})
 		if err != nil {
 			return err

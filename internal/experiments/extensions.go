@@ -246,6 +246,13 @@ func Ablations(ctx context.Context, cfg Config) ([]AblationResult, error) {
 			m, _ := pop.Next()
 			opts := v.opts
 			opts.Probe = probe.Options{Seed: cfg.Seed + int64(i)}
+			// The ablations compare how much *information* each
+			// measurement-set variant hands the solver (MeanSolverNodes is
+			// the yardstick), so they must survey exhaustively: the adaptive
+			// planner deliberately withholds redundant experiments, which
+			// would measure the planner's scheduling instead of the
+			// variant's information content.
+			opts.NoPlan = true
 			r, err := coremap.MapMachine(ctx, m, dieFor(v.sku), opts)
 			if err != nil {
 				return nil, err

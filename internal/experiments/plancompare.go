@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+
+	"coremap"
+	"coremap/internal/machine"
+	"coremap/internal/obs"
+	"coremap/internal/probe"
+)
+
+// PlanCompareResult is one planner-vs-exhaustive comparison on a single
+// fresh chip: both surveys run on the same instance with caches off, so
+// the host-operation counts are the true cost of one converged map.
+type PlanCompareResult struct {
+	SKU string
+	// PlannedOps and ExhaustiveOps are the total host operations of the
+	// adaptive and the exhaustive survey (steps 1 and 2 inclusive).
+	PlannedOps, ExhaustiveOps int64
+	// Ratio is PlannedOps / ExhaustiveOps.
+	Ratio float64
+	// Identical reports that the two surveys reconstructed byte-identical
+	// maps (positions, OS↔CHA mapping and anchoring).
+	Identical bool
+	// Converged reports that the planned survey terminated because no
+	// remaining experiment could split the surviving placement set
+	// (rather than by running out of candidates).
+	Converged bool
+}
+
+// PlanCompare runs the adaptive and the exhaustive survey back to back
+// on one fresh instance of the paper's 28-core Table I SKU (8259CL) and
+// reports the host-operation costs, whether the maps agree byte for
+// byte, and whether the planner converged. It is the CI smoke check for
+// the planner's two contracts: identical answers, fewer operations.
+func PlanCompare(ctx context.Context, cfg Config) (*PlanCompareResult, error) {
+	cfg = cfg.withDefaults()
+	sku := machine.SKU8259CL
+	m := machine.Generate(sku, 0, machine.Config{Seed: cfg.Seed})
+	reg := obs.RegistryFrom(ctx)
+
+	run := func(noPlan bool) (*coremap.Result, int64, error) {
+		before := reg.Snapshot()
+		res, err := coremap.MapMachine(ctx, m, dieFor(sku), coremap.Options{
+			Probe:  probe.Options{Seed: cfg.Seed},
+			Locate: cfg.locateOptions(),
+			NoPlan: noPlan,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, reg.Snapshot().Sub(before).Total("host/ops/"), nil
+	}
+	planned, plannedOps, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	converged := reg.Snapshot().Gauges["plan/converged"] == 1
+	exhaustive, exhaustiveOps, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &PlanCompareResult{
+		SKU:           sku.Name,
+		PlannedOps:    plannedOps,
+		ExhaustiveOps: exhaustiveOps,
+		Converged:     converged,
+		Identical: reflect.DeepEqual(planned.Pos, exhaustive.Pos) &&
+			reflect.DeepEqual(planned.OSToCHA, exhaustive.OSToCHA) &&
+			planned.Anchored == exhaustive.Anchored,
+	}
+	if exhaustiveOps > 0 {
+		out.Ratio = float64(plannedOps) / float64(exhaustiveOps)
+	}
+	cfg.printf("Planner vs exhaustive on %s: %d vs %d host ops (ratio %.3f), identical=%v, converged=%v\n",
+		out.SKU, out.PlannedOps, out.ExhaustiveOps, out.Ratio, out.Identical, out.Converged)
+	return out, nil
+}

@@ -1,0 +1,199 @@
+package plan
+
+// The enumeration model. locate's full model carries per-path NE/NW
+// direction binaries, one-hot channeling, occupancy indicators and a
+// packing objective — none of which the planner needs: enumeration asks
+// "which placements are possible", and multiplying every placement by
+// its auxiliary-binary completions would wreck the projection walk. So
+// the planner builds a lean mirror with only the 2n row/column position
+// variables and the binary-free constraint rows, and pushes the two
+// non-linear conditions — all-distinct tile occupancy and the
+// horizontal direction disjunction — into ilp.Enumerate's Prune/Accept
+// hooks, where they are cheap to test on concrete coordinates.
+//
+// The rows must stay in lockstep with locate.addObservation (and with
+// consistent in predict.go, which is the same encoding evaluated on a
+// concrete placement).
+
+import (
+	"coremap/internal/ilp"
+	"coremap/internal/mesh"
+)
+
+// horzObs is the Accept/Prune-side residue of one observation: the
+// horizontal direction disjunction locate encodes with big-M binaries.
+type horzObs struct {
+	anchored bool
+	src      mesh.Coord // source coordinate when anchored
+	srcCHA   int        // source CHA when not anchored
+	dstCHA   int
+	horz     []int
+}
+
+// buildModel translates the observations collected so far into an ILP
+// over the CHA position variables. It returns the model, the projection
+// (r0, c0, r1, c1, … — decode with coordAt), and the branch order
+// (c0, r0, c1, r1, … — columns first, mirroring locate.branchOrder so
+// the enumeration walks the tree in the solver's canonical shape). As a
+// side effect it rebuilds pl.horzObs for the Accept/Prune closures.
+func (pl *Planner) buildModel() (m *ilp.Model, project, branch []ilp.Var) {
+	m = ilp.NewModel()
+	n := pl.numCHA
+	r := make([]ilp.Var, n)
+	c := make([]ilp.Var, n)
+	project = make([]ilp.Var, 0, 2*n)
+	branch = make([]ilp.Var, 0, 2*n)
+	for k := 0; k < n; k++ {
+		r[k] = m.NewVar("r", 0, int64(pl.opts.Rows-1))
+		c[k] = m.NewVar("c", 0, int64(pl.opts.Cols-1))
+		project = append(project, r[k], c[k])
+		branch = append(branch, c[k], r[k])
+	}
+	pl.horzObs = pl.horzObs[:0]
+	for _, o := range pl.observations {
+		e := o.DstCHA
+		if o.Anchored {
+			// Source coordinates are known constants; fold them into
+			// single-variable rows instead of referencing fixed vars.
+			src := pl.opts.IMCPositions[o.SrcIMC]
+			for _, k := range o.Up {
+				m.AddEq("up-col", []ilp.Term{ilp.T(1, c[k])}, int64(src.Col))
+				m.AddLE("up-src", []ilp.Term{ilp.T(1, r[k])}, int64(src.Row)-1)
+				m.AddGE("up-dst", []ilp.Term{ilp.T(1, r[k]), ilp.T(-1, r[e])}, 0)
+			}
+			for _, k := range o.Down {
+				m.AddEq("dn-col", []ilp.Term{ilp.T(1, c[k])}, int64(src.Col))
+				m.AddGE("dn-src", []ilp.Term{ilp.T(1, r[k])}, int64(src.Row)+1)
+				m.AddGE("dn-dst", []ilp.Term{ilp.T(1, r[e]), ilp.T(-1, r[k])}, 0)
+			}
+		} else {
+			s := o.SrcCHA
+			for _, k := range o.Up {
+				m.AddEq("up-col", []ilp.Term{ilp.T(1, c[k]), ilp.T(-1, c[s])}, 0)
+				m.AddGE("up-src", []ilp.Term{ilp.T(1, r[s]), ilp.T(-1, r[k])}, 1)
+				m.AddGE("up-dst", []ilp.Term{ilp.T(1, r[k]), ilp.T(-1, r[e])}, 0)
+			}
+			for _, k := range o.Down {
+				m.AddEq("dn-col", []ilp.Term{ilp.T(1, c[k]), ilp.T(-1, c[s])}, 0)
+				m.AddGE("dn-src", []ilp.Term{ilp.T(1, r[k]), ilp.T(-1, r[s])}, 1)
+				m.AddGE("dn-dst", []ilp.Term{ilp.T(1, r[e]), ilp.T(-1, r[k])}, 0)
+			}
+		}
+		for _, k := range o.Horz {
+			if k == e {
+				continue
+			}
+			m.AddEq("hz-row", []ilp.Term{ilp.T(1, r[k]), ilp.T(-1, r[e])}, 0)
+		}
+		if len(o.Horz) > 0 {
+			pl.horzObs = append(pl.horzObs, horzObs{
+				anchored: o.Anchored,
+				src:      pl.srcConst(o),
+				srcCHA:   o.SrcCHA,
+				dstCHA:   e,
+				horz:     o.Horz,
+			})
+		}
+	}
+	return m, project, branch
+}
+
+func (pl *Planner) srcConst(o Observation) mesh.Coord {
+	if o.Anchored {
+		return pl.opts.IMCPositions[o.SrcIMC]
+	}
+	return mesh.Coord{}
+}
+
+// coordAt decodes CHA k from an enumeration projection.
+func coordAt(proj []int64, k int) mesh.Coord {
+	return mesh.Coord{Row: int(proj[2*k]), Col: int(proj[2*k+1])}
+}
+
+// accept is the leaf filter for ilp.Enumerate: given a fully fixed
+// projection, enforce the conditions the lean model omits — every CHA on
+// its own tile, and every observation's horizontal observers reachable
+// in a single direction of travel. CHAs may share a tile with a memory
+// controller; the all-distinct condition is CHA-vs-CHA only, matching
+// locate's lazy separation.
+func (pl *Planner) accept(proj []int64) bool {
+	coords := pl.projCoords
+	for k := 0; k < pl.numCHA; k++ {
+		coords[k] = coordAt(proj, k)
+	}
+	pl.cellEpoch++
+	for k := 0; k < pl.numCHA; k++ {
+		cell := coords[k].Row*pl.opts.Cols + coords[k].Col
+		if pl.cellMark[cell] == pl.cellEpoch {
+			return false
+		}
+		pl.cellMark[cell] = pl.cellEpoch
+	}
+	for i := range pl.horzObs {
+		h := &pl.horzObs[i]
+		src := h.src
+		if !h.anchored {
+			src = coords[h.srcCHA]
+		}
+		if !horzFeasible(src, coords[h.dstCHA], h.horz, h.dstCHA, pl.srcGap(),
+			func(k int) mesh.Coord { return coords[k] }) {
+			return false
+		}
+	}
+	return true
+}
+
+// prune is the subtree filter for ilp.Enumerate, called at every search
+// node with the partially fixed projection. It applies the same two
+// conditions as accept, restricted to what is already decided — two
+// fully placed CHAs on the same tile, or a horizontal disjunction whose
+// participants are all placed and satisfiable in neither direction —
+// so conflicting subtrees are cut long before a full placement is
+// assembled. Both tests are monotone in the fixed set, as Prune's
+// contract requires: a violation can never be repaired by fixing more
+// variables.
+func (pl *Planner) prune(vals []int64, fixed []bool) bool {
+	coords := pl.projCoords
+	placed := pl.coordFixed
+	pl.cellEpoch++
+	for k := 0; k < pl.numCHA; k++ {
+		placed[k] = fixed[2*k] && fixed[2*k+1]
+		if !placed[k] {
+			continue
+		}
+		coords[k] = coordAt(vals, k)
+		cell := coords[k].Row*pl.opts.Cols + coords[k].Col
+		if pl.cellMark[cell] == pl.cellEpoch {
+			return false
+		}
+		pl.cellMark[cell] = pl.cellEpoch
+	}
+	for i := range pl.horzObs {
+		h := &pl.horzObs[i]
+		if !h.anchored && !placed[h.srcCHA] {
+			continue
+		}
+		if !placed[h.dstCHA] {
+			continue
+		}
+		all := true
+		for _, k := range h.horz {
+			if !placed[k] {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		src := h.src
+		if !h.anchored {
+			src = coords[h.srcCHA]
+		}
+		if !horzFeasible(src, coords[h.dstCHA], h.horz, h.dstCHA, pl.srcGap(),
+			func(k int) mesh.Coord { return coords[k] }) {
+			return false
+		}
+	}
+	return true
+}

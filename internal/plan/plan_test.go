@@ -1,0 +1,331 @@
+package plan
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"coremap/internal/cmerr"
+	"coremap/internal/mesh"
+)
+
+func TestClassifyRoutes(t *testing.T) {
+	src := mesh.Coord{Row: 2, Col: 1}
+	dst := mesh.Coord{Row: 0, Col: 3}
+	cases := []struct {
+		t    mesh.Coord
+		want channel
+	}{
+		{mesh.Coord{Row: 1, Col: 1}, chanUp},   // vertical segment
+		{mesh.Coord{Row: 0, Col: 1}, chanUp},   // corner tile is vertical
+		{mesh.Coord{Row: 0, Col: 2}, chanHorz}, // horizontal segment
+		{mesh.Coord{Row: 0, Col: 3}, chanHorz}, // destination tile
+		{mesh.Coord{Row: 2, Col: 1}, chanNone}, // source transmits, never receives
+		{mesh.Coord{Row: 2, Col: 2}, chanNone}, // off-route
+		{mesh.Coord{Row: 1, Col: 3}, chanNone}, // dst column, wrong row
+		{mesh.Coord{Row: 0, Col: 0}, chanNone}, // behind the turn
+	}
+	for _, c := range cases {
+		if got := classify(src, dst, c.t); got != c.want {
+			t.Errorf("classify(%v→%v, %v) = %d, want %d", src, dst, c.t, got, c.want)
+		}
+	}
+
+	// Downward and westward mirror.
+	src, dst = mesh.Coord{Row: 0, Col: 3}, mesh.Coord{Row: 2, Col: 1}
+	if got := classify(src, dst, mesh.Coord{Row: 1, Col: 3}); got != chanDown {
+		t.Errorf("down segment misclassified: %d", got)
+	}
+	if got := classify(src, dst, mesh.Coord{Row: 2, Col: 3}); got != chanDown {
+		t.Errorf("corner on down route misclassified: %d", got)
+	}
+	if got := classify(src, dst, mesh.Coord{Row: 2, Col: 2}); got != chanHorz {
+		t.Errorf("westward segment misclassified: %d", got)
+	}
+
+	// Pure vertical route: destination tile charges vertical.
+	src, dst = mesh.Coord{Row: 3, Col: 0}, mesh.Coord{Row: 1, Col: 0}
+	if got := classify(src, dst, dst); got != chanUp {
+		t.Errorf("pure-vertical destination misclassified: %d", got)
+	}
+	// Zero-length route (CHA sharing the IMC tile): no observers.
+	if got := classify(src, src, src); got != chanNone {
+		t.Errorf("zero-length route should have no observers: %d", got)
+	}
+}
+
+// toy is a 3x3 die with five CHAs and one IMC at (2,0).
+var toyTruth = []mesh.Coord{
+	{Row: 0, Col: 0}, // CHA 0
+	{Row: 0, Col: 1}, // CHA 1
+	{Row: 1, Col: 0}, // CHA 2
+	{Row: 1, Col: 1}, // CHA 3
+	{Row: 2, Col: 2}, // CHA 4
+}
+
+func toyOptions() Options {
+	return Options{Rows: 3, Cols: 3, IMCPositions: []mesh.Coord{{Row: 2, Col: 0}}}
+}
+
+// toyCandidates builds memory candidates for every CHA plus all ordered
+// pairs, in a fixed pool order.
+func toyCandidates(n int) []Candidate {
+	var cands []Candidate
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			cands = append(cands, Candidate{Kind: KindPair, SrcCHA: src, DstCHA: dst, SrcCPU: src, DstCPU: dst})
+		}
+	}
+	for cha := 0; cha < n; cha++ {
+		cands = append(cands, Candidate{Kind: KindMemory, SrcCHA: -1, DstCHA: cha, IMC: 0, SrcCPU: -1, DstCPU: cha})
+	}
+	return cands
+}
+
+// trueObs computes the exact observation candidate c would produce under
+// the ground-truth placement.
+func trueObs(pl *Planner, c Candidate, truth []mesh.Coord) Observation {
+	src, dst := pl.routeEndpoints(c, truth)
+	o := Observation{SrcCHA: c.SrcCHA, DstCHA: c.DstCHA}
+	if c.Kind == KindMemory {
+		o.Anchored = true
+		o.SrcIMC = c.IMC
+	}
+	for k := range truth {
+		switch classify(src, dst, truth[k]) {
+		case chanUp:
+			o.Up = append(o.Up, k)
+		case chanDown:
+			o.Down = append(o.Down, k)
+		case chanHorz:
+			o.Horz = append(o.Horz, k)
+		}
+	}
+	return o
+}
+
+// drive runs the planner against ground truth, answering every issued
+// experiment exactly, and returns the sequence of batches.
+func drive(t *testing.T, pl *Planner, truth []mesh.Coord) [][]int {
+	t.Helper()
+	var batches [][]int
+	for i := 0; ; i++ {
+		if i > 1000 {
+			t.Fatal("planner failed to terminate")
+		}
+		batch, err := pl.NextBatch(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) == 0 {
+			return batches
+		}
+		batches = append(batches, append([]int(nil), batch...))
+		for _, ci := range batch {
+			pl.Observe(ci, trueObs(pl, pl.Candidate(ci), truth))
+		}
+	}
+}
+
+func TestPlannerConvergesOnToyPlacement(t *testing.T) {
+	cands := toyCandidates(len(toyTruth))
+	pl, err := New(toyOptions(), len(toyTruth), cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, pl, toyTruth)
+	st := pl.Stats()
+	if !st.Converged || st.Fallback {
+		t.Fatalf("planner did not converge cleanly: %+v", st)
+	}
+	if st.Measured+st.Failed+st.Skipped != len(cands) {
+		t.Fatalf("candidate accounting broken: %+v over %d candidates", st, len(cands))
+	}
+	if st.Skipped == 0 {
+		t.Fatalf("planner measured everything — no savings: %+v", st)
+	}
+
+	// The ground truth must be among the survivors, and convergence means
+	// no unmeasured candidate can split them.
+	foundTruth := false
+	for _, p := range pl.survivors {
+		if reflect.DeepEqual(p, toyTruth) {
+			foundTruth = true
+		}
+	}
+	if !foundTruth {
+		t.Fatalf("ground truth missing from %d survivors", len(pl.survivors))
+	}
+	for ci, state := range pl.state {
+		if state != candUnmeasured {
+			continue
+		}
+		c := pl.cands[ci]
+		want := string(pl.predictKey(c, pl.survivors[0]))
+		for _, p := range pl.survivors[1:] {
+			if got := string(pl.predictKey(c, p)); got != want {
+				t.Fatalf("skipped candidate %d still splits survivors: %q vs %q", ci, got, want)
+			}
+		}
+	}
+}
+
+func TestPlannerDeterministicBatches(t *testing.T) {
+	run := func() ([][]int, Stats) {
+		pl, err := New(toyOptions(), len(toyTruth), toyCandidates(len(toyTruth)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches := drive(t, pl, toyTruth)
+		return batches, pl.Stats()
+	}
+	b1, s1 := run()
+	for i := 0; i < 3; i++ {
+		b2, s2 := run()
+		if !reflect.DeepEqual(b1, b2) || s1 != s2 {
+			t.Fatalf("run %d diverged:\n%v %+v\nvs\n%v %+v", i, b2, s2, b1, s1)
+		}
+	}
+}
+
+func TestPlannerObservationsFilterSurvivors(t *testing.T) {
+	// consistent must accept the truth's own observations and reject a
+	// placement that moves an observer off the constrained column.
+	pl, err := New(toyOptions(), len(toyTruth), toyCandidates(len(toyTruth)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Candidate{Kind: KindMemory, SrcCHA: -1, DstCHA: 0, IMC: 0}
+	o := trueObs(pl, c, toyTruth)
+	if !pl.consistent(o, toyTruth) {
+		t.Fatal("truth rejected by its own observation")
+	}
+	moved := append([]mesh.Coord(nil), toyTruth...)
+	moved[2] = mesh.Coord{Row: 1, Col: 2} // CHA 2 observes IMC→CHA0 on column 0
+	if pl.consistent(o, moved) {
+		t.Fatal("off-column observer placement should be inconsistent")
+	}
+}
+
+func TestPlannerFallbackOnContradiction(t *testing.T) {
+	cands := toyCandidates(len(toyTruth))
+	pl, err := New(toyOptions(), len(toyTruth), cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := pl.NextBatch(context.Background())
+	if err != nil || len(batch) == 0 {
+		t.Fatalf("no first batch: %v", err)
+	}
+	// Answer the first candidate with an impossible observation: the same
+	// CHA both above and below the source.
+	pl.Observe(batch[0], Observation{SrcCHA: -1, DstCHA: 0, Anchored: true, SrcIMC: 0, Up: []int{1}, Down: []int{1}})
+	for _, ci := range batch[1:] {
+		pl.Fail(ci)
+	}
+	next, err := pl.NextBatch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Stats().Fallback {
+		t.Fatalf("contradictory observation should trigger fallback, stats %+v", pl.Stats())
+	}
+	// Fallback measures everything that remains in one batch.
+	remaining := 0
+	for _, st := range pl.state {
+		if st == candPending {
+			remaining++
+		}
+	}
+	if len(next) != remaining || len(next) == 0 {
+		t.Fatalf("fallback batch has %d candidates, want all %d remaining", len(next), remaining)
+	}
+}
+
+func TestPlannerFailedCandidatesAreDropped(t *testing.T) {
+	cands := toyCandidates(len(toyTruth))
+	pl, err := New(toyOptions(), len(toyTruth), cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	issued := make(map[int]bool)
+	for i := 0; ; i++ {
+		if i > 1000 {
+			t.Fatal("planner failed to terminate")
+		}
+		batch, err := pl.NextBatch(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		for _, ci := range batch {
+			if issued[ci] {
+				t.Fatalf("candidate %d issued twice", ci)
+			}
+			issued[ci] = true
+			pl.Fail(ci)
+		}
+	}
+	st := pl.Stats()
+	if st.Failed != len(cands) || st.Measured != 0 {
+		t.Fatalf("all candidates failed, stats %+v", st)
+	}
+}
+
+func TestPlannerConvergesWithPairsOnly(t *testing.T) {
+	// No anchors: the surviving set retains mirror/translation symmetry,
+	// but symmetric placements predict identically, so the planner must
+	// still converge — with more than one survivor.
+	var cands []Candidate
+	for src := 0; src < len(toyTruth); src++ {
+		for dst := 0; dst < len(toyTruth); dst++ {
+			if src != dst {
+				cands = append(cands, Candidate{Kind: KindPair, SrcCHA: src, DstCHA: dst, SrcCPU: src, DstCPU: dst})
+			}
+		}
+	}
+	pl, err := New(Options{Rows: 3, Cols: 3}, len(toyTruth), cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, pl, toyTruth)
+	st := pl.Stats()
+	if !st.Converged || st.Fallback {
+		t.Fatalf("pairs-only survey did not converge: %+v", st)
+	}
+	if st.Ambiguity < 2 {
+		t.Fatalf("anchor-free survey cannot be unambiguous, got %d survivors", st.Ambiguity)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Rows: 0, Cols: 3}, 2, nil); cmerr.ClassOf(err) != cmerr.Permanent {
+		t.Errorf("bad grid accepted: %v", err)
+	}
+	if _, err := New(Options{Rows: 2, Cols: 2}, 5, nil); cmerr.ClassOf(err) != cmerr.Permanent {
+		t.Errorf("overfull grid accepted: %v", err)
+	}
+	if _, err := New(Options{Rows: 2, Cols: 2}, 2, []Candidate{{Kind: KindPair, SrcCHA: 0, DstCHA: 7}}); cmerr.ClassOf(err) != cmerr.Permanent {
+		t.Errorf("out-of-range destination accepted: %v", err)
+	}
+	if _, err := New(Options{Rows: 2, Cols: 2}, 2, []Candidate{{Kind: KindMemory, SrcCHA: -1, DstCHA: 0, IMC: 0}}); cmerr.ClassOf(err) != cmerr.Permanent {
+		t.Errorf("unknown IMC accepted: %v", err)
+	}
+	if _, err := New(Options{Rows: 2, Cols: 2}, 2, []Candidate{{Kind: KindPair, SrcCHA: -1, DstCHA: 0}}); cmerr.ClassOf(err) != cmerr.Permanent {
+		t.Errorf("negative pair source accepted: %v", err)
+	}
+}
+
+func TestKindOp(t *testing.T) {
+	want := map[Kind]string{KindPair: "pair", KindSlice: "slice", KindRequest: "request", KindMemory: "memory"}
+	for k, s := range want {
+		if k.Op() != s {
+			t.Errorf("Kind(%d).Op() = %q, want %q", k, k.Op(), s)
+		}
+	}
+}

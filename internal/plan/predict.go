@@ -1,0 +1,165 @@
+package plan
+
+// Exact observation prediction. The mesh routes traffic dimension-order,
+// Y then X: a flow from src to dst travels vertically in src's column
+// down to dst's row, then horizontally in dst's row to dst's column, and
+// every *receiving* tile on that route charges the matching ring ingress
+// counter (the corner tile at (dst.Row, src.Col) is charged vertical —
+// it receives from the vertical ring). classify answers, for a single
+// tile, which counter a given flow lights up; predictKey folds that over
+// all CHAs of a placement into a comparable byte key.
+//
+// consistent is deliberately NOT prediction equality. It mirrors, row
+// for row, the linear constraints locate.addObservation derives from an
+// observation — a necessary-but-not-sufficient encoding (it never
+// forbids an on-path tile missing from an observer list). Filtering
+// survivors by this weaker test keeps the surviving set a superset of
+// the final ILP's feasible region, which the byte-identity argument in
+// the package comment depends on. Keep it in lockstep with
+// locate.addObservation.
+
+import "coremap/internal/mesh"
+
+// channel identifies which ingress counter a tile charges for a flow.
+type channel byte
+
+const (
+	chanNone channel = iota
+	chanUp
+	chanDown
+	chanHorz
+)
+
+// classify reports which counter the tile at t charges for a flow routed
+// src → dst, or chanNone when t is not a receiving tile of the route.
+func classify(src, dst, t mesh.Coord) channel {
+	if t.Col == src.Col {
+		// Vertical segment in src's column, receiving tiles only (src
+		// itself transmits, it never receives). The corner tile at
+		// dst.Row is charged here, not on the horizontal segment.
+		if dst.Row < src.Row && t.Row >= dst.Row && t.Row < src.Row {
+			return chanUp
+		}
+		if dst.Row > src.Row && t.Row > src.Row && t.Row <= dst.Row {
+			return chanDown
+		}
+		return chanNone
+	}
+	if t.Row != dst.Row {
+		return chanNone
+	}
+	// Horizontal segment in dst's row, strictly past the turn column.
+	if dst.Col > src.Col && t.Col > src.Col && t.Col <= dst.Col {
+		return chanHorz
+	}
+	if dst.Col < src.Col && t.Col < src.Col && t.Col >= dst.Col {
+		return chanHorz
+	}
+	return chanNone
+}
+
+// routeEndpoints resolves a candidate's source and destination die
+// coordinates under placement p.
+func (pl *Planner) routeEndpoints(c Candidate, p []mesh.Coord) (src, dst mesh.Coord) {
+	if c.Kind == KindMemory {
+		src = pl.opts.IMCPositions[c.IMC]
+	} else {
+		src = p[c.SrcCHA]
+	}
+	return src, p[c.DstCHA]
+}
+
+// predictKey renders candidate c's predicted observation under placement
+// p as a byte key: for each CHA in ascending order that would observe
+// the flow, the pair (channel, CHA). Ascending order matches the order
+// probe's counter sweep reports observers in, so two placements share a
+// key exactly when the experiment cannot tell them apart. The returned
+// slice is planner-owned scratch, valid until the next call.
+func (pl *Planner) predictKey(c Candidate, p []mesh.Coord) []byte {
+	src, dst := pl.routeEndpoints(c, p)
+	key := pl.keyBuf[:0]
+	for k := 0; k < pl.numCHA; k++ {
+		if ch := classify(src, dst, p[k]); ch != chanNone {
+			key = append(key, byte(ch), byte(k))
+		}
+	}
+	pl.keyBuf = key
+	return key
+}
+
+// srcGap returns the minimum column distance between a horizontal
+// observer and the flow's source column, matching locate's encoding
+// (the turn tile is charged vertical, so observers sit strictly past
+// the source column — unless PaperExactBounds relaxes it to the paper's
+// literal inequalities).
+func (pl *Planner) srcGap() int {
+	if pl.opts.PaperExactBounds {
+		return 0
+	}
+	return 1
+}
+
+// horzFeasible reports whether the horizontal observers of an
+// observation admit at least one direction of travel: either every
+// observer sits east of the source column and (destination aside) west
+// of the destination column, or the mirror. This is the big-M
+// disjunction of locate.addObservation with the binaries evaluated on a
+// concrete placement.
+func horzFeasible(src, dst mesh.Coord, horz []int, dstCHA, srcGap int, at func(int) mesh.Coord) bool {
+	east, west := true, true
+	for _, k := range horz {
+		t := at(k)
+		if t.Col < src.Col+srcGap {
+			east = false
+		}
+		if t.Col > src.Col-srcGap {
+			west = false
+		}
+		if k != dstCHA {
+			if t.Col > dst.Col-1 {
+				east = false
+			}
+			if t.Col < dst.Col+1 {
+				west = false
+			}
+		}
+		if !east && !west {
+			return false
+		}
+	}
+	return east || west
+}
+
+// consistent reports whether placement p satisfies every linear row
+// locate.addObservation would derive from observation o. See the file
+// comment: this is constraint consistency, not prediction equality.
+func (pl *Planner) consistent(o Observation, p []mesh.Coord) bool {
+	var src mesh.Coord
+	if o.Anchored {
+		src = pl.opts.IMCPositions[o.SrcIMC]
+	} else {
+		src = p[o.SrcCHA]
+	}
+	dst := p[o.DstCHA]
+	for _, k := range o.Up {
+		t := p[k]
+		if t.Col != src.Col || src.Row-t.Row < 1 || t.Row < dst.Row {
+			return false
+		}
+	}
+	for _, k := range o.Down {
+		t := p[k]
+		if t.Col != src.Col || t.Row-src.Row < 1 || t.Row > dst.Row {
+			return false
+		}
+	}
+	if len(o.Horz) == 0 {
+		return true
+	}
+	for _, k := range o.Horz {
+		if p[k].Row != dst.Row {
+			return false
+		}
+	}
+	return horzFeasible(src, dst, o.Horz, o.DstCHA, pl.srcGap(), func(k int) mesh.Coord { return p[k] })
+}

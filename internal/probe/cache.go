@@ -110,6 +110,29 @@ func (p *Prober) optionsKey(buf []byte) []byte {
 	} {
 		buf = binary.AppendVarint(buf, v)
 	}
+	// A planned and an exhaustive survey measure different experiment
+	// subsets (and plan mode switches step 1 to the guided sweep), so the
+	// planner configuration is part of the content address.
+	if pc := o.Plan; pc != nil {
+		buf = append(buf, 1)
+		for _, v := range []int64{
+			int64(pc.Rows), int64(pc.Cols), int64(len(pc.IMCPositions)),
+		} {
+			buf = binary.AppendVarint(buf, v)
+		}
+		for _, c := range pc.IMCPositions {
+			buf = binary.AppendVarint(buf, int64(c.Row))
+			buf = binary.AppendVarint(buf, int64(c.Col))
+		}
+		for _, v := range []int64{
+			int64(pc.AmbiguityCap), int64(pc.BatchSize), int64(pc.MaxNodes),
+			b2i(pc.PaperExactBounds),
+		} {
+			buf = binary.AppendVarint(buf, v)
+		}
+	} else {
+		buf = append(buf, 0)
+	}
 	return buf
 }
 

@@ -40,6 +40,7 @@ import (
 	"coremap/internal/hostif"
 	"coremap/internal/msr"
 	"coremap/internal/obs"
+	"coremap/internal/plan"
 	"coremap/internal/pmon"
 	"coremap/internal/pool"
 )
@@ -104,6 +105,15 @@ type Options struct {
 	// permanent experiment failure aborts the run with an error instead
 	// of degrading around the affected CPU or core pair.
 	FailFast bool
+	// Plan, when non-nil, runs the survey adaptively: step-2 experiments
+	// are issued in batches chosen by an internal/plan planner, which
+	// tracks the set of placements still consistent with the observations
+	// collected and stops as soon as no remaining experiment could
+	// distinguish them. The resulting observation set reconstructs to a
+	// map byte-identical to the exhaustive sweep's at a fraction of the
+	// host operations. Step 1 switches to a guided first-match sweep at
+	// the same time. Nil (the default) keeps the exhaustive sweeps.
+	Plan *plan.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -240,7 +250,7 @@ type Prober struct {
 	ctx  context.Context
 	// reg is the telemetry registry of the current call's context; nil
 	// (a no-op registry) when the caller carries no telemetry.
-	reg *obs.Registry
+	reg  *obs.Registry
 	opts Options
 	mon  *pmon.Monitor
 	rng  *rand.Rand
@@ -681,6 +691,9 @@ func (p *Prober) mapCoresToCHAs() ([]int, []Failure, error) {
 			return nil, nil, err
 		}
 	}
+	if p.opts.Plan != nil {
+		return p.mapCoresGuided()
+	}
 	var failures []Failure
 	mapping := make([]int, p.host.NumCPUs())
 	for cpu := range mapping {
@@ -714,6 +727,69 @@ func (p *Prober) mapCoresToCHAs() ([]int, []Failure, error) {
 				// No host fault explains the miss: this is a measurement-
 				// quality failure (noise past the thresholds), which
 				// degradation cannot repair. Keep the strict contract.
+				return nil, nil, err
+			}
+			failures = append(failures, Failure{
+				Op: "core-to-cha", CPU: cpu, SrcCHA: -1, DstCHA: -1, Err: opErr.Error(),
+			})
+		}
+	}
+	for _, cha := range mapping {
+		if cha >= 0 {
+			p.reg.Counter("probe/step1/mapped").Inc()
+		} else {
+			p.reg.Counter("probe/step1/unmapped").Inc()
+		}
+	}
+	return mapping, failures, nil
+}
+
+// mapCoresGuided is plan-mode step 1. The exhaustive sweep tests every
+// (cpu, CHA) combination — n² co-location tests — because it doubles as
+// the verifier for the one-CHA-per-core invariant. The guided sweep
+// instead stops each CPU at its first match, skips CHAs already claimed
+// by an earlier CPU, and starts each scan at the CHA after the previous
+// match (CPU enumeration order tends to follow the die layout, so the
+// next match is usually adjacent). It assumes one CPU per tile (no SMT
+// siblings sharing a CHA) and gives up double-co-location detection —
+// the exhaustive sweep remains the verifier for that invariant — in
+// exchange for a near-n reduction in tests on cooperative orderings.
+// The degradation contract matches the exhaustive sweep: host faults
+// leave the CPU unmapped and recorded, a fault-free miss stays a strict
+// error.
+func (p *Prober) mapCoresGuided() ([]int, []Failure, error) {
+	var failures []Failure
+	mapping := make([]int, p.host.NumCPUs())
+	claimed := make([]bool, p.mon.NumCHA)
+	start := 0
+	for cpu := range mapping {
+		p.progress("core-to-cha", cpu, len(mapping))
+		mapping[cpu] = -1
+		var opErr error
+		for i := 0; i < p.mon.NumCHA; i++ {
+			cha := (start + i) % p.mon.NumCHA
+			if claimed[cha] {
+				continue
+			}
+			same, err := p.coLocated(cpu, cha)
+			if err != nil {
+				if cmerr.IsInterrupted(err) || p.opts.FailFast {
+					return nil, nil, err
+				}
+				opErr = err
+				continue
+			}
+			if same {
+				mapping[cpu] = cha
+				claimed[cha] = true
+				start = cha + 1
+				break
+			}
+		}
+		if mapping[cpu] == -1 {
+			err := cmerr.New(cmerr.Permanent, stage, "cpu %d matched no CHA", cpu).
+				OnCPU(cpu).WithOp("co-locate")
+			if opErr == nil {
 				return nil, nil, err
 			}
 			failures = append(failures, Failure{
@@ -1021,11 +1097,34 @@ func (p *Prober) RunWith(ctx context.Context, ro RunOptions) (res *Result, err e
 	return res.clone(), nil
 }
 
+// runWith dispatches one uncached survey to the exhaustive or planned
+// step-2 collector and publishes probe/ops_per_map — the host operations
+// this map cost, the metric the adaptive planner exists to shrink.
 func (p *Prober) runWith(ppin uint64, ro RunOptions) (*Result, error) {
-	mapping, failures, err := p.runStep1()
-	if err != nil {
-		return nil, err
+	before := p.reg.Snapshot()
+	var res *Result
+	var err error
+	if p.opts.Plan != nil {
+		res, err = p.runPlanned(ppin, ro)
+	} else {
+		res, err = p.runExhaustive(ppin, ro)
 	}
+	if res != nil {
+		ops := p.reg.Snapshot().Sub(before).Total("host/ops/")
+		p.reg.Gauge("probe/ops_per_map").Set(int64(ops))
+	}
+	return res, err
+}
+
+// expFunc runs one planned measurement and reports whether an
+// observation was recorded (false: skipped or degraded-around failure);
+// a non-nil error aborts the run.
+type expFunc func(op string, cpu, srcCHA, dstCHA int, skip bool, run func() (Observation, error)) (bool, error)
+
+// initRun builds the Result shell shared by both collectors and the
+// experiment closure that funnels every measurement through the
+// degradation contract.
+func (p *Prober) initRun(ppin uint64, mapping []int, failures []Failure) (*Result, expFunc) {
 	res := &Result{
 		PPIN:     ppin,
 		NumCHA:   p.mon.NumCHA,
@@ -1059,26 +1158,47 @@ func (p *Prober) runWith(ppin uint64, ro RunOptions) (*Result, error) {
 	completed := p.reg.Counter("probe/experiments/completed")
 	failed := p.reg.Counter("probe/experiments/failed")
 	skipped := p.reg.Counter("probe/experiments/skipped")
-	experiment := func(op string, cpu, srcCHA, dstCHA int, skip bool, run func() (Observation, error)) error {
+	experiment := func(op string, cpu, srcCHA, dstCHA int, skip bool, run func() (Observation, error)) (bool, error) {
 		res.Planned++
 		planned.Inc()
 		if skip {
 			skipped.Inc()
-			return nil
+			return false, nil
 		}
 		obs, err := run()
 		if err != nil {
 			if ferr := fail(op, cpu, srcCHA, dstCHA, err); ferr != nil {
-				return ferr
+				return false, ferr
 			}
 			failed.Inc()
-			return nil
+			return false, nil
 		}
 		res.Completed++
 		completed.Inc()
 		res.Observations = append(res.Observations, obs)
-		return nil
+		return true, nil
 	}
+	return res, experiment
+}
+
+// finishRun applies the shared degradation/coverage tail of a survey.
+func (p *Prober) finishRun(res *Result) error {
+	res.Degraded = len(res.Failures) > 0 || res.Completed < res.Planned
+	p.reg.Gauge("probe/coverage_permille").Set(int64(res.Coverage() * 1000))
+	if f := p.opts.MinCoverage; f > 0 && res.Coverage() < f {
+		return cmerr.New(cmerr.Degraded, stage,
+			"experiment coverage %.3f below floor %.3f (%d/%d completed, %d failures)",
+			res.Coverage(), f, res.Completed, res.Planned, len(res.Failures))
+	}
+	return nil
+}
+
+func (p *Prober) runExhaustive(ppin uint64, ro RunOptions) (*Result, error) {
+	mapping, failures, err := p.runStep1()
+	if err != nil {
+		return nil, err
+	}
+	res, experiment := p.initRun(ppin, mapping, failures)
 
 	n := len(mapping)
 	for src := 0; src < n; src++ {
@@ -1089,7 +1209,7 @@ func (p *Prober) runWith(ppin uint64, ro RunOptions) (*Result, error) {
 			}
 			srcCHA, sinkCHA := mapping[src], mapping[sink]
 			src, sink := src, sink
-			err := experiment("pair", src, srcCHA, sinkCHA, srcCHA < 0 || sinkCHA < 0,
+			_, err := experiment("pair", src, srcCHA, sinkCHA, srcCHA < 0 || sinkCHA < 0,
 				func() (Observation, error) { return p.measureTraffic(src, sink, srcCHA, sinkCHA) })
 			if err != nil {
 				return nil, err
@@ -1100,12 +1220,12 @@ func (p *Prober) runWith(ppin uint64, ro RunOptions) (*Result, error) {
 		for _, sliceCHA := range res.LLCOnlyCHAs() {
 			for cpu, coreCHA := range mapping {
 				sliceCHA, cpu, coreCHA := sliceCHA, cpu, coreCHA
-				err := experiment("slice", cpu, sliceCHA, coreCHA, coreCHA < 0,
+				_, err := experiment("slice", cpu, sliceCHA, coreCHA, coreCHA < 0,
 					func() (Observation, error) { return p.measureSliceTraffic(cpu, coreCHA, sliceCHA) })
 				if err != nil {
 					return nil, err
 				}
-				err = experiment("request", cpu, coreCHA, sliceCHA, coreCHA < 0,
+				_, err = experiment("request", cpu, coreCHA, sliceCHA, coreCHA < 0,
 					func() (Observation, error) { return p.measureRequestTraffic(cpu, coreCHA, sliceCHA) })
 				if err != nil {
 					return nil, err
@@ -1116,21 +1236,161 @@ func (p *Prober) runWith(ppin uint64, ro RunOptions) (*Result, error) {
 	for imc := 0; imc < ro.NumIMCs; imc++ {
 		for cpu, coreCHA := range mapping {
 			imc, cpu, coreCHA := imc, cpu, coreCHA
-			err := experiment("memory", cpu, -1, coreCHA, coreCHA < 0,
+			_, err := experiment("memory", cpu, -1, coreCHA, coreCHA < 0,
 				func() (Observation, error) { return p.measureMemoryTraffic(cpu, coreCHA, imc, ro.NumIMCs) })
 			if err != nil {
 				return nil, err
 			}
 		}
 	}
-	res.Degraded = len(res.Failures) > 0 || res.Completed < res.Planned
-	p.reg.Gauge("probe/coverage_permille").Set(int64(res.Coverage() * 1000))
-	if f := p.opts.MinCoverage; f > 0 && res.Coverage() < f {
-		return res, cmerr.New(cmerr.Degraded, stage,
-			"experiment coverage %.3f below floor %.3f (%d/%d completed, %d failures)",
-			res.Coverage(), f, res.Completed, res.Planned, len(res.Failures))
+	if err := p.finishRun(res); err != nil {
+		return res, err
 	}
 	return res, nil
+}
+
+// runPlanned is the adaptive step-2 collector. It builds the same
+// candidate pool the exhaustive sweep would walk — in the same order, so
+// pool indices are a deterministic tie-break — skip-counts unmapped
+// combinations identically, and then lets the planner choose which
+// candidates to measure. Candidates the planner never issues are simply
+// absent from Result.Planned: coverage remains "completed / attempted",
+// and plan/skipped records how much of the exhaustive sweep was avoided.
+func (p *Prober) runPlanned(ppin uint64, ro RunOptions) (*Result, error) {
+	mapping, failures, err := p.runStep1()
+	if err != nil {
+		return nil, err
+	}
+	res, experiment := p.initRun(ppin, mapping, failures)
+
+	var cands []plan.Candidate
+	n := len(mapping)
+	for src := 0; src < n; src++ {
+		for sink := 0; sink < n; sink++ {
+			if src == sink {
+				continue
+			}
+			srcCHA, sinkCHA := mapping[src], mapping[sink]
+			if srcCHA < 0 || sinkCHA < 0 {
+				if _, err := experiment("pair", src, srcCHA, sinkCHA, true, nil); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			cands = append(cands, plan.Candidate{
+				Kind: plan.KindPair, SrcCHA: srcCHA, DstCHA: sinkCHA, SrcCPU: src, DstCPU: sink,
+			})
+		}
+	}
+	if ro.SliceSources {
+		for _, sliceCHA := range res.LLCOnlyCHAs() {
+			for cpu, coreCHA := range mapping {
+				if coreCHA < 0 {
+					if _, err := experiment("slice", cpu, sliceCHA, coreCHA, true, nil); err != nil {
+						return nil, err
+					}
+					if _, err := experiment("request", cpu, coreCHA, sliceCHA, true, nil); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				cands = append(cands,
+					plan.Candidate{Kind: plan.KindSlice, SrcCHA: sliceCHA, DstCHA: coreCHA, SrcCPU: -1, DstCPU: cpu},
+					plan.Candidate{Kind: plan.KindRequest, SrcCHA: coreCHA, DstCHA: sliceCHA, SrcCPU: cpu, DstCPU: -1})
+			}
+		}
+	}
+	for imc := 0; imc < ro.NumIMCs; imc++ {
+		for cpu, coreCHA := range mapping {
+			if coreCHA < 0 {
+				if _, err := experiment("memory", cpu, -1, coreCHA, true, nil); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			cands = append(cands, plan.Candidate{
+				Kind: plan.KindMemory, SrcCHA: -1, DstCHA: coreCHA, IMC: imc, SrcCPU: -1, DstCPU: cpu,
+			})
+		}
+	}
+
+	pm, err := plan.New(*p.opts.Plan, p.mon.NumCHA, cands)
+	if err != nil {
+		return nil, err
+	}
+	round := 0
+	for {
+		batch, err := pm.NextBatch(p.ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(batch) == 0 {
+			break
+		}
+		p.progress("planned-traffic", round, round+1)
+		round++
+		for _, ci := range batch {
+			done, err := p.runCandidate(experiment, pm.Candidate(ci), ro)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				pm.Observe(ci, planObservation(res.Observations[len(res.Observations)-1]))
+			} else {
+				pm.Fail(ci)
+			}
+		}
+	}
+	st := pm.Stats()
+	p.reg.Gauge("plan/rounds").Set(int64(st.Rounds))
+	p.reg.Gauge("plan/enumerations").Set(int64(st.Enumerations))
+	p.reg.Gauge("plan/measured").Set(int64(st.Measured))
+	p.reg.Gauge("plan/skipped").Set(int64(st.Skipped))
+	p.reg.Gauge("plan/ambiguity").Set(int64(st.Ambiguity))
+	p.reg.Gauge("plan/converged").Set(b2g(st.Converged))
+	p.reg.Gauge("plan/fallback").Set(b2g(st.Fallback))
+	if err := p.finishRun(res); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+func b2g(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// runCandidate executes one planner-issued candidate through the shared
+// experiment path, with the same op labels, failure records and
+// measurement calls as the exhaustive sweep.
+func (p *Prober) runCandidate(experiment expFunc, c plan.Candidate, ro RunOptions) (bool, error) {
+	switch c.Kind {
+	case plan.KindPair:
+		return experiment("pair", c.SrcCPU, c.SrcCHA, c.DstCHA, false,
+			func() (Observation, error) { return p.measureTraffic(c.SrcCPU, c.DstCPU, c.SrcCHA, c.DstCHA) })
+	case plan.KindSlice:
+		return experiment("slice", c.DstCPU, c.SrcCHA, c.DstCHA, false,
+			func() (Observation, error) { return p.measureSliceTraffic(c.DstCPU, c.DstCHA, c.SrcCHA) })
+	case plan.KindRequest:
+		return experiment("request", c.SrcCPU, c.SrcCHA, c.DstCHA, false,
+			func() (Observation, error) { return p.measureRequestTraffic(c.SrcCPU, c.SrcCHA, c.DstCHA) })
+	case plan.KindMemory:
+		return experiment("memory", c.DstCPU, -1, c.DstCHA, false,
+			func() (Observation, error) { return p.measureMemoryTraffic(c.DstCPU, c.DstCHA, c.IMC, ro.NumIMCs) })
+	}
+	return false, cmerr.New(cmerr.Permanent, stage, "unknown candidate kind %d", c.Kind)
+}
+
+// planObservation converts a recorded observation into the planner's
+// mirror type. The observer slices are shared read-only.
+func planObservation(o Observation) plan.Observation {
+	return plan.Observation{
+		SrcCHA: o.SrcCHA, DstCHA: o.DstCHA,
+		Anchored: o.Anchored, SrcIMC: o.SrcIMC,
+		Up: o.Up, Down: o.Down, Horz: o.Horz,
+	}
 }
 
 // runStep1 is mapCoresToCHAs routed through the step-1 cache when one is
