@@ -39,9 +39,13 @@ lint:
 ci: all race smoke lint
 
 # The CI smoke job: the full quick reproduction must exit 0 (this
-# includes plancompare, the adaptive-planner acceptance gate).
+# includes plancompare, the adaptive-planner acceptance gate, and the
+# mesh quick survey), then the ring and noc backends must each pass the
+# same quick-survey gate (exact, proven, deterministic placements).
 smoke:
 	go run ./cmd/experiments -exp all -quick
+	go run ./cmd/experiments -exp quick -topology ring
+	go run ./cmd/experiments -exp quick -topology noc
 
 # The planner acceptance gate alone: planned vs exhaustive survey on one
 # 8259CL instance — byte-identical map, ≤ 1/3 of the host operations.

@@ -46,7 +46,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // stagePackages are the packages whose loops must observe cancellation.
-var stagePackages = []string{"probe", "locate", "ilp", "experiments", "covert"}
+var stagePackages = []string{"probe", "locate", "ilp", "experiments", "covert", "topo", "meshroute", "meshtopo", "ring", "noc"}
 
 func run(pass *analysis.Pass) error {
 	isLibrary := pass.Pkg.Name() != "main"

@@ -46,7 +46,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // scopedPackages are the determinism-critical package names.
-var scopedPackages = []string{"ilp", "locate", "probe", "memo"}
+var scopedPackages = []string{"ilp", "locate", "probe", "memo", "topo", "meshroute", "meshtopo", "ring", "noc"}
 
 func run(pass *analysis.Pass) error {
 	if !analysis.PackageNameOneOf(pass, scopedPackages...) {

@@ -55,7 +55,7 @@ var sanctioned = []string{"hostif", "probe", "machine", "faulty"}
 
 // stagePackages are the pipeline stages whose wall-clock reads must go
 // through the injected obs.Clock.
-var stagePackages = []string{"probe", "ilp", "locate", "covert", "memo"}
+var stagePackages = []string{"probe", "ilp", "locate", "covert", "memo", "topo", "meshroute", "meshtopo", "ring", "noc"}
 
 // clockFuncs are the time package's wall-clock reads covered by the
 // injected-clock rule.

@@ -48,7 +48,7 @@ const poolPkg = "coremap/internal/pool"
 
 // stagePackages mirrors hostsafe's scope: the pipeline stages where
 // pooled state crossing a solve or sweep boundary would corrupt results.
-var stagePackages = []string{"probe", "ilp", "locate", "covert", "memo"}
+var stagePackages = []string{"probe", "ilp", "locate", "covert", "memo", "topo", "meshroute", "meshtopo", "ring", "noc"}
 
 func run(pass *analysis.Pass) error {
 	if !analysis.PackageNameOneOf(pass, stagePackages...) {

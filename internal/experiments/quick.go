@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+
+	"coremap/internal/cmerr"
+	"coremap/internal/obs"
+	"coremap/internal/topo"
+	// Link the full backend roster so Config.Topology resolves by name.
+	_ "coremap/internal/topo/backends"
+)
+
+// QuickResult is one backend quick survey with its CI verdicts.
+type QuickResult struct {
+	// Survey is the first run's outcome (measurement counts, placement,
+	// exactness, render).
+	Survey *topo.SurveyResult
+	// Deterministic reports that a second survey with the same seed
+	// reproduced the first byte for byte.
+	Deterministic bool
+}
+
+// Quick runs the topology-backend smoke survey: one seeded instance of
+// Config.Topology's default SKU through the backend's full
+// measure-emit-solve pipeline, then the same instance again to prove the
+// run deterministic. The CI smoke matrix drives this per backend; the
+// gate is Exact && Optimal && Deterministic.
+func Quick(ctx context.Context, cfg Config) (_ *QuickResult, err error) {
+	cfg = cfg.withDefaults()
+	name := cfg.Topology
+	if name == "" {
+		name = topo.KindMesh.String()
+	}
+	ctx, span := obs.Start(ctx, "experiments/quick")
+	span.SetAttrStr("topology", name)
+	defer func() { span.End(err) }()
+
+	b, err := topo.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	first, err := b.QuickSurvey(ctx, "", cfg.Seed)
+	if err != nil {
+		return nil, cmerr.Ensure(cmerr.Permanent, "experiments", err)
+	}
+	again, err := b.QuickSurvey(ctx, "", cfg.Seed)
+	if err != nil {
+		return nil, cmerr.Ensure(cmerr.Permanent, "experiments", err)
+	}
+	res := &QuickResult{
+		Survey:        first,
+		Deterministic: reflect.DeepEqual(first, again),
+	}
+	cfg.printf("Quick survey: topology=%s sku=%s seed=%d\n", first.Backend, first.SKU, cfg.Seed)
+	cfg.printf("  agents=%d observations=%d host_ops=%d\n", first.Agents, first.Observations, first.HostOps)
+	cfg.printf("  exact=%v optimal=%v deterministic=%v\n", first.Exact, first.Optimal, res.Deterministic)
+	cfg.printf("%s", first.Rendered)
+	return res, nil
+}

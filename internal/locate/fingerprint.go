@@ -28,11 +28,14 @@ import (
 //
 // fingerprintVersion is baked into the digest; bump it whenever the
 // encoding or the reconstruction semantics change so stale processes
-// cannot alias old entries.
-const fingerprintVersion = 1
+// cannot alias old entries. Version 2 added the topology-backend
+// discriminator (Input.Backend) to the header, so entries can never
+// alias across interconnect substrates.
+const fingerprintVersion = 2
 
-// canonicalInput splits a problem into its canonical header (grid
-// dimensions plus the Options fields that can change the reconstruction)
+// canonicalInput splits a problem into its canonical header (topology
+// backend and grid dimensions plus the Options fields that can change
+// the reconstruction)
 // and its sorted, self-contained observation records. The cache's
 // superset index compares problems componentwise: same header, record
 // multiset inclusion. Options.NoWarmStart is excluded like Workers — the
@@ -42,6 +45,7 @@ func canonicalInput(in Input, opts Options) (header []byte, recs [][]byte) {
 		header = binary.AppendVarint(header, v)
 	}
 	u(fingerprintVersion)
+	u(int64(in.Backend))
 	u(int64(in.NumCHA))
 	u(int64(in.Rows))
 	u(int64(in.Cols))

@@ -34,6 +34,7 @@ import (
 	"coremap/internal/mesh"
 	"coremap/internal/obs"
 	"coremap/internal/probe"
+	"coremap/internal/topo"
 )
 
 // bigM nullifies guarded constraints; any value exceeding every possible
@@ -42,6 +43,15 @@ const bigM = 64
 
 // Input is the reconstruction problem.
 type Input struct {
+	// Backend is the interconnect substrate the observations were
+	// measured on. The constraint emitter below is the mesh backend's
+	// (Y-then-X routing, ring-ingress observers, NE/NW nullifiers);
+	// Reconstruct rejects any other kind — the ring and noc backends
+	// own their emitters (internal/topo/ring, internal/topo/noc). The
+	// field still participates in Fingerprint so cache entries can
+	// never alias across substrates. The zero value is topo.KindMesh,
+	// keeping pre-refactor call sites unchanged.
+	Backend topo.Kind
 	// NumCHA is the number of tiles to place (every active CHA).
 	NumCHA int
 	// Rows and Cols are the die tile-grid dimensions T_h × T_w, known
@@ -419,6 +429,11 @@ func (b *builder) branchOrder() []ilp.Var {
 // placement existed, it is returned as a best-effort Map alongside an
 // ErrInterrupted error.
 func Reconstruct(ctx context.Context, in Input, opts Options) (*Map, error) {
+	if in.Backend != topo.KindMesh {
+		return nil, cmerr.New(cmerr.Permanent, "locate",
+			"input carries %s observations; this emitter is mesh-only (the %s backend owns its own)",
+			in.Backend, in.Backend)
+	}
 	if in.NumCHA <= 0 || in.Rows <= 0 || in.Cols <= 0 {
 		return nil, cmerr.New(cmerr.Permanent, "locate", "invalid input %d CHAs on %dx%d", in.NumCHA, in.Rows, in.Cols)
 	}

@@ -240,8 +240,12 @@ func (g *Grid) Tiles(fn func(Coord, *Tile)) {
 }
 
 // FindCHA returns the coordinate of the tile with the given CHA ID, or
-// ok=false when no tile carries it.
+// ok=false when no tile carries it. Negative IDs never match: -1 is the
+// "no CHA" sentinel every tile starts with, not an identity.
 func (g *Grid) FindCHA(cha int) (Coord, bool) {
+	if cha < 0 {
+		return Coord{}, false
+	}
 	var found Coord
 	ok := false
 	g.Tiles(func(c Coord, t *Tile) {

@@ -16,9 +16,10 @@
 //   - a lean binary-free ILP over the row/column position variables whose
 //     bounded enumeration (ilp.Enumerate) materializes the surviving
 //     placement set once ambiguity drops under Options.AmbiguityCap;
-//   - an exact observation predictor mirroring the mesh's Y-then-X
-//     dimension-order routing, used to partition survivors by predicted
-//     outcome;
+//   - an exact observation predictor — the topology backend's routing
+//     model (Options.Predictor, defaulting to the mesh backend's
+//     Y-then-X dimension-order meshroute.Predictor) — used to partition
+//     survivors by predicted outcome;
 //   - a per-observation consistency check mirroring the constraint
 //     encoding of locate.addObservation, used to filter survivors
 //     incrementally as measurements arrive.
@@ -49,6 +50,8 @@ import (
 	"coremap/internal/cmerr"
 	"coremap/internal/ilp"
 	"coremap/internal/mesh"
+	"coremap/internal/topo"
+	"coremap/internal/topo/meshroute"
 )
 
 // stage tags every error this package classifies.
@@ -139,6 +142,13 @@ type Options struct {
 	// the reconstruction will use, so the planner's consistency check
 	// mirrors the solver's constraint encoding exactly.
 	PaperExactBounds bool
+	// Predictor is the topology backend's observation model the planner
+	// partitions survivors with. nil selects the mesh backend's
+	// meshroute.Predictor — the Y-then-X dimension-order model the
+	// pre-refactor planner computed in-package — which is the only
+	// predictor whose constraint mirror (consistent) matches
+	// locate.addObservation; other backends run their own surveys.
+	Predictor topo.Predictor
 }
 
 // Defaults for the zero Options fields.
@@ -161,6 +171,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxNodes <= 0 {
 		o.MaxNodes = DefaultMaxNodes
+	}
+	if o.Predictor == nil {
+		o.Predictor = meshroute.Predictor{}
 	}
 	return o
 }

@@ -7,52 +7,9 @@ import (
 
 	"coremap/internal/cmerr"
 	"coremap/internal/mesh"
+	"coremap/internal/topo"
+	"coremap/internal/topo/meshroute"
 )
-
-func TestClassifyRoutes(t *testing.T) {
-	src := mesh.Coord{Row: 2, Col: 1}
-	dst := mesh.Coord{Row: 0, Col: 3}
-	cases := []struct {
-		t    mesh.Coord
-		want channel
-	}{
-		{mesh.Coord{Row: 1, Col: 1}, chanUp},   // vertical segment
-		{mesh.Coord{Row: 0, Col: 1}, chanUp},   // corner tile is vertical
-		{mesh.Coord{Row: 0, Col: 2}, chanHorz}, // horizontal segment
-		{mesh.Coord{Row: 0, Col: 3}, chanHorz}, // destination tile
-		{mesh.Coord{Row: 2, Col: 1}, chanNone}, // source transmits, never receives
-		{mesh.Coord{Row: 2, Col: 2}, chanNone}, // off-route
-		{mesh.Coord{Row: 1, Col: 3}, chanNone}, // dst column, wrong row
-		{mesh.Coord{Row: 0, Col: 0}, chanNone}, // behind the turn
-	}
-	for _, c := range cases {
-		if got := classify(src, dst, c.t); got != c.want {
-			t.Errorf("classify(%v→%v, %v) = %d, want %d", src, dst, c.t, got, c.want)
-		}
-	}
-
-	// Downward and westward mirror.
-	src, dst = mesh.Coord{Row: 0, Col: 3}, mesh.Coord{Row: 2, Col: 1}
-	if got := classify(src, dst, mesh.Coord{Row: 1, Col: 3}); got != chanDown {
-		t.Errorf("down segment misclassified: %d", got)
-	}
-	if got := classify(src, dst, mesh.Coord{Row: 2, Col: 3}); got != chanDown {
-		t.Errorf("corner on down route misclassified: %d", got)
-	}
-	if got := classify(src, dst, mesh.Coord{Row: 2, Col: 2}); got != chanHorz {
-		t.Errorf("westward segment misclassified: %d", got)
-	}
-
-	// Pure vertical route: destination tile charges vertical.
-	src, dst = mesh.Coord{Row: 3, Col: 0}, mesh.Coord{Row: 1, Col: 0}
-	if got := classify(src, dst, dst); got != chanUp {
-		t.Errorf("pure-vertical destination misclassified: %d", got)
-	}
-	// Zero-length route (CHA sharing the IMC tile): no observers.
-	if got := classify(src, src, src); got != chanNone {
-		t.Errorf("zero-length route should have no observers: %d", got)
-	}
-}
 
 // toy is a 3x3 die with five CHAs and one IMC at (2,0).
 var toyTruth = []mesh.Coord{
@@ -95,12 +52,12 @@ func trueObs(pl *Planner, c Candidate, truth []mesh.Coord) Observation {
 		o.SrcIMC = c.IMC
 	}
 	for k := range truth {
-		switch classify(src, dst, truth[k]) {
-		case chanUp:
+		switch meshroute.Classify(src, dst, truth[k]) {
+		case topo.ChanUp:
 			o.Up = append(o.Up, k)
-		case chanDown:
+		case topo.ChanDown:
 			o.Down = append(o.Down, k)
-		case chanHorz:
+		case topo.ChanHorz:
 			o.Horz = append(o.Horz, k)
 		}
 	}

@@ -1,13 +1,13 @@
 package plan
 
-// Exact observation prediction. The mesh routes traffic dimension-order,
-// Y then X: a flow from src to dst travels vertically in src's column
-// down to dst's row, then horizontally in dst's row to dst's column, and
-// every *receiving* tile on that route charges the matching ring ingress
-// counter (the corner tile at (dst.Row, src.Col) is charged vertical —
-// it receives from the vertical ring). classify answers, for a single
-// tile, which counter a given flow lights up; predictKey folds that over
-// all CHAs of a placement into a comparable byte key.
+// Exact observation prediction. The planner does not compute routes
+// itself: Options.Predictor — the topology backend's observation model,
+// defaulting to the mesh backend's meshroute.Predictor — answers, for a
+// single tile, which counter a given flow lights up; predictKey folds
+// that over all CHAs of a placement into a comparable byte key. The
+// topo.Channel byte values are part of the key encoding, so the mesh
+// predictor keeps producing keys byte-identical to the pre-refactor
+// in-package classifier.
 //
 // consistent is deliberately NOT prediction equality. It mirrors, row
 // for row, the linear constraints locate.addObservation derives from an
@@ -18,45 +18,10 @@ package plan
 // the package comment depends on. Keep it in lockstep with
 // locate.addObservation.
 
-import "coremap/internal/mesh"
-
-// channel identifies which ingress counter a tile charges for a flow.
-type channel byte
-
-const (
-	chanNone channel = iota
-	chanUp
-	chanDown
-	chanHorz
+import (
+	"coremap/internal/mesh"
+	"coremap/internal/topo"
 )
-
-// classify reports which counter the tile at t charges for a flow routed
-// src → dst, or chanNone when t is not a receiving tile of the route.
-func classify(src, dst, t mesh.Coord) channel {
-	if t.Col == src.Col {
-		// Vertical segment in src's column, receiving tiles only (src
-		// itself transmits, it never receives). The corner tile at
-		// dst.Row is charged here, not on the horizontal segment.
-		if dst.Row < src.Row && t.Row >= dst.Row && t.Row < src.Row {
-			return chanUp
-		}
-		if dst.Row > src.Row && t.Row > src.Row && t.Row <= dst.Row {
-			return chanDown
-		}
-		return chanNone
-	}
-	if t.Row != dst.Row {
-		return chanNone
-	}
-	// Horizontal segment in dst's row, strictly past the turn column.
-	if dst.Col > src.Col && t.Col > src.Col && t.Col <= dst.Col {
-		return chanHorz
-	}
-	if dst.Col < src.Col && t.Col < src.Col && t.Col >= dst.Col {
-		return chanHorz
-	}
-	return chanNone
-}
 
 // routeEndpoints resolves a candidate's source and destination die
 // coordinates under placement p.
@@ -79,7 +44,7 @@ func (pl *Planner) predictKey(c Candidate, p []mesh.Coord) []byte {
 	src, dst := pl.routeEndpoints(c, p)
 	key := pl.keyBuf[:0]
 	for k := 0; k < pl.numCHA; k++ {
-		if ch := classify(src, dst, p[k]); ch != chanNone {
+		if ch := pl.opts.Predictor.Classify(src, dst, p[k]); ch != topo.ChanNone {
 			key = append(key, byte(ch), byte(k))
 		}
 	}

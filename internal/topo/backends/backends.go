@@ -1,0 +1,17 @@
+// Package backends registers every topology backend with the topo
+// registry. Binaries (and tests) that resolve backends by name import it
+// for side effects:
+//
+//	import _ "coremap/internal/topo/backends"
+//
+// The indirection exists so the backend packages stay independent —
+// meshtopo imports the root coremap pipeline, which must not be forced
+// on a program that only wants the ring solver — while flag-driven tools
+// still see the full roster.
+package backends
+
+import (
+	_ "coremap/internal/topo/meshtopo"
+	_ "coremap/internal/topo/noc"
+	_ "coremap/internal/topo/ring"
+)

@@ -1,0 +1,55 @@
+// Package meshroute is the mesh backend's routing/observation model: the
+// exact predictor for what a Y-then-X dimension-order-routed flow charges
+// at each tile. It was extracted verbatim from internal/plan so the
+// planner asks the topology backend for predictions instead of computing
+// mesh routes itself; the Channel byte values and the classification
+// logic are unchanged, which is what keeps the planner's predictKey byte
+// keys — and therefore the planned surveys — byte-identical to the
+// pre-refactor pipeline.
+package meshroute
+
+import (
+	"coremap/internal/mesh"
+	"coremap/internal/topo"
+)
+
+// Classify reports which counter the tile at t charges for a flow routed
+// src → dst, or topo.ChanNone when t is not a receiving tile of the
+// route. The mesh routes traffic dimension-order, Y then X: a flow
+// travels vertically in src's column down to dst's row, then
+// horizontally in dst's row to dst's column, and every *receiving* tile
+// on that route charges the matching ring ingress counter (the corner
+// tile at (dst.Row, src.Col) is charged vertical — it receives from the
+// vertical ring).
+func Classify(src, dst, t mesh.Coord) topo.Channel {
+	if t.Col == src.Col {
+		// Vertical segment in src's column, receiving tiles only (src
+		// itself transmits, it never receives). The corner tile at
+		// dst.Row is charged here, not on the horizontal segment.
+		if dst.Row < src.Row && t.Row >= dst.Row && t.Row < src.Row {
+			return topo.ChanUp
+		}
+		if dst.Row > src.Row && t.Row > src.Row && t.Row <= dst.Row {
+			return topo.ChanDown
+		}
+		return topo.ChanNone
+	}
+	if t.Row != dst.Row {
+		return topo.ChanNone
+	}
+	// Horizontal segment in dst's row, strictly past the turn column.
+	if dst.Col > src.Col && t.Col > src.Col && t.Col <= dst.Col {
+		return topo.ChanHorz
+	}
+	if dst.Col < src.Col && t.Col < src.Col && t.Col >= dst.Col {
+		return topo.ChanHorz
+	}
+	return topo.ChanNone
+}
+
+// Predictor is the stateless mesh predictor handed to the adaptive
+// planner (the default when plan.Options.Predictor is nil).
+type Predictor struct{}
+
+// Classify implements topo.Predictor.
+func (Predictor) Classify(src, dst, t mesh.Coord) topo.Channel { return Classify(src, dst, t) }

@@ -1,0 +1,84 @@
+package meshroute
+
+import (
+	"testing"
+
+	"coremap/internal/mesh"
+	"coremap/internal/topo"
+)
+
+func TestClassifyRoutes(t *testing.T) {
+	src := mesh.Coord{Row: 2, Col: 1}
+	dst := mesh.Coord{Row: 0, Col: 3}
+	cases := []struct {
+		t    mesh.Coord
+		want topo.Channel
+	}{
+		{mesh.Coord{Row: 1, Col: 1}, topo.ChanUp},   // vertical segment
+		{mesh.Coord{Row: 0, Col: 1}, topo.ChanUp},   // corner tile is vertical
+		{mesh.Coord{Row: 0, Col: 2}, topo.ChanHorz}, // horizontal segment
+		{mesh.Coord{Row: 0, Col: 3}, topo.ChanHorz}, // destination tile
+		{mesh.Coord{Row: 2, Col: 1}, topo.ChanNone}, // source transmits, never receives
+		{mesh.Coord{Row: 2, Col: 2}, topo.ChanNone}, // off-route
+		{mesh.Coord{Row: 1, Col: 3}, topo.ChanNone}, // dst column, wrong row
+		{mesh.Coord{Row: 0, Col: 0}, topo.ChanNone}, // behind the turn
+	}
+	for _, c := range cases {
+		if got := Classify(src, dst, c.t); got != c.want {
+			t.Errorf("Classify(%v→%v, %v) = %d, want %d", src, dst, c.t, got, c.want)
+		}
+	}
+
+	// Downward and westward mirror.
+	src, dst = mesh.Coord{Row: 0, Col: 3}, mesh.Coord{Row: 2, Col: 1}
+	if got := Classify(src, dst, mesh.Coord{Row: 1, Col: 3}); got != topo.ChanDown {
+		t.Errorf("down segment misclassified: %d", got)
+	}
+	if got := Classify(src, dst, mesh.Coord{Row: 2, Col: 3}); got != topo.ChanDown {
+		t.Errorf("corner on down route misclassified: %d", got)
+	}
+	if got := Classify(src, dst, mesh.Coord{Row: 2, Col: 2}); got != topo.ChanHorz {
+		t.Errorf("westward segment misclassified: %d", got)
+	}
+
+	// Pure vertical route: destination tile charges vertical.
+	src, dst = mesh.Coord{Row: 3, Col: 0}, mesh.Coord{Row: 1, Col: 0}
+	if got := Classify(src, dst, dst); got != topo.ChanUp {
+		t.Errorf("pure-vertical destination misclassified: %d", got)
+	}
+	// Zero-length route (CHA sharing the IMC tile): no observers.
+	if got := Classify(src, src, src); got != topo.ChanNone {
+		t.Errorf("zero-length route should have no observers: %d", got)
+	}
+}
+
+// TestChannelValuesPinned pins the topo.Channel byte values the planner's
+// predictKey encoding depends on: changing them would silently split the
+// planner's partition keys from the pre-refactor encoding.
+func TestChannelValuesPinned(t *testing.T) {
+	pins := []struct {
+		ch   topo.Channel
+		want byte
+	}{{topo.ChanNone, 0}, {topo.ChanUp, 1}, {topo.ChanDown, 2}, {topo.ChanHorz, 3}}
+	for _, p := range pins {
+		if byte(p.ch) != p.want {
+			t.Errorf("channel byte drifted: %d != %d", p.ch, p.want)
+		}
+	}
+}
+
+// TestPredictorMatchesClassify pins the interface wrapper to the free
+// function on every tile of a small grid.
+func TestPredictorMatchesClassify(t *testing.T) {
+	var pred Predictor
+	src := mesh.Coord{Row: 2, Col: 0}
+	dst := mesh.Coord{Row: 1, Col: 3}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			tile := mesh.Coord{Row: r, Col: c}
+			if pred.Classify(src, dst, tile) != Classify(src, dst, tile) {
+				t.Fatalf("predictor disagrees with Classify at %v", tile)
+			}
+		}
+	}
+}

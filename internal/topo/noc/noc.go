@@ -1,0 +1,412 @@
+// Package noc is the harvested-NoC topology backend: locating worker
+// tiles on an accelerator's network-on-chip, à la the Tenstorrent
+// Wormhole bring-up stacks. The die is a W×H tile grid served by two
+// unidirectional tori (noc0 routes +x then +y, noc1 routes −x then −y),
+// and the grid the software sees is *not* the physical one: the vendor
+// scrambles both axes through public physical↔NoC remap tables, and
+// harvesting fuses off entire physical rows per chip, so the live worker
+// set and its tile binding are chip-instance secrets.
+//
+// What is public: the remap tables (they ship in the driver), and the NoC
+// coordinates of the fixed-function anchor tiles (DRAM, Ethernet, PCIe —
+// they never move and never harvest). What is measurable: per-hop
+// latency, so a worker kernel that round-trips to an anchor yields the
+// unidirectional hop count (x-distance plus y-distance, each modulo the
+// torus). Each worker is measured against every anchor on both NoCs; the
+// anchor set is chosen so the six hop sums identify every cell of the
+// grid uniquely (the x-wrap boundaries of {0,2,4} and y-wrap boundaries
+// of {1,3,5} jointly split every (+1,−1) anti-diagonal, which a single
+// anchor's hop sums cannot).
+//
+// Reconstruction is a per-worker ILP: coordinate variables plus one wrap
+// binary and one distance variable per measured axis, fed to the
+// enumerating solver projected onto the coordinates — demanding exactly
+// one feasible cell is what turns "a placement" into "the placement".
+package noc
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"coremap/internal/cmerr"
+	"coremap/internal/ilp"
+	"coremap/internal/mesh"
+	"coremap/internal/obs"
+	"coremap/internal/topo"
+)
+
+// stage tags every error this package classifies.
+const stage = "noc"
+
+// NoC grid dimensions (tiles, both axes torus-wrapped).
+const (
+	W = 6
+	H = 7
+)
+
+// hopSamples is the number of latency samples per hop-count observation
+// (debug counters are cycle-exact; sampling is for the host-op ledger).
+const hopSamples = 3
+
+// Physical↔NoC coordinate scrambling tables, public from the driver.
+var (
+	PhysToNoCX = [W]int{0, 5, 1, 4, 2, 3}
+	PhysToNoCY = [H]int{0, 6, 1, 5, 2, 4, 3}
+)
+
+// nocToPhysX/Y are the inverses, derived once at init.
+var nocToPhysX [W]int
+var nocToPhysY [H]int
+
+func init() {
+	for p, n := range PhysToNoCX {
+		nocToPhysX[n] = p
+	}
+	for p, n := range PhysToNoCY {
+		nocToPhysY[n] = p
+	}
+}
+
+// Coord is a NoC-space tile coordinate.
+type Coord struct{ X, Y int }
+
+// Anchor is a fixed-function tile at a public NoC position.
+type Anchor struct {
+	Name string
+	Pos  Coord
+}
+
+// Anchors is the fixed-function roster. The positions are load-bearing:
+// x values {0,2,4} and y values {1,3,5} place wrap boundaries so the six
+// hop sums are globally unique (see the package comment).
+var Anchors = []Anchor{
+	{Name: "dram0", Pos: Coord{X: 0, Y: 1}},
+	{Name: "eth0", Pos: Coord{X: 2, Y: 3}},
+	{Name: "pcie0", Pos: Coord{X: 4, Y: 5}},
+}
+
+// SKU describes a harvest bin: how many physical rows are fused off.
+type SKU struct {
+	Name      string
+	Harvested int
+}
+
+// Catalog is the supported harvest-bin roster, named by live tile count
+// (full grid 42, minus 6 per harvested row).
+var Catalog = []*SKU{
+	{Name: "noc42", Harvested: 0},
+	{Name: "noc36", Harvested: 1},
+	{Name: "noc30", Harvested: 2},
+}
+
+// anchorPhysRow reports whether a physical row hosts an anchor tile
+// (fixed-function rows never harvest).
+func anchorPhysRow(py int) bool {
+	for _, a := range Anchors {
+		if nocToPhysY[a.Pos.Y] == py {
+			return true
+		}
+	}
+	return false
+}
+
+// Instance is one seeded chip: a harvest pattern plus a secret binding
+// of logical worker IDs to the surviving tiles.
+type Instance struct {
+	sku *SKU
+	// harvestedRows lists the fused-off physical rows, ascending.
+	harvestedRows []int
+	// workerPhys maps worker ID → physical tile, the ground truth.
+	workerPhys []mesh.Coord
+}
+
+// New builds a seeded instance of a catalog SKU.
+func New(sku *SKU, seed int64) *Instance {
+	h := fnv.New64a()
+	h.Write([]byte(sku.Name))
+	rng := rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+
+	var harvestable []int
+	for py := 0; py < H; py++ {
+		if !anchorPhysRow(py) {
+			harvestable = append(harvestable, py)
+		}
+	}
+	rows := make([]int, 0, sku.Harvested)
+	for _, i := range rng.Perm(len(harvestable))[:sku.Harvested] {
+		rows = append(rows, harvestable[i])
+	}
+	sort.Ints(rows)
+	in := &Instance{sku: sku, harvestedRows: rows}
+
+	anchorPhys := make(map[mesh.Coord]bool, len(Anchors))
+	for _, a := range Anchors {
+		anchorPhys[mesh.Coord{Row: nocToPhysY[a.Pos.Y], Col: nocToPhysX[a.Pos.X]}] = true
+	}
+	var tiles []mesh.Coord
+	for py := 0; py < H; py++ {
+		if in.rowHarvested(py) {
+			continue
+		}
+		for px := 0; px < W; px++ {
+			c := mesh.Coord{Row: py, Col: px}
+			if !anchorPhys[c] {
+				tiles = append(tiles, c)
+			}
+		}
+	}
+	in.workerPhys = make([]mesh.Coord, len(tiles))
+	for w, i := range rng.Perm(len(tiles)) {
+		in.workerPhys[w] = tiles[i]
+	}
+	return in
+}
+
+func (in *Instance) rowHarvested(py int) bool {
+	for _, r := range in.harvestedRows {
+		if r == py {
+			return true
+		}
+	}
+	return false
+}
+
+// Workers returns the live worker count.
+func (in *Instance) Workers() int { return len(in.workerPhys) }
+
+// TruePhys returns the ground-truth physical tile of a worker.
+func (in *Instance) TruePhys(w int) mesh.Coord { return in.workerPhys[w] }
+
+// nocCoord translates a physical tile through the scrambling tables.
+func nocCoord(c mesh.Coord) Coord {
+	return Coord{X: PhysToNoCX[c.Col], Y: PhysToNoCY[c.Row]}
+}
+
+// Observation is one hop-count measurement: worker ↔ anchor over one of
+// the unidirectional NoCs.
+type Observation struct {
+	Worker int
+	Anchor int
+	// Reverse selects noc1 (anchor-to-worker direction −x,−y); noc0
+	// (worker-to-anchor +x,+y) otherwise.
+	Reverse bool
+	// Hops is the measured unidirectional distance.
+	Hops int
+}
+
+// hops is the ground-truth torus distance for an observation.
+func (in *Instance) hops(o Observation) int {
+	wc := nocCoord(in.workerPhys[o.Worker])
+	ac := Anchors[o.Anchor].Pos
+	if o.Reverse {
+		return mod(ac.X-wc.X, W) + mod(ac.Y-wc.Y, H)
+	}
+	return mod(wc.X-ac.X, W) + mod(wc.Y-ac.Y, H)
+}
+
+func mod(a, m int) int { return ((a % m) + m) % m }
+
+// Measure runs the full campaign: every worker against every anchor on
+// both NoCs, in canonical (worker, anchor, direction) order.
+func (in *Instance) Measure(ctx context.Context) (obsList []Observation, hostOps int64, err error) {
+	for w := 0; w < len(in.workerPhys); w++ {
+		for a := range Anchors {
+			for _, rev := range []bool{false, true} {
+				if err := cmerr.FromContext(ctx, stage); err != nil {
+					return nil, hostOps, err
+				}
+				o := Observation{Worker: w, Anchor: a, Reverse: rev}
+				o.Hops = in.hops(o)
+				hostOps += hopSamples
+				obsList = append(obsList, o)
+			}
+		}
+	}
+	return obsList, hostOps, nil
+}
+
+// EmitConstraints is the NoC backend's ILP constraint emitter: it binds
+// one worker's hop-count observations to its coordinate variables. Each
+// observation contributes an axis-distance variable and a wrap binary
+// per axis: d = (X − ax) mod W linearizes as X − ax + W·k − d = 0 with
+// k ∈ {0,1} (the difference lies in (−W, W)), mirrored for the reverse
+// NoC, and the two axis distances sum to the measured hop count.
+func EmitConstraints(m *ilp.Model, x, y ilp.Var, obsList []Observation) {
+	for _, o := range obsList {
+		a := Anchors[o.Anchor].Pos
+		label := fmt.Sprintf("w%d_%s_rev%v", o.Worker, Anchors[o.Anchor].Name, o.Reverse)
+		dx := m.NewVar(label+"_dx", 0, W-1)
+		dy := m.NewVar(label+"_dy", 0, H-1)
+		kx := m.NewBinary(label + "_kx")
+		ky := m.NewBinary(label + "_ky")
+		sx, rhsX := int64(1), int64(a.X)
+		sy, rhsY := int64(1), int64(a.Y)
+		if o.Reverse {
+			sx, rhsX = -1, int64(-a.X)
+			sy, rhsY = -1, int64(-a.Y)
+		}
+		m.AddEq(label+"_x", []ilp.Term{ilp.T(sx, x), ilp.T(W, kx), ilp.T(-1, dx)}, rhsX)
+		m.AddEq(label+"_y", []ilp.Term{ilp.T(sy, y), ilp.T(H, ky), ilp.T(-1, dy)}, rhsY)
+		m.AddEq(label+"_sum", []ilp.Term{ilp.T(1, dx), ilp.T(1, dy)}, int64(o.Hops))
+	}
+}
+
+// SolveWorker reconstructs one worker's NoC coordinate from its
+// observations, demanding uniqueness: the enumerating solver projects
+// onto (X, Y) with a cap of two, so "more than one feasible cell" is
+// detected without counting them all.
+func SolveWorker(ctx context.Context, obsList []Observation) (c Coord, unique bool, err error) {
+	m := ilp.NewModel()
+	x := m.NewVar("X", 0, W-1)
+	y := m.NewVar("Y", 0, H-1)
+	EmitConstraints(m, x, y, obsList)
+	res, err := ilp.Enumerate(ctx, m, ilp.EnumOptions{Project: []ilp.Var{x, y}, Cap: 2})
+	if err != nil {
+		return Coord{}, false, err
+	}
+	if len(res.Solutions) == 0 {
+		return Coord{}, false, cmerr.New(cmerr.Permanent, stage, "observations admit no placement")
+	}
+	c = Coord{X: int(res.Solutions[0][0]), Y: int(res.Solutions[0][1])}
+	return c, res.Complete && len(res.Solutions) == 1, nil
+}
+
+// Solve reconstructs every worker's physical tile from a campaign.
+func Solve(ctx context.Context, workers int, obsList []Observation) (placement []mesh.Coord, optimal bool, err error) {
+	byWorker := make([][]Observation, workers)
+	for _, o := range obsList {
+		if o.Worker < 0 || o.Worker >= workers {
+			return nil, false, cmerr.New(cmerr.Permanent, stage, "observation references unknown worker %d", o.Worker)
+		}
+		byWorker[o.Worker] = append(byWorker[o.Worker], o)
+	}
+	placement = make([]mesh.Coord, workers)
+	optimal = true
+	for w, wo := range byWorker {
+		c, unique, err := SolveWorker(ctx, wo)
+		if err != nil {
+			return nil, false, cmerr.Ensure(cmerr.Permanent, stage, err)
+		}
+		placement[w] = mesh.Coord{Row: nocToPhysY[c.Y], Col: nocToPhysX[c.X]}
+		optimal = optimal && unique
+	}
+	return placement, optimal, nil
+}
+
+// Backend is the harvested-NoC topo.Backend.
+type Backend struct{}
+
+func init() { topo.Register(Backend{}) }
+
+// Kind implements topo.Backend.
+func (Backend) Kind() topo.Kind { return topo.KindNoC }
+
+// Name implements topo.Backend.
+func (Backend) Name() string { return "noc" }
+
+// Catalog implements topo.Backend.
+func (Backend) Catalog() []string {
+	names := make([]string, len(Catalog))
+	for i, s := range Catalog {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// DefaultSKU implements topo.Backend: the one-row-harvested bin, the
+// common production part.
+func (Backend) DefaultSKU() string { return "noc36" }
+
+// Predictor implements topo.Backend. The NoC campaign is a fixed six
+// observations per worker against public anchors — there is no pairwise
+// route model for the adaptive planner to predict.
+func (Backend) Predictor() topo.Predictor { return nil }
+
+// findSKU resolves a catalog name ("" = default).
+func findSKU(name string) (*SKU, error) {
+	if name == "" {
+		name = Backend{}.DefaultSKU()
+	}
+	for _, s := range Catalog {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, cmerr.New(cmerr.Permanent, stage, "unknown noc SKU %q (use noc42, noc36 or noc30)", name)
+}
+
+// QuickSurvey implements topo.Backend: one seeded chip measured against
+// the anchor roster, per-worker solved, scored against the secret
+// binding. Optimal reports that every worker's cell was proven unique.
+func (Backend) QuickSurvey(ctx context.Context, skuName string, seed int64) (_ *topo.SurveyResult, err error) {
+	ctx, span := obs.Start(ctx, "topo/quick-survey")
+	span.SetAttrStr("topology", "noc")
+	defer func() { span.End(err) }()
+	reg := obs.RegistryFrom(ctx)
+	reg.Counter("topo/surveys/noc").Inc()
+
+	sku, err := findSKU(skuName)
+	if err != nil {
+		return nil, err
+	}
+	span.SetAttrStr("sku", sku.Name)
+	in := New(sku, seed)
+	obsList, hostOps, err := in.Measure(ctx)
+	if err != nil {
+		return nil, err
+	}
+	reg.Gauge("topo/survey/noc/host_ops").Set(hostOps)
+	placement, optimal, err := Solve(ctx, in.Workers(), obsList)
+	if err != nil {
+		return nil, err
+	}
+
+	exact := true
+	for w, c := range placement {
+		if c != in.workerPhys[w] {
+			exact = false
+		}
+	}
+	span.SetAttr("agents", int64(in.Workers()))
+	return &topo.SurveyResult{
+		Backend:      "noc",
+		SKU:          sku.Name,
+		Agents:       in.Workers(),
+		Observations: len(obsList),
+		HostOps:      hostOps,
+		Placement:    placement,
+		Exact:        exact,
+		Optimal:      optimal,
+		Rendered:     render(in, placement),
+	}, nil
+}
+
+// render draws the physical grid: worker IDs at their recovered tiles,
+// anchor names at theirs, and -- across harvested rows.
+func render(in *Instance, placement []mesh.Coord) string {
+	cell := make(map[mesh.Coord]string, len(placement)+len(Anchors))
+	for _, a := range Anchors {
+		cell[mesh.Coord{Row: nocToPhysY[a.Pos.Y], Col: nocToPhysX[a.Pos.X]}] = a.Name[:1] + a.Name[len(a.Name)-1:]
+	}
+	for w, c := range placement {
+		cell[c] = fmt.Sprintf("c%d", w)
+	}
+	var b strings.Builder
+	for py := 0; py < H; py++ {
+		for px := 0; px < W; px++ {
+			label := "--"
+			if !in.rowHarvested(py) {
+				if l, ok := cell[mesh.Coord{Row: py, Col: px}]; ok {
+					label = l
+				}
+			}
+			fmt.Fprintf(&b, "%4s", label)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

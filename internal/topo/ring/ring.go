@@ -1,0 +1,395 @@
+// Package ring is the slotted-ring topology backend: physically ordering
+// the core agents of a client-class die on its bidirectional ring
+// interconnect, à la Paccagnella et al., "Lord of the Ring(s)". The
+// observable is not a per-tile ingress counter — client dies expose none
+// — but *contention*: an attacker agent streaming traffic to one of the
+// ring's two public endpoint agents (the system agent at slot 0, the GPU
+// agent at the far end) observes elevated latency exactly when a victim
+// (src, dst) pair's ring segment overlaps its own. Each contention bit
+// therefore yields an ordering/segment-overlap constraint:
+//
+//   - toward the system agent, the attacker occupies the slot-prefix
+//     [0, P_atk), a victim pair the span [min, max): contention means
+//     min(P_i, P_j) < P_atk, quiet means both victims sit at or past
+//     the attacker's slot;
+//   - toward the GPU agent the mirror holds with max(P_i, P_j).
+//
+// The prefix family alone cannot split the two outermost agents (their
+// swap changes no overlap bit) and the suffix family cannot split the two
+// innermost; measured together the exhaustive campaign admits exactly one
+// slot assignment, which the ILP emitter recovers with big-M overlap
+// disjunctions plus pairwise all-distinct rows.
+package ring
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+
+	"coremap/internal/cmerr"
+	"coremap/internal/ilp"
+	"coremap/internal/mesh"
+	"coremap/internal/obs"
+	"coremap/internal/topo"
+)
+
+// stage tags every error this package classifies.
+const stage = "ring"
+
+// SKU describes a slotted-ring die: Agents core agents at secret slots
+// 1..Agents, with the system agent pinned at slot 0 and the GPU agent at
+// slot Agents+1 (both public, like the mesh backend's IMC anchors).
+type SKU struct {
+	Name   string
+	Agents int
+}
+
+// Catalog is the supported ring die roster (client core counts from the
+// ring-interconnect generations the attack targets).
+var Catalog = []*SKU{
+	{Name: "ring4", Agents: 4},
+	{Name: "ring6", Agents: 6},
+	{Name: "ring8", Agents: 8},
+}
+
+// Measurement noise model: each contention probe takes latencySamples
+// round-trip samples; per-hop cost, the contention penalty and the
+// detection threshold are chosen so the bounded jitter can never flip a
+// bit (the threshold clears the jitter by 2x), mirroring the repeated-
+// measurement median filtering of the ring paper.
+const (
+	latencySamples  = 9
+	hopCycles       = 4
+	contendedCycles = 30
+	jitterCycles    = 8
+	thresholdCycles = 16
+)
+
+// Instance is one seeded die: a secret permutation of core agents onto
+// ring slots.
+type Instance struct {
+	sku *SKU
+	// slot maps agent ID → ring slot (1..Agents), the ground truth.
+	slot []int
+	rng  *rand.Rand
+}
+
+// New builds a seeded instance of a catalog SKU.
+func New(sku *SKU, seed int64) *Instance {
+	h := fnv.New64a()
+	h.Write([]byte(sku.Name))
+	rng := rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+	slot := make([]int, sku.Agents)
+	for i, p := range rng.Perm(sku.Agents) {
+		slot[i] = p + 1
+	}
+	return &Instance{sku: sku, slot: slot, rng: rng}
+}
+
+// TrueSlot returns the ground-truth slot of an agent.
+func (in *Instance) TrueSlot(agent int) int { return in.slot[agent] }
+
+// Observation is one contention experiment: the attacker agent streams
+// to an endpoint anchor (the GPU agent when ToGPU, the system agent
+// otherwise) while the victim pair exchanges traffic.
+type Observation struct {
+	Attacker         int
+	VictimA, VictimB int
+	ToGPU            bool
+	Contended        bool
+}
+
+// gpuSlot returns the GPU agent's (public) slot.
+func (s *SKU) gpuSlot() int { return s.Agents + 1 }
+
+// contended is the ground-truth overlap predicate.
+func (in *Instance) contended(o Observation) bool {
+	lo, hi := in.slot[o.VictimA], in.slot[o.VictimB]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if o.ToGPU {
+		return hi > in.slot[o.Attacker]
+	}
+	return lo < in.slot[o.Attacker]
+}
+
+// measure runs one experiment: latencySamples jittered round trips,
+// thresholded against the attacker's uncontended baseline. The jitter
+// bound keeps the bit exact; the sampling loop is what the host-op count
+// charges.
+func (in *Instance) measure(o Observation) (bit bool, samples int) {
+	segment := in.slot[o.Attacker]
+	if o.ToGPU {
+		segment = in.sku.gpuSlot() - in.slot[o.Attacker]
+	}
+	truth := in.contended(o)
+	var sum int
+	for s := 0; s < latencySamples; s++ {
+		lat := hopCycles * segment
+		if truth {
+			lat += contendedCycles
+		}
+		lat += in.rng.Intn(2*jitterCycles+1) - jitterCycles
+		sum += lat
+	}
+	mean := sum / latencySamples
+	return mean-hopCycles*segment > thresholdCycles, latencySamples
+}
+
+// Measure runs the exhaustive contention campaign: every attacker
+// against every victim pair, toward both endpoint anchors. The
+// observation order is the canonical exhaustive order (attacker, victim
+// pair, direction), deterministic for a given seed.
+func (in *Instance) Measure(ctx context.Context) (obsList []Observation, hostOps int64, err error) {
+	n := in.sku.Agents
+	for a := 0; a < n; a++ {
+		for i := 0; i < n; i++ {
+			if i == a {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if j == a {
+					continue
+				}
+				for _, toGPU := range []bool{false, true} {
+					if err := cmerr.FromContext(ctx, stage); err != nil {
+						return nil, hostOps, err
+					}
+					o := Observation{Attacker: a, VictimA: i, VictimB: j, ToGPU: toGPU}
+					bit, samples := in.measure(o)
+					o.Contended = bit
+					hostOps += int64(samples)
+					obsList = append(obsList, o)
+				}
+			}
+		}
+	}
+	return obsList, hostOps, nil
+}
+
+// bigM nullifies guarded overlap constraints; any value exceeding the
+// slot range works.
+func (s *SKU) bigM() int64 { return int64(s.Agents + 2) }
+
+// EmitConstraints is the ring backend's ILP constraint emitter: it maps
+// the contention observations onto solver rows over the per-agent slot
+// variables.
+//
+// Quiet observations are the strong ones: "no overlap toward the system
+// agent" means both victims sit past the attacker, which is a direct
+// ordering relation per victim (mirrored for the GPU direction). The
+// emitter folds every quiet observation into a relation matrix first and
+// emits one strict row per proven relation — strictness is sound because
+// slots are all-distinct — so the exhaustive campaign's massive
+// redundancy collapses to at most n(n-1) rows. A contended observation
+// only carries a disjunction (min/max of the pair straddles the
+// attacker); it gets a big-M selector binary *only* when no quiet-derived
+// relation already implies it, which on a complete campaign is never —
+// the binaries exist for the degraded/partial-campaign case. Pairwise
+// all-distinct disjunctions keep the slots a permutation.
+func EmitConstraints(m *ilp.Model, sku *SKU, slots []ilp.Var, obsList []Observation) {
+	n := sku.Agents
+	M := sku.bigM()
+	// lt[x*n+a] records a quiet-proven relation slot(x) < slot(a).
+	lt := make([]bool, n*n)
+	for _, o := range obsList {
+		if o.Contended {
+			continue
+		}
+		if o.ToGPU {
+			// Quiet toward the GPU: both victims precede the attacker.
+			lt[o.VictimA*n+o.Attacker] = true
+			lt[o.VictimB*n+o.Attacker] = true
+		} else {
+			// Quiet toward the system agent: the attacker precedes both.
+			lt[o.Attacker*n+o.VictimA] = true
+			lt[o.Attacker*n+o.VictimB] = true
+		}
+	}
+	for x := 0; x < n; x++ {
+		for a := 0; a < n; a++ {
+			if lt[x*n+a] {
+				m.AddGE(fmt.Sprintf("lt_%d_%d", x, a),
+					[]ilp.Term{ilp.T(1, slots[a]), ilp.T(-1, slots[x])}, 1)
+			}
+		}
+	}
+	seen := make(map[Observation]bool, len(obsList))
+	for _, o := range obsList {
+		if !o.Contended {
+			continue
+		}
+		key := o
+		if key.VictimA > key.VictimB {
+			key.VictimA, key.VictimB = key.VictimB, key.VictimA
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		i, j, a := key.VictimA, key.VictimB, key.Attacker
+		pi, pj, pa := slots[i], slots[j], slots[a]
+		label := fmt.Sprintf("obs_a%d_v%d_%d_gpu%v", a, i, j, key.ToGPU)
+		if key.ToGPU {
+			// max(Pi,Pj) ≥ Pa+1: one of the victims follows the attacker.
+			if lt[a*n+i] || lt[a*n+j] {
+				continue // already implied by a quiet relation
+			}
+			b := m.NewBinary(label + "_sel")
+			m.AddGE(label+"_i", []ilp.Term{ilp.T(1, pi), ilp.T(-1, pa), ilp.T(M, b)}, 1)
+			m.AddGE(label+"_j", []ilp.Term{ilp.T(1, pj), ilp.T(-1, pa), ilp.T(-M, b)}, 1-M)
+		} else {
+			// min(Pi,Pj) ≤ Pa-1: one of the victims precedes the attacker.
+			if lt[i*n+a] || lt[j*n+a] {
+				continue
+			}
+			b := m.NewBinary(label + "_sel")
+			m.AddLE(label+"_i", []ilp.Term{ilp.T(1, pi), ilp.T(-1, pa), ilp.T(-M, b)}, -1)
+			m.AddLE(label+"_j", []ilp.Term{ilp.T(1, pj), ilp.T(-1, pa), ilp.T(M, b)}, -1+M)
+		}
+	}
+	// Slots are a permutation: pairwise all-distinct disjunctions.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := m.NewBinary(fmt.Sprintf("dist_%d_%d", i, j))
+			m.AddGE(fmt.Sprintf("sep_%d_%d_a", i, j), []ilp.Term{ilp.T(1, slots[i]), ilp.T(-1, slots[j]), ilp.T(M, d)}, 1)
+			m.AddGE(fmt.Sprintf("sep_%d_%d_b", i, j), []ilp.Term{ilp.T(1, slots[j]), ilp.T(-1, slots[i]), ilp.T(-M, d)}, 1-M)
+		}
+	}
+}
+
+// Solve reconstructs the slot assignment from a campaign's observations.
+func Solve(ctx context.Context, sku *SKU, obsList []Observation) (slots []int, optimal bool, err error) {
+	m := ilp.NewModel()
+	vars := make([]ilp.Var, sku.Agents)
+	for i := range vars {
+		vars[i] = m.NewVar(fmt.Sprintf("P%d", i), 1, int64(sku.Agents))
+	}
+	EmitConstraints(m, sku, vars, obsList)
+	sol, err := ilp.Solve(ctx, m, ilp.Options{})
+	if err != nil {
+		return nil, false, err
+	}
+	slots = make([]int, sku.Agents)
+	for i, v := range vars {
+		slots[i] = int(sol.Value(v))
+	}
+	return slots, sol.Optimal, nil
+}
+
+// Backend is the ring topo.Backend.
+type Backend struct{}
+
+func init() { topo.Register(Backend{}) }
+
+// Kind implements topo.Backend.
+func (Backend) Kind() topo.Kind { return topo.KindRing }
+
+// Name implements topo.Backend.
+func (Backend) Name() string { return "ring" }
+
+// Catalog implements topo.Backend.
+func (Backend) Catalog() []string {
+	names := make([]string, len(Catalog))
+	for i, s := range Catalog {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// DefaultSKU implements topo.Backend: the 8-agent die (the ring paper's
+// 8-core client parts).
+func (Backend) DefaultSKU() string { return "ring8" }
+
+// Predictor implements topo.Backend. The ring campaign is exhaustive —
+// contention bits are three-agent relations the pairwise planner cannot
+// express — so there is no adaptive-planner integration.
+func (Backend) Predictor() topo.Predictor { return nil }
+
+// findSKU resolves a catalog name ("" = default).
+func findSKU(name string) (*SKU, error) {
+	if name == "" {
+		name = Backend{}.DefaultSKU()
+	}
+	for _, s := range Catalog {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, cmerr.New(cmerr.Permanent, stage, "unknown ring SKU %q (use ring4, ring6 or ring8)", name)
+}
+
+// QuickSurvey implements topo.Backend: one seeded instance measured
+// exhaustively, solved, and scored against the secret slot permutation.
+func (Backend) QuickSurvey(ctx context.Context, skuName string, seed int64) (_ *topo.SurveyResult, err error) {
+	ctx, span := obs.Start(ctx, "topo/quick-survey")
+	span.SetAttrStr("topology", "ring")
+	defer func() { span.End(err) }()
+	reg := obs.RegistryFrom(ctx)
+	reg.Counter("topo/surveys/ring").Inc()
+
+	sku, err := findSKU(skuName)
+	if err != nil {
+		return nil, err
+	}
+	span.SetAttrStr("sku", sku.Name)
+	in := New(sku, seed)
+	obsList, hostOps, err := in.Measure(ctx)
+	if err != nil {
+		return nil, err
+	}
+	reg.Gauge("topo/survey/ring/host_ops").Set(hostOps)
+	slots, optimal, err := Solve(ctx, sku, obsList)
+	if err != nil {
+		return nil, err
+	}
+
+	exact := true
+	placement := make([]mesh.Coord, sku.Agents)
+	for i, s := range slots {
+		placement[i] = mesh.Coord{Row: 0, Col: s}
+		if s != in.slot[i] {
+			exact = false
+		}
+	}
+	span.SetAttr("agents", int64(sku.Agents))
+	return &topo.SurveyResult{
+		Backend:      "ring",
+		SKU:          sku.Name,
+		Agents:       sku.Agents,
+		Observations: len(obsList),
+		HostOps:      hostOps,
+		Placement:    placement,
+		Exact:        exact,
+		Optimal:      optimal,
+		Rendered:     render(sku, slots),
+	}, nil
+}
+
+// render draws the ring as a slot line: SA, the agents in slot order,
+// GPU.
+func render(sku *SKU, slots []int) string {
+	bySlot := make([]int, sku.Agents+2)
+	for i := range bySlot {
+		bySlot[i] = -1
+	}
+	for agent, s := range slots {
+		if s >= 1 && s <= sku.Agents {
+			bySlot[s] = agent
+		}
+	}
+	var b strings.Builder
+	b.WriteString("SA")
+	for s := 1; s <= sku.Agents; s++ {
+		if bySlot[s] >= 0 {
+			fmt.Fprintf(&b, " - c%d", bySlot[s])
+		} else {
+			b.WriteString(" - ??")
+		}
+	}
+	b.WriteString(" - GPU\n")
+	return b.String()
+}

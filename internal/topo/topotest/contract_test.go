@@ -1,0 +1,31 @@
+package topotest_test
+
+import (
+	"context"
+	"testing"
+
+	"coremap/internal/topo"
+	_ "coremap/internal/topo/backends"
+	"coremap/internal/topo/topotest"
+)
+
+// TestAllBackendsHonorContract drives the shared backend contract over
+// every registered backend: mesh, ring and noc all recover their seeded
+// instances exactly, deterministically, onto distinct tiles.
+func TestAllBackendsHonorContract(t *testing.T) {
+	names := topo.Names()
+	if len(names) != 3 {
+		t.Fatalf("expected 3 registered backends, have %v", names)
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			b, err := topo.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			topotest.CheckBackend(context.Background(), t, b, 1, 2)
+		})
+	}
+}

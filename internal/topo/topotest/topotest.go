@@ -1,0 +1,88 @@
+// Package topotest holds the behavioral contract every topology backend
+// must satisfy, as reusable test helpers. The mesh router's edge-case
+// semantics (internal/mesh's edge tests) set the baseline: zero-length
+// flows are legal and free, surveys are deterministic per seed, and a
+// recovered placement is a well-formed assignment — one coordinate per
+// agent, no two agents sharing a tile.
+package topotest
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"coremap/internal/mesh"
+	"coremap/internal/topo"
+)
+
+// CheckSurvey runs a backend's QuickSurvey for one (sku, seed) and
+// checks the contract: the survey must succeed, recover the instance
+// exactly with proven optimality, place every agent on a distinct tile,
+// and reproduce byte-identically when re-run with the same seed.
+func CheckSurvey(ctx context.Context, t *testing.T, b topo.Backend, sku string, seed int64) *topo.SurveyResult {
+	t.Helper()
+	res, err := b.QuickSurvey(ctx, sku, seed)
+	if err != nil {
+		t.Fatalf("%s/%s seed %d: %v", b.Name(), sku, seed, err)
+	}
+	if res.Backend != b.Name() {
+		t.Errorf("%s: result claims backend %q", b.Name(), res.Backend)
+	}
+	if !res.Exact {
+		t.Errorf("%s/%s seed %d: placement not exact", b.Name(), sku, seed)
+	}
+	if !res.Optimal {
+		t.Errorf("%s/%s seed %d: solver did not prove the placement", b.Name(), sku, seed)
+	}
+	if len(res.Placement) != res.Agents {
+		t.Errorf("%s/%s: %d agents but %d placements", b.Name(), sku, res.Agents, len(res.Placement))
+	}
+	if res.Observations <= 0 || res.Rendered == "" {
+		t.Errorf("%s/%s: empty survey (obs=%d, rendered=%q)", b.Name(), sku, res.Observations, res.Rendered)
+	}
+	seen := make(map[mesh.Coord]int, len(res.Placement))
+	for agent, c := range res.Placement {
+		if prev, dup := seen[c]; dup {
+			t.Errorf("%s/%s: agents %d and %d share tile %v", b.Name(), sku, prev, agent, c)
+		}
+		seen[c] = agent
+	}
+	again, err := b.QuickSurvey(ctx, sku, seed)
+	if err != nil {
+		t.Fatalf("%s/%s seed %d rerun: %v", b.Name(), sku, seed, err)
+	}
+	if !reflect.DeepEqual(res, again) {
+		t.Errorf("%s/%s seed %d: survey not deterministic", b.Name(), sku, seed)
+	}
+	return res
+}
+
+// CheckBackend runs the full contract against a backend: identity and
+// catalog invariants, the unknown-SKU error path, and CheckSurvey over
+// the default SKU for each seed.
+func CheckBackend(ctx context.Context, t *testing.T, b topo.Backend, seeds ...int64) {
+	t.Helper()
+	if b.Name() != b.Kind().String() {
+		t.Errorf("backend name %q does not match kind %q", b.Name(), b.Kind())
+	}
+	cat := b.Catalog()
+	if len(cat) == 0 {
+		t.Fatalf("%s: empty catalog", b.Name())
+	}
+	def := b.DefaultSKU()
+	found := false
+	for _, sku := range cat {
+		if sku == def {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("%s: default SKU %q not in catalog %v", b.Name(), def, cat)
+	}
+	if _, err := b.QuickSurvey(ctx, "no-such-sku", 1); err == nil {
+		t.Errorf("%s: survey of unknown SKU succeeded", b.Name())
+	}
+	for _, seed := range seeds {
+		CheckSurvey(ctx, t, b, def, seed)
+	}
+}
