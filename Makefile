@@ -14,10 +14,11 @@ test:
 	go test ./... -timeout 1800s
 
 # Race-check the concurrent parts of the tree: the parallel ILP solver,
-# the survey worker pools and the covert-channel harness — plus the
-# goroutine-leak check over cancelled solves (mirrors the CI race job).
+# the survey worker pools, the covert-channel harness, the topology
+# backends and the adaptive planner — plus the goroutine-leak check over
+# cancelled solves (mirrors the CI race job).
 race:
-	go test -race ./internal/ilp/ ./internal/experiments/ ./internal/covert/ -timeout 1800s
+	go test -race ./internal/ilp/ ./internal/experiments/ ./internal/covert/ ./internal/topo/... ./internal/plan/ -timeout 1800s
 	go test -race -run 'TestSolveCancel|TestMapMachineCancel' -count=1 ./internal/ilp/ . -timeout 300s
 
 # Mirrors the lint jobs of .github/workflows/ci.yml: go vet, staticcheck

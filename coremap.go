@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"slices"
 
 	"coremap/internal/cmerr"
 	"coremap/internal/covert"
@@ -201,11 +202,11 @@ func (r *Result) Planner() *covert.Planner { return covert.NewPlanner(r.Pos, r.O
 // CPUCoord returns the mapped tile coordinate of an OS CPU.
 func (r *Result) CPUCoord(cpu int) (mesh.Coord, error) {
 	if cpu < 0 || cpu >= len(r.OSToCHA) {
-		return mesh.Coord{}, fmt.Errorf("coremap: cpu %d out of range", cpu)
+		return mesh.Coord{}, cmerr.New(cmerr.Permanent, "coremap", "cpu %d out of range", cpu).OnCPU(cpu)
 	}
 	cha := r.OSToCHA[cpu]
 	if cha < 0 || cha >= len(r.Pos) {
-		return mesh.Coord{}, fmt.Errorf("coremap: cpu %d has no mapped CHA", cpu)
+		return mesh.Coord{}, cmerr.New(cmerr.Permanent, "coremap", "cpu %d has no mapped CHA", cpu).OnCPU(cpu)
 	}
 	return r.Pos[cha], nil
 }
@@ -233,11 +234,17 @@ func (g *Registry) Lookup(ppin uint64) (*Result, bool) {
 // Len returns the number of cached maps.
 func (g *Registry) Len() int { return len(g.maps) }
 
-// Save serializes the registry as JSON.
+// Save serializes the registry as JSON, ordered by PPIN so the encoding
+// is canonical (the content-addressed caches fingerprint it).
 func (g *Registry) Save(w io.Writer) error {
-	all := make([]*Result, 0, len(g.maps))
-	for _, r := range g.maps {
-		all = append(all, r)
+	ppins := make([]uint64, 0, len(g.maps))
+	for ppin := range g.maps {
+		ppins = append(ppins, ppin)
+	}
+	slices.Sort(ppins)
+	all := make([]*Result, 0, len(ppins))
+	for _, ppin := range ppins {
+		all = append(all, g.maps[ppin])
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

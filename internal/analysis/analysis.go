@@ -44,6 +44,11 @@ type Analyzer struct {
 	// failures (a nil return with zero reports means the package is
 	// clean).
 	Run func(pass *Pass) error
+
+	// Scope restricts which packages the analyzer runs on; nil means
+	// every package. The runner consults it, so Run never sees an
+	// out-of-scope package.
+	Scope *Scope
 }
 
 // A Pass provides one analyzer run with a single type-checked package.
@@ -66,6 +71,10 @@ type Pass struct {
 	// Report delivers one finding. The runner attaches the analyzer
 	// name and applies //lint:allow suppression.
 	Report func(Diagnostic)
+
+	// facts is the run-wide fact store backing the Export/Import fact
+	// methods; see facts.go.
+	facts *factStore
 }
 
 // Reportf reports a formatted finding anchored at pos.

@@ -42,12 +42,34 @@ type expectation struct {
 // cross-analyzer interactions (shared suppressions, disjoint findings).
 func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
+	RunWithDeps(t, dir, nil, analyzers...)
+}
+
+// RunWithDeps is Run with real module packages analyzed alongside the
+// fixture: deps names them as load patterns (e.g.
+// "coremap/internal/topo/..."). The runner processes imports before
+// importers, so facts exported while analyzing a dependency are visible
+// to the fixture — this is how fixtures pin cross-package fact flow.
+// Expectations are still collected from the fixture only; a diagnostic
+// on a dependency package fails the test, pinning that the real tree
+// stays clean under the analyzers.
+func RunWithDeps(t *testing.T, dir string, deps []string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
 	loader := analysis.NewLoader()
+	var pkgs []*analysis.Package
+	if len(deps) > 0 {
+		depPkgs, err := loader.LoadPatterns(deps)
+		if err != nil {
+			t.Fatalf("loading dependency packages %v: %v", deps, err)
+		}
+		pkgs = depPkgs
+	}
 	pkg, err := loader.LoadDir(dir)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	diags, err := analysis.Run([]*analysis.Package{pkg}, analyzers)
+	pkgs = append(pkgs, pkg)
+	diags, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		t.Fatalf("running analyzers on %s: %v", dir, err)
 	}

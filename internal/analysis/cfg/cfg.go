@@ -1,0 +1,457 @@
+// Package cfg builds lightweight intra-procedural control-flow graphs
+// over ast.BlockStmt bodies for the coremaplint analyzers, in the spirit
+// of golang.org/x/tools/go/cfg but dependency-free and sized to what the
+// concurrency analyzers need: basic blocks with branch/loop/switch/
+// select/return edges, a record of deferred calls, dominator computation
+// and a forward-dataflow fixpoint helper (dataflow.go).
+//
+// Blocks carry a flat list of "atomic" ast.Nodes in execution order:
+// simple statements are appended whole, while compound statements are
+// decomposed — an if contributes its init statement and condition
+// expression to the current block and its branches become successor
+// blocks. A node list therefore never contains a statement with nested
+// blocks, so analyzers can ast.Inspect block nodes without double
+// visiting.
+//
+// The builder is conservative where Go control flow gets exotic: a goto
+// is modelled as an edge to the exit block (no analyzer runs on code
+// using goto today, and over-approximating successors keeps dataflow
+// sound for must-analyses), and panics are not modelled as edges.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Block is one basic block: a maximal run of nodes with a single entry
+// point and a single exit point.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+
+	// Nodes are the block's atomic statements and decomposed headers
+	// (init statements, conditions, range/switch operands) in execution
+	// order.
+	Nodes []ast.Node
+
+	// Succs and Preds are the control-flow edges.
+	Succs, Preds []*Block
+
+	// Comment labels the block's role ("entry", "if.then", "for.body",
+	// "exit", ...) for tests and debugging.
+	Comment string
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Entry is the block control enters first; Exit is the single
+	// synthetic block every return (and the fall-off-the-end path)
+	// reaches. Deferred calls run on the Exit edge.
+	Entry, Exit *Block
+
+	// Blocks lists every block, Entry first, Exit last.
+	Blocks []*Block
+
+	// Defers are the defer statements encountered anywhere in the body,
+	// in source order. The builder does not model the LIFO defer
+	// schedule as edges; analyzers that care (lockcheck's exit-path
+	// rule) consult this list directly.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the control-flow graph of body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{}
+	b.graph = &Graph{}
+	entry := b.newBlock("entry")
+	b.graph.Entry = entry
+	exit := b.newBlock("exit")
+	b.graph.Exit = exit
+	b.current = entry
+	b.stmtList(body.List)
+	// Fall off the end of the body: implicit return.
+	b.jump(b.current, exit)
+	// Keep Exit last for readability.
+	for i, blk := range b.graph.Blocks {
+		if blk == exit && i != len(b.graph.Blocks)-1 {
+			b.graph.Blocks = append(append(b.graph.Blocks[:i], b.graph.Blocks[i+1:]...), exit)
+			break
+		}
+	}
+	for i, blk := range b.graph.Blocks {
+		blk.Index = i
+	}
+	return b.graph
+}
+
+// builder carries the in-progress graph and the break/continue targets
+// of the enclosing loops and switches.
+type builder struct {
+	graph   *Graph
+	current *Block
+	// targets is a stack of enclosing breakable/continuable constructs.
+	targets []*target
+}
+
+// target records where break and continue jump for one enclosing
+// construct. continueTo is nil for switches and selects.
+type target struct {
+	label               string // "" for unlabeled constructs
+	breakTo, continueTo *Block
+}
+
+func (b *builder) newBlock(comment string) *Block {
+	blk := &Block{Comment: comment}
+	b.graph.Blocks = append(b.graph.Blocks, blk)
+	return blk
+}
+
+// jump adds the edge from → to, unless from is unreachable (nil).
+func (b *builder) jump(from, to *Block) {
+	if from == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends an atomic node to the current block (no-op when the
+// current position is unreachable).
+func (b *builder) add(n ast.Node) {
+	if b.current != nil && n != nil {
+		b.current.Nodes = append(b.current.Nodes, n)
+	}
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt lowers one statement. label is the pending label when the
+// statement is the body of a LabeledStmt.
+func (b *builder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.IfStmt:
+		b.add(s.Init)
+		b.add(s.Cond)
+		cond := b.current
+		then := b.newBlock("if.then")
+		after := b.newBlock("if.done")
+		b.jump(cond, then)
+		b.current = then
+		b.stmtList(s.Body.List)
+		b.jump(b.current, after)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.jump(cond, els)
+			b.current = els
+			b.stmt(s.Else, "")
+			b.jump(b.current, after)
+		} else {
+			b.jump(cond, after)
+		}
+		b.current = after
+
+	case *ast.ForStmt:
+		b.add(s.Init)
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		post := b.newBlock("for.post")
+		after := b.newBlock("for.done")
+		b.jump(b.current, head)
+		b.current = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.jump(head, after)
+		}
+		b.jump(head, body)
+		b.targets = append(b.targets, &target{label: label, breakTo: after, continueTo: post})
+		b.current = body
+		b.stmtList(s.Body.List)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.jump(b.current, post)
+		b.current = post
+		b.add(s.Post)
+		b.jump(post, head)
+		b.current = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		after := b.newBlock("range.done")
+		b.jump(b.current, head)
+		b.current = head
+		b.add(s.X)
+		b.add(s.Key)
+		b.add(s.Value)
+		b.jump(head, body)
+		b.jump(head, after)
+		b.targets = append(b.targets, &target{label: label, breakTo: after, continueTo: head})
+		b.current = body
+		b.stmtList(s.Body.List)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.jump(b.current, head)
+		b.current = after
+
+	case *ast.SwitchStmt:
+		b.add(s.Init)
+		b.add(s.Tag)
+		b.switchBody(s.Body, label, false)
+
+	case *ast.TypeSwitchStmt:
+		b.add(s.Init)
+		b.add(s.Assign)
+		b.switchBody(s.Body, label, false)
+
+	case *ast.SelectStmt:
+		b.switchBody(s.Body, label, true)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.current, b.graph.Exit)
+		b.current = nil
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.graph.Defers = append(b.graph.Defers, s)
+
+	default:
+		// Simple statements: Expr, Assign, IncDec, Send, Go, Decl,
+		// Empty. None contain nested blocks (a FuncLit's body is its
+		// own graph, which analyzers build separately).
+		b.add(s)
+	}
+}
+
+// switchBody lowers the clause list of a switch, type switch or select.
+// isSelect marks a select, which always takes some clause (no implicit
+// fallthrough edge past the statement when a default is absent — a
+// select without default blocks until a case fires).
+func (b *builder) switchBody(body *ast.BlockStmt, label string, isSelect bool) {
+	head := b.current
+	after := b.newBlock("switch.done")
+	b.targets = append(b.targets, &target{label: label, breakTo: after})
+	hasDefault := false
+	var clauseBlocks []*Block
+	var clauseStmts [][]ast.Stmt
+	for _, cl := range body.List {
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			blk := b.newBlock("switch.case")
+			b.jump(head, blk)
+			if head != nil {
+				for _, e := range cl.List {
+					head.Nodes = append(head.Nodes, e)
+				}
+			}
+			clauseBlocks = append(clauseBlocks, blk)
+			clauseStmts = append(clauseStmts, cl.Body)
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			blk := b.newBlock("select.case")
+			b.jump(head, blk)
+			clauseBlocks = append(clauseBlocks, blk)
+			stmts := cl.Body
+			if cl.Comm != nil {
+				stmts = append([]ast.Stmt{cl.Comm}, stmts...)
+			}
+			clauseStmts = append(clauseStmts, stmts)
+		}
+	}
+	for i, blk := range clauseBlocks {
+		b.current = blk
+		b.stmtListWithFallthrough(clauseStmts[i], clauseBlocks, i)
+		b.jump(b.current, after)
+	}
+	if !hasDefault && !isSelect {
+		b.jump(head, after)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.current = after
+}
+
+// stmtListWithFallthrough lowers a case body, wiring a trailing
+// fallthrough to the next clause block.
+func (b *builder) stmtListWithFallthrough(list []ast.Stmt, clauses []*Block, i int) {
+	for _, s := range list {
+		if br, ok := s.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			if i+1 < len(clauses) {
+				b.jump(b.current, clauses[i+1])
+			}
+			b.current = nil
+			return
+		}
+		b.stmt(s, "")
+	}
+}
+
+// branch lowers break, continue and goto.
+func (b *builder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if label == "" || t.label == label {
+				b.jump(b.current, t.breakTo)
+				b.current = nil
+				return
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.continueTo != nil && (label == "" || t.label == label) {
+				b.jump(b.current, t.continueTo)
+				b.current = nil
+				return
+			}
+		}
+	case token.GOTO:
+		// Conservative: treated as leaving the function.
+		b.jump(b.current, b.graph.Exit)
+		b.current = nil
+		return
+	}
+	// A break/continue whose target was not found (malformed source):
+	// treat as leaving the function rather than mis-wiring edges.
+	b.jump(b.current, b.graph.Exit)
+	b.current = nil
+}
+
+// Dominators returns the immediate dominator of every reachable block,
+// indexed like Blocks (idom[Entry.Index] == Entry; unreachable blocks
+// map to nil). Classic iterative intersection over reverse postorder.
+func (g *Graph) Dominators() []*Block {
+	rpo := g.reversePostorder()
+	order := make(map[*Block]int, len(rpo))
+	for i, blk := range rpo {
+		order[blk] = i
+	}
+	idom := make([]*Block, len(g.Blocks))
+	idom[g.Entry.Index] = g.Entry
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range rpo {
+			if blk == g.Entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range blk.Preds {
+				if idom[p.Index] == nil {
+					continue // predecessor not yet processed / unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom, idom, order)
+				}
+			}
+			if newIdom != nil && idom[blk.Index] != newIdom {
+				idom[blk.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+func intersect(a, b *Block, idom []*Block, order map[*Block]int) *Block {
+	for a != b {
+		for order[a] > order[b] {
+			a = idom[a.Index]
+		}
+		for order[b] > order[a] {
+			b = idom[b.Index]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether a dominates b (every path from Entry to b
+// passes through a). A block dominates itself. idom must come from
+// Dominators.
+func (g *Graph) Dominates(idom []*Block, a, b *Block) bool {
+	for b != nil {
+		if a == b {
+			return true
+		}
+		if b == g.Entry {
+			return false
+		}
+		b = idom[b.Index]
+	}
+	return false
+}
+
+// reversePostorder returns the reachable blocks in reverse postorder of
+// a depth-first traversal from Entry.
+func (g *Graph) reversePostorder() []*Block {
+	seen := make([]bool, len(g.Blocks))
+	var post []*Block
+	var visit func(blk *Block)
+	visit = func(blk *Block) {
+		seen[blk.Index] = true
+		for _, s := range blk.Succs {
+			if !seen[s.Index] {
+				visit(s)
+			}
+		}
+		post = append(post, blk)
+	}
+	visit(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// BlockOf returns the reachable block whose node list contains a node
+// with the given position, or nil. Analyzers use it to map an AST node
+// they found by inspection back onto the graph.
+func (g *Graph) BlockOf(pos token.Pos) *Block {
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if n.Pos() <= pos && pos <= n.End() {
+				return blk
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the graph compactly for tests: one line per block with
+// its comment and successor indices.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "%d:%s ->", blk.Index, blk.Comment)
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " %d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,384 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as a function body and returns it.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// blockByComment returns the first block with the given comment.
+func blockByComment(t *testing.T, g *Graph, comment string) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		if b.Comment == comment {
+			return b
+		}
+	}
+	t.Fatalf("no block %q in graph:\n%s", comment, g)
+	return nil
+}
+
+// containsCall reports whether the block contains a call to the named
+// function.
+func containsCall(b *Block, name string) bool {
+	for _, n := range b.Nodes {
+		found := false
+		ast.Inspect(n, func(c ast.Node) bool {
+			if call, ok := c.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// blockCalling finds the unique reachable block containing a call to
+// name.
+func blockCalling(t *testing.T, g *Graph, name string) *Block {
+	t.Helper()
+	var hit *Block
+	for _, b := range g.Blocks {
+		if containsCall(b, name) {
+			if hit != nil {
+				t.Fatalf("call %s in two blocks (%d and %d)", name, hit.Index, b.Index)
+			}
+			hit = b
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no block calls %s in graph:\n%s", name, g)
+	}
+	return hit
+}
+
+func TestBranchDominance(t *testing.T) {
+	// pre() dominates both arms and the join; then() dominates neither
+	// the join nor else().
+	g := New(parseBody(t, `
+	pre()
+	if cond() {
+		then()
+	} else {
+		els()
+	}
+	post()
+	`))
+	idom := g.Dominators()
+
+	pre := blockCalling(t, g, "pre")
+	then := blockCalling(t, g, "then")
+	els := blockCalling(t, g, "els")
+	post := blockCalling(t, g, "post")
+
+	for _, b := range []*Block{then, els, post, g.Exit} {
+		if !g.Dominates(idom, pre, b) {
+			t.Errorf("pre() block must dominate block %d (%s)", b.Index, b.Comment)
+		}
+	}
+	if g.Dominates(idom, then, post) {
+		t.Error("then-arm must not dominate the join block")
+	}
+	if g.Dominates(idom, then, els) {
+		t.Error("then-arm must not dominate the else-arm")
+	}
+	if g.Dominates(idom, post, then) {
+		t.Error("join must not dominate the then-arm")
+	}
+}
+
+func TestEarlyReturnEdges(t *testing.T) {
+	// The early return leaves the guard block with an edge to Exit, so
+	// the tail is not dominated by... rather: the tail is reached only
+	// via the fallthrough edge, and Exit has two predecessors.
+	g := New(parseBody(t, `
+	pre()
+	if bad() {
+		cleanup()
+		return
+	}
+	tail()
+	`))
+	idom := g.Dominators()
+
+	cleanup := blockCalling(t, g, "cleanup")
+	tail := blockCalling(t, g, "tail")
+
+	// cleanup's block ends at Exit, not at tail.
+	for _, s := range cleanup.Succs {
+		if s == tail {
+			t.Error("early-return arm must not fall through to the tail")
+		}
+	}
+	hasExit := false
+	for _, s := range cleanup.Succs {
+		if s == g.Exit {
+			hasExit = true
+		}
+	}
+	if !hasExit {
+		t.Error("early-return arm must edge to Exit")
+	}
+	if g.Dominates(idom, cleanup, tail) {
+		t.Error("early-return arm must not dominate the tail")
+	}
+	if g.Dominates(idom, tail, g.Exit) {
+		t.Error("the tail must not dominate Exit: the early return bypasses it")
+	}
+	if len(g.Exit.Preds) < 2 {
+		t.Errorf("Exit should have >= 2 predecessors, has %d", len(g.Exit.Preds))
+	}
+}
+
+func TestLoopEdgesAndDominance(t *testing.T) {
+	g := New(parseBody(t, `
+	setup()
+	for i := 0; i < n; i++ {
+		body()
+		if skip() {
+			continue
+		}
+		work()
+	}
+	done()
+	`))
+	idom := g.Dominators()
+
+	setup := blockCalling(t, g, "setup")
+	body := blockCalling(t, g, "body")
+	work := blockCalling(t, g, "work")
+	done := blockCalling(t, g, "done")
+	head := blockByComment(t, g, "for.head")
+	post := blockByComment(t, g, "for.post")
+
+	if !g.Dominates(idom, setup, body) || !g.Dominates(idom, head, body) {
+		t.Error("setup and loop head must dominate the loop body")
+	}
+	if g.Dominates(idom, body, done) {
+		t.Error("loop body must not dominate the code after the loop (zero-iteration path)")
+	}
+	if g.Dominates(idom, work, post) {
+		t.Error("work() must not dominate for.post: continue bypasses it")
+	}
+	// The back edge: post → head.
+	backEdge := false
+	for _, s := range post.Succs {
+		if s == head {
+			backEdge = true
+		}
+	}
+	if !backEdge {
+		t.Errorf("missing back edge for.post -> for.head:\n%s", g)
+	}
+}
+
+func TestRangeLoopZeroIterationPath(t *testing.T) {
+	g := New(parseBody(t, `
+	for _, v := range xs {
+		body(v)
+	}
+	done()
+	`))
+	idom := g.Dominators()
+	body := blockCalling(t, g, "body")
+	done := blockCalling(t, g, "done")
+	if g.Dominates(idom, body, done) {
+		t.Error("range body must not dominate the code after the loop")
+	}
+	head := blockByComment(t, g, "range.head")
+	if !g.Dominates(idom, head, done) {
+		t.Error("range head must dominate the code after the loop")
+	}
+}
+
+func TestDefersAreRecorded(t *testing.T) {
+	g := New(parseBody(t, `
+	mu.Lock()
+	defer mu.Unlock()
+	if early() {
+		return
+	}
+	defer second()
+	work()
+	`))
+	if len(g.Defers) != 2 {
+		t.Fatalf("recorded %d defers, want 2", len(g.Defers))
+	}
+	// Source order is preserved.
+	if g.Defers[0].Pos() > g.Defers[1].Pos() {
+		t.Error("defers must be recorded in source order")
+	}
+	// The defer statement also appears as a node of its block, so
+	// position-based lookups can find it.
+	if g.BlockOf(g.Defers[0].Pos()) == nil {
+		t.Error("defer statement not attached to any block")
+	}
+}
+
+func TestSwitchEdges(t *testing.T) {
+	g := New(parseBody(t, `
+	switch tag() {
+	case 1:
+		one()
+	case 2:
+		two()
+	default:
+		dflt()
+	}
+	after()
+	`))
+	idom := g.Dominators()
+	one := blockCalling(t, g, "one")
+	after := blockCalling(t, g, "after")
+	if g.Dominates(idom, one, after) {
+		t.Error("a switch case must not dominate the code after the switch")
+	}
+	tag := blockCalling(t, g, "tag")
+	if !g.Dominates(idom, tag, after) {
+		t.Error("the switch head must dominate the code after the switch")
+	}
+	// With a default present, the head has no direct edge to after.
+	for _, s := range tag.Succs {
+		if s == after {
+			t.Error("switch with default must not edge head -> after directly")
+		}
+	}
+}
+
+func TestSelectBlocksWithoutDefault(t *testing.T) {
+	g := New(parseBody(t, `
+	select {
+	case <-a:
+		ca()
+	case <-b:
+		cb()
+	}
+	after()
+	`))
+	// No default: control cannot skip past the select.
+	head := g.Entry
+	for _, s := range head.Succs {
+		if s.Comment == "switch.done" {
+			t.Error("select without default must not edge head -> done directly")
+		}
+	}
+	idom := g.Dominators()
+	ca := blockCalling(t, g, "ca")
+	after := blockCalling(t, g, "after")
+	if g.Dominates(idom, ca, after) {
+		t.Error("a select case must not dominate the code after the select")
+	}
+}
+
+func TestForwardDataflowLockState(t *testing.T) {
+	// A tiny "lock held" must-analysis over a body with an early return:
+	// held after Lock(), cleared by Unlock(), intersection at joins.
+	g := New(parseBody(t, `
+	a()
+	lock()
+	if c() {
+		unlock()
+		return
+	}
+	guarded()
+	unlock()
+	tail()
+	`))
+	in := Forward(g, false,
+		func(a, b bool) bool { return a && b },
+		func(a, b bool) bool { return a == b },
+		func(blk *Block, held bool) bool {
+			for _, n := range blk.Nodes {
+				if nodeCalls(n, "lock") {
+					held = true
+				}
+				if nodeCalls(n, "unlock") {
+					held = false
+				}
+			}
+			return held
+		})
+
+	guarded := blockCalling(t, g, "guarded")
+	if !in[guarded.Index] {
+		t.Error("lock must be held entering the guarded block")
+	}
+	aBlk := blockCalling(t, g, "a")
+	if in[aBlk.Index] {
+		t.Error("lock must not be held at entry")
+	}
+	// Exit joins the early-return path (unlocked) and the fallthrough
+	// path (unlocked after the second unlock): not held.
+	if in[g.Exit.Index] {
+		t.Error("lock must not be held at exit")
+	}
+}
+
+func nodeCalls(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if call, ok := c.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func TestNoNestedBlockNodes(t *testing.T) {
+	// The decomposition invariant: no node of any block contains a
+	// nested BlockStmt (so analyzers can inspect nodes without double
+	// visiting). FuncLit bodies are exempt: closures are separate
+	// functions with their own graphs.
+	g := New(parseBody(t, `
+	x := 1
+	if x > 0 {
+		for i := 0; i < x; i++ {
+			switch i {
+			case 1:
+				x++
+			}
+		}
+	}
+	f := func() { x = 2 }
+	f()
+	`))
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(c ast.Node) bool {
+				if _, ok := c.(*ast.FuncLit); ok {
+					return false
+				}
+				if _, ok := c.(*ast.BlockStmt); ok {
+					t.Errorf("block %d node %T contains a nested BlockStmt", b.Index, n)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	if !strings.Contains(g.String(), "entry") {
+		t.Error("String() must render block comments")
+	}
+}

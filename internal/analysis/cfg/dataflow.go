@@ -1,0 +1,58 @@
+package cfg
+
+// Forward runs an iterative forward-dataflow fixpoint over g and returns
+// the state at entry to each block, indexed like Blocks. The lattice is
+// supplied by the caller:
+//
+//   - entry is the state at the function's entry block;
+//   - join merges the out-states of a block's predecessors (set
+//     intersection for must-analyses like "locks held", union for
+//     may-analyses);
+//   - equal detects convergence;
+//   - transfer computes a block's out-state from its in-state, typically
+//     by folding over blk.Nodes.
+//
+// Unreachable blocks keep the zero value of S. transfer must be pure
+// (called repeatedly until the fixpoint), and join must be monotone for
+// termination — both hold for the finite set-lattices the analyzers use.
+func Forward[S any](g *Graph, entry S, join func(a, b S) S, equal func(a, b S) bool, transfer func(blk *Block, in S) S) []S {
+	rpo := g.reversePostorder()
+	in := make([]S, len(g.Blocks))
+	out := make([]S, len(g.Blocks))
+	hasOut := make([]bool, len(g.Blocks))
+
+	in[g.Entry.Index] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range rpo {
+			s := in[blk.Index]
+			if blk != g.Entry {
+				first := true
+				for _, p := range blk.Preds {
+					if !hasOut[p.Index] {
+						continue
+					}
+					if first {
+						s = out[p.Index]
+						first = false
+					} else {
+						s = join(s, out[p.Index])
+					}
+				}
+				if first {
+					// No processed predecessor yet; keep the current
+					// in-state (zero on the first sweep).
+					s = in[blk.Index]
+				}
+				in[blk.Index] = s
+			}
+			o := transfer(blk, s)
+			if !hasOut[blk.Index] || !equal(o, out[blk.Index]) {
+				out[blk.Index] = o
+				hasOut[blk.Index] = true
+				changed = true
+			}
+		}
+	}
+	return in
+}

@@ -27,22 +27,45 @@ import (
 	"coremap/internal/analysis"
 )
 
-// Analyzer is the cmerrcheck check.
+// Analyzer is the cmerrcheck check. The wrap rule runs everywhere; the
+// boundary rule's roster is derived, not hand-maintained: it applies to
+// every package that imports internal/cmerr. Importing the taxonomy is
+// the opt-in — a package that classifies some of its errors must
+// classify all of its exported-boundary errors, and a new stage package
+// is covered the moment it starts using cmerr.
 var Analyzer = &analysis.Analyzer{
 	Name: "cmerrcheck",
 	Doc: "flags unclassified errors returned across exported pipeline-stage boundaries " +
-		"and fmt.Errorf wrapping that drops the cmerr class chain (%w)",
+		"(any package importing internal/cmerr) and fmt.Errorf wrapping that drops " +
+		"the cmerr class chain (%w)",
 	Run: run,
+	Scope: &analysis.Scope{
+		Doc: "every internal library package; the boundary rule additionally gates on the package importing internal/cmerr",
+		Exclude: map[string]string{
+			"coremap/internal/analysis/...": "the lint suite itself: analyzer errors are internal failures, not pipeline taxonomy",
+		},
+	},
 }
 
-// stagePackages are the pipeline stages whose exported boundaries must
-// return classified errors.
-var stagePackages = []string{"probe", "locate", "ilp", "experiments", "covert"}
+// cmerrPkg is the taxonomy package whose import opts a package into the
+// boundary rule.
+const cmerrPkg = "coremap/internal/cmerr"
+
+// importsCmerr reports whether the package under analysis imports the
+// cmerr taxonomy (directly), which is the boundary rule's derived scope.
+func importsCmerr(pass *analysis.Pass) bool {
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Path() == cmerrPkg {
+			return true
+		}
+	}
+	return false
+}
 
 func run(pass *analysis.Pass) error {
 	reported := make(map[token.Pos]bool)
 
-	if analysis.PackageNameOneOf(pass, stagePackages...) {
+	if importsCmerr(pass) {
 		for _, fd := range analysis.ExportedFuncDecls(pass.Files) {
 			checkBoundary(pass, fd, reported)
 		}

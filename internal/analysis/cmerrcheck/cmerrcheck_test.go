@@ -17,3 +17,9 @@ func TestFlagged(t *testing.T) {
 func TestClean(t *testing.T) {
 	analysistest.Run(t, filepath.Join("testdata", "clean"), cmerrcheck.Analyzer)
 }
+
+// TestAllowed pins the suppression contract: //lint:allow cmerrcheck
+// silences the boundary rule, trailing or on the line above.
+func TestAllowed(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "allowed"), cmerrcheck.Analyzer)
+}

@@ -1,0 +1,31 @@
+// Fixture: reviewed suppressions of the boundary rule. The cmerr import
+// opts the package in; the //lint:allow directives must silence the
+// findings (the analysistest harness fails on any surviving diagnostic).
+package ilp
+
+import (
+	"errors"
+	"fmt"
+
+	"coremap/internal/cmerr"
+)
+
+// Classified construction keeps the import real for the type checker.
+func Classified() error {
+	return cmerr.New(cmerr.Transient, "ilp", "retryable probe fault")
+}
+
+// A sentinel compared by identity at its call sites never needs a
+// class; the suppression records that review.
+func Exhausted() error {
+	return errors.New("ilp: search space exhausted") //lint:allow cmerrcheck sentinel compared by identity, never crosses the CLI boundary
+}
+
+// Suppression on the line above covers the return as well.
+func Misconfigured(n int) error {
+	if n < 0 {
+		//lint:allow cmerrcheck programmer error surfaced to tests only, not a pipeline outcome
+		return fmt.Errorf("ilp: negative budget %d", n)
+	}
+	return nil
+}

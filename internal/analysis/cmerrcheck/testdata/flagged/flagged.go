@@ -1,12 +1,23 @@
 // Fixture: unclassified errors crossing an exported stage boundary, and
-// wrapping that drops the cause chain. The package name opts into the
-// boundary rule (locate is a pipeline stage).
+// wrapping that drops the cause chain. Importing cmerr is what opts the
+// package into the boundary rule: classifying some errors obliges the
+// package to classify all of its exported-boundary errors.
 package locate
 
 import (
 	"errors"
 	"fmt"
+
+	"coremap/internal/cmerr"
 )
+
+// Classified errors are the contract the rest of the file breaks.
+func Locate(id int) error {
+	if id < 0 {
+		return cmerr.New(cmerr.Permanent, "locate", "bad core id %d", id)
+	}
+	return nil
+}
 
 // Exported boundary returning raw leaves.
 func Validate(n int) error {

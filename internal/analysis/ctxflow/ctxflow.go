@@ -16,11 +16,10 @@
 //     the function's first parameter, per Go convention and so the
 //     analyzers (and readers) can find it.
 //
-//   - loop rule (stage packages probe, locate, ilp, experiments, covert):
-//     inside a function that takes a context, a loop that dispatches
-//     through an interface method — a platform, monitor or host-like
-//     boundary, i.e. the calls that can block or measure — must observe
-//     cancellation: by referencing the context (ctx.Err, select on
+//   - loop rule (every package): inside a function that takes a
+//     context, a loop that dispatches through an interface method — a
+//     platform, monitor or host-like boundary, i.e. the calls that can
+//     block or measure — must observe cancellation: by referencing the context (ctx.Err, select on
 //     ctx.Done, passing ctx along) or by operating through a
 //     hostif.Host/HostCtx value, whose Bind/WithContext decorators check
 //     the context on every operation. Loops over in-memory data (decode
@@ -37,16 +36,23 @@ import (
 	"coremap/internal/analysis"
 )
 
-// Analyzer is the ctxflow check.
+// Analyzer is the ctxflow check. The scope is include-by-default: the
+// loop rule is self-limiting (it fires only inside ctx-taking functions
+// whose loops dispatch through an interface), so packages without host
+// boundaries produce nothing, and a new stage package is covered from
+// its first commit instead of waiting for a roster edit.
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxflow",
 	Doc: "flags detached context roots in library packages, misplaced context parameters, " +
-		"and stage-package loops that never observe cancellation",
+		"and loops in ctx-taking functions that never observe cancellation",
 	Run: run,
+	Scope: &analysis.Scope{
+		Doc: "every internal library package (the loop rule fires only on interface dispatch in ctx-taking functions)",
+		Exclude: map[string]string{
+			"coremap/internal/analysis/...": "the lint suite itself: batch AST tooling with no host boundaries or cancellable loops",
+		},
+	},
 }
-
-// stagePackages are the packages whose loops must observe cancellation.
-var stagePackages = []string{"probe", "locate", "ilp", "experiments", "covert", "topo", "meshroute", "meshtopo", "ring", "noc"}
 
 func run(pass *analysis.Pass) error {
 	isLibrary := pass.Pkg.Name() != "main"
@@ -70,12 +76,10 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 
-	if analysis.PackageNameOneOf(pass, stagePackages...) {
-		for _, f := range pass.Files {
-			for _, decl := range f.Decls {
-				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-					checkLoops(pass, fd)
-				}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkLoops(pass, fd)
 			}
 		}
 	}

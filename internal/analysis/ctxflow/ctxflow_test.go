@@ -18,3 +18,9 @@ func TestFlagged(t *testing.T) {
 func TestClean(t *testing.T) {
 	analysistest.Run(t, filepath.Join("testdata", "clean"), ctxflow.Analyzer)
 }
+
+// TestAllowed pins the suppression contract: //lint:allow ctxflow
+// silences the root and loop rules, trailing or on the line above.
+func TestAllowed(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "allowed"), ctxflow.Analyzer)
+}

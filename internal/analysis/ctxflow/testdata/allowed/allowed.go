@@ -1,0 +1,25 @@
+// Fixture: reviewed suppressions of the root and loop rules. The
+// //lint:allow directives must silence the findings (the analysistest
+// harness fails on any surviving diagnostic).
+package probe
+
+import "context"
+
+type monitor interface{ Sample() int }
+
+// A documented detached root: the process-lifetime telemetry flusher
+// deliberately outlives any one command context.
+func FlusherRoot() context.Context {
+	return context.Background() //lint:allow ctxflow process-lifetime telemetry root, documented in DESIGN.md §6
+}
+
+// A bounded, non-blocking drain loop: at most eight samples, none of
+// which can block, so a cancellation point would buy nothing.
+func Drain(ctx context.Context, m monitor) int {
+	total := 0
+	//lint:allow ctxflow bounded drain: eight non-blocking samples
+	for i := 0; i < 8; i++ {
+		total += m.Sample()
+	}
+	return total
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+)
+
+// A Fact is a typed datum an analyzer attaches to a package or to a
+// package-level object, visible to later analyzer runs on packages that
+// import the exporting package. Facts are how intra-procedural analyzers
+// become interprocedural: gosync, for example, exports "this function
+// runs code on other goroutines" on each spawning function, and toposafe
+// reads those facts across import edges to tell concurrency-exposed
+// packages from single-threaded ones.
+//
+// A Fact implementation must be a pointer to a struct; the marker method
+// AFact keeps arbitrary values out of the store. Facts are matched by
+// concrete type on import, so distinct analyzers can attach distinct
+// fact types to the same object without collision.
+type Fact interface{ AFact() }
+
+// factKey addresses one stored fact. Objects are addressed by a stable
+// string key — package path plus object path — rather than by
+// types.Object identity: the source importer materializes its own
+// *types.Package for each import edge, so the same function is a
+// different object in the importing package's view. The string key makes
+// the two views meet.
+type factKey struct {
+	pkg    string
+	object string // "" for package facts
+	t      reflect.Type
+}
+
+// factStore holds every fact exported during one Run. Run processes
+// packages in dependency order, so by the time an analyzer asks for a
+// fact about an imported object, the exporting run has already happened.
+type factStore struct {
+	m map[factKey]Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{m: make(map[factKey]Fact)}
+}
+
+// objectKey returns the stable within-package key for obj: the name for
+// package-level functions, variables, constants and types, and
+// "Recv.Name" for methods. Objects without a stable key (locals, struct
+// fields, interface methods of unnamed types) report ok=false; facts
+// cannot be attached to them.
+func objectKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recv := sig.Recv().Type()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			named, ok := recv.(*types.Named)
+			if !ok {
+				return "", false
+			}
+			return named.Obj().Name() + "." + fn.Name(), true
+		}
+		return fn.Name(), true
+	}
+	// Only package-scope objects have stable names.
+	if obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+func validFact(f Fact) error {
+	t := reflect.TypeOf(f)
+	if t == nil || t.Kind() != reflect.Pointer || t.Elem().Kind() != reflect.Struct {
+		return fmt.Errorf("analysis: fact %T must be a pointer to a struct", f)
+	}
+	return nil
+}
+
+// ExportObjectFact attaches a fact to obj, which must belong to the
+// package under analysis. Attaching to an unkeyable object (a local, a
+// field) is an internal error surfaced by the returned error.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) error {
+	if err := validFact(f); err != nil {
+		return err
+	}
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != p.Pkg.Path() {
+		return fmt.Errorf("analysis: %s: ExportObjectFact on object outside the analyzed package", p.Analyzer.Name)
+	}
+	key, ok := objectKey(obj)
+	if !ok {
+		return fmt.Errorf("analysis: %s: ExportObjectFact on unkeyable object %v", p.Analyzer.Name, obj)
+	}
+	p.facts.m[factKey{obj.Pkg().Path(), key, reflect.TypeOf(f)}] = f
+	return nil
+}
+
+// ImportObjectFact copies the fact of f's type previously exported on
+// obj — by any analyzer, on this or an already-analyzed dependency
+// package — into f and reports whether one was found. Facts are keyed by
+// their concrete type, so analyzers share facts by importing each
+// other's fact types (toposafe reads gosync's spawn facts this way).
+func (p *Pass) ImportObjectFact(obj types.Object, f Fact) bool {
+	if validFact(f) != nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	key, ok := objectKey(obj)
+	if !ok {
+		return false
+	}
+	stored, ok := p.facts.m[factKey{obj.Pkg().Path(), key, reflect.TypeOf(f)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(f).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// ExportPackageFact attaches a fact to the package under analysis.
+func (p *Pass) ExportPackageFact(f Fact) error {
+	if err := validFact(f); err != nil {
+		return err
+	}
+	p.facts.m[factKey{p.Pkg.Path(), "", reflect.TypeOf(f)}] = f
+	return nil
+}
+
+// ImportPackageFact copies the fact of f's type previously exported on
+// the package with the given import path into f and reports whether one
+// was found. Use p.Pkg.Imports() to enumerate candidate paths.
+func (p *Pass) ImportPackageFact(path string, f Fact) bool {
+	if validFact(f) != nil {
+		return false
+	}
+	stored, ok := p.facts.m[factKey{path, "", reflect.TypeOf(f)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(f).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}

@@ -1,0 +1,30 @@
+package gosync_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"coremap/internal/analysis/analysistest"
+	"coremap/internal/analysis/gosync"
+)
+
+// TestFlagged pins the violation shapes: fire-and-forget spawns (named
+// and closure), Add inside the goroutine, Add on only one path, the
+// redundant loop-variable copy, and spawns hidden inside closures.
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "flagged"), gosync.Analyzer)
+}
+
+// TestClean pins the no-false-positive contract for every sanctioned
+// join shape: WaitGroup pairing (straight-line, per-iteration, bulk),
+// close/send/range channel handshakes, and ctx.Done observation.
+func TestClean(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "clean"), gosync.Analyzer)
+}
+
+// TestAllowed pins the suppression contract: cross-function joins carry
+// //lint:allow gosync with a reason and stay silent, in both trailing
+// and standalone-line form.
+func TestAllowed(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "allowed"), gosync.Analyzer)
+}

@@ -1,0 +1,33 @@
+// Fixture: cross-function joins the analyzer cannot see are blessed by
+// //lint:allow with a recorded reason, both trailing and standalone.
+package ilp
+
+import "sync"
+
+type server struct {
+	wg sync.WaitGroup
+}
+
+func (s *server) loop() {}
+
+// The goroutine is joined by Stop, a different function: the analyzer
+// cannot prove it, so the spawn carries an annotation.
+func (s *server) start() {
+	s.wg.Add(1)
+	go s.loop() //lint:allow gosync joined by Stop via s.wg.Wait
+}
+
+// Stop is the cross-function join the annotation names.
+func (s *server) stop() {
+	s.wg.Wait()
+}
+
+// Standalone directive on the line above the spawn works too.
+func detached() {
+	//lint:allow gosync telemetry flusher is reaped at process exit by design
+	go func() {
+		work()
+	}()
+}
+
+func work() {}

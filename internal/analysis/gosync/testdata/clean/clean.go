@@ -1,0 +1,127 @@
+// Fixture: every sanctioned join shape stays silent — WaitGroup pairing
+// (straight-line, loop worker pool, Add-of-n before the loop), channel
+// handshakes (close, send, range), and ctx.Done observation.
+package ilp
+
+import (
+	"context"
+	"sync"
+)
+
+func work()         {}
+func produce() int  { return 0 }
+func consume(v int) {}
+
+// The canonical pairing: Add before the spawn, deferred Done inside.
+func addBeforeSpawn() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// Worker pool: Add(1) per iteration directly before each spawn.
+func workerPool(xs []int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			consume(x)
+		}()
+	}
+	wg.Wait()
+}
+
+// Bulk Add before the loop dominates every spawn inside it.
+func bulkAdd(xs []int) {
+	var wg sync.WaitGroup
+	wg.Add(len(xs))
+	for range xs {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// Close handshake: the spawner blocks until the goroutine closes done.
+func closeHandshake() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	<-done
+}
+
+// Send handshake: the spawner receives the goroutine's result.
+func sendHandshake() error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- nil
+	}()
+	return <-errc
+}
+
+// Range handshake: the spawner drains the channel the goroutine closes.
+func rangeHandshake(n int) int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for i := 0; i < n; i++ {
+			out <- produce()
+		}
+	}()
+	sum := 0
+	for v := range out {
+		sum += v
+	}
+	return sum
+}
+
+// Cancellation observation: the goroutine selects on ctx.Done, so the
+// caller's cancel reaps it even without a blocking join here.
+func watcher(ctx context.Context, ticks <-chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ticks:
+				consume(v)
+			}
+		}
+	}()
+}
+
+// A closure that spawns carries its own join evidence in its own body.
+func closureWithOwnJoin() func() {
+	return func() {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+		wg.Wait()
+	}
+}
+
+// Go 1.22 loop variables are per-iteration: capturing x directly is the
+// idiom, and no shadow copy is required.
+func perIterationCapture(xs []int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			consume(x)
+		}()
+	}
+	wg.Wait()
+}

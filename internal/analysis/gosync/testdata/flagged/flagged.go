@@ -1,0 +1,75 @@
+// Fixture: goroutines without a provable join, WaitGroup misuse, and
+// redundant loop-variable copies. The package name (ilp) stands in for a
+// library pipeline package.
+package ilp
+
+import "sync"
+
+func work()    {}
+func observe() {}
+
+// A bare spawn with no join evidence at all: nothing waits for it.
+func fireAndForget() {
+	go work() // want `goroutine has no provable join`
+}
+
+// A closure spawn is no better when nothing joins it.
+func fireAndForgetClosure() {
+	go func() { // want `goroutine has no provable join`
+		work()
+	}()
+}
+
+// Add inside the spawned goroutine races with Wait: Wait can observe the
+// counter before the goroutine has run Add.
+func addInsideGoroutine() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want `wg\.Add inside the spawned goroutine races with Wait`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// Done inside, but the Add only happens on one branch: on the other
+// path Wait returns before the goroutine finishes.
+func addOnOneBranchOnly(n int) {
+	var wg sync.WaitGroup
+	if n > 0 {
+		wg.Add(1)
+	}
+	go func() { // want `no wg\.Add dominates the spawn`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// The pre-Go 1.22 loop-variable copy: go.mod declares go 1.22, so loop
+// variables are already per-iteration and the shadow only obscures the
+// capture.
+func loopVarCopy(xs []int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		x := x // want `redundant pre-Go 1.22 loop-variable copy`
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = x
+			observe()
+		}()
+	}
+	wg.Wait()
+}
+
+// A spawn inside a closure is the closure's responsibility: join
+// evidence in the enclosing function does not cover it.
+func spawnInsideClosure() func() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	return func() {
+		go work() // want `goroutine has no provable join`
+		wg.Done()
+	}
+}

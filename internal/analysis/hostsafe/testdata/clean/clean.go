@@ -31,6 +31,6 @@ type runner struct{ h hostif.Host }
 
 func newRunner(h hostif.Host) *runner { return &runner{h: h} }
 
-// The injected-clock rule scopes to the stage packages; this package
-// (baseline) may read the wall clock directly.
+// baseline carries a ClockExempt entry (wall-clock harness by design),
+// so it may read the wall clock directly.
 func Uptime(start time.Time) time.Duration { return time.Since(start) }

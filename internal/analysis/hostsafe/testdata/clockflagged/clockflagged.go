@@ -1,21 +1,21 @@
-// Fixture: direct wall-clock reads inside a stage package (the package
-// name "probe" puts it in the injected-clock rule's scope). Every read
-// must go through the injected obs.Clock instead.
+// Fixture: direct wall-clock reads in a pipeline package. The clock
+// rule is include-by-default (probe carries no ClockExempt entry), so
+// every read must go through the injected obs.Clock instead.
 package probe
 
 import "time"
 
 // Direct clock reads make span timings nondeterministic under test.
 func Stamp() time.Time {
-	return time.Now() // want `time.Now reads the wall clock in a stage package`
+	return time.Now() // want `time.Now reads the wall clock directly`
 }
 
 func Elapsed(start time.Time) time.Duration {
-	return time.Since(start) // want `time.Since reads the wall clock in a stage package`
+	return time.Since(start) // want `time.Since reads the wall clock directly`
 }
 
 func Remaining(deadline time.Time) time.Duration {
-	return time.Until(deadline) // want `time.Until reads the wall clock in a stage package`
+	return time.Until(deadline) // want `time.Until reads the wall clock directly`
 }
 
 // Duration arithmetic and constants never touch the clock.

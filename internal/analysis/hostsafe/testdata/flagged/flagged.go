@@ -1,5 +1,6 @@
 // Fixture: raw host access and undisciplined randomness. The package
-// name (experiments) is outside the sanctioned decorator set.
+// name (experiments) carries no HostOpExempt or ClockExempt entry, so
+// every rule applies.
 package experiments
 
 import (
@@ -29,7 +30,8 @@ func Jitter() int {
 	return rand.Intn(10) // want `global math/rand source`
 }
 
-// Clock-seeded RNGs are irreproducible even with an explicit source.
+// Clock-seeded RNGs are irreproducible even with an explicit source;
+// the clock read itself is a second, independent violation.
 func NewRNG() *rand.Rand {
-	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from time.Now`
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from time.Now` `time.Now reads the wall clock directly`
 }

@@ -1,0 +1,558 @@
+// Package lockcheck enforces the `// guarded by <mu>` field convention
+// on the control-flow graph. A struct field whose doc or trailing
+// comment says "guarded by mu" names a sibling sync.Mutex or
+// sync.RWMutex field; every access to the guarded field must then occur
+// with that mutex provably held:
+//
+//   - guarded access: on every CFG path reaching the access, a Lock (or
+//     RLock) on the same receiver's mutex precedes it without an
+//     intervening Unlock. The proof is a must-held forward dataflow pass
+//     (set intersection at joins), so an access reachable by even one
+//     unlocked path is flagged.
+//
+//   - leaked lock: a mutex still (possibly) held on some path into the
+//     function's exit, with no deferred Unlock to release it — the
+//     classic missing-unlock-on-early-return bug. May-held dataflow
+//     (set union at joins).
+//
+//   - double lock: an exclusive Lock while the same mutex is already
+//     provably held on every path — a guaranteed self-deadlock.
+//
+//   - lock copied by value: a receiver or parameter whose type contains
+//     a sync.Mutex, RWMutex, WaitGroup, Once or Cond by value; the copy
+//     has its own lock state and silently splits the critical section.
+//
+// Closure bodies are separate scopes with an empty entry lock-set: a
+// closure runs on its own schedule, so it must take the lock itself (see
+// memo.Do's panic-recovery defer). Single-threaded phases that touch
+// guarded fields without the lock — a constructor filling fields before
+// the value escapes is recognized automatically; anything subtler takes
+// a //lint:allow lockcheck with the reason, or better, just takes the
+// uncontended lock.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"coremap/internal/analysis"
+	"coremap/internal/analysis/cfg"
+)
+
+// Analyzer is the lockcheck check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "enforces `// guarded by <mu>` field comments on the CFG: accesses with the " +
+		"mutex provably held, no lock leaked past an early return, no double lock, " +
+		"no mutex copied by value",
+	Run: run,
+	Scope: &analysis.Scope{
+		Doc: "every internal library package; commands own their process lifetime",
+		Exclude: map[string]string{
+			"coremap/internal/analysis/...": "the lint suite itself: single-threaded batch tooling run under the go test harness, not pipeline code",
+		},
+	},
+}
+
+// guardedRe extracts the mutex name from a field comment.
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardInfo records that a field is guarded by the named sibling mutex.
+type guardInfo struct {
+	mu string // sibling mutex field name
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkCopyByValue(pass, fd.Recv)
+			if fd.Type.Params != nil {
+				checkCopyByValue(pass, fd.Type.Params)
+			}
+			if fd.Body == nil {
+				continue
+			}
+			checkBody(pass, guards, fd.Body, constructedBases(pass, fd.Body, guards))
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					if lit.Type.Params != nil {
+						checkCopyByValue(pass, lit.Type.Params)
+					}
+					checkBody(pass, guards, lit.Body, constructedBases(pass, lit.Body, guards))
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// collectGuards parses every `// guarded by <mu>` field comment in the
+// package and maps each guarded field object to its mutex's name.
+// Comments naming a missing or non-mutex sibling are reported: a guard
+// annotation that cannot be enforced is worse than none.
+func collectGuards(pass *analysis.Pass) map[types.Object]guardInfo {
+	guards := make(map[types.Object]guardInfo)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu, ok := guardComment(field)
+				if !ok {
+					continue
+				}
+				if !hasMutexSibling(pass, st, mu) {
+					pass.Reportf(field.Pos(),
+						"guarded-by comment names %q, which is not a sync.Mutex or sync.RWMutex field of this struct", mu)
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.ObjectOf(name); obj != nil {
+						guards[obj] = guardInfo{mu: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardComment extracts the mutex name from the field's doc or trailing
+// comment, if it carries a guarded-by annotation.
+func guardComment(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1], true
+		}
+	}
+	return "", false
+}
+
+// hasMutexSibling reports whether st declares a field named mu whose
+// type is sync.Mutex or sync.RWMutex (by value or pointer).
+func hasMutexSibling(pass *analysis.Pass, st *ast.StructType, mu string) bool {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name != mu {
+				continue
+			}
+			t := pass.TypeOf(field.Type)
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if isMutex(t) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isMutex(t types.Type) bool {
+	return analysis.IsNamedType(t, "sync", "Mutex") || analysis.IsNamedType(t, "sync", "RWMutex")
+}
+
+// constructedBases returns the base identifiers that are in their
+// construction phase for this body: locals initialized from a composite
+// literal (x := T{...} or x := &T{...}). Until such a value is shared,
+// its fields are owned by this goroutine and need no lock; constructors
+// like memo.NewGroup fill guarded maps this way.
+func constructedBases(pass *analysis.Pass, body *ast.BlockStmt, guards map[types.Object]guardInfo) map[types.Object]bool {
+	if len(guards) == 0 {
+		return nil
+	}
+	bases := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if ue, ok := rhs.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				rhs = ast.Unparen(ue.X)
+			}
+			if _, ok := rhs.(*ast.CompositeLit); !ok {
+				continue
+			}
+			if obj := pass.ObjectOf(id); obj != nil {
+				bases[obj] = true
+			}
+		}
+		return true
+	})
+	return bases
+}
+
+// eventKind discriminates the per-block event stream.
+type eventKind int
+
+const (
+	evAccess eventKind = iota // read/write of a guarded field
+	evLock                    // Lock or RLock
+	evUnlock                  // Unlock or RUnlock
+)
+
+// event is one lock-relevant occurrence inside a basic block, in source
+// order.
+type event struct {
+	kind      eventKind
+	pos       token.Pos
+	expr      string // mutex expr for lock/unlock; required mutex expr for access
+	field     string // accessed field name (evAccess)
+	exclusive bool   // Lock vs RLock (evLock)
+	deferred  bool   // inside a defer statement: runs at return
+}
+
+// checkBody runs the three CFG checks over one function or closure body.
+func checkBody(pass *analysis.Pass, guards map[types.Object]guardInfo, body *ast.BlockStmt, constructed map[types.Object]bool) {
+	if !hasLockEvents(pass, guards, body) {
+		return
+	}
+	g := cfg.New(body)
+	byBlock := make([][]event, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		var evs []event
+		for _, n := range blk.Nodes {
+			collectEvents(pass, guards, constructed, n, &evs, false)
+		}
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+		byBlock[blk.Index] = evs
+	}
+
+	reachable := reachableBlocks(g)
+	transfer := func(blk *cfg.Block, in map[string]bool) map[string]bool {
+		out := cloneSet(in)
+		for _, ev := range byBlock[blk.Index] {
+			if ev.deferred {
+				continue
+			}
+			switch ev.kind {
+			case evLock:
+				if out == nil {
+					out = make(map[string]bool)
+				}
+				out[ev.expr] = true
+			case evUnlock:
+				delete(out, ev.expr)
+			}
+		}
+		return out
+	}
+
+	// Must-held: intersection at joins. Guarded accesses and double
+	// locks are judged against this state.
+	mustIn := cfg.Forward(g, nil, intersectSets, equalSets, transfer)
+	for _, blk := range g.Blocks {
+		if !reachable[blk.Index] {
+			continue
+		}
+		state := cloneSet(mustIn[blk.Index])
+		for _, ev := range byBlock[blk.Index] {
+			switch ev.kind {
+			case evAccess:
+				if !state[ev.expr] {
+					pass.Reportf(ev.pos,
+						"%s is accessed without holding %s (field is marked `guarded by`): lock it, or take the uncontended lock in single-threaded phases",
+						ev.field, ev.expr)
+				}
+			case evLock:
+				if ev.deferred {
+					continue
+				}
+				if ev.exclusive && state[ev.expr] {
+					pass.Reportf(ev.pos, "%s.Lock while %s is already held: guaranteed self-deadlock", ev.expr, ev.expr)
+				}
+				if state == nil {
+					state = make(map[string]bool)
+				}
+				state[ev.expr] = true
+			case evUnlock:
+				if !ev.deferred {
+					delete(state, ev.expr)
+				}
+			}
+		}
+	}
+
+	// May-held: union at joins. A mutex possibly held at Exit with no
+	// deferred unlock is a leak on some return path.
+	mayIn := cfg.Forward(g, nil, unionSets, equalSets, transfer)
+	leaked := cloneSet(mayIn[g.Exit.Index])
+	for _, d := range g.Defers {
+		if expr, _, ok := lockOp(pass, d.Call); ok {
+			delete(leaked, expr)
+		}
+	}
+	for expr := range leaked {
+		pos := firstLockPos(g, byBlock, expr)
+		if pos != token.NoPos {
+			pass.Reportf(pos,
+				"%s may still be held when the function returns: unlock on every path or defer the unlock", expr)
+		}
+	}
+}
+
+// hasLockEvents cheaply pre-scans a body for any lock operation or
+// guarded-field access, so lock-free functions skip the CFG build.
+func hasLockEvents(pass *analysis.Pass, guards map[types.Object]guardInfo, body *ast.BlockStmt) bool {
+	found := false
+	analysis.InspectShallow(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if _, _, ok := lockOp(pass, n); ok {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if _, ok := guards[pass.ObjectOf(n.Sel)]; ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// collectEvents appends the lock events under one CFG node, in source
+// order, to evs. FuncLit subtrees are skipped (separate scopes); events
+// under a defer statement are marked deferred — the call runs at return,
+// though its arguments are evaluated (and so access-checked) in place.
+func collectEvents(pass *analysis.Pass, guards map[types.Object]guardInfo, constructed map[types.Object]bool, n ast.Node, evs *[]event, deferred bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			return false // separate scope, checked on its own
+		case *ast.DeferStmt:
+			if !deferred {
+				collectEvents(pass, guards, constructed, c.Call, evs, true)
+				return false
+			}
+		case *ast.CallExpr:
+			if expr, exclusive, ok := lockOp(pass, c); ok {
+				kind := evLock
+				if sel := ast.Unparen(c.Fun).(*ast.SelectorExpr); strings.HasPrefix(sel.Sel.Name, "Unlock") || strings.HasPrefix(sel.Sel.Name, "RUnlock") {
+					kind = evUnlock
+				}
+				*evs = append(*evs, event{kind: kind, pos: c.Pos(), expr: expr, exclusive: exclusive, deferred: deferred})
+			}
+		case *ast.SelectorExpr:
+			obj := pass.ObjectOf(c.Sel)
+			gi, ok := guards[obj]
+			if !ok {
+				return true
+			}
+			if root := rootIdent(c.X); root != nil && constructed[pass.ObjectOf(root)] {
+				return true // construction phase: value not shared yet
+			}
+			*evs = append(*evs, event{
+				kind:  evAccess,
+				pos:   c.Pos(),
+				expr:  types.ExprString(c.X) + "." + gi.mu,
+				field: types.ExprString(c),
+			})
+		}
+		return true
+	})
+}
+
+// lockOp recognizes a Lock/RLock/Unlock/RUnlock call on a sync.Mutex or
+// sync.RWMutex receiver, returning the receiver's expression text and
+// whether the operation is the exclusive Lock.
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (expr string, exclusive bool, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return "", false, false
+	}
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	if !isMutex(t) {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name == "Lock", true
+}
+
+// rootIdent returns the leftmost identifier of a selector/index chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// firstLockPos finds the earliest Lock/RLock event on expr in the body.
+func firstLockPos(g *cfg.Graph, byBlock [][]event, expr string) token.Pos {
+	best := token.NoPos
+	for _, blk := range g.Blocks {
+		for _, ev := range byBlock[blk.Index] {
+			if ev.kind == evLock && ev.expr == expr && (best == token.NoPos || ev.pos < best) {
+				best = ev.pos
+			}
+		}
+	}
+	return best
+}
+
+// reachableBlocks marks every block reachable from Entry, so unreachable
+// code (whose dataflow state is vacuous) is not checked.
+func reachableBlocks(g *cfg.Graph) []bool {
+	seen := make([]bool, len(g.Blocks))
+	stack := []*cfg.Block{g.Entry}
+	seen[g.Entry.Index] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// --- set lattice helpers -------------------------------------------------
+
+func cloneSet(s map[string]bool) map[string]bool {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func intersectSets(a, b map[string]bool) map[string]bool {
+	var out map[string]bool
+	for k := range a {
+		if b[k] {
+			if out == nil {
+				out = make(map[string]bool)
+			}
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func unionSets(a, b map[string]bool) map[string]bool {
+	if len(a) == 0 {
+		return cloneSet(b)
+	}
+	out := cloneSet(a)
+	for k := range b {
+		if out == nil {
+			out = make(map[string]bool)
+		}
+		out[k] = true
+	}
+	return out
+}
+
+func equalSets(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkCopyByValue flags receivers and parameters whose type carries a
+// sync lock by value: the copy has independent lock state, so the
+// critical sections silently stop excluding each other.
+func checkCopyByValue(pass *analysis.Pass, fields *ast.FieldList) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			continue
+		}
+		if name := lockInside(t, 0); name != "" {
+			pass.Reportf(field.Pos(),
+				"%s is passed by value but contains sync.%s: the copy has its own lock state; use a pointer",
+				t.String(), name)
+		}
+	}
+}
+
+// lockInside returns the name of the first sync lock type found inside t
+// by value ("" if none). Pointers stop the search: sharing a lock
+// through a pointer is exactly the correct pattern.
+func lockInside(t types.Type, depth int) string {
+	if depth > 8 || t == nil {
+		return ""
+	}
+	for _, name := range []string{"Mutex", "RWMutex", "WaitGroup", "Once", "Cond"} {
+		if analysis.IsNamedType(t, "sync", name) {
+			return name
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockInside(u.Field(i).Type(), depth+1); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockInside(u.Elem(), depth+1)
+	}
+	return ""
+}

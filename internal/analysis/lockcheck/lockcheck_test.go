@@ -1,0 +1,30 @@
+package lockcheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"coremap/internal/analysis/analysistest"
+	"coremap/internal/analysis/lockcheck"
+)
+
+// TestFlagged pins the violation shapes: unlocked access, one-branch
+// locking, a lock leaked past an early return, double lock, locks copied
+// by value, unlocked closure access, and an unenforceable guard comment.
+func TestFlagged(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "flagged"), lockcheck.Analyzer)
+}
+
+// TestClean pins the no-false-positive contract: defer pairing, explicit
+// unlock on every path, read locks, construction-phase writes, closures
+// that lock for themselves, unguarded fields, and pointer sharing.
+func TestClean(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "clean"), lockcheck.Analyzer)
+}
+
+// TestAllowed pins the suppression contract: a documented quiescent-phase
+// read stays silent under //lint:allow lockcheck, while locked paths in
+// the same file remain checked.
+func TestAllowed(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "allowed"), lockcheck.Analyzer)
+}

@@ -1,0 +1,22 @@
+// Fixture: a documented single-threaded phase may suppress the guard
+// with //lint:allow lockcheck and a reason.
+package ilp
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+// Snapshot after all writers have joined: quiescent by construction.
+func (g *gauge) snapshot() int {
+	return g.v //lint:allow lockcheck read after the worker pool joins; no writer is live
+}
+
+// The locked path stays checked even in a file with suppressions.
+func (g *gauge) add(d int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v += d
+}

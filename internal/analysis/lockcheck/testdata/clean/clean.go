@@ -1,0 +1,76 @@
+// Fixture: disciplined locking stays silent — defer pairing, explicit
+// unlock on every path, RWMutex read locks, construction-phase writes,
+// closures that lock for themselves, and unguarded fields.
+package ilp
+
+import "sync"
+
+type table struct {
+	mu    sync.RWMutex
+	m     map[string]int // guarded by mu
+	hits  int            // guarded by mu
+	ready bool           // set once before the table is shared; not guarded
+}
+
+// The canonical shape: Lock with a deferred Unlock.
+func (t *table) set(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[k] = v
+	t.hits++
+}
+
+// Read access under the read lock.
+func (t *table) get(k string) (int, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, ok := t.m[k]
+	return v, ok
+}
+
+// Explicit unlock on every path, including the early return.
+func (t *table) lookup(k string) int {
+	t.mu.RLock()
+	if v, ok := t.m[k]; ok {
+		t.mu.RUnlock()
+		return v
+	}
+	t.mu.RUnlock()
+	return -1
+}
+
+// Construction phase: the value is local and unshared, so filling the
+// guarded map needs no lock — the memo.NewGroup pattern.
+func newTable(keys []string) *table {
+	t := &table{m: make(map[string]int)}
+	for i, k := range keys {
+		t.m[k] = i
+	}
+	t.ready = true
+	return t
+}
+
+// A closure takes the lock on its own schedule.
+func (t *table) deferredReset() func() {
+	return func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		t.m = make(map[string]int)
+	}
+}
+
+// Unguarded fields carry no obligations.
+func (t *table) isReady() bool {
+	return t.ready
+}
+
+// A pointer parameter shares the lock instead of copying it.
+func merge(dst, src *table) {
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	src.mu.RLock()
+	defer src.mu.RUnlock()
+	for k, v := range src.m {
+		dst.m[k] = v
+	}
+}

@@ -1,0 +1,78 @@
+// Fixture: violations of the `// guarded by <mu>` convention — unlocked
+// access, one-branch locking, leaked lock on early return, double lock,
+// locks copied by value, and a guard comment naming a missing mutex.
+package ilp
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Reading a guarded field with no lock at all.
+func (c *counter) peek() int {
+	return c.n // want `c\.n is accessed without holding c\.mu`
+}
+
+// Locking on only one branch: the access is reachable unlocked, and the
+// analyzer cannot correlate the two conditions, so the lock is also
+// possibly held at return.
+func (c *counter) half(lock bool) {
+	if lock {
+		c.mu.Lock() // want `c\.mu may still be held when the function returns`
+	}
+	c.n++ // want `c\.n is accessed without holding c\.mu`
+	if lock {
+		c.mu.Unlock()
+	}
+}
+
+// The early return leaks the lock: no unlock on that path, no defer.
+func (c *counter) leak(limit int) int {
+	c.mu.Lock() // want `c\.mu may still be held when the function returns`
+	if c.n > limit {
+		return -1
+	}
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// Lock while already held: guaranteed self-deadlock.
+func (c *counter) deadlock() {
+	c.mu.Lock()
+	c.mu.Lock() // want `c\.mu\.Lock while c\.mu is already held`
+	c.n = 0
+	c.mu.Unlock()
+}
+
+// A value receiver copies the mutex: the method locks its own copy.
+func (c counter) byValue() int { // want `contains sync\.Mutex`
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// A parameter passing the lock-bearing struct by value.
+func drain(c counter) int { // want `contains sync\.Mutex`
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// The closure must take the lock itself: the enclosing function's
+// critical section does not extend onto the closure's schedule.
+func (c *counter) closureEscapes() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.n // want `c\.n is accessed without holding c\.mu`
+	}
+}
+
+// A guard comment naming a field that is not a mutex is unenforceable.
+type broken struct {
+	state int
+	val   int // want `guarded-by comment names "state"` // guarded by state
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Analyzer: "detrange",
+			Message:  "map iteration order leaks into an appended slice",
+			Position: token.Position{Filename: "internal/ilp/model.go", Line: 42, Column: 2},
+		},
+		{
+			Analyzer: "gosync",
+			Message:  "goroutine has no provable join",
+			Position: token.Position{Filename: "internal/obs/debug.go", Line: 7, Column: 9},
+		},
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d records, want 2", len(got))
+	}
+	first := got[0]
+	if first["file"] != "internal/ilp/model.go" || first["analyzer"] != "detrange" {
+		t.Errorf("first record = %v", first)
+	}
+	if first["line"] != float64(42) || first["column"] != float64(2) {
+		t.Errorf("first record position = %v:%v", first["line"], first["column"])
+	}
+}
+
+// An empty run must encode as [], not null: consumers iterate it.
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s := strings.TrimSpace(buf.String()); s != "[]" {
+		t.Errorf("empty run encodes as %q, want []", s)
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	analyzers := []*Analyzer{
+		{Name: "detrange", Doc: "flags map iteration order leaks"},
+		{Name: "gosync", Doc: "flags unjoined goroutines"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sampleDiags(), analyzers); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("version=%q runs=%d, want 2.1.0 and 1 run", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "coremaplint" || len(run.Tool.Driver.Rules) != 2 {
+		t.Errorf("driver=%q rules=%d", run.Tool.Driver.Name, len(run.Tool.Driver.Rules))
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "detrange" || r.Level != "error" {
+		t.Errorf("first result = %+v", r)
+	}
+	if loc := r.Locations[0].PhysicalLocation; loc.ArtifactLocation.URI != "internal/ilp/model.go" ||
+		loc.Region.StartLine != 42 {
+		t.Errorf("first location = %+v", loc)
+	}
+}

@@ -34,26 +34,29 @@ import (
 	"coremap/internal/analysis"
 )
 
-// Analyzer is the poolsafe check.
+// Analyzer is the poolsafe check. The scope is include-by-default: the
+// rules only fire on internal/pool primitive usage, so packages that
+// never pool produce nothing, and a new pooling package is covered from
+// its first commit.
 var Analyzer = &analysis.Analyzer{
 	Name: "poolsafe",
 	Doc: "flags pool.Scratch/pool.FreeList buffers that are never Put back, " +
 		"Put calls on resliced or appended buffers, and pooled buffers escaping via return " +
 		"in the pipeline stage packages",
 	Run: run,
+	Scope: &analysis.Scope{
+		Doc: "every internal library package (the rules fire only on internal/pool usage)",
+		Exclude: map[string]string{
+			"coremap/internal/pool":         "implements the primitives: its own Get/Put bodies are the lifecycle, not a use of it",
+			"coremap/internal/analysis/...": "the lint suite itself: batch tooling with no pooled buffers",
+		},
+	},
 }
 
 // poolPkg is the import path of the enforced primitives.
 const poolPkg = "coremap/internal/pool"
 
-// stagePackages mirrors hostsafe's scope: the pipeline stages where
-// pooled state crossing a solve or sweep boundary would corrupt results.
-var stagePackages = []string{"probe", "ilp", "locate", "covert", "memo", "topo", "meshroute", "meshtopo", "ring", "noc"}
-
 func run(pass *analysis.Pass) error {
-	if !analysis.PackageNameOneOf(pass, stagePackages...) {
-		return nil
-	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch fn := n.(type) {

@@ -1,0 +1,114 @@
+package analysis
+
+import "strings"
+
+// ModulePrefix is the import-path prefix of the module's own packages;
+// paths outside it (testdata fixture directories) are fixture packages.
+const ModulePrefix = "coremap/"
+
+// modulePath is the module root package itself, which has no slash and
+// so needs its own check alongside the prefix.
+const modulePath = "coremap"
+
+// isModule reports whether path names one of the module's own packages
+// (the root package or anything beneath it).
+func isModule(path string) bool {
+	return path == modulePath || strings.HasPrefix(path, ModulePrefix)
+}
+
+// internalPrefix is the subtree the lint suite is scoped to derive its
+// rosters from (`go list ./internal/...`).
+const internalPrefix = "coremap/internal/"
+
+// A Scope decides which packages an analyzer applies to. The philosophy
+// is include-by-default: every module-internal library package is in
+// scope unless it appears in Exclude with a recorded reason, so a newly
+// added package is linted from its first commit instead of waiting for
+// someone to extend a hand-maintained roster. TestRosterCoverage pins
+// the complement: every exclusion must name a package that still exists
+// and carry a reason.
+//
+// Fixture packages (loaded from testdata directories, whose "import
+// path" is a filesystem directory) opt in by declared package name, the
+// same convention the analyzers have used since PR 4: a fixture named
+// "ilp" is analyzed as if it were coremap/internal/ilp.
+type Scope struct {
+	// Doc states the scope in one line for -help-analyzers.
+	Doc string
+
+	// IncludeCommands extends the scope to package-main commands
+	// (cmd/...). Most invariants concern the library pipeline; command
+	// wiring is exempt unless an analyzer opts in.
+	IncludeCommands bool
+
+	// Exclude maps module import paths deliberately outside the scope to
+	// the reason for the exclusion. A key ending in "/..." excludes the
+	// whole subtree.
+	Exclude map[string]string
+
+	// FixtureNames lists the package names that opt a fixture package
+	// in. Empty means every fixture package is in scope.
+	FixtureNames []string
+}
+
+// Applies reports whether the scoped analyzer runs on the package with
+// the given import path and name. A nil scope applies everywhere.
+func (s *Scope) Applies(path, name string) bool {
+	if s == nil {
+		return true
+	}
+	if !isModule(path) {
+		// Fixture package: opt in by name.
+		if len(s.FixtureNames) == 0 {
+			return true
+		}
+		for _, n := range s.FixtureNames {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	if name == "main" && !s.IncludeCommands {
+		return false
+	}
+	_, excluded := s.ExcludeReason(path)
+	return !excluded
+}
+
+// ExcludeReason returns the recorded reason if path is excluded, either
+// exactly or via a "/..." subtree entry.
+func (s *Scope) ExcludeReason(path string) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	if r, ok := s.Exclude[path]; ok {
+		return r, true
+	}
+	for k, r := range s.Exclude {
+		if sub, ok := strings.CutSuffix(k, "/..."); ok &&
+			(path == sub || strings.HasPrefix(path, sub+"/")) {
+			return r, true
+		}
+	}
+	return "", false
+}
+
+// IsInternal reports whether path names a package under the module's
+// internal/ tree (the subtree the rosters are derived from).
+func IsInternal(path string) bool {
+	return strings.HasPrefix(path, internalPrefix)
+}
+
+// EffectivePath returns the import path rule predicates should key on:
+// the real path for module packages, and the internal path a fixture's
+// package name stands in for (a fixture named "ilp" is judged as
+// coremap/internal/ilp). This keeps in-analyzer exemption maps — which
+// are keyed by import path so the roster-coverage test can verify them
+// against `go list` — meaningful under the analysistest harness.
+func EffectivePath(p *Pass) string {
+	if path := p.Pkg.Path(); isModule(path) {
+		return path
+	}
+	return internalPrefix + p.Pkg.Name()
+}

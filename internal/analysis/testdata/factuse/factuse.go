@@ -1,0 +1,11 @@
+// Fixture: imports the real mesh package and calls mesh.Distance, so
+// the facts engine test can check that facts exported on the dependency
+// are importable from the dependent package's view of the same objects.
+package factuse
+
+import "coremap/internal/mesh"
+
+// Span returns the Manhattan span of two coordinates.
+func Span(a, b mesh.Coord) int {
+	return mesh.Distance(a, b)
+}

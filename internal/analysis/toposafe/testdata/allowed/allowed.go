@@ -1,0 +1,21 @@
+// Fixture: the one sanctioned escape — a registration API that writes
+// package state on behalf of callers pinned into init — carries
+// //lint:allow toposafe with the reason, mirroring topo.Register itself.
+package topoallow
+
+var registry = map[string]int{}
+
+// register mirrors topo.Register: the write is suppressed because every
+// caller of this function is itself pinned into init by this analyzer.
+func register(name string) {
+	registry[name] = len(registry) //lint:allow toposafe registration API; toposafe pins every caller into init
+}
+
+func init() {
+	register("mesh")
+}
+
+// Unsuppressed writes in the same file stay flagged.
+func reset() {
+	registry = map[string]int{} // want `package-level registry is written from reset, not init`
+}

@@ -1,0 +1,43 @@
+// Fixture: disciplined registry usage stays silent. The package name
+// (topogood) opts into the topo-subtree rules by prefix.
+package topogood
+
+import "coremap/internal/topo"
+
+// Registration from init is the sanctioned shape.
+func init() { topo.Register(nil) }
+
+// Derived tables written at init, read forever — the noc pattern.
+var forward = [4]int{2, 0, 3, 1}
+var inverse [4]int
+
+func init() {
+	for p, n := range forward {
+		inverse[n] = p
+	}
+}
+
+// Reads of package-level state are free.
+func invert(n int) int { return inverse[n] }
+
+// Locals are not package-level state.
+func scratch(n int) int {
+	acc := 0
+	for i := 0; i < n; i++ {
+		acc += invert(i % 4)
+	}
+	return acc
+}
+
+// init may call helpers that do not spawn.
+func verifyTables() {
+	for n := range inverse {
+		if forward[inverse[n]] != n {
+			panic("topogood: tables are not inverses")
+		}
+	}
+}
+
+func init() {
+	verifyTables()
+}

@@ -1,0 +1,52 @@
+// Fixture: registry-discipline violations. The package name (topobad)
+// opts into the topo-subtree rules by prefix; the real obs and topo
+// packages are analyzed alongside as dependencies, so gosync's Spawns
+// fact on obs.ServeDebug arrives over a genuine import edge.
+package topobad
+
+import (
+	"context"
+
+	"coremap/internal/obs"
+	"coremap/internal/topo"
+)
+
+// Registering outside init makes the roster depend on call order.
+func registerLate() {
+	topo.Register(nil) // want `topo\.Register outside an init function`
+}
+
+// Package-level mutable state written outside init.
+var tally = map[string]int{}
+
+func bump(k string) {
+	tally[k]++ // want `package-level tally is written from bump, not init`
+}
+
+// init must not spawn goroutines directly — even joined ones: anything
+// concurrent belongs behind an explicit entry point.
+func init() {
+	done := make(chan struct{})
+	go func() { // want `init spawns a goroutine`
+		close(done)
+	}()
+	<-done
+}
+
+// pump is gosync-clean (the goroutine observes ctx.Done), but it still
+// spawns, so its Spawns fact forbids calling it from init.
+func pump(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func init() {
+	pump(context.Background()) // want `init calls pump, which spawns 1 goroutine`
+}
+
+// The imported spawner's fact crosses the package boundary: ServeDebug's
+// serve goroutine is annotated in obs, but the fact is exported anyway.
+func init() {
+	_, _ = obs.ServeDebug("127.0.0.1:0", nil) // want `init calls ServeDebug, which spawns 1 goroutine`
+}

@@ -1,0 +1,8 @@
+// Fixture: importing a sibling backend package. The real ring backend is
+// analyzed as a dependency first, so its RegistersBackend fact arrives
+// over a genuine import edge — no hand-maintained backend roster.
+package toposib
+
+import (
+	_ "coremap/internal/topo/ring" // want `import of sibling backend coremap/internal/topo/ring`
+)

@@ -1,0 +1,273 @@
+// Package toposafe enforces the topology-registry discipline. The topo
+// registry is a package-level map populated from backend package inits
+// and then only read; nothing else keeps the -topology flag roster
+// deterministic and data-race-free once the fleet server starts serving
+// concurrent surveys. Four rules:
+//
+//   - topo.Register is called from init functions only. A Register call
+//     on any other path makes the roster depend on execution order (and
+//     on whether the path runs at all).
+//
+//   - backend packages stay independent: a package under
+//     internal/topo/... must not import a sibling package that registers
+//     a backend. The sanctioned aggregation point is
+//     internal/topo/backends, which blank-imports the roster for
+//     flag-driven binaries. Registration is detected by a package fact
+//     toposafe exports while analyzing each backend, so a new backend is
+//     covered the moment it calls Register — no hand-maintained list.
+//
+//   - package-level mutable state under internal/topo/... is written
+//     from init only (the noc scrambling-table inverses are the
+//     pattern). The registry write inside topo.Register itself carries
+//     the one sanctioned //lint:allow.
+//
+//   - init functions spawn no goroutines, directly or through a callee
+//     that does. Callee spawning is read from gosync's Spawns facts —
+//     run gosync before toposafe in the suite — which cross import
+//     edges, so an init calling an imported helper that leaks a
+//     goroutine is caught from the importing package.
+//
+// Fixture packages opt into the topo-subtree rules by declaring a
+// package name that starts with "topo", mirroring how real subtree
+// packages (topotest) are named.
+package toposafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"coremap/internal/analysis"
+	"coremap/internal/analysis/gosync"
+)
+
+// RegistersBackend is the package fact exported on every package that
+// calls topo.Register; the sibling-import rule reads it across import
+// edges.
+type RegistersBackend struct{ Calls int }
+
+// AFact marks RegistersBackend as a fact.
+func (*RegistersBackend) AFact() {}
+
+// topoPkg is the registry package whose Register call sites are policed.
+const topoPkg = "coremap/internal/topo"
+
+// backendsPkg is the sanctioned aggregator allowed to import every
+// backend.
+const backendsPkg = "coremap/internal/topo/backends"
+
+// Analyzer is the toposafe check.
+var Analyzer = &analysis.Analyzer{
+	Name: "toposafe",
+	Doc: "enforces registry discipline: topo.Register from init only, no sibling-backend " +
+		"imports (internal/topo/backends is the aggregation point), init-only writes to " +
+		"package-level state under internal/topo, and no goroutines spawned from init " +
+		"(via gosync's cross-package spawn facts)",
+	Run: run,
+	Scope: &analysis.Scope{
+		Doc: "every internal library package; the topo-subtree rules additionally gate on the package path",
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	registerCalls := checkRegisterCalls(pass)
+	if registerCalls > 0 {
+		if err := pass.ExportPackageFact(&RegistersBackend{Calls: registerCalls}); err != nil {
+			return err
+		}
+	}
+	if inTopoTree(pass) {
+		checkSiblingImports(pass)
+		checkPackageLevelWrites(pass)
+	}
+	checkInitSpawns(pass)
+	return nil
+}
+
+// inTopoTree reports whether the package is under internal/topo (or is a
+// fixture standing in for one, by the "topo" name prefix).
+func inTopoTree(pass *analysis.Pass) bool {
+	path := pass.Pkg.Path()
+	if strings.HasPrefix(path, analysis.ModulePrefix) {
+		return path == topoPkg || strings.HasPrefix(path, topoPkg+"/")
+	}
+	return strings.HasPrefix(pass.Pkg.Name(), "topo")
+}
+
+// checkRegisterCalls flags topo.Register calls outside init functions
+// and returns the total number of Register call sites in the package.
+func checkRegisterCalls(pass *analysis.Pass) int {
+	calls := 0
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isTopoRegister(pass, call) {
+					return true
+				}
+				calls++
+				if !isInit(fd) {
+					pass.Reportf(call.Pos(),
+						"topo.Register outside an init function: the backend roster must be fixed at program start, not dependent on %s running",
+						fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+	return calls
+}
+
+// isTopoRegister reports whether call invokes the topo registry's
+// Register function, resolved by object rather than by name so aliases
+// and shadows cannot dodge the rule.
+func isTopoRegister(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	return ok && fn.Name() == "Register" && fn.Pkg() != nil && fn.Pkg().Path() == topoPkg
+}
+
+// isInit reports whether fd is a package init function.
+func isInit(fd *ast.FuncDecl) bool {
+	return fd.Recv == nil && fd.Name.Name == "init"
+}
+
+// checkSiblingImports flags imports of sibling packages that register
+// backends. The aggregator package is exempt — collecting the roster is
+// its whole job.
+func checkSiblingImports(pass *analysis.Pass) {
+	if pass.Pkg.Path() == backendsPkg {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == pass.Pkg.Path() || !strings.HasPrefix(path, topoPkg+"/") {
+				continue
+			}
+			var fact RegistersBackend
+			if pass.ImportPackageFact(path, &fact) {
+				pass.Reportf(imp.Pos(),
+					"import of sibling backend %s: backends stay independent; link rosters through %s instead",
+					path, backendsPkg)
+			}
+		}
+	}
+}
+
+// checkPackageLevelWrites flags assignments to package-level variables
+// outside init functions. Reads are free; the registry pattern is
+// write-at-init, read-forever.
+func checkPackageLevelWrites(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isInit(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						reportPackageVarWrite(pass, fd, lhs)
+					}
+				case *ast.IncDecStmt:
+					reportPackageVarWrite(pass, fd, n.X)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// reportPackageVarWrite reports lhs if its root resolves to a
+// package-level variable of the package under analysis.
+func reportPackageVarWrite(pass *analysis.Pass, fd *ast.FuncDecl, lhs ast.Expr) {
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	obj, ok := pass.ObjectOf(root).(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != pass.Pkg.Path() {
+		return
+	}
+	if obj.Parent() != pass.Pkg.Scope() {
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"package-level %s is written from %s, not init: topo packages keep mutable state init-only so concurrent surveys race on nothing",
+		root.Name, fd.Name.Name)
+}
+
+// rootIdent returns the leftmost identifier of an lvalue chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkInitSpawns flags init functions that spawn goroutines — directly
+// with a go statement, or by calling a function gosync marked with a
+// Spawns fact (local or imported).
+func checkInitSpawns(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isInit(fd) {
+				continue
+			}
+			analysis.InspectShallow(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					pass.Reportf(n.Pos(), "init spawns a goroutine: registration must stay passive — start workers from an explicit entry point")
+				case *ast.CallExpr:
+					callee := calleeObject(pass, n)
+					if callee == nil {
+						return true
+					}
+					var fact gosync.Spawns
+					if pass.ImportObjectFact(callee, &fact) {
+						pass.Reportf(n.Pos(),
+							"init calls %s, which spawns %d goroutine(s): registration must stay passive — start workers from an explicit entry point",
+							callee.Name(), fact.Count)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// calleeObject resolves the called function object for plain and
+// qualified calls.
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.ObjectOf(fun).(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.ObjectOf(fun.Sel).(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

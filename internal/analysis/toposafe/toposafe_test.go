@@ -1,0 +1,46 @@
+package toposafe_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"coremap/internal/analysis/analysistest"
+	"coremap/internal/analysis/gosync"
+	"coremap/internal/analysis/toposafe"
+)
+
+// TestFlagged pins the violation shapes: Register outside init, non-init
+// package-level writes, a goroutine spawned in init, and init calling
+// spawners — both a local one and obs.ServeDebug, whose Spawns fact
+// arrives from gosync across a real import edge.
+func TestFlagged(t *testing.T) {
+	analysistest.RunWithDeps(t, filepath.Join("testdata", "flagged"),
+		[]string{"coremap/internal/topo", "coremap/internal/obs"},
+		gosync.Analyzer, toposafe.Analyzer)
+}
+
+// TestClean pins the no-false-positive contract: init registration,
+// init-built tables, package-level reads, locals, and non-spawning
+// helpers called from init.
+func TestClean(t *testing.T) {
+	analysistest.RunWithDeps(t, filepath.Join("testdata", "clean"),
+		[]string{"coremap/internal/topo"},
+		gosync.Analyzer, toposafe.Analyzer)
+}
+
+// TestSiblingImport pins the backend-independence rule end to end: the
+// real ring backend is analyzed first, exports its RegistersBackend
+// fact, and the fixture's import of it is flagged — while the analyzed
+// ring package itself stays clean.
+func TestSiblingImport(t *testing.T) {
+	analysistest.RunWithDeps(t, filepath.Join("testdata", "siblings"),
+		[]string{"coremap/internal/topo/ring"},
+		toposafe.Analyzer)
+}
+
+// TestAllowed pins the suppression contract: the registration-API write
+// stays silent under //lint:allow toposafe, while other writes in the
+// same file remain flagged.
+func TestAllowed(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "allowed"), toposafe.Analyzer)
+}

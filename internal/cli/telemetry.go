@@ -125,13 +125,17 @@ func (tf *Telemetry) Close(w io.Writer) error {
 // prefix keeps the lines trivially filterable: diffing a cached against an
 // uncached run (the CI cache-invariance job) compares only the science.
 func WriteCacheStats(w io.Writer, snap obs.Snapshot) {
-	var layers []string
+	names := make([]string, 0, len(snap.Gauges))
 	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var layers []string
+	for _, name := range names {
 		if strings.HasSuffix(name, "/cache/hits") {
 			layers = append(layers, strings.TrimSuffix(name, "/hits"))
 		}
 	}
-	sort.Strings(layers)
 	for _, l := range layers {
 		fmt.Fprintf(w, "[cache] %s: %d hits / %d misses / %d coalesced\n",
 			l, snap.Gauges[l+"/hits"], snap.Gauges[l+"/misses"], snap.Gauges[l+"/coalesced"])

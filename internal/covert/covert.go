@@ -13,6 +13,7 @@ package covert
 import (
 	"context"
 	"math"
+	"slices"
 
 	"coremap/internal/cmerr"
 	"coremap/internal/obs"
@@ -264,12 +265,17 @@ func runObserved(ctx context.Context, p Platform, specs []ChannelSpec, cfg Confi
 			obsTraces[i] = append(obsTraces[i], temp)
 		}
 	}
-	//lint:allow ctxflow load teardown must complete even after cancellation
+	stillOn := make([]int, 0, len(loadState))
 	for cpu, on := range loadState {
 		if on {
-			if err := p.SetLoad(cpu, false); err != nil {
-				return nil, nil, err
-			}
+			stillOn = append(stillOn, cpu)
+		}
+	}
+	slices.Sort(stillOn)
+	//lint:allow ctxflow load teardown must complete even after cancellation
+	for _, cpu := range stillOn {
+		if err := p.SetLoad(cpu, false); err != nil {
+			return nil, nil, err
 		}
 	}
 

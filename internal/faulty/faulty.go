@@ -49,7 +49,7 @@ type Host struct {
 	stuck map[int]bool
 
 	mu  sync.Mutex
-	rng *rand.Rand
+	rng *rand.Rand // guarded by mu
 
 	injected atomic.Int64
 	ops      atomic.Int64

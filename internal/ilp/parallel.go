@@ -55,13 +55,16 @@ type engine struct {
 
 	mu      sync.Mutex
 	wake    *sync.Cond
-	deque   []frame
-	pending int // frames on the deque plus frames being processed
-	closed  bool
+	deque   []frame // guarded by mu
+	pending int     // frames on the deque plus frames in flight; guarded by mu
+	closed  bool    // guarded by mu
 
-	best    []int64
-	bestObj int64
-	// incumbents counts accepted incumbent updates (guarded by mu).
+	// best/bestObj are the incumbent solution and its objective;
+	// post-join readers still take the (uncontended) lock so the
+	// invariant stays machine-checkable (lockcheck).
+	best    []int64 // guarded by mu
+	bestObj int64   // guarded by mu
+	// incumbents counts accepted incumbent updates; guarded by mu.
 	incumbents int64
 	// seeded records that the incumbent was warm-started before the
 	// search; symBreaks is the number of symmetry-ordering rows added.
@@ -98,10 +101,11 @@ func newEngine(s *solver, workers, maxNodes int) *engine {
 }
 
 // run searches the tree rooted at root and blocks until the search is
-// exhausted or the node budget expires.
+// exhausted or the node budget expires. The root is published through
+// share so the deque bookkeeping is lock-consistent from the first
+// frame (share on an empty engine is exactly pending=1 + push).
 func (e *engine) run(root frame) {
-	e.pending = 1
-	e.deque = append(e.deque, root)
+	e.share([]frame{root})
 	if e.workers == 1 {
 		e.worker(0)
 		return
@@ -262,15 +266,19 @@ func (e *engine) runSubtree(task frame, sc *propScratch, fl *pool.FreeList[int64
 }
 
 // seed installs a pre-verified feasible assignment as the starting
-// incumbent. Called before any worker starts, so no locking is needed.
-// The seed is either in the cold search's optimal set (in which case the
-// lexicographic offer rule still selects the canonical optimum) or worse
-// (in which case it is displaced by the first better incumbent), so the
-// returned Solution.Values of a completed search is unchanged — the seed
-// only prunes worse subtrees from node one.
+// incumbent. Called before any worker starts, so the lock is
+// uncontended — it is taken anyway to keep the best/bestObj invariant
+// machine-checkable. The seed is either in the cold search's optimal
+// set (in which case the lexicographic offer rule still selects the
+// canonical optimum) or worse (in which case it is displaced by the
+// first better incumbent), so the returned Solution.Values of a
+// completed search is unchanged — the seed only prunes worse subtrees
+// from node one.
 func (e *engine) seed(vals []int64, z int64) {
+	e.mu.Lock()
 	e.best, e.bestObj = vals, z
 	e.seeded = true
+	e.mu.Unlock()
 	if e.s.objIdx >= 0 {
 		e.bound.Store(z)
 	}

@@ -154,7 +154,12 @@ func Solve(ctx context.Context, m *Model, opts Options) (sol *Solution, err erro
 
 	e.record(obs.RegistryFrom(ctx), m, target, span)
 	interrupted := e.interrupted.Load()
-	if e.best == nil {
+	// The pool has joined, but the incumbent fields are guarded by e.mu,
+	// so the (uncontended) lock is taken for the final read too.
+	e.mu.Lock()
+	best, bestObj := e.best, e.bestObj
+	e.mu.Unlock()
+	if best == nil {
 		if interrupted {
 			return nil, fmt.Errorf("%w (no incumbent): %w", ErrInterrupted, context.Cause(ctx))
 		}
@@ -163,13 +168,13 @@ func Solve(ctx context.Context, m *Model, opts Options) (sol *Solution, err erro
 		}
 		return nil, ErrInfeasible
 	}
-	values := e.best
+	values := best
 	if pre != nil {
 		values = pre.expand(values)
 	}
 	sol = &Solution{
 		Values:    values,
-		Objective: e.bestObj,
+		Objective: bestObj,
 		Optimal:   !e.aborted.Load(),
 		Nodes:     int(e.nodes.Load()),
 	}
@@ -197,10 +202,13 @@ func (e *engine) record(reg *obs.Registry, orig, target *Model, span *obs.Span) 
 	if reg == nil {
 		return
 	}
+	e.mu.Lock()
+	incumbents := e.incumbents
+	e.mu.Unlock()
 	reg.Counter("ilp/solves").Inc()
 	reg.Counter("ilp/nodes").Add(nodes)
 	reg.Counter("ilp/pruned").Add(e.pruned.Load())
-	reg.Counter("ilp/incumbents").Add(e.incumbents)
+	reg.Counter("ilp/incumbents").Add(incumbents)
 	if d := int64(orig.NumVars() - target.NumVars()); d > 0 {
 		reg.Counter("ilp/presolve/vars_removed").Add(d)
 	}

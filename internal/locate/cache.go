@@ -32,7 +32,7 @@ type Cache struct {
 	g *memo.Group
 
 	mu   sync.Mutex
-	warm []warmEntry
+	warm []warmEntry // guarded by mu
 }
 
 // warmEntry is one solved placement in the warm-start index.

@@ -61,7 +61,7 @@ const shardCount = 32
 
 type shard struct {
 	mu sync.Mutex
-	m  map[Key]*entry
+	m  map[Key]*entry // guarded by mu
 }
 
 // Group is a sharded single-flight cache. The zero value is not usable;

@@ -38,7 +38,7 @@ func (c fixedClock) Now() time.Time { return c.t }
 // deterministic timestamps of course require a deterministic read order.
 type FakeClock struct {
 	mu   sync.Mutex
-	now  time.Time
+	now  time.Time // guarded by mu
 	step time.Duration
 }
 

@@ -46,7 +46,7 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 		ln:   ln,
 		done: make(chan struct{}),
 	}
-	go func() {
+	go func() { //lint:allow gosync joined cross-function: Close blocks on d.done until Serve returns
 		defer close(d.done)
 		// Serve returns ErrServerClosed after Close; any other error is
 		// already surfaced to clients, so the goroutine just exits.

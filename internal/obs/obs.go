@@ -264,13 +264,13 @@ func (s *Span) End(err error) {
 // records.
 type tracer struct {
 	mu       sync.Mutex
-	lastID   int64
-	buf      []SpanRecord
-	head     int // index of the oldest record when the ring is full
-	capacity int
-	dropped  int64
-	sink     io.Writer
-	sinkErr  error
+	lastID   int64        // guarded by mu
+	buf      []SpanRecord // guarded by mu
+	head     int          // index of the oldest record when the ring is full; guarded by mu
+	capacity int          // set at construction, immutable afterwards
+	dropped  int64        // guarded by mu
+	sink     io.Writer    // set at construction, immutable afterwards
+	sinkErr  error        // guarded by mu
 }
 
 func (tr *tracer) nextID() int64 {

@@ -106,10 +106,10 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 // are themselves no-ops, so instrumentation is unconditional.
 type Registry struct {
 	mu      sync.Mutex
-	counter map[string]*Counter
-	gauge   map[string]*Gauge
-	hist    map[string]*Histogram
-	funcs   map[string][]func() int64
+	counter map[string]*Counter       // guarded by mu
+	gauge   map[string]*Gauge         // guarded by mu
+	hist    map[string]*Histogram     // guarded by mu
+	funcs   map[string][]func() int64 // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -199,6 +199,17 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
+// sortedKeys returns m's keys in ascending order, so map-driven effect
+// sequences stay deterministic (the detrange analyzer enforces this).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // Snapshot captures the current value of every registered metric. On a
 // nil receiver it returns an empty (but non-nil-mapped) snapshot.
 func (r *Registry) Snapshot() Snapshot {
@@ -211,23 +222,23 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for name, c := range r.counter {
-		s.Counters[name] = c.Value()
+	for _, name := range sortedKeys(r.counter) {
+		s.Counters[name] = r.counter[name].Value()
 	}
-	for name, g := range r.gauge {
-		s.Gauges[name] = g.Value()
+	for _, name := range sortedKeys(r.gauge) {
+		s.Gauges[name] = r.gauge[name].Value()
 	}
-	for name, fns := range r.funcs {
+	for _, name := range sortedKeys(r.funcs) {
 		var sum int64
-		for _, fn := range fns {
+		for _, fn := range r.funcs[name] {
 			sum += fn()
 		}
 		s.Gauges[name] += sum
 	}
 	if len(r.hist) > 0 {
 		s.Histograms = make(map[string]HistogramSnapshot, len(r.hist))
-		for name, h := range r.hist {
-			s.Histograms[name] = h.snapshot()
+		for _, name := range sortedKeys(r.hist) {
+			s.Histograms[name] = r.hist[name].snapshot()
 		}
 	}
 	return s

@@ -78,13 +78,13 @@ func BuildReport(snap Snapshot, spans []SpanRecord) []StageRow {
 		return r
 	}
 
-	for name := range snap.Counters {
+	for _, name := range sortedKeys(snap.Counters) {
 		row(stageOf(name))
 	}
-	for name := range snap.Gauges {
+	for _, name := range sortedKeys(snap.Gauges) {
 		row(stageOf(name))
 	}
-	for name := range snap.Histograms {
+	for _, name := range sortedKeys(snap.Histograms) {
 		row(stageOf(name))
 	}
 
@@ -101,7 +101,8 @@ func BuildReport(snap Snapshot, spans []SpanRecord) []StageRow {
 		}
 	}
 
-	for stage, r := range stages {
+	for _, stage := range sortedKeys(stages) {
+		r := stages[stage]
 		r.Ops = opsOf(stage, snap)
 		r.Retries = snap.Counters[stage+"/retries"]
 		r.CacheHits = snap.Gauges[stage+"/cache/hits"]

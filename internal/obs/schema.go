@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"coremap/internal/cmerr"
 )
 
 // ValidateTrace checks that r holds a well-formed JSONL span trace as
@@ -30,7 +32,7 @@ func ValidateTrace(r io.Reader) error {
 			return fmt.Errorf("obs: trace line %d: %w", line, err)
 		}
 		if dec.More() {
-			return fmt.Errorf("obs: trace line %d: trailing data after span object", line)
+			return cmerr.New(cmerr.Permanent, "obs", "trace line %d: trailing data after span object", line)
 		}
 		if err := validateSpan(rec); err != nil {
 			return fmt.Errorf("obs: trace line %d: %w", line, err)
@@ -79,32 +81,33 @@ func ValidateMetrics(r io.Reader) error {
 		return fmt.Errorf("obs: decode metrics: %w", err)
 	}
 	if dec.More() {
-		return fmt.Errorf("obs: metrics: trailing data after snapshot object")
+		return cmerr.New(cmerr.Permanent, "obs", "metrics: trailing data after snapshot object")
 	}
 	if snap.Counters == nil {
-		return fmt.Errorf("obs: metrics: missing counters map")
+		return cmerr.New(cmerr.Permanent, "obs", "metrics: missing counters map")
 	}
 	if snap.Gauges == nil {
-		return fmt.Errorf("obs: metrics: missing gauges map")
+		return cmerr.New(cmerr.Permanent, "obs", "metrics: missing gauges map")
 	}
-	for name, h := range snap.Histograms {
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
 		if len(h.Counts) != len(h.Bounds)+1 {
-			return fmt.Errorf("obs: metrics: histogram %q: %d counts for %d bounds, want %d",
+			return cmerr.New(cmerr.Permanent, "obs", "metrics: histogram %q: %d counts for %d bounds, want %d",
 				name, len(h.Counts), len(h.Bounds), len(h.Bounds)+1)
 		}
 		var total int64
 		for _, c := range h.Counts {
 			if c < 0 {
-				return fmt.Errorf("obs: metrics: histogram %q: negative bucket count", name)
+				return cmerr.New(cmerr.Permanent, "obs", "metrics: histogram %q: negative bucket count", name)
 			}
 			total += c
 		}
 		if total != h.Count {
-			return fmt.Errorf("obs: metrics: histogram %q: bucket sum %d != count %d", name, total, h.Count)
+			return cmerr.New(cmerr.Permanent, "obs", "metrics: histogram %q: bucket sum %d != count %d", name, total, h.Count)
 		}
 		for i := 1; i < len(h.Bounds); i++ {
 			if h.Bounds[i] <= h.Bounds[i-1] {
-				return fmt.Errorf("obs: metrics: histogram %q: bounds not strictly increasing at %d", name, i)
+				return cmerr.New(cmerr.Permanent, "obs", "metrics: histogram %q: bounds not strictly increasing at %d", name, i)
 			}
 		}
 	}

@@ -40,10 +40,11 @@ func CheckSurvey(ctx context.Context, t *testing.T, b topo.Backend, sku string, 
 	if res.Observations <= 0 || res.Rendered == "" {
 		t.Errorf("%s/%s: empty survey (obs=%d, rendered=%q)", b.Name(), sku, res.Observations, res.Rendered)
 	}
+	name := b.Name()
 	seen := make(map[mesh.Coord]int, len(res.Placement))
 	for agent, c := range res.Placement {
 		if prev, dup := seen[c]; dup {
-			t.Errorf("%s/%s: agents %d and %d share tile %v", b.Name(), sku, prev, agent, c)
+			t.Errorf("%s/%s: agents %d and %d share tile %v", name, sku, prev, agent, c)
 		}
 		seen[c] = agent
 	}
