@@ -18,7 +18,7 @@ test:
 # backends and the adaptive planner — plus the goroutine-leak check over
 # cancelled solves (mirrors the CI race job).
 race:
-	go test -race ./internal/ilp/ ./internal/experiments/ ./internal/covert/ ./internal/topo/... ./internal/plan/ -timeout 1800s
+	go test -race ./internal/ilp/ ./internal/experiments/ ./internal/covert/ ./internal/topo/... ./internal/plan/ ./internal/obs/ -timeout 1800s
 	go test -race -run 'TestSolveCancel|TestMapMachineCancel' -count=1 ./internal/ilp/ . -timeout 300s
 
 # Mirrors the lint jobs of .github/workflows/ci.yml: go vet, staticcheck
@@ -69,7 +69,10 @@ bench-json:
 # gated metrics (ns/op, allocs/op, host-ops/map up; bps-under-1pct
 # down), never on improvements — generous because one iteration is
 # timing-noisy; see cmd/benchdiff for the tight 15% default used
-# against same-machine baselines.
+# against same-machine baselines. Wall time only gates benchmarks at or
+# above benchdiff's 50ms ns-floor: below that, a single iteration
+# measures timer overhead and co-tenant contention, not the code — the
+# deterministic allocs/op and host-ops/map halves stay tight there.
 bench-gate:
 	GOMAXPROCS=4 go test -bench=. -benchmem -benchtime=1x -run XXX -timeout 1800s . \
 		| go run ./cmd/benchjson > /tmp/coremap-bench.json

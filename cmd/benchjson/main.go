@@ -114,7 +114,7 @@ func main() {
 	_, span := obs.Start(ctx, "benchjson/convert")
 	defer func() {
 		span.End(nil)
-		if err := tel.Close(os.Stderr); err != nil {
+		if err := tel.Close(os.Stderr, nil); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 		}
 	}()
@@ -139,10 +139,12 @@ func main() {
 	var lines []string
 	select {
 	case <-ctx.Done():
-		cli.Fatal("benchjson", cmerr.FromContext(ctx, "benchjson"))
+		span.End(nil)
+		tel.Fatal("benchjson", cmerr.FromContext(ctx, "benchjson"))
 	case got := <-done:
 		if got.err != nil {
-			cli.Fatal("benchjson", got.err)
+			span.End(nil)
+			tel.Fatal("benchjson", got.err)
 		}
 		lines = got.lines
 	}

@@ -46,6 +46,10 @@ import (
 	_ "coremap/internal/topo/backends"
 )
 
+// tel is package-level so fatal can flush the flight recorder before the
+// process exits (os.Exit skips the deferred Close in main).
+var tel *cli.Telemetry
+
 func main() {
 	var (
 		topology      = flag.String("topology", "mesh", "interconnect backend: mesh, ring or noc")
@@ -63,7 +67,7 @@ func main() {
 		registryPath  = flag.String("registry", "", "JSON registry file: reuse a cached map for this PPIN, store new maps")
 		timeout       = flag.Duration("timeout", 0, "abort the pipeline after this duration (exit code 2)")
 	)
-	tel := cli.TelemetryFlags()
+	tel = cli.TelemetryFlags()
 	flag.Parse()
 
 	ctx, stop := cli.Context(*timeout)
@@ -73,7 +77,7 @@ func main() {
 		fatal(err)
 	}
 	defer func() {
-		if err := tel.Close(os.Stdout); err != nil {
+		if err := tel.Close(os.Stdout, ctx.Err()); err != nil {
 			fmt.Fprintln(os.Stderr, "coremap:", err)
 		}
 	}()
@@ -260,5 +264,5 @@ func saveRegistry(path string, reg *coremap.Registry) {
 }
 
 func fatal(err error) {
-	cli.Fatal("coremap", err)
+	tel.Fatal("coremap", err)
 }

@@ -1,0 +1,258 @@
+// Command coremaptop is a live terminal dashboard for a running (or
+// finished) coremap pipeline. It polls a command's telemetry and renders
+// per-stage counters with rates, cache hit ratios, and latency-histogram
+// quantiles (p50/p95/p99/max).
+//
+// Usage:
+//
+//	coremaptop -addr localhost:6060 [-interval 2s] [-once]
+//	coremaptop -metrics metrics.json [-once]
+//
+// -addr scrapes the Prometheus text exposition a command serves at
+// /metrics when started with -debug-addr; -metrics reads the JSON snapshot
+// a finished run wrote with -metrics-out (one-shot, no rates). Between
+// refreshes the screen is cleared; -once prints a single frame and exits,
+// which is how CI smoke-checks the dashboard. Both sources converge to the
+// same internal view — exposition-form (underscore) metric names — so the
+// renderer does not care where the sample came from.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"coremap/internal/cli"
+	"coremap/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "scrape http://<addr>/metrics (a command's -debug-addr)")
+		metrics  = flag.String("metrics", "", "read a -metrics-out JSON snapshot file instead of scraping")
+		interval = flag.Duration("interval", 2*time.Second, "refresh interval")
+		once     = flag.Bool("once", false, "render a single frame and exit")
+	)
+	flag.Parse()
+
+	if (*addr == "") == (*metrics == "") {
+		fatal(fmt.Errorf("exactly one of -addr or -metrics is required"))
+	}
+	if *interval <= 0 {
+		fatal(fmt.Errorf("-interval must be positive"))
+	}
+
+	src := func() (obs.Snapshot, error) { return scrape("http://" + *addr + "/metrics") }
+	if *metrics != "" {
+		src = func() (obs.Snapshot, error) { return readJSON(*metrics) }
+	}
+
+	cur, err := src()
+	if err != nil {
+		fatal(err)
+	}
+	if *once || *metrics != "" {
+		if err := render(os.Stdout, frame{snap: cur}, frame{}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	prev := frame{snap: cur, at: time.Now()}
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	for range ticker.C {
+		snap, err := src()
+		if err != nil {
+			fatal(err)
+		}
+		next := frame{snap: snap, at: time.Now()}
+		fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		if err := render(os.Stdout, next, prev); err != nil {
+			fatal(err)
+		}
+		prev = next
+	}
+}
+
+// frame is one dashboard sample: a snapshot and when it was taken (zero
+// for one-shot frames, which then render without rates).
+type frame struct {
+	snap obs.Snapshot
+	at   time.Time
+}
+
+// scrape fetches and parses one /metrics exposition.
+func scrape(url string) (obs.Snapshot, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.Snapshot{}, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return obs.ParseProm(io.LimitReader(resp.Body, 64<<20))
+}
+
+// readJSON loads a -metrics-out snapshot and normalizes its slash-form
+// names to the exposition form the renderer works in.
+func readJSON(path string) (obs.Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	defer f.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(f).Decode(&snap); err != nil {
+		return obs.Snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return normalize(snap), nil
+}
+
+// normalize rewrites every series key's base name with obs.PromName,
+// leaving any {label} suffix intact.
+func normalize(in obs.Snapshot) obs.Snapshot {
+	out := obs.Snapshot{
+		Counters: make(map[string]int64, len(in.Counters)),
+		Gauges:   make(map[string]int64, len(in.Gauges)),
+	}
+	for k, v := range in.Counters {
+		out.Counters[promKey(k)] = v
+	}
+	for k, v := range in.Gauges {
+		out.Gauges[promKey(k)] = v
+	}
+	if len(in.Histograms) > 0 {
+		out.Histograms = make(map[string]obs.HistogramSnapshot, len(in.Histograms))
+		for k, v := range in.Histograms {
+			out.Histograms[promKey(k)] = v
+		}
+	}
+	return out
+}
+
+func promKey(key string) string {
+	base, labels := splitKey(key)
+	return obs.PromName(base) + labels
+}
+
+// splitKey splits a series key into base name and label suffix.
+func splitKey(key string) (base, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], key[i:]
+	}
+	return key, ""
+}
+
+// stageOf groups exposition names by their first underscore segment, which
+// corresponds to the pipeline stage in the slash form (stage names contain
+// no underscores).
+func stageOf(name string) string {
+	base, _ := splitKey(name)
+	if i := strings.IndexByte(base, '_'); i >= 0 {
+		return base[:i]
+	}
+	return base
+}
+
+// render writes one dashboard frame: stages sorted, and within each stage
+// the counters (with per-second rates against prev when available), the
+// gauges (with derived cache hit ratios), and the histogram quantile rows.
+// prev with a zero timestamp disables rates. Pure — it reads only its
+// arguments — so tests drive it with synthetic frames.
+func render(w io.Writer, cur, prev frame) error {
+	dt := 0.0
+	if !prev.at.IsZero() && cur.at.After(prev.at) {
+		dt = cur.at.Sub(prev.at).Seconds()
+	}
+
+	stages := make(map[string]bool)
+	for name := range cur.snap.Counters {
+		stages[stageOf(name)] = true
+	}
+	for name := range cur.snap.Gauges {
+		stages[stageOf(name)] = true
+	}
+	for name := range cur.snap.Histograms {
+		stages[stageOf(name)] = true
+	}
+	if len(stages) == 0 {
+		_, err := fmt.Fprintln(w, "coremaptop: no metrics yet")
+		return err
+	}
+
+	names := make([]string, 0, len(stages))
+	for s := range stages {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "coremaptop — %d stages\n", len(names))
+	for _, stage := range names {
+		fmt.Fprintf(w, "\n[%s]\n", stage)
+		for _, key := range sortedIn(cur.snap.Counters, stage) {
+			line := fmt.Sprintf("  %-52s %12d", key, cur.snap.Counters[key])
+			if dt > 0 {
+				if old, ok := prev.snap.Counters[key]; ok {
+					line += fmt.Sprintf("  %8.1f/s", float64(cur.snap.Counters[key]-old)/dt)
+				}
+			}
+			fmt.Fprintln(w, line)
+		}
+		for _, key := range sortedIn(cur.snap.Gauges, stage) {
+			line := fmt.Sprintf("  %-52s %12d", key, cur.snap.Gauges[key])
+			if pct, ok := hitRatio(cur.snap.Gauges, key); ok {
+				line += fmt.Sprintf("  hit %5.1f%%", pct)
+			}
+			fmt.Fprintln(w, line)
+		}
+		for _, key := range sortedIn(cur.snap.Histograms, stage) {
+			h := cur.snap.Histograms[key]
+			fmt.Fprintf(w, "  %-52s n=%-8d p50=%-8d p95=%-8d p99=%-8d max=%d\n",
+				key, h.Count, h.P50, h.P95, h.P99, h.Max)
+		}
+	}
+	return nil
+}
+
+// sortedIn returns the keys of m that belong to stage, sorted.
+func sortedIn[V any](m map[string]V, stage string) []string {
+	var keys []string
+	for k := range m {
+		if stageOf(k) == stage {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// hitRatio derives a cache hit percentage for *_cache_hits gauges whose
+// *_cache_misses sibling is present.
+func hitRatio(gauges map[string]int64, key string) (float64, bool) {
+	base, ok := strings.CutSuffix(key, "_cache_hits")
+	if !ok {
+		return 0, false
+	}
+	misses, ok := gauges[base+"_cache_misses"]
+	if !ok {
+		return 0, false
+	}
+	hits := gauges[key]
+	total := hits + misses
+	if total == 0 {
+		return 0, false
+	}
+	return 100 * float64(hits) / float64(total), true
+}
+
+func fatal(err error) {
+	cli.Fatal("coremaptop", err)
+}

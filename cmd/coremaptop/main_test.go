@@ -1,0 +1,121 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"coremap/internal/obs"
+)
+
+// snapshotFixture builds a small labeled world through a live registry so
+// the dashboard's inputs stay structurally honest (canonical label suffixes,
+// finalized histogram quantiles).
+func snapshotFixture(t *testing.T, planned, hits, misses int64) obs.Snapshot {
+	t.Helper()
+	reg := obs.NewRegistry()
+	for i := int64(0); i < planned; i++ {
+		reg.Counter("probe/experiments/planned").Inc()
+	}
+	reg.Gauge("probe/cache/hits").Set(hits)
+	reg.Gauge("probe/cache/misses").Set(misses)
+	h := reg.HistogramVec("host/op_us", "op").With("rdmsr")
+	for _, v := range []int64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	return reg.Snapshot()
+}
+
+func TestRenderOnce(t *testing.T) {
+	snap := normalizeFromRegistry(t, snapshotFixture(t, 10, 3, 1))
+	var b strings.Builder
+	if err := render(&b, frame{snap: snap}, frame{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"[probe]",
+		"[host]",
+		"probe_experiments_planned",
+		"hit  75.0%",
+		`host_op_us{op="rdmsr"}`,
+		"p50=",
+		"p99=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "/s") {
+		t.Errorf("one-shot frame must not print rates:\n%s", out)
+	}
+}
+
+func TestRenderRates(t *testing.T) {
+	prev := frame{snap: normalizeFromRegistry(t, snapshotFixture(t, 10, 0, 0)), at: time.Unix(100, 0)}
+	cur := frame{snap: normalizeFromRegistry(t, snapshotFixture(t, 30, 0, 0)), at: time.Unix(102, 0)}
+	var b strings.Builder
+	if err := render(&b, cur, prev); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "10.0/s") {
+		t.Errorf("want 10.0/s rate for +20 counts over 2s, got:\n%s", b.String())
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := render(&b, frame{}, frame{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no metrics yet") {
+		t.Errorf("empty frame should say so, got:\n%s", b.String())
+	}
+}
+
+// TestNormalizeMatchesParseProm pins the two ingestion paths to the same
+// internal view: normalizing a JSON snapshot must agree with scraping the
+// same registry's exposition, for every series key.
+func TestNormalizeMatchesParseProm(t *testing.T) {
+	snap := snapshotFixture(t, 5, 2, 2)
+	fromJSON := normalize(snap)
+
+	var b strings.Builder
+	if err := obs.WriteProm(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	fromProm, err := obs.ParseProm(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for key := range fromJSON.Counters {
+		if _, ok := fromProm.Counters[key]; !ok {
+			t.Errorf("counter %q in normalized JSON but not in parsed exposition", key)
+		}
+	}
+	for key := range fromJSON.Gauges {
+		if _, ok := fromProm.Gauges[key]; !ok {
+			t.Errorf("gauge %q in normalized JSON but not in parsed exposition", key)
+		}
+	}
+	for key, h := range fromJSON.Histograms {
+		ph, ok := fromProm.Histograms[key]
+		if !ok {
+			t.Errorf("histogram %q in normalized JSON but not in parsed exposition", key)
+			continue
+		}
+		// A scraped histogram only knows bucket bounds, so its quantiles
+		// are bucket upper bounds — at or above the native quantile, which
+		// clamps to the true max.
+		if ph.Count != h.Count || ph.Sum != h.Sum || ph.P99 < h.P99 {
+			t.Errorf("histogram %q: parsed {count=%d sum=%d p99=%d}, normalized {count=%d sum=%d p99=%d}",
+				key, ph.Count, ph.Sum, ph.P99, h.Count, h.Sum, h.P99)
+		}
+	}
+}
+
+func normalizeFromRegistry(t *testing.T, snap obs.Snapshot) obs.Snapshot {
+	t.Helper()
+	return normalize(snap)
+}

@@ -39,6 +39,10 @@ import (
 	"coremap/internal/experiments"
 )
 
+// tel is package-level so fatal can flush the flight recorder before the
+// process exits (os.Exit skips any deferred Close in main).
+var tel *cli.Telemetry
+
 func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment to run")
@@ -52,7 +56,7 @@ func main() {
 		csvDir   = flag.String("csv", "", "directory to also write plot-ready CSV files into")
 		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (exit code 2)")
 	)
-	tel := cli.TelemetryFlags()
+	tel = cli.TelemetryFlags()
 	flag.Parse()
 
 	ctx, stop := cli.Context(*timeout)
@@ -210,11 +214,11 @@ func main() {
 	}
 
 	cli.WriteCacheStats(os.Stdout, tel.Registry().Snapshot())
-	if err := tel.Close(os.Stdout); err != nil {
+	if err := tel.Close(os.Stdout, nil); err != nil {
 		fatal(err)
 	}
 }
 
 func fatal(err error) {
-	cli.Fatal("experiments", err)
+	tel.Fatal("experiments", err)
 }

@@ -26,6 +26,10 @@ import (
 	"coremap/internal/probe"
 )
 
+// tel is package-level so fatal can flush the flight recorder before the
+// process exits (os.Exit skips the deferred Close in main).
+var tel *cli.Telemetry
+
 func main() {
 	var (
 		skuName    = flag.String("sku", "8259CL", "CPU model: 8124M, 8175M, 8259CL or 6354")
@@ -39,7 +43,7 @@ func main() {
 		registry   = flag.String("registry", "", "JSON registry file with a cached map for this PPIN (skips the root-level probe)")
 		timeout    = flag.Duration("timeout", 0, "abort mapping and transfer after this duration (exit code 2)")
 	)
-	tel := cli.TelemetryFlags()
+	tel = cli.TelemetryFlags()
 	flag.Parse()
 
 	ctx, stop := cli.Context(*timeout)
@@ -49,7 +53,7 @@ func main() {
 		fatal(err)
 	}
 	defer func() {
-		if err := tel.Close(os.Stdout); err != nil {
+		if err := tel.Close(os.Stdout, ctx.Err()); err != nil {
 			fmt.Fprintln(os.Stderr, "thermchan:", err)
 		}
 	}()
@@ -163,5 +167,5 @@ func lookupOrMap(ctx context.Context, m *machine.Machine, sku *machine.SKU, seed
 }
 
 func fatal(err error) {
-	cli.Fatal("thermchan", err)
+	tel.Fatal("thermchan", err)
 }

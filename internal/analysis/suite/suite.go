@@ -13,6 +13,7 @@ import (
 	"coremap/internal/analysis/gosync"
 	"coremap/internal/analysis/hostsafe"
 	"coremap/internal/analysis/lockcheck"
+	"coremap/internal/analysis/obscheck"
 	"coremap/internal/analysis/poolsafe"
 	"coremap/internal/analysis/toposafe"
 )
@@ -30,6 +31,7 @@ var Analyzers = []*analysis.Analyzer{
 	gosync.Analyzer,
 	lockcheck.Analyzer,
 	toposafe.Analyzer,
+	obscheck.Analyzer,
 }
 
 // ExtraExclusions registers rule-level exemption maps that live inside

@@ -47,6 +47,11 @@ type Delta struct {
 	// Regressed is set when Cur moves past Base in the metric's bad
 	// direction by more than the threshold.
 	Regressed bool
+	// BelowFloor marks a wall-time delta that exceeded the threshold
+	// but was not gated because both sides sit under the ns floor —
+	// too short for single-iteration timing on a shared runner to mean
+	// anything. Rendered, never failed: the suppression stays visible.
+	BelowFloor bool
 }
 
 // WorsePct returns the relative change in the metric's bad direction:
@@ -61,11 +66,18 @@ func (d Delta) WorsePct() float64 {
 
 // Diff compares every benchmark present in both reports metric by metric.
 // threshold is a fraction: 0.15 flags any metric more than 15% worse than
-// baseline. Benchmarks present in only one report are returned by name in
-// missing (baseline-only — a silently dropped benchmark must be visible)
-// and fresh (current-only, informational). The deltas are ordered by
+// baseline. nsFloor (nanoseconds, 0 = no floor) exempts ns_per_op from
+// gating when both baseline and current sit below it: wall time measured
+// in a single iteration on a shared runner is dominated by timer overhead
+// and cold caches at that scale, swinging multiple-x between runs of
+// identical code, while the deterministic metrics (allocs/op,
+// host-ops/map) keep gating those benchmarks tightly. A genuine blowup
+// still fails — it pushes the current value past the floor. Benchmarks
+// present in only one report are returned by name in missing
+// (baseline-only — a silently dropped benchmark must be visible) and
+// fresh (current-only, informational). The deltas are ordered by
 // benchmark name then metric for deterministic output.
-func Diff(base, cur Report, threshold float64) (deltas []Delta, missing, fresh []string) {
+func Diff(base, cur Report, threshold, nsFloor float64) (deltas []Delta, missing, fresh []string) {
 	curBy := make(map[string]Benchmark, len(cur.Benchmarks))
 	for _, b := range cur.Benchmarks {
 		curBy[b.Name] = b
@@ -111,6 +123,10 @@ func Diff(base, cur Report, threshold float64) (deltas []Delta, missing, fresh [
 			if bv > 0 {
 				d.Pct = (cv - bv) / bv
 				d.Regressed = d.WorsePct() > threshold
+				if d.Regressed && metric.name == "ns_per_op" &&
+					nsFloor > 0 && bv < nsFloor && cv < nsFloor {
+					d.Regressed, d.BelowFloor = false, true
+				}
 			}
 			deltas = append(deltas, d)
 		}
@@ -140,6 +156,8 @@ func Markdown(deltas []Delta, missing, fresh []string, threshold float64) string
 		flag := ""
 		if d.Regressed {
 			flag = "❌ regression"
+		} else if d.BelowFloor {
+			flag = "⚠️ below ns floor, not gated"
 		} else if d.WorsePct() < -0.05 {
 			flag = "✅ improved"
 		}
@@ -170,6 +188,8 @@ func Text(deltas []Delta, missing, fresh []string) string {
 		flag := ""
 		if d.Regressed {
 			flag = "  REGRESSION"
+		} else if d.BelowFloor {
+			flag = "  below ns floor, not gated"
 		}
 		fmt.Fprintf(&b, "%-*s  %-9s  %14s -> %14s  %+7.1f%%%s\n",
 			w, d.Name, d.Metric, formatValue(d.Metric, d.Base),

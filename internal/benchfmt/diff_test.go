@@ -24,7 +24,7 @@ func TestDiffFlagsRegressions(t *testing.T) {
 		bench("BenchmarkA", 1100, 50),  // +10% ns: within a 15% gate
 		bench("BenchmarkB", 2000, 120), // +20% allocs: regression
 	)
-	deltas, missing, fresh := Diff(base, cur, 0.15)
+	deltas, missing, fresh := Diff(base, cur, 0.15, 0)
 	if len(missing) != 0 || len(fresh) != 0 {
 		t.Fatalf("missing=%v fresh=%v, want none", missing, fresh)
 	}
@@ -43,7 +43,7 @@ func TestDiffFlagsRegressions(t *testing.T) {
 func TestDiffExactThresholdPasses(t *testing.T) {
 	// The gate is strict: exactly +15% is not a regression, only > is.
 	deltas, _, _ := Diff(report(bench("B", 1000, 100)),
-		report(bench("B", 1150, 115)), 0.15)
+		report(bench("B", 1150, 115)), 0.15, 0)
 	if reg := Regressions(deltas); len(reg) != 0 {
 		t.Fatalf("exact-threshold deltas flagged as regressions: %+v", reg)
 	}
@@ -51,7 +51,7 @@ func TestDiffExactThresholdPasses(t *testing.T) {
 
 func TestDiffImprovementNeverFails(t *testing.T) {
 	deltas, _, _ := Diff(report(bench("B", 1000, 100)),
-		report(bench("B", 100, 5)), 0.15)
+		report(bench("B", 100, 5)), 0.15, 0)
 	if reg := Regressions(deltas); len(reg) != 0 {
 		t.Fatalf("improvement flagged as regression: %+v", reg)
 	}
@@ -75,7 +75,7 @@ func TestDiffHostOpsGatesOnlyIncreases(t *testing.T) {
 	// gate, and a PR that re-inflates it must fail.
 	base := report(withMetric(bench("BenchmarkPlanned", 1000, 10), "host-ops/map", 240000))
 	better := report(withMetric(bench("BenchmarkPlanned", 1000, 10), "host-ops/map", 60000))
-	deltas, _, _ := Diff(base, better, 0.15)
+	deltas, _, _ := Diff(base, better, 0.15, 0)
 	if reg := Regressions(deltas); len(reg) != 0 {
 		t.Fatalf("host-ops/map decrease flagged as regression: %+v", reg)
 	}
@@ -93,7 +93,7 @@ func TestDiffHostOpsGatesOnlyIncreases(t *testing.T) {
 	}
 
 	worse := report(withMetric(bench("BenchmarkPlanned", 1000, 10), "host-ops/map", 300000))
-	deltas, _, _ = Diff(base, worse, 0.15)
+	deltas, _, _ = Diff(base, worse, 0.15, 0)
 	reg := Regressions(deltas)
 	if len(reg) != 1 || reg[0].Metric != "host-ops/map" {
 		t.Fatalf("host-ops/map +25%% not flagged: %+v", reg)
@@ -105,7 +105,7 @@ func TestDiffHigherIsBetterMetric(t *testing.T) {
 	// regress, and increases render as improvements.
 	base := report(withMetric(bench("BenchmarkCapacity", 1000, 10), "bps-under-1pct", 4))
 	faster := report(withMetric(bench("BenchmarkCapacity", 1000, 10), "bps-under-1pct", 8))
-	deltas, missing, fresh := Diff(base, faster, 0.15)
+	deltas, missing, fresh := Diff(base, faster, 0.15, 0)
 	if reg := Regressions(deltas); len(reg) != 0 {
 		t.Fatalf("capacity increase flagged as regression: %+v", reg)
 	}
@@ -115,7 +115,7 @@ func TestDiffHigherIsBetterMetric(t *testing.T) {
 	}
 
 	slower := report(withMetric(bench("BenchmarkCapacity", 1000, 10), "bps-under-1pct", 2))
-	deltas, _, _ = Diff(base, slower, 0.15)
+	deltas, _, _ = Diff(base, slower, 0.15, 0)
 	reg := Regressions(deltas)
 	if len(reg) != 1 || reg[0].Metric != "bps-under-1pct" {
 		t.Fatalf("halved capacity not flagged: %+v", reg)
@@ -128,7 +128,7 @@ func TestDiffHigherIsBetterMetric(t *testing.T) {
 func TestDiffMissingAndFresh(t *testing.T) {
 	base := report(bench("BenchmarkOld", 10, 1), bench("BenchmarkBoth", 10, 1))
 	cur := report(bench("BenchmarkBoth", 10, 1), bench("BenchmarkNew", 10, 1))
-	deltas, missing, fresh := Diff(base, cur, 0.15)
+	deltas, missing, fresh := Diff(base, cur, 0.15, 0)
 	if !reflect.DeepEqual(missing, []string{"BenchmarkOld"}) {
 		t.Errorf("missing = %v", missing)
 	}
@@ -145,7 +145,7 @@ func TestDiffMissingAndFresh(t *testing.T) {
 func TestDiffDeterministicOrder(t *testing.T) {
 	base := report(bench("BenchmarkZ", 10, 1), bench("BenchmarkA", 10, 1))
 	cur := report(bench("BenchmarkA", 10, 1), bench("BenchmarkZ", 10, 1))
-	deltas, _, _ := Diff(base, cur, 0.15)
+	deltas, _, _ := Diff(base, cur, 0.15, 0)
 	want := []string{"BenchmarkA", "BenchmarkA", "BenchmarkZ", "BenchmarkZ"}
 	for i, d := range deltas {
 		if d.Name != want[i] {
@@ -157,7 +157,7 @@ func TestDiffDeterministicOrder(t *testing.T) {
 func TestMarkdownMarksRegressions(t *testing.T) {
 	deltas, missing, fresh := Diff(
 		report(bench("BenchmarkB", 1000, 100), bench("BenchmarkGone", 1, 1)),
-		report(bench("BenchmarkB", 2000, 100)), 0.15)
+		report(bench("BenchmarkB", 2000, 100)), 0.15, 0)
 	md := Markdown(deltas, missing, fresh, 0.15)
 	if !strings.Contains(md, "❌ regression") {
 		t.Error("markdown table lacks the regression marker")
@@ -167,5 +167,54 @@ func TestMarkdownMarksRegressions(t *testing.T) {
 	}
 	if !strings.Contains(md, "gate: +15%") {
 		t.Error("markdown caption lacks the threshold")
+	}
+}
+
+func TestDiffNsFloorExemptsShortBenchmarks(t *testing.T) {
+	// A sub-floor benchmark tripling its wall time is single-iteration
+	// timing noise, not a regression — but the suppression must stay
+	// visible in the rendered tables.
+	base := report(bench("BenchmarkShort", 1e6, 100))
+	noisy := report(bench("BenchmarkShort", 3e6, 100))
+	deltas, _, _ := Diff(base, noisy, 0.60, 50e6)
+	if reg := Regressions(deltas); len(reg) != 0 {
+		t.Fatalf("sub-floor timing noise flagged: %+v", reg)
+	}
+	var floored bool
+	for _, d := range deltas {
+		if d.Metric == "ns_per_op" && d.BelowFloor {
+			floored = true
+		}
+	}
+	if !floored {
+		t.Fatal("suppressed ns delta not marked BelowFloor")
+	}
+	if !strings.Contains(Text(deltas, nil, nil), "below ns floor") {
+		t.Error("text table hides the floor suppression")
+	}
+	if !strings.Contains(Markdown(deltas, nil, nil, 0.60), "below ns floor") {
+		t.Error("markdown table hides the floor suppression")
+	}
+
+	// A genuine blowup pushes the current value past the floor and fails.
+	blowup := report(bench("BenchmarkShort", 100e6, 100))
+	deltas, _, _ = Diff(base, blowup, 0.60, 50e6)
+	reg := Regressions(deltas)
+	if len(reg) != 1 || reg[0].Metric != "ns_per_op" {
+		t.Fatalf("past-floor blowup not gated: %+v", reg)
+	}
+
+	// The deterministic metrics gate sub-floor benchmarks regardless.
+	allocUp := report(bench("BenchmarkShort", 1e6, 500))
+	deltas, _, _ = Diff(base, allocUp, 0.60, 50e6)
+	reg = Regressions(deltas)
+	if len(reg) != 1 || reg[0].Metric != "allocs/op" {
+		t.Fatalf("alloc regression below the ns floor not gated: %+v", reg)
+	}
+
+	// Floor 0 disables the exemption.
+	deltas, _, _ = Diff(base, noisy, 0.60, 0)
+	if reg := Regressions(deltas); len(reg) != 1 {
+		t.Fatalf("floor 0 should gate all wall time: %+v", reg)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -18,23 +19,28 @@ import (
 //
 //	-trace <file>        write a JSONL span trace
 //	-metrics-out <file>  write the final metrics snapshot as JSON
-//	-debug-addr <addr>   serve /debug/vars and /debug/pprof while running
+//	-debug-addr <addr>   serve /debug/vars, /metrics and /debug/pprof while running
 //	-report              print a per-stage run report at exit
+//	-flight-dir <dir>    write a flight-recorder post-mortem on failure
 //
 // The telemetry itself is always live once Start has run — stage counters
 // are a few atomic adds — and the flags only choose which surfaces are
 // emitted. Commands call TelemetryFlags before flag.Parse, Start to attach
 // the telemetry to the root context, and Close to flush the artifacts.
+// Fatal paths route through Telemetry.Fatal, so the flight recorder dumps
+// even when the command exits through os.Exit (which skips defers).
 type Telemetry struct {
 	tracePath   string
 	metricsPath string
 	debugAddr   string
+	flightDir   string
 	report      bool
 
 	t      *obs.Telemetry
 	traceW *bufio.Writer
 	traceF *os.File
 	dbg    *obs.DebugServer
+	closed bool
 }
 
 // TelemetryFlags registers the shared observability flags on the
@@ -45,7 +51,8 @@ func newTelemetryFlags(fs *flag.FlagSet) *Telemetry {
 	tf := &Telemetry{}
 	fs.StringVar(&tf.tracePath, "trace", "", "write a JSONL span trace to this file")
 	fs.StringVar(&tf.metricsPath, "metrics-out", "", "write the final metrics snapshot as JSON to this file")
-	fs.StringVar(&tf.debugAddr, "debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&tf.debugAddr, "debug-addr", "", "serve /debug/vars, /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&tf.flightDir, "flight-dir", "", "write a flight-recorder dump (flight.jsonl) to this directory when a run degrades or fails")
 	fs.BoolVar(&tf.report, "report", false, "print a per-stage run report at exit")
 	return tf
 }
@@ -86,12 +93,17 @@ func (tf *Telemetry) Registry() *obs.Registry {
 }
 
 // Close shuts the debug server down, flushes the trace, writes the metrics
-// snapshot, and prints the -report table to w (stdout in the commands).
-// Safe to call once after the run, including when Start never ran.
-func (tf *Telemetry) Close(w io.Writer) error {
-	if tf == nil || tf.t == nil {
+// snapshot, writes the flight-recorder dump when the run warrants one, and
+// prints the -report table to w (stdout in the commands). runErr is the
+// run's outcome: with -flight-dir set, a non-nil runErr — or any recorded
+// Permanent/Degraded/Interrupted span — triggers the post-mortem dump.
+// Idempotent (only the first call does anything), and safe to call when
+// Start never ran.
+func (tf *Telemetry) Close(w io.Writer, runErr error) error {
+	if tf == nil || tf.t == nil || tf.closed {
 		return nil
 	}
+	tf.closed = true
 	var firstErr error
 	keep := func(err error) {
 		if err != nil && firstErr == nil {
@@ -113,10 +125,36 @@ func (tf *Telemetry) Close(w io.Writer) error {
 			keep(err)
 		}
 	}
+	if tf.flightDir != "" && (runErr != nil || tf.t.FlightTriggered()) {
+		if err := os.MkdirAll(tf.flightDir, 0o755); err != nil {
+			keep(err)
+		} else {
+			path := filepath.Join(tf.flightDir, "flight.jsonl")
+			f, err := os.Create(path)
+			if err == nil {
+				keep(tf.t.WriteFlight(f, runErr))
+				keep(f.Close())
+				fmt.Fprintf(os.Stderr, "telemetry: flight-recorder dump written to %s\n", path)
+			} else {
+				keep(err)
+			}
+		}
+	}
 	if tf.report {
 		keep(tf.t.Report(w))
 	}
 	return firstErr
+}
+
+// Fatal flushes the telemetry with err as the run's outcome — so a
+// configured flight recorder dumps its post-mortem before the process
+// dies — then prints and exits via cli.Fatal. Commands route their fatal
+// helpers here because os.Exit skips the deferred Close.
+func (tf *Telemetry) Fatal(prog string, err error) {
+	if cerr := tf.Close(os.Stdout, err); cerr != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", prog, cerr)
+	}
+	Fatal(prog, err)
 }
 
 // WriteCacheStats prints one "[cache]" line per cache layer registered in

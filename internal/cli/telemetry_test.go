@@ -36,7 +36,7 @@ func TestTelemetryRoundTrip(t *testing.T) {
 	span.SetAttr("planned", 3)
 	span.End(nil)
 
-	if err := tf.Close(os.Stderr); err != nil {
+	if err := tf.Close(os.Stderr, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -60,22 +60,22 @@ func TestTelemetryRoundTrip(t *testing.T) {
 
 func TestTelemetryCloseWithoutStart(t *testing.T) {
 	var tf *Telemetry
-	if err := tf.Close(os.Stderr); err != nil {
+	if err := tf.Close(os.Stderr, nil); err != nil {
 		t.Errorf("nil Telemetry Close: %v", err)
 	}
-	if err := (&Telemetry{}).Close(os.Stderr); err != nil {
+	if err := (&Telemetry{}).Close(os.Stderr, nil); err != nil {
 		t.Errorf("unstarted Telemetry Close: %v", err)
 	}
 }
 
 func TestWriteCacheStats(t *testing.T) {
 	reg := obs.NewRegistry()
-	reg.GaugeFunc("locate/cache/hits", func() int64 { return 7 })
-	reg.GaugeFunc("locate/cache/misses", func() int64 { return 2 })
-	reg.GaugeFunc("locate/cache/coalesced", func() int64 { return 1 })
-	reg.GaugeFunc("probe/cache/hits", func() int64 { return 5 })
-	reg.GaugeFunc("probe/cache/misses", func() int64 { return 4 })
-	reg.GaugeFunc("probe/cache/coalesced", func() int64 { return 0 })
+	reg.GaugeFunc("locate/cache/hits", nil, func() int64 { return 7 })
+	reg.GaugeFunc("locate/cache/misses", nil, func() int64 { return 2 })
+	reg.GaugeFunc("locate/cache/coalesced", nil, func() int64 { return 1 })
+	reg.GaugeFunc("probe/cache/hits", nil, func() int64 { return 5 })
+	reg.GaugeFunc("probe/cache/misses", nil, func() int64 { return 4 })
+	reg.GaugeFunc("probe/cache/coalesced", nil, func() int64 { return 0 })
 	reg.Gauge("probe/coverage_permille").Set(1000) // must not produce a line
 
 	var sb strings.Builder

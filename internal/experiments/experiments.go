@@ -61,13 +61,16 @@ func (s CacheStats) Sub(o CacheStats) CacheStats {
 // Register wires both cache layers into reg (as locate/cache/* and
 // probe/cache/* gauges), so a run's cache statistics come out of the
 // telemetry snapshot exactly once instead of via per-survey printouts.
-// No-op on a nil cache set or registry.
-func (c *Caches) Register(reg *obs.Registry) {
+// No-op on a nil cache set or registry; an exact-duplicate registration
+// is reported by the registry.
+func (c *Caches) Register(reg *obs.Registry) error {
 	if c == nil {
-		return
+		return nil
 	}
-	c.Locate.Register(reg)
-	c.Probe.Register(reg)
+	if err := c.Locate.Register(reg); err != nil {
+		return err
+	}
+	return c.Probe.Register(reg)
 }
 
 // Config sizes an experiment run.

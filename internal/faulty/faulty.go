@@ -72,10 +72,14 @@ func New(inner hostif.Host, opts Options) *Host {
 // Register wires the host's fault counters into reg as lazily-read
 // gauges faulty/injected and faulty/ops. Registration is additive, so
 // several fault-injecting hosts in one process (one per surveyed
-// instance, say) sum under the same two names. No-op on a nil registry.
-func (h *Host) Register(reg *obs.Registry) {
-	reg.GaugeFunc("faulty/injected", h.injected.Load)
-	reg.GaugeFunc("faulty/ops", h.ops.Load)
+// instance, say) sum under the same two names; registering the same host
+// twice is a double-count bug the registry rejects. No-op on a nil
+// registry.
+func (h *Host) Register(reg *obs.Registry) error {
+	if err := reg.GaugeFunc("faulty/injected", h, h.injected.Load); err != nil {
+		return err
+	}
+	return reg.GaugeFunc("faulty/ops", h, h.ops.Load)
 }
 
 // Injected returns how many faults have been injected so far.

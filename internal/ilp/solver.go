@@ -84,6 +84,8 @@ func Solve(ctx context.Context, m *Model, opts Options) (sol *Solution, err erro
 	}
 	ctx, span := obs.Start(ctx, "ilp/solve")
 	defer func() { span.End(err) }()
+	clock := obs.From(ctx).Clock()
+	solveStart := clock.Now()
 	maxNodes := opts.MaxNodes
 	if maxNodes <= 0 {
 		maxNodes = DefaultMaxNodes
@@ -153,6 +155,8 @@ func Solve(ctx context.Context, m *Model, opts Options) (sol *Solution, err erro
 	<-watcher
 
 	e.record(obs.RegistryFrom(ctx), m, target, span)
+	obs.RegistryFrom(ctx).Histogram("ilp/solve_us").
+		Observe(clock.Now().Sub(solveStart).Microseconds())
 	interrupted := e.interrupted.Load()
 	// The pool has joined, but the incumbent fields are guarded by e.mu,
 	// so the (uncontended) lock is taken for the final read too.
@@ -186,11 +190,6 @@ func Solve(ctx context.Context, m *Model, opts Options) (sol *Solution, err erro
 	return sol, nil
 }
 
-// workerNodeBounds buckets per-worker node counts for the utilization
-// histogram: a heavily skewed distribution (one busy worker, the rest
-// idle) is the signature of a bad task split.
-var workerNodeBounds = []int64{0, 100, 1_000, 10_000, 100_000, 1_000_000}
-
 // record publishes the finished search's statistics: counters for nodes,
 // prunes, incumbent updates and presolve reductions, the per-worker node
 // histogram, and the node/worker attributes of the solve span. Safe (and
@@ -221,7 +220,7 @@ func (e *engine) record(reg *obs.Registry, orig, target *Model, span *obs.Span) 
 	if e.symBreaks > 0 {
 		reg.Counter("ilp/symmetry_breaks").Add(e.symBreaks)
 	}
-	h := reg.Histogram("ilp/worker_nodes", workerNodeBounds)
+	h := reg.Histogram("ilp/worker_nodes")
 	for _, n := range e.workerNodes {
 		h.Observe(n)
 	}

@@ -54,12 +54,13 @@ func (c *Cache) Stats() memo.Stats { return c.g.Stats() }
 func (c *Cache) Len() int { return c.g.Len() }
 
 // Register wires the cache counters into reg under locate/cache/*.
-// No-op on a nil cache or registry.
-func (c *Cache) Register(reg *obs.Registry) {
+// No-op on a nil cache or registry; an exact-duplicate registration is
+// reported by the registry.
+func (c *Cache) Register(reg *obs.Registry) error {
 	if c == nil {
-		return
+		return nil
 	}
-	c.g.Register(reg, "locate/cache")
+	return c.g.Register(reg, "locate/cache")
 }
 
 // reconstruct is the cached version of Reconstruct's solve path. The

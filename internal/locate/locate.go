@@ -479,14 +479,18 @@ func rawConstraintCount(in Input) int64 {
 // observations contradict it).
 func reconstruct(ctx context.Context, in Input, opts Options, warmPos []mesh.Coord) (result *Map, err error) {
 	ctx, span := obs.Start(ctx, "locate/reconstruct")
+	reg := obs.RegistryFrom(ctx)
+	clock := obs.From(ctx).Clock()
+	reconStart := clock.Now()
 	defer func() {
 		if result != nil {
 			span.SetAttr("rounds", int64(result.SeparationRounds)).
 				SetAttr("nodes", int64(result.Nodes))
 		}
+		reg.Histogram("locate/reconstruct_us").
+			Observe(clock.Now().Sub(reconStart).Microseconds())
 		span.End(err)
 	}()
-	reg := obs.RegistryFrom(ctx)
 	reg.Counter("locate/reconstructs").Inc()
 
 	anchored := false

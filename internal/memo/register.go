@@ -6,12 +6,18 @@ import "coremap/internal/obs"
 // lazily-read gauges named prefix/hits, prefix/misses and
 // prefix/coalesced. Registration is additive: several groups may share a
 // prefix (the probe cache registers its two layers under one name) and
-// the snapshot shows their sum. No-op on a nil group or registry.
-func (g *Group) Register(reg *obs.Registry, prefix string) {
+// the snapshot shows their sum — but registering the *same* group twice
+// under one prefix would double-count, so the registry rejects it and the
+// error surfaces here. No-op on a nil group or registry.
+func (g *Group) Register(reg *obs.Registry, prefix string) error {
 	if g == nil || reg == nil {
-		return
+		return nil
 	}
-	reg.GaugeFunc(prefix+"/hits", g.hits.Load)
-	reg.GaugeFunc(prefix+"/misses", g.misses.Load)
-	reg.GaugeFunc(prefix+"/coalesced", g.coalesce.Load)
+	if err := reg.GaugeFunc(prefix+"/hits", g, g.hits.Load); err != nil {
+		return err
+	}
+	if err := reg.GaugeFunc(prefix+"/misses", g, g.misses.Load); err != nil {
+		return err
+	}
+	return reg.GaugeFunc(prefix+"/coalesced", g, g.coalesce.Load)
 }

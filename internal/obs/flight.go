@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"coremap/internal/cmerr"
+)
+
+// The flight recorder is the run's black box: a bounded per-stage ring of
+// the most recent finished spans and events. The main trace ring is
+// global, so a noisy stage (thousands of probe experiments) evicts the
+// few spans of the stage that actually failed long before a post-mortem
+// reads them; per-stage rings keep the last N records of *every* stage.
+// When a run ends Degraded or Interrupted, or any span ends with a
+// Permanent error, WriteFlight dumps the rings plus a metric snapshot and
+// the cmerr provenance of the triggering errors as JSONL.
+
+// DefaultFlightCapacity is the per-stage record retention when Config
+// leaves FlightCapacity zero.
+const DefaultFlightCapacity = 64
+
+// maxFlightTriggers bounds the recorded trigger list; the first failures
+// are the diagnostic ones.
+const maxFlightTriggers = 32
+
+// ErrInfo is the structured cmerr provenance of an error: its class plus
+// the (stage, op, CPU, CHA, MSR) coordinates cmerr carries, so a flight
+// dump attributes a failure to an exact location on the part. CPU and CHA
+// are -1 when not applicable, mirroring cmerr.Error.
+type ErrInfo struct {
+	Class string `json:"class"`
+	Stage string `json:"stage,omitempty"`
+	Op    string `json:"op,omitempty"`
+	CPU   int    `json:"cpu"`
+	CHA   int    `json:"cha"`
+	MSR   uint64 `json:"msr,omitempty"`
+	Msg   string `json:"msg,omitempty"`
+}
+
+// errClass returns the class string recorded on spans ("" for a nil
+// error) and, when err carries cmerr provenance, its structured form.
+func errClass(err error) (string, *ErrInfo) {
+	if err == nil {
+		return "", nil
+	}
+	class := "unclassified"
+	if cls := cmerr.ClassOf(err); cls != nil {
+		class = cls.Error()
+	}
+	var ce *cmerr.Error
+	if !errors.As(err, &ce) {
+		return class, nil
+	}
+	return class, &ErrInfo{
+		Class: class,
+		Stage: ce.Stage,
+		Op:    ce.Op,
+		CPU:   ce.CPU,
+		CHA:   ce.CHA,
+		MSR:   ce.MSR,
+		Msg:   err.Error(),
+	}
+}
+
+// flightTriggering reports whether a span ending with this class should
+// arm the flight recorder: permanent failures and degraded or interrupted
+// endings are post-mortem-worthy; transient errors are retried and
+// absorbed upstream.
+func flightTriggering(class string) bool {
+	switch class {
+	case cmerr.Permanent.Error(), cmerr.Degraded.Error(), cmerr.Interrupted.Error():
+		return true
+	}
+	return false
+}
+
+// FlightTrigger is one error that armed the flight recorder.
+type FlightTrigger struct {
+	Span int64    `json:"span"`
+	Name string   `json:"name"`
+	Err  string   `json:"err"`
+	Info *ErrInfo `json:"info,omitempty"`
+}
+
+// FlightHeader is the first line of a flight dump: why it was written and
+// which failures armed the recorder.
+type FlightHeader struct {
+	Capacity int             `json:"capacity"`
+	RunErr   string          `json:"run_err,omitempty"`
+	Reason   *ErrInfo        `json:"reason,omitempty"`
+	Triggers []FlightTrigger `json:"triggers,omitempty"`
+}
+
+type flightRing struct {
+	buf  []SpanRecord
+	head int // index of the oldest record once the ring has wrapped
+}
+
+func (r *flightRing) add(rec SpanRecord, capacity int) {
+	if len(r.buf) < capacity {
+		r.buf = append(r.buf, rec)
+		return
+	}
+	r.buf[r.head] = rec
+	r.head = (r.head + 1) % capacity
+}
+
+func (r *flightRing) records() []SpanRecord {
+	out := make([]SpanRecord, 0, len(r.buf))
+	out = append(out, r.buf[r.head:]...)
+	out = append(out, r.buf[:r.head]...)
+	return out
+}
+
+// flightRecorder retains the last capacity records per stage and the
+// first triggering errors.
+type flightRecorder struct {
+	capacity int // set at construction, immutable afterwards
+
+	mu       sync.Mutex
+	stages   map[string]*flightRing // guarded by mu
+	triggers []FlightTrigger        // guarded by mu
+}
+
+func newFlightRecorder(capacity int) *flightRecorder {
+	if capacity == 0 {
+		capacity = DefaultFlightCapacity
+	}
+	if capacity < 0 {
+		return nil
+	}
+	return &flightRecorder{capacity: capacity, stages: make(map[string]*flightRing)}
+}
+
+func (fr *flightRecorder) record(rec SpanRecord) {
+	if fr == nil {
+		return
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	stage := stageOf(rec.Name)
+	ring, ok := fr.stages[stage]
+	if !ok {
+		ring = &flightRing{}
+		fr.stages[stage] = ring
+	}
+	ring.add(rec, fr.capacity)
+	if flightTriggering(rec.Err) && len(fr.triggers) < maxFlightTriggers {
+		fr.triggers = append(fr.triggers, FlightTrigger{
+			Span: rec.ID, Name: rec.Name, Err: rec.Err, Info: rec.ErrInfo,
+		})
+	}
+}
+
+func (fr *flightRecorder) triggered() bool {
+	if fr == nil {
+		return false
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return len(fr.triggers) > 0
+}
+
+// FlightTriggered reports whether any recorded span or event ended with a
+// Permanent, Degraded or Interrupted error — i.e. whether a post-mortem
+// dump would have something to explain. Nil-safe.
+func (t *Telemetry) FlightTriggered() bool {
+	if t == nil {
+		return false
+	}
+	return t.fr.triggered()
+}
+
+// WriteFlight writes the post-mortem JSONL dump: a FlightHeader line
+// (wrapped as {"flight": ...}) carrying runErr's class and provenance
+// plus the recorded triggers, one {"metrics": ...} snapshot line, then
+// one {"span": ...} line per retained record, grouped by stage in sorted
+// order and oldest-first within a stage. Nil-safe; with the flight
+// recorder disabled it writes a header and metrics only.
+func (t *Telemetry) WriteFlight(w io.Writer, runErr error) error {
+	if t == nil {
+		return nil
+	}
+	hdr := FlightHeader{}
+	var stages []string
+	rings := make(map[string][]SpanRecord)
+	if t.fr != nil {
+		hdr.Capacity = t.fr.capacity
+		t.fr.mu.Lock()
+		hdr.Triggers = append([]FlightTrigger(nil), t.fr.triggers...)
+		stages = sortedKeys(t.fr.stages)
+		for _, stage := range stages {
+			rings[stage] = t.fr.stages[stage].records()
+		}
+		t.fr.mu.Unlock()
+	}
+	hdr.RunErr, hdr.Reason = errClass(runErr)
+	if hdr.Reason == nil && len(hdr.Triggers) > 0 {
+		hdr.Reason = hdr.Triggers[0].Info
+	}
+	sort.Strings(stages)
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(map[string]FlightHeader{"flight": hdr}); err != nil {
+		return fmt.Errorf("obs: write flight header: %w", err)
+	}
+	if err := enc.Encode(map[string]Snapshot{"metrics": t.Registry().Snapshot()}); err != nil {
+		return fmt.Errorf("obs: write flight metrics: %w", err)
+	}
+	for _, stage := range stages {
+		for _, rec := range rings[stage] {
+			if err := enc.Encode(map[string]SpanRecord{"span": rec}); err != nil {
+				return fmt.Errorf("obs: write flight span: %w", err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestBucketTableInvariants pins the bucket-boundary functions to each
+// other: bounds strictly increase, every bound maps back to its own
+// bucket, and the table covers the full non-negative int64 range.
+func TestBucketTableInvariants(t *testing.T) {
+	prev := int64(-1)
+	for i := 0; i < histNumBuckets; i++ {
+		ub := bucketUB(i)
+		if ub <= prev {
+			t.Fatalf("bucketUB(%d) = %d, not above bucketUB(%d) = %d", i, ub, i-1, prev)
+		}
+		if got := bucketIdx(ub); got != i {
+			t.Fatalf("bucketIdx(bucketUB(%d)) = %d, want %d", i, got, i)
+		}
+		prev = ub
+	}
+	if got := bucketIdx(0); got != 0 {
+		t.Fatalf("bucketIdx(0) = %d, want 0", got)
+	}
+	if got := bucketIdx(-5); got != 0 {
+		t.Fatalf("bucketIdx(-5) = %d, want 0 (negatives clamp)", got)
+	}
+	if got := bucketIdx(math.MaxInt64); got != histNumBuckets-1 {
+		t.Fatalf("bucketIdx(MaxInt64) = %d, want %d", got, histNumBuckets-1)
+	}
+	if got := bucketUB(histNumBuckets - 1); got != math.MaxInt64 {
+		t.Fatalf("bucketUB(last) = %d, want MaxInt64", got)
+	}
+}
+
+// histFrom builds a snapshot from a fixed observation list.
+func histFrom(obsv ...int64) HistogramSnapshot {
+	h := newHistogram()
+	for _, v := range obsv {
+		h.Observe(v)
+	}
+	return h.snapshot()
+}
+
+// TestHistogramMergeAssociative is the fleet roll-up guarantee: because
+// every histogram shares one fixed bucket table, Merge is exact bucket-wise
+// addition, so per-worker snapshots combine associatively and
+// commutatively — the roll-up order across workers cannot change the
+// result.
+func TestHistogramMergeAssociative(t *testing.T) {
+	a := histFrom(1, 2, 3, 900, 901)
+	b := histFrom(7, 7, 7, 1<<20)
+	c := histFrom(0, 5000, 123456789)
+
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+	if !reflect.DeepEqual(left, right) {
+		t.Fatalf("merge not associative:\n(a+b)+c = %+v\na+(b+c) = %+v", left, right)
+	}
+	if !reflect.DeepEqual(a.Merge(b), b.Merge(a)) {
+		t.Fatal("merge not commutative")
+	}
+
+	all := histFrom(1, 2, 3, 900, 901, 7, 7, 7, 1<<20, 0, 5000, 123456789)
+	if !reflect.DeepEqual(left, all) {
+		t.Fatalf("merged snapshot differs from single-histogram snapshot:\nmerged = %+v\ndirect = %+v", left, all)
+	}
+}
+
+func TestHistogramMergeEmptyIdentity(t *testing.T) {
+	a := histFrom(10, 20, 30)
+	var empty HistogramSnapshot
+	if got := a.Merge(empty); !reflect.DeepEqual(got, a) {
+		t.Fatalf("a.Merge(empty) = %+v, want a = %+v", got, a)
+	}
+	if got := empty.Merge(a); !reflect.DeepEqual(got, a) {
+		t.Fatalf("empty.Merge(a) = %+v, want a = %+v", got, a)
+	}
+}
+
+func TestQuantileRelativeErrorBound(t *testing.T) {
+	// The quantile estimate is the upper bound of the rank bucket, so it
+	// is never below the true value and overshoots by at most one
+	// sub-bucket width (12.5% relative).
+	for _, v := range []int64{1, 9, 100, 1023, 1 << 30} {
+		s := histFrom(v)
+		q := s.Quantile(0.5)
+		if q < v {
+			t.Fatalf("Quantile below true value: %d < %d", q, v)
+		}
+		if float64(q-v) > 0.125*float64(v)+1 {
+			t.Fatalf("Quantile(0.5) of {%d} = %d, beyond 12.5%% relative error", v, q)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Labeled metrics: a vec is a family of metrics sharing one name and one
+// ordered, fixed-arity label key set registered up front (the obscheck
+// analyzer enforces literal, grammar-clean keys at the call sites). Series
+// handles are interned in a sharded index so concurrent With lookups from
+// the survey worker pools contend on independent locks; the shard mutex
+// follows the same "guarded by" discipline lockcheck enforces elsewhere.
+//
+// Misuse — re-registering a name with a different kind or key set, label
+// keys outside the grammar, or a With call with the wrong arity — never
+// panics inside instrumented pipeline code: the offender gets a nil (no-op)
+// handle and the registry counts the event under the obs/vec_errors
+// counter, which surfaces in every snapshot so CI notices.
+
+// numVecShards is the series-index shard count; label hashing spreads
+// series across shards so parallel workers touching different series
+// rarely share a lock.
+const numVecShards = 8
+
+type vecKind uint8
+
+const (
+	vecCounter vecKind = iota
+	vecGauge
+	vecHist
+)
+
+func (k vecKind) String() string {
+	switch k {
+	case vecCounter:
+		return "counter"
+	case vecGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type vecShard struct {
+	mu     sync.Mutex
+	series map[string]*vecSeries // guarded by mu
+}
+
+type vecSeries struct {
+	c *Counter
+	g *Gauge
+	h *Histogram
+}
+
+// vecFamily is one registered (name, kind, keys) family. name, kind and
+// keys are set at registration and immutable afterwards; only the shard
+// maps mutate.
+type vecFamily struct {
+	reg    *Registry
+	name   string
+	kind   vecKind
+	keys   []string
+	shards [numVecShards]vecShard
+}
+
+// validLabelKey reports whether k matches the label-key grammar
+// [a-z][a-z0-9_]*.
+func validLabelKey(k string) bool {
+	if len(k) == 0 || k[0] < 'a' || k[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(k); i++ {
+		c := k[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+// seriesKey renders the canonical label suffix {k1="v1",k2="v2"}: keys in
+// registration order, values quoted. It doubles as the interning key and
+// as the snapshot key suffix, so Snapshot/WriteJSON ordering is canonical
+// by construction.
+func seriesKey(keys, values []string) string {
+	b := make([]byte, 0, 32)
+	b = append(b, '{')
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, k...)
+		b = append(b, '=')
+		b = strconv.AppendQuote(b, values[i])
+	}
+	b = append(b, '}')
+	return string(b)
+}
+
+// fnv32a is FNV-1a over s, used only to pick a shard.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// series interns and returns the series for values, or nil on an arity
+// mismatch (counted as a vec error).
+func (f *vecFamily) series(values []string) *vecSeries {
+	if f == nil {
+		return nil
+	}
+	if len(values) != len(f.keys) {
+		f.reg.vecErrs.Add(1)
+		return nil
+	}
+	key := seriesKey(f.keys, values)
+	sh := &f.shards[fnv32a(key)%numVecShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.series[key]
+	if !ok {
+		s = &vecSeries{}
+		switch f.kind {
+		case vecCounter:
+			s.c = &Counter{}
+		case vecGauge:
+			s.g = &Gauge{}
+		case vecHist:
+			s.h = newHistogram()
+		}
+		if sh.series == nil {
+			sh.series = make(map[string]*vecSeries)
+		}
+		sh.series[key] = s
+	}
+	return s
+}
+
+// eachSeries visits every interned series as name{k="v",...}, in sorted
+// series order, so snapshot flattening is deterministic.
+func (f *vecFamily) eachSeries(fn func(fullName string, s *vecSeries)) {
+	var keys []string
+	bySuffix := make(map[string]*vecSeries)
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		for _, suffix := range sortedKeys(sh.series) {
+			keys = append(keys, suffix)
+			bySuffix[suffix] = sh.series[suffix]
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(keys)
+	for _, suffix := range keys {
+		fn(f.name+suffix, bySuffix[suffix])
+	}
+}
+
+// CounterVec is a family of counters distinguished by label values.
+// Obtain one from Registry.CounterVec; a nil vec hands out nil (no-op)
+// counters.
+type CounterVec struct{ f *vecFamily }
+
+// With returns the counter for the given label values (one per registered
+// key, in registration order). The handle is interned: With with equal
+// values returns the same counter, and handles are safe to cache on hot
+// paths.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	s := v.f.series(values)
+	if s == nil {
+		return nil
+	}
+	return s.c
+}
+
+// GaugeVec is a family of gauges distinguished by label values.
+type GaugeVec struct{ f *vecFamily }
+
+// With returns the gauge for the given label values; see CounterVec.With.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	s := v.f.series(values)
+	if s == nil {
+		return nil
+	}
+	return s.g
+}
+
+// HistogramVec is a family of histograms distinguished by label values.
+type HistogramVec struct{ f *vecFamily }
+
+// With returns the histogram for the given label values; see
+// CounterVec.With.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	s := v.f.series(values)
+	if s == nil {
+		return nil
+	}
+	return s.h
+}
+
+// vecFamily returns the family registered under name, creating it when
+// new. A kind or key-set mismatch with the existing registration, or an
+// invalid key, yields nil (and a vec error count) — instrumentation never
+// panics the pipeline.
+func (r *Registry) vecFamily(name string, kind vecKind, keys []string) *vecFamily {
+	if r == nil {
+		return nil
+	}
+	for _, k := range keys {
+		if !validLabelKey(k) {
+			r.vecErrs.Add(1)
+			return nil
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.vecs[name]
+	if !ok {
+		f = &vecFamily{reg: r, name: name, kind: kind, keys: append([]string(nil), keys...)}
+		r.vecs[name] = f
+		return f
+	}
+	if f.kind != kind || !equalStrings(f.keys, keys) {
+		r.vecErrs.Add(1)
+		return nil
+	}
+	return f
+}
+
+// CounterVec returns the labeled counter family registered under name
+// with the given ordered label keys, creating it if needed. Nil (a no-op
+// family) on a nil receiver or on a conflicting re-registration.
+func (r *Registry) CounterVec(name string, keys ...string) *CounterVec {
+	f := r.vecFamily(name, vecCounter, keys)
+	if f == nil {
+		return nil
+	}
+	return &CounterVec{f}
+}
+
+// GaugeVec returns the labeled gauge family registered under name; see
+// CounterVec.
+func (r *Registry) GaugeVec(name string, keys ...string) *GaugeVec {
+	f := r.vecFamily(name, vecGauge, keys)
+	if f == nil {
+		return nil
+	}
+	return &GaugeVec{f}
+}
+
+// HistogramVec returns the labeled histogram family registered under
+// name; see CounterVec.
+func (r *Registry) HistogramVec(name string, keys ...string) *HistogramVec {
+	f := r.vecFamily(name, vecHist, keys)
+	if f == nil {
+		return nil
+	}
+	return &HistogramVec{f}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func TestVecSeriesInterned(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("host/ops", "op", "cpu")
+	a := v.With("rdmsr", "3")
+	b := v.With("rdmsr", "3")
+	if a == nil || a != b {
+		t.Fatal("With with equal values must return the interned handle")
+	}
+	if v.With("wrmsr", "3") == a {
+		t.Fatal("distinct label values must get distinct series")
+	}
+	a.Add(2)
+	b.Inc()
+	snap := r.Snapshot()
+	if got := snap.Counters[`host/ops{op="rdmsr",cpu="3"}`]; got != 3 {
+		t.Fatalf("series value = %d, want 3; counters = %v", got, snap.Counters)
+	}
+}
+
+// TestVecConcurrentHammer drives every vec kind from parallel goroutines
+// (the survey worker-pool shape) and checks the totals are exact. Run
+// under -race this also proves the sharded series index is properly
+// guarded.
+func TestVecConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("probe/ops", "op")
+	gv := r.GaugeVec("probe/level", "op")
+	hv := r.HistogramVec("probe/lat_us", "op")
+	ops := []string{"rdmsr", "wrmsr", "load", "flush"}
+
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				op := ops[(w+i)%len(ops)]
+				cv.With(op).Inc()
+				gv.With(op).Set(int64(i))
+				hv.With(op).Observe(int64(i % 97))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := r.Snapshot()
+	var counterTotal, histTotal int64
+	for _, op := range ops {
+		key := `{op="` + op + `"}`
+		counterTotal += snap.Counters["probe/ops"+key]
+		histTotal += snap.Histograms["probe/lat_us"+key].Count
+	}
+	if want := int64(workers * perWorker); counterTotal != want {
+		t.Fatalf("counter total = %d, want %d", counterTotal, want)
+	}
+	if want := int64(workers * perWorker); histTotal != want {
+		t.Fatalf("histogram observation total = %d, want %d", histTotal, want)
+	}
+	if n := snap.Counters["obs/vec_errors"]; n != 0 {
+		t.Fatalf("vec errors = %d, want 0", n)
+	}
+}
+
+// TestVecMisuse pins the no-panic contract: every misuse yields a nil
+// (no-op) handle and bumps obs/vec_errors so CI notices, instead of
+// panicking inside instrumented pipeline code.
+func TestVecMisuse(t *testing.T) {
+	r := NewRegistry()
+	good := r.CounterVec("topo/surveys", "backend")
+	if good == nil {
+		t.Fatal("valid registration returned nil")
+	}
+
+	// Arity mismatch at With time.
+	if c := good.With("mesh", "extra"); c != nil {
+		t.Fatal("wrong-arity With must return a nil handle")
+	}
+	// Kind conflict on re-registration.
+	if g := r.GaugeVec("topo/surveys", "backend"); g != nil {
+		t.Fatal("kind conflict must return a nil family")
+	}
+	// Key-set conflict on re-registration.
+	if c := r.CounterVec("topo/surveys", "other"); c != nil {
+		t.Fatal("key-set conflict must return a nil family")
+	}
+	// Invalid label key grammar.
+	if c := r.CounterVec("topo/bad", "Op"); c != nil {
+		t.Fatal("invalid label key must return a nil family")
+	}
+
+	// All four misuses are no-ops downstream...
+	r.GaugeVec("topo/surveys", "backend").With("mesh").Set(9)
+	// ...and each one was counted.
+	if n := r.Snapshot().Counters["obs/vec_errors"]; n != 5 {
+		t.Fatalf("vec errors = %d, want 5", n)
+	}
+}
+
+func TestVecSnapshotDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		v := r.CounterVec("host/ops", "op", "cpu")
+		// Insertion order differs from sorted order on purpose.
+		for _, cpu := range []int{7, 1, 3, 11, 5} {
+			v.With("rdmsr", strconv.Itoa(cpu)).Add(int64(cpu))
+		}
+		return r.Snapshot()
+	}
+	a, b := build(), build()
+	if len(a.Counters) != 5 {
+		t.Fatalf("series count = %d, want 5", len(a.Counters))
+	}
+	for k, v := range a.Counters {
+		if b.Counters[k] != v {
+			t.Fatalf("snapshots differ at %q: %d vs %d", k, v, b.Counters[k])
+		}
+	}
+}
+
+// TestNilPathAllocs pins the disabled-telemetry cost: with a nil registry
+// every metric path must be allocation-free, so unconditional
+// instrumentation stays harmless in benchmarked inner loops.
+func TestNilPathAllocs(t *testing.T) {
+	var r *Registry
+	cv := r.CounterVec("probe/ops", "op")
+	hv := r.HistogramVec("probe/lat_us", "op")
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Counter("probe/x").Add(1)
+		r.Gauge("probe/y").Set(2)
+		r.Histogram("probe/z").Observe(3)
+		cv.With("rdmsr").Inc()
+		hv.With("rdmsr").Observe(4)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-registry metric path allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -18,8 +18,6 @@ import (
 	"io"
 	"sync"
 	"time"
-
-	"coremap/internal/cmerr"
 )
 
 // DefaultTraceCapacity is the span ring-buffer size when Config leaves
@@ -44,6 +42,11 @@ type Config struct {
 	// object per line, in End order. Writes happen under the tracer lock,
 	// so the sink needs no synchronization of its own.
 	TraceSink io.Writer
+
+	// FlightCapacity bounds the flight recorder's per-stage span/event
+	// retention. Zero means DefaultFlightCapacity; negative disables the
+	// recorder entirely.
+	FlightCapacity int
 }
 
 // Telemetry bundles a metrics registry, a span tracer and a clock. It is
@@ -54,6 +57,7 @@ type Telemetry struct {
 	clock Clock
 	epoch time.Time
 	tr    tracer
+	fr    *flightRecorder
 }
 
 // New builds a Telemetry from cfg.
@@ -74,7 +78,15 @@ func New(cfg Config) *Telemetry {
 		clock: clock,
 		epoch: clock.Now(),
 		tr:    tracer{capacity: capacity, sink: cfg.TraceSink},
+		fr:    newFlightRecorder(cfg.FlightCapacity),
 	}
+}
+
+// record routes a finished span or event to the trace ring (and sink) and
+// the flight recorder.
+func (t *Telemetry) record(rec SpanRecord) {
+	t.tr.record(rec)
+	t.fr.record(rec)
 }
 
 // Registry returns the metrics registry; nil on a nil receiver.
@@ -162,16 +174,22 @@ type Attr struct {
 	Str string `json:"s,omitempty"`
 }
 
-// SpanRecord is the serialized form of a finished span. Times are
+// SpanRecord is the serialized form of a finished span or of an
+// instantaneous event (Kind "event", zero duration). Times are
 // microseconds since the Telemetry's epoch (the clock reading at New).
+// ErrInfo carries the structured cmerr provenance of the recorded error,
+// when it had any, so post-mortems can attribute a failure to an exact
+// (stage, op, CPU, CHA) without re-parsing message strings.
 type SpanRecord struct {
-	ID      int64  `json:"id"`
-	Parent  int64  `json:"parent,omitempty"`
-	Name    string `json:"name"`
-	StartUS int64  `json:"start_us"`
-	DurUS   int64  `json:"dur_us"`
-	Err     string `json:"err,omitempty"`
-	Attrs   []Attr `json:"attrs,omitempty"`
+	ID      int64    `json:"id"`
+	Parent  int64    `json:"parent,omitempty"`
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind,omitempty"` // "" = span, "event" = instantaneous
+	StartUS int64    `json:"start_us"`
+	DurUS   int64    `json:"dur_us"`
+	Err     string   `json:"err,omitempty"`
+	ErrInfo *ErrInfo `json:"err_info,omitempty"`
+	Attrs   []Attr   `json:"attrs,omitempty"`
 }
 
 // Span is one in-flight traced operation. A span belongs to the
@@ -249,14 +267,34 @@ func (s *Span) End(err error) {
 		DurUS:   end.Sub(s.start).Microseconds(),
 		Attrs:   s.attrs,
 	}
-	if err != nil {
-		if cls := cmerr.ClassOf(err); cls != nil {
-			rec.Err = cls.Error()
-		} else {
-			rec.Err = "unclassified"
-		}
+	rec.Err, rec.ErrInfo = errClass(err)
+	s.t.record(rec)
+}
+
+// Event records an instantaneous occurrence — typically a failure worth a
+// post-mortem, like a probe experiment being dropped — under the
+// Telemetry in ctx, parented to the current span. The event lands in the
+// trace and in the flight recorder; err (which may be nil) is classified
+// and its cmerr provenance captured exactly as for Span.End. No-op
+// without a Telemetry in ctx.
+func Event(ctx context.Context, name string, err error) {
+	t := From(ctx)
+	if t == nil {
+		return
 	}
-	s.t.tr.record(rec)
+	var parent int64
+	if ps, _ := ctx.Value(spanKey{}).(*Span); ps != nil {
+		parent = ps.id
+	}
+	rec := SpanRecord{
+		ID:      t.tr.nextID(),
+		Parent:  parent,
+		Name:    name,
+		Kind:    "event",
+		StartUS: t.clock.Now().Sub(t.epoch).Microseconds(),
+	}
+	rec.Err, rec.ErrInfo = errClass(err)
+	t.record(rec)
 }
 
 // tracer assigns span IDs and buffers finished spans. IDs are sequential

@@ -33,29 +33,51 @@ func TestCounterGaugeHistogram(t *testing.T) {
 		t.Fatalf("gauge = %d, want 987", got)
 	}
 
-	h := r.Histogram("ilp/worker_nodes", []int64{10, 100, 1000})
-	for _, v := range []int64{5, 10, 11, 100, 5000} {
-		h.Observe(v)
+	h := r.Histogram("ilp/worker_nodes")
+	if r.Histogram("ilp/worker_nodes") != h {
+		t.Fatal("Histogram is not get-or-create")
+	}
+	for _, v := range []int64{5, 10, 11, 100, 5000, -3} {
+		h.Observe(v) // -3 clamps to 0
 	}
 	snap := r.Snapshot().Histograms["ilp/worker_nodes"]
-	want := []int64{2, 2, 0, 1} // <=10: {5,10}; <=100: {11,100}; <=1000: none; overflow: 5000
-	if len(snap.Counts) != len(want) {
-		t.Fatalf("bucket counts %v, want %v", snap.Counts, want)
+	if snap.Count != 6 || snap.Sum != 5+10+11+100+5000 {
+		t.Fatalf("count=%d sum=%d, want 6, %d", snap.Count, snap.Sum, 5+10+11+100+5000)
 	}
-	for i := range want {
-		if snap.Counts[i] != want[i] {
-			t.Fatalf("bucket counts %v, want %v", snap.Counts, want)
+	if snap.Min != 0 || snap.Max != 5000 {
+		t.Fatalf("min=%d max=%d, want 0, 5000", snap.Min, snap.Max)
+	}
+	var total int64
+	for _, b := range snap.Buckets {
+		if b.UB != bucketUB(b.Idx) || b.N <= 0 {
+			t.Fatalf("malformed bucket %+v", b)
 		}
+		total += b.N
 	}
-	if snap.Count != 5 || snap.Sum != 5+10+11+100+5000 {
-		t.Fatalf("count=%d sum=%d, want 5, %d", snap.Count, snap.Sum, 5+10+11+100+5000)
+	if total != snap.Count {
+		t.Fatalf("bucket sum %d != count %d", total, snap.Count)
+	}
+	// Quantiles are bucket upper bounds clamped to Max, monotone, and the
+	// bucket's relative error bound (12.5%) holds for the p99 rank value.
+	if snap.P50 > snap.P95 || snap.P95 > snap.P99 || snap.P99 > snap.Max {
+		t.Fatalf("quantiles not monotone or above max: %+v", snap)
+	}
+	if snap.P99 != 5000 { // rank-6 observation is 5000, clamped to Max
+		t.Fatalf("p99 = %d, want 5000", snap.P99)
+	}
+	if snap.P50 < 5 || snap.P50 > 11 {
+		t.Fatalf("p50 = %d, want within one bucket of the rank-3 value 10", snap.P50)
 	}
 }
 
 func TestGaugeFuncAdditive(t *testing.T) {
 	r := NewRegistry()
-	r.GaugeFunc("faulty/injected", func() int64 { return 2 })
-	r.GaugeFunc("faulty/injected", func() int64 { return 3 })
+	if err := r.GaugeFunc("faulty/injected", nil, func() int64 { return 2 }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.GaugeFunc("faulty/injected", nil, func() int64 { return 3 }); err != nil {
+		t.Fatal(err)
+	}
 	// A plain gauge under the same name merges additively too.
 	r.Gauge("faulty/injected").Set(10)
 	if got := r.Snapshot().Gauges["faulty/injected"]; got != 15 {
@@ -63,10 +85,36 @@ func TestGaugeFuncAdditive(t *testing.T) {
 	}
 }
 
+// TestGaugeFuncDuplicateOwner is the regression test for double
+// registration: the same (name, owner) pair must be rejected with a
+// permanent error instead of silently double-counting the gauge, while a
+// different owner (another cache layer sharing the name) stays additive.
+func TestGaugeFuncDuplicateOwner(t *testing.T) {
+	r := NewRegistry()
+	owner := new(int)
+	if err := r.GaugeFunc("probe/cache/hits", owner, func() int64 { return 5 }); err != nil {
+		t.Fatal(err)
+	}
+	err := r.GaugeFunc("probe/cache/hits", owner, func() int64 { return 5 })
+	if err == nil {
+		t.Fatal("duplicate (name, owner) registration accepted")
+	}
+	if cmerr.ClassOf(err) != cmerr.Permanent {
+		t.Fatalf("duplicate registration error class = %v, want permanent", cmerr.ClassOf(err))
+	}
+	other := new(int)
+	if err := r.GaugeFunc("probe/cache/hits", other, func() int64 { return 7 }); err != nil {
+		t.Fatalf("distinct owner rejected: %v", err)
+	}
+	if got := r.Snapshot().Gauges["probe/cache/hits"]; got != 12 {
+		t.Fatalf("gauge = %d, want 12 (5 + 7, no double registration)", got)
+	}
+}
+
 func TestSnapshotSub(t *testing.T) {
 	r := NewRegistry()
 	c := r.Counter("memo/hits")
-	h := r.Histogram("ilp/worker_nodes", []int64{10})
+	h := r.Histogram("ilp/worker_nodes")
 	c.Add(5)
 	h.Observe(3)
 	before := r.Snapshot()
@@ -81,8 +129,11 @@ func TestSnapshotSub(t *testing.T) {
 		t.Fatalf("delta gauge = %d, want later value 500", got)
 	}
 	dh := d.Histograms["ilp/worker_nodes"]
-	if dh.Count != 1 || dh.Counts[0] != 0 || dh.Counts[1] != 1 {
-		t.Fatalf("delta histogram = %+v, want one overflow observation", dh)
+	if dh.Count != 1 || dh.Sum != 100 {
+		t.Fatalf("delta histogram count=%d sum=%d, want the single 100 observation", dh.Count, dh.Sum)
+	}
+	if len(dh.Buckets) != 1 || dh.Buckets[0].Idx != bucketIdx(100) || dh.Buckets[0].N != 1 {
+		t.Fatalf("delta buckets = %+v, want one observation in bucket %d", dh.Buckets, bucketIdx(100))
 	}
 }
 
@@ -101,8 +152,13 @@ func TestNilSafety(t *testing.T) {
 	r.Counter("x").Add(1)
 	r.Counter("x").Inc()
 	r.Gauge("y").Set(2)
-	r.Histogram("z", []int64{1}).Observe(3)
-	r.GaugeFunc("w", func() int64 { return 1 })
+	r.Histogram("z").Observe(3)
+	if err := r.GaugeFunc("w", nil, func() int64 { return 1 }); err != nil {
+		t.Fatalf("nil registry GaugeFunc: %v", err)
+	}
+	r.CounterVec("v/c", "op").With("a").Inc()
+	r.GaugeVec("v/g", "op").With("a").Set(1)
+	r.HistogramVec("v/h", "op").With("a").Observe(1)
 	snap := r.Snapshot()
 	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 {
 		t.Fatal("nil registry snapshot not empty")
@@ -268,7 +324,9 @@ func TestValidateMetricsRoundTrip(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("probe/experiments/planned").Add(12)
 	r.Gauge("probe/coverage_permille").Set(1000)
-	r.Histogram("ilp/worker_nodes", []int64{10, 100}).Observe(7)
+	r.Histogram("ilp/worker_nodes").Observe(7)
+	r.CounterVec("topo/surveys", "backend").With("mesh").Add(2)
+	r.HistogramVec("host/op_us", "op").With("rdmsr").Observe(3)
 	var buf bytes.Buffer
 	if err := r.Snapshot().WriteJSON(&buf); err != nil {
 		t.Fatal(err)
@@ -288,12 +346,15 @@ func TestValidateMetricsRoundTrip(t *testing.T) {
 
 func TestValidateMetricsRejects(t *testing.T) {
 	cases := map[string]string{
-		"unknown field":  `{"counters":{},"gauges":{},"bogus":{}}`,
-		"no counters":    `{"gauges":{}}`,
-		"no gauges":      `{"counters":{}}`,
-		"bad histogram":  `{"counters":{},"gauges":{},"histograms":{"h":{"bounds":[1,2],"counts":[1],"sum":0,"count":1}}}`,
-		"bad bucket sum": `{"counters":{},"gauges":{},"histograms":{"h":{"bounds":[1],"counts":[1,1],"sum":0,"count":3}}}`,
-		"bad bounds":     `{"counters":{},"gauges":{},"histograms":{"h":{"bounds":[2,2],"counts":[0,0,0],"sum":0,"count":0}}}`,
+		"unknown field":   `{"counters":{},"gauges":{},"bogus":{}}`,
+		"no counters":     `{"gauges":{}}`,
+		"no gauges":       `{"counters":{}}`,
+		"old flat schema": `{"counters":{},"gauges":{},"histograms":{"h":{"bounds":[1,2],"counts":[1],"sum":0,"count":1}}}`,
+		"bad bucket sum":  `{"counters":{},"gauges":{},"histograms":{"h":{"count":3,"sum":0,"min":1,"max":1,"p50":1,"p95":1,"p99":1,"buckets":[{"idx":1,"ub":1,"n":1}]}}}`,
+		"wrong bound":     `{"counters":{},"gauges":{},"histograms":{"h":{"count":1,"sum":5,"min":5,"max":5,"p50":5,"p95":5,"p99":5,"buckets":[{"idx":5,"ub":6,"n":1}]}}}`,
+		"unsorted idx":    `{"counters":{},"gauges":{},"histograms":{"h":{"count":2,"sum":8,"min":3,"max":5,"p50":5,"p95":5,"p99":5,"buckets":[{"idx":5,"ub":5,"n":1},{"idx":3,"ub":3,"n":1}]}}}`,
+		"min above max":   `{"counters":{},"gauges":{},"histograms":{"h":{"count":1,"sum":5,"min":9,"max":5,"p50":5,"p95":5,"p99":5,"buckets":[{"idx":5,"ub":5,"n":1}]}}}`,
+		"stale p99":       `{"counters":{},"gauges":{},"histograms":{"h":{"count":1,"sum":5,"min":5,"max":5,"p50":5,"p95":5,"p99":7,"buckets":[{"idx":5,"ub":5,"n":1}]}}}`,
 	}
 	for name, doc := range cases {
 		if err := ValidateMetrics(strings.NewReader(doc)); err == nil {

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"coremap/internal/cmerr"
 )
 
 // Counter is a monotonically increasing atomic counter. The zero value is
@@ -56,69 +58,37 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
-// Histogram counts observations into fixed, half-open buckets. An
-// observation v lands in the first bucket with v <= bounds[i], or in the
-// overflow bucket when v exceeds every bound. Bucket increments are
-// atomic and commutative, so concurrent observers never perturb the final
-// snapshot regardless of interleaving.
-type Histogram struct {
-	bounds []int64
-	counts []atomic.Int64 // len(bounds)+1; last is overflow
-	sum    atomic.Int64
-	n      atomic.Int64
-}
-
-// Observe records one value. No-op on a nil receiver.
-func (h *Histogram) Observe(v int64) {
-	if h == nil {
-		return
-	}
-	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
-	h.counts[i].Add(1)
-	h.sum.Add(v)
-	h.n.Add(1)
-}
-
-// HistogramSnapshot is the point-in-time state of a Histogram.
-type HistogramSnapshot struct {
-	Bounds []int64 `json:"bounds"`
-	Counts []int64 `json:"counts"` // len(Bounds)+1; last is overflow
-	Sum    int64   `json:"sum"`
-	Count  int64   `json:"count"`
-}
-
-func (h *Histogram) snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{
-		Bounds: append([]int64(nil), h.bounds...),
-		Counts: make([]int64, len(h.counts)),
-		Sum:    h.sum.Load(),
-		Count:  h.n.Load(),
-	}
-	for i := range h.counts {
-		s.Counts[i] = h.counts[i].Load()
-	}
-	return s
-}
-
 // Registry is a process-wide, get-or-create metrics registry. Metric
 // handles are cheap to look up and safe to cache; all mutation paths are
 // lock-free atomics. A nil *Registry hands out nil metric handles, which
 // are themselves no-ops, so instrumentation is unconditional.
 type Registry struct {
-	mu      sync.Mutex
-	counter map[string]*Counter       // guarded by mu
-	gauge   map[string]*Gauge         // guarded by mu
-	hist    map[string]*Histogram     // guarded by mu
-	funcs   map[string][]func() int64 // guarded by mu
+	mu         sync.Mutex
+	counter    map[string]*Counter       // guarded by mu
+	gauge      map[string]*Gauge         // guarded by mu
+	hist       map[string]*Histogram     // guarded by mu
+	funcs      map[string][]func() int64 // guarded by mu
+	funcOwners map[funcOwnerKey]bool     // guarded by mu
+	vecs       map[string]*vecFamily     // guarded by mu
+	vecErrs    atomic.Int64              // labeled-metric misuse count; surfaced as obs/vec_errors
+}
+
+// funcOwnerKey identifies one gauge-func registration for duplicate
+// detection: the metric name plus the registering component.
+type funcOwnerKey struct {
+	name  string
+	owner any
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counter: make(map[string]*Counter),
-		gauge:   make(map[string]*Gauge),
-		hist:    make(map[string]*Histogram),
-		funcs:   make(map[string][]func() int64),
+		counter:    make(map[string]*Counter),
+		gauge:      make(map[string]*Gauge),
+		hist:       make(map[string]*Histogram),
+		funcs:      make(map[string][]func() int64),
+		funcOwners: make(map[funcOwnerKey]bool),
+		vecs:       make(map[string]*vecFamily),
 	}
 }
 
@@ -154,11 +124,11 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// Histogram returns the histogram registered under name, creating it with
-// the given bucket bounds (which must be sorted ascending) if needed. A
-// pre-existing histogram keeps its original bounds; the bounds argument is
-// then ignored. Nil on a nil receiver.
-func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+// Histogram returns the log-bucketed histogram registered under name,
+// creating it if needed. All histograms share one fixed bucket table (see
+// hist.go), so no per-metric bounds are configured and snapshots merge
+// exactly. Nil on a nil receiver.
+func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return nil
 	}
@@ -166,10 +136,7 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.hist[name]
 	if !ok {
-		h = &Histogram{
-			bounds: append([]int64(nil), bounds...),
-			counts: make([]atomic.Int64, len(bounds)+1),
-		}
+		h = newHistogram()
 		r.hist[name] = h
 	}
 	return h
@@ -179,14 +146,30 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 // several functions under one name is additive: the snapshot value is
 // their sum. That lets every instance of a component (e.g. each
 // faulty.Host, or the two memo groups behind a probe cache) register under
-// the same stable name without coordination. No-op on a nil receiver.
-func (r *Registry) GaugeFunc(name string, fn func() int64) {
+// the same stable name without coordination.
+//
+// owner identifies the registering component (typically its pointer; it
+// must be comparable). Registering the same (name, owner) pair twice is
+// the double-count bug additive registration used to hide — it now
+// returns a Permanent error and leaves the registry unchanged. A nil
+// owner opts out of duplicate detection for closures with no natural
+// identity. No-op (nil error) on a nil receiver or nil fn.
+func (r *Registry) GaugeFunc(name string, owner any, fn func() int64) error {
 	if r == nil || fn == nil {
-		return
+		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if owner != nil {
+		k := funcOwnerKey{name: name, owner: owner}
+		if r.funcOwners[k] {
+			return cmerr.New(cmerr.Permanent, "obs",
+				"duplicate gauge-func registration for %q by %T: same owner would double-count in snapshots", name, owner)
+		}
+		r.funcOwners[k] = true
+	}
 	r.funcs[name] = append(r.funcs[name], fn)
+	return nil
 }
 
 // Snapshot is a point-in-time copy of every metric in a Registry. Gauge
@@ -210,8 +193,11 @@ func sortedKeys[V any](m map[string]V) []string {
 	return keys
 }
 
-// Snapshot captures the current value of every registered metric. On a
-// nil receiver it returns an empty (but non-nil-mapped) snapshot.
+// Snapshot captures the current value of every registered metric,
+// including every series of every labeled family (keyed
+// name{k1="v1",k2="v2"} with keys in registration order, so two
+// snapshots of equal state encode identically). On a nil receiver it
+// returns an empty (but non-nil-mapped) snapshot.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters: make(map[string]int64),
@@ -241,6 +227,25 @@ func (r *Registry) Snapshot() Snapshot {
 			s.Histograms[name] = r.hist[name].snapshot()
 		}
 	}
+	for _, name := range sortedKeys(r.vecs) {
+		f := r.vecs[name]
+		f.eachSeries(func(full string, vs *vecSeries) {
+			switch f.kind {
+			case vecCounter:
+				s.Counters[full] = vs.c.Value()
+			case vecGauge:
+				s.Gauges[full] = vs.g.Value()
+			case vecHist:
+				if s.Histograms == nil {
+					s.Histograms = make(map[string]HistogramSnapshot)
+				}
+				s.Histograms[full] = vs.h.snapshot()
+			}
+		})
+	}
+	if n := r.vecErrs.Load(); n > 0 {
+		s.Counters["obs/vec_errors"] = n
+	}
 	return s
 }
 
@@ -261,22 +266,14 @@ func (s Snapshot) Sub(earlier Snapshot) Snapshot {
 	}
 	if len(s.Histograms) > 0 {
 		d.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
-		for name, h := range s.Histograms {
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
 			e, ok := earlier.Histograms[name]
-			if !ok || len(e.Counts) != len(h.Counts) {
+			if !ok {
 				d.Histograms[name] = h
 				continue
 			}
-			dh := HistogramSnapshot{
-				Bounds: h.Bounds,
-				Counts: make([]int64, len(h.Counts)),
-				Sum:    h.Sum - e.Sum,
-				Count:  h.Count - e.Count,
-			}
-			for i := range h.Counts {
-				dh.Counts[i] = h.Counts[i] - e.Counts[i]
-			}
-			d.Histograms[name] = dh
+			d.Histograms[name] = subHist(h, e)
 		}
 	}
 	return d

@@ -60,6 +60,23 @@ func validateSpan(rec SpanRecord) error {
 	if rec.StartUS < 0 || rec.DurUS < 0 {
 		return fmt.Errorf("span %d: negative time (start %d us, dur %d us)", rec.ID, rec.StartUS, rec.DurUS)
 	}
+	if rec.Kind != "" && rec.Kind != "event" {
+		return fmt.Errorf("span %d: unknown kind %q", rec.ID, rec.Kind)
+	}
+	if rec.Kind == "event" && rec.DurUS != 0 {
+		return fmt.Errorf("span %d: event with non-zero duration %d us", rec.ID, rec.DurUS)
+	}
+	if rec.ErrInfo != nil {
+		if rec.Err == "" {
+			return fmt.Errorf("span %d: err_info without err class", rec.ID)
+		}
+		if rec.ErrInfo.Class != rec.Err {
+			return fmt.Errorf("span %d: err_info class %q != err %q", rec.ID, rec.ErrInfo.Class, rec.Err)
+		}
+		if rec.ErrInfo.CPU < -1 || rec.ErrInfo.CHA < -1 {
+			return fmt.Errorf("span %d: err_info coordinates below -1", rec.ID)
+		}
+	}
 	for i, a := range rec.Attrs {
 		if a.Key == "" {
 			return fmt.Errorf("span %d: attr %d has empty key", rec.ID, i)
@@ -71,8 +88,9 @@ func validateSpan(rec SpanRecord) error {
 // ValidateMetrics checks that r holds a well-formed metrics snapshot as
 // written by the -metrics-out flag: a single Snapshot object with no
 // unknown fields, both metric maps present, and internally consistent
-// histograms (counts length matches bounds, totals reconcile, bounds
-// strictly increasing).
+// log-bucketed histograms (buckets on the fixed table in strictly
+// ascending index order, totals reconciling with Count, extrema and
+// quantiles consistent with the buckets).
 func ValidateMetrics(r io.Reader) error {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
@@ -90,26 +108,118 @@ func ValidateMetrics(r io.Reader) error {
 		return cmerr.New(cmerr.Permanent, "obs", "metrics: missing gauges map")
 	}
 	for _, name := range sortedKeys(snap.Histograms) {
-		h := snap.Histograms[name]
-		if len(h.Counts) != len(h.Bounds)+1 {
-			return cmerr.New(cmerr.Permanent, "obs", "metrics: histogram %q: %d counts for %d bounds, want %d",
-				name, len(h.Counts), len(h.Bounds), len(h.Bounds)+1)
+		if err := validateHistogram(snap.Histograms[name]); err != nil {
+			return cmerr.New(cmerr.Permanent, "obs", "metrics: histogram %q: %v", name, err)
 		}
-		var total int64
-		for _, c := range h.Counts {
-			if c < 0 {
-				return cmerr.New(cmerr.Permanent, "obs", "metrics: histogram %q: negative bucket count", name)
+	}
+	return nil
+}
+
+// validateHistogram checks one HistogramSnapshot for internal
+// consistency against the fixed log-bucket table.
+func validateHistogram(h HistogramSnapshot) error {
+	var total int64
+	lastIdx := -1
+	for _, b := range h.Buckets {
+		if b.Idx <= lastIdx {
+			return fmt.Errorf("bucket indexes not strictly increasing at %d", b.Idx)
+		}
+		if b.Idx >= histNumBuckets {
+			return fmt.Errorf("bucket index %d outside the table", b.Idx)
+		}
+		if b.UB != bucketUB(b.Idx) {
+			return fmt.Errorf("bucket %d: bound %d, want %d", b.Idx, b.UB, bucketUB(b.Idx))
+		}
+		if b.N <= 0 {
+			return fmt.Errorf("bucket %d: non-positive count %d", b.Idx, b.N)
+		}
+		total += b.N
+		lastIdx = b.Idx
+	}
+	if total != h.Count {
+		return fmt.Errorf("bucket sum %d != count %d", total, h.Count)
+	}
+	if h.Count > 0 && h.Min > h.Max {
+		return fmt.Errorf("min %d > max %d", h.Min, h.Max)
+	}
+	if h.P50 > h.P95 || h.P95 > h.P99 {
+		return fmt.Errorf("quantiles not monotone: p50 %d, p95 %d, p99 %d", h.P50, h.P95, h.P99)
+	}
+	if want := h.Quantile(0.99); h.P99 != want {
+		return fmt.Errorf("p99 %d does not match buckets (want %d)", h.P99, want)
+	}
+	return nil
+}
+
+// ValidateProm checks that r holds a well-formed Prometheus text
+// exposition as served at /metrics: integer samples under a preceding
+// TYPE line, and cumulative histogram series that reconcile. It is
+// ParseProm with the parsed snapshot discarded.
+func ValidateProm(r io.Reader) error {
+	_, err := ParseProm(r)
+	return err
+}
+
+// ValidateFlight checks that r holds a well-formed flight-recorder dump:
+// a {"flight": header} first line, exactly one {"metrics": snapshot} line
+// whose snapshot passes ValidateMetrics' structural checks, and
+// {"span": record} lines that each pass the trace span checks. Trigger
+// entries must reference a span id and carry an error class.
+func ValidateFlight(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line, metricsLines := 0, 0
+	sawHeader := false
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var rec struct {
+			Flight  *FlightHeader `json:"flight"`
+			Metrics *Snapshot     `json:"metrics"`
+			Span    *SpanRecord   `json:"span"`
+		}
+		if err := dec.Decode(&rec); err != nil {
+			return fmt.Errorf("obs: flight line %d: %w", line, err)
+		}
+		switch {
+		case rec.Flight != nil:
+			if sawHeader || line != 1 {
+				return cmerr.New(cmerr.Permanent, "obs", "flight line %d: header not first", line)
 			}
-			total += c
-		}
-		if total != h.Count {
-			return cmerr.New(cmerr.Permanent, "obs", "metrics: histogram %q: bucket sum %d != count %d", name, total, h.Count)
-		}
-		for i := 1; i < len(h.Bounds); i++ {
-			if h.Bounds[i] <= h.Bounds[i-1] {
-				return cmerr.New(cmerr.Permanent, "obs", "metrics: histogram %q: bounds not strictly increasing at %d", name, i)
+			sawHeader = true
+			for i, tr := range rec.Flight.Triggers {
+				if tr.Span <= 0 || tr.Err == "" {
+					return cmerr.New(cmerr.Permanent, "obs", "flight: trigger %d malformed", i)
+				}
 			}
+		case rec.Metrics != nil:
+			metricsLines++
+			for _, name := range sortedKeys(rec.Metrics.Histograms) {
+				if err := validateHistogram(rec.Metrics.Histograms[name]); err != nil {
+					return cmerr.New(cmerr.Permanent, "obs", "flight: histogram %q: %v", name, err)
+				}
+			}
+		case rec.Span != nil:
+			if err := validateSpan(*rec.Span); err != nil {
+				return fmt.Errorf("obs: flight line %d: %w", line, err)
+			}
+		default:
+			return cmerr.New(cmerr.Permanent, "obs", "flight line %d: unknown record", line)
 		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("obs: read flight dump: %w", err)
+	}
+	if !sawHeader {
+		return cmerr.New(cmerr.Permanent, "obs", "flight: missing header line")
+	}
+	if metricsLines != 1 {
+		return cmerr.New(cmerr.Permanent, "obs", "flight: %d metrics lines, want 1", metricsLines)
 	}
 	return nil
 }

@@ -46,13 +46,16 @@ func (c *ResultCache) Len() int { return c.step1.Len() + c.full.Len() }
 
 // Register wires both cache layers into reg under probe/cache/* (the
 // registrations are additive, so the gauges show the combined counters,
-// matching Stats). No-op on a nil cache or registry.
-func (c *ResultCache) Register(reg *obs.Registry) {
+// matching Stats). No-op on a nil cache or registry; an exact-duplicate
+// registration is reported by the registry.
+func (c *ResultCache) Register(reg *obs.Registry) error {
 	if c == nil {
-		return
+		return nil
 	}
-	c.step1.Register(reg, "probe/cache")
-	c.full.Register(reg, "probe/cache")
+	if err := c.step1.Register(reg, "probe/cache"); err != nil {
+		return err
+	}
+	return c.full.Register(reg, "probe/cache")
 }
 
 // step1State is the cached outcome of step 1: everything the prober

@@ -249,11 +249,13 @@ type Prober struct {
 	host hostif.Host
 	ctx  context.Context
 	// reg is the telemetry registry of the current call's context; nil
-	// (a no-op registry) when the caller carries no telemetry.
-	reg  *obs.Registry
-	opts Options
-	mon  *pmon.Monitor
-	rng  *rand.Rand
+	// (a no-op registry) when the caller carries no telemetry. clock is
+	// the matching injected time source (never nil; fixed when absent).
+	reg   *obs.Registry
+	clock obs.Clock
+	opts  Options
+	mon   *pmon.Monitor
+	rng   *rand.Rand
 	// homes caches discovered line → home-CHA results, bucketed by CHA.
 	homes map[int][]uint64
 	// obsSlab backs the Up/Down/Horz records of completed observations.
@@ -312,7 +314,8 @@ func (p *Prober) bind(ctx context.Context) {
 	}
 	p.ctx = ctx
 	p.reg = obs.RegistryFrom(ctx)
-	h := hostif.Bind(ctx, hostif.Counting(p.raw, p.reg))
+	p.clock = obs.From(ctx).Clock()
+	h := hostif.Bind(ctx, hostif.Counting(p.raw, p.reg, p.clock))
 	p.host = newRetryHost(ctx, h, p.opts.OpRetries, p.opts.RetryBackoff, p.reg.Counter("probe/retries"))
 }
 
@@ -682,6 +685,18 @@ func (p *Prober) MapCoresToCHAs(ctx context.Context) (mapping []int, err error) 
 	return append([]int(nil), st.mapping...), nil
 }
 
+// dropCore records a CPU being dropped from the OS-to-CHA mapping after
+// host faults as a flight-recorder event. Like experiment drops, this is
+// the moment the fault leaves the error return path (the run degrades
+// around the core), so the event carries the full (stage, op, CPU, CHA)
+// provenance — cha is the last slice whose co-location test was
+// unobtainable — for post-mortem attribution.
+func (p *Prober) dropCore(cpu, cha int, cause error) {
+	obs.Event(p.ctx, "probe/core-unmapped",
+		cmerr.Wrapf(cmerr.Permanent, stage, cause, "cpu %d dropped from the map", cpu).
+			WithOp("core-to-cha").OnCPU(cpu).AtCHA(cha))
+}
+
 func (p *Prober) mapCoresToCHAs() ([]int, []Failure, error) {
 	if err := p.ensureCalibrated(); err != nil {
 		return nil, nil, err
@@ -700,6 +715,7 @@ func (p *Prober) mapCoresToCHAs() ([]int, []Failure, error) {
 		p.progress("core-to-cha", cpu, len(mapping))
 		mapping[cpu] = -1
 		var opErr error
+		opCHA := -1
 		for cha := 0; cha < p.mon.NumCHA; cha++ {
 			same, err := p.coLocated(cpu, cha)
 			if err != nil {
@@ -708,7 +724,7 @@ func (p *Prober) mapCoresToCHAs() ([]int, []Failure, error) {
 				}
 				// This (cpu, cha) test is unobtainable; remember why and
 				// keep probing the remaining slices.
-				opErr = err
+				opErr, opCHA = err, cha
 				continue
 			}
 			if same {
@@ -729,6 +745,7 @@ func (p *Prober) mapCoresToCHAs() ([]int, []Failure, error) {
 				// degradation cannot repair. Keep the strict contract.
 				return nil, nil, err
 			}
+			p.dropCore(cpu, opCHA, opErr)
 			failures = append(failures, Failure{
 				Op: "core-to-cha", CPU: cpu, SrcCHA: -1, DstCHA: -1, Err: opErr.Error(),
 			})
@@ -766,6 +783,7 @@ func (p *Prober) mapCoresGuided() ([]int, []Failure, error) {
 		p.progress("core-to-cha", cpu, len(mapping))
 		mapping[cpu] = -1
 		var opErr error
+		opCHA := -1
 		for i := 0; i < p.mon.NumCHA; i++ {
 			cha := (start + i) % p.mon.NumCHA
 			if claimed[cha] {
@@ -776,7 +794,7 @@ func (p *Prober) mapCoresGuided() ([]int, []Failure, error) {
 				if cmerr.IsInterrupted(err) || p.opts.FailFast {
 					return nil, nil, err
 				}
-				opErr = err
+				opErr, opCHA = err, cha
 				continue
 			}
 			if same {
@@ -792,6 +810,7 @@ func (p *Prober) mapCoresGuided() ([]int, []Failure, error) {
 			if opErr == nil {
 				return nil, nil, err
 			}
+			p.dropCore(cpu, opCHA, opErr)
 			failures = append(failures, Failure{
 				Op: "core-to-cha", CPU: cpu, SrcCHA: -1, DstCHA: -1, Err: opErr.Error(),
 			})
@@ -1140,10 +1159,22 @@ func (p *Prober) initRun(ppin uint64, mapping []int, failures []Failure) (*Resul
 
 	// fail records one permanently failed experiment; interrupted errors
 	// abort the run instead (and so does any failure under FailFast).
+	// Each absorbed failure also lands in the flight recorder as an
+	// event carrying full cmerr provenance — absorbing a failure into
+	// Failures is exactly the moment a degraded run loses the error from
+	// its return path, so the black box is the only place a post-mortem
+	// can still find the (stage, op, CPU, CHA) coordinates.
 	fail := func(op string, cpu, srcCHA, dstCHA int, err error) error {
 		if cmerr.IsInterrupted(err) || p.opts.FailFast {
 			return err
 		}
+		cha := srcCHA
+		if cha < 0 {
+			cha = dstCHA
+		}
+		obs.Event(p.ctx, "probe/experiment-failed",
+			cmerr.Wrapf(cmerr.Permanent, stage, err, "%s experiment dropped", op).
+				WithOp(op).OnCPU(cpu).AtCHA(cha))
 		res.Failures = append(res.Failures, Failure{
 			Op: op, CPU: cpu, SrcCHA: srcCHA, DstCHA: dstCHA, Err: err.Error(),
 		})
@@ -1158,9 +1189,11 @@ func (p *Prober) initRun(ppin uint64, mapping []int, failures []Failure) (*Resul
 	completed := p.reg.Counter("probe/experiments/completed")
 	failed := p.reg.Counter("probe/experiments/failed")
 	skipped := p.reg.Counter("probe/experiments/skipped")
+	byOp := p.reg.CounterVec("probe/experiments_by_op", "op")
 	experiment := func(op string, cpu, srcCHA, dstCHA int, skip bool, run func() (Observation, error)) (bool, error) {
 		res.Planned++
 		planned.Inc()
+		byOp.With(op).Inc()
 		if skip {
 			skipped.Inc()
 			return false, nil
@@ -1319,6 +1352,8 @@ func (p *Prober) runPlanned(ppin uint64, ro RunOptions) (*Result, error) {
 		return nil, err
 	}
 	round := 0
+	roundCost := p.reg.Histogram("plan/round_cost")
+	roundUS := p.reg.Histogram("plan/round_us")
 	for {
 		batch, err := pm.NextBatch(p.ctx)
 		if err != nil {
@@ -1329,6 +1364,7 @@ func (p *Prober) runPlanned(ppin uint64, ro RunOptions) (*Result, error) {
 		}
 		p.progress("planned-traffic", round, round+1)
 		round++
+		roundStart := p.clock.Now()
 		for _, ci := range batch {
 			done, err := p.runCandidate(experiment, pm.Candidate(ci), ro)
 			if err != nil {
@@ -1340,6 +1376,11 @@ func (p *Prober) runPlanned(ppin uint64, ro RunOptions) (*Result, error) {
 				pm.Fail(ci)
 			}
 		}
+		// Round cost (experiments issued) and wall time distribution:
+		// the planner's value proposition is that later rounds shrink,
+		// and these two histograms are what coremaptop renders for it.
+		roundCost.Observe(int64(len(batch)))
+		roundUS.Observe(p.clock.Now().Sub(roundStart).Microseconds())
 	}
 	st := pm.Stats()
 	p.reg.Gauge("plan/rounds").Set(int64(st.Rounds))

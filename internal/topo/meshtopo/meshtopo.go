@@ -85,7 +85,7 @@ func (Backend) QuickSurvey(ctx context.Context, skuName string, seed int64) (_ *
 	span.SetAttrStr("topology", "mesh")
 	defer func() { span.End(err) }()
 	reg := obs.RegistryFrom(ctx)
-	reg.Counter("topo/surveys/mesh").Inc()
+	reg.CounterVec("topo/surveys", "backend").With("mesh").Inc()
 
 	sku, err := findSKU(skuName)
 	if err != nil {
@@ -103,7 +103,7 @@ func (Backend) QuickSurvey(ctx context.Context, skuName string, seed int64) (_ *
 		return nil, err
 	}
 	hostOps := reg.Snapshot().Sub(before).Total("host/ops/")
-	reg.Gauge("topo/survey/mesh/host_ops").Set(hostOps)
+	reg.GaugeVec("topo/survey_host_ops", "backend").With("mesh").Set(hostOps)
 
 	truth := make([]mesh.Coord, m.NumCHAs())
 	for cha := range truth {

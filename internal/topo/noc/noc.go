@@ -347,7 +347,7 @@ func (Backend) QuickSurvey(ctx context.Context, skuName string, seed int64) (_ *
 	span.SetAttrStr("topology", "noc")
 	defer func() { span.End(err) }()
 	reg := obs.RegistryFrom(ctx)
-	reg.Counter("topo/surveys/noc").Inc()
+	reg.CounterVec("topo/surveys", "backend").With("noc").Inc()
 
 	sku, err := findSKU(skuName)
 	if err != nil {
@@ -359,7 +359,7 @@ func (Backend) QuickSurvey(ctx context.Context, skuName string, seed int64) (_ *
 	if err != nil {
 		return nil, err
 	}
-	reg.Gauge("topo/survey/noc/host_ops").Set(hostOps)
+	reg.GaugeVec("topo/survey_host_ops", "backend").With("noc").Set(hostOps)
 	placement, optimal, err := Solve(ctx, in.Workers(), obsList)
 	if err != nil {
 		return nil, err

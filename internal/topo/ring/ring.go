@@ -329,7 +329,7 @@ func (Backend) QuickSurvey(ctx context.Context, skuName string, seed int64) (_ *
 	span.SetAttrStr("topology", "ring")
 	defer func() { span.End(err) }()
 	reg := obs.RegistryFrom(ctx)
-	reg.Counter("topo/surveys/ring").Inc()
+	reg.CounterVec("topo/surveys", "backend").With("ring").Inc()
 
 	sku, err := findSKU(skuName)
 	if err != nil {
@@ -341,7 +341,7 @@ func (Backend) QuickSurvey(ctx context.Context, skuName string, seed int64) (_ *
 	if err != nil {
 		return nil, err
 	}
-	reg.Gauge("topo/survey/ring/host_ops").Set(hostOps)
+	reg.GaugeVec("topo/survey_host_ops", "backend").With("ring").Set(hostOps)
 	slots, optimal, err := Solve(ctx, sku, obsList)
 	if err != nil {
 		return nil, err

@@ -3,9 +3,11 @@ package coremap
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -100,7 +102,8 @@ func mappedRun(t *testing.T, tel *obs.Telemetry) (*Result, []string) {
 func TestTelemetryTransparent(t *testing.T) {
 	plainRes, plainOps := mappedRun(t, nil)
 	var sink bytes.Buffer
-	instrRes, instrOps := mappedRun(t, fakeClockTelemetry(&sink))
+	tel := fakeClockTelemetry(&sink)
+	instrRes, instrOps := mappedRun(t, tel)
 
 	if !reflect.DeepEqual(plainRes, instrRes) {
 		t.Errorf("telemetry changed the pipeline result:\nplain: %+v\ninstrumented: %+v", plainRes, instrRes)
@@ -116,14 +119,34 @@ func TestTelemetryTransparent(t *testing.T) {
 	if sink.Len() == 0 {
 		t.Error("instrumented run emitted no trace")
 	}
+	// The labeled world must be populated too: the per-op experiment
+	// counters partition the planned total exactly, and misuse-free
+	// instrumentation leaves the vec-error counter at zero.
+	snap := tel.Registry().Snapshot()
+	labeled := 0
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, "probe/experiments_by_op{") {
+			labeled++
+		}
+	}
+	if labeled == 0 {
+		t.Error("instrumented run produced no labeled per-op series")
+	}
+	if got, want := snap.Total("probe/experiments_by_op{"), snap.Counters["probe/experiments/planned"]; got != want {
+		t.Errorf("labeled per-op counters sum to %d, want planned total %d", got, want)
+	}
+	if n := snap.Counters["obs/vec_errors"]; n != 0 {
+		t.Errorf("pipeline instrumentation misused labeled metrics %d times", n)
+	}
 }
 
 // TestTraceDeterministic pins satellite invariant: two identically-seeded
 // runs under a fake clock emit byte-identical JSONL traces.
 func TestTraceDeterministic(t *testing.T) {
 	var a, b bytes.Buffer
-	mappedRun(t, fakeClockTelemetry(&a))
-	mappedRun(t, fakeClockTelemetry(&b))
+	telA, telB := fakeClockTelemetry(&a), fakeClockTelemetry(&b)
+	mappedRun(t, telA)
+	mappedRun(t, telB)
 	if a.Len() == 0 {
 		t.Fatal("run emitted no trace")
 	}
@@ -132,6 +155,25 @@ func TestTraceDeterministic(t *testing.T) {
 	}
 	if err := obs.ValidateTrace(bytes.NewReader(a.Bytes())); err != nil {
 		t.Errorf("emitted trace fails schema validation: %v", err)
+	}
+	// Determinism extends to the labeled world: the full Prometheus
+	// exposition — every series of every vec, quantile fields included —
+	// must be byte-identical across identically-seeded runs.
+	var pa, pb bytes.Buffer
+	if err := obs.WriteProm(&pa, telA.Registry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteProm(&pb, telB.Registry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if pa.Len() == 0 {
+		t.Fatal("run emitted an empty exposition")
+	}
+	if !bytes.Equal(pa.Bytes(), pb.Bytes()) {
+		t.Errorf("identically-seeded runs emitted different expositions:\n--- a ---\n%s--- b ---\n%s", pa.String(), pb.String())
+	}
+	if err := obs.ValidateProm(bytes.NewReader(pa.Bytes())); err != nil {
+		t.Errorf("emitted exposition fails validation: %v", err)
 	}
 }
 
@@ -151,6 +193,9 @@ func reconcile(t *testing.T, snap obs.Snapshot, res *probe.Result) {
 	}
 	if completed != int64(res.Completed) {
 		t.Errorf("completed counter %d != Result.Completed %d", completed, res.Completed)
+	}
+	if byOp := snap.Total("probe/experiments_by_op{"); byOp != planned {
+		t.Errorf("labeled per-op counters sum to %d, want planned %d", byOp, planned)
 	}
 }
 
@@ -216,6 +261,81 @@ func TestReportReconciles(t *testing.T) {
 	})
 }
 
+// TestDegradedRunFlightDump is the post-mortem acceptance test: a run
+// degraded by a stuck CPU must arm the flight recorder, and the resulting
+// dump must attribute the dropped experiments to the exact
+// (stage, op, CPU, CHA) — without re-parsing any message strings.
+func TestDegradedRunFlightDump(t *testing.T) {
+	tel := fakeClockTelemetry(&bytes.Buffer{})
+	ctx := obs.With(context.Background(), tel)
+	sku := machine.SKU8259CL
+	m := machine.Generate(sku, 0, machine.Config{Seed: 92})
+	const stuck = 5
+	fh := faulty.New(m, faulty.Options{Seed: 92, StuckCPUs: []int{stuck}})
+	res, err := MapMachine(ctx, fh, DieInfo{Rows: sku.Rows, Cols: sku.Cols},
+		Options{Probe: probe.Options{Seed: 92, RetryBackoff: time.Microsecond}})
+	if res == nil || !res.Degraded {
+		t.Fatalf("stuck CPU did not degrade the run (res=%v, err=%v)", res, err)
+	}
+	if !tel.FlightTriggered() {
+		t.Fatal("degraded run did not arm the flight recorder")
+	}
+
+	var dump bytes.Buffer
+	if err := tel.WriteFlight(&dump, err); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateFlight(bytes.NewReader(dump.Bytes())); err != nil {
+		t.Fatalf("flight dump fails its own schema: %v", err)
+	}
+
+	var first struct {
+		Flight obs.FlightHeader `json:"flight"`
+	}
+	header, _, _ := strings.Cut(dump.String(), "\n")
+	if err := json.Unmarshal([]byte(header), &first); err != nil {
+		t.Fatalf("flight header: %v", err)
+	}
+	if len(first.Flight.Triggers) == 0 {
+		t.Fatal("flight header records no triggers")
+	}
+	attributed := false
+	for _, trig := range first.Flight.Triggers {
+		if trig.Name != "probe/core-unmapped" && trig.Name != "probe/experiment-failed" {
+			continue
+		}
+		if trig.Info == nil {
+			t.Errorf("trigger %s lost its cmerr provenance", trig.Name)
+			continue
+		}
+		info := trig.Info
+		if info.Stage != "probe" {
+			t.Errorf("trigger stage = %q, want probe", info.Stage)
+		}
+		if info.Op == "" {
+			t.Error("trigger lost its op")
+		}
+		if info.Class != "permanent" {
+			t.Errorf("trigger class = %q, want permanent", info.Class)
+		}
+		if info.CPU == stuck && info.CHA >= 0 {
+			attributed = true
+		}
+	}
+	if !attributed {
+		t.Fatalf("no trigger attributes the failure to CPU %d with a CHA coordinate; triggers = %+v",
+			stuck, first.Flight.Triggers)
+	}
+	// The dump retains the failing stage's recent spans alongside the
+	// metrics snapshot line.
+	if !strings.Contains(dump.String(), `{"metrics":`) {
+		t.Error("flight dump has no metrics snapshot line")
+	}
+	if !strings.Contains(dump.String(), `"probe/core-unmapped"`) {
+		t.Error("flight dump does not retain the failure events themselves")
+	}
+}
+
 // TestEmittedArtifactsValidate schema-checks trace and metrics files
 // produced by an external command run; CI's telemetry smoke step sets the
 // environment variables after running cmd/experiments with -trace and
@@ -223,8 +343,9 @@ func TestReportReconciles(t *testing.T) {
 func TestEmittedArtifactsValidate(t *testing.T) {
 	tracePath := os.Getenv("COREMAP_TRACE_FILE")
 	metricsPath := os.Getenv("COREMAP_METRICS_FILE")
-	if tracePath == "" && metricsPath == "" {
-		t.Skip("COREMAP_TRACE_FILE / COREMAP_METRICS_FILE not set")
+	promPath := os.Getenv("COREMAP_PROM_FILE")
+	if tracePath == "" && metricsPath == "" && promPath == "" {
+		t.Skip("COREMAP_TRACE_FILE / COREMAP_METRICS_FILE / COREMAP_PROM_FILE not set")
 	}
 	if tracePath != "" {
 		f, err := os.Open(tracePath)
@@ -244,6 +365,16 @@ func TestEmittedArtifactsValidate(t *testing.T) {
 		defer f.Close()
 		if err := obs.ValidateMetrics(f); err != nil {
 			t.Errorf("%s fails metrics schema validation: %v", metricsPath, err)
+		}
+	}
+	if promPath != "" {
+		f, err := os.Open(promPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := obs.ValidateProm(f); err != nil {
+			t.Errorf("%s fails exposition validation: %v", promPath, err)
 		}
 	}
 }
